@@ -1,0 +1,264 @@
+//! APPROX: edit-distance augmentation of a query automaton.
+//!
+//! Following [Hurtado, Poulovassilis & Wood, ESWC 2009] and Section 3.3 of
+//! the paper, the automaton `A_R` is obtained from `M_R` by adding, for a
+//! user-configurable cost each:
+//!
+//! * **insertion** — an extra edge may be traversed at any point without
+//!   consuming a query symbol: a wildcard `*` self-loop on every state,
+//! * **deletion** — a query symbol may be skipped: an ε-transition parallel
+//!   to every symbol transition (the ε is later removed by weighted
+//!   ε-elimination, possibly surfacing as a final-state weight),
+//! * **substitution** — a query symbol may be matched by any edge label in
+//!   either direction: a wildcard `*` transition parallel to every symbol
+//!   transition,
+//! * **inversion** (optional) — a query symbol may be matched by the same
+//!   label traversed in the opposite direction.
+//!
+//! The paper represents the "one transition per label in `Σ ∪ {type}` and
+//! their reversals" explosion compactly with the single wildcard label `*`;
+//! [`crate::TransitionLabel::Any`] is that wildcard.
+
+use crate::label::TransitionLabel;
+use crate::nfa::WeightedNfa;
+
+/// Costs of the edit operations applied by APPROX.
+///
+/// The paper's experiments use cost 1 for insertion, deletion and
+/// substitution and do not enable inversion as a separate operation
+/// (substitution by `*` already covers flipping a label's direction at the
+/// same cost); [`ApproxConfig::default`] mirrors that setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxConfig {
+    /// Cost of traversing an extra, unmatched edge.
+    pub insertion: u32,
+    /// Cost of skipping a query symbol.
+    pub deletion: u32,
+    /// Cost of matching a query symbol with an arbitrary edge label.
+    pub substitution: u32,
+    /// Optional cheaper cost for matching a query symbol with the *same*
+    /// label traversed in the opposite direction.
+    pub inversion: Option<u32>,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            insertion: 1,
+            deletion: 1,
+            substitution: 1,
+            inversion: None,
+        }
+    }
+}
+
+impl ApproxConfig {
+    /// Uniform cost `c` for insertion, deletion and substitution.
+    pub fn uniform(c: u32) -> Self {
+        ApproxConfig {
+            insertion: c,
+            deletion: c,
+            substitution: c,
+            inversion: None,
+        }
+    }
+
+    /// The smallest cost of any enabled edit operation — the paper's φ, the
+    /// step by which the distance-aware optimisation escalates its cost
+    /// bound ψ.
+    pub fn min_cost(&self) -> u32 {
+        let mut m = self.insertion.min(self.deletion).min(self.substitution);
+        if let Some(inv) = self.inversion {
+            m = m.min(inv);
+        }
+        m
+    }
+}
+
+/// Builds the APPROX automaton `A_R` from `M_R`.
+///
+/// The input may contain ε-transitions (it usually comes straight from the
+/// Thompson construction); the output generally does too, so callers run
+/// [`crate::remove_epsilons`] afterwards.
+pub fn approximate(nfa: &WeightedNfa, config: &ApproxConfig) -> WeightedNfa {
+    let mut out = nfa.clone();
+
+    // Deletion, substitution and inversion apply to every edge-consuming
+    // transition of the original automaton.
+    let originals: Vec<_> = nfa
+        .transitions()
+        .iter()
+        .filter(|t| t.label.consumes_edge())
+        .cloned()
+        .collect();
+    for t in &originals {
+        out.add_transition(
+            t.from,
+            TransitionLabel::Epsilon,
+            t.cost + config.deletion,
+            t.to,
+        );
+        out.add_transition(
+            t.from,
+            TransitionLabel::Any,
+            t.cost + config.substitution,
+            t.to,
+        );
+        if let Some(inversion) = config.inversion {
+            out.add_transition(t.from, t.label.flipped(), t.cost + inversion, t.to);
+        }
+    }
+    // Insertion: a wildcard self-loop on every state.
+    for state in nfa.states() {
+        out.add_transition(state, TransitionLabel::Any, config.insertion, state);
+    }
+    out.freeze();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::remove_epsilons;
+    use crate::resolver::MapResolver;
+    use crate::simulate::min_accept_cost;
+    use crate::thompson::build_nfa;
+    use omega_regex::{parse, Symbol};
+
+    fn approx_nfa(expr: &str, config: &ApproxConfig) -> WeightedNfa {
+        let resolver = MapResolver::new();
+        let nfa = build_nfa(&parse(expr).unwrap(), &resolver);
+        remove_epsilons(&approximate(&nfa, config))
+    }
+
+    fn w(specs: &[(&str, bool)]) -> Vec<Symbol> {
+        specs
+            .iter()
+            .map(|&(l, inv)| Symbol {
+                label: l.to_owned(),
+                inverse: inv,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_words_stay_at_cost_zero() {
+        let a = approx_nfa("a.b", &ApproxConfig::default());
+        assert_eq!(min_accept_cost(&a, &w(&[("a", false), ("b", false)])), Some(0));
+    }
+
+    #[test]
+    fn substitution_costs_one() {
+        let a = approx_nfa("a.b", &ApproxConfig::default());
+        // 'z' substituted for 'a'
+        assert_eq!(min_accept_cost(&a, &w(&[("z", false), ("b", false)])), Some(1));
+        // the paper's running example: gradFrom substituted by gradFrom-
+        let q = approx_nfa("isLocatedIn-.gradFrom", &ApproxConfig::default());
+        assert_eq!(
+            min_accept_cost(&q, &w(&[("isLocatedIn", true), ("gradFrom", true)])),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn deletion_costs_one() {
+        let a = approx_nfa("a.b", &ApproxConfig::default());
+        assert_eq!(min_accept_cost(&a, &w(&[("a", false)])), Some(1));
+        assert_eq!(min_accept_cost(&a, &[]), Some(2));
+    }
+
+    #[test]
+    fn insertion_costs_one() {
+        let a = approx_nfa("a.b", &ApproxConfig::default());
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("a", false), ("x", false), ("b", false)])),
+            Some(1)
+        );
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("x", true), ("a", false), ("b", false)])),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn edit_distance_accumulates() {
+        let a = approx_nfa("a.b.c", &ApproxConfig::default());
+        // delete 'a', substitute 'c' -> distance 2
+        assert_eq!(min_accept_cost(&a, &w(&[("b", false), ("z", false)])), Some(2));
+        // completely unrelated word of same length -> one substitution each
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("x", false), ("y", false), ("z", false)])),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn custom_costs_are_respected() {
+        let config = ApproxConfig {
+            insertion: 5,
+            deletion: 2,
+            substitution: 3,
+            inversion: None,
+        };
+        let a = approx_nfa("a.b", &config);
+        assert_eq!(min_accept_cost(&a, &w(&[("a", false)])), Some(2)); // deletion
+        assert_eq!(min_accept_cost(&a, &w(&[("z", false), ("b", false)])), Some(3)); // subst
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("a", false), ("q", false), ("b", false)])),
+            Some(5)
+        ); // insertion
+        assert_eq!(config.min_cost(), 2);
+    }
+
+    #[test]
+    fn inversion_can_be_cheaper_than_substitution() {
+        let config = ApproxConfig {
+            insertion: 10,
+            deletion: 10,
+            substitution: 10,
+            inversion: Some(1),
+        };
+        let a = approx_nfa("a", &config);
+        assert_eq!(min_accept_cost(&a, &w(&[("a", true)])), Some(1));
+        // a different label still needs a full substitution
+        assert_eq!(min_accept_cost(&a, &w(&[("b", false)])), Some(10));
+    }
+
+    #[test]
+    fn never_rejects_entirely() {
+        // With all three edit operations any word is accepted at *some* cost.
+        let a = approx_nfa("a.b", &ApproxConfig::default());
+        for word in [
+            w(&[]),
+            w(&[("q", false)]),
+            w(&[("q", true), ("r", false), ("s", true), ("t", false)]),
+        ] {
+            assert!(min_accept_cost(&a, &word).is_some());
+        }
+    }
+
+    #[test]
+    fn approximation_never_increases_cost_of_any_word() {
+        let resolver = MapResolver::new();
+        let exprs = ["a.b", "a*|b.c", "a-.b+"];
+        let words = [
+            w(&[]),
+            w(&[("a", false)]),
+            w(&[("a", false), ("b", false)]),
+            w(&[("b", false), ("c", false)]),
+            w(&[("a", true), ("b", false)]),
+        ];
+        for expr in exprs {
+            let exact = remove_epsilons(&build_nfa(&parse(expr).unwrap(), &resolver));
+            let approx = approx_nfa(expr, &ApproxConfig::default());
+            for word in &words {
+                let exact_cost = min_accept_cost(&exact, word);
+                let approx_cost = min_accept_cost(&approx, word);
+                assert!(approx_cost.is_some());
+                if let Some(e) = exact_cost {
+                    assert!(approx_cost.unwrap() <= e);
+                }
+            }
+        }
+    }
+}

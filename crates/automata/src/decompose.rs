@@ -1,0 +1,81 @@
+//! Replacing alternation by disjunction (Section 4.3 of the paper).
+//!
+//! When a query's regular expression is a top-level alternation
+//! `R = R1 | R2 | …`, its NFA can be decomposed into one sub-automaton per
+//! branch. The evaluator then schedules the sub-automata adaptively: the
+//! branch that returned the fewest answers at distance *k·φ* is evaluated
+//! first for distance *(k+1)·φ*, which in the paper reduces YAGO query 9 from
+//! 101 ms to 12.65 ms.
+//!
+//! This module only performs the syntactic decomposition; the adaptive
+//! scheduling lives in the evaluator (`omega-core`).
+
+use omega_regex::RpqRegex;
+
+/// Splits a top-level alternation into its branches.
+///
+/// Returns `None` when `regex` is not an alternation (fewer than two
+/// branches), in which case the optimisation does not apply.
+pub fn decompose_alternation(regex: &RpqRegex) -> Option<Vec<RpqRegex>> {
+    let branches = regex.top_level_branches();
+    if branches.len() < 2 {
+        return None;
+    }
+    Some(branches.into_iter().cloned().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_regex::parse;
+
+    #[test]
+    fn splits_top_level_alternation() {
+        let r = parse("(livesIn-.hasCurrency)|(locatedIn-.gradFrom)").unwrap();
+        let parts = decompose_alternation(&r).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].to_string(), "livesIn-.hasCurrency");
+        assert_eq!(parts[1].to_string(), "locatedIn-.gradFrom");
+    }
+
+    #[test]
+    fn splits_multi_way_alternation() {
+        let r = parse("a|b.c|d*").unwrap();
+        let parts = decompose_alternation(&r).unwrap();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn non_alternations_are_not_decomposed() {
+        assert!(decompose_alternation(&parse("a.b").unwrap()).is_none());
+        assert!(decompose_alternation(&parse("(a|b).c").unwrap()).is_none());
+        assert!(decompose_alternation(&parse("(a|b)*").unwrap()).is_none());
+    }
+
+    #[test]
+    fn union_of_branch_languages_equals_original() {
+        use crate::resolver::MapResolver;
+        use crate::simulate::accepts;
+        use crate::thompson::build_nfa;
+        use omega_regex::Symbol;
+
+        let resolver = MapResolver::new();
+        let r = parse("a.b|c|d.e*").unwrap();
+        let parts = decompose_alternation(&r).unwrap();
+        let whole = build_nfa(&r, &resolver);
+        let part_nfas: Vec<_> = parts.iter().map(|p| build_nfa(p, &resolver)).collect();
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![Symbol::forward("a"), Symbol::forward("b")],
+            vec![Symbol::forward("c")],
+            vec![Symbol::forward("d")],
+            vec![Symbol::forward("d"), Symbol::forward("e"), Symbol::forward("e")],
+            vec![Symbol::forward("a")],
+        ];
+        for w in &words {
+            let whole_accepts = accepts(&whole, w);
+            let any_part = part_nfas.iter().any(|n| accepts(n, w));
+            assert_eq!(whole_accepts, any_part, "mismatch on {w:?}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Weighted ε-removal.
+//!
+//! After APPROX augmentation the automaton contains weighted ε-transitions
+//! (the deletion edit consumes no graph edge but costs `deletion`), and the
+//! Thompson construction contributes zero-cost ε-transitions. The evaluator
+//! requires an ε-free automaton; removal follows the weighted-automata
+//! construction the paper cites (Droste, Kuich & Vogler, *Handbook of
+//! Weighted Automata*): every state gains direct copies of the transitions
+//! reachable through its ε-closure (with the closure cost added), and a
+//! state whose ε-closure reaches a final state becomes final itself with the
+//! closure cost added to the final weight — this is how final states end up
+//! carrying a positive `weight(s)`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::nfa::{StateId, WeightedNfa};
+
+/// Returns an equivalent automaton without ε-transitions.
+///
+/// Equivalence is in the weighted sense: every word keeps the same minimum
+/// acceptance cost (see `crate::simulate::min_accept_cost`).
+pub fn remove_epsilons(nfa: &WeightedNfa) -> WeightedNfa {
+    let mut out = WeightedNfa::new();
+    // Mirror the state set (state ids are preserved).
+    for _ in 1..nfa.state_count() {
+        out.add_state();
+    }
+    out.set_initial(nfa.initial());
+
+    for state in nfa.states() {
+        let closure = epsilon_closure(nfa, state);
+        // Final weight: the cheapest way to reach a final state via ε.
+        let mut final_weight: Option<u32> = None;
+        for (&target, &cost) in &closure {
+            if let Some(w) = nfa.final_weight(target) {
+                let total = cost + w;
+                final_weight = Some(final_weight.map_or(total, |fw| fw.min(total)));
+            }
+        }
+        if let Some(w) = final_weight {
+            out.add_final(state, w);
+        }
+        // Copy non-ε transitions reachable through the closure.
+        for (&via, &closure_cost) in &closure {
+            for t in nfa.transitions().iter().filter(|t| t.from == via) {
+                if t.label.is_epsilon() {
+                    continue;
+                }
+                out.add_transition(state, t.label.clone(), closure_cost + t.cost, t.to);
+            }
+        }
+    }
+    out.freeze();
+    prune_unreachable(&out)
+}
+
+/// Minimum ε-cost from `state` to every state reachable by ε-transitions
+/// (including `state` itself at cost 0).
+fn epsilon_closure(nfa: &WeightedNfa, state: StateId) -> HashMap<StateId, u32> {
+    let mut dist: HashMap<StateId, u32> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    dist.insert(state, 0);
+    heap.push(Reverse((0, state.0)));
+    while let Some(Reverse((cost, raw))) = heap.pop() {
+        let current = StateId(raw);
+        if dist.get(&current).copied().unwrap_or(u32::MAX) < cost {
+            continue;
+        }
+        for t in nfa
+            .transitions()
+            .iter()
+            .filter(|t| t.from == current && t.label.is_epsilon())
+        {
+            let next = cost + t.cost;
+            if next < dist.get(&t.to).copied().unwrap_or(u32::MAX) {
+                dist.insert(t.to, next);
+                heap.push(Reverse((next, t.to.0)));
+            }
+        }
+    }
+    dist
+}
+
+/// Drops states unreachable from the initial state, compacting ids.
+/// ε-removal leaves the interior states of Thompson fragments dangling;
+/// pruning keeps the automata the evaluator sees small.
+fn prune_unreachable(nfa: &WeightedNfa) -> WeightedNfa {
+    let mut reachable = vec![false; nfa.state_count()];
+    let mut stack = vec![nfa.initial()];
+    reachable[nfa.initial().index()] = true;
+    while let Some(s) = stack.pop() {
+        for t in nfa.transitions().iter().filter(|t| t.from == s) {
+            if !reachable[t.to.index()] {
+                reachable[t.to.index()] = true;
+                stack.push(t.to);
+            }
+        }
+    }
+    let mut mapping: HashMap<StateId, StateId> = HashMap::new();
+    let mut out = WeightedNfa::new();
+    // The initial state of `out` exists already; map it first.
+    mapping.insert(nfa.initial(), out.initial());
+    for state in nfa.states() {
+        if reachable[state.index()] && state != nfa.initial() {
+            mapping.insert(state, out.add_state());
+        }
+    }
+    for (state, weight) in nfa.finals() {
+        if let Some(&mapped) = mapping.get(&state) {
+            out.add_final(mapped, weight);
+        }
+    }
+    for t in nfa.transitions() {
+        if let (Some(&from), Some(&to)) = (mapping.get(&t.from), mapping.get(&t.to)) {
+            out.add_transition(from, t.label.clone(), t.cost, to);
+        }
+    }
+    out.freeze();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::TransitionLabel;
+    use crate::resolver::MapResolver;
+    use crate::simulate::min_accept_cost;
+    use crate::thompson::build_nfa;
+    use omega_regex::{parse, Symbol};
+
+    fn sym(name: &str) -> TransitionLabel {
+        TransitionLabel::symbol(None, false, name)
+    }
+
+    fn w(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|&n| Symbol::forward(n)).collect()
+    }
+
+    #[test]
+    fn removes_all_epsilons() {
+        let resolver = MapResolver::new();
+        for expr in ["a*", "a.b|c", "(a|b)*.c", "a+.b*", "()"] {
+            let nfa = build_nfa(&parse(expr).unwrap(), &resolver);
+            let cleaned = remove_epsilons(&nfa);
+            assert!(!cleaned.has_epsilon_transitions(), "{expr} kept ε");
+        }
+    }
+
+    #[test]
+    fn preserves_language_of_regex_nfas() {
+        let resolver = MapResolver::new();
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            w(&["a"]),
+            w(&["b"]),
+            w(&["c"]),
+            w(&["a", "b"]),
+            w(&["a", "a", "b"]),
+            w(&["a", "b", "c"]),
+            w(&["c", "c"]),
+        ];
+        for expr in ["a*", "a.b|c", "(a|b)*.c", "a+.b*", "()", "a.b.c", "(a.b)+"] {
+            let nfa = build_nfa(&parse(expr).unwrap(), &resolver);
+            let cleaned = remove_epsilons(&nfa);
+            for word in &words {
+                assert_eq!(
+                    min_accept_cost(&nfa, word),
+                    min_accept_cost(&cleaned, word),
+                    "language changed for {expr} on {word:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_epsilon_becomes_final_weight() {
+        // s0 --a/0--> s1 --ε/2--> s2(final,0): after removal s1 must be final
+        // with weight 2.
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        let s2 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), sym("a"), 0, s1);
+        nfa.add_transition(s1, TransitionLabel::Epsilon, 2, s2);
+        nfa.add_final(s2, 0);
+        nfa.freeze();
+        let cleaned = remove_epsilons(&nfa);
+        assert!(!cleaned.has_epsilon_transitions());
+        assert_eq!(min_accept_cost(&cleaned, &w(&["a"])), Some(2));
+        // some state carries the positive weight
+        assert!(cleaned.finals().any(|(_, w)| w == 2));
+    }
+
+    #[test]
+    fn weighted_epsilon_chains_accumulate() {
+        // ε/1 . a/0 . ε/3 accepted word "a" must cost 4 before and after.
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        let s2 = nfa.add_state();
+        let s3 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), TransitionLabel::Epsilon, 1, s1);
+        nfa.add_transition(s1, sym("a"), 0, s2);
+        nfa.add_transition(s2, TransitionLabel::Epsilon, 3, s3);
+        nfa.add_final(s3, 0);
+        nfa.freeze();
+        let cleaned = remove_epsilons(&nfa);
+        assert_eq!(min_accept_cost(&nfa, &w(&["a"])), Some(4));
+        assert_eq!(min_accept_cost(&cleaned, &w(&["a"])), Some(4));
+    }
+
+    #[test]
+    fn prunes_unreachable_states() {
+        let resolver = MapResolver::new();
+        let nfa = build_nfa(&parse("(a|b).c*").unwrap(), &resolver);
+        let cleaned = remove_epsilons(&nfa);
+        // Every state of the cleaned automaton must be reachable from the
+        // initial state.
+        let mut reachable = vec![false; cleaned.state_count()];
+        reachable[cleaned.initial().index()] = true;
+        let mut stack = vec![cleaned.initial()];
+        while let Some(s) = stack.pop() {
+            for t in cleaned.transitions().iter().filter(|t| t.from == s) {
+                if !reachable[t.to.index()] {
+                    reachable[t.to.index()] = true;
+                    stack.push(t.to);
+                }
+            }
+        }
+        assert!(reachable.iter().all(|&r| r));
+        assert!(cleaned.state_count() <= nfa.state_count());
+    }
+}

@@ -1,0 +1,20 @@
+//! Errors for automaton construction.
+
+use std::fmt;
+
+/// Errors raised during automaton construction or transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomatonError {
+    /// The automaton has no initial state / is structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for AutomatonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomatonError::Invalid(msg) => write!(f, "invalid automaton: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AutomatonError {}

@@ -1,0 +1,50 @@
+//! # omega-automata
+//!
+//! Weighted non-deterministic finite automata (NFAs) over edge-label
+//! alphabets, as used by the Omega query processor (Section 3.3 of the
+//! paper):
+//!
+//! * [`thompson::build_nfa`] constructs the weighted NFA `M_R` for a regular
+//!   expression `R` (all weights 0, ε-transitions present),
+//! * [`approx::approximate`] augments `M_R` into `A_R` with edit-operation
+//!   transitions (insertion/deletion/substitution, optionally inversion),
+//!   representing insertions/substitutions compactly with the wildcard `*`
+//!   label,
+//! * [`relax::relax`] augments `M_R` into `M_R^K` with ontology-driven
+//!   relaxation transitions (superproperty steps at cost β, property →
+//!   `type`-edge-to-domain/range at cost γ),
+//! * [`epsilon::remove_epsilons`] performs weighted ε-removal, which may
+//!   leave final states carrying a positive weight,
+//! * [`reverse::reverse`] reverses an automaton (used to turn a conjunct
+//!   `(?X, R, C)` into `(C, R-, ?X)`),
+//! * [`decompose::decompose_alternation`] splits a top-level alternation
+//!   into sub-automata for the "replacing alternation by disjunction"
+//!   optimisation of Section 4.3.
+//!
+//! The automaton states and transitions are deliberately simple `Vec`-backed
+//! structures: query automata have tens of states, and the evaluator's hot
+//! path only ever asks for the (label-sorted) outgoing transitions of a
+//! state ([`WeightedNfa::transitions_from`], the paper's `NextStates`).
+
+pub mod approx;
+pub mod decompose;
+pub mod epsilon;
+pub mod error;
+pub mod label;
+pub mod nfa;
+pub mod relax;
+pub mod resolver;
+pub mod reverse;
+pub mod simulate;
+pub mod thompson;
+
+pub use approx::{approximate, ApproxConfig};
+pub use decompose::decompose_alternation;
+pub use epsilon::remove_epsilons;
+pub use error::AutomatonError;
+pub use label::TransitionLabel;
+pub use nfa::{StateId, Transition, WeightedNfa};
+pub use relax::{relax, RelaxConfig};
+pub use resolver::{LabelResolver, MapResolver};
+pub use reverse::reverse;
+pub use thompson::build_nfa;

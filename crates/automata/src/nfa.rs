@@ -1,0 +1,363 @@
+//! The weighted NFA representation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::label::TransitionLabel;
+
+/// Identifier of an automaton state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One weighted transition `(from, label, cost, to)` — the representation
+/// described in Section 3.3 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Transition label.
+    pub label: TransitionLabel,
+    /// Non-negative cost (0 for exact transitions, the edit/relaxation cost
+    /// otherwise).
+    pub cost: u32,
+    /// Target state.
+    pub to: StateId,
+}
+
+/// A weighted NFA: states, a single initial state, weighted final states and
+/// weighted labelled transitions.
+///
+/// Final-state weights arise from weighted ε-removal (a path of ε-transitions
+/// with positive cost into a final state becomes a weight on the state
+/// itself, per the Handbook of Weighted Automata construction the paper
+/// cites).
+#[derive(Debug, Clone)]
+pub struct WeightedNfa {
+    state_count: u32,
+    initial: StateId,
+    finals: BTreeMap<StateId, u32>,
+    transitions: Vec<Transition>,
+    /// Outgoing transition indices per state; rebuilt lazily by `freeze`.
+    outgoing: Vec<Vec<u32>>,
+    frozen: bool,
+}
+
+impl WeightedNfa {
+    /// Creates an automaton with a single (initial) state and no transitions.
+    pub fn new() -> Self {
+        WeightedNfa {
+            state_count: 1,
+            initial: StateId(0),
+            finals: BTreeMap::new(),
+            transitions: Vec::new(),
+            outgoing: vec![Vec::new()],
+            frozen: true,
+        }
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.state_count);
+        self.state_count += 1;
+        self.outgoing.push(Vec::new());
+        id
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count as usize
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.state_count).map(StateId)
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, state: StateId) {
+        debug_assert!(state.0 < self.state_count);
+        self.initial = state;
+    }
+
+    /// Marks `state` final with the given weight, keeping the minimum weight
+    /// if it was already final.
+    pub fn add_final(&mut self, state: StateId, weight: u32) {
+        debug_assert!(state.0 < self.state_count);
+        self.finals
+            .entry(state)
+            .and_modify(|w| *w = (*w).min(weight))
+            .or_insert(weight);
+    }
+
+    /// Whether `state` is final.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals.contains_key(&state)
+    }
+
+    /// The weight of final state `state` (the paper's `weight(s)`), or `None`
+    /// if it is not final.
+    pub fn final_weight(&self, state: StateId) -> Option<u32> {
+        self.finals.get(&state).copied()
+    }
+
+    /// Iterates over `(state, weight)` for all final states.
+    pub fn finals(&self) -> impl Iterator<Item = (StateId, u32)> + '_ {
+        self.finals.iter().map(|(&s, &w)| (s, w))
+    }
+
+    /// Adds a transition. Duplicate `(from, label, to)` triples keep the
+    /// minimum cost.
+    pub fn add_transition(
+        &mut self,
+        from: StateId,
+        label: TransitionLabel,
+        cost: u32,
+        to: StateId,
+    ) {
+        debug_assert!(from.0 < self.state_count && to.0 < self.state_count);
+        if let Some(existing) = self
+            .transitions
+            .iter_mut()
+            .find(|t| t.from == from && t.to == to && t.label == label)
+        {
+            existing.cost = existing.cost.min(cost);
+            return;
+        }
+        self.transitions.push(Transition {
+            from,
+            label,
+            cost,
+            to,
+        });
+        self.frozen = false;
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the automaton contains any ε-transition.
+    pub fn has_epsilon_transitions(&self) -> bool {
+        self.transitions.iter().any(|t| t.label.is_epsilon())
+    }
+
+    /// Sorts each state's outgoing transitions by label so that identical
+    /// labels are consecutive (the property the paper's `Succ` relies on to
+    /// avoid repeated neighbour lookups), and builds the per-state index.
+    ///
+    /// Called automatically by [`WeightedNfa::transitions_from`] when needed.
+    pub fn freeze(&mut self) {
+        for out in &mut self.outgoing {
+            out.clear();
+        }
+        let mut order: Vec<u32> = (0..self.transitions.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let (ta, tb) = (&self.transitions[a as usize], &self.transitions[b as usize]);
+            ta.label
+                .cmp(&tb.label)
+                .then(ta.cost.cmp(&tb.cost))
+                .then(ta.to.cmp(&tb.to))
+        });
+        for idx in order {
+            let from = self.transitions[idx as usize].from;
+            self.outgoing[from.index()].push(idx);
+        }
+        self.frozen = true;
+    }
+
+    /// The outgoing transitions of `state`, sorted by label — the paper's
+    /// `NextStates(s)`.
+    ///
+    /// # Panics
+    /// Panics if transitions were added after the last [`WeightedNfa::freeze`]
+    /// call; evaluators must freeze the automaton once construction is done.
+    pub fn transitions_from(&self, state: StateId) -> impl Iterator<Item = &Transition> + '_ {
+        assert!(
+            self.frozen,
+            "WeightedNfa::freeze must be called after construction"
+        );
+        self.outgoing[state.index()]
+            .iter()
+            .map(move |&i| &self.transitions[i as usize])
+    }
+
+    /// Whether the automaton is frozen (per-state indexes up to date).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Labels on transitions leaving the initial state (used by the `Open`
+    /// procedure to seed evaluation for `(?X, R, ?Y)` conjuncts).
+    pub fn initial_labels(&self) -> Vec<&TransitionLabel> {
+        self.transitions
+            .iter()
+            .filter(|t| t.from == self.initial)
+            .map(|t| &t.label)
+            .collect()
+    }
+
+    /// The smallest strictly positive cost among transitions and final-state
+    /// weights (`None` for an exact automaton). The distance-aware
+    /// optimisation uses this as its escalation step φ.
+    pub fn min_positive_cost(&self) -> Option<u32> {
+        self.transitions
+            .iter()
+            .map(|t| t.cost)
+            .chain(self.finals.values().copied())
+            .filter(|&c| c > 0)
+            .min()
+    }
+}
+
+impl Default for WeightedNfa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for WeightedNfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "NFA: {} states, {} transitions, initial {}",
+            self.state_count,
+            self.transitions.len(),
+            self.initial
+        )?;
+        for t in &self.transitions {
+            writeln!(f, "  {} --{}/{}--> {}", t.from, t.label, t.cost, t.to)?;
+        }
+        for (s, w) in &self.finals {
+            writeln!(f, "  final {s} (weight {w})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str) -> TransitionLabel {
+        TransitionLabel::symbol(None, false, name)
+    }
+
+    #[test]
+    fn new_automaton_has_one_state() {
+        let nfa = WeightedNfa::new();
+        assert_eq!(nfa.state_count(), 1);
+        assert_eq!(nfa.initial(), StateId(0));
+        assert!(!nfa.is_final(StateId(0)));
+    }
+
+    #[test]
+    fn add_states_and_transitions() {
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), sym("a"), 0, s1);
+        nfa.add_final(s1, 0);
+        nfa.freeze();
+        assert_eq!(nfa.transition_count(), 1);
+        assert_eq!(nfa.transitions_from(nfa.initial()).count(), 1);
+        assert_eq!(nfa.transitions_from(s1).count(), 0);
+        assert!(nfa.is_final(s1));
+        assert_eq!(nfa.final_weight(s1), Some(0));
+    }
+
+    #[test]
+    fn duplicate_transitions_keep_min_cost() {
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), sym("a"), 5, s1);
+        nfa.add_transition(nfa.initial(), sym("a"), 2, s1);
+        nfa.add_transition(nfa.initial(), sym("a"), 9, s1);
+        assert_eq!(nfa.transition_count(), 1);
+        assert_eq!(nfa.transitions()[0].cost, 2);
+    }
+
+    #[test]
+    fn duplicate_finals_keep_min_weight() {
+        let mut nfa = WeightedNfa::new();
+        nfa.add_final(StateId(0), 3);
+        nfa.add_final(StateId(0), 1);
+        nfa.add_final(StateId(0), 7);
+        assert_eq!(nfa.final_weight(StateId(0)), Some(1));
+    }
+
+    #[test]
+    fn transitions_from_groups_identical_labels() {
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        let s2 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), sym("b"), 0, s1);
+        nfa.add_transition(nfa.initial(), sym("a"), 0, s1);
+        nfa.add_transition(nfa.initial(), sym("b"), 0, s2);
+        nfa.add_transition(nfa.initial(), sym("a"), 0, s2);
+        nfa.freeze();
+        let labels: Vec<String> = nfa
+            .transitions_from(nfa.initial())
+            .map(|t| t.label.to_string())
+            .collect();
+        assert_eq!(labels, vec!["a", "a", "b", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze")]
+    fn unfrozen_access_panics() {
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), sym("a"), 0, s1);
+        let _ = nfa.transitions_from(nfa.initial()).count();
+    }
+
+    #[test]
+    fn min_positive_cost() {
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), sym("a"), 0, s1);
+        assert_eq!(nfa.min_positive_cost(), None);
+        nfa.add_transition(nfa.initial(), TransitionLabel::Any, 3, s1);
+        nfa.add_transition(nfa.initial(), TransitionLabel::AnyForward, 2, s1);
+        assert_eq!(nfa.min_positive_cost(), Some(2));
+    }
+
+    #[test]
+    fn initial_labels() {
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), sym("a"), 0, s1);
+        nfa.add_transition(s1, sym("b"), 0, s1);
+        assert_eq!(nfa.initial_labels().len(), 1);
+    }
+}

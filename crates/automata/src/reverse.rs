@@ -1,0 +1,127 @@
+//! Automaton reversal.
+//!
+//! A conjunct `(?X, R, C)` is evaluated as `(C, R-, ?X)` (Case 2 of the
+//! paper's `Open` procedure): evaluation starts from the constant `C` and
+//! follows the *reversal* of `R`, flipping the traversal direction of every
+//! label. The paper performs this reversal on the NFA in linear time [Zhu &
+//! Ko]; we do the same here.
+
+use crate::nfa::{StateId, WeightedNfa};
+
+/// Reverses `nfa`: the returned automaton accepts exactly the reversed words
+/// of `nfa`'s language, with every symbol's traversal direction flipped, at
+/// the same cost.
+///
+/// Because [`WeightedNfa`] has a single initial state but possibly several
+/// final states, the reversal introduces a fresh initial state with
+/// ε-transitions (weighted by the original final weights) to the original
+/// final states; callers should run [`crate::remove_epsilons`] afterwards,
+/// which they already do as part of conjunct initialisation.
+pub fn reverse(nfa: &WeightedNfa) -> WeightedNfa {
+    let mut out = WeightedNfa::new();
+    // Allocate one state per original state; `mapping[i]` is the new id of
+    // original state i (shifted by one because `out` pre-allocates its
+    // initial state).
+    let mapping: Vec<StateId> = nfa.states().map(|_| out.add_state()).collect();
+
+    for t in nfa.transitions() {
+        out.add_transition(
+            mapping[t.to.index()],
+            t.label.flipped(),
+            t.cost,
+            mapping[t.from.index()],
+        );
+    }
+    // New initial state branches to the original finals, carrying their
+    // weights.
+    for (state, weight) in nfa.finals() {
+        out.add_transition(
+            out.initial(),
+            crate::label::TransitionLabel::Epsilon,
+            weight,
+            mapping[state.index()],
+        );
+    }
+    // The original initial state becomes the unique final state.
+    out.add_final(mapping[nfa.initial().index()], 0);
+    out.freeze();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::remove_epsilons;
+    use crate::resolver::MapResolver;
+    use crate::simulate::min_accept_cost;
+    use crate::thompson::build_nfa;
+    use omega_regex::{parse, Symbol};
+
+    fn reversed_word(word: &[Symbol]) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = word.iter().map(Symbol::flipped).collect();
+        out.reverse();
+        out
+    }
+
+    #[test]
+    fn reversal_accepts_reversed_words() {
+        let resolver = MapResolver::new();
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![Symbol::forward("a")],
+            vec![Symbol::forward("a"), Symbol::forward("b")],
+            vec![Symbol::inverse("a"), Symbol::forward("b")],
+            vec![Symbol::forward("b"), Symbol::forward("c")],
+            vec![Symbol::forward("a"), Symbol::forward("b"), Symbol::forward("c")],
+        ];
+        for expr in ["a.b", "a-.b", "a.b|c", "a*.b", "(a.b)+", "a.(b|c)*"] {
+            let nfa = build_nfa(&parse(expr).unwrap(), &resolver);
+            let rev = remove_epsilons(&reverse(&nfa));
+            for word in &words {
+                assert_eq!(
+                    min_accept_cost(&nfa, word),
+                    min_accept_cost(&rev, &reversed_word(word)),
+                    "reversal mismatch for {expr} on {word:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_reversal_preserves_language() {
+        let resolver = MapResolver::new();
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![Symbol::forward("a")],
+            vec![Symbol::inverse("b"), Symbol::forward("a")],
+            vec![Symbol::forward("a"), Symbol::forward("a")],
+        ];
+        for expr in ["a", "a.b-", "a+|b", "a*"] {
+            let nfa = build_nfa(&parse(expr).unwrap(), &resolver);
+            let double = remove_epsilons(&reverse(&remove_epsilons(&reverse(&nfa))));
+            for word in &words {
+                assert_eq!(
+                    min_accept_cost(&nfa, word),
+                    min_accept_cost(&double, word),
+                    "double reversal mismatch for {expr} on {word:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn final_weights_are_preserved_through_reversal() {
+        use crate::label::TransitionLabel;
+        let mut nfa = WeightedNfa::new();
+        let s1 = nfa.add_state();
+        nfa.add_transition(nfa.initial(), TransitionLabel::symbol(None, false, "a"), 2, s1);
+        nfa.add_final(s1, 3);
+        nfa.freeze();
+        let rev = remove_epsilons(&reverse(&nfa));
+        assert_eq!(
+            min_accept_cost(&rev, &[Symbol::inverse("a")]),
+            Some(5),
+            "cost must be preserved (2 transition + 3 final weight)"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: NFA construction, ε-removal, reversal and APPROX
+//! agree with reference semantics on randomly generated regular expressions
+//! and words.
+
+use omega_automata::{
+    approximate, build_nfa, remove_epsilons, reverse, ApproxConfig, MapResolver,
+};
+use omega_automata::simulate::{accepts, min_accept_cost};
+use omega_regex::{oracle, RpqRegex, Symbol};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_regex() -> impl Strategy<Value = RpqRegex> {
+    let leaf = prop_oneof![
+        Just(RpqRegex::Epsilon),
+        (0usize..LABELS.len(), any::<bool>()).prop_map(|(i, inv)| {
+            if inv {
+                RpqRegex::inverse_label(LABELS[i])
+            } else {
+                RpqRegex::label(LABELS[i])
+            }
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RpqRegex::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RpqRegex::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| RpqRegex::Star(Box::new(a))),
+            inner.prop_map(|a| RpqRegex::Plus(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec((0usize..LABELS.len(), any::<bool>()), 0..6).prop_map(|syms| {
+        syms.into_iter()
+            .map(|(i, inv)| Symbol {
+                label: LABELS[i].to_owned(),
+                inverse: inv,
+            })
+            .collect()
+    })
+}
+
+fn resolver() -> MapResolver {
+    let mut r = MapResolver::new();
+    for l in LABELS {
+        r.add_label(l);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Thompson NFA accepts exactly the words the naive oracle accepts.
+    #[test]
+    fn nfa_agrees_with_oracle(regex in arb_regex(), word in arb_word()) {
+        let nfa = build_nfa(&regex, &resolver());
+        prop_assert_eq!(accepts(&nfa, &word), oracle::matches(&regex, &word));
+    }
+
+    /// ε-removal preserves the weighted language.
+    #[test]
+    fn epsilon_removal_preserves_language(regex in arb_regex(), word in arb_word()) {
+        let nfa = build_nfa(&regex, &resolver());
+        let cleaned = remove_epsilons(&nfa);
+        prop_assert!(!cleaned.has_epsilon_transitions());
+        prop_assert_eq!(min_accept_cost(&nfa, &word), min_accept_cost(&cleaned, &word));
+    }
+
+    /// Parsing the displayed form of an expression yields the same language.
+    #[test]
+    fn display_round_trip_preserves_language(regex in arb_regex(), word in arb_word()) {
+        let reparsed = omega_regex::parse(&regex.to_string()).unwrap();
+        prop_assert_eq!(
+            oracle::matches(&regex, &word),
+            oracle::matches(&reparsed, &word)
+        );
+    }
+
+    /// The reversed automaton accepts exactly the reversed (and
+    /// direction-flipped) words.
+    #[test]
+    fn reversal_matches_reversed_words(regex in arb_regex(), word in arb_word()) {
+        let nfa = build_nfa(&regex, &resolver());
+        let rev = remove_epsilons(&reverse(&nfa));
+        let mut rev_word: Vec<Symbol> = word.iter().map(Symbol::flipped).collect();
+        rev_word.reverse();
+        prop_assert_eq!(min_accept_cost(&nfa, &word), min_accept_cost(&rev, &rev_word));
+    }
+
+    /// APPROX: every word is accepted at some finite cost, exact words stay
+    /// at cost 0, and the cost never exceeds (|word| deletions of query
+    /// symbols are not needed: inserting every word symbol and deleting the
+    /// whole query) — we check the weaker, always-valid bound that the cost
+    /// is at most |word| * insertion + (cost of accepting the empty word).
+    #[test]
+    fn approx_accepts_everything_with_bounded_cost(regex in arb_regex(), word in arb_word()) {
+        let config = ApproxConfig::default();
+        let nfa = build_nfa(&regex, &resolver());
+        let approx = remove_epsilons(&approximate(&nfa, &config));
+        let cost = min_accept_cost(&approx, &word);
+        prop_assert!(cost.is_some());
+        if oracle::matches(&regex, &word) {
+            prop_assert_eq!(cost, Some(0));
+        }
+        let empty_cost = min_accept_cost(&approx, &[]).unwrap();
+        let bound = empty_cost + word.len() as u32 * config.insertion;
+        prop_assert!(cost.unwrap() <= bound, "cost {:?} exceeds bound {}", cost, bound);
+    }
+
+    /// The minimum acceptance cost of the APPROX automaton never exceeds the
+    /// exact automaton's (approximation only adds cheaper alternatives).
+    #[test]
+    fn approx_cost_is_monotone(regex in arb_regex(), word in arb_word()) {
+        let nfa = build_nfa(&regex, &resolver());
+        let exact = remove_epsilons(&nfa);
+        let approx = remove_epsilons(&approximate(&nfa, &ApproxConfig::default()));
+        if let Some(exact_cost) = min_accept_cost(&exact, &word) {
+            prop_assert!(min_accept_cost(&approx, &word).unwrap() <= exact_cost);
+        }
+    }
+}

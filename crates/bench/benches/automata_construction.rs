@@ -1,0 +1,68 @@
+//! Micro-benchmarks of conjunct initialisation (Section 3.3): NFA
+//! construction, APPROX/RELAX augmentation and weighted ε-removal for every
+//! query expression in the two published query sets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omega_automata::{approximate, build_nfa, relax, remove_epsilons, ApproxConfig, RelaxConfig};
+use omega_bench::yago_dataset;
+use omega_datagen::{l4all_queries, yago_queries};
+use omega_regex::parse;
+
+fn regexes() -> Vec<String> {
+    l4all_queries()
+        .iter()
+        .chain(yago_queries().iter())
+        .map(|spec| {
+            // extract the middle component of "(X, R, Y)"
+            let inner = spec.text.split("<-").nth(1).unwrap();
+            let inner = inner.trim().trim_start_matches('(').trim_end_matches(')');
+            let parts: Vec<&str> = inner.split(',').collect();
+            parts[1..parts.len() - 1].join(",").trim().to_owned()
+        })
+        .collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let dataset = yago_dataset(0.05);
+    let exprs = regexes();
+    let mut group = c.benchmark_group("automata_construction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("thompson_and_epsilon_removal", |b| {
+        b.iter(|| {
+            for expr in &exprs {
+                let regex = parse(expr).expect("query regex parses");
+                let nfa = build_nfa(&regex, &dataset.graph);
+                criterion::black_box(remove_epsilons(&nfa));
+            }
+        })
+    });
+    group.bench_function("approx_augmentation", |b| {
+        b.iter(|| {
+            for expr in &exprs {
+                let regex = parse(expr).expect("query regex parses");
+                let nfa = build_nfa(&regex, &dataset.graph);
+                criterion::black_box(remove_epsilons(&approximate(&nfa, &ApproxConfig::default())));
+            }
+        })
+    });
+    group.bench_function("relax_augmentation", |b| {
+        b.iter(|| {
+            for expr in &exprs {
+                let regex = parse(expr).expect("query regex parses");
+                let nfa = build_nfa(&regex, &dataset.graph);
+                criterion::black_box(remove_epsilons(&relax(
+                    &nfa,
+                    &dataset.ontology,
+                    &RelaxConfig::default(),
+                    &dataset.graph,
+                )));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Section 4.1 claim: exact regular path query evaluation in Omega is
+//! competitive with plain NFA-based (product-automaton BFS) evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_bench::{engine_for, figure5_query_ids, l4all_dataset, run_query};
+use omega_core::{parse_query, BaselineEvaluator, EvalOptions};
+use omega_datagen::{l4all_queries, L4AllScale};
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_vs_ranked");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let dataset = l4all_dataset(L4AllScale::L1);
+    let omega = engine_for(&dataset, EvalOptions::default());
+    for spec in l4all_queries() {
+        if !figure5_query_ids().contains(&spec.id) {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("ranked", spec.id), &spec, |b, spec| {
+            b.iter(|| run_query(&omega, spec.id, "", spec.text))
+        });
+        let query = parse_query(spec.text).unwrap();
+        group.bench_with_input(BenchmarkId::new("bfs", spec.id), &query, |b, query| {
+            b.iter(|| {
+                let mut bfs = BaselineEvaluator::new(
+                    &query.conjuncts[0],
+                    &dataset.graph,
+                    &dataset.ontology,
+                    &EvalOptions::default(),
+                )
+                .unwrap();
+                bfs.run().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 6: execution time of the exact L4All queries (run to completion)
+//! across the L4All data graphs.
+//!
+//! The full paper sweep covers L1–L4; the Criterion bench keeps to L1 and L2
+//! so `cargo bench` finishes quickly — run the `experiments` binary with
+//! `--full` for the complete sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_bench::{engine_for, figure5_query_ids, l4all_dataset, run_query};
+use omega_core::EvalOptions;
+use omega_datagen::{l4all_queries, L4AllScale};
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_l4all_exact");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for scale in [L4AllScale::L1, L4AllScale::L2] {
+        let dataset = l4all_dataset(scale);
+        let omega = engine_for(&dataset, EvalOptions::default());
+        for spec in l4all_queries() {
+            if !figure5_query_ids().contains(&spec.id) {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(spec.id, scale.name()),
+                &spec,
+                |b, spec| b.iter(|| run_query(&omega, spec.id, "", spec.text)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 8: execution time of the RELAX L4All queries (top-100 answers)
+//! across the L4All data graphs (L1/L2 in the Criterion bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_bench::{engine_for, figure5_query_ids, l4all_dataset, run_query};
+use omega_core::EvalOptions;
+use omega_datagen::{l4all_queries, L4AllScale};
+
+fn bench_relax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_l4all_relax");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for scale in [L4AllScale::L1, L4AllScale::L2] {
+        let dataset = l4all_dataset(scale);
+        let omega = engine_for(&dataset, EvalOptions::default());
+        for spec in l4all_queries() {
+            if !figure5_query_ids().contains(&spec.id) {
+                continue;
+            }
+            let text = spec.with_operator("RELAX");
+            group.bench_with_input(
+                BenchmarkId::new(spec.id, scale.name()),
+                &text,
+                |b, text| b.iter(|| run_query(&omega, spec.id, "RELAX", text)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relax);
+criterion_main!(benches);

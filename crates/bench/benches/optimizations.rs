@@ -1,0 +1,102 @@
+//! Section 4.3: the two query-execution optimisations as ablations —
+//! distance-aware retrieval (L4All Q3/Q9, YAGO Q2/Q3) and replacing
+//! alternation by disjunction (YAGO Q9) — plus the final-tuple
+//! prioritisation and initial-node batching refinements of Section 3.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_bench::{engine_for, l4all_dataset, run_query, yago_dataset};
+use omega_core::EvalOptions;
+use omega_datagen::{l4all_queries, yago_queries, L4AllScale};
+
+fn bench_distance_aware(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_distance_aware");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let l4all = l4all_dataset(L4AllScale::L1);
+    let yago = yago_dataset(0.25);
+    let cases = vec![
+        ("l4all_q3", engine_for(&l4all, EvalOptions::default()), engine_for(&l4all, EvalOptions::default().with_distance_aware(true)), l4all_queries()[2].clone()),
+        ("l4all_q9", engine_for(&l4all, EvalOptions::default()), engine_for(&l4all, EvalOptions::default().with_distance_aware(true)), l4all_queries()[8].clone()),
+        ("yago_q2", engine_for(&yago, EvalOptions::default()), engine_for(&yago, EvalOptions::default().with_distance_aware(true)), yago_queries()[1].clone()),
+        ("yago_q3", engine_for(&yago, EvalOptions::default()), engine_for(&yago, EvalOptions::default().with_distance_aware(true)), yago_queries()[2].clone()),
+    ];
+    for (name, baseline, optimised, spec) in &cases {
+        let text = spec.with_operator("APPROX");
+        group.bench_with_input(BenchmarkId::new("off", name), &text, |b, text| {
+            b.iter(|| run_query(baseline, spec.id, "APPROX", text))
+        });
+        group.bench_with_input(BenchmarkId::new("on", name), &text, |b, text| {
+            b.iter(|| run_query(optimised, spec.id, "APPROX", text))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjunction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_disjunction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let yago = yago_dataset(0.25);
+    let spec = yago_queries()[8].clone();
+    let text = spec.with_operator("APPROX");
+    let baseline = engine_for(&yago, EvalOptions::default());
+    let optimised = engine_for(
+        &yago,
+        EvalOptions::default().with_disjunction_decomposition(true),
+    );
+    group.bench_function("yago_q9_off", |b| {
+        b.iter(|| run_query(&baseline, spec.id, "APPROX", &text))
+    });
+    group.bench_function("yago_q9_on", |b| {
+        b.iter(|| run_query(&optimised, spec.id, "APPROX", &text))
+    });
+    group.finish();
+}
+
+fn bench_final_prioritisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_final_prioritisation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let l4all = l4all_dataset(L4AllScale::L1);
+    let with = engine_for(&l4all, EvalOptions::default());
+    let without = engine_for(&l4all, EvalOptions::default().without_final_prioritization());
+    let spec = l4all_queries()[8].clone(); // Q9
+    let text = spec.with_operator("APPROX");
+    group.bench_function("on", |b| b.iter(|| run_query(&with, spec.id, "APPROX", &text)));
+    group.bench_function("off", |b| {
+        b.iter(|| run_query(&without, spec.id, "APPROX", &text))
+    });
+    group.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_initial_node_batching");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let l4all = l4all_dataset(L4AllScale::L1);
+    let spec = l4all_queries()[4].clone(); // Q5: (?X, next+, ?Y)
+    for batch in [1usize, 100, 100_000] {
+        let engine = engine_for(&l4all, EvalOptions::default().with_batch_size(batch));
+        group.bench_with_input(BenchmarkId::new("batch", batch), &spec, |b, spec| {
+            b.iter(|| {
+                engine
+                    .execute(spec.text, Some(100))
+                    .expect("query succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_aware,
+    bench_disjunction,
+    bench_final_prioritisation,
+    bench_batch_size
+);
+criterion_main!(benches);

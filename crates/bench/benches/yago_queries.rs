@@ -1,0 +1,37 @@
+//! Figures 10/11: the YAGO query set in exact, APPROX and RELAX modes
+//! (top-100 answers for the flexible operators) on the YAGO-like graph.
+//!
+//! The Criterion bench uses a quarter-scale graph; the `experiments` binary
+//! with `--full` uses the full-size synthetic graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_bench::{engine_for, figure10_query_ids, run_query, yago_dataset};
+use omega_core::EvalOptions;
+use omega_datagen::yago_queries;
+
+fn bench_yago(c: &mut Criterion) {
+    let dataset = yago_dataset(0.25);
+    let omega = engine_for(&dataset, EvalOptions::default());
+    let mut group = c.benchmark_group("fig11_yago");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for spec in yago_queries() {
+        if !figure10_query_ids().contains(&spec.id) {
+            continue;
+        }
+        for operator in ["", "APPROX", "RELAX"] {
+            let text = spec.with_operator(operator);
+            let label = if operator.is_empty() { "exact" } else { operator };
+            group.bench_with_input(
+                BenchmarkId::new(spec.id, label),
+                &text,
+                |b, text| b.iter(|| run_query(&omega, spec.id, operator, text)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_yago);
+criterion_main!(benches);

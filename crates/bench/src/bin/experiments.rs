@@ -1,0 +1,104 @@
+//! The experiment driver: regenerates every table and figure of the paper's
+//! evaluation section as plain-text tables.
+//!
+//! ```text
+//! experiments [FIGURE ...] [--quick | --full] [--yago-scale F] [--max-scale L1|L2|L3|L4]
+//!
+//! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance opt-disjunction baseline all
+//! ```
+//!
+//! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
+//! graph; `--full` runs all four L4All scales and the full-size synthetic
+//! YAGO graph (several minutes).
+
+use omega_bench::*;
+use omega_core::EvalOptions;
+use omega_datagen::L4AllScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<String> = Vec::new();
+    let mut config = RunConfig::quick();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config = RunConfig::quick(),
+            "--full" => config = RunConfig::full(),
+            "--yago-scale" => {
+                let value = iter.next().expect("--yago-scale needs a value");
+                config.yago_scale = value.parse().expect("--yago-scale needs a number");
+            }
+            "--max-scale" => {
+                let value = iter.next().expect("--max-scale needs a value");
+                config.max_scale = match value.as_str() {
+                    "L1" => L4AllScale::L1,
+                    "L2" => L4AllScale::L2,
+                    "L3" => L4AllScale::L3,
+                    "L4" => L4AllScale::L4,
+                    other => panic!("unknown scale {other}"),
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
+                     opt-distance opt-disjunction baseline all] [--quick|--full] \
+                     [--yago-scale F] [--max-scale L1..L4]"
+                );
+                return;
+            }
+            other => figures.push(other.to_owned()),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_owned());
+    }
+    let all = figures.iter().any(|f| f == "all");
+    let wants = |name: &str| all || figures.iter().any(|f| f == name);
+    let options = EvalOptions::default();
+
+    println!(
+        "# Omega-RS experiment run (max L4All scale {}, YAGO scale {:.2})\n",
+        config.max_scale.name(),
+        config.yago_scale
+    );
+
+    if wants("fig2") {
+        println!("{}", figure2());
+    }
+    if wants("fig3") {
+        println!("{}", figure3(&config));
+    }
+    if wants("fig5") || wants("fig6") || wants("fig7") || wants("fig8") {
+        let rows = l4all_study(&config, &options);
+        if wants("fig5") {
+            println!("{}", figure5(&rows));
+        }
+        if wants("fig6") {
+            println!("{}", figure_times(&rows, "exact", "Figure 6"));
+        }
+        if wants("fig7") {
+            println!("{}", figure_times(&rows, "APPROX", "Figure 7"));
+        }
+        if wants("fig8") {
+            println!("{}", figure_times(&rows, "RELAX", "Figure 8"));
+        }
+    }
+    if wants("fig10") || wants("fig11") {
+        let rows = yago_study(&config, &options);
+        if wants("fig10") {
+            println!("{}", figure10(&rows));
+        }
+        if wants("fig11") {
+            println!("{}", figure11(&rows));
+        }
+    }
+    if wants("opt-distance") {
+        println!("{}", optimisation_distance_aware(&config));
+    }
+    if wants("opt-disjunction") {
+        println!("{}", optimisation_disjunction(&config));
+    }
+    if wants("baseline") {
+        println!("{}", baseline_comparison(&config));
+    }
+}

@@ -1,0 +1,544 @@
+//! # omega-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section 4), plus the Criterion micro/macro benchmarks.
+//!
+//! The `experiments` binary prints the figures as text tables:
+//!
+//! ```text
+//! cargo run -p omega-bench --release --bin experiments -- all --quick
+//! cargo run -p omega-bench --release --bin experiments -- fig5 --scales L1,L2
+//! ```
+//!
+//! Each figure has a corresponding function here returning the formatted
+//! table, so integration tests can assert on the *shape* of the results
+//! (which queries return zero exact answers, which explode under APPROX,
+//! which optimisations help) without going through the binary.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use omega_core::{EvalOptions, Omega, OmegaError};
+use omega_datagen::{
+    generate_l4all, generate_yago, l4all_queries, yago_queries, Dataset, L4AllConfig, L4AllScale,
+    QuerySpec, YagoConfig,
+};
+use omega_graph::GraphStats;
+use omega_ontology::HierarchyStats;
+
+/// Evaluation methodology constants from Section 4.1: flexible queries fetch
+/// the top `TOP_K` answers in `BATCH` batches of ten.
+pub const TOP_K: usize = 100;
+/// Batch size used when fetching the top-K answers.
+pub const BATCH: usize = 10;
+/// Live-tuple budget used to reproduce the paper's out-of-memory failures
+/// ("?" entries in Figure 10) deterministically.
+pub const MEMORY_BUDGET: usize = 2_000_000;
+
+/// Which L4All scales an experiment run covers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Largest L4All scale to generate (inclusive).
+    pub max_scale: L4AllScale,
+    /// Scale factor of the YAGO-like graph.
+    pub yago_scale: f64,
+}
+
+impl RunConfig {
+    /// Quick configuration: L1–L2 and a small YAGO graph. Finishes in well
+    /// under a minute on a laptop.
+    pub fn quick() -> RunConfig {
+        RunConfig {
+            max_scale: L4AllScale::L2,
+            yago_scale: 0.25,
+        }
+    }
+
+    /// Full configuration: all four L4All scales and the default YAGO size.
+    pub fn full() -> RunConfig {
+        RunConfig {
+            max_scale: L4AllScale::L4,
+            yago_scale: 1.0,
+        }
+    }
+
+    /// The L4All scales included in this configuration.
+    pub fn scales(&self) -> Vec<L4AllScale> {
+        L4AllScale::all()
+            .into_iter()
+            .take_while(|s| {
+                s.timelines() <= self.max_scale.timelines()
+            })
+            .collect()
+    }
+}
+
+/// The result of one timed query run.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// Query identifier (paper numbering).
+    pub id: String,
+    /// Operator applied ("exact", "APPROX" or "RELAX").
+    pub operator: String,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Number of answers returned.
+    pub answers: usize,
+    /// Number of answers per non-zero distance.
+    pub distances: BTreeMap<u32, usize>,
+    /// Whether the run aborted on the memory budget (the paper's "?").
+    pub exhausted: bool,
+}
+
+impl QueryRun {
+    /// Formats the distance breakdown the way Figure 5 does:
+    /// `1 (32) 2 (67)` means 32 answers at distance 1 and 67 at distance 2.
+    pub fn distance_summary(&self) -> String {
+        self.distances
+            .iter()
+            .filter(|(d, _)| **d > 0)
+            .map(|(d, n)| format!("{d} ({n})"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Builds an engine over a dataset with the evaluation options used in the
+/// performance study (unit costs, batch size 100) plus a memory budget.
+pub fn engine_for(dataset: &Dataset, options: EvalOptions) -> Omega {
+    Omega::with_options(
+        dataset.graph.clone(),
+        dataset.ontology.clone(),
+        options.with_max_tuples(Some(MEMORY_BUDGET)),
+    )
+}
+
+/// Generates (and caches nothing — generation is deterministic and fast
+/// relative to the large-query runtimes) the L4All dataset at `scale`.
+pub fn l4all_dataset(scale: L4AllScale) -> Dataset {
+    generate_l4all(&L4AllConfig::at_scale(scale))
+}
+
+/// Generates the YAGO-like dataset at the given scale factor.
+pub fn yago_dataset(scale: f64) -> Dataset {
+    generate_yago(&YagoConfig::scaled(scale))
+}
+
+/// Runs one query with the paper's methodology: exact queries run to
+/// completion; APPROX/RELAX queries fetch the top-[`TOP_K`] answers in
+/// batches of [`BATCH`].
+pub fn run_query(omega: &Omega, id: &str, operator: &str, text: &str) -> QueryRun {
+    let start = Instant::now();
+    let mut distances = BTreeMap::new();
+    let mut exhausted = false;
+    let mut answers = 0usize;
+
+    let result = if operator.is_empty() {
+        omega.execute(text, None)
+    } else {
+        omega.execute(text, Some(TOP_K))
+    };
+    match result {
+        Ok(found) => {
+            answers = found.len();
+            for a in &found {
+                *distances.entry(a.distance).or_insert(0) += 1;
+            }
+        }
+        Err(OmegaError::ResourceExhausted { .. }) => exhausted = true,
+        Err(other) => panic!("query {id} failed: {other}"),
+    }
+    QueryRun {
+        id: id.to_owned(),
+        operator: if operator.is_empty() {
+            "exact".to_owned()
+        } else {
+            operator.to_owned()
+        },
+        elapsed: start.elapsed(),
+        answers,
+        distances,
+        exhausted,
+    }
+}
+
+/// Runs the exact, APPROX and RELAX versions of a query.
+pub fn run_all_operators(omega: &Omega, spec: &QuerySpec) -> Vec<QueryRun> {
+    ["", "APPROX", "RELAX"]
+        .iter()
+        .map(|op| run_query(omega, spec.id, op, &spec.with_operator(op)))
+        .collect()
+}
+
+fn format_duration(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+// ----------------------------------------------------------------------
+// Figure generators
+// ----------------------------------------------------------------------
+
+/// Figure 2: characteristics of the L4All class hierarchies.
+pub fn figure2() -> String {
+    let dataset = generate_l4all(&L4AllConfig {
+        timelines: 1,
+        ..L4AllConfig::default()
+    });
+    let stats = HierarchyStats::compute_all(&dataset.ontology, &dataset.graph);
+    let mut out = String::from("Figure 2: class hierarchies of the L4All ontology\n");
+    out.push_str(&format!(
+        "{:<42} {:>5} {:>16} {:>8}\n",
+        "Class hierarchy", "Depth", "Average fan-out", "Classes"
+    ));
+    for h in stats {
+        out.push_str(&format!(
+            "{:<42} {:>5} {:>16.2} {:>8}\n",
+            h.root_label, h.depth, h.average_fanout, h.classes
+        ));
+    }
+    out
+}
+
+/// Figure 3: node and edge counts of the L4All graphs.
+pub fn figure3(config: &RunConfig) -> String {
+    let mut out = String::from("Figure 3: characteristics of the L4All data graphs\n");
+    out.push_str(&format!(
+        "{:<6} {:>10} {:>10} {:>12}\n",
+        "Graph", "Timelines", "Nodes", "Edges"
+    ));
+    for scale in config.scales() {
+        let dataset = l4all_dataset(scale);
+        let stats = GraphStats::compute(&dataset.graph);
+        out.push_str(&format!(
+            "{:<6} {:>10} {:>10} {:>12}\n",
+            scale.name(),
+            scale.timelines(),
+            stats.nodes,
+            stats.edges
+        ));
+    }
+    out.push_str("(published: L1 2,691/19,856  L2 15,188/118,088  L3 68,544/558,972  L4 240,519/1,861,959)\n");
+    out
+}
+
+/// The L4All queries the paper reports flexible results for in Figure 5.
+pub fn figure5_query_ids() -> [&'static str; 6] {
+    ["Q3", "Q8", "Q9", "Q10", "Q11", "Q12"]
+}
+
+/// Figures 5–8 share the same runs: every reported query, in all three
+/// operator modes, on every scale. Returns one row per (scale, query, mode).
+pub fn l4all_study(config: &RunConfig, options: &EvalOptions) -> Vec<(String, QueryRun)> {
+    let ids = figure5_query_ids();
+    let mut rows = Vec::new();
+    for scale in config.scales() {
+        let dataset = l4all_dataset(scale);
+        let omega = engine_for(&dataset, options.clone());
+        for spec in l4all_queries() {
+            if !ids.contains(&spec.id) {
+                continue;
+            }
+            for run in run_all_operators(&omega, &spec) {
+                rows.push((scale.name().to_owned(), run));
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 5: number of answers (and their distance breakdown) per query and
+/// data graph.
+pub fn figure5(rows: &[(String, QueryRun)]) -> String {
+    let mut out = String::from(
+        "Figure 5: results per query and data graph (answers; non-zero-distance breakdown)\n",
+    );
+    out.push_str(&format!(
+        "{:<5} {:<5} {:<8} {:>8}  {}\n",
+        "Graph", "Query", "Mode", "Answers", "distance (count)"
+    ));
+    for (scale, run) in rows {
+        out.push_str(&format!(
+            "{:<5} {:<5} {:<8} {:>8}  {}\n",
+            scale,
+            run.id,
+            run.operator,
+            if run.exhausted {
+                "?".to_owned()
+            } else {
+                run.answers.to_string()
+            },
+            run.distance_summary()
+        ));
+    }
+    out
+}
+
+/// Figures 6, 7, 8: execution times (ms) for exact / APPROX / RELAX L4All
+/// queries.
+pub fn figure_times(rows: &[(String, QueryRun)], operator: &str, figure: &str) -> String {
+    let mut out = format!("{figure}: execution time (ms), {operator} queries\n");
+    let mut scales: Vec<&str> = rows.iter().map(|(s, _)| s.as_str()).collect();
+    scales.dedup();
+    out.push_str(&format!("{:<6}", "Query"));
+    for s in &scales {
+        out.push_str(&format!(" {:>10}", s));
+    }
+    out.push('\n');
+    for id in figure5_query_ids() {
+        out.push_str(&format!("{id:<6}"));
+        for scale in &scales {
+            let cell = rows
+                .iter()
+                .find(|(s, run)| s == scale && run.id == id && run.operator == operator)
+                .map(|(_, run)| {
+                    if run.exhausted {
+                        "?".to_owned()
+                    } else {
+                        format_duration(run.elapsed)
+                    }
+                })
+                .unwrap_or_default();
+            out.push_str(&format!(" {cell:>10}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The YAGO queries reported in Figures 10 and 11.
+pub fn figure10_query_ids() -> [&'static str; 5] {
+    ["Q2", "Q3", "Q4", "Q5", "Q9"]
+}
+
+/// Runs the YAGO study (Figures 10 and 11).
+pub fn yago_study(config: &RunConfig, options: &EvalOptions) -> Vec<QueryRun> {
+    let dataset = yago_dataset(config.yago_scale);
+    let omega = engine_for(&dataset, options.clone());
+    let mut rows = Vec::new();
+    for spec in yago_queries() {
+        if !figure10_query_ids().contains(&spec.id) {
+            continue;
+        }
+        rows.extend(run_all_operators(&omega, &spec));
+    }
+    rows
+}
+
+/// Figure 10: YAGO answer counts and distance breakdowns ("?" = memory
+/// budget exhausted).
+pub fn figure10(rows: &[QueryRun]) -> String {
+    let mut out =
+        String::from("Figure 10: YAGO query results (answers; non-zero-distance breakdown)\n");
+    out.push_str(&format!(
+        "{:<5} {:<8} {:>8}  {}\n",
+        "Query", "Mode", "Answers", "distance (count)"
+    ));
+    for run in rows {
+        out.push_str(&format!(
+            "{:<5} {:<8} {:>8}  {}\n",
+            run.id,
+            run.operator,
+            if run.exhausted {
+                "?".to_owned()
+            } else {
+                run.answers.to_string()
+            },
+            run.distance_summary()
+        ));
+    }
+    out
+}
+
+/// Figure 11: YAGO execution times (ms).
+pub fn figure11(rows: &[QueryRun]) -> String {
+    let mut out = String::from("Figure 11: YAGO execution times (ms)\n");
+    out.push_str(&format!(
+        "{:<6} {:>10} {:>10} {:>10}\n",
+        "Query", "exact", "APPROX", "RELAX"
+    ));
+    for id in figure10_query_ids() {
+        let cell = |mode: &str| {
+            rows.iter()
+                .find(|r| r.id == id && r.operator == mode)
+                .map(|r| {
+                    if r.exhausted {
+                        "?".to_owned()
+                    } else {
+                        format_duration(r.elapsed)
+                    }
+                })
+                .unwrap_or_default()
+        };
+        out.push_str(&format!(
+            "{:<6} {:>10} {:>10} {:>10}\n",
+            id,
+            cell("exact"),
+            cell("APPROX"),
+            cell("RELAX")
+        ));
+    }
+    out
+}
+
+/// Section 4.3, first optimisation: distance-aware retrieval. Reports the
+/// time for the APPROX versions of L4All Q3/Q9 and YAGO Q2/Q3 with the
+/// optimisation off and on.
+pub fn optimisation_distance_aware(config: &RunConfig) -> String {
+    let mut out = String::from(
+        "Section 4.3 (distance-aware retrieval): APPROX top-100 time (ms), off vs on\n",
+    );
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>9}\n",
+        "Query", "baseline", "distance-aware", "speed-up"
+    ));
+    let l4all = l4all_dataset(config.scales().last().copied().unwrap_or(L4AllScale::L1));
+    let yago = yago_dataset(config.yago_scale);
+    let cases: Vec<(&str, &Dataset, QuerySpec)> = vec![
+        ("L4All Q3", &l4all, l4all_queries()[2].clone()),
+        ("L4All Q9", &l4all, l4all_queries()[8].clone()),
+        ("YAGO Q2", &yago, yago_queries()[1].clone()),
+        ("YAGO Q3", &yago, yago_queries()[2].clone()),
+    ];
+    for (name, dataset, spec) in cases {
+        let baseline_engine = engine_for(dataset, EvalOptions::default());
+        let optimised_engine =
+            engine_for(dataset, EvalOptions::default().with_distance_aware(true));
+        let text = spec.with_operator("APPROX");
+        let base = run_query(&baseline_engine, spec.id, "APPROX", &text);
+        let opt = run_query(&optimised_engine, spec.id, "APPROX", &text);
+        let speedup = base.elapsed.as_secs_f64() / opt.elapsed.as_secs_f64().max(1e-9);
+        out.push_str(&format!(
+            "{:<22} {:>12} {:>12} {:>8.1}x\n",
+            name,
+            format_duration(base.elapsed),
+            format_duration(opt.elapsed),
+            speedup
+        ));
+    }
+    out
+}
+
+/// Section 4.3, second optimisation: replacing alternation by disjunction,
+/// measured on YAGO Q9 (the paper's example).
+pub fn optimisation_disjunction(config: &RunConfig) -> String {
+    let mut out = String::from(
+        "Section 4.3 (alternation -> disjunction): APPROX top-100 time (ms), off vs on\n",
+    );
+    let yago = yago_dataset(config.yago_scale);
+    let spec = yago_queries()[8].clone();
+    let text = spec.with_operator("APPROX");
+    let plain_engine = engine_for(&yago, EvalOptions::default());
+    let optimised_engine = engine_for(
+        &yago,
+        EvalOptions::default().with_disjunction_decomposition(true),
+    );
+    let base = run_query(&plain_engine, spec.id, "APPROX", &text);
+    let opt = run_query(&optimised_engine, spec.id, "APPROX", &text);
+    out.push_str(&format!(
+        "YAGO Q9: baseline {} ms, decomposed {} ms ({:.1}x), answers {} vs {}\n",
+        format_duration(base.elapsed),
+        format_duration(opt.elapsed),
+        base.elapsed.as_secs_f64() / opt.elapsed.as_secs_f64().max(1e-9),
+        base.answers,
+        opt.answers
+    ));
+    out
+}
+
+/// The Section 4.1 claim that exact evaluation is competitive with plain
+/// NFA-based approaches: Omega's ranked evaluator vs the BFS baseline on the
+/// exact L4All queries.
+pub fn baseline_comparison(config: &RunConfig) -> String {
+    use omega_core::BaselineEvaluator;
+
+    let mut out = String::from(
+        "Baseline comparison: exact queries, ranked evaluator vs product-automaton BFS (ms)\n",
+    );
+    out.push_str(&format!(
+        "{:<6} {:>10} {:>10} {:>10}\n",
+        "Query", "ranked", "BFS", "answers"
+    ));
+    let scale = config.scales().last().copied().unwrap_or(L4AllScale::L1);
+    let dataset = l4all_dataset(scale);
+    let omega = engine_for(&dataset, EvalOptions::default());
+    for spec in l4all_queries() {
+        if !figure5_query_ids().contains(&spec.id) {
+            continue;
+        }
+        let ranked = run_query(&omega, spec.id, "", spec.text);
+        let query = omega_core::parse_query(spec.text).unwrap();
+        let start = Instant::now();
+        let mut bfs = BaselineEvaluator::new(
+            &query.conjuncts[0],
+            &dataset.graph,
+            &dataset.ontology,
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        let bfs_answers = bfs.run();
+        let bfs_elapsed = start.elapsed();
+        out.push_str(&format!(
+            "{:<6} {:>10} {:>10} {:>10}\n",
+            spec.id,
+            format_duration(ranked.elapsed),
+            format_duration(bfs_elapsed),
+            format!("{}/{}", ranked.answers, bfs_answers.len()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_config_scales() {
+        assert_eq!(RunConfig::quick().scales().len(), 2);
+        assert_eq!(RunConfig::full().scales().len(), 4);
+    }
+
+    #[test]
+    fn figure2_lists_all_five_hierarchies() {
+        let fig = figure2();
+        for name in [
+            "Episode",
+            "Subject",
+            "Occupation",
+            "Education Qualification Level",
+            "Industry Sector",
+        ] {
+            assert!(fig.contains(name), "missing {name} in:\n{fig}");
+        }
+    }
+
+    #[test]
+    fn query_run_distance_summary_format() {
+        let run = QueryRun {
+            id: "Q9".into(),
+            operator: "APPROX".into(),
+            elapsed: Duration::from_millis(5),
+            answers: 100,
+            distances: [(0u32, 1usize), (1, 32), (2, 67)].into_iter().collect(),
+            exhausted: false,
+        };
+        assert_eq!(run.distance_summary(), "1 (32) 2 (67)");
+    }
+
+    #[test]
+    fn tiny_end_to_end_study() {
+        // A minimal smoke test of the harness machinery on a tiny dataset:
+        // exact vs APPROX vs RELAX on L4All Q10.
+        let dataset = generate_l4all(&L4AllConfig::tiny());
+        let omega = engine_for(&dataset, EvalOptions::default());
+        let spec = l4all_queries()[9].clone();
+        let runs = run_all_operators(&omega, &spec);
+        assert_eq!(runs.len(), 3);
+        let exact = &runs[0];
+        let approx = &runs[1];
+        let relax = &runs[2];
+        assert!(approx.answers >= exact.answers);
+        assert!(relax.answers >= exact.answers);
+        assert!(!exact.exhausted);
+    }
+}

@@ -1,0 +1,71 @@
+//! Query answers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use omega_graph::NodeId;
+
+/// An answer to a single conjunct: instantiations of the conjunct's subject
+/// (`x`) and object (`y`) terms, together with the distance at which the
+/// answer was found (0 for exact matches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConjunctAnswer {
+    /// Binding of the conjunct's subject term.
+    pub x: NodeId,
+    /// Binding of the conjunct's object term.
+    pub y: NodeId,
+    /// Edit/relaxation distance of the answer.
+    pub distance: u32,
+}
+
+/// An answer to a (possibly multi-conjunct) query: bindings of the head
+/// variables to node labels, plus the total distance summed over conjuncts.
+///
+/// Answers are produced in non-decreasing order of `distance`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Head-variable bindings (variable name without the leading `?` →
+    /// node label).
+    pub bindings: BTreeMap<String, String>,
+    /// Total distance of the answer.
+    pub distance: u32,
+}
+
+impl Answer {
+    /// The binding of `variable`, if present.
+    pub fn get(&self, variable: &str) -> Option<&str> {
+        self.bindings
+            .get(variable.trim_start_matches('?'))
+            .map(String::as_str)
+    }
+}
+
+impl fmt::Display for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .bindings
+            .iter()
+            .map(|(var, value)| format!("?{var}={value}"))
+            .collect();
+        write!(f, "[{}] @ distance {}", parts.join(", "), self.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_accessors() {
+        let mut bindings = BTreeMap::new();
+        bindings.insert("X".to_owned(), "Alice".to_owned());
+        let a = Answer {
+            bindings,
+            distance: 2,
+        };
+        assert_eq!(a.get("X"), Some("Alice"));
+        assert_eq!(a.get("?X"), Some("Alice"));
+        assert_eq!(a.get("Y"), None);
+        assert_eq!(a.to_string(), "[?X=Alice] @ distance 2");
+    }
+}

@@ -1,0 +1,362 @@
+//! The `Omega` engine: the public entry point tying the query language, the
+//! compiled automata and the ranked evaluator together.
+
+use std::collections::BTreeMap;
+
+use omega_graph::GraphStore;
+use omega_ontology::Ontology;
+
+use crate::answer::Answer;
+use crate::error::Result;
+use crate::eval::conjunct::ConjunctEvaluator;
+use crate::eval::disjunction::DisjunctionEvaluator;
+use crate::eval::distance_aware::DistanceAwareEvaluator;
+use crate::eval::plan::compile_conjunct;
+use crate::eval::rank_join::{JoinInput, RankJoin};
+use crate::eval::{AnswerStream, EvalOptions, EvalStats};
+use crate::query::ast::{Conjunct, Query, QueryMode, Term};
+use crate::query::parser::parse_query;
+
+/// The Omega query engine: a data graph, its ontology, and evaluation
+/// options.
+///
+/// ```
+/// use omega_core::Omega;
+/// use omega_graph::GraphStore;
+/// use omega_ontology::Ontology;
+///
+/// let mut graph = GraphStore::new();
+/// graph.add_triple("alice", "knows", "bob");
+/// graph.add_triple("bob", "knows", "carol");
+/// let omega = Omega::new(graph, Ontology::new());
+///
+/// let answers = omega.execute("(?X) <- (alice, knows+, ?X)", None).unwrap();
+/// assert_eq!(answers.len(), 2);
+/// assert_eq!(answers[0].distance, 0);
+/// ```
+pub struct Omega {
+    graph: GraphStore,
+    ontology: Ontology,
+    options: EvalOptions,
+}
+
+impl Omega {
+    /// Creates an engine with default [`EvalOptions`].
+    pub fn new(graph: GraphStore, ontology: Ontology) -> Omega {
+        Omega::with_options(graph, ontology, EvalOptions::default())
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(graph: GraphStore, ontology: Ontology, options: EvalOptions) -> Omega {
+        Omega {
+            graph,
+            ontology,
+            options,
+        }
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &GraphStore {
+        &self.graph
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The evaluation options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Mutable access to the evaluation options (e.g. to toggle the
+    /// Section 4.3 optimisations between runs).
+    pub fn options_mut(&mut self) -> &mut EvalOptions {
+        &mut self.options
+    }
+
+    /// Parses and executes a query, returning at most `limit` answers in
+    /// non-decreasing distance order (all answers when `limit` is `None`).
+    pub fn execute(&self, query_text: &str, limit: Option<usize>) -> Result<Vec<Answer>> {
+        let query = parse_query(query_text)?;
+        self.execute_query(&query, limit)
+    }
+
+    /// Executes an already parsed query.
+    pub fn execute_query(&self, query: &Query, limit: Option<usize>) -> Result<Vec<Answer>> {
+        let mut stream = self.stream(query)?;
+        stream.collect(limit)
+    }
+
+    /// Prepares an incremental answer stream for `query`.
+    pub fn stream(&self, query: &Query) -> Result<QueryStream<'_>> {
+        query.validate()?;
+        let mut inputs = Vec::with_capacity(query.conjuncts.len());
+        for conjunct in &query.conjuncts {
+            inputs.push(self.conjunct_input(conjunct)?);
+        }
+        Ok(QueryStream {
+            graph: &self.graph,
+            head: query.head.clone(),
+            join: RankJoin::new(inputs),
+            emitted: std::collections::HashSet::new(),
+        })
+    }
+
+    /// Builds the best single-conjunct stream for `conjunct` according to the
+    /// enabled optimisations.
+    pub fn conjunct_stream<'a>(
+        &'a self,
+        conjunct: &Conjunct,
+    ) -> Result<Box<dyn AnswerStream + 'a>> {
+        if self.options.disjunction_decomposition && conjunct.mode == QueryMode::Approx {
+            if let Some(decomposed) = DisjunctionEvaluator::try_new(
+                conjunct,
+                &self.graph,
+                &self.ontology,
+                self.options.clone(),
+            )? {
+                return Ok(Box::new(decomposed));
+            }
+        }
+        let plan = compile_conjunct(conjunct, &self.graph, &self.ontology, &self.options)?;
+        if self.options.distance_aware && conjunct.mode != QueryMode::Exact {
+            return Ok(Box::new(DistanceAwareEvaluator::new(
+                plan,
+                &self.graph,
+                &self.ontology,
+                self.options.clone(),
+            )));
+        }
+        Ok(Box::new(ConjunctEvaluator::new(
+            plan,
+            &self.graph,
+            &self.ontology,
+            self.options.clone(),
+            None,
+        )))
+    }
+
+    fn conjunct_input<'a>(&'a self, conjunct: &Conjunct) -> Result<JoinInput<'a>> {
+        let stream = self.conjunct_stream(conjunct)?;
+        let subject_var = conjunct.subject.as_variable().map(str::to_owned);
+        let object_var = conjunct.object.as_variable().map(str::to_owned);
+        Ok(JoinInput::new(stream, subject_var, object_var))
+    }
+}
+
+/// An incremental stream of [`Answer`]s for one query.
+pub struct QueryStream<'a> {
+    graph: &'a GraphStore,
+    head: Vec<String>,
+    join: RankJoin<'a>,
+    emitted: std::collections::HashSet<Vec<(String, omega_graph::NodeId)>>,
+}
+
+impl QueryStream<'_> {
+    /// The next answer, or `Ok(None)` when the stream is exhausted.
+    pub fn next(&mut self) -> Result<Option<Answer>> {
+        loop {
+            let Some((bindings, distance)) = self.join.get_next()? else {
+                return Ok(None);
+            };
+            // Project onto the head variables and deduplicate projections.
+            let mut projected: Vec<(String, omega_graph::NodeId)> = Vec::new();
+            for var in &self.head {
+                if let Some((_, node)) = bindings.iter().find(|(name, _)| name == var) {
+                    projected.push((var.clone(), *node));
+                }
+            }
+            if !self.emitted.insert(projected.clone()) {
+                continue;
+            }
+            let bindings: BTreeMap<String, String> = projected
+                .into_iter()
+                .map(|(var, node)| (var, self.graph.node_label(node).to_owned()))
+                .collect();
+            return Ok(Some(Answer { bindings, distance }));
+        }
+    }
+
+    /// Collects up to `limit` answers (all of them when `None`).
+    pub fn collect(&mut self, limit: Option<usize>) -> Result<Vec<Answer>> {
+        let mut out = Vec::new();
+        while limit.is_none_or(|l| out.len() < l) {
+            match self.next()? {
+                Some(answer) => out.push(answer),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluation statistics accumulated so far across all conjuncts.
+    pub fn stats(&self) -> EvalStats {
+        self.join.stats()
+    }
+}
+
+/// Convenience: the variables a conjunct binds, used by callers that drive
+/// [`crate::eval::ConjunctEvaluator`] directly.
+pub fn conjunct_variables(conjunct: &Conjunct) -> Vec<&str> {
+    [&conjunct.subject, &conjunct.object]
+        .into_iter()
+        .filter_map(Term::as_variable)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Omega {
+        let mut g = GraphStore::new();
+        g.add_triple("alice", "knows", "bob");
+        g.add_triple("bob", "knows", "carol");
+        g.add_triple("carol", "knows", "dave");
+        g.add_triple("alice", "worksAt", "acme");
+        g.add_triple("bob", "worksAt", "initech");
+        g.add_triple("acme", "locatedIn", "UK");
+        g.add_triple("initech", "locatedIn", "US");
+        g.add_triple("alice", "type", "Student");
+        g.add_triple("bob", "type", "Person");
+        let mut o = Ontology::new();
+        let student = g.node_by_label("Student").unwrap();
+        let person = g.node_by_label("Person").unwrap();
+        o.add_subclass(student, person).unwrap();
+        Omega::new(g, o)
+    }
+
+    #[test]
+    fn single_conjunct_execution() {
+        let omega = engine();
+        let answers = omega.execute("(?X) <- (alice, knows+, ?X)", None).unwrap();
+        assert_eq!(answers.len(), 3);
+        assert!(answers.iter().all(|a| a.distance == 0));
+        let bound: Vec<&str> = answers.iter().map(|a| a.get("X").unwrap()).collect();
+        assert!(bound.contains(&"bob") && bound.contains(&"dave"));
+    }
+
+    #[test]
+    fn limit_truncates_results() {
+        let omega = engine();
+        let answers = omega.execute("(?X) <- (alice, knows+, ?X)", Some(2)).unwrap();
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn multi_conjunct_join() {
+        let omega = engine();
+        let answers = omega
+            .execute(
+                "(?X, ?C) <- (?X, knows, ?Y), (?Y, worksAt.locatedIn, ?C)",
+                None,
+            )
+            .unwrap();
+        // alice knows bob, bob works at initech in US.
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].get("X"), Some("alice"));
+        assert_eq!(answers[0].get("C"), Some("US"));
+        assert_eq!(answers[0].get("Y"), None, "Y is projected away");
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        let omega = engine();
+        // Project only ?X: alice and bob both work somewhere located
+        // somewhere, each contributing exactly one projected answer.
+        let answers = omega
+            .execute("(?X) <- (?X, worksAt.locatedIn, ?Y)", None)
+            .unwrap();
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn approx_query_through_engine() {
+        let omega = engine();
+        let exact = omega
+            .execute("(?X) <- (alice, worksAt.worksAt, ?X)", None)
+            .unwrap();
+        assert!(exact.is_empty());
+        let approx = omega
+            .execute("(?X) <- APPROX (alice, worksAt.worksAt, ?X)", None)
+            .unwrap();
+        assert!(!approx.is_empty());
+        assert!(approx.iter().all(|a| a.distance >= 1));
+    }
+
+    #[test]
+    fn relax_query_through_engine() {
+        let omega = engine();
+        let answers = omega
+            .execute("(?X) <- RELAX (Student, type-, ?X)", None)
+            .unwrap();
+        assert_eq!(answers.len(), 2);
+        let alice = answers.iter().find(|a| a.get("X") == Some("alice")).unwrap();
+        assert_eq!(alice.distance, 0);
+        let bob = answers.iter().find(|a| a.get("X") == Some("bob")).unwrap();
+        assert_eq!(bob.distance, 1);
+    }
+
+    #[test]
+    fn optimisations_do_not_change_answer_sets() {
+        let base = engine();
+        let mut distance_aware = engine();
+        distance_aware.options_mut().distance_aware = true;
+        let mut decomposed = engine();
+        decomposed.options_mut().disjunction_decomposition = true;
+
+        for query in [
+            "(?X) <- APPROX (alice, knows.knows, ?X)",
+            "(?X) <- APPROX (alice, (knows.knows)|(worksAt.locatedIn), ?X)",
+            "(?X) <- RELAX (Student, type-, ?X)",
+        ] {
+            let reference: Vec<_> = base
+                .execute(query, None)
+                .unwrap()
+                .into_iter()
+                .map(|a| (a.bindings, a.distance))
+                .collect();
+            for variant in [&distance_aware, &decomposed] {
+                let got: Vec<_> = variant
+                    .execute(query, None)
+                    .unwrap()
+                    .into_iter()
+                    .map(|a| (a.bindings, a.distance))
+                    .collect();
+                let sort = |mut v: Vec<(BTreeMap<String, String>, u32)>| {
+                    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    v
+                };
+                assert_eq!(
+                    sort(reference.clone()),
+                    sort(got),
+                    "optimisation changed answers for {query}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_reports_statistics() {
+        let omega = engine();
+        let query = parse_query("(?X) <- (alice, knows+, ?X)").unwrap();
+        let mut stream = omega.stream(&query).unwrap();
+        let _ = stream.collect(None).unwrap();
+        assert!(stream.stats().tuples_processed > 0);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let omega = engine();
+        assert!(omega.execute("not a query", None).is_err());
+        assert!(omega.execute("(?X) <- (ghost, knows, ?X)", None).is_err());
+    }
+
+    #[test]
+    fn conjunct_variables_helper() {
+        let q = parse_query("(?X) <- (alice, knows, ?X)").unwrap();
+        assert_eq!(conjunct_variables(&q.conjuncts[0]), vec!["X"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type of the Omega query processor.
+
+use std::fmt;
+
+use omega_regex::RegexParseError;
+
+/// Errors raised while parsing or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmegaError {
+    /// The query text could not be parsed.
+    Parse {
+        /// Byte offset of the error in the query text (best effort).
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A regular expression inside the query could not be parsed.
+    Regex(RegexParseError),
+    /// A constant in the query does not name any node of the data graph.
+    UnknownConstant(String),
+    /// A head variable does not occur in any conjunct.
+    UnboundHeadVariable(String),
+    /// The query has no conjuncts.
+    EmptyQuery,
+    /// The evaluator exceeded its configured memory budget (the analogue of
+    /// the paper's out-of-memory failures on YAGO queries 4 and 5).
+    ResourceExhausted {
+        /// Number of live tuples when the budget was hit.
+        tuples: usize,
+    },
+}
+
+impl fmt::Display for OmegaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmegaError::Parse { position, message } => {
+                write!(f, "query parse error at offset {position}: {message}")
+            }
+            OmegaError::Regex(err) => write!(f, "{err}"),
+            OmegaError::UnknownConstant(c) => {
+                write!(f, "constant {c:?} does not name a node in the data graph")
+            }
+            OmegaError::UnboundHeadVariable(v) => {
+                write!(f, "head variable ?{v} does not occur in the query body")
+            }
+            OmegaError::EmptyQuery => write!(f, "query has no conjuncts"),
+            OmegaError::ResourceExhausted { tuples } => write!(
+                f,
+                "evaluation exceeded the configured memory budget ({tuples} live tuples)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OmegaError {}
+
+impl From<RegexParseError> for OmegaError {
+    fn from(err: RegexParseError) -> Self {
+        OmegaError::Regex(err)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, OmegaError>;

@@ -1,0 +1,617 @@
+//! The single-conjunct ranked evaluator — the paper's `GetNext` procedure
+//! over the lazily constructed weighted product automaton `H_R`.
+
+use std::collections::HashSet;
+
+use omega_automata::StateId;
+use omega_graph::{GraphStore, NodeId};
+use omega_ontology::Ontology;
+
+use crate::answer::ConjunctAnswer;
+use crate::error::{OmegaError, Result};
+use crate::eval::dr::DrQueue;
+use crate::eval::initial::InitialNodeFeed;
+use crate::eval::options::EvalOptions;
+use crate::eval::plan::ConjunctPlan;
+use crate::eval::stats::EvalStats;
+use crate::eval::succ::succ;
+use crate::eval::tuple::Tuple;
+use crate::eval::AnswerStream;
+use crate::query::ast::Term;
+
+/// Ranked, incremental evaluation of one compiled conjunct.
+///
+/// Answers are produced in non-decreasing distance order. The evaluator is a
+/// pull-based iterator: nothing beyond what is needed for the next answer is
+/// computed, and the initial-node feed is drained in batches only when the
+/// distance-0 frontier empties (Section 3.3 / 3.4 of the paper).
+pub struct ConjunctEvaluator<'a> {
+    graph: &'a GraphStore,
+    ontology: &'a Ontology,
+    plan: ConjunctPlan,
+    options: EvalOptions,
+    /// Distance ceiling ψ for distance-aware evaluation (`None` = unbounded).
+    psi: Option<u32>,
+    dr: DrQueue,
+    visited: HashSet<(NodeId, NodeId, StateId)>,
+    /// The paper's `answers_R`, keyed on the raw `(v, n)` pair.
+    answers_seen: HashSet<(NodeId, NodeId)>,
+    /// Deduplication of *emitted* answers on their normalised bindings
+    /// (relevant when RELAX seeds several class ancestors for one constant).
+    emitted: HashSet<(NodeId, NodeId)>,
+    feed: InitialNodeFeed,
+    stats: EvalStats,
+}
+
+impl<'a> ConjunctEvaluator<'a> {
+    /// Creates an evaluator for `plan` with an optional distance ceiling.
+    pub fn new(
+        plan: ConjunctPlan,
+        graph: &'a GraphStore,
+        ontology: &'a Ontology,
+        options: EvalOptions,
+        psi: Option<u32>,
+    ) -> ConjunctEvaluator<'a> {
+        let feed = InitialNodeFeed::new(&plan, graph, ontology, options.batch_size);
+        let dr = DrQueue::new(options.prioritize_final);
+        ConjunctEvaluator {
+            graph,
+            ontology,
+            plan,
+            options,
+            psi,
+            dr,
+            visited: HashSet::new(),
+            answers_seen: HashSet::new(),
+            emitted: HashSet::new(),
+            feed,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The compiled plan driving this evaluator.
+    pub fn plan(&self) -> &ConjunctPlan {
+        &self.plan
+    }
+
+    /// Number of tuples suppressed by the ψ ceiling so far; a non-zero value
+    /// means answers may exist beyond the ceiling.
+    pub fn suppressed(&self) -> u64 {
+        self.stats.suppressed
+    }
+
+    fn add_tuple(&mut self, tuple: Tuple) -> Result<()> {
+        if let Some(psi) = self.psi {
+            if tuple.distance > psi {
+                self.stats.suppressed += 1;
+                return Ok(());
+            }
+        }
+        self.dr.push(tuple);
+        self.stats.tuples_added += 1;
+        if let Some(max) = self.options.max_tuples {
+            let live = self.dr.len() + self.visited.len();
+            if live > max {
+                return Err(OmegaError::ResourceExhausted { tuples: live });
+            }
+        }
+        Ok(())
+    }
+
+    fn refill_initial(&mut self) -> Result<bool> {
+        if !self.feed.has_more() {
+            return Ok(false);
+        }
+        let initial = self.plan.nfa.initial();
+        let batch = self.feed.next_batch(initial);
+        let added = !batch.is_empty();
+        for tuple in batch {
+            self.add_tuple(tuple)?;
+        }
+        Ok(added)
+    }
+
+    /// Whether the final-state annotation accepts `node` (the constant-object
+    /// constraint and the `(?X, R, ?X)` same-variable constraint).
+    fn final_annotation_matches(&self, tuple: &Tuple) -> bool {
+        if let Some(required) = self.plan.final_constraint {
+            if tuple.node != required {
+                return false;
+            }
+        }
+        if self.plan.require_equal_endpoints && tuple.node != tuple.start {
+            return false;
+        }
+        true
+    }
+
+    /// Normalises a final tuple into a [`ConjunctAnswer`], deduplicating on
+    /// the normalised bindings. Returns `None` for duplicates.
+    fn make_answer(&mut self, tuple: Tuple) -> Option<ConjunctAnswer> {
+        let (mut x, mut y) = if self.plan.reversed {
+            (tuple.node, tuple.start)
+        } else {
+            (tuple.start, tuple.node)
+        };
+        // Constants keep their original binding even when evaluation started
+        // from a relaxed ancestor class.
+        if self.plan.subject.as_constant().is_some() {
+            if let Some(node) = self.plan.subject_node {
+                x = node;
+            }
+        }
+        if self.plan.object.as_constant().is_some() {
+            if let Some(node) = self.plan.object_node {
+                y = node;
+            }
+        }
+        if !self.emitted.insert((x, y)) {
+            return None;
+        }
+        Some(ConjunctAnswer {
+            x,
+            y,
+            distance: tuple.distance,
+        })
+    }
+
+    /// The paper's `GetNext`: the next answer in non-decreasing distance
+    /// order, or `Ok(None)` when evaluation is complete.
+    pub fn get_next(&mut self) -> Result<Option<ConjunctAnswer>> {
+        loop {
+            // Incrementally add the next batch of initial nodes when the
+            // distance-0 frontier has been consumed (lines 15–17).
+            if !self.dr.has_distance_zero() && self.feed.has_more() {
+                self.refill_initial()?;
+            }
+            let Some(tuple) = self.dr.pop() else {
+                if self.refill_initial()? {
+                    continue;
+                }
+                return Ok(None);
+            };
+            self.stats.tuples_processed += 1;
+
+            if tuple.is_final {
+                if self.answers_seen.insert((tuple.start, tuple.node)) {
+                    if let Some(answer) = self.make_answer(tuple) {
+                        self.stats.answers += 1;
+                        return Ok(Some(answer));
+                    }
+                }
+                continue;
+            }
+
+            if !self
+                .visited
+                .insert((tuple.start, tuple.node, tuple.state))
+            {
+                continue;
+            }
+            // Expand through the product automaton (lines 10–11).
+            let transitions = succ(
+                self.graph,
+                self.ontology,
+                self.plan.inference,
+                &self.plan.nfa,
+                tuple.state,
+                tuple.node,
+                &mut self.stats,
+            );
+            for t in transitions {
+                if !self.visited.contains(&(tuple.start, t.node, t.state)) {
+                    self.add_tuple(Tuple {
+                        start: tuple.start,
+                        node: t.node,
+                        state: t.state,
+                        distance: tuple.distance + t.cost,
+                        is_final: false,
+                    })?;
+                }
+            }
+            // Enqueue a pending answer when the state is final (lines 12–13).
+            if let Some(weight) = self.plan.nfa.final_weight(tuple.state) {
+                if self.final_annotation_matches(&tuple)
+                    && !self.answers_seen.contains(&(tuple.start, tuple.node))
+                {
+                    self.add_tuple(Tuple {
+                        is_final: true,
+                        distance: tuple.distance + weight,
+                        ..tuple
+                    })?;
+                }
+            }
+        }
+    }
+
+    /// Runs the evaluator to completion (or until `limit` answers), returning
+    /// the collected answers.
+    pub fn collect(&mut self, limit: Option<usize>) -> Result<Vec<ConjunctAnswer>> {
+        let mut out = Vec::new();
+        while limit.is_none_or(|l| out.len() < l) {
+            match self.get_next()? {
+                Some(answer) => out.push(answer),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl AnswerStream for ConjunctEvaluator<'_> {
+    fn next_answer(&mut self) -> Result<Option<ConjunctAnswer>> {
+        self.get_next()
+    }
+
+    fn stats(&self) -> EvalStats {
+        self.stats
+    }
+}
+
+/// Compiles and evaluates a conjunct in one call — the common path for
+/// single-conjunct queries without the escalating drivers.
+pub fn evaluate_conjunct<'a>(
+    conjunct: &crate::query::ast::Conjunct,
+    graph: &'a GraphStore,
+    ontology: &'a Ontology,
+    options: &EvalOptions,
+) -> Result<ConjunctEvaluator<'a>> {
+    let plan = crate::eval::plan::compile_conjunct(conjunct, graph, ontology, options)?;
+    Ok(ConjunctEvaluator::new(
+        plan,
+        graph,
+        ontology,
+        options.clone(),
+        None,
+    ))
+}
+
+/// Convenience used by tests and benches: projected bindings as strings.
+pub fn answer_labels(
+    graph: &GraphStore,
+    plan: &ConjunctPlan,
+    answer: &ConjunctAnswer,
+) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Term::Variable(v) = &plan.subject {
+        out.push((v.clone(), graph.node_label(answer.x).to_owned()));
+    }
+    if let Term::Variable(v) = &plan.object {
+        if !out.iter().any(|(name, _)| name == v) {
+            out.push((v.clone(), graph.node_label(answer.y).to_owned()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ast::QueryMode;
+    use crate::query::parser::parse_query;
+
+    /// A small social/typed graph exercising forward and reverse traversal,
+    /// type edges and a two-level ontology.
+    fn setup() -> (GraphStore, Ontology) {
+        let mut g = GraphStore::new();
+        g.add_triple("alice", "knows", "bob");
+        g.add_triple("bob", "knows", "carol");
+        g.add_triple("carol", "knows", "dave");
+        g.add_triple("alice", "worksAt", "acme");
+        g.add_triple("bob", "worksAt", "acme");
+        g.add_triple("alice", "type", "Student");
+        g.add_triple("bob", "type", "Person");
+        g.add_triple("carol", "type", "Student");
+        let mut o = Ontology::new();
+        let student = g.node_by_label("Student").unwrap();
+        let person = g.node_by_label("Person").unwrap();
+        o.add_subclass(student, person).unwrap();
+        let knows = g.label_id("knows").unwrap();
+        let related = g.intern_label("related");
+        o.add_subproperty(knows, related).unwrap();
+        (g, o)
+    }
+
+    fn run(query: &str, graph: &GraphStore, ontology: &Ontology) -> Vec<ConjunctAnswer> {
+        run_with(query, graph, ontology, &EvalOptions::default())
+    }
+
+    fn run_with(
+        query: &str,
+        graph: &GraphStore,
+        ontology: &Ontology,
+        options: &EvalOptions,
+    ) -> Vec<ConjunctAnswer> {
+        let q = parse_query(query).unwrap();
+        let mut eval = evaluate_conjunct(&q.conjuncts[0], graph, ontology, options).unwrap();
+        eval.collect(None).unwrap()
+    }
+
+    fn labels(graph: &GraphStore, answers: &[ConjunctAnswer]) -> Vec<(String, String, u32)> {
+        answers
+            .iter()
+            .map(|a| {
+                (
+                    graph.node_label(a.x).to_owned(),
+                    graph.node_label(a.y).to_owned(),
+                    a.distance,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_constant_to_variable() {
+        let (g, o) = setup();
+        let answers = run("(?X) <- (alice, knows, ?X)", &g, &o);
+        assert_eq!(labels(&g, &answers), vec![("alice".into(), "bob".into(), 0)]);
+    }
+
+    #[test]
+    fn exact_path_expression() {
+        let (g, o) = setup();
+        let answers = run("(?X) <- (alice, knows.knows, ?X)", &g, &o);
+        assert_eq!(
+            labels(&g, &answers),
+            vec![("alice".into(), "carol".into(), 0)]
+        );
+    }
+
+    #[test]
+    fn exact_transitive_closure() {
+        let (g, o) = setup();
+        let answers = run("(?X) <- (alice, knows+, ?X)", &g, &o);
+        let ys: Vec<String> = answers.iter().map(|a| g.node_label(a.y).into()).collect();
+        assert_eq!(ys.len(), 3);
+        assert!(ys.contains(&"bob".to_owned()));
+        assert!(ys.contains(&"carol".to_owned()));
+        assert!(ys.contains(&"dave".to_owned()));
+        assert!(answers.iter().all(|a| a.distance == 0));
+    }
+
+    #[test]
+    fn reverse_traversal() {
+        let (g, o) = setup();
+        let answers = run("(?X) <- (acme, worksAt-, ?X)", &g, &o);
+        let ys: Vec<String> = answers.iter().map(|a| g.node_label(a.y).into()).collect();
+        assert_eq!(ys.len(), 2);
+        assert!(ys.contains(&"alice".to_owned()) && ys.contains(&"bob".to_owned()));
+    }
+
+    #[test]
+    fn constant_object_is_reversed_and_bindings_unswapped() {
+        let (g, o) = setup();
+        let answers = run("(?X) <- (?X, knows, carol)", &g, &o);
+        assert_eq!(
+            labels(&g, &answers),
+            vec![("bob".into(), "carol".into(), 0)]
+        );
+    }
+
+    #[test]
+    fn both_constants_check_reachability() {
+        let (g, o) = setup();
+        let hit = run("(?X) <- (alice, knows+, ?X), (alice, knows.knows, carol)", &g, &o);
+        assert!(!hit.is_empty());
+        let q = parse_query("(?X) <- (alice, knows+, ?X), (alice, knows, dave)").unwrap();
+        let mut eval =
+            evaluate_conjunct(&q.conjuncts[1], &g, &o, &EvalOptions::default()).unwrap();
+        assert!(eval.collect(None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn variable_variable_conjunct() {
+        let (g, o) = setup();
+        let answers = run("(?X, ?Y) <- (?X, worksAt, ?Y)", &g, &o);
+        assert_eq!(answers.len(), 2);
+        assert!(answers
+            .iter()
+            .all(|a| g.node_label(a.y) == "acme" && a.distance == 0));
+    }
+
+    #[test]
+    fn variable_variable_with_star_includes_identity_pairs() {
+        let (g, o) = setup();
+        let answers = run("(?X, ?Y) <- (?X, knows*, ?Y)", &g, &o);
+        // every node pairs with itself (9 nodes) plus the 6 proper knows-paths
+        let identity = answers.iter().filter(|a| a.x == a.y).count();
+        assert_eq!(identity, g.node_count());
+        let proper = answers.iter().filter(|a| a.x != a.y).count();
+        assert_eq!(proper, 6); // alice->{bob,carol,dave}, bob->{carol,dave}, carol->dave
+    }
+
+    #[test]
+    fn same_variable_requires_cycles() {
+        let (g, o) = setup();
+        // no knows-cycles in the graph
+        let answers = run("(?X) <- (?X, knows+, ?X)", &g, &o);
+        assert!(answers.is_empty());
+        // add a cycle and try again
+        let mut g2 = g.clone();
+        g2.add_triple("dave", "knows", "alice");
+        let answers = run("(?X) <- (?X, knows+, ?X)", &g2, &o);
+        assert_eq!(answers.len(), 4, "every node on the cycle loops to itself");
+        assert!(answers.iter().all(|a| a.x == a.y));
+    }
+
+    #[test]
+    fn answers_arrive_in_nondecreasing_distance() {
+        let (g, o) = setup();
+        let answers = run("(?X) <- APPROX (alice, knows.knows, ?X)", &g, &o);
+        let distances: Vec<u32> = answers.iter().map(|a| a.distance).collect();
+        let mut sorted = distances.clone();
+        sorted.sort_unstable();
+        assert_eq!(distances, sorted);
+        assert!(!answers.is_empty());
+    }
+
+    #[test]
+    fn approx_finds_answers_where_exact_finds_none() {
+        let (g, o) = setup();
+        // `knows` spelled with the wrong direction: no exact answers, but
+        // APPROX recovers carol's acquaintances via substitution at cost 1.
+        let exact = run("(?X) <- (carol, knows-.knows-, ?X)", &g, &o);
+        assert_eq!(exact.len(), 1); // only alice via the genuinely reversed path
+        let approx = run("(?X) <- APPROX (carol, knows-.knows-, ?X)", &g, &o);
+        assert!(approx.len() > exact.len());
+        assert_eq!(approx[0].distance, 0, "exact answers come first");
+        assert!(approx.iter().skip(1).all(|a| a.distance >= approx[0].distance));
+    }
+
+    #[test]
+    fn approx_distance_reflects_number_of_edits() {
+        let (g, o) = setup();
+        // alice --knows--> bob: matching `worksAt.worksAt` against it needs
+        // one substitution and one deletion.
+        let answers = run("(?X) <- APPROX (alice, worksAt.worksAt.type, ?X)", &g, &o);
+        let to_student = answers
+            .iter()
+            .find(|a| g.node_label(a.y) == "Student")
+            .expect("Student reachable via type after two edits");
+        assert!(to_student.distance >= 1);
+    }
+
+    #[test]
+    fn relax_class_constant_climbs_the_hierarchy() {
+        let (g, o) = setup();
+        // Exactly: only alice and carol are typed Student.
+        let exact = run("(?X) <- (Student, type-, ?X)", &g, &o);
+        assert_eq!(exact.len(), 2);
+        // RELAX Person: direct Person instances at distance 0, Students by
+        // inference at distance 0, nothing else.
+        let relax_person = run("(?X) <- RELAX (Person, type-, ?X)", &g, &o);
+        assert_eq!(relax_person.len(), 3);
+        // RELAX Student: Students at 0, then Person instances at distance 1
+        // (one step up the class hierarchy).
+        let relax_student = run("(?X) <- RELAX (Student, type-, ?X)", &g, &o);
+        assert_eq!(relax_student.len(), 3);
+        let bob = relax_student
+            .iter()
+            .find(|a| g.node_label(a.y) == "bob")
+            .unwrap();
+        assert_eq!(bob.distance, 1);
+        assert_eq!(
+            relax_student.iter().filter(|a| a.distance == 0).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn relax_superproperty_matches_subproperty_edges() {
+        let (g, o) = setup();
+        // `related` has no edges of its own; under RELAX its subproperty
+        // `knows` matches by inference at distance 0.
+        let exact = run("(?X) <- (alice, related, ?X)", &g, &o);
+        assert!(exact.is_empty());
+        let relaxed = run("(?X) <- RELAX (alice, related, ?X)", &g, &o);
+        assert_eq!(labels(&g, &relaxed), vec![("alice".into(), "bob".into(), 0)]);
+    }
+
+    #[test]
+    fn relax_subproperty_reaches_superproperty_at_cost_beta() {
+        let (mut g, o) = setup();
+        // add an edge labelled `related` (the superproperty) directly
+        g.add_triple("alice", "related", "eve");
+        let relaxed = run("(?X) <- RELAX (alice, knows, ?X)", &g, &o);
+        let eve = relaxed.iter().find(|a| g.node_label(a.y) == "eve").unwrap();
+        assert_eq!(eve.distance, 1, "reached via the superproperty at cost β");
+        let bob = relaxed.iter().find(|a| g.node_label(a.y) == "bob").unwrap();
+        assert_eq!(bob.distance, 0);
+    }
+
+    #[test]
+    fn resource_budget_aborts_evaluation() {
+        let (g, o) = setup();
+        let options = EvalOptions::default().with_max_tuples(Some(3));
+        let q = parse_query("(?X, ?Y) <- APPROX (?X, knows+, ?Y)").unwrap();
+        let mut eval = evaluate_conjunct(&q.conjuncts[0], &g, &o, &options).unwrap();
+        let mut result = Ok(None);
+        for _ in 0..1000 {
+            result = eval.get_next();
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(
+            result,
+            Err(OmegaError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn psi_ceiling_limits_distances_and_counts_suppressed() {
+        let (g, o) = setup();
+        let q = parse_query("(?X) <- APPROX (alice, worksAt.worksAt, ?X)").unwrap();
+        let plan =
+            crate::eval::plan::compile_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default())
+                .unwrap();
+        let mut bounded =
+            ConjunctEvaluator::new(plan, &g, &o, EvalOptions::default(), Some(0));
+        let answers = bounded.collect(None).unwrap();
+        assert!(answers.iter().all(|a| a.distance == 0));
+        assert!(bounded.suppressed() > 0, "some tuples lie beyond ψ = 0");
+    }
+
+    #[test]
+    fn batch_size_one_still_finds_all_answers() {
+        let (g, o) = setup();
+        let default_answers = run("(?X, ?Y) <- (?X, knows+, ?Y)", &g, &o);
+        let small_batches = run_with(
+            "(?X, ?Y) <- (?X, knows+, ?Y)",
+            &g,
+            &o,
+            &EvalOptions::default().with_batch_size(1),
+        );
+        let key = |answers: &[ConjunctAnswer]| {
+            let mut v: Vec<_> = answers.iter().map(|a| (a.x, a.y, a.distance)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&default_answers), key(&small_batches));
+    }
+
+    #[test]
+    fn final_prioritisation_off_is_still_correct() {
+        let (g, o) = setup();
+        let with = run("(?X) <- APPROX (alice, knows.knows, ?X)", &g, &o);
+        let without = run_with(
+            "(?X) <- APPROX (alice, knows.knows, ?X)",
+            &g,
+            &o,
+            &EvalOptions::default().without_final_prioritization(),
+        );
+        let key = |answers: &[ConjunctAnswer]| {
+            let mut v: Vec<_> = answers.iter().map(|a| (a.x, a.y, a.distance)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&with), key(&without));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (g, o) = setup();
+        let q = parse_query("(?X) <- (alice, knows+, ?X)").unwrap();
+        let mut eval =
+            evaluate_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default()).unwrap();
+        let _ = eval.collect(None).unwrap();
+        let stats = eval.stats();
+        assert!(stats.tuples_added > 0);
+        assert!(stats.tuples_processed > 0);
+        assert!(stats.succ_calls > 0);
+        assert_eq!(stats.answers, 3);
+    }
+
+    #[test]
+    fn with_mode_round_trip_matches_direct_queries() {
+        let (g, o) = setup();
+        let q = parse_query("(?X) <- (alice, knows, ?X)").unwrap();
+        let approx_q = q.with_mode(QueryMode::Approx);
+        assert_eq!(approx_q.conjuncts[0].mode, QueryMode::Approx);
+        let direct = run("(?X) <- APPROX (alice, knows, ?X)", &g, &o);
+        let mut eval =
+            evaluate_conjunct(&approx_q.conjuncts[0], &g, &o, &EvalOptions::default()).unwrap();
+        let via_mode = eval.collect(None).unwrap();
+        assert_eq!(direct.len(), via_mode.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! The distance dictionary `D_R`.
+//!
+//! The paper stores traversal tuples in a dictionary keyed by an
+//! integer-boolean pair — the distance and whether the bucket holds 'final'
+//! or 'non-final' tuples — whose values are linked lists manipulated only at
+//! their head. Removal always takes a tuple from the minimum-distance bucket,
+//! preferring the final bucket at that distance so that answers are returned
+//! as early as possible (a refinement the paper credits with both speed-ups
+//! and the completion of queries that previously exhausted memory).
+//!
+//! Here the dictionary is a `BTreeMap` keyed by `(distance, rank)` with
+//! `Vec` buckets used as stacks (push/pop at the tail is the O(1) "head"
+//! operation of the paper's linked lists).
+
+use std::collections::BTreeMap;
+
+use crate::eval::tuple::Tuple;
+
+/// Priority bucket queue over evaluation tuples.
+#[derive(Debug, Default)]
+pub struct DrQueue {
+    buckets: BTreeMap<(u32, u8), Vec<Tuple>>,
+    len: usize,
+    /// When false, final and non-final tuples share a bucket (ablation of the
+    /// paper's final-tuple prioritisation).
+    prioritize_final: bool,
+}
+
+impl DrQueue {
+    /// Creates an empty queue.
+    pub fn new(prioritize_final: bool) -> Self {
+        DrQueue {
+            buckets: BTreeMap::new(),
+            len: 0,
+            prioritize_final,
+        }
+    }
+
+    fn rank(&self, is_final: bool) -> u8 {
+        if self.prioritize_final && is_final {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Adds a tuple.
+    pub fn push(&mut self, tuple: Tuple) {
+        let key = (tuple.distance, self.rank(tuple.is_final));
+        self.buckets.entry(key).or_default().push(tuple);
+        self.len += 1;
+    }
+
+    /// Removes a tuple from the minimum-distance bucket, final tuples first.
+    pub fn pop(&mut self) -> Option<Tuple> {
+        let (&key, bucket) = self.buckets.iter_mut().next()?;
+        let tuple = bucket.pop();
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        if tuple.is_some() {
+            self.len -= 1;
+        }
+        tuple
+    }
+
+    /// Number of queued tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The smallest distance currently queued.
+    pub fn min_distance(&self) -> Option<u32> {
+        self.buckets.keys().next().map(|&(d, _)| d)
+    }
+
+    /// Whether any tuple at distance 0 is queued — the condition the paper
+    /// uses to decide when the next batch of initial nodes must be released.
+    pub fn has_distance_zero(&self) -> bool {
+        self.min_distance() == Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_automata::StateId;
+    use omega_graph::NodeId;
+
+    fn tuple(distance: u32, is_final: bool, node: u32) -> Tuple {
+        Tuple {
+            start: NodeId(node),
+            node: NodeId(node),
+            state: StateId(0),
+            distance,
+            is_final,
+        }
+    }
+
+    #[test]
+    fn pops_in_distance_order() {
+        let mut q = DrQueue::new(true);
+        q.push(tuple(3, false, 1));
+        q.push(tuple(1, false, 2));
+        q.push(tuple(2, false, 3));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|t| t.distance).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn final_tuples_first_at_equal_distance() {
+        let mut q = DrQueue::new(true);
+        q.push(tuple(1, false, 1));
+        q.push(tuple(1, true, 2));
+        q.push(tuple(0, false, 3));
+        assert_eq!(q.pop().unwrap().node, NodeId(3));
+        let next = q.pop().unwrap();
+        assert!(next.is_final, "final tuple must be popped first");
+        assert!(!q.pop().unwrap().is_final);
+    }
+
+    #[test]
+    fn prioritisation_can_be_disabled() {
+        let mut q = DrQueue::new(false);
+        q.push(tuple(1, false, 1));
+        q.push(tuple(1, true, 2));
+        // LIFO within the single bucket: the last pushed (final) comes first,
+        // but only because of insertion order, not because of its rank.
+        assert_eq!(q.pop().unwrap().node, NodeId(2));
+        assert_eq!(q.pop().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn lifo_within_a_bucket() {
+        let mut q = DrQueue::new(true);
+        q.push(tuple(0, false, 1));
+        q.push(tuple(0, false, 2));
+        q.push(tuple(0, false, 3));
+        assert_eq!(q.pop().unwrap().node, NodeId(3));
+        assert_eq!(q.pop().unwrap().node, NodeId(2));
+        assert_eq!(q.pop().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn distance_zero_probe_and_len() {
+        let mut q = DrQueue::new(true);
+        assert!(!q.has_distance_zero());
+        q.push(tuple(2, false, 1));
+        assert!(!q.has_distance_zero());
+        assert_eq!(q.min_distance(), Some(2));
+        q.push(tuple(0, false, 2));
+        assert!(q.has_distance_zero());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert!(!q.has_distance_zero());
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Batched feeding of initial nodes into `D_R`.
+//!
+//! For `(?X, R, ?Y)` conjuncts the paper retrieves the candidate start nodes
+//! through coroutines that release them in batches (100 by default): new
+//! batches are only pulled when `D_R` has run out of distance-0 tuples, so
+//! queries answered from the first few start nodes never touch the rest of
+//! the graph. [`InitialNodeFeed`] is the iterator equivalent.
+
+use omega_graph::{GraphStore, NodeBitmap, NodeId};
+use omega_ontology::Ontology;
+
+use crate::eval::plan::{seed_nodes_for_label, ConjunctPlan, SeedSpec};
+use crate::eval::tuple::Tuple;
+
+/// A lazily drained supply of seed tuples.
+///
+/// Every seed is released as a *non-final* tuple: when the initial state is
+/// final, `GetNext` itself enqueues the corresponding answer tuple while
+/// processing the seed (line 13 of the paper's pseudocode), which both emits
+/// the `(n, n)` answer and keeps expanding paths out of `n`.
+#[derive(Debug)]
+pub struct InitialNodeFeed {
+    /// Pending seeds in reverse release order (so `pop` yields them in the
+    /// intended order).
+    pending: Vec<(NodeId, u32)>,
+    batch_size: usize,
+}
+
+impl InitialNodeFeed {
+    /// Builds the feed for a compiled conjunct.
+    pub fn new(
+        plan: &ConjunctPlan,
+        graph: &GraphStore,
+        ontology: &Ontology,
+        batch_size: usize,
+    ) -> InitialNodeFeed {
+        let mut pending: Vec<(NodeId, u32)> = match &plan.seeds {
+            SeedSpec::Fixed(seeds) => seeds.to_vec(),
+            SeedSpec::AllNodes { .. } => graph.node_ids().map(|n| (n, 0)).collect(),
+            SeedSpec::MatchingInitial => {
+                let mut set = NodeBitmap::new();
+                for label in plan.nfa.initial_labels() {
+                    set.union_with(&seed_nodes_for_label(
+                        graph,
+                        ontology,
+                        plan.inference,
+                        label,
+                    ));
+                }
+                set.iter().map(|n| (n, 0)).collect()
+            }
+        };
+        // Seeds are released from the back; reverse so that the declared
+        // order (constant first, then ancestors in increasing distance) is
+        // preserved.
+        pending.reverse();
+        InitialNodeFeed {
+            pending,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Whether any seed remains to be released.
+    pub fn has_more(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Total number of seeds not yet released.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Releases the next batch of seed tuples (at most `batch_size`).
+    pub fn next_batch(&mut self, initial_state: omega_automata::StateId) -> Vec<Tuple> {
+        let mut batch = Vec::with_capacity(self.batch_size.min(self.pending.len()));
+        for _ in 0..self.batch_size {
+            match self.pending.pop() {
+                Some((node, distance)) => batch.push(Tuple {
+                    start: node,
+                    node,
+                    state: initial_state,
+                    distance,
+                    is_final: false,
+                }),
+                None => break,
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::options::EvalOptions;
+    use crate::eval::plan::compile_conjunct;
+    use crate::query::parser::parse_query;
+
+    fn chain_graph(n: usize) -> (GraphStore, Ontology) {
+        let mut g = GraphStore::new();
+        for i in 0..n {
+            g.add_triple(&format!("n{i}"), "next", &format!("n{}", i + 1));
+        }
+        (g, Ontology::new())
+    }
+
+    fn feed_for(query: &str, graph: &GraphStore, ontology: &Ontology, batch: usize) -> InitialNodeFeed {
+        let q = parse_query(query).unwrap();
+        let plan = compile_conjunct(&q.conjuncts[0], graph, ontology, &EvalOptions::default())
+            .unwrap();
+        InitialNodeFeed::new(&plan, graph, ontology, batch)
+    }
+
+    #[test]
+    fn fixed_seeds_come_out_in_order() {
+        let (g, o) = chain_graph(3);
+        let mut feed = feed_for("(?X) <- (n0, next, ?X)", &g, &o, 10);
+        assert_eq!(feed.remaining(), 1);
+        let batch = feed.next_batch(omega_automata::StateId(0));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].node, g.node_by_label("n0").unwrap());
+        assert!(!feed.has_more());
+        assert!(feed.next_batch(omega_automata::StateId(0)).is_empty());
+    }
+
+    #[test]
+    fn matching_initial_only_selects_nodes_with_the_edge() {
+        let (mut g, o) = chain_graph(5);
+        g.add_node("isolated");
+        let mut feed = feed_for("(?X, ?Y) <- (?X, next, ?Y)", &g, &o, 100);
+        // nodes n0..n4 have outgoing `next`; n5 and `isolated` do not.
+        assert_eq!(feed.remaining(), 5);
+        let batch = feed.next_batch(omega_automata::StateId(0));
+        assert!(batch
+            .iter()
+            .all(|t| g.node_label(t.node).starts_with('n')));
+    }
+
+    #[test]
+    fn batches_respect_batch_size() {
+        let (g, o) = chain_graph(25);
+        let mut feed = feed_for("(?X, ?Y) <- (?X, next, ?Y)", &g, &o, 10);
+        let first = feed.next_batch(omega_automata::StateId(0));
+        assert_eq!(first.len(), 10);
+        assert_eq!(feed.remaining(), 15);
+        let second = feed.next_batch(omega_automata::StateId(0));
+        assert_eq!(second.len(), 10);
+        let third = feed.next_batch(omega_automata::StateId(0));
+        assert_eq!(third.len(), 5);
+        assert!(!feed.has_more());
+    }
+
+    #[test]
+    fn nullable_regex_feeds_every_node() {
+        let (g, o) = chain_graph(4);
+        let mut feed = feed_for("(?X, ?Y) <- (?X, next*, ?Y)", &g, &o, 100);
+        assert_eq!(feed.remaining(), g.node_count());
+        let batch = feed.next_batch(omega_automata::StateId(0));
+        assert!(batch.iter().all(|t| !t.is_final && t.distance == 0));
+    }
+}

@@ -1,0 +1,41 @@
+//! The ranked, incremental evaluator — the paper's `Open` / `GetNext` /
+//! `Succ` procedures, the optimisations of Section 4.3, the multi-conjunct
+//! ranked join and the exact baseline evaluator.
+
+pub mod baseline;
+pub mod conjunct;
+pub mod disjunction;
+pub mod distance_aware;
+pub mod dr;
+pub mod initial;
+pub mod options;
+pub mod plan;
+pub mod rank_join;
+pub mod stats;
+pub mod succ;
+pub mod tuple;
+
+pub use baseline::BaselineEvaluator;
+pub use conjunct::ConjunctEvaluator;
+pub use disjunction::DisjunctionEvaluator;
+pub use distance_aware::DistanceAwareEvaluator;
+pub use options::EvalOptions;
+pub use plan::{compile_conjunct, ConjunctPlan, SeedSpec};
+pub use rank_join::RankJoin;
+pub use stats::EvalStats;
+
+use crate::answer::ConjunctAnswer;
+use crate::error::Result;
+
+/// A stream of conjunct answers in non-decreasing distance order.
+///
+/// Implemented by the plain evaluator ([`ConjunctEvaluator`]) and by the two
+/// optimised drivers ([`DistanceAwareEvaluator`], [`DisjunctionEvaluator`]);
+/// the ranked join consumes any mixture of them.
+pub trait AnswerStream {
+    /// Produces the next answer, or `Ok(None)` when the stream is exhausted.
+    fn next_answer(&mut self) -> Result<Option<ConjunctAnswer>>;
+
+    /// Evaluation statistics accumulated so far.
+    fn stats(&self) -> EvalStats;
+}

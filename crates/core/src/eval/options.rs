@@ -1,0 +1,124 @@
+//! Evaluation options: edit/relaxation costs, optimisation toggles and
+//! resource limits.
+
+use omega_automata::{ApproxConfig, RelaxConfig};
+
+/// Options controlling query evaluation.
+///
+/// The defaults correspond to the configuration used throughout the paper's
+/// performance study: unit edit and relaxation costs, final-tuple
+/// prioritisation on, initial nodes fed in batches of 100, and the two
+/// Section 4.3 optimisations (distance-aware retrieval, alternation
+/// decomposition) off so that they can be measured as ablations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Edit-operation costs for APPROX conjuncts.
+    pub approx: ApproxConfig,
+    /// Relaxation costs for RELAX conjuncts.
+    pub relax: RelaxConfig,
+    /// Whether RELAX conjuncts match under RDFS inference (subproperty /
+    /// subclass closure) in addition to the relaxation transitions.
+    pub inference: bool,
+    /// Number of initial nodes released into `D_R` per batch for
+    /// `(?X, R, ?Y)` conjuncts (the paper's coroutine batching, default 100).
+    pub batch_size: usize,
+    /// Whether final tuples are removed before non-final tuples at the same
+    /// distance (the paper found this both faster and necessary for some
+    /// queries to complete).
+    pub prioritize_final: bool,
+    /// Distance-aware retrieval (Section 4.3): evaluate with a cost ceiling
+    /// ψ that escalates by φ only when more answers are required.
+    pub distance_aware: bool,
+    /// Replace a top-level alternation by a set of sub-automata scheduled
+    /// adaptively (Section 4.3). Applies to APPROX conjuncts.
+    pub disjunction_decomposition: bool,
+    /// Maximum number of live tuples (`D_R` plus the visited set) before the
+    /// evaluator aborts with `ResourceExhausted`. `None` means unlimited.
+    /// This models the paper's out-of-memory failures deterministically.
+    pub max_tuples: Option<usize>,
+    /// Upper bound on answer distance explored by the escalating drivers
+    /// (distance-aware and disjunction evaluation); plain evaluation does not
+    /// need it. Expressed in multiples of φ.
+    pub max_psi_steps: u32,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            approx: ApproxConfig::default(),
+            relax: RelaxConfig::default(),
+            inference: true,
+            batch_size: 100,
+            prioritize_final: true,
+            distance_aware: false,
+            disjunction_decomposition: false,
+            max_tuples: None,
+            max_psi_steps: 16,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Enables distance-aware retrieval.
+    pub fn with_distance_aware(mut self, on: bool) -> Self {
+        self.distance_aware = on;
+        self
+    }
+
+    /// Enables alternation→disjunction decomposition.
+    pub fn with_disjunction_decomposition(mut self, on: bool) -> Self {
+        self.disjunction_decomposition = on;
+        self
+    }
+
+    /// Sets the live-tuple budget.
+    pub fn with_max_tuples(mut self, max: Option<usize>) -> Self {
+        self.max_tuples = max;
+        self
+    }
+
+    /// Sets the initial-node batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Disables the final-tuple prioritisation (for ablation benchmarks).
+    pub fn without_final_prioritization(mut self) -> Self {
+        self.prioritize_final = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = EvalOptions::default();
+        assert_eq!(o.approx, ApproxConfig::default());
+        assert_eq!(o.approx.insertion, 1);
+        assert_eq!(o.relax.beta, 1);
+        assert_eq!(o.batch_size, 100);
+        assert!(o.prioritize_final);
+        assert!(!o.distance_aware);
+        assert!(!o.disjunction_decomposition);
+        assert_eq!(o.max_tuples, None);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let o = EvalOptions::default()
+            .with_distance_aware(true)
+            .with_disjunction_decomposition(true)
+            .with_max_tuples(Some(10))
+            .with_batch_size(0)
+            .without_final_prioritization();
+        assert!(o.distance_aware);
+        assert!(o.disjunction_decomposition);
+        assert_eq!(o.max_tuples, Some(10));
+        assert_eq!(o.batch_size, 1, "batch size is clamped to at least 1");
+        assert!(!o.prioritize_final);
+    }
+}

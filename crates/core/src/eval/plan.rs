@@ -1,0 +1,427 @@
+//! Conjunct compilation — the automaton-building half of the paper's `Open`
+//! procedure.
+//!
+//! Compiling a conjunct `(X, R, Y)` produces a [`ConjunctPlan`]:
+//!
+//! 1. the weighted NFA for `R` is built (Thompson construction), augmented
+//!    for APPROX or RELAX if the conjunct is prefixed by one of them, and
+//!    ε-freed;
+//! 2. a conjunct `(?X, R, C)` is transformed into `(C, R-, ?X)` by reversing
+//!    the regular expression, so that evaluation always starts from a
+//!    constant when one is available (Case 2 of `Open`);
+//! 3. the seed specification records where evaluation starts: a constant
+//!    node (plus its class ancestors under RELAX), or the nodes selected by
+//!    the initial transitions' labels for `(?X, R, ?Y)` conjuncts.
+//!
+//! The plan is independent of evaluation state, so the escalating drivers
+//! (distance-aware, disjunction) can run it several times without paying the
+//! compilation cost again.
+
+use omega_automata::{
+    approximate, build_nfa, relax, remove_epsilons, TransitionLabel, WeightedNfa,
+};
+use omega_graph::{GraphStore, NodeId};
+use omega_ontology::Ontology;
+use omega_regex::RpqRegex;
+
+use crate::error::{OmegaError, Result};
+use crate::eval::options::EvalOptions;
+use crate::query::ast::{Conjunct, QueryMode, Term};
+
+/// Where a conjunct's evaluation starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedSpec {
+    /// Start from fixed nodes, each with an initial distance (the constant
+    /// itself at 0 and, under RELAX, its class ancestors at `k·β`).
+    Fixed(Vec<(NodeId, u32)>),
+    /// Start from every node of the graph; `as_final` is set when the
+    /// initial state is final with weight 0, in which case every node is
+    /// already an answer `(n, n)` at distance 0.
+    AllNodes {
+        /// Whether seed tuples are immediately final.
+        as_final: bool,
+    },
+    /// Start from the nodes that have at least one edge matching one of the
+    /// automaton's initial-transition labels.
+    MatchingInitial,
+}
+
+/// A compiled conjunct, ready for (repeated) evaluation.
+#[derive(Debug, Clone)]
+pub struct ConjunctPlan {
+    /// Evaluation mode of the conjunct.
+    pub mode: QueryMode,
+    /// The original subject term.
+    pub subject: Term,
+    /// The original object term.
+    pub object: Term,
+    /// The regular expression actually compiled (reversed for Case 2).
+    pub regex: RpqRegex,
+    /// Whether the conjunct was reversed (`(?X, R, C)` → `(C, R-, ?X)`), in
+    /// which case emitted answers swap their endpoints back.
+    pub reversed: bool,
+    /// The ε-free weighted automaton.
+    pub nfa: WeightedNfa,
+    /// Seed specification.
+    pub seeds: SeedSpec,
+    /// If the (possibly reversed) conjunct also has a constant object, the
+    /// node answers must end at.
+    pub final_constraint: Option<NodeId>,
+    /// Whether subject and object are the same variable, so answers must be
+    /// node pairs `(n, n)`.
+    pub require_equal_endpoints: bool,
+    /// The node the subject constant names, used to normalise answer
+    /// bindings when RELAX starts from class ancestors.
+    pub subject_node: Option<NodeId>,
+    /// The node the object constant names.
+    pub object_node: Option<NodeId>,
+    /// Whether RDFS inference applies when matching transitions (RELAX only).
+    pub inference: bool,
+    /// The escalation step φ: the smallest positive cost in the automaton
+    /// (1 when no flexible operator applies, so escalation terminates).
+    pub phi: u32,
+}
+
+impl ConjunctPlan {
+    /// Variables bound by this conjunct in `(subject, object)` order.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.subject, &self.object]
+            .into_iter()
+            .filter_map(Term::as_variable)
+            .collect()
+    }
+}
+
+/// Compiles `conjunct` against the data graph and ontology.
+pub fn compile_conjunct(
+    conjunct: &Conjunct,
+    graph: &GraphStore,
+    ontology: &Ontology,
+    options: &EvalOptions,
+) -> Result<ConjunctPlan> {
+    // Case analysis on which ends are constants (Cases 1–3 of `Open`).
+    let subject_const = conjunct.subject.as_constant();
+    let object_const = conjunct.object.as_constant();
+
+    let (regex, reversed) = match (subject_const, object_const) {
+        // (?X, R, C): evaluate (C, R-, ?X).
+        (None, Some(_)) => (conjunct.regex.reverse(), true),
+        _ => (conjunct.regex.clone(), false),
+    };
+
+    let resolve = |name: &str| -> Result<NodeId> {
+        graph
+            .node_by_label(name)
+            .ok_or_else(|| OmegaError::UnknownConstant(name.to_owned()))
+    };
+    let subject_node = subject_const.map(&resolve).transpose()?;
+    let object_node = object_const.map(&resolve).transpose()?;
+
+    // Build, augment and ε-free the automaton.
+    let base = build_nfa(&regex, graph);
+    let augmented = match conjunct.mode {
+        QueryMode::Exact => base,
+        QueryMode::Approx => approximate(&base, &options.approx),
+        QueryMode::Relax => relax(&base, ontology, &options.relax, graph),
+    };
+    let nfa = remove_epsilons(&augmented);
+
+    // Seeds: the start constant (after reversal this is the object constant
+    // when only the object was constant), or label-guided seeding.
+    let start_node = if reversed { object_node } else { subject_node };
+    let seeds = match start_node {
+        Some(node) => {
+            let mut fixed = vec![(node, 0)];
+            if conjunct.mode == QueryMode::Relax && ontology.is_class(node) {
+                // Rule (i) for classes: also start from every superclass, at
+                // β per step up the hierarchy; nearer (more specific) classes
+                // first, as `GetAncestors` prescribes.
+                for (ancestor, dist) in ontology.superclasses(node) {
+                    fixed.push((ancestor, dist * options.relax.beta));
+                }
+            }
+            SeedSpec::Fixed(fixed)
+        }
+        None => {
+            let initial_final_weight = nfa.final_weight(nfa.initial());
+            match initial_final_weight {
+                Some(0) => SeedSpec::AllNodes { as_final: true },
+                Some(_) => SeedSpec::AllNodes { as_final: false },
+                None => SeedSpec::MatchingInitial,
+            }
+        }
+    };
+
+    // A constant at the non-start end becomes a final-state constraint.
+    let final_constraint = if reversed { subject_node } else { object_node };
+    // When both ends are constants evaluation starts from the subject and the
+    // object constrains the final state; `final_constraint` handles that. If
+    // both ends are the *same variable*, answers must loop back to the start.
+    let require_equal_endpoints = match (&conjunct.subject, &conjunct.object) {
+        (Term::Variable(a), Term::Variable(b)) => a == b,
+        _ => false,
+    };
+
+    let phi = match conjunct.mode {
+        QueryMode::Exact => 1,
+        QueryMode::Approx => options.approx.min_cost().max(1),
+        QueryMode::Relax => options.relax.min_cost().max(1),
+    };
+
+    Ok(ConjunctPlan {
+        mode: conjunct.mode,
+        subject: conjunct.subject.clone(),
+        object: conjunct.object.clone(),
+        regex,
+        reversed,
+        nfa,
+        seeds,
+        final_constraint,
+        require_equal_endpoints,
+        subject_node,
+        object_node,
+        inference: conjunct.mode == QueryMode::Relax && options.inference,
+        phi,
+    })
+}
+
+/// The node sets selected by an initial transition label, used both for
+/// seeding `(?X, R, ?Y)` conjuncts and by tests.
+pub(crate) fn seed_nodes_for_label(
+    graph: &GraphStore,
+    ontology: &Ontology,
+    inference: bool,
+    label: &TransitionLabel,
+) -> omega_graph::NodeBitmap {
+    use omega_graph::NodeBitmap;
+    match label {
+        TransitionLabel::Epsilon => NodeBitmap::new(),
+        TransitionLabel::Symbol {
+            label: None, ..
+        } => NodeBitmap::new(),
+        TransitionLabel::Symbol {
+            label: Some(l),
+            inverse,
+            ..
+        } => {
+            let labels = if inference {
+                ontology.subproperties_or_self(*l)
+            } else {
+                vec![*l]
+            };
+            let mut set = NodeBitmap::new();
+            for l in labels {
+                let part = if *inverse {
+                    graph.heads(l)
+                } else {
+                    graph.tails(l)
+                };
+                set.union_with(&part);
+            }
+            // Under `sc` inference an inverse `type` traversal can also start
+            // from superclasses whose only instances are inferred.
+            if inference && *l == graph.type_label() && *inverse {
+                let declared: Vec<_> = set.iter().collect();
+                for class in declared {
+                    for (sup, _) in ontology.superclasses(class) {
+                        set.insert(sup);
+                    }
+                }
+            }
+            set
+        }
+        TransitionLabel::AnyForward => {
+            let mut set = NodeBitmap::new();
+            for (l, _) in graph.labels() {
+                set.union_with(&graph.tails(l));
+            }
+            set
+        }
+        TransitionLabel::Any => graph.nodes_with_any_edge(),
+        TransitionLabel::TypeTo { class, .. } => {
+            let classes = if inference {
+                ontology.subclasses_or_self(*class)
+            } else {
+                vec![*class]
+            };
+            let mut set = NodeBitmap::new();
+            for c in classes {
+                set.extend(
+                    graph
+                        .neighbors(c, graph.type_label(), omega_graph::Direction::Incoming)
+                        .iter()
+                        .copied(),
+                );
+            }
+            set
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parser::parse_query;
+
+    fn tiny_graph() -> (GraphStore, Ontology) {
+        let mut g = GraphStore::new();
+        g.add_triple("a", "knows", "b");
+        g.add_triple("b", "knows", "c");
+        g.add_triple("a", "type", "Person");
+        g.add_triple("b", "type", "Student");
+        let mut o = Ontology::new();
+        let student = g.node_by_label("Student").unwrap();
+        let person = g.node_by_label("Person").unwrap();
+        o.add_subclass(student, person).unwrap();
+        (g, o)
+    }
+
+    fn plan_for(query: &str) -> ConjunctPlan {
+        let (g, o) = tiny_graph();
+        let q = parse_query(query).unwrap();
+        compile_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn constant_subject_seeds_from_constant() {
+        let plan = plan_for("(?X) <- (a, knows, ?X)");
+        assert!(!plan.reversed);
+        match &plan.seeds {
+            SeedSpec::Fixed(seeds) => assert_eq!(seeds.len(), 1),
+            other => panic!("unexpected seeds {other:?}"),
+        }
+        assert_eq!(plan.final_constraint, None);
+        assert_eq!(plan.phi, 1);
+    }
+
+    #[test]
+    fn constant_object_reverses_the_regex() {
+        let plan = plan_for("(?X) <- (?X, knows, c)");
+        assert!(plan.reversed);
+        assert_eq!(plan.regex.to_string(), "knows-");
+        match &plan.seeds {
+            SeedSpec::Fixed(seeds) => {
+                let (g, _) = tiny_graph();
+                assert_eq!(seeds[0].0, g.node_by_label("c").unwrap());
+            }
+            other => panic!("unexpected seeds {other:?}"),
+        }
+    }
+
+    #[test]
+    fn both_constants_set_final_constraint() {
+        let plan = plan_for("(?X) <- (a, knows, ?X), (a, knows, b)");
+        // the first conjunct is used above; compile the second explicitly:
+        let (g, o) = tiny_graph();
+        let q = parse_query("(?X) <- (a, knows.knows, ?X), (a, knows, b)").unwrap();
+        let plan2 = compile_conjunct(&q.conjuncts[1], &g, &o, &EvalOptions::default()).unwrap();
+        assert_eq!(plan2.final_constraint, g.node_by_label("b"));
+        assert!(plan.final_constraint.is_none());
+    }
+
+    #[test]
+    fn var_var_conjunct_uses_matching_initial() {
+        let plan = plan_for("(?X, ?Y) <- (?X, knows, ?Y)");
+        assert_eq!(plan.seeds, SeedSpec::MatchingInitial);
+        assert!(!plan.require_equal_endpoints);
+    }
+
+    #[test]
+    fn nullable_regex_seeds_all_nodes_as_final() {
+        let plan = plan_for("(?X, ?Y) <- (?X, knows*, ?Y)");
+        assert_eq!(plan.seeds, SeedSpec::AllNodes { as_final: true });
+    }
+
+    #[test]
+    fn approx_of_nullable_regex_keeps_zero_weight_finality() {
+        let plan = plan_for("(?X, ?Y) <- APPROX (?X, knows*, ?Y)");
+        assert_eq!(plan.seeds, SeedSpec::AllNodes { as_final: true });
+        assert_eq!(plan.phi, 1);
+    }
+
+    #[test]
+    fn same_variable_requires_equal_endpoints() {
+        let plan = plan_for("(?X) <- (?X, knows.knows, ?X)");
+        assert!(plan.require_equal_endpoints);
+    }
+
+    #[test]
+    fn relax_class_constant_seeds_ancestors() {
+        let plan = plan_for("(?X) <- RELAX (Student, type-, ?X)");
+        match &plan.seeds {
+            SeedSpec::Fixed(seeds) => {
+                assert_eq!(seeds.len(), 2, "Student itself plus Person");
+                assert_eq!(seeds[0].1, 0);
+                assert_eq!(seeds[1].1, 1, "one β step up the hierarchy");
+            }
+            other => panic!("unexpected seeds {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_constant_is_an_error() {
+        let (g, o) = tiny_graph();
+        let q = parse_query("(?X) <- (Nowhere, knows, ?X)").unwrap();
+        let err = compile_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default()).unwrap_err();
+        assert!(matches!(err, OmegaError::UnknownConstant(_)));
+    }
+
+    #[test]
+    fn approx_automaton_is_epsilon_free_and_has_wildcards() {
+        let plan = plan_for("(?X) <- APPROX (a, knows.knows, ?X)");
+        assert!(!plan.nfa.has_epsilon_transitions());
+        assert!(plan
+            .nfa
+            .transitions()
+            .iter()
+            .any(|t| matches!(t.label, TransitionLabel::Any)));
+    }
+
+    #[test]
+    fn seed_nodes_for_label_selects_by_direction() {
+        let (g, o) = tiny_graph();
+        let knows = g.label_id("knows").unwrap();
+        let fwd = seed_nodes_for_label(
+            &g,
+            &o,
+            false,
+            &TransitionLabel::symbol(Some(knows), false, "knows"),
+        );
+        assert_eq!(fwd.len(), 2); // a and b have outgoing `knows`
+        let back = seed_nodes_for_label(
+            &g,
+            &o,
+            false,
+            &TransitionLabel::symbol(Some(knows), true, "knows"),
+        );
+        assert_eq!(back.len(), 2); // b and c have incoming `knows`
+        let any = seed_nodes_for_label(&g, &o, false, &TransitionLabel::Any);
+        assert_eq!(any.len(), g.nodes_with_any_edge().len());
+    }
+
+    #[test]
+    fn seed_nodes_for_type_to_respects_inference() {
+        let (g, o) = tiny_graph();
+        let person = g.node_by_label("Person").unwrap();
+        let strict = seed_nodes_for_label(
+            &g,
+            &o,
+            false,
+            &TransitionLabel::TypeTo {
+                class: person,
+                name: "Person".into(),
+            },
+        );
+        assert_eq!(strict.len(), 1); // only `a` is directly typed Person
+        let inferred = seed_nodes_for_label(
+            &g,
+            &o,
+            true,
+            &TransitionLabel::TypeTo {
+                class: person,
+                name: "Person".into(),
+            },
+        );
+        assert_eq!(inferred.len(), 2); // `b` is a Student ⊑ Person
+    }
+}

@@ -1,0 +1,396 @@
+//! Incremental ranked join of conjunct answer streams.
+//!
+//! Multi-conjunct queries need their per-conjunct answer streams combined on
+//! shared variables, with combined answers emitted in non-decreasing order of
+//! *total* distance (the sum over conjuncts). This is the classic rank-join
+//! setting (HRJN): pull answers from the input streams, join each new arrival
+//! against everything already buffered from the other streams, and emit a
+//! buffered combination once its total distance is provably minimal — i.e.
+//! not larger than the lower bound any future combination could achieve.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use omega_graph::NodeId;
+
+use crate::answer::ConjunctAnswer;
+use crate::error::Result;
+use crate::eval::stats::EvalStats;
+use crate::eval::AnswerStream;
+
+/// Variable bindings of one (partial or complete) join result, kept sorted by
+/// variable name so that equal bindings compare equal.
+type Bindings = Vec<(String, NodeId)>;
+
+/// One input stream of the join.
+pub struct JoinInput<'a> {
+    stream: Box<dyn AnswerStream + 'a>,
+    /// Variable bound by the conjunct's subject (if it is a variable).
+    subject_var: Option<String>,
+    /// Variable bound by the conjunct's object (if it is a variable).
+    object_var: Option<String>,
+    buffer: Vec<(Bindings, u32)>,
+    min_distance: Option<u32>,
+    last_distance: u32,
+    done: bool,
+}
+
+impl<'a> JoinInput<'a> {
+    /// Wraps an answer stream together with the variables its answers bind.
+    pub fn new(
+        stream: Box<dyn AnswerStream + 'a>,
+        subject_var: Option<String>,
+        object_var: Option<String>,
+    ) -> JoinInput<'a> {
+        JoinInput {
+            stream,
+            subject_var,
+            object_var,
+            buffer: Vec::new(),
+            min_distance: None,
+            last_distance: 0,
+            done: false,
+        }
+    }
+
+    fn bindings_of(&self, answer: &ConjunctAnswer) -> Bindings {
+        let mut out: Bindings = Vec::with_capacity(2);
+        if let Some(var) = &self.subject_var {
+            out.push((var.clone(), answer.x));
+        }
+        if let Some(var) = &self.object_var {
+            // A conjunct like (?X, R, ?X) binds one variable; both endpoints
+            // agree by construction, so keep a single entry.
+            if self.subject_var.as_deref() != Some(var.as_str()) {
+                out.push((var.clone(), answer.y));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// A buffered candidate combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Candidate {
+    distance: u32,
+    bindings: Bindings,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.distance
+            .cmp(&other.distance)
+            .then_with(|| self.bindings.cmp(&other.bindings))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Merges two binding sets, failing on a conflicting shared variable.
+fn merge_bindings(a: &Bindings, b: &Bindings) -> Option<Bindings> {
+    let mut map: HashMap<&str, NodeId> = a.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    for (k, v) in b {
+        match map.get(k.as_str()) {
+            Some(existing) if existing != v => return None,
+            _ => {
+                map.insert(k, *v);
+            }
+        }
+    }
+    let mut out: Bindings = map.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+    out.sort();
+    Some(out)
+}
+
+/// HRJN-style incremental rank join over conjunct answer streams.
+pub struct RankJoin<'a> {
+    inputs: Vec<JoinInput<'a>>,
+    candidates: BinaryHeap<Reverse<Candidate>>,
+    emitted: HashSet<Bindings>,
+    stats: EvalStats,
+}
+
+impl<'a> RankJoin<'a> {
+    /// Creates a join over the given inputs (one per conjunct).
+    pub fn new(inputs: Vec<JoinInput<'a>>) -> RankJoin<'a> {
+        RankJoin {
+            inputs,
+            candidates: BinaryHeap::new(),
+            emitted: HashSet::new(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Lower bound on the total distance of any combination not yet buffered.
+    /// `None` when every stream is exhausted (nothing new can appear).
+    fn future_lower_bound(&self) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for (i, input) in self.inputs.iter().enumerate() {
+            if input.done {
+                continue;
+            }
+            let mut bound = input.last_distance;
+            for (j, other) in self.inputs.iter().enumerate() {
+                if i != j {
+                    bound += other.min_distance.unwrap_or(0);
+                }
+            }
+            best = Some(best.map_or(bound, |b: u32| b.min(bound)));
+        }
+        best
+    }
+
+    /// Pulls one answer from the most promising live stream and joins it
+    /// against the other buffers. Returns `false` when every stream is done.
+    fn pull_once(&mut self) -> Result<bool> {
+        // Pull from the live stream whose last distance is smallest: it is
+        // the one holding the lower bound down.
+        let Some(idx) = self
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, input)| !input.done)
+            .min_by_key(|(_, input)| input.last_distance)
+            .map(|(i, _)| i)
+        else {
+            return Ok(false);
+        };
+        let answer = self.inputs[idx].stream.next_answer()?;
+        match answer {
+            None => {
+                self.inputs[idx].done = true;
+                Ok(true)
+            }
+            Some(answer) => {
+                let bindings = self.inputs[idx].bindings_of(&answer);
+                let distance = answer.distance;
+                {
+                    let input = &mut self.inputs[idx];
+                    input.last_distance = distance;
+                    input.min_distance.get_or_insert(distance);
+                    input.buffer.push((bindings.clone(), distance));
+                }
+                // Join the new arrival with every compatible combination of
+                // the other inputs' buffers.
+                let mut partials: Vec<(Bindings, u32)> = vec![(bindings, distance)];
+                for (j, other) in self.inputs.iter().enumerate() {
+                    if j == idx {
+                        continue;
+                    }
+                    let mut next: Vec<(Bindings, u32)> = Vec::new();
+                    for (partial, pd) in &partials {
+                        for (buffered, bd) in &other.buffer {
+                            if let Some(merged) = merge_bindings(partial, buffered) {
+                                next.push((merged, pd + bd));
+                            }
+                        }
+                    }
+                    partials = next;
+                    if partials.is_empty() {
+                        break;
+                    }
+                }
+                for (bindings, distance) in partials {
+                    self.candidates.push(Reverse(Candidate { distance, bindings }));
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// The next combined answer in non-decreasing total-distance order.
+    pub fn get_next(&mut self) -> Result<Option<(Bindings, u32)>> {
+        loop {
+            let emit_now = match (self.candidates.peek(), self.future_lower_bound()) {
+                (Some(Reverse(best)), Some(bound)) => best.distance <= bound,
+                (Some(_), None) => true,
+                (None, None) => return Ok(None),
+                (None, Some(_)) => false,
+            };
+            if emit_now {
+                let Reverse(candidate) = self.candidates.pop().expect("peeked above");
+                if self.emitted.insert(candidate.bindings.clone()) {
+                    self.stats.answers += 1;
+                    return Ok(Some((candidate.bindings, candidate.distance)));
+                }
+                continue;
+            }
+            if !self.pull_once()? {
+                // Everything exhausted; drain remaining candidates.
+                continue;
+            }
+        }
+    }
+}
+
+impl RankJoin<'_> {
+    /// Accumulated statistics (including all input streams).
+    pub fn stats(&self) -> EvalStats {
+        let mut stats = self.stats;
+        for input in &self.inputs {
+            stats += input.stream.stats();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted answer stream for unit-testing the join in isolation.
+    struct Scripted {
+        answers: Vec<ConjunctAnswer>,
+        pos: usize,
+    }
+
+    impl Scripted {
+        fn new(mut answers: Vec<(u32, u32, u32)>) -> Scripted {
+            answers.sort_by_key(|&(_, _, d)| d);
+            Scripted {
+                answers: answers
+                    .into_iter()
+                    .map(|(x, y, d)| ConjunctAnswer {
+                        x: NodeId(x),
+                        y: NodeId(y),
+                        distance: d,
+                    })
+                    .collect(),
+                pos: 0,
+            }
+        }
+    }
+
+    impl AnswerStream for Scripted {
+        fn next_answer(&mut self) -> Result<Option<ConjunctAnswer>> {
+            let out = self.answers.get(self.pos).copied();
+            self.pos += 1;
+            Ok(out)
+        }
+
+        fn stats(&self) -> EvalStats {
+            EvalStats::default()
+        }
+    }
+
+    fn input(
+        answers: Vec<(u32, u32, u32)>,
+        subject: Option<&str>,
+        object: Option<&str>,
+    ) -> JoinInput<'static> {
+        JoinInput::new(
+            Box::new(Scripted::new(answers)),
+            subject.map(str::to_owned),
+            object.map(str::to_owned),
+        )
+    }
+
+    fn binding(bindings: &Bindings, var: &str) -> u32 {
+        bindings.iter().find(|(k, _)| k == var).unwrap().1 .0
+    }
+
+    #[test]
+    fn joins_on_shared_variables() {
+        // conjunct 1 binds (X, Y); conjunct 2 binds (Y, Z).
+        let c1 = input(vec![(1, 10, 0), (2, 20, 0)], Some("X"), Some("Y"));
+        let c2 = input(vec![(10, 100, 0), (30, 300, 0)], Some("Y"), Some("Z"));
+        let mut join = RankJoin::new(vec![c1, c2]);
+        let mut results = Vec::new();
+        while let Some(r) = join.get_next().unwrap() {
+            results.push(r);
+        }
+        assert_eq!(results.len(), 1);
+        let (bindings, distance) = &results[0];
+        assert_eq!(distance, &0);
+        assert_eq!(binding(bindings, "X"), 1);
+        assert_eq!(binding(bindings, "Y"), 10);
+        assert_eq!(binding(bindings, "Z"), 100);
+    }
+
+    #[test]
+    fn total_distance_is_summed_and_ordered() {
+        let c1 = input(
+            vec![(1, 10, 0), (1, 11, 1), (1, 12, 3)],
+            Some("X"),
+            Some("Y"),
+        );
+        let c2 = input(
+            vec![(10, 100, 0), (11, 100, 0), (12, 100, 1)],
+            Some("Y"),
+            Some("Z"),
+        );
+        let mut join = RankJoin::new(vec![c1, c2]);
+        let mut distances = Vec::new();
+        while let Some((_, d)) = join.get_next().unwrap() {
+            distances.push(d);
+        }
+        assert_eq!(distances, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn cartesian_product_when_no_shared_variables() {
+        let c1 = input(vec![(1, 10, 0), (2, 20, 1)], Some("X"), Some("Y"));
+        let c2 = input(vec![(5, 50, 0)], Some("A"), Some("B"));
+        let mut join = RankJoin::new(vec![c1, c2]);
+        let mut count = 0;
+        let mut last = 0;
+        while let Some((_, d)) = join.get_next().unwrap() {
+            assert!(d >= last);
+            last = d;
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn conflicting_bindings_are_rejected() {
+        // Both conjuncts bind X and Y but disagree on Y for x=1.
+        let c1 = input(vec![(1, 10, 0)], Some("X"), Some("Y"));
+        let c2 = input(vec![(1, 99, 0)], Some("X"), Some("Y"));
+        let mut join = RankJoin::new(vec![c1, c2]);
+        assert!(join.get_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn three_way_join() {
+        let c1 = input(vec![(1, 2, 0)], Some("X"), Some("Y"));
+        let c2 = input(vec![(2, 3, 1)], Some("Y"), Some("Z"));
+        let c3 = input(vec![(3, 4, 2)], Some("Z"), Some("W"));
+        let mut join = RankJoin::new(vec![c1, c2, c3]);
+        let (bindings, distance) = join.get_next().unwrap().unwrap();
+        assert_eq!(distance, 3);
+        assert_eq!(bindings.len(), 4);
+        assert!(join.get_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_combinations_are_emitted_once() {
+        // Two identical answers in stream 1 produce the same combined binding.
+        let c1 = input(vec![(1, 10, 0), (1, 10, 2)], Some("X"), Some("Y"));
+        let c2 = input(vec![(10, 100, 0)], Some("Y"), Some("Z"));
+        let mut join = RankJoin::new(vec![c1, c2]);
+        let mut results = Vec::new();
+        while let Some(r) = join.get_next().unwrap() {
+            results.push(r);
+        }
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1, 0, "the cheaper duplicate wins");
+    }
+
+    #[test]
+    fn constant_only_conjunct_contributes_distance_but_no_bindings() {
+        // A conjunct with two constants acts as a filter: it binds nothing
+        // but its (possibly positive) distance still counts.
+        let c1 = input(vec![(1, 10, 0)], Some("X"), None);
+        let filter = input(vec![(7, 8, 2)], None, None);
+        let mut join = RankJoin::new(vec![c1, filter]);
+        let (bindings, distance) = join.get_next().unwrap().unwrap();
+        assert_eq!(distance, 2);
+        assert_eq!(bindings.len(), 1);
+    }
+}

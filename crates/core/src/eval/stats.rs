@@ -1,0 +1,73 @@
+//! Evaluation statistics, used by tests and by the ablation benchmarks.
+
+use std::ops::AddAssign;
+
+/// Counters accumulated during evaluation of a conjunct or query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Tuples added to the distance dictionary `D_R`.
+    pub tuples_added: u64,
+    /// Tuples removed from `D_R` and processed by `GetNext`.
+    pub tuples_processed: u64,
+    /// Calls to the `Succ` function.
+    pub succ_calls: u64,
+    /// Neighbour-list lookups against the graph store.
+    pub neighbour_lookups: u64,
+    /// Answers emitted.
+    pub answers: u64,
+    /// Tuples suppressed because their distance exceeded the current ψ bound
+    /// (distance-aware evaluation only).
+    pub suppressed: u64,
+    /// Number of evaluation restarts performed by the escalating drivers.
+    pub restarts: u64,
+}
+
+impl AddAssign for EvalStats {
+    fn add_assign(&mut self, rhs: EvalStats) {
+        self.tuples_added += rhs.tuples_added;
+        self.tuples_processed += rhs.tuples_processed;
+        self.succ_calls += rhs.succ_calls;
+        self.neighbour_lookups += rhs.neighbour_lookups;
+        self.answers += rhs.answers;
+        self.suppressed += rhs.suppressed;
+        self.restarts += rhs.restarts;
+    }
+}
+
+impl std::fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "added={} processed={} succ={} lookups={} answers={} suppressed={} restarts={}",
+            self.tuples_added,
+            self.tuples_processed,
+            self.succ_calls,
+            self.neighbour_lookups,
+            self.answers,
+            self.suppressed,
+            self.restarts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = EvalStats {
+            tuples_added: 1,
+            tuples_processed: 2,
+            succ_calls: 3,
+            neighbour_lookups: 4,
+            answers: 5,
+            suppressed: 6,
+            restarts: 7,
+        };
+        a += a;
+        assert_eq!(a.tuples_added, 2);
+        assert_eq!(a.restarts, 14);
+        assert!(a.to_string().contains("answers=10"));
+    }
+}

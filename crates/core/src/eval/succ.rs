@@ -1,0 +1,352 @@
+//! The `Succ` function: automaton-guided neighbour expansion.
+//!
+//! Given a node `(s, n)` of the (lazily constructed) weighted product
+//! automaton `H_R`, `Succ` returns its outgoing transitions: for each
+//! automaton transition leaving `s`, the graph neighbours of `n` reachable
+//! over edges that match the transition's label. The automaton therefore
+//! guides which adjacency lists are ever touched, and consecutive transitions
+//! carrying the same label reuse a single neighbour lookup (the paper's
+//! `prevlabel` refinement).
+
+use omega_automata::{StateId, TransitionLabel, WeightedNfa};
+use omega_graph::{Direction, GraphStore, NodeId};
+use omega_ontology::Ontology;
+
+use crate::eval::stats::EvalStats;
+
+/// One product-automaton transition produced by [`succ`]: reach graph node
+/// `node` in automaton state `state` at additional cost `cost`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuccTransition {
+    /// Additional distance incurred by the step.
+    pub cost: u32,
+    /// Target automaton state.
+    pub state: StateId,
+    /// Target graph node.
+    pub node: NodeId,
+}
+
+/// The neighbours of `node` reachable over edges matching `label`
+/// (the paper's `NeighboursByEdge`).
+///
+/// Under RDFS inference (`inference = true`, RELAX conjuncts) a property
+/// label also matches edges labelled by any of its sub-properties, and a
+/// `TypeTo(c)` constraint accepts `type` edges into any subclass of `c`
+/// (the step then lands on `c` itself, the class the relaxed query names).
+pub fn neighbours_by_edge(
+    graph: &GraphStore,
+    ontology: &Ontology,
+    inference: bool,
+    node: NodeId,
+    label: &TransitionLabel,
+    stats: &mut EvalStats,
+) -> Vec<NodeId> {
+    stats.neighbour_lookups += 1;
+    match label {
+        TransitionLabel::Epsilon => Vec::new(),
+        TransitionLabel::Symbol { label: None, .. } => Vec::new(),
+        TransitionLabel::Symbol {
+            label: Some(l),
+            inverse,
+            ..
+        } => {
+            let dir = if *inverse {
+                Direction::Incoming
+            } else {
+                Direction::Outgoing
+            };
+            if inference && *l == graph.type_label() {
+                // RDFS `sc` inference on type edges: an instance of a class
+                // is also an instance of every superclass.
+                if *inverse {
+                    // Instances of `node` (a class) and of all its subclasses.
+                    let mut out = Vec::new();
+                    for class in ontology.subclasses_or_self(node) {
+                        for &m in graph.neighbors(class, *l, Direction::Incoming) {
+                            if !out.contains(&m) {
+                                out.push(m);
+                            }
+                        }
+                    }
+                    out
+                } else {
+                    // The node's declared classes plus all their superclasses.
+                    let mut out: Vec<NodeId> =
+                        graph.neighbors(node, *l, Direction::Outgoing).to_vec();
+                    let declared = out.clone();
+                    for class in declared {
+                        for (sup, _) in ontology.superclasses(class) {
+                            if !out.contains(&sup) {
+                                out.push(sup);
+                            }
+                        }
+                    }
+                    out
+                }
+            } else if inference {
+                let labels = ontology.subproperties_or_self(*l);
+                graph.neighbors_multi(node, &labels, dir)
+            } else {
+                graph.neighbors(node, *l, dir).to_vec()
+            }
+        }
+        TransitionLabel::AnyForward => {
+            let mut out: Vec<NodeId> = graph
+                .neighbors_any(node, Direction::Outgoing)
+                .map(|(_, n)| n)
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        TransitionLabel::Any => {
+            let mut out: Vec<NodeId> = graph
+                .neighbors_any(node, Direction::Outgoing)
+                .chain(graph.neighbors_any(node, Direction::Incoming))
+                .map(|(_, n)| n)
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        TransitionLabel::TypeTo { class, .. } => {
+            let type_label = graph.type_label();
+            let targets = graph.neighbors(node, type_label, Direction::Outgoing);
+            let hit = if inference {
+                targets
+                    .iter()
+                    .any(|&t| t == *class || ontology.is_superclass_of(*class, t))
+            } else {
+                targets.contains(class)
+            };
+            if hit {
+                vec![*class]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// The paper's `Succ(s, n)`: all product-automaton transitions leaving
+/// `(s, n)`.
+///
+/// Consecutive automaton transitions with the same label (the automaton keeps
+/// its transitions label-sorted) share one `neighbours_by_edge` call.
+pub fn succ(
+    graph: &GraphStore,
+    ontology: &Ontology,
+    inference: bool,
+    nfa: &WeightedNfa,
+    state: StateId,
+    node: NodeId,
+    stats: &mut EvalStats,
+) -> Vec<SuccTransition> {
+    stats.succ_calls += 1;
+    let mut out = Vec::new();
+    let mut prev_label: Option<&TransitionLabel> = None;
+    let mut cached: Vec<NodeId> = Vec::new();
+    for t in nfa.transitions_from(state) {
+        if prev_label != Some(&t.label) {
+            cached = neighbours_by_edge(graph, ontology, inference, node, &t.label, stats);
+            prev_label = Some(&t.label);
+        }
+        for &m in &cached {
+            out.push(SuccTransition {
+                cost: t.cost,
+                state: t.to,
+                node: m,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_automata::build_nfa;
+    use omega_regex::parse;
+
+    fn setup() -> (GraphStore, Ontology) {
+        let mut g = GraphStore::new();
+        g.add_triple("a", "knows", "b");
+        g.add_triple("a", "likes", "c");
+        g.add_triple("c", "knows", "a");
+        g.add_triple("a", "type", "Student");
+        let mut o = Ontology::new();
+        let related = g.intern_label("related");
+        let knows = g.label_id("knows").unwrap();
+        o.add_subproperty(knows, related).unwrap();
+        let student = g.node_by_label("Student").unwrap();
+        let person = g.add_node("Person");
+        o.add_subclass(student, person).unwrap();
+        (g, o)
+    }
+
+    #[test]
+    fn symbol_labels_respect_direction() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let a = g.node_by_label("a").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        let fwd = neighbours_by_edge(
+            &g,
+            &o,
+            false,
+            a,
+            &TransitionLabel::symbol(Some(knows), false, "knows"),
+            &mut stats,
+        );
+        assert_eq!(fwd, vec![g.node_by_label("b").unwrap()]);
+        let back = neighbours_by_edge(
+            &g,
+            &o,
+            false,
+            a,
+            &TransitionLabel::symbol(Some(knows), true, "knows"),
+            &mut stats,
+        );
+        assert_eq!(back, vec![g.node_by_label("c").unwrap()]);
+        assert_eq!(stats.neighbour_lookups, 2);
+    }
+
+    #[test]
+    fn unresolved_symbols_match_nothing() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let a = g.node_by_label("a").unwrap();
+        let out = neighbours_by_edge(
+            &g,
+            &o,
+            false,
+            a,
+            &TransitionLabel::symbol(None, false, "ghost"),
+            &mut stats,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wildcard_any_covers_both_directions() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let a = g.node_by_label("a").unwrap();
+        let all = neighbours_by_edge(&g, &o, false, a, &TransitionLabel::Any, &mut stats);
+        // b (knows), c (likes out, knows in), Student (type)
+        assert_eq!(all.len(), 3);
+        let fwd = neighbours_by_edge(&g, &o, false, a, &TransitionLabel::AnyForward, &mut stats);
+        assert_eq!(fwd.len(), 3); // b, c, Student — all outgoing
+        let c = g.node_by_label("c").unwrap();
+        let c_fwd = neighbours_by_edge(&g, &o, false, c, &TransitionLabel::AnyForward, &mut stats);
+        assert_eq!(c_fwd, vec![a]);
+    }
+
+    #[test]
+    fn inference_expands_subproperties() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let a = g.node_by_label("a").unwrap();
+        let related = g.label_id("related").unwrap();
+        let strict = neighbours_by_edge(
+            &g,
+            &o,
+            false,
+            a,
+            &TransitionLabel::symbol(Some(related), false, "related"),
+            &mut stats,
+        );
+        assert!(strict.is_empty(), "no edge is labelled `related` directly");
+        let inferred = neighbours_by_edge(
+            &g,
+            &o,
+            true,
+            a,
+            &TransitionLabel::symbol(Some(related), false, "related"),
+            &mut stats,
+        );
+        assert_eq!(inferred, vec![g.node_by_label("b").unwrap()]);
+    }
+
+    #[test]
+    fn type_to_lands_on_the_named_class() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let a = g.node_by_label("a").unwrap();
+        let student = g.node_by_label("Student").unwrap();
+        let person = g.node_by_label("Person").unwrap();
+        let strict = neighbours_by_edge(
+            &g,
+            &o,
+            false,
+            a,
+            &TransitionLabel::TypeTo {
+                class: person,
+                name: "Person".into(),
+            },
+            &mut stats,
+        );
+        assert!(strict.is_empty(), "a is typed Student, not Person");
+        let inferred = neighbours_by_edge(
+            &g,
+            &o,
+            true,
+            a,
+            &TransitionLabel::TypeTo {
+                class: person,
+                name: "Person".into(),
+            },
+            &mut stats,
+        );
+        assert_eq!(inferred, vec![person], "lands on Person, not Student");
+        let direct = neighbours_by_edge(
+            &g,
+            &o,
+            false,
+            a,
+            &TransitionLabel::TypeTo {
+                class: student,
+                name: "Student".into(),
+            },
+            &mut stats,
+        );
+        assert_eq!(direct, vec![student]);
+    }
+
+    #[test]
+    fn succ_follows_automaton_transitions() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let nfa = omega_automata::remove_epsilons(&build_nfa(&parse("knows|likes").unwrap(), &g));
+        let a = g.node_by_label("a").unwrap();
+        let out = succ(&g, &o, false, &nfa, nfa.initial(), a, &mut stats);
+        let nodes: std::collections::HashSet<_> = out.iter().map(|t| t.node).collect();
+        assert!(nodes.contains(&g.node_by_label("b").unwrap()));
+        assert!(nodes.contains(&g.node_by_label("c").unwrap()));
+        assert_eq!(stats.succ_calls, 1);
+        assert!(out.iter().all(|t| t.cost == 0));
+    }
+
+    #[test]
+    fn succ_reuses_lookups_for_identical_labels() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        // knows.x | knows.y produces two `knows` transitions from the initial
+        // state (to different states); one lookup must serve both.
+        let nfa = omega_automata::remove_epsilons(&build_nfa(
+            &parse("(knows.likes)|(knows.type)").unwrap(),
+            &g,
+        ));
+        let a = g.node_by_label("a").unwrap();
+        let initial_knows_transitions = nfa
+            .transitions_from(nfa.initial())
+            .filter(|t| t.label.to_string() == "knows")
+            .count();
+        assert!(initial_knows_transitions >= 2);
+        let _ = succ(&g, &o, false, &nfa, nfa.initial(), a, &mut stats);
+        assert_eq!(
+            stats.neighbour_lookups, 1,
+            "consecutive identical labels must share a neighbour lookup"
+        );
+    }
+}

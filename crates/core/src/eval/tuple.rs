@@ -1,0 +1,49 @@
+//! Evaluation tuples.
+
+use omega_automata::StateId;
+use omega_graph::NodeId;
+
+/// A traversal tuple `(v, n, s, d, f)` as described in Section 3.3 of the
+/// paper: visiting node `n` in automaton state `s`, having started from node
+/// `v`, at distance `d`; `is_final` marks tuples that represent a complete
+/// answer waiting to be emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    /// The node evaluation started from (`v`).
+    pub start: NodeId,
+    /// The node currently being visited (`n`).
+    pub node: NodeId,
+    /// The automaton state (`s`).
+    pub state: StateId,
+    /// Accumulated distance (`d`).
+    pub distance: u32,
+    /// Whether this is a 'final' tuple (a pending answer) rather than a
+    /// traversal frontier entry.
+    pub is_final: bool,
+}
+
+impl Tuple {
+    /// A non-final seed tuple `(v, v, s0, d, false)`.
+    pub fn seed(node: NodeId, state: StateId, distance: u32) -> Tuple {
+        Tuple {
+            start: node,
+            node,
+            state,
+            distance,
+            is_final: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_starts_at_itself() {
+        let t = Tuple::seed(NodeId(4), StateId(0), 2);
+        assert_eq!(t.start, t.node);
+        assert_eq!(t.distance, 2);
+        assert!(!t.is_final);
+    }
+}

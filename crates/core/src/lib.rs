@@ -1,0 +1,73 @@
+//! # omega-core
+//!
+//! The Omega query processor of *Implementing Flexible Operators for Regular
+//! Path Queries* (Selmer, Poulovassilis & Wood, EDBT/ICDT Workshops 2015):
+//! conjunctive regular path queries (CRPQs) over an edge-labelled graph and
+//! an RDFS-style ontology, extended with two flexible operators —
+//!
+//! * **APPROX**: approximate matching of a conjunct's regular expression
+//!   under edit distance (insertion / deletion / substitution of edge
+//!   labels), and
+//! * **RELAX**: ontology-driven relaxation (superclass / superproperty steps,
+//!   property-to-`type`-edge rewriting) evaluated under RDFS inference —
+//!
+//! with answers returned **incrementally in non-decreasing order of
+//! distance**.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use omega_core::Omega;
+//! use omega_graph::GraphStore;
+//! use omega_ontology::Ontology;
+//!
+//! let mut graph = GraphStore::new();
+//! graph.add_triple("UK", "hasCapital", "London");
+//! graph.add_triple("college", "locatedIn", "UK");
+//! graph.add_triple("alice", "gradFrom", "college");
+//!
+//! let omega = Omega::new(graph, Ontology::new());
+//!
+//! // The user got the direction of `gradFrom` wrong — no exact answers…
+//! let exact = omega
+//!     .execute("(?X) <- (UK, locatedIn-.gradFrom, ?X)", Some(10))
+//!     .unwrap();
+//! assert!(exact.is_empty());
+//!
+//! // …but APPROX repairs the query (substituting `gradFrom-`) at distance 1.
+//! let approx = omega
+//!     .execute("(?X) <- APPROX (UK, locatedIn-.gradFrom, ?X)", Some(10))
+//!     .unwrap();
+//! let alice = approx.iter().find(|a| a.get("X") == Some("alice")).unwrap();
+//! assert_eq!(alice.distance, 1);
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`query`] — the CRPQ model and its textual parser,
+//! * [`eval::plan`] — conjunct compilation (automaton construction, APPROX /
+//!   RELAX augmentation, conjunct reversal, seed selection: the paper's
+//!   `Open`),
+//! * [`eval::conjunct`] — the ranked evaluator (`GetNext` / `Succ`) over the
+//!   lazily built weighted product automaton,
+//! * [`eval::distance_aware`] and [`eval::disjunction`] — the two
+//!   optimisations of Section 4.3,
+//! * [`eval::rank_join`] — the multi-conjunct ranked join,
+//! * [`eval::baseline`] — the plain product-automaton BFS baseline used for
+//!   comparison with other automaton-based approaches,
+//! * [`engine`] — the [`Omega`] facade.
+
+pub mod answer;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod query;
+
+pub use answer::{Answer, ConjunctAnswer};
+pub use engine::{Omega, QueryStream};
+pub use error::{OmegaError, Result};
+pub use eval::{
+    AnswerStream, BaselineEvaluator, ConjunctEvaluator, DisjunctionEvaluator,
+    DistanceAwareEvaluator, EvalOptions, EvalStats, RankJoin,
+};
+pub use query::{parse_query, Conjunct, Query, QueryMode, Term};

@@ -1,0 +1,287 @@
+//! Abstract syntax of conjunctive regular path queries with APPROX/RELAX.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use omega_regex::RpqRegex;
+
+use crate::error::{OmegaError, Result};
+
+/// A subject/object term of a conjunct: a variable (`?X`) or a constant node
+/// label (`UK`, `Work Episode`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable, stored without the leading `?`.
+    Variable(String),
+    /// A constant node label.
+    Constant(String),
+}
+
+impl Term {
+    /// Builds a variable term (the leading `?` is stripped if present).
+    pub fn variable(name: &str) -> Term {
+        Term::Variable(name.trim_start_matches('?').to_owned())
+    }
+
+    /// Builds a constant term.
+    pub fn constant(name: impl Into<String>) -> Term {
+        Term::Constant(name.into())
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, Term::Variable(_))
+    }
+
+    /// The variable name, if this term is a variable.
+    pub fn as_variable(&self) -> Option<&str> {
+        match self {
+            Term::Variable(v) => Some(v),
+            Term::Constant(_) => None,
+        }
+    }
+
+    /// The constant label, if this term is a constant.
+    pub fn as_constant(&self) -> Option<&str> {
+        match self {
+            Term::Constant(c) => Some(c),
+            Term::Variable(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Variable(v) => write!(f, "?{v}"),
+            Term::Constant(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Evaluation mode of a conjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueryMode {
+    /// Exact matching of the regular expression.
+    #[default]
+    Exact,
+    /// Approximate matching under edit distance (the APPROX operator).
+    Approx,
+    /// Ontology-driven relaxation (the RELAX operator).
+    Relax,
+}
+
+impl fmt::Display for QueryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryMode::Exact => write!(f, "EXACT"),
+            QueryMode::Approx => write!(f, "APPROX"),
+            QueryMode::Relax => write!(f, "RELAX"),
+        }
+    }
+}
+
+/// One conjunct `(X, R, Y)`, optionally prefixed by APPROX or RELAX.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conjunct {
+    /// Evaluation mode.
+    pub mode: QueryMode,
+    /// Subject term `X`.
+    pub subject: Term,
+    /// The regular path expression `R`.
+    pub regex: RpqRegex,
+    /// Object term `Y`.
+    pub object: Term,
+}
+
+impl Conjunct {
+    /// Variables appearing in this conjunct.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        [&self.subject, &self.object]
+            .into_iter()
+            .filter_map(Term::as_variable)
+            .collect()
+    }
+}
+
+impl fmt::Display for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mode {
+            QueryMode::Exact => write!(f, "({}, {}, {})", self.subject, self.regex, self.object),
+            mode => write!(
+                f,
+                "{mode} ({}, {}, {})",
+                self.subject, self.regex, self.object
+            ),
+        }
+    }
+}
+
+/// A conjunctive regular path query
+/// `(Z1, …, Zm) <- (X1, R1, Y1), …, (Xn, Rn, Yn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Head (projected) variables, without the leading `?`.
+    pub head: Vec<String>,
+    /// Body conjuncts.
+    pub conjuncts: Vec<Conjunct>,
+}
+
+impl Query {
+    /// A single-conjunct query projecting all of the conjunct's variables.
+    pub fn single(conjunct: Conjunct) -> Query {
+        let head = conjunct
+            .variables()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        Query {
+            head,
+            conjuncts: vec![conjunct],
+        }
+    }
+
+    /// All variables appearing in the body.
+    pub fn body_variables(&self) -> BTreeSet<&str> {
+        self.conjuncts
+            .iter()
+            .flat_map(Conjunct::variables)
+            .collect()
+    }
+
+    /// Validates the query: non-empty body and every head variable bound in
+    /// the body.
+    pub fn validate(&self) -> Result<()> {
+        if self.conjuncts.is_empty() {
+            return Err(OmegaError::EmptyQuery);
+        }
+        let body_vars = self.body_variables();
+        for head_var in &self.head {
+            if !body_vars.contains(head_var.as_str()) {
+                return Err(OmegaError::UnboundHeadVariable(head_var.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of the query with every conjunct's mode replaced — the
+    /// experiment harness uses this to run the same query in exact, APPROX
+    /// and RELAX modes.
+    pub fn with_mode(&self, mode: QueryMode) -> Query {
+        Query {
+            head: self.head.clone(),
+            conjuncts: self
+                .conjuncts
+                .iter()
+                .map(|c| Conjunct {
+                    mode,
+                    ..c.clone()
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: Vec<String> = self.head.iter().map(|v| format!("?{v}")).collect();
+        let body: Vec<String> = self.conjuncts.iter().map(|c| c.to_string()).collect();
+        write!(f, "({}) <- {}", head.join(", "), body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_regex::parse as parse_regex;
+
+    fn conjunct(mode: QueryMode, subject: Term, regex: &str, object: Term) -> Conjunct {
+        Conjunct {
+            mode,
+            subject,
+            regex: parse_regex(regex).unwrap(),
+            object,
+        }
+    }
+
+    #[test]
+    fn term_constructors() {
+        assert_eq!(Term::variable("?X"), Term::Variable("X".into()));
+        assert_eq!(Term::variable("X"), Term::Variable("X".into()));
+        assert!(Term::variable("?X").is_variable());
+        assert_eq!(Term::constant("UK").as_constant(), Some("UK"));
+        assert_eq!(Term::variable("?X").as_constant(), None);
+    }
+
+    #[test]
+    fn query_validation() {
+        let c = conjunct(
+            QueryMode::Exact,
+            Term::constant("UK"),
+            "locatedIn-",
+            Term::variable("X"),
+        );
+        let q = Query {
+            head: vec!["X".into()],
+            conjuncts: vec![c.clone()],
+        };
+        assert!(q.validate().is_ok());
+
+        let bad_head = Query {
+            head: vec!["Z".into()],
+            conjuncts: vec![c],
+        };
+        assert!(matches!(
+            bad_head.validate(),
+            Err(OmegaError::UnboundHeadVariable(_))
+        ));
+
+        let empty = Query {
+            head: vec![],
+            conjuncts: vec![],
+        };
+        assert_eq!(empty.validate(), Err(OmegaError::EmptyQuery));
+    }
+
+    #[test]
+    fn single_projects_all_variables() {
+        let q = Query::single(conjunct(
+            QueryMode::Approx,
+            Term::variable("X"),
+            "next+",
+            Term::variable("Y"),
+        ));
+        assert_eq!(q.head, vec!["X".to_owned(), "Y".to_owned()]);
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn with_mode_rewrites_all_conjuncts() {
+        let q = Query::single(conjunct(
+            QueryMode::Exact,
+            Term::constant("UK"),
+            "locatedIn-",
+            Term::variable("X"),
+        ));
+        let relaxed = q.with_mode(QueryMode::Relax);
+        assert!(relaxed.conjuncts.iter().all(|c| c.mode == QueryMode::Relax));
+        assert_eq!(relaxed.head, q.head);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let q = Query {
+            head: vec!["X".into()],
+            conjuncts: vec![conjunct(
+                QueryMode::Approx,
+                Term::constant("UK"),
+                "isLocatedIn-.gradFrom",
+                Term::variable("X"),
+            )],
+        };
+        assert_eq!(
+            q.to_string(),
+            "(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)"
+        );
+    }
+}

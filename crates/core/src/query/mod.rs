@@ -1,0 +1,7 @@
+//! The CRPQ query model and its parser.
+
+pub mod ast;
+pub mod parser;
+
+pub use ast::{Conjunct, Query, QueryMode, Term};
+pub use parser::parse_query;

@@ -1,0 +1,324 @@
+//! Parser for the textual query syntax used throughout the paper:
+//!
+//! ```text
+//! (?X) <- (UK, isLocatedIn-.gradFrom, ?X)
+//! (?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)
+//! (?X, ?Y) <- (?X, job.type, ?Y), RELAX (?Y, subjectArea, ?X)
+//! ```
+//!
+//! * the head lists the projected variables,
+//! * each conjunct is `(subject, regex, object)`, optionally prefixed by
+//!   `APPROX` or `RELAX`,
+//! * variables start with `?`; anything else is a constant node label
+//!   (constants may contain spaces, e.g. `Work Episode`).
+
+use omega_regex::parse as parse_regex;
+
+use crate::error::{OmegaError, Result};
+use crate::query::ast::{Conjunct, Query, QueryMode, Term};
+
+/// Parses a query from its textual form and validates it.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let arrow = input.find("<-").ok_or_else(|| OmegaError::Parse {
+        position: 0,
+        message: "expected '<-' between head and body".into(),
+    })?;
+    let head_text = &input[..arrow];
+    let body_text = &input[arrow + 2..];
+
+    let head = parse_head(head_text)?;
+    let conjuncts = parse_body(body_text, arrow + 2)?;
+    let query = Query { head, conjuncts };
+    query.validate()?;
+    Ok(query)
+}
+
+fn parse_head(text: &str) -> Result<Vec<String>> {
+    let trimmed = text.trim();
+    let inner = trimmed
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| OmegaError::Parse {
+            position: 0,
+            message: "query head must be a parenthesised variable list".into(),
+        })?;
+    let mut head = Vec::new();
+    for part in inner.split(',') {
+        let var = part.trim();
+        if var.is_empty() {
+            continue;
+        }
+        if !var.starts_with('?') {
+            return Err(OmegaError::Parse {
+                position: 0,
+                message: format!("head entries must be variables, got {var:?}"),
+            });
+        }
+        head.push(var.trim_start_matches('?').to_owned());
+    }
+    if head.is_empty() {
+        return Err(OmegaError::Parse {
+            position: 0,
+            message: "query head must contain at least one variable".into(),
+        });
+    }
+    Ok(head)
+}
+
+fn parse_body(text: &str, base_offset: usize) -> Result<Vec<Conjunct>> {
+    let mut conjuncts = Vec::new();
+    let mut rest = text;
+    let mut offset = base_offset;
+    loop {
+        // Skip leading whitespace and conjunct separators.
+        let skipped = rest.len() - rest.trim_start_matches([' ', '\t', '\n', '\r', ',']).len();
+        rest = &rest[skipped..];
+        offset += skipped;
+        if rest.is_empty() {
+            break;
+        }
+        let (conjunct, consumed) = parse_conjunct(rest, offset)?;
+        conjuncts.push(conjunct);
+        rest = &rest[consumed..];
+        offset += consumed;
+    }
+    if conjuncts.is_empty() {
+        return Err(OmegaError::EmptyQuery);
+    }
+    Ok(conjuncts)
+}
+
+/// Parses one conjunct at the start of `text`; returns it and the number of
+/// bytes consumed.
+fn parse_conjunct(text: &str, offset: usize) -> Result<(Conjunct, usize)> {
+    let mut mode = QueryMode::Exact;
+    let mut consumed = 0;
+    let trimmed = text.trim_start();
+    consumed += text.len() - trimmed.len();
+    let mut rest = trimmed;
+    for (keyword, parsed_mode) in [("APPROX", QueryMode::Approx), ("RELAX", QueryMode::Relax)] {
+        if let Some(after) = rest.strip_prefix(keyword) {
+            mode = parsed_mode;
+            consumed += keyword.len();
+            let ws = after.len() - after.trim_start().len();
+            consumed += ws;
+            rest = after.trim_start();
+            break;
+        }
+    }
+    if !rest.starts_with('(') {
+        return Err(OmegaError::Parse {
+            position: offset + consumed,
+            message: format!("expected '(' to start a conjunct, found {rest:.20?}"),
+        });
+    }
+    let close = rest.find(')').ok_or_else(|| OmegaError::Parse {
+        position: offset + consumed,
+        message: "unterminated conjunct: missing ')'".into(),
+    })?;
+    // Regular expressions never contain parentheses that are unbalanced, but
+    // they *can* contain parentheses (e.g. `next+|(prereq+.next)`), so find
+    // the matching close parenthesis by depth rather than the first ')'.
+    let close = matching_paren(rest).ok_or_else(|| OmegaError::Parse {
+        position: offset + consumed + close,
+        message: "unbalanced parentheses in conjunct".into(),
+    })?;
+    let inner = &rest[1..close];
+    let parts = split_top_level(inner);
+    if parts.len() != 3 {
+        return Err(OmegaError::Parse {
+            position: offset + consumed,
+            message: format!(
+                "a conjunct needs exactly 3 comma-separated parts (subject, regex, object), got {}",
+                parts.len()
+            ),
+        });
+    }
+    let subject = parse_term(parts[0]);
+    let regex = parse_regex(parts[1].trim())?;
+    let object = parse_term(parts[2]);
+    consumed += close + 1;
+    Ok((
+        Conjunct {
+            mode,
+            subject,
+            regex,
+            object,
+        },
+        consumed,
+    ))
+}
+
+/// Index of the ')' matching the '(' at position 0.
+fn matching_paren(text: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits on commas that are not nested inside parentheses.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_term(text: &str) -> Term {
+    let trimmed = text.trim();
+    if let Some(var) = trimmed.strip_prefix('?') {
+        Term::Variable(var.to_owned())
+    } else {
+        Term::Constant(trimmed.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_query() {
+        let q = parse_query("(?X) <- (UK, isLocatedIn-.gradFrom, ?X)").unwrap();
+        assert_eq!(q.head, vec!["X"]);
+        assert_eq!(q.conjuncts.len(), 1);
+        let c = &q.conjuncts[0];
+        assert_eq!(c.mode, QueryMode::Exact);
+        assert_eq!(c.subject, Term::constant("UK"));
+        assert_eq!(c.object, Term::variable("X"));
+        assert_eq!(c.regex.to_string(), "isLocatedIn-.gradFrom");
+    }
+
+    #[test]
+    fn parses_approx_and_relax() {
+        let q = parse_query("(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)").unwrap();
+        assert_eq!(q.conjuncts[0].mode, QueryMode::Approx);
+        let q = parse_query("(?X) <- RELAX (UK, isLocatedIn-.gradFrom, ?X)").unwrap();
+        assert_eq!(q.conjuncts[0].mode, QueryMode::Relax);
+    }
+
+    #[test]
+    fn parses_constants_with_spaces() {
+        let q = parse_query("(?X) <- (Work Episode, type-, ?X)").unwrap();
+        assert_eq!(q.conjuncts[0].subject, Term::constant("Work Episode"));
+        let q = parse_query("(?X) <- (BTEC Introductory Diploma, level-.qualif-.prereq, ?X)")
+            .unwrap();
+        assert_eq!(
+            q.conjuncts[0].subject,
+            Term::constant("BTEC Introductory Diploma")
+        );
+    }
+
+    #[test]
+    fn parses_regex_with_parentheses() {
+        let q = parse_query("(?X) <- (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)")
+            .unwrap();
+        assert_eq!(q.conjuncts[0].regex.top_level_branches().len(), 2);
+        let q = parse_query("(?X, ?Y) <- (?X, next+|(prereq+.next), ?Y)").unwrap();
+        assert_eq!(q.conjuncts[0].regex.top_level_branches().len(), 2);
+    }
+
+    #[test]
+    fn parses_multi_conjunct_queries() {
+        let q = parse_query(
+            "(?X, ?Z) <- (?X, job.type, ?Y), APPROX (?Y, prereq+, ?Z), RELAX (?Z, next, ?X)",
+        )
+        .unwrap();
+        assert_eq!(q.conjuncts.len(), 3);
+        assert_eq!(q.conjuncts[0].mode, QueryMode::Exact);
+        assert_eq!(q.conjuncts[1].mode, QueryMode::Approx);
+        assert_eq!(q.conjuncts[2].mode, QueryMode::Relax);
+        assert_eq!(q.head, vec!["X", "Z"]);
+    }
+
+    #[test]
+    fn parses_variable_only_conjuncts() {
+        let q = parse_query("(?X, ?Y) <- (?X, next+, ?Y)").unwrap();
+        assert!(q.conjuncts[0].subject.is_variable());
+        assert!(q.conjuncts[0].object.is_variable());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("no arrow here").is_err());
+        assert!(parse_query("(?X) <- ").is_err());
+        assert!(parse_query("(?X) <- (UK, a.b)").is_err()); // only two parts
+        assert!(parse_query("(?X) <- (UK, a.b, ?X, extra)").is_err());
+        assert!(parse_query("(X) <- (UK, a, ?X)").is_err()); // head not a variable
+        assert!(parse_query("(?Z) <- (UK, a, ?X)").is_err()); // unbound head var
+        assert!(parse_query("(?X) <- (UK, a.(b, ?X)").is_err()); // unbalanced parens
+        assert!(parse_query("() <- (UK, a, ?X)").is_err()); // empty head
+    }
+
+    #[test]
+    fn whitespace_variants_are_accepted() {
+        let q1 = parse_query("(?X)<-(UK,a.b,?X)").unwrap();
+        let q2 = parse_query("( ?X )  <-   ( UK , a.b , ?X )").unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn all_paper_l4all_queries_parse() {
+        let queries = [
+            "(?X) <- (Work Episode, type-, ?X)",
+            "(?X) <- (Information Systems, type-.qualif-, ?X)",
+            "(?X) <- (Software Professionals, type-.job-, ?X)",
+            "(?X, ?Y) <- (?X, job.type, ?Y)",
+            "(?X, ?Y) <- (?X, next+, ?Y)",
+            "(?X, ?Y) <- (?X, prereq+, ?Y)",
+            "(?X, ?Y) <- (?X, next+|(prereq+.next), ?Y)",
+            "(?X) <- (Mathematical and Computer Sciences, type.prereq+, ?X)",
+            "(?X) <- (Alumni 4 Episode 1_1, prereq*.next+.prereq, ?X)",
+            "(?X) <- (Librarians, type-, ?X)",
+            "(?X) <- (Librarians, type-.job-.next, ?X)",
+            "(?X) <- (BTEC Introductory Diploma, level-.qualif-.prereq, ?X)",
+        ];
+        for text in queries {
+            for mode in ["", "APPROX ", "RELAX "] {
+                let with_mode = text.replace("<- (", &format!("<- {mode}("));
+                assert!(parse_query(&with_mode).is_ok(), "failed: {with_mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_paper_yago_queries_parse() {
+        let queries = [
+            "(?X) <- (Halle_Saxony-Anhalt, bornIn-.marriedTo.hasChild, ?X)",
+            "(?X) <- (Li_Peng, hasChild.gradFrom.gradFrom-.hasWonPrize, ?X)",
+            "(?X) <- (wordnet_ziggurat, type-.locatedIn-, ?X)",
+            "(?X, ?Y) <- (?X, directed.married.married+.playsFor, ?Y)",
+            "(?X, ?Y) <- (?X, isConnectedTo.wasBornIn, ?Y)",
+            "(?X, ?Y) <- (?X, imports.exports-, ?Y)",
+            "(?X) <- (wordnet_city, type-.happenedIn-.participatedIn-, ?X)",
+            "(?X) <- (Annie Haslam, type.type-.actedIn, ?X)",
+            "(?X) <- (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)",
+        ];
+        for text in queries {
+            assert!(parse_query(text).is_ok(), "failed: {text}");
+        }
+    }
+}

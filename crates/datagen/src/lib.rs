@@ -1,0 +1,49 @@
+//! # omega-datagen
+//!
+//! Deterministic synthetic data generators reproducing the two case studies
+//! of the paper's performance evaluation (Section 4):
+//!
+//! * [`l4all`] — the L4All lifelong-learning timelines: the class hierarchies
+//!   of Figure 2, the `isEpisodeLink ⊒ {next, prereq}` property hierarchy,
+//!   21 base timelines, and the scaling scheme (duplicate timelines,
+//!   reclassify each episode to a sibling class) that yields the four graphs
+//!   L1–L4 of Figure 3.
+//! * [`yago`] — a YAGO-like knowledge graph with the same schema shape as the
+//!   SIMPLETAX + CORE extract the paper used: one flat, very wide class
+//!   taxonomy, 38 properties, two property hierarchies (6 and 2
+//!   sub-properties), domains/ranges, and entity populations wired so that
+//!   the nine queries of Figure 9 behave as reported in Figure 10 (which
+//!   return nothing exactly, which are rescued by APPROX/RELAX, which
+//!   explode).
+//! * [`queries`] — the verbatim query sets of Figure 4 and Figure 9.
+//!
+//! All generators are seeded and deterministic: the same configuration
+//! always produces the same graph, so experiment results are reproducible
+//! run-to-run.
+
+pub mod l4all;
+pub mod queries;
+pub mod yago;
+
+use omega_graph::GraphStore;
+use omega_ontology::Ontology;
+
+/// A generated data graph together with its ontology.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The data graph.
+    pub graph: GraphStore,
+    /// The accompanying ontology.
+    pub ontology: Ontology,
+}
+
+impl Dataset {
+    /// Convenience: node and edge counts.
+    pub fn size(&self) -> (usize, usize) {
+        (self.graph.node_count(), self.graph.edge_count())
+    }
+}
+
+pub use l4all::{generate_l4all, L4AllConfig, L4AllScale};
+pub use queries::{l4all_queries, yago_queries, QuerySpec};
+pub use yago::{generate_yago, YagoConfig};

@@ -1,0 +1,180 @@
+//! The query sets of Figure 4 (L4All) and Figure 9 (YAGO), in the textual
+//! syntax accepted by `omega_core::parse_query`.
+
+/// One query of a case-study query set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// The paper's identifier (`Q1` … `Q12`).
+    pub id: &'static str,
+    /// The query in Omega's textual syntax, in exact mode; APPROX/RELAX
+    /// variants are produced with [`QuerySpec::with_operator`].
+    pub text: &'static str,
+    /// Whether the paper's performance study runs APPROX/RELAX variants of
+    /// this query (queries with ample exact answers are exact-only).
+    pub flexible_in_study: bool,
+}
+
+impl QuerySpec {
+    /// The query text with the given operator (`"APPROX"` or `"RELAX"`)
+    /// applied to its (single) conjunct; an empty operator returns the exact
+    /// text.
+    pub fn with_operator(&self, operator: &str) -> String {
+        if operator.is_empty() {
+            self.text.to_owned()
+        } else {
+            self.text.replacen("<- (", &format!("<- {operator} ("), 1)
+        }
+    }
+}
+
+/// The 12 L4All queries of Figure 4.
+pub fn l4all_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "Q1",
+            text: "(?X) <- (Work Episode, type-, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q2",
+            text: "(?X) <- (Information Systems, type-.qualif-, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q3",
+            text: "(?X) <- (Software Professionals, type-.job-, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q4",
+            text: "(?X, ?Y) <- (?X, job.type, ?Y)",
+            flexible_in_study: false,
+        },
+        QuerySpec {
+            id: "Q5",
+            text: "(?X, ?Y) <- (?X, next+, ?Y)",
+            flexible_in_study: false,
+        },
+        QuerySpec {
+            id: "Q6",
+            text: "(?X, ?Y) <- (?X, prereq+, ?Y)",
+            flexible_in_study: false,
+        },
+        QuerySpec {
+            id: "Q7",
+            text: "(?X, ?Y) <- (?X, next+|(prereq+.next), ?Y)",
+            flexible_in_study: false,
+        },
+        QuerySpec {
+            id: "Q8",
+            text: "(?X) <- (Mathematical and Computer Sciences, type.prereq+, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q9",
+            text: "(?X) <- (Alumni 4 Episode 1_1, prereq*.next+.prereq, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q10",
+            text: "(?X) <- (Librarians, type-, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q11",
+            text: "(?X) <- (Librarians, type-.job-.next, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q12",
+            text: "(?X) <- (BTEC Introductory Diploma, level-.qualif-.prereq, ?X)",
+            flexible_in_study: true,
+        },
+    ]
+}
+
+/// The 9 YAGO queries of Figure 9.
+pub fn yago_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "Q1",
+            text: "(?X) <- (Halle_Saxony-Anhalt, bornIn-.marriedTo.hasChild, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q2",
+            text: "(?X) <- (Li_Peng, hasChild.gradFrom.gradFrom-.hasWonPrize, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q3",
+            text: "(?X) <- (wordnet_ziggurat, type-.locatedIn-, ?X)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q4",
+            text: "(?X, ?Y) <- (?X, directed.married.married+.playsFor, ?Y)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q5",
+            text: "(?X, ?Y) <- (?X, isConnectedTo.wasBornIn, ?Y)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q6",
+            text: "(?X, ?Y) <- (?X, imports.exports-, ?Y)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "Q7",
+            text: "(?X) <- (wordnet_city, type-.happenedIn-.participatedIn-, ?X)",
+            flexible_in_study: false,
+        },
+        QuerySpec {
+            id: "Q8",
+            text: "(?X) <- (Annie Haslam, type.type-.actedIn, ?X)",
+            flexible_in_study: false,
+        },
+        QuerySpec {
+            id: "Q9",
+            text: "(?X) <- (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)",
+            flexible_in_study: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_sets_have_the_published_sizes() {
+        assert_eq!(l4all_queries().len(), 12);
+        assert_eq!(yago_queries().len(), 9);
+    }
+
+    #[test]
+    fn operator_rewriting() {
+        let q = &l4all_queries()[0];
+        assert_eq!(q.with_operator(""), q.text);
+        assert_eq!(
+            q.with_operator("APPROX"),
+            "(?X) <- APPROX (Work Episode, type-, ?X)"
+        );
+        assert_eq!(
+            q.with_operator("RELAX"),
+            "(?X) <- RELAX (Work Episode, type-, ?X)"
+        );
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        for (i, q) in l4all_queries().iter().enumerate() {
+            assert_eq!(q.id, format!("Q{}", i + 1));
+        }
+        for (i, q) in yago_queries().iter().enumerate() {
+            assert_eq!(q.id, format!("Q{}", i + 1));
+        }
+    }
+}

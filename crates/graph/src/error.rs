@@ -1,0 +1,43 @@
+//! Error type for the graph store.
+
+use std::fmt;
+
+/// Errors produced by [`crate::GraphStore`] operations and graph IO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node with the given label already exists.
+    DuplicateNodeLabel(String),
+    /// No node with the given label exists.
+    UnknownNodeLabel(String),
+    /// A node id is out of range for this store.
+    UnknownNode(u32),
+    /// A label id is out of range for this store.
+    UnknownLabel(u32),
+    /// A serialised graph could not be parsed.
+    Parse { line: usize, message: String },
+    /// An IO error occurred while reading or writing a graph file.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNodeLabel(l) => write!(f, "duplicate node label: {l:?}"),
+            GraphError::UnknownNodeLabel(l) => write!(f, "unknown node label: {l:?}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node id: {id}"),
+            GraphError::UnknownLabel(id) => write!(f, "unknown label id: {id}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}

@@ -1,0 +1,457 @@
+//! The graph store itself.
+
+use std::collections::HashMap;
+
+use crate::bitmap::NodeBitmap;
+use crate::error::GraphError;
+use crate::ids::{Direction, LabelId, NodeId};
+use crate::interner::LabelInterner;
+
+/// The distinguished edge label connecting an entity instance to its class.
+pub const TYPE_LABEL: &str = "type";
+
+/// A borrowed view of one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// Source node.
+    pub source: NodeId,
+    /// Edge label.
+    pub label: LabelId,
+    /// Target node.
+    pub target: NodeId,
+}
+
+/// Per-label adjacency index (both directions), mirroring Sparksee's
+/// neighbour indexing for an edge type.
+#[derive(Debug, Default, Clone)]
+struct Adjacency {
+    out: HashMap<NodeId, Vec<NodeId>>,
+    inc: HashMap<NodeId, Vec<NodeId>>,
+    edge_count: usize,
+}
+
+/// An in-memory labelled directed multigraph with per-(label, direction)
+/// adjacency indexes and a unique string label per node.
+///
+/// This is the substrate the Omega evaluator traverses; see the crate-level
+/// documentation for the correspondence with Sparksee.
+#[derive(Debug, Clone)]
+pub struct GraphStore {
+    node_labels: Vec<String>,
+    node_index: HashMap<String, NodeId>,
+    labels: LabelInterner,
+    type_label: LabelId,
+    adjacency: Vec<Adjacency>,
+    out_all: HashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    in_all: HashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    edge_count: usize,
+}
+
+impl Default for GraphStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphStore {
+    /// Creates an empty graph. The `type` label is pre-interned.
+    pub fn new() -> Self {
+        let mut labels = LabelInterner::new();
+        let type_label = labels.intern(TYPE_LABEL);
+        GraphStore {
+            node_labels: Vec::new(),
+            node_index: HashMap::new(),
+            labels,
+            type_label,
+            adjacency: vec![Adjacency::default()],
+            out_all: HashMap::new(),
+            in_all: HashMap::new(),
+            edge_count: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Labels
+    // ------------------------------------------------------------------
+
+    /// The id of the distinguished `type` label.
+    pub fn type_label(&self) -> LabelId {
+        self.type_label
+    }
+
+    /// Interns an edge label, creating its adjacency index if new.
+    pub fn intern_label(&mut self, name: &str) -> LabelId {
+        let id = self.labels.intern(name);
+        while self.adjacency.len() <= id.index() {
+            self.adjacency.push(Adjacency::default());
+        }
+        id
+    }
+
+    /// Looks up an existing edge label by name.
+    pub fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name)
+    }
+
+    /// The string name of an edge label.
+    pub fn label_name(&self, id: LabelId) -> &str {
+        self.labels.name(id)
+    }
+
+    /// Number of distinct edge labels (including `type`).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over all edge labels in id order.
+    pub fn labels(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.labels.iter()
+    }
+
+    // ------------------------------------------------------------------
+    // Nodes
+    // ------------------------------------------------------------------
+
+    /// Adds a node with the given (unique) string label, or returns the
+    /// existing node if one with this label is already present.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.node_index.get(label) {
+            return id;
+        }
+        let id = NodeId(self.node_labels.len() as u32);
+        self.node_labels.push(label.to_owned());
+        self.node_index.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Adds a node, failing if a node with the same label already exists.
+    pub fn try_add_node(&mut self, label: &str) -> Result<NodeId, GraphError> {
+        if self.node_index.contains_key(label) {
+            return Err(GraphError::DuplicateNodeLabel(label.to_owned()));
+        }
+        Ok(self.add_node(label))
+    }
+
+    /// Looks up a node by its string label (the paper's indexed node
+    /// attribute).
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.node_index.get(label).copied()
+    }
+
+    /// The string label of `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` does not belong to this graph.
+    pub fn node_label(&self, node: NodeId) -> &str {
+        &self.node_labels[node.index()]
+    }
+
+    /// Whether `node` belongs to this graph.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_labels.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Iterates over all node ids in increasing order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_labels.len() as u32).map(NodeId)
+    }
+
+    // ------------------------------------------------------------------
+    // Edges
+    // ------------------------------------------------------------------
+
+    /// Adds a directed edge `source --label--> target`. Parallel edges with
+    /// the same label are deduplicated (the data model is a set of triples).
+    ///
+    /// Returns `true` if the edge was new.
+    pub fn add_edge(&mut self, source: NodeId, label: LabelId, target: NodeId) -> bool {
+        debug_assert!(self.contains_node(source) && self.contains_node(target));
+        debug_assert!(label.index() < self.adjacency.len());
+        let adj = &mut self.adjacency[label.index()];
+        let out = adj.out.entry(source).or_default();
+        if out.contains(&target) {
+            return false;
+        }
+        out.push(target);
+        adj.inc.entry(target).or_default().push(source);
+        adj.edge_count += 1;
+        self.out_all.entry(source).or_default().push((label, target));
+        self.in_all.entry(target).or_default().push((label, source));
+        self.edge_count += 1;
+        true
+    }
+
+    /// Convenience: adds an edge between nodes given by string labels,
+    /// creating nodes and the edge label as needed.
+    pub fn add_triple(&mut self, source: &str, label: &str, target: &str) -> bool {
+        let s = self.add_node(source);
+        let l = self.intern_label(label);
+        let t = self.add_node(target);
+        self.add_edge(s, l, t)
+    }
+
+    /// Whether the edge `source --label--> target` exists.
+    pub fn has_edge(&self, source: NodeId, label: LabelId, target: NodeId) -> bool {
+        self.adjacency
+            .get(label.index())
+            .and_then(|adj| adj.out.get(&source))
+            .is_some_and(|v| v.contains(&target))
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of edges with a given label.
+    pub fn edge_count_for_label(&self, label: LabelId) -> usize {
+        self.adjacency
+            .get(label.index())
+            .map_or(0, |adj| adj.edge_count)
+    }
+
+    /// Iterates over every edge in the graph.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out_all.iter().flat_map(|(&source, targets)| {
+            targets.iter().map(move |&(label, target)| EdgeRef {
+                source,
+                label,
+                target,
+            })
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Neighbourhood access (the Sparksee surface)
+    // ------------------------------------------------------------------
+
+    /// Nodes connected to `node` by an edge labelled `label`, following the
+    /// given direction — the paper's `Neighbors(n, t, dir)`.
+    pub fn neighbors(&self, node: NodeId, label: LabelId, dir: Direction) -> &[NodeId] {
+        self.adjacency
+            .get(label.index())
+            .and_then(|adj| match dir {
+                Direction::Outgoing => adj.out.get(&node),
+                Direction::Incoming => adj.inc.get(&node),
+            })
+            .map_or(&[][..], Vec::as_slice)
+    }
+
+    /// Neighbours of `node` over *any* label (including `type`), in the given
+    /// direction, with the connecting label — used by wildcard transitions.
+    pub fn neighbors_any(
+        &self,
+        node: NodeId,
+        dir: Direction,
+    ) -> impl Iterator<Item = (LabelId, NodeId)> + '_ {
+        let map = match dir {
+            Direction::Outgoing => &self.out_all,
+            Direction::Incoming => &self.in_all,
+        };
+        map.get(&node).into_iter().flatten().copied()
+    }
+
+    /// Distinct neighbours of `node` reachable over any of `labels` in
+    /// direction `dir` — used when RELAX matching expands a property to the
+    /// set of its sub-properties.
+    pub fn neighbors_multi(
+        &self,
+        node: NodeId,
+        labels: &[LabelId],
+        dir: Direction,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for &label in labels {
+            for &n in self.neighbors(node, label, dir) {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// All nodes that are the *target* of an edge labelled `label`
+    /// (the paper's `Heads`).
+    pub fn heads(&self, label: LabelId) -> NodeBitmap {
+        self.adjacency
+            .get(label.index())
+            .map(|adj| adj.inc.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All nodes that are the *source* of an edge labelled `label`
+    /// (the paper's `Tails`).
+    pub fn tails(&self, label: LabelId) -> NodeBitmap {
+        self.adjacency
+            .get(label.index())
+            .map(|adj| adj.out.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Union of [`GraphStore::heads`] and [`GraphStore::tails`]
+    /// (the paper's `TailsAndHeads`).
+    pub fn tails_and_heads(&self, label: LabelId) -> NodeBitmap {
+        let mut t = self.tails(label);
+        t.union_with(&self.heads(label));
+        t
+    }
+
+    /// All nodes incident to at least one edge, in either direction.
+    pub fn nodes_with_any_edge(&self) -> NodeBitmap {
+        let mut set: NodeBitmap = self.out_all.keys().copied().collect();
+        set.extend(self.in_all.keys().copied());
+        set
+    }
+
+    /// Out-degree of `node` restricted to `label`, or over all labels if
+    /// `label` is `None`.
+    pub fn out_degree(&self, node: NodeId, label: Option<LabelId>) -> usize {
+        match label {
+            Some(l) => self.neighbors(node, l, Direction::Outgoing).len(),
+            None => self.out_all.get(&node).map_or(0, Vec::len),
+        }
+    }
+
+    /// In-degree of `node` restricted to `label`, or over all labels if
+    /// `label` is `None`.
+    pub fn in_degree(&self, node: NodeId, label: Option<LabelId>) -> usize {
+        match label {
+            Some(l) => self.neighbors(node, l, Direction::Incoming).len(),
+            None => self.in_all.get(&node).map_or(0, Vec::len),
+        }
+    }
+
+    /// Total degree (in + out) of `node` over all labels.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_degree(node, None) + self.in_degree(node, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        g.add_triple("a", "knows", "b");
+        g.add_triple("b", "knows", "c");
+        g.add_triple("a", "likes", "c");
+        g.add_triple("a", "type", "Person");
+        g.add_triple("b", "type", "Person");
+        g
+    }
+
+    #[test]
+    fn nodes_are_unique_by_label() {
+        let mut g = GraphStore::new();
+        let a1 = g.add_node("a");
+        let a2 = g.add_node("a");
+        assert_eq!(a1, a2);
+        assert_eq!(g.node_count(), 1);
+        assert!(g.try_add_node("a").is_err());
+        assert!(g.try_add_node("b").is_ok());
+    }
+
+    #[test]
+    fn type_label_is_preinterned() {
+        let g = GraphStore::new();
+        assert_eq!(g.label_id("type"), Some(g.type_label()));
+        assert_eq!(g.label_name(g.type_label()), "type");
+    }
+
+    #[test]
+    fn edges_are_deduplicated() {
+        let mut g = GraphStore::new();
+        assert!(g.add_triple("a", "knows", "b"));
+        assert!(!g.add_triple("a", "knows", "b"));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn neighbors_by_direction() {
+        let g = sample();
+        let a = g.node_by_label("a").unwrap();
+        let b = g.node_by_label("b").unwrap();
+        let c = g.node_by_label("c").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        assert_eq!(g.neighbors(a, knows, Direction::Outgoing), &[b]);
+        assert_eq!(g.neighbors(b, knows, Direction::Incoming), &[a]);
+        assert_eq!(g.neighbors(c, knows, Direction::Incoming), &[b]);
+        assert!(g.neighbors(c, knows, Direction::Outgoing).is_empty());
+    }
+
+    #[test]
+    fn neighbors_any_covers_all_labels_and_type() {
+        let g = sample();
+        let a = g.node_by_label("a").unwrap();
+        let out: Vec<_> = g.neighbors_any(a, Direction::Outgoing).collect();
+        assert_eq!(out.len(), 3); // knows->b, likes->c, type->Person
+        let incoming: Vec<_> = g
+            .neighbors_any(g.node_by_label("Person").unwrap(), Direction::Incoming)
+            .collect();
+        assert_eq!(incoming.len(), 2);
+    }
+
+    #[test]
+    fn neighbors_multi_deduplicates() {
+        let mut g = GraphStore::new();
+        g.add_triple("a", "p", "b");
+        g.add_triple("a", "q", "b");
+        g.add_triple("a", "q", "c");
+        let a = g.node_by_label("a").unwrap();
+        let p = g.label_id("p").unwrap();
+        let q = g.label_id("q").unwrap();
+        let ns = g.neighbors_multi(a, &[p, q], Direction::Outgoing);
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn heads_tails_and_union() {
+        let g = sample();
+        let knows = g.label_id("knows").unwrap();
+        let heads = g.heads(knows);
+        let tails = g.tails(knows);
+        assert_eq!(heads.len(), 2); // b, c
+        assert_eq!(tails.len(), 2); // a, b
+        assert_eq!(g.tails_and_heads(knows).len(), 3); // a, b, c
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        let a = g.node_by_label("a").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        assert_eq!(g.out_degree(a, None), 3);
+        assert_eq!(g.out_degree(a, Some(knows)), 1);
+        assert_eq!(g.in_degree(a, None), 0);
+        assert_eq!(g.degree(a), 3);
+    }
+
+    #[test]
+    fn edge_iteration_and_counts() {
+        let g = sample();
+        assert_eq!(g.edges().count(), g.edge_count());
+        let type_l = g.type_label();
+        assert_eq!(g.edge_count_for_label(type_l), 2);
+        assert!(g.has_edge(
+            g.node_by_label("a").unwrap(),
+            g.label_id("likes").unwrap(),
+            g.node_by_label("c").unwrap()
+        ));
+    }
+
+    #[test]
+    fn nodes_with_any_edge_excludes_isolated() {
+        let mut g = sample();
+        g.add_node("isolated");
+        let incident = g.nodes_with_any_edge();
+        assert!(!incident.contains(g.node_by_label("isolated").unwrap()));
+        assert_eq!(incident.len(), g.node_count() - 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Identifier newtypes used across the workspace.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::GraphStore`].
+///
+/// Node ids are dense: the store allocates them consecutively starting at 0,
+/// which lets [`crate::NodeBitmap`] represent node sets compactly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an interned edge label (the paper's edge *type*).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Direction of edge traversal.
+///
+/// RPQ regular expressions may traverse an edge forwards (`a`) or backwards
+/// (`a-`); the store indexes adjacency in both directions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Direction {
+    /// Follow an edge from its source to its target.
+    Outgoing,
+    /// Follow an edge from its target back to its source.
+    Incoming,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_debug_and_index() {
+        let n = NodeId(7);
+        assert_eq!(format!("{n:?}"), "n7");
+        assert_eq!(format!("{n}"), "n7");
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn label_id_debug_and_index() {
+        let l = LabelId(3);
+        assert_eq!(format!("{l:?}"), "l3");
+        assert_eq!(l.index(), 3);
+    }
+
+    #[test]
+    fn direction_reverse_is_involutive() {
+        assert_eq!(Direction::Outgoing.reverse(), Direction::Incoming);
+        assert_eq!(Direction::Incoming.reverse(), Direction::Outgoing);
+        assert_eq!(Direction::Outgoing.reverse().reverse(), Direction::Outgoing);
+    }
+}

@@ -1,0 +1,106 @@
+//! String interner for edge labels.
+
+use std::collections::HashMap;
+
+use crate::ids::LabelId;
+
+/// Bidirectional mapping between edge-label strings and dense [`LabelId`]s.
+///
+/// The evaluator works exclusively with `LabelId`s; strings only appear at
+/// the query-parsing and result-presentation boundaries.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    by_name: HashMap<String, LabelId>,
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("knows");
+        let b = i.intern("knows");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let c = i.intern("c");
+        assert_eq!((a, b, c), (LabelId(0), LabelId(1), LabelId(2)));
+        assert_eq!(i.name(b), "b");
+        assert_eq!(i.get("c"), Some(c));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = LabelInterner::new();
+        i.intern("x");
+        i.intern("y");
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(collected, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = LabelInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Plain-text triple serialisation for graphs.
+//!
+//! The format is one edge per line, tab-separated:
+//!
+//! ```text
+//! <source label> \t <edge label> \t <target label>
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. Node labels may
+//! contain spaces but not tabs. This mirrors the flat fact files the paper's
+//! YAGO import consumed, and is the exchange format used by the data
+//! generators and the experiment harness.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::error::GraphError;
+use crate::graph::GraphStore;
+
+/// Writes `graph` to `writer` in the triple text format.
+pub fn write_triples<W: Write>(graph: &GraphStore, writer: &mut W) -> Result<(), GraphError> {
+    for edge in graph.edges() {
+        writeln!(
+            writer,
+            "{}\t{}\t{}",
+            graph.node_label(edge.source),
+            graph.label_name(edge.label),
+            graph.node_label(edge.target)
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a graph from `reader` in the triple text format.
+pub fn read_triples<R: Read>(reader: R) -> Result<GraphStore, GraphError> {
+    let mut graph = GraphStore::new();
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let (s, p, o) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(p), Some(o)) if parts.next().is_none() => (s, p, o),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("expected 3 tab-separated fields, got {trimmed:?}"),
+                })
+            }
+        };
+        graph.add_triple(s.trim(), p.trim(), o.trim());
+    }
+    Ok(graph)
+}
+
+/// Writes `graph` to the file at `path`.
+pub fn save_to_file<P: AsRef<Path>>(graph: &GraphStore, path: P) -> Result<(), GraphError> {
+    let mut file = std::fs::File::create(path)?;
+    write_triples(graph, &mut file)
+}
+
+/// Reads a graph from the file at `path`.
+pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<GraphStore, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_triples(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut g = GraphStore::new();
+        g.add_triple("Alice Smith", "knows", "Bob");
+        g.add_triple("Bob", "type", "Person");
+        let mut buf = Vec::new();
+        write_triples(&g, &mut buf).unwrap();
+        let g2 = read_triples(&buf[..]).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let alice = g2.node_by_label("Alice Smith").unwrap();
+        let knows = g2.label_id("knows").unwrap();
+        let bob = g2.node_by_label("Bob").unwrap();
+        assert!(g2.has_edge(alice, knows, bob));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\na\tp\tb\n";
+        let g = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = "a\tp\tb\nbroken line\n";
+        let err = read_triples(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_fields_is_an_error() {
+        let text = "a\tp\tb\tc\n";
+        assert!(read_triples(text.as_bytes()).is_err());
+    }
+}

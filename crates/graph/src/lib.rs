@@ -1,0 +1,49 @@
+//! # omega-graph
+//!
+//! An in-memory, labelled, directed multigraph store. It plays the role that
+//! Sparksee plays in the Omega system of the paper *Implementing Flexible
+//! Operators for Regular Path Queries* (EDBT 2015): the physical storage and
+//! index layer that the query evaluator talks to.
+//!
+//! The store exposes the same access surface the paper relies on:
+//!
+//! * every node has a unique string label, indexed (`GraphStore::node_by_label`),
+//! * edges are typed by an interned label (`LabelId`) and indexed per
+//!   `(label, direction)` so that [`GraphStore::neighbors`] is an indexed
+//!   lookup (the paper's `Neighbors`),
+//! * [`GraphStore::heads`] / [`GraphStore::tails`] /
+//!   [`GraphStore::tails_and_heads`] return bitmap node sets, mirroring
+//!   Sparksee's bitmap-vector indexes and supporting cheap set operations,
+//! * a generic "any label" adjacency supports the wildcard `*` transitions of
+//!   APPROX automata (the paper's synthetic `edge` type).
+//!
+//! The distinguished edge label `type` (class membership) is always present
+//! and can be obtained through [`GraphStore::type_label`].
+//!
+//! ```
+//! use omega_graph::{GraphStore, Direction};
+//!
+//! let mut g = GraphStore::new();
+//! let alice = g.add_node("Alice");
+//! let bob = g.add_node("Bob");
+//! let knows = g.intern_label("knows");
+//! g.add_edge(alice, knows, bob);
+//!
+//! assert_eq!(g.neighbors(alice, knows, Direction::Outgoing), &[bob]);
+//! assert_eq!(g.node_label(bob), "Bob");
+//! ```
+
+pub mod bitmap;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod stats;
+
+pub use bitmap::NodeBitmap;
+pub use error::GraphError;
+pub use graph::{EdgeRef, GraphStore};
+pub use ids::{Direction, LabelId, NodeId};
+pub use interner::LabelInterner;
+pub use stats::GraphStats;

@@ -1,0 +1,101 @@
+//! Graph statistics, used for the Figure 3 reproduction and by the
+//! experiment harness to sanity-check generated data.
+
+use std::collections::BTreeMap;
+
+use crate::graph::GraphStore;
+
+/// Summary statistics of a [`GraphStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Total edge count.
+    pub edges: usize,
+    /// Number of distinct edge labels.
+    pub labels: usize,
+    /// Edge count per label name.
+    pub edges_per_label: BTreeMap<String, usize>,
+    /// Average total degree over all nodes.
+    pub avg_degree: f64,
+    /// Maximum total degree over all nodes.
+    pub max_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &GraphStore) -> GraphStats {
+        let mut edges_per_label = BTreeMap::new();
+        for (id, name) in graph.labels() {
+            let count = graph.edge_count_for_label(id);
+            if count > 0 {
+                edges_per_label.insert(name.to_owned(), count);
+            }
+        }
+        let mut max_degree = 0;
+        let mut total_degree = 0usize;
+        for node in graph.node_ids() {
+            let d = graph.degree(node);
+            max_degree = max_degree.max(d);
+            total_degree += d;
+        }
+        let nodes = graph.node_count();
+        GraphStats {
+            nodes,
+            edges: graph.edge_count(),
+            labels: graph.label_count(),
+            edges_per_label,
+            avg_degree: if nodes == 0 {
+                0.0
+            } else {
+                total_degree as f64 / nodes as f64
+            },
+            max_degree,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "nodes={} edges={} labels={} avg_degree={:.2} max_degree={}",
+            self.nodes, self.edges, self.labels, self.avg_degree, self.max_degree
+        )?;
+        for (label, count) in &self.edges_per_label {
+            writeln!(f, "  {label}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut g = GraphStore::new();
+        g.add_triple("a", "p", "b");
+        g.add_triple("a", "p", "c");
+        g.add_triple("b", "q", "c");
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.edges_per_label["p"], 2);
+        assert_eq!(stats.edges_per_label["q"], 1);
+        assert!(!stats.edges_per_label.contains_key("type"));
+        // total degree = 2 * edges
+        assert!((stats.avg_degree - 2.0).abs() < 1e-9);
+        assert_eq!(stats.max_degree, 2);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = GraphStore::new();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.edges, 0);
+        assert_eq!(stats.avg_degree, 0.0);
+    }
+}

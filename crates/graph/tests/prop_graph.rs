@@ -1,0 +1,114 @@
+//! Property-based tests for the graph store and its bitmap node sets.
+
+use std::collections::{BTreeSet, HashSet};
+
+use omega_graph::{Direction, GraphStore, NodeBitmap, NodeId};
+use proptest::prelude::*;
+
+fn triple_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    // Small id space so that collisions (parallel edges, dedup) are exercised.
+    prop::collection::vec((0u8..20, 0u8..5, 0u8..20), 0..200)
+}
+
+proptest! {
+    /// The store deduplicates triples: its edge count equals the number of
+    /// distinct triples inserted.
+    #[test]
+    fn edge_count_matches_distinct_triples(triples in triple_strategy()) {
+        let mut g = GraphStore::new();
+        let mut distinct = BTreeSet::new();
+        for (s, p, o) in &triples {
+            g.add_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"));
+            distinct.insert((*s, *p, *o));
+        }
+        prop_assert_eq!(g.edge_count(), distinct.len());
+        prop_assert_eq!(g.edges().count(), distinct.len());
+    }
+
+    /// Outgoing and incoming adjacency are mirror images of each other.
+    #[test]
+    fn adjacency_is_symmetric(triples in triple_strategy()) {
+        let mut g = GraphStore::new();
+        for (s, p, o) in &triples {
+            g.add_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"));
+        }
+        for edge in g.edges() {
+            prop_assert!(g
+                .neighbors(edge.source, edge.label, Direction::Outgoing)
+                .contains(&edge.target));
+            prop_assert!(g
+                .neighbors(edge.target, edge.label, Direction::Incoming)
+                .contains(&edge.source));
+        }
+    }
+
+    /// `heads`/`tails` agree with a naive scan over all edges.
+    #[test]
+    fn heads_and_tails_agree_with_scan(triples in triple_strategy()) {
+        let mut g = GraphStore::new();
+        for (s, p, o) in &triples {
+            g.add_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"));
+        }
+        for (label, _) in g.labels() {
+            let expected_heads: HashSet<_> = g
+                .edges()
+                .filter(|e| e.label == label)
+                .map(|e| e.target)
+                .collect();
+            let expected_tails: HashSet<_> = g
+                .edges()
+                .filter(|e| e.label == label)
+                .map(|e| e.source)
+                .collect();
+            let heads: HashSet<_> = g.heads(label).iter().collect();
+            let tails: HashSet<_> = g.tails(label).iter().collect();
+            prop_assert_eq!(heads, expected_heads);
+            prop_assert_eq!(tails, expected_tails);
+        }
+    }
+
+    /// Triple-text round trip preserves the edge set.
+    #[test]
+    fn io_round_trip(triples in triple_strategy()) {
+        let mut g = GraphStore::new();
+        for (s, p, o) in &triples {
+            g.add_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"));
+        }
+        let mut buf = Vec::new();
+        omega_graph::io::write_triples(&g, &mut buf).unwrap();
+        let g2 = omega_graph::io::read_triples(&buf[..]).unwrap();
+        let as_strings = |g: &GraphStore| -> BTreeSet<(String, String, String)> {
+            g.edges()
+                .map(|e| {
+                    (
+                        g.node_label(e.source).to_owned(),
+                        g.label_name(e.label).to_owned(),
+                        g.node_label(e.target).to_owned(),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(as_strings(&g), as_strings(&g2));
+    }
+
+    /// Bitmap set algebra agrees with `HashSet` semantics.
+    #[test]
+    fn bitmap_matches_hashset(
+        a in prop::collection::hash_set(0u32..500, 0..100),
+        b in prop::collection::hash_set(0u32..500, 0..100),
+    ) {
+        let bm_a: NodeBitmap = a.iter().map(|&i| NodeId(i)).collect();
+        let bm_b: NodeBitmap = b.iter().map(|&i| NodeId(i)).collect();
+        let to_set = |bm: &NodeBitmap| bm.iter().map(|n| n.0).collect::<HashSet<_>>();
+        prop_assert_eq!(to_set(&bm_a.union(&bm_b)), a.union(&b).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(
+            to_set(&bm_a.intersection(&bm_b)),
+            a.intersection(&b).copied().collect::<HashSet<_>>()
+        );
+        prop_assert_eq!(
+            to_set(&bm_a.difference(&bm_b)),
+            a.difference(&b).copied().collect::<HashSet<_>>()
+        );
+        prop_assert_eq!(bm_a.len(), a.len());
+    }
+}

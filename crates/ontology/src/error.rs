@@ -1,0 +1,28 @@
+//! Error type for ontology construction.
+
+use std::fmt;
+
+/// Errors raised while building or validating an [`crate::Ontology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// Adding the edge would create a cycle in a hierarchy.
+    CycleDetected(String),
+    /// A domain/range declaration refers to an unknown class.
+    UnknownClass(String),
+    /// A subproperty declaration refers to an unknown property.
+    UnknownProperty(String),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::CycleDetected(what) => {
+                write!(f, "hierarchy cycle detected involving {what}")
+            }
+            OntologyError::UnknownClass(c) => write!(f, "unknown class: {c}"),
+            OntologyError::UnknownProperty(p) => write!(f, "unknown property: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}

@@ -1,0 +1,300 @@
+//! A generic "is-a" hierarchy (a DAG), used for both the subclass and the
+//! subproperty relations.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+use crate::error::OntologyError;
+
+/// A directed acyclic "child → parent" hierarchy over ids of type `T`.
+///
+/// The hierarchy stores the *direct* relation; transitive closures are
+/// computed on demand by breadth-first search and returned together with the
+/// number of direct steps (the relaxation distance).
+#[derive(Debug, Clone)]
+pub struct Hierarchy<T> {
+    parents: HashMap<T, Vec<T>>,
+    children: HashMap<T, Vec<T>>,
+    members: HashSet<T>,
+}
+
+impl<T> Default for Hierarchy<T> {
+    fn default() -> Self {
+        Hierarchy {
+            parents: HashMap::new(),
+            children: HashMap::new(),
+            members: HashSet::new(),
+        }
+    }
+}
+
+impl<T: Copy + Eq + Hash + Ord + std::fmt::Debug> Hierarchy<T> {
+    /// Creates an empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `member` without any parent/child edges (a root until an
+    /// edge is added).
+    pub fn add_member(&mut self, member: T) {
+        self.members.insert(member);
+    }
+
+    /// Adds the direct relation `child ⊑ parent`.
+    ///
+    /// Returns an error if this would introduce a cycle.
+    pub fn add_edge(&mut self, child: T, parent: T) -> Result<(), OntologyError> {
+        if child == parent || self.ancestors(parent).iter().any(|(a, _)| *a == child) {
+            return Err(OntologyError::CycleDetected(format!("{child:?}")));
+        }
+        self.members.insert(child);
+        self.members.insert(parent);
+        let parents = self.parents.entry(child).or_default();
+        if !parents.contains(&parent) {
+            parents.push(parent);
+            self.children.entry(parent).or_default().push(child);
+        }
+        Ok(())
+    }
+
+    /// Whether `member` is known to this hierarchy.
+    pub fn contains(&self, member: T) -> bool {
+        self.members.contains(&member)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the hierarchy has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over all members (unordered).
+    pub fn members(&self) -> impl Iterator<Item = T> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Direct parents of `member`.
+    pub fn parents(&self, member: T) -> &[T] {
+        self.parents.get(&member).map_or(&[][..], Vec::as_slice)
+    }
+
+    /// Direct children of `member`.
+    pub fn children(&self, member: T) -> &[T] {
+        self.children.get(&member).map_or(&[][..], Vec::as_slice)
+    }
+
+    /// All proper ancestors of `member` with their distance (number of direct
+    /// steps), in breadth-first order, i.e. nearest (most specific) first.
+    /// If several paths reach an ancestor the minimum distance is reported.
+    pub fn ancestors(&self, member: T) -> Vec<(T, u32)> {
+        self.closure(member, |h, m| h.parents(m))
+    }
+
+    /// All proper descendants of `member` with their distance, nearest first.
+    pub fn descendants(&self, member: T) -> Vec<(T, u32)> {
+        self.closure(member, |h, m| h.children(m))
+    }
+
+    /// `member` together with all of its descendants (no distances) — the
+    /// set a label expands to under RDFS inference.
+    pub fn descendants_or_self(&self, member: T) -> Vec<T> {
+        let mut out = vec![member];
+        out.extend(self.descendants(member).into_iter().map(|(m, _)| m));
+        out
+    }
+
+    /// Whether `ancestor` is a proper ancestor of `member`.
+    pub fn is_ancestor(&self, ancestor: T, member: T) -> bool {
+        self.ancestors(member).iter().any(|(a, _)| *a == ancestor)
+    }
+
+    /// Members with no parents.
+    pub fn roots(&self) -> Vec<T> {
+        let mut roots: Vec<T> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| self.parents(*m).is_empty())
+            .collect();
+        roots.sort();
+        roots
+    }
+
+    /// Members with no children.
+    pub fn leaves(&self) -> Vec<T> {
+        let mut leaves: Vec<T> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| self.children(*m).is_empty())
+            .collect();
+        leaves.sort();
+        leaves
+    }
+
+    /// Length of the longest child-chain below `member` (0 if it is a leaf).
+    pub fn depth_below(&self, member: T) -> u32 {
+        self.children(member)
+            .iter()
+            .map(|&c| 1 + self.depth_below(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average number of children over non-leaf members of the sub-hierarchy
+    /// rooted at `member` (the paper's Figure 2 "average fan-out").
+    pub fn average_fanout_below(&self, member: T) -> f64 {
+        let mut non_leaves = 0usize;
+        let mut child_edges = 0usize;
+        let mut stack = vec![member];
+        let mut seen = HashSet::new();
+        while let Some(m) = stack.pop() {
+            if !seen.insert(m) {
+                continue;
+            }
+            let kids = self.children(m);
+            if !kids.is_empty() {
+                non_leaves += 1;
+                child_edges += kids.len();
+                stack.extend(kids.iter().copied());
+            }
+        }
+        if non_leaves == 0 {
+            0.0
+        } else {
+            child_edges as f64 / non_leaves as f64
+        }
+    }
+
+    /// Number of members in the sub-hierarchy rooted at `member` (inclusive).
+    pub fn size_below(&self, member: T) -> usize {
+        let mut seen = HashSet::new();
+        let mut stack = vec![member];
+        while let Some(m) = stack.pop() {
+            if seen.insert(m) {
+                stack.extend(self.children(m).iter().copied());
+            }
+        }
+        seen.len()
+    }
+
+    fn closure<'a, F>(&'a self, start: T, step: F) -> Vec<(T, u32)>
+    where
+        F: Fn(&'a Hierarchy<T>, T) -> &'a [T],
+    {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        seen.insert(start);
+        let mut queue = VecDeque::new();
+        queue.push_back((start, 0u32));
+        while let Some((m, d)) = queue.pop_front() {
+            for &next in step(self, m) {
+                if seen.insert(next) {
+                    out.push((next, d + 1));
+                    queue.push_back((next, d + 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds:        animal
+    ///               /      \
+    ///            mammal    bird
+    ///            /    \
+    ///          dog    cat
+    fn sample() -> Hierarchy<u32> {
+        let mut h = Hierarchy::new();
+        h.add_edge(1, 0).unwrap(); // mammal -> animal
+        h.add_edge(2, 0).unwrap(); // bird -> animal
+        h.add_edge(3, 1).unwrap(); // dog -> mammal
+        h.add_edge(4, 1).unwrap(); // cat -> mammal
+        h
+    }
+
+    #[test]
+    fn ancestors_with_distances() {
+        let h = sample();
+        assert_eq!(h.ancestors(3), vec![(1, 1), (0, 2)]);
+        assert_eq!(h.ancestors(0), vec![]);
+    }
+
+    #[test]
+    fn descendants_with_distances() {
+        let h = sample();
+        let d = h.descendants(0);
+        assert_eq!(d.len(), 4);
+        assert!(d.contains(&(1, 1)));
+        assert!(d.contains(&(3, 2)));
+        assert_eq!(h.descendants_or_self(1), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut h = sample();
+        assert!(h.add_edge(0, 3).is_err()); // animal -> dog would close a cycle
+        assert!(h.add_edge(0, 0).is_err()); // self-loop
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let h = sample();
+        assert_eq!(h.roots(), vec![0]);
+        assert_eq!(h.leaves(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn depth_and_fanout() {
+        let h = sample();
+        assert_eq!(h.depth_below(0), 2);
+        assert_eq!(h.depth_below(1), 1);
+        assert_eq!(h.depth_below(3), 0);
+        // non-leaves: animal (2 children), mammal (2 children) -> fanout 2.0
+        assert!((h.average_fanout_below(0) - 2.0).abs() < 1e-9);
+        assert_eq!(h.size_below(0), 5);
+        assert_eq!(h.size_below(1), 3);
+    }
+
+    #[test]
+    fn is_ancestor_and_membership() {
+        let h = sample();
+        assert!(h.is_ancestor(0, 3));
+        assert!(h.is_ancestor(1, 4));
+        assert!(!h.is_ancestor(3, 0));
+        assert!(h.contains(4));
+        assert!(!h.contains(99));
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn diamond_reports_minimum_distance() {
+        // d -> b -> a, d -> c -> a, and also d -> a directly.
+        let mut h = Hierarchy::new();
+        h.add_edge(1, 0).unwrap();
+        h.add_edge(2, 0).unwrap();
+        h.add_edge(3, 1).unwrap();
+        h.add_edge(3, 2).unwrap();
+        h.add_edge(3, 0).unwrap();
+        let anc = h.ancestors(3);
+        assert!(anc.contains(&(0, 1)));
+        assert_eq!(anc.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut h = Hierarchy::new();
+        h.add_edge(1, 0).unwrap();
+        h.add_edge(1, 0).unwrap();
+        assert_eq!(h.parents(1), &[0]);
+        assert_eq!(h.children(0), &[1]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Class-hierarchy statistics — the quantities reported in Figure 2 of the
+//! paper (depth and average fan-out per hierarchy).
+
+use omega_graph::{GraphStore, NodeId};
+
+use crate::ontology::Ontology;
+
+/// Statistics of one class hierarchy (the sub-hierarchy below one root).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyStats {
+    /// The root class node.
+    pub root: NodeId,
+    /// Human-readable label of the root class.
+    pub root_label: String,
+    /// Length of the longest root-to-leaf path.
+    pub depth: u32,
+    /// Average number of children over non-leaf classes.
+    pub average_fanout: f64,
+    /// Number of classes in the hierarchy (including the root).
+    pub classes: usize,
+}
+
+impl HierarchyStats {
+    /// Computes the statistics of every class hierarchy in `ontology`
+    /// (one entry per root class), ordered by root label.
+    pub fn compute_all(ontology: &Ontology, graph: &GraphStore) -> Vec<HierarchyStats> {
+        let hierarchy = ontology.class_hierarchy();
+        let mut stats: Vec<HierarchyStats> = hierarchy
+            .roots()
+            .into_iter()
+            .map(|root| HierarchyStats {
+                root,
+                root_label: graph.node_label(root).to_owned(),
+                depth: hierarchy.depth_below(root),
+                average_fanout: hierarchy.average_fanout_below(root),
+                classes: hierarchy.size_below(root),
+            })
+            .collect();
+        stats.sort_by(|a, b| a.root_label.cmp(&b.root_label));
+        stats
+    }
+}
+
+impl std::fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<40} depth={} avg_fanout={:.2} classes={}",
+            self.root_label, self.depth, self.average_fanout, self.classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_per_root() {
+        let mut g = GraphStore::new();
+        let animal = g.add_node("Animal");
+        let mammal = g.add_node("Mammal");
+        let dog = g.add_node("Dog");
+        let cat = g.add_node("Cat");
+        let vehicle = g.add_node("Vehicle");
+        let car = g.add_node("Car");
+
+        let mut o = Ontology::new();
+        o.add_subclass(mammal, animal).unwrap();
+        o.add_subclass(dog, mammal).unwrap();
+        o.add_subclass(cat, mammal).unwrap();
+        o.add_subclass(car, vehicle).unwrap();
+
+        let stats = HierarchyStats::compute_all(&o, &g);
+        assert_eq!(stats.len(), 2);
+        let animal_stats = stats.iter().find(|s| s.root_label == "Animal").unwrap();
+        assert_eq!(animal_stats.depth, 2);
+        assert_eq!(animal_stats.classes, 4);
+        assert!((animal_stats.average_fanout - 1.5).abs() < 1e-9); // Animal:1, Mammal:2
+        let vehicle_stats = stats.iter().find(|s| s.root_label == "Vehicle").unwrap();
+        assert_eq!(vehicle_stats.depth, 1);
+        assert!((vehicle_stats.average_fanout - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Parse errors for RPQ regular expressions.
+
+use std::fmt;
+
+/// An error encountered while parsing an RPQ regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexParseError {
+    /// Byte offset in the input at which the error occurred.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl RegexParseError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        RegexParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RegexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "regular expression parse error at offset {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for RegexParseError {}

@@ -1,0 +1,26 @@
+//! # omega-regex
+//!
+//! Regular path query (RPQ) regular expressions over edge labels, as defined
+//! in Section 2 of the paper:
+//!
+//! ```text
+//! R :=  ε | a | a- | _ | (R1 . R2) | (R1 | R2) | R* | R+
+//! ```
+//!
+//! where `a` is any edge label (including `type`), `a-` traverses an edge in
+//! the reverse direction and `_` denotes the disjunction of all labels.
+//!
+//! This crate provides the AST ([`RpqRegex`]), a parser for the concrete
+//! syntax used in the paper's query sets (e.g.
+//! `isLocatedIn-.gradFrom`, `next+|(prereq+.next)`), a pretty-printer that
+//! round-trips through the parser, and a naive matcher used as a test oracle
+//! by the automata crate.
+
+pub mod ast;
+pub mod error;
+pub mod oracle;
+pub mod parser;
+
+pub use ast::{RpqRegex, Symbol};
+pub use error::RegexParseError;
+pub use parser::parse;

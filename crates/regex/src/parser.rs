@@ -1,0 +1,287 @@
+//! Recursive-descent parser for the concrete RPQ regular-expression syntax
+//! used in the paper's query sets.
+//!
+//! Grammar (whitespace is ignored):
+//!
+//! ```text
+//! alt     := concat ('|' concat)*
+//! concat  := postfix ('.' postfix)*
+//! postfix := atom ('*' | '+')*
+//! atom    := LABEL '-'? | '_' | '(' ')' | '(' alt ')'
+//! LABEL   := [A-Za-z0-9_:][A-Za-z0-9_:']*   (but a lone '_' is the wildcard)
+//! ```
+
+use crate::ast::{RpqRegex, Symbol};
+use crate::error::RegexParseError;
+
+/// Parses an RPQ regular expression from its textual form.
+///
+/// ```
+/// use omega_regex::parse;
+/// let r = parse("isLocatedIn-.gradFrom").unwrap();
+/// assert_eq!(r.to_string(), "isLocatedIn-.gradFrom");
+/// let r = parse("next+|(prereq+.next)").unwrap();
+/// assert_eq!(r.top_level_branches().len(), 2);
+/// ```
+pub fn parse(input: &str) -> Result<RpqRegex, RegexParseError> {
+    let mut parser = Parser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        input_len: input.len(),
+    };
+    let expr = parser.parse_alt()?;
+    parser.skip_ws();
+    if parser.pos < parser.chars.len() {
+        let (offset, ch) = parser.chars[parser.pos];
+        return Err(RegexParseError::new(
+            offset,
+            format!("unexpected character {ch:?}"),
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or(self.input_len, |&(o, _)| o)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<RpqRegex, RegexParseError> {
+        let mut expr = self.parse_concat()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                let rhs = self.parse_concat()?;
+                expr = RpqRegex::Alt(Box::new(expr), Box::new(rhs));
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<RpqRegex, RegexParseError> {
+        let mut expr = self.parse_postfix()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+                let rhs = self.parse_postfix()?;
+                expr = RpqRegex::Concat(Box::new(expr), Box::new(rhs));
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<RpqRegex, RegexParseError> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    expr = RpqRegex::Star(Box::new(expr));
+                }
+                Some('+') => {
+                    self.bump();
+                    expr = RpqRegex::Plus(Box::new(expr));
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<RpqRegex, RegexParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                self.skip_ws();
+                if self.peek() == Some(')') {
+                    self.bump();
+                    return Ok(RpqRegex::Epsilon);
+                }
+                let inner = self.parse_alt()?;
+                self.skip_ws();
+                if self.peek() == Some(')') {
+                    self.bump();
+                    Ok(inner)
+                } else {
+                    Err(RegexParseError::new(self.offset(), "expected ')'"))
+                }
+            }
+            Some(c) if is_label_char(c) => {
+                let start = self.offset();
+                let mut label = String::new();
+                while matches!(self.peek(), Some(c) if is_label_char(c)) {
+                    label.push(self.bump().unwrap());
+                }
+                if label == "_" {
+                    return Ok(RpqRegex::Wildcard);
+                }
+                if label.is_empty() {
+                    return Err(RegexParseError::new(start, "expected a label"));
+                }
+                // Optional inverse marker. Whitespace is not allowed between
+                // the label and its '-' so that `a - b` stays an error rather
+                // than silently parsing.
+                if self.peek() == Some('-') {
+                    self.bump();
+                    Ok(RpqRegex::Label(Symbol::inverse(label)))
+                } else {
+                    Ok(RpqRegex::Label(Symbol::forward(label)))
+                }
+            }
+            Some(c) => Err(RegexParseError::new(
+                self.offset(),
+                format!("unexpected character {c:?}"),
+            )),
+            None => Err(RegexParseError::new(
+                self.offset(),
+                "unexpected end of expression",
+            )),
+        }
+    }
+}
+
+fn is_label_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == ':' || c == '\''
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RpqRegex as R;
+
+    #[test]
+    fn parses_single_labels() {
+        assert_eq!(parse("knows").unwrap(), R::label("knows"));
+        assert_eq!(parse("knows-").unwrap(), R::inverse_label("knows"));
+        assert_eq!(parse("_").unwrap(), R::Wildcard);
+        assert_eq!(parse("()").unwrap(), R::Epsilon);
+    }
+
+    #[test]
+    fn parses_paper_queries() {
+        // L4All Q9
+        let q9 = parse("prereq*.next+.prereq").unwrap();
+        assert_eq!(q9.to_string(), "prereq*.next+.prereq");
+        // L4All Q7
+        let q7 = parse("next+|(prereq+.next)").unwrap();
+        assert_eq!(q7.top_level_branches().len(), 2);
+        // YAGO Q9
+        let y9 = parse("(livesIn-.hasCurrency)|(locatedIn-.gradFrom)").unwrap();
+        assert_eq!(y9.top_level_branches().len(), 2);
+        // YAGO Q2
+        let y2 = parse("hasChild.gradFrom.gradFrom-.hasWonPrize").unwrap();
+        assert_eq!(y2.alphabet().len(), 3);
+    }
+
+    #[test]
+    fn precedence_star_binds_tighter_than_concat() {
+        let r = parse("a.b*").unwrap();
+        assert_eq!(
+            r,
+            R::Concat(
+                Box::new(R::label("a")),
+                Box::new(R::Star(Box::new(R::label("b"))))
+            )
+        );
+        let r = parse("(a.b)*").unwrap();
+        assert_eq!(
+            r,
+            R::Star(Box::new(R::Concat(
+                Box::new(R::label("a")),
+                Box::new(R::label("b"))
+            )))
+        );
+    }
+
+    #[test]
+    fn precedence_concat_binds_tighter_than_alt() {
+        let r = parse("a.b|c").unwrap();
+        assert_eq!(
+            r,
+            R::Alt(
+                Box::new(R::Concat(Box::new(R::label("a")), Box::new(R::label("b")))),
+                Box::new(R::label("c"))
+            )
+        );
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        assert_eq!(parse(" a . b ").unwrap(), parse("a.b").unwrap());
+        assert_eq!(parse("a | b").unwrap(), parse("a|b").unwrap());
+    }
+
+    #[test]
+    fn labels_with_underscores_and_colons() {
+        assert_eq!(
+            parse("rdf:type").unwrap(),
+            R::label("rdf:type")
+        );
+        assert_eq!(
+            parse("wordnet_city-").unwrap(),
+            R::inverse_label("wordnet_city")
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse("").is_err());
+        assert!(parse("a.").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a||b").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("*a").is_err());
+        let err = parse("a.#b").unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "a",
+            "a-",
+            "a.b.c",
+            "a|b|c",
+            "(a|b).c",
+            "a.(b|c)*",
+            "type-.job-.next",
+            "prereq*.next+.prereq",
+            "(livesIn-.hasCurrency)|(locatedIn-.gradFrom)",
+        ] {
+            let parsed = parse(text).unwrap();
+            let reparsed = parse(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "round trip failed for {text}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Quickstart: build a small graph and ontology by hand, then run exact,
+//! APPROX and RELAX queries over it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use omega::core::{EvalOptions, Omega};
+use omega::graph::GraphStore;
+use omega::ontology::Ontology;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A tiny knowledge graph: universities, people, places.
+    // ------------------------------------------------------------------
+    let mut graph = GraphStore::new();
+    for (s, p, o) in [
+        ("Birkbeck", "locatedIn", "London"),
+        ("London", "locatedIn", "UK"),
+        ("Imperial", "locatedIn", "London"),
+        ("alice", "gradFrom", "Birkbeck"),
+        ("bob", "gradFrom", "Imperial"),
+        ("carol", "worksAt", "Birkbeck"),
+        ("alice", "knows", "bob"),
+        ("bob", "knows", "carol"),
+        ("alice", "type", "Student"),
+        ("bob", "type", "Researcher"),
+        ("carol", "type", "Lecturer"),
+    ] {
+        graph.add_triple(s, p, o);
+    }
+
+    // ------------------------------------------------------------------
+    // 2. A small RDFS-style ontology: Student/Researcher/Lecturer ⊑ Person,
+    //    gradFrom and worksAt ⊑ affiliatedWith.
+    // ------------------------------------------------------------------
+    let mut ontology = Ontology::new();
+    let person = graph.add_node("Person");
+    for class in ["Student", "Researcher", "Lecturer"] {
+        let c = graph.node_by_label(class).unwrap();
+        ontology.add_subclass(c, person).unwrap();
+    }
+    let affiliated = graph.intern_label("affiliatedWith");
+    for property in ["gradFrom", "worksAt"] {
+        let p = graph.label_id(property).unwrap();
+        ontology.add_subproperty(p, affiliated).unwrap();
+    }
+
+    let omega = Omega::with_options(graph, ontology, EvalOptions::default());
+
+    // ------------------------------------------------------------------
+    // 3. Exact regular path queries.
+    // ------------------------------------------------------------------
+    println!("== exact: who graduated from something located in London? ==");
+    for a in omega
+        .execute("(?X) <- (London, locatedIn-.gradFrom-, ?X)", None)
+        .unwrap()
+    {
+        println!("  {a}");
+    }
+
+    // ------------------------------------------------------------------
+    // 4. APPROX: the user got an edge direction wrong; approximation
+    //    repairs the query and ranks answers by edit distance.
+    // ------------------------------------------------------------------
+    println!("\n== APPROX: (UK, locatedIn-.gradFrom, ?X) — wrong direction on gradFrom ==");
+    let exact = omega
+        .execute("(?X) <- (UK, locatedIn-.locatedIn-.gradFrom, ?X)", None)
+        .unwrap();
+    println!("  exact answers: {}", exact.len());
+    for a in omega
+        .execute("(?X) <- APPROX (UK, locatedIn-.locatedIn-.gradFrom, ?X)", Some(5))
+        .unwrap()
+    {
+        println!("  {a}");
+    }
+
+    // ------------------------------------------------------------------
+    // 5. RELAX: relax `worksAt` to its superproperty `affiliatedWith` and
+    //    a class constant up the hierarchy; answers are ranked by
+    //    relaxation distance.
+    // ------------------------------------------------------------------
+    println!("\n== RELAX: everyone affiliated with Birkbeck ==");
+    for a in omega
+        .execute("(?X) <- RELAX (Birkbeck, affiliatedWith-, ?X)", None)
+        .unwrap()
+    {
+        println!("  {a}");
+    }
+    println!("\n== RELAX: instances of Student, then of its superclass ==");
+    for a in omega
+        .execute("(?X) <- RELAX (Student, type-, ?X)", None)
+        .unwrap()
+    {
+        println!("  {a}");
+    }
+}

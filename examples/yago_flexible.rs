@@ -1,0 +1,79 @@
+//! The YAGO case study: generate the YAGO-like graph, run the Figure 9
+//! query set, and show how the Section 4.3 optimisations (distance-aware
+//! retrieval, alternation→disjunction) change execution time for the
+//! flexible queries.
+//!
+//! ```text
+//! cargo run --release --example yago_flexible [scale]
+//! ```
+
+use std::time::Instant;
+
+use omega::core::{EvalOptions, Omega};
+use omega::datagen::{generate_yago, yago_queries, YagoConfig};
+
+fn timed(omega: &Omega, text: &str, limit: Option<usize>) -> (usize, f64, bool) {
+    let start = Instant::now();
+    match omega.execute(text, limit) {
+        Ok(answers) => (answers.len(), start.elapsed().as_secs_f64() * 1e3, false),
+        Err(omega::core::OmegaError::ResourceExhausted { .. }) => {
+            (0, start.elapsed().as_secs_f64() * 1e3, true)
+        }
+        Err(other) => panic!("query failed: {other}"),
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    println!("generating YAGO-like graph at scale {scale}…");
+    let data = generate_yago(&YagoConfig::scaled(scale));
+    println!(
+        "graph: {} nodes, {} edges\n",
+        data.graph.node_count(),
+        data.graph.edge_count()
+    );
+
+    // A memory budget turns the paper's out-of-memory failures into clean
+    // errors (the '?' rows below).
+    let budget = Some(2_000_000);
+    let plain = Omega::with_options(
+        data.graph.clone(),
+        data.ontology.clone(),
+        EvalOptions::default().with_max_tuples(budget),
+    );
+    let optimised = Omega::with_options(
+        data.graph.clone(),
+        data.ontology.clone(),
+        EvalOptions::default()
+            .with_max_tuples(budget)
+            .with_distance_aware(true)
+            .with_disjunction_decomposition(true),
+    );
+
+    println!(
+        "{:<5} {:<8} {:>9} {:>12} {:>12}",
+        "query", "mode", "answers", "plain (ms)", "optimised (ms)"
+    );
+    for spec in yago_queries() {
+        for operator in ["", "APPROX", "RELAX"] {
+            if !spec.flexible_in_study && !operator.is_empty() {
+                continue;
+            }
+            let text = spec.with_operator(operator);
+            let limit = if operator.is_empty() { None } else { Some(100) };
+            let (count, plain_ms, plain_oom) = timed(&plain, &text, limit);
+            let (_, opt_ms, opt_oom) = timed(&optimised, &text, limit);
+            println!(
+                "{:<5} {:<8} {:>9} {:>12} {:>12}",
+                spec.id,
+                if operator.is_empty() { "exact" } else { operator },
+                if plain_oom { "?".into() } else { count.to_string() },
+                if plain_oom { "?".into() } else { format!("{plain_ms:.2}") },
+                if opt_oom { "?".into() } else { format!("{opt_ms:.2}") },
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # omega
+//!
+//! Facade crate for **Omega-RS**, a Rust reproduction of *Implementing
+//! Flexible Operators for Regular Path Queries* (Selmer, Poulovassilis, Wood;
+//! EDBT/ICDT Workshops 2015).
+//!
+//! The heavy lifting lives in the member crates; this crate simply re-exports
+//! them so that applications can depend on a single crate:
+//!
+//! * [`graph`] — the graph store substrate (Sparksee substitute),
+//! * [`ontology`] — the RDFS-subset ontology,
+//! * [`regex`] — RPQ regular expressions,
+//! * [`automata`] — weighted NFAs with APPROX/RELAX augmentation,
+//! * [`core`] — the query language, ranked evaluator and `Omega` engine,
+//! * [`datagen`] — the L4All and YAGO-like data generators used by the
+//!   reproduction study.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use omega_automata as automata;
+pub use omega_core as core;
+pub use omega_datagen as datagen;
+pub use omega_graph as graph;
+pub use omega_ontology as ontology;
+pub use omega_regex as regex;
+
+pub use omega_core::{Answer, EvalOptions, Omega, QueryMode};
+pub use omega_graph::{Direction, GraphStore, LabelId, NodeId};
+pub use omega_ontology::Ontology;

@@ -1,0 +1,187 @@
+//! End-to-end integration tests spanning all crates: data generation →
+//! engine construction → query parsing → ranked evaluation → answers.
+
+use omega::core::{EvalOptions, Omega, OmegaError};
+use omega::datagen::{
+    generate_l4all, generate_yago, l4all_queries, yago_queries, L4AllConfig, YagoConfig,
+};
+
+fn l4all_engine() -> Omega {
+    let data = generate_l4all(&L4AllConfig::tiny());
+    Omega::new(data.graph, data.ontology)
+}
+
+fn yago_engine(options: EvalOptions) -> Omega {
+    let data = generate_yago(&YagoConfig::tiny());
+    Omega::with_options(data.graph, data.ontology, options)
+}
+
+#[test]
+fn every_l4all_query_parses_and_runs_in_all_modes() {
+    let omega = l4all_engine();
+    for spec in l4all_queries() {
+        for operator in ["", "APPROX", "RELAX"] {
+            let text = spec.with_operator(operator);
+            let limit = if operator.is_empty() { None } else { Some(20) };
+            let answers = omega
+                .execute(&text, limit)
+                .unwrap_or_else(|e| panic!("{} {} failed: {e}", spec.id, operator));
+            // Answers must be sorted by distance.
+            let distances: Vec<u32> = answers.iter().map(|a| a.distance).collect();
+            let mut sorted = distances.clone();
+            sorted.sort_unstable();
+            assert_eq!(distances, sorted, "{} {} not sorted", spec.id, operator);
+        }
+    }
+}
+
+#[test]
+fn every_yago_query_parses_and_runs_in_all_modes() {
+    let omega = yago_engine(EvalOptions::default().with_max_tuples(Some(500_000)));
+    for spec in yago_queries() {
+        for operator in ["", "APPROX", "RELAX"] {
+            let text = spec.with_operator(operator);
+            let limit = if operator.is_empty() { None } else { Some(20) };
+            match omega.execute(&text, limit) {
+                Ok(answers) => {
+                    let distances: Vec<u32> = answers.iter().map(|a| a.distance).collect();
+                    let mut sorted = distances.clone();
+                    sorted.sort_unstable();
+                    assert_eq!(distances, sorted);
+                }
+                // The paper's Q4/Q5 APPROX runs exhaust memory; that is an
+                // accepted outcome here too.
+                Err(OmegaError::ResourceExhausted { .. }) => {}
+                Err(other) => panic!("{} {} failed: {other}", spec.id, operator),
+            }
+        }
+    }
+}
+
+#[test]
+fn approx_and_relax_only_add_answers() {
+    let omega = l4all_engine();
+    for spec in l4all_queries() {
+        if !spec.flexible_in_study {
+            continue;
+        }
+        let exact = omega.execute(spec.text, Some(100)).unwrap();
+        let approx = omega
+            .execute(&spec.with_operator("APPROX"), Some(100))
+            .unwrap();
+        let relax = omega
+            .execute(&spec.with_operator("RELAX"), Some(100))
+            .unwrap();
+        assert!(
+            approx.len() >= exact.len().min(100),
+            "{}: APPROX returned fewer answers than exact",
+            spec.id
+        );
+        assert!(
+            relax.len() >= exact.len().min(100),
+            "{}: RELAX returned fewer answers than exact",
+            spec.id
+        );
+        // The distance-0 APPROX answers are exactly the exact answers (both
+        // runs were capped at 100 and answers arrive in distance order).
+        let approx_zero = approx.iter().filter(|a| a.distance == 0).count();
+        assert_eq!(approx_zero, exact.len().min(100), "{}", spec.id);
+    }
+}
+
+#[test]
+fn optimisations_preserve_top_k_answer_multisets() {
+    let data = generate_l4all(&L4AllConfig::tiny());
+    let plain = Omega::new(data.graph.clone(), data.ontology.clone());
+    let optimised = Omega::with_options(
+        data.graph.clone(),
+        data.ontology.clone(),
+        EvalOptions::default()
+            .with_distance_aware(true)
+            .with_disjunction_decomposition(true),
+    );
+    for spec in l4all_queries() {
+        if !spec.flexible_in_study {
+            continue;
+        }
+        for operator in ["APPROX", "RELAX"] {
+            let text = spec.with_operator(operator);
+            // Collect *all* answers so the comparison is order-insensitive.
+            let mut a: Vec<_> = plain
+                .execute(&text, None)
+                .unwrap()
+                .into_iter()
+                .map(|ans| (ans.bindings, ans.distance))
+                .collect();
+            let mut b: Vec<_> = optimised
+                .execute(&text, None)
+                .unwrap()
+                .into_iter()
+                .map(|ans| (ans.bindings, ans.distance))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{} {} differs under optimisations", spec.id, operator);
+        }
+    }
+}
+
+#[test]
+fn yago_figure10_shape_holds() {
+    // The qualitative shape of Figure 10 on the synthetic YAGO graph:
+    // Q3/Q9 have no exact answers but APPROX recovers plenty.
+    let omega = yago_engine(EvalOptions::default().with_max_tuples(Some(500_000)));
+    let queries = yago_queries();
+    let q3 = &queries[2];
+    let q9 = &queries[8];
+    for spec in [q3, q9] {
+        let exact = omega.execute(spec.text, None).unwrap();
+        assert!(exact.is_empty(), "{} should have no exact answers", spec.id);
+        let approx = omega
+            .execute(&spec.with_operator("APPROX"), Some(50))
+            .unwrap();
+        assert!(
+            !approx.is_empty(),
+            "{} APPROX should recover answers",
+            spec.id
+        );
+        assert!(approx.iter().all(|a| a.distance >= 1));
+    }
+}
+
+#[test]
+fn multi_conjunct_queries_join_across_conjuncts() {
+    let omega = l4all_engine();
+    let answers = omega
+        .execute(
+            "(?E, ?N) <- (Work Episode, type-, ?E), (?E, next, ?N)",
+            None,
+        )
+        .unwrap();
+    // every answer's ?E must indeed be a work episode with a successor
+    assert!(!answers.is_empty());
+    for a in &answers {
+        assert!(a.get("E").is_some() && a.get("N").is_some());
+        assert_eq!(a.distance, 0);
+    }
+    // joining with an unsatisfiable conjunct yields nothing
+    let none = omega
+        .execute(
+            "(?E) <- (Work Episode, type-, ?E), (?E, qualif.level.level, ?Z)",
+            None,
+        )
+        .unwrap();
+    assert!(none.is_empty());
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade crate exposes the pieces needed to build an engine from
+    // scratch without referencing the member crates directly.
+    let mut graph = omega::GraphStore::new();
+    graph.add_triple("a", "p", "b");
+    let engine = omega::Omega::new(graph, omega::Ontology::new());
+    let answers = engine.execute("(?X) <- (a, p, ?X)", None).unwrap();
+    assert_eq!(answers.len(), 1);
+    assert_eq!(answers[0].get("X"), Some("b"));
+}

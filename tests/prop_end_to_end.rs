@@ -1,0 +1,125 @@
+//! Cross-crate property tests: on random small graphs, the ranked evaluator,
+//! the BFS baseline and the optimised drivers must agree, and the flexible
+//! operators must behave monotonically.
+
+use omega::core::{parse_query, BaselineEvaluator, EvalOptions, Omega};
+use omega::graph::GraphStore;
+use omega::ontology::Ontology;
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["p", "q", "r", "type"];
+
+fn graph_strategy() -> impl Strategy<Value = Vec<(u8, usize, u8)>> {
+    prop::collection::vec((0u8..12, 0usize..LABELS.len(), 0u8..12), 1..60)
+}
+
+fn build(triples: &[(u8, usize, u8)]) -> (GraphStore, Ontology) {
+    let mut g = GraphStore::new();
+    for (s, p, o) in triples {
+        // `type` targets a small set of class nodes so RELAX has something
+        // to work with.
+        if LABELS[*p] == "type" {
+            g.add_triple(&format!("n{s}"), "type", &format!("C{}", o % 3));
+        } else {
+            g.add_triple(&format!("n{s}"), LABELS[*p], &format!("n{o}"));
+        }
+    }
+    let mut o = Ontology::new();
+    let root = g.add_node("CRoot");
+    for c in 0..3 {
+        if let Some(class) = g.node_by_label(&format!("C{c}")) {
+            let _ = o.add_subclass(class, root);
+        }
+    }
+    if let (Some(p), Some(q)) = (g.label_id("p"), g.label_id("q")) {
+        let super_p = g.intern_label("super_p");
+        let _ = o.add_subproperty(p, super_p);
+        let _ = o.add_subproperty(q, super_p);
+    }
+    (g, o)
+}
+
+const QUERIES: [&str; 6] = [
+    "(?X, ?Y) <- (?X, p.q, ?Y)",
+    "(?X, ?Y) <- (?X, p+, ?Y)",
+    "(?X, ?Y) <- (?X, (p|q).r, ?Y)",
+    "(?X, ?Y) <- (?X, p*.q, ?Y)",
+    "(?X, ?Y) <- (?X, q-.p, ?Y)",
+    "(?X, ?Y) <- (?X, type.type-, ?Y)",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ranked evaluator's distance-0 answers equal the BFS baseline's
+    /// answers on every query and random graph.
+    #[test]
+    fn ranked_matches_bfs_baseline(triples in graph_strategy(), qi in 0usize..QUERIES.len()) {
+        let (g, o) = build(&triples);
+        let query = parse_query(QUERIES[qi]).unwrap();
+        let options = EvalOptions::default();
+        let mut baseline = BaselineEvaluator::new(&query.conjuncts[0], &g, &o, &options).unwrap();
+        let mut expected: Vec<_> = baseline.run().iter().map(|a| (a.x, a.y)).collect();
+        expected.sort_unstable();
+        expected.dedup();
+
+        let engine = Omega::with_options(g.clone(), o.clone(), options);
+        let mut stream_answers = Vec::new();
+        let parsed = parse_query(QUERIES[qi]).unwrap();
+        let mut stream = engine.stream(&parsed).unwrap();
+        while let Some(a) = stream.next().unwrap() {
+            if a.distance == 0 {
+                let x = g.node_by_label(a.get("X").unwrap()).unwrap();
+                let y = g.node_by_label(a.get("Y").unwrap()).unwrap();
+                stream_answers.push((x, y));
+            }
+        }
+        stream_answers.sort_unstable();
+        stream_answers.dedup();
+        prop_assert_eq!(expected, stream_answers);
+    }
+
+    /// APPROX answers are a superset of exact answers, arrive sorted by
+    /// distance, and the exact ones sit at distance 0.
+    #[test]
+    fn approx_is_a_sorted_superset(triples in graph_strategy(), qi in 0usize..QUERIES.len()) {
+        let (g, o) = build(&triples);
+        let engine = Omega::new(g, o);
+        let exact = engine.execute(QUERIES[qi], None).unwrap();
+        let approx_text = QUERIES[qi].replacen("<- (", "<- APPROX (", 1);
+        let approx = engine.execute(&approx_text, Some(200)).unwrap();
+        let distances: Vec<u32> = approx.iter().map(|a| a.distance).collect();
+        let mut sorted = distances.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&distances, &sorted);
+        let zero = approx.iter().filter(|a| a.distance == 0).count();
+        prop_assert_eq!(zero, exact.len().min(200));
+    }
+
+    /// The distance-aware and disjunction drivers return the same answer
+    /// multiset as plain evaluation.
+    #[test]
+    fn optimised_drivers_agree_with_plain(triples in graph_strategy(), qi in 0usize..QUERIES.len()) {
+        let (g, o) = build(&triples);
+        let plain = Omega::new(g.clone(), o.clone());
+        let optimised = Omega::with_options(
+            g,
+            o,
+            EvalOptions::default()
+                .with_distance_aware(true)
+                .with_disjunction_decomposition(true),
+        );
+        let approx_text = QUERIES[qi].replacen("<- (", "<- APPROX (", 1);
+        let collect = |engine: &Omega| {
+            let mut v: Vec<_> = engine
+                .execute(&approx_text, None)
+                .unwrap()
+                .into_iter()
+                .map(|a| (a.bindings, a.distance))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(collect(&plain), collect(&optimised));
+    }
+}
