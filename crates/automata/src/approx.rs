@@ -144,14 +144,20 @@ mod tests {
     #[test]
     fn exact_words_stay_at_cost_zero() {
         let a = approx_nfa("a.b", &ApproxConfig::default());
-        assert_eq!(min_accept_cost(&a, &w(&[("a", false), ("b", false)])), Some(0));
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("a", false), ("b", false)])),
+            Some(0)
+        );
     }
 
     #[test]
     fn substitution_costs_one() {
         let a = approx_nfa("a.b", &ApproxConfig::default());
         // 'z' substituted for 'a'
-        assert_eq!(min_accept_cost(&a, &w(&[("z", false), ("b", false)])), Some(1));
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("z", false), ("b", false)])),
+            Some(1)
+        );
         // the paper's running example: gradFrom substituted by gradFrom-
         let q = approx_nfa("isLocatedIn-.gradFrom", &ApproxConfig::default());
         assert_eq!(
@@ -184,7 +190,10 @@ mod tests {
     fn edit_distance_accumulates() {
         let a = approx_nfa("a.b.c", &ApproxConfig::default());
         // delete 'a', substitute 'c' -> distance 2
-        assert_eq!(min_accept_cost(&a, &w(&[("b", false), ("z", false)])), Some(2));
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("b", false), ("z", false)])),
+            Some(2)
+        );
         // completely unrelated word of same length -> one substitution each
         assert_eq!(
             min_accept_cost(&a, &w(&[("x", false), ("y", false), ("z", false)])),
@@ -202,7 +211,10 @@ mod tests {
         };
         let a = approx_nfa("a.b", &config);
         assert_eq!(min_accept_cost(&a, &w(&[("a", false)])), Some(2)); // deletion
-        assert_eq!(min_accept_cost(&a, &w(&[("z", false), ("b", false)])), Some(3)); // subst
+        assert_eq!(
+            min_accept_cost(&a, &w(&[("z", false), ("b", false)])),
+            Some(3)
+        ); // subst
         assert_eq!(
             min_accept_cost(&a, &w(&[("a", false), ("q", false), ("b", false)])),
             Some(5)

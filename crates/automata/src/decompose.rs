@@ -69,7 +69,11 @@ mod tests {
             vec![Symbol::forward("a"), Symbol::forward("b")],
             vec![Symbol::forward("c")],
             vec![Symbol::forward("d")],
-            vec![Symbol::forward("d"), Symbol::forward("e"), Symbol::forward("e")],
+            vec![
+                Symbol::forward("d"),
+                Symbol::forward("e"),
+                Symbol::forward("e"),
+            ],
             vec![Symbol::forward("a")],
         ];
         for w in &words {

@@ -212,7 +212,15 @@ mod tests {
         o.add_subproperty(a, b).unwrap();
         o.add_subproperty(b, c).unwrap();
         let nfa = build_nfa(&parse("a").unwrap(), &g);
-        let relaxed = relax(&nfa, &o, &RelaxConfig { beta: 2, gamma: None }, &g);
+        let relaxed = relax(
+            &nfa,
+            &o,
+            &RelaxConfig {
+                beta: 2,
+                gamma: None,
+            },
+            &g,
+        );
         let cost_of = |label: omega_graph::LabelId| {
             relaxed
                 .transitions()
@@ -254,12 +262,7 @@ mod tests {
         o.add_property(p);
         o.set_range(p, thing);
         let nfa = build_nfa(&parse("p-").unwrap(), &g);
-        let relaxed = relax(
-            &nfa,
-            &o,
-            &RelaxConfig::default().with_domain_range(1),
-            &g,
-        );
+        let relaxed = relax(&nfa, &o, &RelaxConfig::default().with_domain_range(1), &g);
         assert!(relaxed.transitions().iter().any(|t| matches!(
             &t.label,
             TransitionLabel::TypeTo { class, .. } if *class == thing

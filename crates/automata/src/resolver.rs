@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(g.resolve_label("knows"), g.label_id("knows"));
         assert_eq!(g.resolve_label("missing"), None);
         assert_eq!(g.resolve_node("a"), g.node_by_label("a"));
-        assert_eq!(LabelResolver::type_label(&g), Some(GraphStore::type_label(&g)));
+        assert_eq!(
+            LabelResolver::type_label(&g),
+            Some(GraphStore::type_label(&g))
+        );
         assert_eq!(g.node_name(g.node_by_label("b").unwrap()), "b");
     }
 

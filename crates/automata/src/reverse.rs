@@ -72,7 +72,11 @@ mod tests {
             vec![Symbol::forward("a"), Symbol::forward("b")],
             vec![Symbol::inverse("a"), Symbol::forward("b")],
             vec![Symbol::forward("b"), Symbol::forward("c")],
-            vec![Symbol::forward("a"), Symbol::forward("b"), Symbol::forward("c")],
+            vec![
+                Symbol::forward("a"),
+                Symbol::forward("b"),
+                Symbol::forward("c"),
+            ],
         ];
         for expr in ["a.b", "a-.b", "a.b|c", "a*.b", "(a.b)+", "a.(b|c)*"] {
             let nfa = build_nfa(&parse(expr).unwrap(), &resolver);
@@ -114,7 +118,12 @@ mod tests {
         use crate::label::TransitionLabel;
         let mut nfa = WeightedNfa::new();
         let s1 = nfa.add_state();
-        nfa.add_transition(nfa.initial(), TransitionLabel::symbol(None, false, "a"), 2, s1);
+        nfa.add_transition(
+            nfa.initial(),
+            TransitionLabel::symbol(None, false, "a"),
+            2,
+            s1,
+        );
         nfa.add_final(s1, 3);
         nfa.freeze();
         let rev = remove_epsilons(&reverse(&nfa));

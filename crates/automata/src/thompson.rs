@@ -198,8 +198,20 @@ mod tests {
             "(livesIn-.hasCurrency)|(locatedIn-.gradFrom)",
         ];
         let labels = [
-            "type", "qualif", "job", "next", "prereq", "level", "bornIn", "marriedTo",
-            "hasChild", "gradFrom", "hasWonPrize", "livesIn", "hasCurrency", "locatedIn",
+            "type",
+            "qualif",
+            "job",
+            "next",
+            "prereq",
+            "level",
+            "bornIn",
+            "marriedTo",
+            "hasChild",
+            "gradFrom",
+            "hasWonPrize",
+            "livesIn",
+            "hasCurrency",
+            "locatedIn",
         ];
         let mut resolver = MapResolver::new();
         for l in labels {
@@ -216,7 +228,11 @@ mod tests {
             }
         }
         words.push(word(&[("next", false), ("next", false), ("prereq", false)]));
-        words.push(word(&[("prereq", false), ("next", false), ("prereq", false)]));
+        words.push(word(&[
+            ("prereq", false),
+            ("next", false),
+            ("prereq", false),
+        ]));
         for expr in exprs {
             let regex = parse(expr).unwrap();
             let nfa = build_nfa(&regex, &resolver);

@@ -2,10 +2,8 @@
 //! agree with reference semantics on randomly generated regular expressions
 //! and words.
 
-use omega_automata::{
-    approximate, build_nfa, remove_epsilons, reverse, ApproxConfig, MapResolver,
-};
 use omega_automata::simulate::{accepts, min_accept_cost};
+use omega_automata::{approximate, build_nfa, remove_epsilons, reverse, ApproxConfig, MapResolver};
 use omega_regex::{oracle, RpqRegex, Symbol};
 use proptest::prelude::*;
 

@@ -43,7 +43,10 @@ fn bench_construction(c: &mut Criterion) {
             for expr in &exprs {
                 let regex = parse(expr).expect("query regex parses");
                 let nfa = build_nfa(&regex, &dataset.graph);
-                criterion::black_box(remove_epsilons(&approximate(&nfa, &ApproxConfig::default())));
+                criterion::black_box(remove_epsilons(&approximate(
+                    &nfa,
+                    &ApproxConfig::default(),
+                )));
             }
         })
     });

@@ -20,11 +20,9 @@ fn bench_approx(c: &mut Criterion) {
                 continue;
             }
             let text = spec.with_operator("APPROX");
-            group.bench_with_input(
-                BenchmarkId::new(spec.id, scale.name()),
-                &text,
-                |b, text| b.iter(|| run_query(&omega, spec.id, "APPROX", text)),
-            );
+            group.bench_with_input(BenchmarkId::new(spec.id, scale.name()), &text, |b, text| {
+                b.iter(|| run_query(&omega, spec.id, "APPROX", text))
+            });
         }
     }
     group.finish();

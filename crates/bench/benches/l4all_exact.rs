@@ -22,11 +22,9 @@ fn bench_exact(c: &mut Criterion) {
             if !figure5_query_ids().contains(&spec.id) {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(spec.id, scale.name()),
-                &spec,
-                |b, spec| b.iter(|| run_query(&omega, spec.id, "", spec.text)),
-            );
+            group.bench_with_input(BenchmarkId::new(spec.id, scale.name()), &spec, |b, spec| {
+                b.iter(|| run_query(&omega, spec.id, "", spec.text))
+            });
         }
     }
     group.finish();

@@ -19,11 +19,9 @@ fn bench_relax(c: &mut Criterion) {
                 continue;
             }
             let text = spec.with_operator("RELAX");
-            group.bench_with_input(
-                BenchmarkId::new(spec.id, scale.name()),
-                &text,
-                |b, text| b.iter(|| run_query(&omega, spec.id, "RELAX", text)),
-            );
+            group.bench_with_input(BenchmarkId::new(spec.id, scale.name()), &text, |b, text| {
+                b.iter(|| run_query(&omega, spec.id, "RELAX", text))
+            });
         }
     }
     group.finish();

@@ -1,12 +1,18 @@
 //! Section 4.3: the two query-execution optimisations as ablations —
 //! distance-aware retrieval (L4All Q3/Q9, YAGO Q2/Q3) and replacing
 //! alternation by disjunction (YAGO Q9) — plus the final-tuple
-//! prioritisation and initial-node batching refinements of Section 3.3.
+//! prioritisation and initial-node batching refinements of Section 3.3,
+//! and the storage/queue comparisons backing this repo's own optimisation
+//! work: frozen CSR adjacency vs the hash-map builder, and the indexed
+//! bucket queue vs a `BTreeMap` reference implementation of `D_R`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use omega_bench::{engine_for, l4all_dataset, run_query, yago_dataset};
+use omega_core::eval::dr::DrQueue;
+use omega_core::eval::tuple::Tuple;
 use omega_core::EvalOptions;
 use omega_datagen::{l4all_queries, yago_queries, L4AllScale};
+use omega_graph::{Direction, GraphStore};
 
 fn bench_distance_aware(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_distance_aware");
@@ -16,10 +22,30 @@ fn bench_distance_aware(c: &mut Criterion) {
     let l4all = l4all_dataset(L4AllScale::L1);
     let yago = yago_dataset(0.25);
     let cases = vec![
-        ("l4all_q3", engine_for(&l4all, EvalOptions::default()), engine_for(&l4all, EvalOptions::default().with_distance_aware(true)), l4all_queries()[2].clone()),
-        ("l4all_q9", engine_for(&l4all, EvalOptions::default()), engine_for(&l4all, EvalOptions::default().with_distance_aware(true)), l4all_queries()[8].clone()),
-        ("yago_q2", engine_for(&yago, EvalOptions::default()), engine_for(&yago, EvalOptions::default().with_distance_aware(true)), yago_queries()[1].clone()),
-        ("yago_q3", engine_for(&yago, EvalOptions::default()), engine_for(&yago, EvalOptions::default().with_distance_aware(true)), yago_queries()[2].clone()),
+        (
+            "l4all_q3",
+            engine_for(&l4all, EvalOptions::default()),
+            engine_for(&l4all, EvalOptions::default().with_distance_aware(true)),
+            l4all_queries()[2].clone(),
+        ),
+        (
+            "l4all_q9",
+            engine_for(&l4all, EvalOptions::default()),
+            engine_for(&l4all, EvalOptions::default().with_distance_aware(true)),
+            l4all_queries()[8].clone(),
+        ),
+        (
+            "yago_q2",
+            engine_for(&yago, EvalOptions::default()),
+            engine_for(&yago, EvalOptions::default().with_distance_aware(true)),
+            yago_queries()[1].clone(),
+        ),
+        (
+            "yago_q3",
+            engine_for(&yago, EvalOptions::default()),
+            engine_for(&yago, EvalOptions::default().with_distance_aware(true)),
+            yago_queries()[2].clone(),
+        ),
     ];
     for (name, baseline, optimised, spec) in &cases {
         let text = spec.with_operator("APPROX");
@@ -62,10 +88,15 @@ fn bench_final_prioritisation(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     let l4all = l4all_dataset(L4AllScale::L1);
     let with = engine_for(&l4all, EvalOptions::default());
-    let without = engine_for(&l4all, EvalOptions::default().without_final_prioritization());
+    let without = engine_for(
+        &l4all,
+        EvalOptions::default().without_final_prioritization(),
+    );
     let spec = l4all_queries()[8].clone(); // Q9
     let text = spec.with_operator("APPROX");
-    group.bench_function("on", |b| b.iter(|| run_query(&with, spec.id, "APPROX", &text)));
+    group.bench_function("on", |b| {
+        b.iter(|| run_query(&with, spec.id, "APPROX", &text))
+    });
     group.bench_function("off", |b| {
         b.iter(|| run_query(&without, spec.id, "APPROX", &text))
     });
@@ -92,11 +123,143 @@ fn bench_batch_size(c: &mut Criterion) {
     group.finish();
 }
 
+/// A `BTreeMap`-bucketed reference implementation of `D_R` — the structure
+/// the engine used before the indexed bucket queue — kept here so the two
+/// can be compared head-to-head on identical workloads.
+#[derive(Default)]
+struct BTreeDrQueue {
+    buckets: std::collections::BTreeMap<(u32, u8), Vec<Tuple>>,
+}
+
+impl BTreeDrQueue {
+    fn push(&mut self, tuple: Tuple) {
+        let key = (tuple.distance, if tuple.is_final { 0 } else { 1 });
+        self.buckets.entry(key).or_default().push(tuple);
+    }
+
+    fn pop(&mut self) -> Option<Tuple> {
+        let (&key, bucket) = self.buckets.iter_mut().next()?;
+        let tuple = bucket.pop();
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        tuple
+    }
+}
+
+/// A mixed push/pop workload shaped like ranked evaluation: bursts of
+/// same-distance pushes (neighbour expansion), interleaved pops, distances
+/// drifting upward with occasional distance-0 refills.
+fn dr_workload() -> Vec<(bool, Tuple)> {
+    use omega_automata::StateId;
+    use omega_graph::NodeId;
+    let mut ops = Vec::with_capacity(60_000);
+    let mut seed = 0x5eedu64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) as u32
+    };
+    for i in 0..20_000u32 {
+        let base = i / 2_000; // distances drift upward in phases
+        let tuple = Tuple {
+            start: NodeId(next() % 1_000),
+            node: NodeId(next() % 1_000),
+            state: StateId(next() % 16),
+            distance: if next() % 50 == 0 {
+                0
+            } else {
+                base + next() % 3
+            },
+            is_final: next() % 10 == 0,
+        };
+        ops.push((true, tuple));
+        if i % 3 == 2 {
+            ops.push((false, tuple)); // a pop (tuple payload unused)
+        }
+    }
+    ops
+}
+
+fn bench_dr_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dr_queue");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let ops = dr_workload();
+    group.bench_function("bucket", |b| {
+        b.iter(|| {
+            let mut q = DrQueue::new(true);
+            for (push, tuple) in &ops {
+                if *push {
+                    q.push(*tuple);
+                } else {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(t) = q.pop() {
+                black_box(t);
+            }
+        })
+    });
+    group.bench_function("btreemap", |b| {
+        b.iter(|| {
+            let mut q = BTreeDrQueue::default();
+            for (push, tuple) in &ops {
+                if *push {
+                    q.push(*tuple);
+                } else {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(t) = q.pop() {
+                black_box(t);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_csr_adjacency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_adjacency");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let dataset = yago_dataset(0.25);
+    let frozen = dataset.graph.clone(); // datagen freezes its output
+    assert!(frozen.is_frozen());
+    // Rebuild the same graph in builder (hash-map) state for comparison.
+    let mut builder = GraphStore::new();
+    for edge in frozen.edges() {
+        builder.add_triple(
+            frozen.node_label(edge.source),
+            frozen.label_name(edge.label),
+            frozen.node_label(edge.target),
+        );
+    }
+    assert!(!builder.is_frozen());
+    let labels: Vec<_> = frozen.labels().map(|(id, _)| id).collect();
+    let scan = |g: &GraphStore| {
+        let mut total = 0usize;
+        for node in g.node_ids() {
+            for &label in &labels {
+                total += g.neighbors(node, label, Direction::Outgoing).len();
+                total += g.neighbors(node, label, Direction::Incoming).len();
+            }
+            total += g.neighbors_any(node, Direction::Outgoing).len();
+        }
+        total
+    };
+    assert_eq!(scan(&frozen), scan(&builder));
+    group.bench_function("frozen_csr", |b| b.iter(|| black_box(scan(&frozen))));
+    group.bench_function("hashmap_builder", |b| b.iter(|| black_box(scan(&builder))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_distance_aware,
     bench_disjunction,
     bench_final_prioritisation,
-    bench_batch_size
+    bench_batch_size,
+    bench_dr_queue,
+    bench_csr_adjacency
 );
 criterion_main!(benches);

@@ -22,12 +22,14 @@ fn bench_yago(c: &mut Criterion) {
         }
         for operator in ["", "APPROX", "RELAX"] {
             let text = spec.with_operator(operator);
-            let label = if operator.is_empty() { "exact" } else { operator };
-            group.bench_with_input(
-                BenchmarkId::new(spec.id, label),
-                &text,
-                |b, text| b.iter(|| run_query(&omega, spec.id, operator, text)),
-            );
+            let label = if operator.is_empty() {
+                "exact"
+            } else {
+                operator
+            };
+            group.bench_with_input(BenchmarkId::new(spec.id, label), &text, |b, text| {
+                b.iter(|| run_query(&omega, spec.id, operator, text))
+            });
         }
     }
     group.finish();

@@ -1,15 +1,32 @@
 //! The experiment driver: regenerates every table and figure of the paper's
-//! evaluation section as plain-text tables.
+//! evaluation section as plain-text tables, and emits a machine-readable
+//! `BENCH_N.json` latency/counter report for tracking the engine's
+//! performance trajectory across PRs.
 //!
 //! ```text
-//! experiments [FIGURE ...] [--quick | --full] [--yago-scale F] [--max-scale L1|L2|L3|L4]
+//! experiments [FIGURE ...] [--quick | --full] [--yago-scale F]
+//!             [--max-scale L1|L2|L3|L4] [--json PATH]
 //!
-//! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance opt-disjunction baseline all
+//! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance
+//!         opt-disjunction baseline bench all
 //! ```
 //!
 //! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
 //! graph; `--full` runs all four L4All scales and the full-size synthetic
-//! YAGO graph (several minutes).
+//! YAGO graph (several minutes). `bench` (included in `all`) writes the JSON
+//! report — by default to the first `BENCH_N.json` that does not exist yet,
+//! so committed baselines from earlier PRs are never overwritten; `--json`
+//! overrides the path explicitly.
+
+use std::path::PathBuf;
+
+/// The first `BENCH_N.json` not already present in the working directory.
+fn next_bench_path() -> PathBuf {
+    (1..)
+        .map(|n| PathBuf::from(format!("BENCH_{n}.json")))
+        .find(|p| !p.exists())
+        .expect("some BENCH_N.json slot is free")
+}
 
 use omega_bench::*;
 use omega_core::EvalOptions;
@@ -19,6 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figures: Vec<String> = Vec::new();
     let mut config = RunConfig::quick();
+    let mut json_path = next_bench_path();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -38,11 +56,15 @@ fn main() {
                     other => panic!("unknown scale {other}"),
                 };
             }
+            "--json" => {
+                let value = iter.next().expect("--json needs a path");
+                json_path = PathBuf::from(value);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
-                     opt-distance opt-disjunction baseline all] [--quick|--full] \
-                     [--yago-scale F] [--max-scale L1..L4]"
+                     opt-distance opt-disjunction baseline bench all] [--quick|--full] \
+                     [--yago-scale F] [--max-scale L1..L4] [--json PATH]"
                 );
                 return;
             }
@@ -68,29 +90,50 @@ fn main() {
     if wants("fig3") {
         println!("{}", figure3(&config));
     }
-    if wants("fig5") || wants("fig6") || wants("fig7") || wants("fig8") {
-        let rows = l4all_study(&config, &options);
+    // The L4All and YAGO studies feed both the figure tables and the JSON
+    // report; run each at most once.
+    let need_l4all =
+        wants("fig5") || wants("fig6") || wants("fig7") || wants("fig8") || wants("bench");
+    let need_yago = wants("fig10") || wants("fig11") || wants("bench");
+    let l4all_rows = need_l4all.then(|| l4all_study(&config, &options));
+    let yago_rows = need_yago.then(|| yago_study(&config, &options));
+    if let Some(rows) = &l4all_rows {
         if wants("fig5") {
-            println!("{}", figure5(&rows));
+            println!("{}", figure5(rows));
         }
         if wants("fig6") {
-            println!("{}", figure_times(&rows, "exact", "Figure 6"));
+            println!("{}", figure_times(rows, "exact", "Figure 6"));
         }
         if wants("fig7") {
-            println!("{}", figure_times(&rows, "APPROX", "Figure 7"));
+            println!("{}", figure_times(rows, "APPROX", "Figure 7"));
         }
         if wants("fig8") {
-            println!("{}", figure_times(&rows, "RELAX", "Figure 8"));
+            println!("{}", figure_times(rows, "RELAX", "Figure 8"));
         }
     }
-    if wants("fig10") || wants("fig11") {
-        let rows = yago_study(&config, &options);
+    if let Some(rows) = &yago_rows {
         if wants("fig10") {
-            println!("{}", figure10(&rows));
+            println!("{}", figure10(rows));
         }
         if wants("fig11") {
-            println!("{}", figure11(&rows));
+            println!("{}", figure11(rows));
         }
+    }
+    if wants("bench") {
+        let name = json_path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("BENCH")
+            .to_owned();
+        report::write_bench_json(
+            &json_path,
+            &name,
+            &config,
+            l4all_rows.as_deref().unwrap_or(&[]),
+            yago_rows.as_deref().unwrap_or(&[]),
+        )
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", json_path.display()));
+        println!("wrote {}\n", json_path.display());
     }
     if wants("opt-distance") {
         println!("{}", optimisation_distance_aware(&config));

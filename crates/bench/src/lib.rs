@@ -15,10 +15,12 @@
 //! (which queries return zero exact answers, which explode under APPROX,
 //! which optimisations help) without going through the binary.
 
+pub mod report;
+
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use omega_core::{EvalOptions, Omega, OmegaError};
+use omega_core::{EvalOptions, EvalStats, Omega, OmegaError};
 use omega_datagen::{
     generate_l4all, generate_yago, l4all_queries, yago_queries, Dataset, L4AllConfig, L4AllScale,
     QuerySpec, YagoConfig,
@@ -66,9 +68,7 @@ impl RunConfig {
     pub fn scales(&self) -> Vec<L4AllScale> {
         L4AllScale::all()
             .into_iter()
-            .take_while(|s| {
-                s.timelines() <= self.max_scale.timelines()
-            })
+            .take_while(|s| s.timelines() <= self.max_scale.timelines())
             .collect()
     }
 }
@@ -88,6 +88,8 @@ pub struct QueryRun {
     pub distances: BTreeMap<u32, usize>,
     /// Whether the run aborted on the memory budget (the paper's "?").
     pub exhausted: bool,
+    /// Evaluator counters accumulated over the run.
+    pub stats: EvalStats,
 }
 
 impl QueryRun {
@@ -133,17 +135,31 @@ pub fn run_query(omega: &Omega, id: &str, operator: &str, text: &str) -> QueryRu
     let mut exhausted = false;
     let mut answers = 0usize;
 
-    let result = if operator.is_empty() {
-        omega.execute(text, None)
+    let limit = if operator.is_empty() {
+        None
     } else {
-        omega.execute(text, Some(TOP_K))
+        Some(TOP_K)
     };
-    match result {
-        Ok(found) => {
-            answers = found.len();
-            for a in &found {
-                *distances.entry(a.distance).or_insert(0) += 1;
+    let query = match omega_core::parse_query(text) {
+        Ok(q) => q,
+        Err(e) => panic!("query {id} failed: {e}"),
+    };
+    // Evaluate through the streaming API so the evaluator's counters are
+    // available afterwards (execute() discards them).
+    let mut stats = EvalStats::default();
+    match omega.stream(&query) {
+        Ok(mut stream) => {
+            match stream.collect(limit) {
+                Ok(found) => {
+                    answers = found.len();
+                    for a in &found {
+                        *distances.entry(a.distance).or_insert(0) += 1;
+                    }
+                }
+                Err(OmegaError::ResourceExhausted { .. }) => exhausted = true,
+                Err(other) => panic!("query {id} failed: {other}"),
             }
+            stats = stream.stats();
         }
         Err(OmegaError::ResourceExhausted { .. }) => exhausted = true,
         Err(other) => panic!("query {id} failed: {other}"),
@@ -159,6 +175,7 @@ pub fn run_query(omega: &Omega, id: &str, operator: &str, text: &str) -> QueryRu
         answers,
         distances,
         exhausted,
+        stats,
     }
 }
 
@@ -521,6 +538,7 @@ mod tests {
             answers: 100,
             distances: [(0u32, 1usize), (1, 32), (2, 67)].into_iter().collect(),
             exhausted: false,
+            stats: EvalStats::default(),
         };
         assert_eq!(run.distance_summary(), "1 (32) 2 (67)");
     }

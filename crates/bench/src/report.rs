@@ -1,0 +1,162 @@
+//! Machine-readable benchmark reports (`BENCH_N.json`).
+//!
+//! Every experiment run can emit a JSON file recording per-query wall-clock
+//! latency and the evaluator's [`EvalStats`] counters, so the performance
+//! trajectory of the engine is tracked from PR to PR: compare two
+//! `BENCH_N.json` files to see exactly which queries got faster and whether
+//! tuple/lookup counts moved with them.
+//!
+//! The writer is hand-rolled (the build environment has no serde); the
+//! emitted structure is stable:
+//!
+//! ```json
+//! {
+//!   "bench": "BENCH_1",
+//!   "config": { "max_scale": "L2", "yago_scale": 0.25 },
+//!   "queries": [
+//!     { "suite": "l4all", "scale": "L1", "id": "Q3", "operator": "APPROX",
+//!       "elapsed_ms": 1.234, "answers": 100, "exhausted": false,
+//!       "distances": { "0": 37, "1": 63 },
+//!       "stats": { "tuples_added": 123, ... } }
+//!   ]
+//! }
+//! ```
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::{QueryRun, RunConfig};
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
+    let distances = run
+        .distances
+        .iter()
+        .map(|(d, n)| format!("\"{d}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let stats = &run.stats;
+    format!(
+        concat!(
+            "{{ \"suite\": \"{}\", \"scale\": \"{}\", \"id\": \"{}\", ",
+            "\"operator\": \"{}\", \"elapsed_ms\": {:.4}, \"answers\": {}, ",
+            "\"exhausted\": {}, \"distances\": {{ {} }}, ",
+            "\"stats\": {{ \"tuples_added\": {}, \"tuples_processed\": {}, ",
+            "\"succ_calls\": {}, \"neighbour_lookups\": {}, \"answers\": {}, ",
+            "\"suppressed\": {}, \"restarts\": {} }} }}"
+        ),
+        escape(suite),
+        escape(scale),
+        escape(&run.id),
+        escape(&run.operator),
+        run.elapsed.as_secs_f64() * 1e3,
+        run.answers,
+        run.exhausted,
+        distances,
+        stats.tuples_added,
+        stats.tuples_processed,
+        stats.succ_calls,
+        stats.neighbour_lookups,
+        stats.answers,
+        stats.suppressed,
+        stats.restarts,
+    )
+}
+
+/// Serialises an experiment run to the `BENCH_N.json` structure.
+pub fn bench_json(
+    name: &str,
+    config: &RunConfig,
+    l4all_rows: &[(String, QueryRun)],
+    yago_rows: &[QueryRun],
+) -> String {
+    let mut queries: Vec<String> = Vec::new();
+    for (scale, run) in l4all_rows {
+        queries.push(query_json("l4all", scale, run));
+    }
+    for run in yago_rows {
+        queries.push(query_json("yago", "-", run));
+    }
+    format!(
+        "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {} }},\n  \"queries\": [\n    {}\n  ]\n}}\n",
+        escape(name),
+        config.max_scale.name(),
+        config.yago_scale,
+        queries.join(",\n    ")
+    )
+}
+
+/// Writes the report to `path`.
+pub fn write_bench_json(
+    path: &Path,
+    name: &str,
+    config: &RunConfig,
+    l4all_rows: &[(String, QueryRun)],
+    yago_rows: &[QueryRun],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(bench_json(name, config, l4all_rows, yago_rows).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_core::EvalStats;
+    use std::time::Duration;
+
+    fn run() -> QueryRun {
+        QueryRun {
+            id: "Q3".into(),
+            operator: "APPROX".into(),
+            elapsed: Duration::from_millis(5),
+            answers: 2,
+            distances: [(0u32, 1usize), (1, 1)].into_iter().collect(),
+            exhausted: false,
+            stats: EvalStats {
+                tuples_added: 10,
+                tuples_processed: 9,
+                succ_calls: 4,
+                neighbour_lookups: 7,
+                answers: 2,
+                suppressed: 0,
+                restarts: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let config = RunConfig::quick();
+        let json = bench_json("BENCH_1", &config, &[("L1".into(), run())], &[run()]);
+        assert!(json.contains("\"bench\": \"BENCH_1\""));
+        assert!(json.contains("\"suite\": \"l4all\""));
+        assert!(json.contains("\"suite\": \"yago\""));
+        assert!(json.contains("\"elapsed_ms\": 5.0000"));
+        assert!(json.contains("\"neighbour_lookups\": 7"));
+        assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
+        // Two query entries.
+        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 2);
+    }
+
+    #[test]
+    fn escaping_handles_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+}

@@ -47,7 +47,12 @@ impl Omega {
     }
 
     /// Creates an engine with explicit options.
-    pub fn with_options(graph: GraphStore, ontology: Ontology, options: EvalOptions) -> Omega {
+    ///
+    /// The graph is frozen into its CSR representation here: the engine owns
+    /// it and never mutates it, so every query it evaluates runs against the
+    /// packed adjacency arrays.
+    pub fn with_options(mut graph: GraphStore, ontology: Ontology, options: EvalOptions) -> Omega {
+        graph.freeze();
         Omega {
             graph,
             ontology,
@@ -156,6 +161,9 @@ pub struct QueryStream<'a> {
 
 impl QueryStream<'_> {
     /// The next answer, or `Ok(None)` when the stream is exhausted.
+    ///
+    /// Not an `Iterator` because production is fallible (`Result`).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Answer>> {
         loop {
             let Some((bindings, distance)) = self.join.get_next()? else {
@@ -241,7 +249,9 @@ mod tests {
     #[test]
     fn limit_truncates_results() {
         let omega = engine();
-        let answers = omega.execute("(?X) <- (alice, knows+, ?X)", Some(2)).unwrap();
+        let answers = omega
+            .execute("(?X) <- (alice, knows+, ?X)", Some(2))
+            .unwrap();
         assert_eq!(answers.len(), 2);
     }
 
@@ -293,7 +303,10 @@ mod tests {
             .execute("(?X) <- RELAX (Student, type-, ?X)", None)
             .unwrap();
         assert_eq!(answers.len(), 2);
-        let alice = answers.iter().find(|a| a.get("X") == Some("alice")).unwrap();
+        let alice = answers
+            .iter()
+            .find(|a| a.get("X") == Some("alice"))
+            .unwrap();
         assert_eq!(alice.distance, 0);
         let bob = answers.iter().find(|a| a.get("X") == Some("bob")).unwrap();
         assert_eq!(bob.distance, 1);

@@ -19,7 +19,7 @@ use crate::error::Result;
 use crate::eval::options::EvalOptions;
 use crate::eval::plan::{compile_conjunct, ConjunctPlan, SeedSpec};
 use crate::eval::stats::EvalStats;
-use crate::eval::succ::succ;
+use crate::eval::succ::{succ, SuccScratch, SuccTransition};
 use crate::query::ast::Conjunct;
 
 /// Exhaustive BFS evaluation of one conjunct (exact semantics only: all
@@ -95,6 +95,8 @@ impl<'a> BaselineEvaluator<'a> {
                 queue.push_back((seed, seed, initial));
             }
         }
+        let mut transitions: Vec<SuccTransition> = Vec::new();
+        let mut scratch = SuccScratch::new();
         while let Some((start, node, state)) = queue.pop_front() {
             self.stats.tuples_processed += 1;
             if self.plan.nfa.final_weight(state) == Some(0) && self.accepts(start, node) {
@@ -108,15 +110,18 @@ impl<'a> BaselineEvaluator<'a> {
                     self.stats.answers += 1;
                 }
             }
-            for t in succ(
+            succ(
                 self.graph,
                 self.ontology,
                 self.plan.inference,
                 &self.plan.nfa,
                 state,
                 node,
+                &mut transitions,
+                &mut scratch,
                 &mut self.stats,
-            ) {
+            );
+            for t in &transitions {
                 // Exact semantics: only zero-cost transitions participate.
                 if t.cost == 0 && visited.insert((start, t.node, t.state)) {
                     queue.push_back((start, t.node, t.state));
@@ -155,7 +160,9 @@ mod tests {
         (g, Ontology::new())
     }
 
-    fn both(query: &str) -> (Vec<(NodeId, NodeId)>, Vec<(NodeId, NodeId)>) {
+    type Pairs = Vec<(NodeId, NodeId)>;
+
+    fn both(query: &str) -> (Pairs, Pairs) {
         let (g, o) = setup();
         let q = parse_query(query).unwrap();
         let options = EvalOptions::default();

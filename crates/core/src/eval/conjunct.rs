@@ -1,10 +1,7 @@
 //! The single-conjunct ranked evaluator — the paper's `GetNext` procedure
 //! over the lazily constructed weighted product automaton `H_R`.
 
-use std::collections::HashSet;
-
-use omega_automata::StateId;
-use omega_graph::{GraphStore, NodeId};
+use omega_graph::GraphStore;
 use omega_ontology::Ontology;
 
 use crate::answer::ConjunctAnswer;
@@ -14,8 +11,9 @@ use crate::eval::initial::InitialNodeFeed;
 use crate::eval::options::EvalOptions;
 use crate::eval::plan::ConjunctPlan;
 use crate::eval::stats::EvalStats;
-use crate::eval::succ::succ;
+use crate::eval::succ::{succ, SuccScratch, SuccTransition};
 use crate::eval::tuple::Tuple;
+use crate::eval::visited::{PairSet, VisitedSet};
 use crate::eval::AnswerStream;
 use crate::query::ast::Term;
 
@@ -33,13 +31,18 @@ pub struct ConjunctEvaluator<'a> {
     /// Distance ceiling ψ for distance-aware evaluation (`None` = unbounded).
     psi: Option<u32>,
     dr: DrQueue,
-    visited: HashSet<(NodeId, NodeId, StateId)>,
+    /// Packed-key / dense-bitmap membership over `(start, node, state)`.
+    visited: VisitedSet,
     /// The paper's `answers_R`, keyed on the raw `(v, n)` pair.
-    answers_seen: HashSet<(NodeId, NodeId)>,
+    answers_seen: PairSet,
     /// Deduplication of *emitted* answers on their normalised bindings
     /// (relevant when RELAX seeds several class ancestors for one constant).
-    emitted: HashSet<(NodeId, NodeId)>,
+    emitted: PairSet,
     feed: InitialNodeFeed,
+    /// Reusable output buffer for `Succ` expansions.
+    succ_out: Vec<SuccTransition>,
+    /// Reusable scratch for neighbour-set computation.
+    scratch: SuccScratch,
     stats: EvalStats,
 }
 
@@ -54,6 +57,7 @@ impl<'a> ConjunctEvaluator<'a> {
     ) -> ConjunctEvaluator<'a> {
         let feed = InitialNodeFeed::new(&plan, graph, ontology, options.batch_size);
         let dr = DrQueue::new(options.prioritize_final);
+        let visited = VisitedSet::new(graph.node_count(), plan.nfa.state_count(), &plan.seeds);
         ConjunctEvaluator {
             graph,
             ontology,
@@ -61,10 +65,12 @@ impl<'a> ConjunctEvaluator<'a> {
             options,
             psi,
             dr,
-            visited: HashSet::new(),
-            answers_seen: HashSet::new(),
-            emitted: HashSet::new(),
+            visited,
+            answers_seen: PairSet::new(),
+            emitted: PairSet::new(),
             feed,
+            succ_out: Vec::new(),
+            scratch: SuccScratch::new(),
             stats: EvalStats::default(),
         }
     }
@@ -145,7 +151,7 @@ impl<'a> ConjunctEvaluator<'a> {
                 y = node;
             }
         }
-        if !self.emitted.insert((x, y)) {
+        if !self.emitted.insert(x, y) {
             return None;
         }
         Some(ConjunctAnswer {
@@ -173,7 +179,7 @@ impl<'a> ConjunctEvaluator<'a> {
             self.stats.tuples_processed += 1;
 
             if tuple.is_final {
-                if self.answers_seen.insert((tuple.start, tuple.node)) {
+                if self.answers_seen.insert(tuple.start, tuple.node) {
                     if let Some(answer) = self.make_answer(tuple) {
                         self.stats.answers += 1;
                         return Ok(Some(answer));
@@ -182,37 +188,45 @@ impl<'a> ConjunctEvaluator<'a> {
                 continue;
             }
 
-            if !self
-                .visited
-                .insert((tuple.start, tuple.node, tuple.state))
-            {
+            if !self.visited.insert(tuple.start, tuple.node, tuple.state.0) {
                 continue;
             }
-            // Expand through the product automaton (lines 10–11).
-            let transitions = succ(
+            // Expand through the product automaton (lines 10–11). The output
+            // buffer is moved out for the duration of the push loop so that
+            // `add_tuple` can borrow `self` mutably; its capacity is kept.
+            let mut transitions = std::mem::take(&mut self.succ_out);
+            succ(
                 self.graph,
                 self.ontology,
                 self.plan.inference,
                 &self.plan.nfa,
                 tuple.state,
                 tuple.node,
+                &mut transitions,
+                &mut self.scratch,
                 &mut self.stats,
             );
-            for t in transitions {
-                if !self.visited.contains(&(tuple.start, t.node, t.state)) {
-                    self.add_tuple(Tuple {
+            let mut push_result = Ok(());
+            for t in &transitions {
+                if !self.visited.contains(tuple.start, t.node, t.state.0) {
+                    push_result = self.add_tuple(Tuple {
                         start: tuple.start,
                         node: t.node,
                         state: t.state,
                         distance: tuple.distance + t.cost,
                         is_final: false,
-                    })?;
+                    });
+                    if push_result.is_err() {
+                        break;
+                    }
                 }
             }
+            self.succ_out = transitions;
+            push_result?;
             // Enqueue a pending answer when the state is final (lines 12–13).
             if let Some(weight) = self.plan.nfa.final_weight(tuple.state) {
                 if self.final_annotation_matches(&tuple)
-                    && !self.answers_seen.contains(&(tuple.start, tuple.node))
+                    && !self.answers_seen.contains(tuple.start, tuple.node)
                 {
                     self.add_tuple(Tuple {
                         is_final: true,
@@ -344,7 +358,10 @@ mod tests {
     fn exact_constant_to_variable() {
         let (g, o) = setup();
         let answers = run("(?X) <- (alice, knows, ?X)", &g, &o);
-        assert_eq!(labels(&g, &answers), vec![("alice".into(), "bob".into(), 0)]);
+        assert_eq!(
+            labels(&g, &answers),
+            vec![("alice".into(), "bob".into(), 0)]
+        );
     }
 
     #[test]
@@ -391,11 +408,14 @@ mod tests {
     #[test]
     fn both_constants_check_reachability() {
         let (g, o) = setup();
-        let hit = run("(?X) <- (alice, knows+, ?X), (alice, knows.knows, carol)", &g, &o);
+        let hit = run(
+            "(?X) <- (alice, knows+, ?X), (alice, knows.knows, carol)",
+            &g,
+            &o,
+        );
         assert!(!hit.is_empty());
         let q = parse_query("(?X) <- (alice, knows+, ?X), (alice, knows, dave)").unwrap();
-        let mut eval =
-            evaluate_conjunct(&q.conjuncts[1], &g, &o, &EvalOptions::default()).unwrap();
+        let mut eval = evaluate_conjunct(&q.conjuncts[1], &g, &o, &EvalOptions::default()).unwrap();
         assert!(eval.collect(None).unwrap().is_empty());
     }
 
@@ -455,7 +475,10 @@ mod tests {
         let approx = run("(?X) <- APPROX (carol, knows-.knows-, ?X)", &g, &o);
         assert!(approx.len() > exact.len());
         assert_eq!(approx[0].distance, 0, "exact answers come first");
-        assert!(approx.iter().skip(1).all(|a| a.distance >= approx[0].distance));
+        assert!(approx
+            .iter()
+            .skip(1)
+            .all(|a| a.distance >= approx[0].distance));
     }
 
     #[test]
@@ -490,10 +513,7 @@ mod tests {
             .find(|a| g.node_label(a.y) == "bob")
             .unwrap();
         assert_eq!(bob.distance, 1);
-        assert_eq!(
-            relax_student.iter().filter(|a| a.distance == 0).count(),
-            2
-        );
+        assert_eq!(relax_student.iter().filter(|a| a.distance == 0).count(), 2);
     }
 
     #[test]
@@ -504,7 +524,10 @@ mod tests {
         let exact = run("(?X) <- (alice, related, ?X)", &g, &o);
         assert!(exact.is_empty());
         let relaxed = run("(?X) <- RELAX (alice, related, ?X)", &g, &o);
-        assert_eq!(labels(&g, &relaxed), vec![("alice".into(), "bob".into(), 0)]);
+        assert_eq!(
+            labels(&g, &relaxed),
+            vec![("alice".into(), "bob".into(), 0)]
+        );
     }
 
     #[test]
@@ -532,10 +555,7 @@ mod tests {
                 break;
             }
         }
-        assert!(matches!(
-            result,
-            Err(OmegaError::ResourceExhausted { .. })
-        ));
+        assert!(matches!(result, Err(OmegaError::ResourceExhausted { .. })));
     }
 
     #[test]
@@ -545,8 +565,7 @@ mod tests {
         let plan =
             crate::eval::plan::compile_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default())
                 .unwrap();
-        let mut bounded =
-            ConjunctEvaluator::new(plan, &g, &o, EvalOptions::default(), Some(0));
+        let mut bounded = ConjunctEvaluator::new(plan, &g, &o, EvalOptions::default(), Some(0));
         let answers = bounded.collect(None).unwrap();
         assert!(answers.iter().all(|a| a.distance == 0));
         assert!(bounded.suppressed() > 0, "some tuples lie beyond ψ = 0");
@@ -592,8 +611,7 @@ mod tests {
     fn stats_are_populated() {
         let (g, o) = setup();
         let q = parse_query("(?X) <- (alice, knows+, ?X)").unwrap();
-        let mut eval =
-            evaluate_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default()).unwrap();
+        let mut eval = evaluate_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default()).unwrap();
         let _ = eval.collect(None).unwrap();
         let stats = eval.stats();
         assert!(stats.tuples_added > 0);

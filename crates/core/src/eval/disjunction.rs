@@ -245,14 +245,11 @@ mod tests {
         assert_eq!(d.branch_count(), 2);
 
         let q = parse_query("(?X) <- APPROX (UK, locatedIn-.gradFrom-, ?X)").unwrap();
-        assert!(DisjunctionEvaluator::try_new(
-            &q.conjuncts[0],
-            &g,
-            &o,
-            EvalOptions::default()
-        )
-        .unwrap()
-        .is_none());
+        assert!(
+            DisjunctionEvaluator::try_new(&q.conjuncts[0], &g, &o, EvalOptions::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! accepts; it notes the scheme is not suitable when high-cost answers are
 //! wanted).
 
-use std::collections::HashSet;
-
-use omega_graph::{GraphStore, NodeId};
+use omega_graph::GraphStore;
 use omega_ontology::Ontology;
 
 use crate::answer::ConjunctAnswer;
@@ -20,6 +18,7 @@ use crate::eval::conjunct::ConjunctEvaluator;
 use crate::eval::options::EvalOptions;
 use crate::eval::plan::ConjunctPlan;
 use crate::eval::stats::EvalStats;
+use crate::eval::visited::PairSet;
 use crate::eval::AnswerStream;
 
 /// Escalating-ψ driver around [`ConjunctEvaluator`].
@@ -31,7 +30,7 @@ pub struct DistanceAwareEvaluator<'a> {
     current: ConjunctEvaluator<'a>,
     psi: u32,
     steps: u32,
-    emitted: HashSet<(NodeId, NodeId)>,
+    emitted: PairSet,
     finished_stats: EvalStats,
     exhausted: bool,
 }
@@ -54,7 +53,7 @@ impl<'a> DistanceAwareEvaluator<'a> {
             current,
             psi: 0,
             steps: 0,
-            emitted: HashSet::new(),
+            emitted: PairSet::new(),
             finished_stats: EvalStats::default(),
             exhausted: false,
         }
@@ -95,7 +94,7 @@ impl<'a> DistanceAwareEvaluator<'a> {
                 Some(answer) => {
                     // Answers below the previous ceiling re-appear after each
                     // restart; emit each combination only once.
-                    if self.emitted.insert((answer.x, answer.y)) {
+                    if self.emitted.insert(answer.x, answer.y) {
                         return Ok(Some(answer));
                     }
                 }
@@ -218,7 +217,11 @@ mod tests {
         );
         let first = aware.get_next().unwrap().unwrap();
         assert_eq!(first.distance, 0);
-        assert_eq!(aware.psi(), 0, "ψ must not escalate while distance-0 answers suffice");
+        assert_eq!(
+            aware.psi(),
+            0,
+            "ψ must not escalate while distance-0 answers suffice"
+        );
     }
 
     #[test]

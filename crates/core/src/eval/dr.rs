@@ -8,18 +8,54 @@
 //! as early as possible (a refinement the paper credits with both speed-ups
 //! and the completion of queries that previously exhausted memory).
 //!
-//! Here the dictionary is a `BTreeMap` keyed by `(distance, rank)` with
-//! `Vec` buckets used as stacks (push/pop at the tail is the O(1) "head"
-//! operation of the paper's linked lists).
+//! Distances are tiny bounded integers (sums of unit edit and relaxation
+//! costs), which makes the classic *monotone bucket queue* the right
+//! structure: a dense `Vec` of buckets indexed directly by distance, with a
+//! cursor remembering the smallest possibly-occupied distance. `push` is an
+//! array index plus a `Vec` push; `pop` takes from the cursor's bucket and
+//! only advances the cursor over (cheap, usually few) empty buckets — no
+//! tree rebalancing, no comparisons, no per-node allocation as in the
+//! previous `BTreeMap` implementation. Within a bucket, `Vec` push/pop at
+//! the tail is the O(1) "head" operation of the paper's linked lists.
+//!
+//! Pathologically large distances (possible with user-configured costs) fall
+//! back to a sorted overflow map so memory stays bounded by the number of
+//! *distinct* distances, not their magnitude.
 
 use std::collections::BTreeMap;
 
 use crate::eval::tuple::Tuple;
 
-/// Priority bucket queue over evaluation tuples.
+/// Distances below this bound use the dense bucket array; anything larger
+/// (only reachable with exotic cost configurations) goes to the overflow
+/// map.
+const DENSE_LIMIT: u32 = 4096;
+
+/// One distance's tuples, split by finality.
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Final tuples (pending answers), popped first when prioritised.
+    fin: Vec<Tuple>,
+    /// Non-final traversal tuples.
+    other: Vec<Tuple>,
+}
+
+impl Bucket {
+    fn is_empty(&self) -> bool {
+        self.fin.is_empty() && self.other.is_empty()
+    }
+}
+
+/// Indexed bucket priority queue over evaluation tuples.
 #[derive(Debug, Default)]
 pub struct DrQueue {
-    buckets: BTreeMap<(u32, u8), Vec<Tuple>>,
+    /// `buckets[d]` holds the tuples at distance `d`.
+    buckets: Vec<Bucket>,
+    /// Lower bound on the smallest occupied distance in `buckets`.
+    cursor: usize,
+    /// Tuples at distances `>= DENSE_LIMIT`, keyed `(distance, rank)` like
+    /// the original BTreeMap implementation.
+    overflow: BTreeMap<(u32, u8), Vec<Tuple>>,
     len: usize,
     /// When false, final and non-final tuples share a bucket (ablation of the
     /// paper's final-tuple prioritisation).
@@ -30,33 +66,55 @@ impl DrQueue {
     /// Creates an empty queue.
     pub fn new(prioritize_final: bool) -> Self {
         DrQueue {
-            buckets: BTreeMap::new(),
+            buckets: Vec::new(),
+            cursor: 0,
+            overflow: BTreeMap::new(),
             len: 0,
             prioritize_final,
         }
     }
 
-    fn rank(&self, is_final: bool) -> u8 {
-        if self.prioritize_final && is_final {
-            0
-        } else {
-            1
-        }
-    }
-
     /// Adds a tuple.
     pub fn push(&mut self, tuple: Tuple) {
-        let key = (tuple.distance, self.rank(tuple.is_final));
-        self.buckets.entry(key).or_default().push(tuple);
         self.len += 1;
+        let d = tuple.distance;
+        if d < DENSE_LIMIT {
+            let idx = d as usize;
+            if idx >= self.buckets.len() {
+                self.buckets.resize_with(idx + 1, Bucket::default);
+            }
+            if self.prioritize_final && tuple.is_final {
+                self.buckets[idx].fin.push(tuple);
+            } else {
+                self.buckets[idx].other.push(tuple);
+            }
+            if idx < self.cursor {
+                self.cursor = idx;
+            }
+        } else {
+            let rank = if self.prioritize_final && tuple.is_final {
+                0
+            } else {
+                1
+            };
+            self.overflow.entry((d, rank)).or_default().push(tuple);
+        }
     }
 
     /// Removes a tuple from the minimum-distance bucket, final tuples first.
     pub fn pop(&mut self) -> Option<Tuple> {
-        let (&key, bucket) = self.buckets.iter_mut().next()?;
+        while self.cursor < self.buckets.len() {
+            let bucket = &mut self.buckets[self.cursor];
+            if let Some(tuple) = bucket.fin.pop().or_else(|| bucket.other.pop()) {
+                self.len -= 1;
+                return Some(tuple);
+            }
+            self.cursor += 1;
+        }
+        let (&key, bucket) = self.overflow.iter_mut().next()?;
         let tuple = bucket.pop();
         if bucket.is_empty() {
-            self.buckets.remove(&key);
+            self.overflow.remove(&key);
         }
         if tuple.is_some() {
             self.len -= 1;
@@ -76,13 +134,20 @@ impl DrQueue {
 
     /// The smallest distance currently queued.
     pub fn min_distance(&self) -> Option<u32> {
-        self.buckets.keys().next().map(|&(d, _)| d)
+        if self.len == 0 {
+            return None;
+        }
+        let dense = self.buckets[self.cursor..]
+            .iter()
+            .position(|b| !b.is_empty())
+            .map(|off| (self.cursor + off) as u32);
+        dense.or_else(|| self.overflow.keys().next().map(|&(d, _)| d))
     }
 
     /// Whether any tuple at distance 0 is queued — the condition the paper
     /// uses to decide when the next batch of initial nodes must be released.
     pub fn has_distance_zero(&self) -> bool {
-        self.min_distance() == Some(0)
+        self.buckets.first().is_some_and(|b| !b.is_empty())
     }
 }
 
@@ -160,5 +225,36 @@ mod tests {
         q.pop();
         assert!(!q.has_distance_zero());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cursor_rewinds_when_cheaper_tuples_arrive_late() {
+        // The refill of initial nodes can add distance-0 tuples after the
+        // queue has already popped larger distances.
+        let mut q = DrQueue::new(true);
+        q.push(tuple(5, false, 1));
+        assert_eq!(q.pop().unwrap().distance, 5);
+        q.push(tuple(0, false, 2));
+        q.push(tuple(3, false, 3));
+        assert_eq!(q.pop().unwrap().distance, 0);
+        assert_eq!(q.pop().unwrap().distance, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_distances_are_ordered_with_dense_ones() {
+        let mut q = DrQueue::new(true);
+        q.push(tuple(1_000_000, false, 1));
+        q.push(tuple(2, false, 2));
+        q.push(tuple(DENSE_LIMIT + 7, true, 3));
+        assert_eq!(q.min_distance(), Some(2));
+        assert_eq!(q.pop().unwrap().distance, 2);
+        assert_eq!(q.min_distance(), Some(DENSE_LIMIT + 7));
+        let t = q.pop().unwrap();
+        assert_eq!(t.distance, DENSE_LIMIT + 7);
+        assert!(t.is_final);
+        assert_eq!(q.pop().unwrap().distance, 1_000_000);
+        assert!(q.is_empty());
+        assert_eq!(q.min_distance(), None);
     }
 }

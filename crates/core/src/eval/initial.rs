@@ -104,10 +104,15 @@ mod tests {
         (g, Ontology::new())
     }
 
-    fn feed_for(query: &str, graph: &GraphStore, ontology: &Ontology, batch: usize) -> InitialNodeFeed {
+    fn feed_for(
+        query: &str,
+        graph: &GraphStore,
+        ontology: &Ontology,
+        batch: usize,
+    ) -> InitialNodeFeed {
         let q = parse_query(query).unwrap();
-        let plan = compile_conjunct(&q.conjuncts[0], graph, ontology, &EvalOptions::default())
-            .unwrap();
+        let plan =
+            compile_conjunct(&q.conjuncts[0], graph, ontology, &EvalOptions::default()).unwrap();
         InitialNodeFeed::new(&plan, graph, ontology, batch)
     }
 
@@ -131,9 +136,7 @@ mod tests {
         // nodes n0..n4 have outgoing `next`; n5 and `isolated` do not.
         assert_eq!(feed.remaining(), 5);
         let batch = feed.next_batch(omega_automata::StateId(0));
-        assert!(batch
-            .iter()
-            .all(|t| g.node_label(t.node).starts_with('n')));
+        assert!(batch.iter().all(|t| g.node_label(t.node).starts_with('n')));
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod rank_join;
 pub mod stats;
 pub mod succ;
 pub mod tuple;
+pub mod visited;
 
 pub use baseline::BaselineEvaluator;
 pub use conjunct::ConjunctEvaluator;

@@ -196,9 +196,7 @@ pub(crate) fn seed_nodes_for_label(
     use omega_graph::NodeBitmap;
     match label {
         TransitionLabel::Epsilon => NodeBitmap::new(),
-        TransitionLabel::Symbol {
-            label: None, ..
-        } => NodeBitmap::new(),
+        TransitionLabel::Symbol { label: None, .. } => NodeBitmap::new(),
         TransitionLabel::Symbol {
             label: Some(l),
             inverse,

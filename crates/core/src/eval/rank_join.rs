@@ -7,20 +7,29 @@
 //! against everything already buffered from the other streams, and emit a
 //! buffered combination once its total distance is provably minimal — i.e.
 //! not larger than the lower bound any future combination could achieve.
+//!
+//! Variable names are resolved to dense *slot* indices once, when the join is
+//! constructed: every partial result is a fixed-width `Vec<Option<NodeId>>`
+//! indexed by slot, so a join attempt is a pairwise merge of two small arrays
+//! — no string hashing, cloning or re-sorting per attempt (which is what the
+//! previous `Vec<(String, NodeId)>` representation paid on every buffered
+//! combination).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
-use omega_graph::NodeId;
+use omega_graph::{FxHashSet, NodeId};
 
 use crate::answer::ConjunctAnswer;
 use crate::error::Result;
 use crate::eval::stats::EvalStats;
 use crate::eval::AnswerStream;
 
-/// Variable bindings of one (partial or complete) join result, kept sorted by
-/// variable name so that equal bindings compare equal.
-type Bindings = Vec<(String, NodeId)>;
+/// Variable bindings of one emitted join result, name-keyed for consumers.
+pub type Bindings = Vec<(String, NodeId)>;
+
+/// Internal representation: one entry per join variable slot.
+type SlotBindings = Vec<Option<NodeId>>;
 
 /// One input stream of the join.
 pub struct JoinInput<'a> {
@@ -29,7 +38,11 @@ pub struct JoinInput<'a> {
     subject_var: Option<String>,
     /// Variable bound by the conjunct's object (if it is a variable).
     object_var: Option<String>,
-    buffer: Vec<(Bindings, u32)>,
+    /// Slot index of the subject variable, resolved at join construction.
+    subject_slot: Option<usize>,
+    /// Slot index of the object variable.
+    object_slot: Option<usize>,
+    buffer: Vec<(SlotBindings, u32)>,
     min_distance: Option<u32>,
     last_distance: u32,
     done: bool,
@@ -46,6 +59,8 @@ impl<'a> JoinInput<'a> {
             stream,
             subject_var,
             object_var,
+            subject_slot: None,
+            object_slot: None,
             buffer: Vec::new(),
             min_distance: None,
             last_distance: 0,
@@ -53,19 +68,18 @@ impl<'a> JoinInput<'a> {
         }
     }
 
-    fn bindings_of(&self, answer: &ConjunctAnswer) -> Bindings {
-        let mut out: Bindings = Vec::with_capacity(2);
-        if let Some(var) = &self.subject_var {
-            out.push((var.clone(), answer.x));
+    fn bindings_of(&self, answer: &ConjunctAnswer, slot_count: usize) -> SlotBindings {
+        let mut out: SlotBindings = vec![None; slot_count];
+        if let Some(slot) = self.subject_slot {
+            out[slot] = Some(answer.x);
         }
-        if let Some(var) = &self.object_var {
+        if let Some(slot) = self.object_slot {
             // A conjunct like (?X, R, ?X) binds one variable; both endpoints
-            // agree by construction, so keep a single entry.
-            if self.subject_var.as_deref() != Some(var.as_str()) {
-                out.push((var.clone(), answer.y));
+            // agree by construction, so the subject's binding stands.
+            if out[slot].is_none() {
+                out[slot] = Some(answer.y);
             }
         }
-        out.sort();
         out
     }
 }
@@ -74,7 +88,7 @@ impl<'a> JoinInput<'a> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Candidate {
     distance: u32,
-    bindings: Bindings,
+    bindings: SlotBindings,
 }
 
 impl Ord for Candidate {
@@ -91,37 +105,52 @@ impl PartialOrd for Candidate {
     }
 }
 
-/// Merges two binding sets, failing on a conflicting shared variable.
-fn merge_bindings(a: &Bindings, b: &Bindings) -> Option<Bindings> {
-    let mut map: HashMap<&str, NodeId> = a.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    for (k, v) in b {
-        match map.get(k.as_str()) {
-            Some(existing) if existing != v => return None,
-            _ => {
-                map.insert(k, *v);
-            }
+/// Merges two slot-binding arrays, failing on a conflicting shared variable.
+fn merge_bindings(a: &SlotBindings, b: &SlotBindings) -> Option<SlotBindings> {
+    let mut out = a.clone();
+    for (slot, value) in out.iter_mut().zip(b.iter()) {
+        match (&slot, value) {
+            (Some(existing), Some(incoming)) if existing != incoming => return None,
+            (None, Some(incoming)) => *slot = Some(*incoming),
+            _ => {}
         }
     }
-    let mut out: Bindings = map.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
-    out.sort();
     Some(out)
 }
 
 /// HRJN-style incremental rank join over conjunct answer streams.
 pub struct RankJoin<'a> {
     inputs: Vec<JoinInput<'a>>,
+    /// Slot-index → variable name, fixed at construction.
+    slots: Vec<String>,
     candidates: BinaryHeap<Reverse<Candidate>>,
-    emitted: HashSet<Bindings>,
+    emitted: FxHashSet<SlotBindings>,
     stats: EvalStats,
 }
 
 impl<'a> RankJoin<'a> {
-    /// Creates a join over the given inputs (one per conjunct).
-    pub fn new(inputs: Vec<JoinInput<'a>>) -> RankJoin<'a> {
+    /// Creates a join over the given inputs (one per conjunct), resolving
+    /// every variable name to a dense slot index up front.
+    pub fn new(mut inputs: Vec<JoinInput<'a>>) -> RankJoin<'a> {
+        let mut slots: Vec<String> = Vec::new();
+        let slot_of = |name: &str, slots: &mut Vec<String>| -> usize {
+            match slots.iter().position(|s| s == name) {
+                Some(i) => i,
+                None => {
+                    slots.push(name.to_owned());
+                    slots.len() - 1
+                }
+            }
+        };
+        for input in &mut inputs {
+            input.subject_slot = input.subject_var.as_deref().map(|v| slot_of(v, &mut slots));
+            input.object_slot = input.object_var.as_deref().map(|v| slot_of(v, &mut slots));
+        }
         RankJoin {
             inputs,
+            slots,
             candidates: BinaryHeap::new(),
-            emitted: HashSet::new(),
+            emitted: FxHashSet::default(),
             stats: EvalStats::default(),
         }
     }
@@ -167,7 +196,7 @@ impl<'a> RankJoin<'a> {
                 Ok(true)
             }
             Some(answer) => {
-                let bindings = self.inputs[idx].bindings_of(&answer);
+                let bindings = self.inputs[idx].bindings_of(&answer, self.slots.len());
                 let distance = answer.distance;
                 {
                     let input = &mut self.inputs[idx];
@@ -177,12 +206,12 @@ impl<'a> RankJoin<'a> {
                 }
                 // Join the new arrival with every compatible combination of
                 // the other inputs' buffers.
-                let mut partials: Vec<(Bindings, u32)> = vec![(bindings, distance)];
+                let mut partials: Vec<(SlotBindings, u32)> = vec![(bindings, distance)];
                 for (j, other) in self.inputs.iter().enumerate() {
                     if j == idx {
                         continue;
                     }
-                    let mut next: Vec<(Bindings, u32)> = Vec::new();
+                    let mut next: Vec<(SlotBindings, u32)> = Vec::new();
                     for (partial, pd) in &partials {
                         for (buffered, bd) in &other.buffer {
                             if let Some(merged) = merge_bindings(partial, buffered) {
@@ -196,7 +225,8 @@ impl<'a> RankJoin<'a> {
                     }
                 }
                 for (bindings, distance) in partials {
-                    self.candidates.push(Reverse(Candidate { distance, bindings }));
+                    self.candidates
+                        .push(Reverse(Candidate { distance, bindings }));
                 }
                 Ok(true)
             }
@@ -216,7 +246,13 @@ impl<'a> RankJoin<'a> {
                 let Reverse(candidate) = self.candidates.pop().expect("peeked above");
                 if self.emitted.insert(candidate.bindings.clone()) {
                     self.stats.answers += 1;
-                    return Ok(Some((candidate.bindings, candidate.distance)));
+                    let named: Bindings = self
+                        .slots
+                        .iter()
+                        .zip(candidate.bindings.iter())
+                        .filter_map(|(name, value)| value.map(|v| (name.clone(), v)))
+                        .collect();
+                    return Ok(Some((named, candidate.distance)));
                 }
                 continue;
             }
@@ -238,7 +274,6 @@ impl RankJoin<'_> {
         stats
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,12 +7,24 @@
 //! guides which adjacency lists are ever touched, and consecutive transitions
 //! carrying the same label reuse a single neighbour lookup (the paper's
 //! `prevlabel` refinement).
+//!
+//! This is the hottest code in the engine, so it is written to avoid heap
+//! allocation entirely on the common path: [`neighbours_by_edge`] returns a
+//! borrowed `&[NodeId]` — for plain symbol transitions that is the graph's
+//! own (CSR) adjacency slice, and for ε / unresolved symbols a shared empty
+//! slice; only wildcard / inference / `TypeTo` labels compute into a
+//! caller-provided buffer that is reused across calls. [`succ`] likewise
+//! appends into a reusable output vector instead of returning a fresh one.
 
 use omega_automata::{StateId, TransitionLabel, WeightedNfa};
 use omega_graph::{Direction, GraphStore, NodeId};
 use omega_ontology::Ontology;
 
 use crate::eval::stats::EvalStats;
+
+/// The empty neighbour set, returned without touching the heap for
+/// transitions that can never match an edge (ε and unresolved symbols).
+const EMPTY: &[NodeId] = &[];
 
 /// One product-automaton transition produced by [`succ`]: reach graph node
 /// `node` in automaton state `state` at additional cost `cost`.
@@ -26,25 +38,49 @@ pub struct SuccTransition {
     pub node: NodeId,
 }
 
+/// Reusable buffers for [`succ`].
+///
+/// One instance lives in each evaluator; after the first few calls the
+/// buffers stop growing and every expansion is allocation-free.
+#[derive(Debug, Default)]
+pub struct SuccScratch {
+    /// Computed neighbour sets (wildcards, inference, `TypeTo`).
+    neighbours: Vec<NodeId>,
+    /// `(cost, state)` pairs of the current same-label transition run.
+    run: Vec<(u32, StateId)>,
+}
+
+impl SuccScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> SuccScratch {
+        SuccScratch::default()
+    }
+}
+
 /// The neighbours of `node` reachable over edges matching `label`
 /// (the paper's `NeighboursByEdge`).
+///
+/// Returns a slice borrowed either from the graph's adjacency (symbol
+/// transitions: zero copies, zero allocations) or from `buf` (labels whose
+/// neighbour set must be computed; the buffer is cleared and refilled).
 ///
 /// Under RDFS inference (`inference = true`, RELAX conjuncts) a property
 /// label also matches edges labelled by any of its sub-properties, and a
 /// `TypeTo(c)` constraint accepts `type` edges into any subclass of `c`
 /// (the step then lands on `c` itself, the class the relaxed query names).
-pub fn neighbours_by_edge(
-    graph: &GraphStore,
+pub fn neighbours_by_edge<'a>(
+    graph: &'a GraphStore,
     ontology: &Ontology,
     inference: bool,
     node: NodeId,
     label: &TransitionLabel,
+    buf: &'a mut Vec<NodeId>,
     stats: &mut EvalStats,
-) -> Vec<NodeId> {
+) -> &'a [NodeId] {
     stats.neighbour_lookups += 1;
     match label {
-        TransitionLabel::Epsilon => Vec::new(),
-        TransitionLabel::Symbol { label: None, .. } => Vec::new(),
+        TransitionLabel::Epsilon => EMPTY,
+        TransitionLabel::Symbol { label: None, .. } => EMPTY,
         TransitionLabel::Symbol {
             label: Some(l),
             inverse,
@@ -58,56 +94,74 @@ pub fn neighbours_by_edge(
             if inference && *l == graph.type_label() {
                 // RDFS `sc` inference on type edges: an instance of a class
                 // is also an instance of every superclass.
+                buf.clear();
                 if *inverse {
                     // Instances of `node` (a class) and of all its subclasses.
-                    let mut out = Vec::new();
                     for class in ontology.subclasses_or_self(node) {
                         for &m in graph.neighbors(class, *l, Direction::Incoming) {
-                            if !out.contains(&m) {
-                                out.push(m);
+                            if !buf.contains(&m) {
+                                buf.push(m);
                             }
                         }
                     }
-                    out
                 } else {
                     // The node's declared classes plus all their superclasses.
-                    let mut out: Vec<NodeId> =
-                        graph.neighbors(node, *l, Direction::Outgoing).to_vec();
-                    let declared = out.clone();
-                    for class in declared {
+                    buf.extend_from_slice(graph.neighbors(node, *l, Direction::Outgoing));
+                    let declared = buf.len();
+                    for i in 0..declared {
+                        let class = buf[i];
                         for (sup, _) in ontology.superclasses(class) {
-                            if !out.contains(&sup) {
-                                out.push(sup);
+                            if !buf.contains(&sup) {
+                                buf.push(sup);
                             }
                         }
                     }
-                    out
                 }
+                buf
             } else if inference {
                 let labels = ontology.subproperties_or_self(*l);
-                graph.neighbors_multi(node, &labels, dir)
+                if let [only] = labels.as_slice() {
+                    // The property has no sub-properties: serve the graph's
+                    // slice directly.
+                    return graph.neighbors(node, *only, dir);
+                }
+                buf.clear();
+                for l in labels {
+                    for &m in graph.neighbors(node, l, dir) {
+                        if !buf.contains(&m) {
+                            buf.push(m);
+                        }
+                    }
+                }
+                buf
             } else {
-                graph.neighbors(node, *l, dir).to_vec()
+                graph.neighbors(node, *l, dir)
             }
         }
         TransitionLabel::AnyForward => {
-            let mut out: Vec<NodeId> = graph
-                .neighbors_any(node, Direction::Outgoing)
-                .map(|(_, n)| n)
-                .collect();
-            out.sort_unstable();
-            out.dedup();
-            out
+            buf.clear();
+            buf.extend(
+                graph
+                    .neighbors_any(node, Direction::Outgoing)
+                    .iter()
+                    .map(|&(_, n)| n),
+            );
+            buf.sort_unstable();
+            buf.dedup();
+            buf
         }
         TransitionLabel::Any => {
-            let mut out: Vec<NodeId> = graph
-                .neighbors_any(node, Direction::Outgoing)
-                .chain(graph.neighbors_any(node, Direction::Incoming))
-                .map(|(_, n)| n)
-                .collect();
-            out.sort_unstable();
-            out.dedup();
-            out
+            buf.clear();
+            buf.extend(
+                graph
+                    .neighbors_any(node, Direction::Outgoing)
+                    .iter()
+                    .chain(graph.neighbors_any(node, Direction::Incoming))
+                    .map(|&(_, n)| n),
+            );
+            buf.sort_unstable();
+            buf.dedup();
+            buf
         }
         TransitionLabel::TypeTo { class, .. } => {
             let type_label = graph.type_label();
@@ -120,19 +174,24 @@ pub fn neighbours_by_edge(
                 targets.contains(class)
             };
             if hit {
-                vec![*class]
+                buf.clear();
+                buf.push(*class);
+                buf
             } else {
-                Vec::new()
+                EMPTY
             }
         }
     }
 }
 
 /// The paper's `Succ(s, n)`: all product-automaton transitions leaving
-/// `(s, n)`.
+/// `(s, n)`, appended to `out` (which is cleared first).
 ///
 /// Consecutive automaton transitions with the same label (the automaton keeps
-/// its transitions label-sorted) share one `neighbours_by_edge` call.
+/// its transitions label-sorted) share one `neighbours_by_edge` call, and the
+/// caller's `out` / `scratch` buffers are reused so the steady state performs
+/// no allocation.
+#[allow(clippy::too_many_arguments)]
 pub fn succ(
     graph: &GraphStore,
     ontology: &Ontology,
@@ -140,26 +199,44 @@ pub fn succ(
     nfa: &WeightedNfa,
     state: StateId,
     node: NodeId,
+    out: &mut Vec<SuccTransition>,
+    scratch: &mut SuccScratch,
     stats: &mut EvalStats,
-) -> Vec<SuccTransition> {
+) {
     stats.succ_calls += 1;
-    let mut out = Vec::new();
-    let mut prev_label: Option<&TransitionLabel> = None;
-    let mut cached: Vec<NodeId> = Vec::new();
-    for t in nfa.transitions_from(state) {
-        if prev_label != Some(&t.label) {
-            cached = neighbours_by_edge(graph, ontology, inference, node, &t.label, stats);
-            prev_label = Some(&t.label);
+    out.clear();
+    let SuccScratch { neighbours, run } = scratch;
+    let mut transitions = nfa.transitions_from(state).peekable();
+    while let Some(first) = transitions.next() {
+        // Gather the run of transitions sharing `first.label`.
+        run.clear();
+        run.push((first.cost, first.to));
+        while let Some(next) = transitions.peek() {
+            if next.label != first.label {
+                break;
+            }
+            run.push((next.cost, next.to));
+            transitions.next();
         }
-        for &m in &cached {
-            out.push(SuccTransition {
-                cost: t.cost,
-                state: t.to,
-                node: m,
-            });
+        let reached = neighbours_by_edge(
+            graph,
+            ontology,
+            inference,
+            node,
+            &first.label,
+            &mut *neighbours,
+            stats,
+        );
+        for &(cost, to) in run.iter() {
+            for &m in reached {
+                out.push(SuccTransition {
+                    cost,
+                    state: to,
+                    node: m,
+                });
+            }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -184,13 +261,49 @@ mod tests {
         (g, o)
     }
 
+    fn lookup(
+        graph: &GraphStore,
+        ontology: &Ontology,
+        inference: bool,
+        node: NodeId,
+        label: &TransitionLabel,
+        stats: &mut EvalStats,
+    ) -> Vec<NodeId> {
+        let mut buf = Vec::new();
+        neighbours_by_edge(graph, ontology, inference, node, label, &mut buf, stats).to_vec()
+    }
+
+    fn run_succ(
+        graph: &GraphStore,
+        ontology: &Ontology,
+        nfa: &WeightedNfa,
+        state: StateId,
+        node: NodeId,
+        stats: &mut EvalStats,
+    ) -> Vec<SuccTransition> {
+        let mut out = Vec::new();
+        let mut scratch = SuccScratch::new();
+        succ(
+            graph,
+            ontology,
+            false,
+            nfa,
+            state,
+            node,
+            &mut out,
+            &mut scratch,
+            stats,
+        );
+        out
+    }
+
     #[test]
     fn symbol_labels_respect_direction() {
         let (g, o) = setup();
         let mut stats = EvalStats::default();
         let a = g.node_by_label("a").unwrap();
         let knows = g.label_id("knows").unwrap();
-        let fwd = neighbours_by_edge(
+        let fwd = lookup(
             &g,
             &o,
             false,
@@ -199,7 +312,7 @@ mod tests {
             &mut stats,
         );
         assert_eq!(fwd, vec![g.node_by_label("b").unwrap()]);
-        let back = neighbours_by_edge(
+        let back = lookup(
             &g,
             &o,
             false,
@@ -212,11 +325,33 @@ mod tests {
     }
 
     #[test]
+    fn symbol_lookup_bypasses_the_scratch_buffer() {
+        // The returned slice for a plain symbol must alias the graph's own
+        // adjacency storage, not the scratch buffer.
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let a = g.node_by_label("a").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        let mut buf = vec![NodeId(999)]; // sentinel: must not be touched
+        let fwd = neighbours_by_edge(
+            &g,
+            &o,
+            false,
+            a,
+            &TransitionLabel::symbol(Some(knows), false, "knows"),
+            &mut buf,
+            &mut stats,
+        );
+        assert_eq!(fwd, g.neighbors(a, knows, Direction::Outgoing));
+        assert_eq!(buf, vec![NodeId(999)], "scratch must be untouched");
+    }
+
+    #[test]
     fn unresolved_symbols_match_nothing() {
         let (g, o) = setup();
         let mut stats = EvalStats::default();
         let a = g.node_by_label("a").unwrap();
-        let out = neighbours_by_edge(
+        let out = lookup(
             &g,
             &o,
             false,
@@ -232,13 +367,13 @@ mod tests {
         let (g, o) = setup();
         let mut stats = EvalStats::default();
         let a = g.node_by_label("a").unwrap();
-        let all = neighbours_by_edge(&g, &o, false, a, &TransitionLabel::Any, &mut stats);
+        let all = lookup(&g, &o, false, a, &TransitionLabel::Any, &mut stats);
         // b (knows), c (likes out, knows in), Student (type)
         assert_eq!(all.len(), 3);
-        let fwd = neighbours_by_edge(&g, &o, false, a, &TransitionLabel::AnyForward, &mut stats);
+        let fwd = lookup(&g, &o, false, a, &TransitionLabel::AnyForward, &mut stats);
         assert_eq!(fwd.len(), 3); // b, c, Student — all outgoing
         let c = g.node_by_label("c").unwrap();
-        let c_fwd = neighbours_by_edge(&g, &o, false, c, &TransitionLabel::AnyForward, &mut stats);
+        let c_fwd = lookup(&g, &o, false, c, &TransitionLabel::AnyForward, &mut stats);
         assert_eq!(c_fwd, vec![a]);
     }
 
@@ -248,7 +383,7 @@ mod tests {
         let mut stats = EvalStats::default();
         let a = g.node_by_label("a").unwrap();
         let related = g.label_id("related").unwrap();
-        let strict = neighbours_by_edge(
+        let strict = lookup(
             &g,
             &o,
             false,
@@ -257,7 +392,7 @@ mod tests {
             &mut stats,
         );
         assert!(strict.is_empty(), "no edge is labelled `related` directly");
-        let inferred = neighbours_by_edge(
+        let inferred = lookup(
             &g,
             &o,
             true,
@@ -275,7 +410,7 @@ mod tests {
         let a = g.node_by_label("a").unwrap();
         let student = g.node_by_label("Student").unwrap();
         let person = g.node_by_label("Person").unwrap();
-        let strict = neighbours_by_edge(
+        let strict = lookup(
             &g,
             &o,
             false,
@@ -287,7 +422,7 @@ mod tests {
             &mut stats,
         );
         assert!(strict.is_empty(), "a is typed Student, not Person");
-        let inferred = neighbours_by_edge(
+        let inferred = lookup(
             &g,
             &o,
             true,
@@ -299,7 +434,7 @@ mod tests {
             &mut stats,
         );
         assert_eq!(inferred, vec![person], "lands on Person, not Student");
-        let direct = neighbours_by_edge(
+        let direct = lookup(
             &g,
             &o,
             false,
@@ -319,7 +454,7 @@ mod tests {
         let mut stats = EvalStats::default();
         let nfa = omega_automata::remove_epsilons(&build_nfa(&parse("knows|likes").unwrap(), &g));
         let a = g.node_by_label("a").unwrap();
-        let out = succ(&g, &o, false, &nfa, nfa.initial(), a, &mut stats);
+        let out = run_succ(&g, &o, &nfa, nfa.initial(), a, &mut stats);
         let nodes: std::collections::HashSet<_> = out.iter().map(|t| t.node).collect();
         assert!(nodes.contains(&g.node_by_label("b").unwrap()));
         assert!(nodes.contains(&g.node_by_label("c").unwrap()));
@@ -343,10 +478,44 @@ mod tests {
             .filter(|t| t.label.to_string() == "knows")
             .count();
         assert!(initial_knows_transitions >= 2);
-        let _ = succ(&g, &o, false, &nfa, nfa.initial(), a, &mut stats);
+        let _ = run_succ(&g, &o, &nfa, nfa.initial(), a, &mut stats);
         assert_eq!(
             stats.neighbour_lookups, 1,
             "consecutive identical labels must share a neighbour lookup"
         );
+    }
+
+    #[test]
+    fn succ_output_buffer_is_cleared_between_calls() {
+        let (g, o) = setup();
+        let mut stats = EvalStats::default();
+        let nfa = omega_automata::remove_epsilons(&build_nfa(&parse("knows").unwrap(), &g));
+        let a = g.node_by_label("a").unwrap();
+        let mut out = Vec::new();
+        let mut scratch = SuccScratch::new();
+        succ(
+            &g,
+            &o,
+            false,
+            &nfa,
+            nfa.initial(),
+            a,
+            &mut out,
+            &mut scratch,
+            &mut stats,
+        );
+        let first = out.clone();
+        succ(
+            &g,
+            &o,
+            false,
+            &nfa,
+            nfa.initial(),
+            a,
+            &mut out,
+            &mut scratch,
+            &mut stats,
+        );
+        assert_eq!(out, first, "stale entries must not accumulate");
     }
 }

@@ -1,0 +1,250 @@
+//! Visited- and emitted-set tracking for the ranked evaluator.
+//!
+//! `GetNext` tests membership of `(v, n, s)` triples (start node, graph
+//! node, automaton state) on every expansion, and of `(x, y)` answer pairs
+//! on every emission. The original implementation used
+//! `HashSet<(NodeId, NodeId, StateId)>` with SipHash — three words hashed
+//! per probe, on the hottest path in the engine.
+//!
+//! Here the product coordinate `(s, n)` is packed into one machine word
+//! (`state * node_count + node`) and keyed per start node:
+//!
+//! * **dense mode** — when evaluation starts from a small fixed seed set
+//!   (constant-subject conjuncts, the common case), each start gets a rank
+//!   and membership is one bit in a flat bitmap of
+//!   `ranks * states * nodes` bits: a shift, a mask and a load.
+//! * **sparse mode** — when every graph node can be a start
+//!   (`(?X, R, ?Y)` conjuncts), the bitmap would be quadratic in the graph,
+//!   so the packed `start * stride + product` word goes into an open
+//!   Fx-hashed set instead: still one u64 hashed per probe.
+//!
+//! [`PairSet`] gives answer pairs the same packed-word treatment.
+
+use omega_graph::{FxHashSet, NodeId};
+
+use crate::eval::plan::SeedSpec;
+
+/// Ceiling on the dense bitmap size (in bits) before falling back to the
+/// hashed representation: 1 << 24 bits = 2 MiB.
+const DENSE_LIMIT_BITS: u64 = 1 << 24;
+
+/// Membership set over `(start, state, node)` triples.
+#[derive(Debug)]
+pub struct VisitedSet {
+    /// `states * nodes`: the size of one start's product space.
+    stride: u64,
+    node_count: u64,
+    len: usize,
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Dense {
+        /// Maps a start node id to its rank in the bitmap.
+        ranks: Vec<(NodeId, u32)>,
+        words: Vec<u64>,
+    },
+    Sparse(FxHashSet<u64>),
+}
+
+impl VisitedSet {
+    /// Creates the set for a product space of `node_count * state_count`,
+    /// choosing the dense representation when `seeds` is a small fixed list.
+    pub fn new(node_count: usize, state_count: usize, seeds: &SeedSpec) -> VisitedSet {
+        let stride = node_count as u64 * state_count as u64;
+        let repr = match seeds {
+            SeedSpec::Fixed(seeds)
+                if !seeds.is_empty() && seeds.len() as u64 * stride <= DENSE_LIMIT_BITS =>
+            {
+                let ranks: Vec<(NodeId, u32)> = seeds
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, &(node, _))| (node, rank as u32))
+                    .collect();
+                let bits = ranks.len() as u64 * stride;
+                Repr::Dense {
+                    ranks,
+                    words: vec![0; bits.div_ceil(64) as usize],
+                }
+            }
+            _ => Repr::Sparse(FxHashSet::default()),
+        };
+        VisitedSet {
+            stride,
+            node_count: node_count as u64,
+            len: 0,
+            repr,
+        }
+    }
+
+    #[inline]
+    fn product(&self, node: NodeId, state: u32) -> u64 {
+        state as u64 * self.node_count + node.0 as u64
+    }
+
+    /// Number of tracked members (kept for the evaluator's resource budget).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no member was inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts, returning `true` if the triple was new.
+    #[inline]
+    pub fn insert(&mut self, start: NodeId, node: NodeId, state: u32) -> bool {
+        let product = self.product(node, state);
+        let new = match &mut self.repr {
+            Repr::Dense { ranks, words } => {
+                let rank = rank_of(ranks, start);
+                let bit = rank as u64 * self.stride + product;
+                let (w, b) = ((bit / 64) as usize, bit % 64);
+                let mask = 1u64 << b;
+                let new = words[w] & mask == 0;
+                words[w] |= mask;
+                new
+            }
+            Repr::Sparse(set) => set.insert(start.0 as u64 * self.stride + product),
+        };
+        self.len += new as usize;
+        new
+    }
+
+    /// Whether the triple is present.
+    #[inline]
+    pub fn contains(&self, start: NodeId, node: NodeId, state: u32) -> bool {
+        let product = self.product(node, state);
+        match &self.repr {
+            Repr::Dense { ranks, words } => {
+                let rank = rank_of(ranks, start);
+                let bit = rank as u64 * self.stride + product;
+                words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+            }
+            Repr::Sparse(set) => set.contains(&(start.0 as u64 * self.stride + product)),
+        }
+    }
+}
+
+/// Rank lookup in the (tiny) fixed seed list; linear scan beats hashing at
+/// these sizes and the result is on the L1-resident ranks slice.
+#[inline]
+fn rank_of(ranks: &[(NodeId, u32)], start: NodeId) -> u32 {
+    ranks
+        .iter()
+        .find(|&&(node, _)| node == start)
+        .map(|&(_, rank)| rank)
+        .expect("start node must come from the fixed seed list")
+}
+
+/// Membership set over `(x, y)` node pairs, packed into one u64.
+#[derive(Debug, Default)]
+pub struct PairSet {
+    set: FxHashSet<u64>,
+}
+
+impl PairSet {
+    /// Creates an empty set.
+    pub fn new() -> PairSet {
+        PairSet::default()
+    }
+
+    #[inline]
+    fn key(x: NodeId, y: NodeId) -> u64 {
+        (x.0 as u64) << 32 | y.0 as u64
+    }
+
+    /// Inserts, returning `true` if the pair was new.
+    #[inline]
+    pub fn insert(&mut self, x: NodeId, y: NodeId) -> bool {
+        self.set.insert(Self::key(x, y))
+    }
+
+    /// Whether the pair is present.
+    #[inline]
+    pub fn contains(&self, x: NodeId, y: NodeId) -> bool {
+        self.set.contains(&Self::key(x, y))
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(seeds: &[u32]) -> SeedSpec {
+        SeedSpec::Fixed(seeds.iter().map(|&n| (NodeId(n), 0)).collect())
+    }
+
+    #[test]
+    fn dense_mode_tracks_membership() {
+        let mut v = VisitedSet::new(10, 3, &fixed(&[2, 5]));
+        assert!(matches!(v.repr, Repr::Dense { .. }));
+        assert!(v.is_empty());
+        assert!(v.insert(NodeId(2), NodeId(7), 1));
+        assert!(!v.insert(NodeId(2), NodeId(7), 1));
+        assert!(v.contains(NodeId(2), NodeId(7), 1));
+        assert!(!v.contains(NodeId(5), NodeId(7), 1));
+        assert!(!v.contains(NodeId(2), NodeId(7), 2));
+        assert!(!v.contains(NodeId(2), NodeId(8), 1));
+        assert!(v.insert(NodeId(5), NodeId(9), 2));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn sparse_mode_tracks_membership() {
+        let mut v = VisitedSet::new(10, 3, &SeedSpec::MatchingInitial);
+        assert!(matches!(v.repr, Repr::Sparse(_)));
+        assert!(v.insert(NodeId(0), NodeId(9), 2));
+        assert!(!v.insert(NodeId(0), NodeId(9), 2));
+        assert!(v.contains(NodeId(0), NodeId(9), 2));
+        assert!(!v.contains(NodeId(1), NodeId(9), 2));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn oversized_fixed_seed_lists_fall_back_to_sparse() {
+        let many: Vec<u32> = (0..1000).collect();
+        // 1000 seeds * (1 << 20 nodes * 8 states) blows the dense limit.
+        let v = VisitedSet::new(1 << 20, 8, &fixed(&many));
+        assert!(matches!(v.repr, Repr::Sparse(_)));
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let seeds = fixed(&[0, 3]);
+        let mut dense = VisitedSet::new(8, 4, &seeds);
+        let mut sparse = VisitedSet::new(8, 4, &SeedSpec::MatchingInitial);
+        let triples = [(0u32, 1u32, 0u32), (3, 7, 3), (0, 1, 0), (3, 1, 2)];
+        for &(s, n, st) in &triples {
+            assert_eq!(
+                dense.insert(NodeId(s), NodeId(n), st),
+                sparse.insert(NodeId(s), NodeId(n), st)
+            );
+        }
+        assert_eq!(dense.len(), sparse.len());
+    }
+
+    #[test]
+    fn pair_set_packs_distinct_pairs() {
+        let mut p = PairSet::new();
+        assert!(p.insert(NodeId(1), NodeId(2)));
+        assert!(!p.insert(NodeId(1), NodeId(2)));
+        assert!(p.insert(NodeId(2), NodeId(1)), "order matters");
+        assert!(p.contains(NodeId(1), NodeId(2)));
+        assert!(!p.contains(NodeId(3), NodeId(4)));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

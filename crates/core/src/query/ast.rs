@@ -173,10 +173,7 @@ impl Query {
             conjuncts: self
                 .conjuncts
                 .iter()
-                .map(|c| Conjunct {
-                    mode,
-                    ..c.clone()
-                })
+                .map(|c| Conjunct { mode, ..c.clone() })
                 .collect(),
         }
     }

@@ -224,8 +224,8 @@ mod tests {
     fn parses_constants_with_spaces() {
         let q = parse_query("(?X) <- (Work Episode, type-, ?X)").unwrap();
         assert_eq!(q.conjuncts[0].subject, Term::constant("Work Episode"));
-        let q = parse_query("(?X) <- (BTEC Introductory Diploma, level-.qualif-.prereq, ?X)")
-            .unwrap();
+        let q =
+            parse_query("(?X) <- (BTEC Introductory Diploma, level-.qualif-.prereq, ?X)").unwrap();
         assert_eq!(
             q.conjuncts[0].subject,
             Term::constant("BTEC Introductory Diploma")
@@ -234,8 +234,8 @@ mod tests {
 
     #[test]
     fn parses_regex_with_parentheses() {
-        let q = parse_query("(?X) <- (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)")
-            .unwrap();
+        let q =
+            parse_query("(?X) <- (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)").unwrap();
         assert_eq!(q.conjuncts[0].regex.top_level_branches().len(), 2);
         let q = parse_query("(?X, ?Y) <- (?X, next+|(prereq+.next), ?Y)").unwrap();
         assert_eq!(q.conjuncts[0].regex.top_level_branches().len(), 2);

@@ -67,7 +67,12 @@ impl L4AllScale {
 
     /// All four scales in increasing size order.
     pub fn all() -> [L4AllScale; 4] {
-        [L4AllScale::L1, L4AllScale::L2, L4AllScale::L3, L4AllScale::L4]
+        [
+            L4AllScale::L1,
+            L4AllScale::L2,
+            L4AllScale::L3,
+            L4AllScale::L4,
+        ]
     }
 }
 
@@ -131,14 +136,24 @@ pub fn generate_l4all(config: &L4AllConfig) -> Dataset {
     let hierarchies = build_ontology(&mut graph, &mut ontology);
 
     // Pre-intern the edge labels used by timelines.
-    for label in ["next", "prereq", "job", "qualif", "level", "sector", "isEpisodeLink"] {
+    for label in [
+        "next",
+        "prereq",
+        "job",
+        "qualif",
+        "level",
+        "sector",
+        "isEpisodeLink",
+    ] {
         graph.intern_label(label);
     }
     let next_l = graph.label_id("next").unwrap();
     let prereq_l = graph.label_id("prereq").unwrap();
     let link_l = graph.label_id("isEpisodeLink").unwrap();
     ontology.add_subproperty(next_l, link_l).expect("no cycle");
-    ontology.add_subproperty(prereq_l, link_l).expect("no cycle");
+    ontology
+        .add_subproperty(prereq_l, link_l)
+        .expect("no cycle");
     // Domain/range declarations exist in the original ontology; they are not
     // used by the performance study but we declare them for completeness.
     let episode_root = hierarchies.episode_classes[0];
@@ -167,6 +182,9 @@ pub fn generate_l4all(config: &L4AllConfig) -> Dataset {
         );
     }
 
+    // Generated datasets are read-only from here on: hand the engine the
+    // frozen CSR representation up front.
+    graph.freeze();
     Dataset { graph, ontology }
 }
 
@@ -242,7 +260,8 @@ fn instantiate_timeline(
         } else {
             &h.edu_episode_leaves
         };
-        let episode_class = episode_leaves[(episode.episode_class + variant) % episode_leaves.len()];
+        let episode_class =
+            episode_leaves[(episode.episode_class + variant) % episode_leaves.len()];
         add_typed(graph, ontology, node, episode_class, type_l, closure);
 
         // Linked event and its classification.
@@ -298,7 +317,9 @@ fn build_ontology(graph: &mut GraphStore, ontology: &mut Ontology) -> Hierarchie
         node
     };
     let subclass = |ontology: &mut Ontology, child: NodeId, parent: NodeId| {
-        ontology.add_subclass(child, parent).expect("hierarchies are trees");
+        ontology
+            .add_subclass(child, parent)
+            .expect("hierarchies are trees");
     };
 
     // --- Episode: depth 2, average fan-out 2.67 -------------------------
@@ -383,7 +404,12 @@ fn build_ontology(graph: &mut GraphStore, ontology: &mut Ontology) -> Hierarchie
             if gi == 0 && si == 0 {
                 // Deepest branch: contains the occupations used by the query
                 // set (Software Professionals, Librarians).
-                for name in ["Software Professionals", "Librarians", "Engineers", "Scientists"] {
+                for name in [
+                    "Software Professionals",
+                    "Librarians",
+                    "Engineers",
+                    "Scientists",
+                ] {
                     let leaf = add_class(graph, ontology, name);
                     subclass(ontology, leaf, sub_node);
                     if name == "Software Professionals" {
@@ -405,14 +431,28 @@ fn build_ontology(graph: &mut GraphStore, ontology: &mut Ontology) -> Hierarchie
     // --- Education Qualification Level: depth 2, fan-out ≈ 3.89 ----------
     let level_root = add_class(graph, ontology, "Education Qualification Level");
     let mut level_nodes = Vec::new();
-    let level_groups = ["Entry Level", "Further Education Level", "Higher Education Level", "Postgraduate Level"];
+    let level_groups = [
+        "Entry Level",
+        "Further Education Level",
+        "Higher Education Level",
+        "Postgraduate Level",
+    ];
     for (gi, group) in level_groups.iter().enumerate() {
         let group_node = add_class(graph, ontology, group);
         subclass(ontology, group_node, level_root);
         let children: &[&str] = match gi {
             0 => &["Entry Certificate", "Basic Skills Award"],
-            1 => &["BTEC Introductory Diploma", "BTEC First Diploma", "GCSE", "A Level"],
-            2 => &["Higher National Certificate", "Foundation Degree", "Bachelors Degree"],
+            1 => &[
+                "BTEC Introductory Diploma",
+                "BTEC First Diploma",
+                "GCSE",
+                "A Level",
+            ],
+            2 => &[
+                "Higher National Certificate",
+                "Foundation Degree",
+                "Bachelors Degree",
+            ],
             _ => &["Masters Degree", "Doctorate"],
         };
         for name in children {
@@ -522,8 +562,7 @@ mod tests {
         assert!(degree(&large, "Work Episode") > degree(&small, "Work Episode"));
         // linear-ish growth: quadrupling the timelines roughly quadruples the
         // class degree
-        let ratio =
-            degree(&large, "Work Episode") as f64 / degree(&small, "Work Episode") as f64;
+        let ratio = degree(&large, "Work Episode") as f64 / degree(&small, "Work Episode") as f64;
         assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
     }
 
@@ -531,12 +570,16 @@ mod tests {
     fn scale_presets_have_increasing_sizes() {
         // only generate the two smallest scales in tests; L3/L4 are large.
         let l1 = generate_l4all(&L4AllConfig::at_scale(L4AllScale::L1));
-        assert!(l1.graph.node_count() > 1_500 && l1.graph.node_count() < 6_000,
+        assert!(
+            l1.graph.node_count() > 1_500 && l1.graph.node_count() < 6_000,
             "L1 node count {} should be within a factor of ~2 of the published 2,691",
-            l1.graph.node_count());
-        assert!(l1.graph.edge_count() > 8_000 && l1.graph.edge_count() < 40_000,
+            l1.graph.node_count()
+        );
+        assert!(
+            l1.graph.edge_count() > 8_000 && l1.graph.edge_count() < 40_000,
             "L1 edge count {} should be within a factor of ~2 of the published 19,856",
-            l1.graph.edge_count());
+            l1.graph.edge_count()
+        );
         assert_eq!(L4AllScale::L2.timelines(), 1_201);
         assert_eq!(L4AllScale::all().len(), 4);
     }
@@ -552,8 +595,15 @@ mod tests {
         let original = g.node_by_label("Alumni 4 Episode 1_1").unwrap();
         let duplicate = g.node_by_label("Alumni 4 Episode 1_2").unwrap();
         let type_l = g.type_label();
-        let orig_classes: Vec<_> = g.neighbors(original, type_l, omega_graph::Direction::Outgoing).to_vec();
-        let dup_classes: Vec<_> = g.neighbors(duplicate, type_l, omega_graph::Direction::Outgoing).to_vec();
-        assert_ne!(orig_classes[0], dup_classes[0], "the duplicate is reclassified to a sibling");
+        let orig_classes: Vec<_> = g
+            .neighbors(original, type_l, omega_graph::Direction::Outgoing)
+            .to_vec();
+        let dup_classes: Vec<_> = g
+            .neighbors(duplicate, type_l, omega_graph::Direction::Outgoing)
+            .to_vec();
+        assert_ne!(
+            orig_classes[0], dup_classes[0],
+            "the duplicate is reclassified to a sibling"
+        );
     }
 }

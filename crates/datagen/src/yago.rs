@@ -156,7 +156,9 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
     let class = |graph: &mut GraphStore, ontology: &mut Ontology, name: &str, parent: NodeId| {
         let node = graph.add_node(name);
         ontology.add_class(node);
-        ontology.add_subclass(node, parent).expect("taxonomy is a tree");
+        ontology
+            .add_subclass(node, parent)
+            .expect("taxonomy is a tree");
         node
     };
     let person_c = class(&mut graph, &mut ontology, "wordnet_person", root);
@@ -173,7 +175,12 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
     let airport_c = class(&mut graph, &mut ontology, "wordnet_airport", root);
     let commodity_c = class(&mut graph, &mut ontology, "wordnet_commodity", root);
     for i in 0..config.filler_classes {
-        class(&mut graph, &mut ontology, &format!("wordnet_filler_{i:04}"), root);
+        class(
+            &mut graph,
+            &mut ontology,
+            &format!("wordnet_filler_{i:04}"),
+            root,
+        );
     }
 
     // Domains and ranges (present in YAGO; only rule (ii) of RELAX uses them).
@@ -216,7 +223,11 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
     // Countries. "UK" is the constant used by query Q9.
     let mut countries = Vec::with_capacity(n_countries);
     for i in 0..n_countries {
-        let name = if i == 0 { "UK".to_owned() } else { format!("Country_{i:03}") };
+        let name = if i == 0 {
+            "UK".to_owned()
+        } else {
+            format!("Country_{i:03}")
+        };
         countries.push(typed(&mut graph, &name, country_c));
     }
     let currencies: Vec<NodeId> = (0..n_countries.min(30))
@@ -289,10 +300,18 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
     let is_connected_to = label(&graph, "isConnectedTo");
     for (i, &airport) in airports.iter().enumerate() {
         for hop in 1..=3 {
-            graph.add_edge(airport, is_connected_to, airports[(i + hop) % airports.len()]);
+            graph.add_edge(
+                airport,
+                is_connected_to,
+                airports[(i + hop) % airports.len()],
+            );
         }
         // airports sit in cities via isLocatedIn (relevant for RELAX Q5)
-        graph.add_edge(airport, is_located_in, cities[rng.gen_range(0..cities.len())]);
+        graph.add_edge(
+            airport,
+            is_located_in,
+            cities[rng.gen_range(0..cities.len())],
+        );
     }
 
     // Countries import/export commodities (query Q6).
@@ -301,7 +320,11 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
     for (i, &country) in countries.iter().enumerate() {
         for k in 0..3 {
             graph.add_edge(country, imports, commodities[(i + k) % commodities.len()]);
-            graph.add_edge(country, exports, commodities[(i + k + 5) % commodities.len()]);
+            graph.add_edge(
+                country,
+                exports,
+                commodities[(i + k + 5) % commodities.len()],
+            );
         }
     }
 
@@ -352,8 +375,16 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
         if i % 3 == 0 {
             graph.add_edge(person, born_in, city);
         }
-        graph.add_edge(person, lives_in, countries[rng.gen_range(0..countries.len())]);
-        graph.add_edge(person, is_citizen_of, countries[rng.gen_range(0..countries.len())]);
+        graph.add_edge(
+            person,
+            lives_in,
+            countries[rng.gen_range(0..countries.len())],
+        );
+        graph.add_edge(
+            person,
+            is_citizen_of,
+            countries[rng.gen_range(0..countries.len())],
+        );
         // marriage: pair up neighbours; `married` is the sparser variant.
         if i % 2 == 0 && i + 1 < people.len() {
             graph.add_edge(person, married_to, people[i + 1]);
@@ -371,11 +402,19 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
         }
         // education: most people graduated from some university.
         if i % 4 != 3 {
-            graph.add_edge(person, grad_from, universities[rng.gen_range(0..universities.len())]);
+            graph.add_edge(
+                person,
+                grad_from,
+                universities[rng.gen_range(0..universities.len())],
+            );
         }
         // prizes: sparse.
         if i % 37 == 0 {
-            graph.add_edge(person, has_won_prize, prizes[rng.gen_range(0..prizes.len())]);
+            graph.add_edge(
+                person,
+                has_won_prize,
+                prizes[rng.gen_range(0..prizes.len())],
+            );
         }
         // films: a slice of the population acts, a few direct.
         if i % 9 == 0 {
@@ -390,10 +429,18 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
         }
         // events: plenty of participation so Q7 has > 100 exact answers.
         if i % 2 == 0 {
-            graph.add_edge(person, participated_in, events[rng.gen_range(0..events.len())]);
+            graph.add_edge(
+                person,
+                participated_in,
+                events[rng.gen_range(0..events.len())],
+            );
         }
         if i % 13 == 0 {
-            graph.add_edge(person, works_at, universities[rng.gen_range(0..universities.len())]);
+            graph.add_edge(
+                person,
+                works_at,
+                universities[rng.gen_range(0..universities.len())],
+            );
         }
     }
 
@@ -433,6 +480,9 @@ pub fn generate_yago(config: &YagoConfig) -> Dataset {
         let _ = i;
     }
 
+    // Generated datasets are read-only from here on: hand the engine the
+    // frozen CSR representation up front.
+    graph.freeze();
     Dataset { graph, ontology }
 }
 
@@ -503,7 +553,11 @@ mod tests {
         let g = &data.graph;
         let located_in = g.label_id("locatedIn").unwrap();
         let ziggurat_class = g.node_by_label("wordnet_ziggurat").unwrap();
-        for z in g.neighbors(ziggurat_class, g.type_label(), omega_graph::Direction::Incoming) {
+        for z in g.neighbors(
+            ziggurat_class,
+            g.type_label(),
+            omega_graph::Direction::Incoming,
+        ) {
             assert!(g
                 .neighbors(*z, located_in, omega_graph::Direction::Incoming)
                 .is_empty());

@@ -92,7 +92,9 @@ impl NodeBitmap {
     /// Whether `node` is in the set.
     pub fn contains(&self, node: NodeId) -> bool {
         let (w, b) = (node.index() / WORD_BITS, node.index() % WORD_BITS);
-        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     /// In-place union with `other`.

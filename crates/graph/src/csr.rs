@@ -1,0 +1,198 @@
+//! Frozen compressed-sparse-row (CSR) adjacency indexes.
+//!
+//! The mutable side of [`crate::GraphStore`] keeps adjacency in hash maps so
+//! that edges can be added and deduplicated cheaply. Query evaluation never
+//! mutates the graph, and its cost is dominated by `Neighbors(n, t, dir)`
+//! lookups — so once loading is done the store can be *frozen*: every
+//! `(label, direction)` adjacency is laid out as a classic CSR pair of
+//! arrays (`offsets[n] .. offsets[n + 1]` indexes into a flat neighbour
+//! array), and the mixed-label `out_all` / `in_all` views get the same
+//! treatment with `(label, node)` entries. A frozen lookup is two array
+//! reads and returns a borrowed slice — no hashing, no per-node `Vec`
+//! headers, and neighbours of consecutive nodes are contiguous in memory.
+//!
+//! This mirrors what Sparksee's neighbour indexes give the paper's Omega
+//! implementation: the storage layer serves adjacency as packed vectors
+//! rather than pointer-chasing structures.
+
+use crate::hash::FxHashMap;
+use crate::ids::{LabelId, NodeId};
+
+/// One `(label, direction)` adjacency in CSR form.
+#[derive(Debug, Clone, Default)]
+pub struct CsrLayer {
+    /// `offsets[n] .. offsets[n + 1]` bounds node `n`'s neighbours;
+    /// `node_count + 1` entries.
+    offsets: Vec<u32>,
+    /// All neighbour lists, concatenated in node order.
+    targets: Vec<NodeId>,
+}
+
+impl CsrLayer {
+    /// Builds the layer from the builder-side hash map for `node_count`
+    /// nodes, preserving each node's insertion order of neighbours.
+    fn build(node_count: usize, adjacency: &FxHashMap<NodeId, Vec<NodeId>>) -> CsrLayer {
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let total: usize = adjacency.values().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0);
+        for n in 0..node_count as u32 {
+            if let Some(list) = adjacency.get(&NodeId(n)) {
+                targets.extend_from_slice(list);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrLayer { offsets, targets }
+    }
+
+    /// The neighbour slice of `node` (empty for out-of-range nodes, which
+    /// can exist when nodes were added after freezing).
+    #[inline]
+    pub fn neighbours(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Node ids with at least one neighbour in this layer.
+    pub fn occupied_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.offsets
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0] != w[1])
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Total number of stored neighbour entries.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the layer stores no edges.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// The mixed-label adjacency (`out_all` / `in_all`) in CSR form.
+#[derive(Debug, Clone, Default)]
+pub struct CsrMixed {
+    offsets: Vec<u32>,
+    entries: Vec<(LabelId, NodeId)>,
+}
+
+impl CsrMixed {
+    fn build(node_count: usize, adjacency: &FxHashMap<NodeId, Vec<(LabelId, NodeId)>>) -> CsrMixed {
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let total: usize = adjacency.values().map(Vec::len).sum();
+        let mut entries = Vec::with_capacity(total);
+        offsets.push(0);
+        for n in 0..node_count as u32 {
+            if let Some(list) = adjacency.get(&NodeId(n)) {
+                entries.extend_from_slice(list);
+            }
+            offsets.push(entries.len() as u32);
+        }
+        CsrMixed { offsets, entries }
+    }
+
+    /// The `(label, neighbour)` slice of `node`.
+    #[inline]
+    pub fn entries(&self, node: NodeId) -> &[(LabelId, NodeId)] {
+        let i = node.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// One label's builder-side adjacency: the `(outgoing, incoming)` hash maps.
+pub(crate) type BuilderLayerRef<'a> = (
+    &'a FxHashMap<NodeId, Vec<NodeId>>,
+    &'a FxHashMap<NodeId, Vec<NodeId>>,
+);
+
+/// The full frozen index: one [`CsrLayer`] pair per label plus the two
+/// mixed-label views.
+#[derive(Debug, Clone)]
+pub struct CsrIndex {
+    pub(crate) out: Vec<CsrLayer>,
+    pub(crate) inc: Vec<CsrLayer>,
+    pub(crate) out_all: CsrMixed,
+    pub(crate) in_all: CsrMixed,
+}
+
+impl CsrIndex {
+    /// Builds the index from the builder-side maps.
+    pub(crate) fn build(
+        node_count: usize,
+        per_label: &[BuilderLayerRef<'_>],
+        out_all: &FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+        in_all: &FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    ) -> CsrIndex {
+        CsrIndex {
+            out: per_label
+                .iter()
+                .map(|(o, _)| CsrLayer::build(node_count, o))
+                .collect(),
+            inc: per_label
+                .iter()
+                .map(|(_, i)| CsrLayer::build(node_count, i))
+                .collect(),
+            out_all: CsrMixed::build(node_count, out_all),
+            in_all: CsrMixed::build(node_count, in_all),
+        }
+    }
+
+    /// The per-label layer for `label` in the given direction, if the label
+    /// existed at freeze time.
+    #[inline]
+    pub(crate) fn layer(&self, label: LabelId, outgoing: bool) -> Option<&CsrLayer> {
+        if outgoing {
+            self.out.get(label.index())
+        } else {
+            self.inc.get(label.index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_roundtrips_hashmap_adjacency() {
+        let mut map: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        map.insert(NodeId(0), vec![NodeId(2), NodeId(1)]);
+        map.insert(NodeId(2), vec![NodeId(0)]);
+        let layer = CsrLayer::build(4, &map);
+        assert_eq!(layer.neighbours(NodeId(0)), &[NodeId(2), NodeId(1)]);
+        assert_eq!(layer.neighbours(NodeId(1)), &[] as &[NodeId]);
+        assert_eq!(layer.neighbours(NodeId(2)), &[NodeId(0)]);
+        assert_eq!(layer.neighbours(NodeId(3)), &[] as &[NodeId]);
+        // Out-of-range nodes (added after freezing) are empty, not a panic.
+        assert_eq!(layer.neighbours(NodeId(100)), &[] as &[NodeId]);
+        assert_eq!(layer.len(), 3);
+        let occupied: Vec<_> = layer.occupied_nodes().collect();
+        assert_eq!(occupied, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn mixed_roundtrips_hashmap_adjacency() {
+        let mut map: FxHashMap<NodeId, Vec<(LabelId, NodeId)>> = FxHashMap::default();
+        map.insert(
+            NodeId(1),
+            vec![(LabelId(0), NodeId(2)), (LabelId(1), NodeId(0))],
+        );
+        let mixed = CsrMixed::build(2, &map);
+        assert_eq!(
+            mixed.entries(NodeId(1)),
+            &[(LabelId(0), NodeId(2)), (LabelId(1), NodeId(0))]
+        );
+        assert!(mixed.entries(NodeId(0)).is_empty());
+        assert!(mixed.entries(NodeId(9)).is_empty());
+    }
+}

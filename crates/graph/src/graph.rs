@@ -1,9 +1,9 @@
 //! The graph store itself.
 
-use std::collections::HashMap;
-
 use crate::bitmap::NodeBitmap;
+use crate::csr::CsrIndex;
 use crate::error::GraphError;
+use crate::hash::FxHashMap;
 use crate::ids::{Direction, LabelId, NodeId};
 use crate::interner::LabelInterner;
 
@@ -22,29 +22,44 @@ pub struct EdgeRef {
 }
 
 /// Per-label adjacency index (both directions), mirroring Sparksee's
-/// neighbour indexing for an edge type.
+/// neighbour indexing for an edge type. This is the *builder* side: hash
+/// maps support cheap insertion and deduplication while the graph is loaded;
+/// [`GraphStore::freeze`] compiles them into CSR arrays for querying.
 #[derive(Debug, Default, Clone)]
 struct Adjacency {
-    out: HashMap<NodeId, Vec<NodeId>>,
-    inc: HashMap<NodeId, Vec<NodeId>>,
+    out: FxHashMap<NodeId, Vec<NodeId>>,
+    inc: FxHashMap<NodeId, Vec<NodeId>>,
     edge_count: usize,
 }
 
 /// An in-memory labelled directed multigraph with per-(label, direction)
 /// adjacency indexes and a unique string label per node.
 ///
+/// The store has two representations of its adjacency:
+///
+/// * a mutable, hash-map-backed **builder** that [`GraphStore::add_edge`] and
+///   friends write into, and
+/// * an optional **frozen CSR index** ([`GraphStore::freeze`]) serving
+///   [`GraphStore::neighbors`] / [`GraphStore::neighbors_any`] as borrowed
+///   slices out of packed arrays — the layout the evaluator's hot path wants.
+///
+/// Every read works in both states; freezing only changes the data layout.
+/// Adding an edge to a frozen store transparently drops the index (the next
+/// [`GraphStore::freeze`] rebuilds it).
+///
 /// This is the substrate the Omega evaluator traverses; see the crate-level
 /// documentation for the correspondence with Sparksee.
 #[derive(Debug, Clone)]
 pub struct GraphStore {
     node_labels: Vec<String>,
-    node_index: HashMap<String, NodeId>,
+    node_index: FxHashMap<String, NodeId>,
     labels: LabelInterner,
     type_label: LabelId,
     adjacency: Vec<Adjacency>,
-    out_all: HashMap<NodeId, Vec<(LabelId, NodeId)>>,
-    in_all: HashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    out_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    in_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
     edge_count: usize,
+    csr: Option<CsrIndex>,
 }
 
 impl Default for GraphStore {
@@ -60,14 +75,45 @@ impl GraphStore {
         let type_label = labels.intern(TYPE_LABEL);
         GraphStore {
             node_labels: Vec::new(),
-            node_index: HashMap::new(),
+            node_index: FxHashMap::default(),
             labels,
             type_label,
             adjacency: vec![Adjacency::default()],
-            out_all: HashMap::new(),
-            in_all: HashMap::new(),
+            out_all: FxHashMap::default(),
+            in_all: FxHashMap::default(),
             edge_count: 0,
+            csr: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Freezing
+    // ------------------------------------------------------------------
+
+    /// Compiles the builder-side adjacency into the frozen CSR index.
+    ///
+    /// Idempotent; call it once loading is complete. All neighbourhood reads
+    /// afterwards are served from packed offset/neighbour arrays.
+    pub fn freeze(&mut self) {
+        if self.csr.is_some() {
+            return;
+        }
+        let per_label: Vec<_> = self
+            .adjacency
+            .iter()
+            .map(|adj| (&adj.out, &adj.inc))
+            .collect();
+        self.csr = Some(CsrIndex::build(
+            self.node_labels.len(),
+            &per_label,
+            &self.out_all,
+            &self.in_all,
+        ));
+    }
+
+    /// Whether the frozen CSR index is present and current.
+    pub fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -168,7 +214,8 @@ impl GraphStore {
     /// Adds a directed edge `source --label--> target`. Parallel edges with
     /// the same label are deduplicated (the data model is a set of triples).
     ///
-    /// Returns `true` if the edge was new.
+    /// Drops the frozen CSR index, if any; returns `true` if the edge was
+    /// new.
     pub fn add_edge(&mut self, source: NodeId, label: LabelId, target: NodeId) -> bool {
         debug_assert!(self.contains_node(source) && self.contains_node(target));
         debug_assert!(label.index() < self.adjacency.len());
@@ -177,10 +224,14 @@ impl GraphStore {
         if out.contains(&target) {
             return false;
         }
+        self.csr = None;
         out.push(target);
         adj.inc.entry(target).or_default().push(source);
         adj.edge_count += 1;
-        self.out_all.entry(source).or_default().push((label, target));
+        self.out_all
+            .entry(source)
+            .or_default()
+            .push((label, target));
         self.in_all.entry(target).or_default().push((label, source));
         self.edge_count += 1;
         true
@@ -197,10 +248,8 @@ impl GraphStore {
 
     /// Whether the edge `source --label--> target` exists.
     pub fn has_edge(&self, source: NodeId, label: LabelId, target: NodeId) -> bool {
-        self.adjacency
-            .get(label.index())
-            .and_then(|adj| adj.out.get(&source))
-            .is_some_and(|v| v.contains(&target))
+        self.neighbors(source, label, Direction::Outgoing)
+            .contains(&target)
     }
 
     /// Total number of edges.
@@ -232,7 +281,17 @@ impl GraphStore {
 
     /// Nodes connected to `node` by an edge labelled `label`, following the
     /// given direction — the paper's `Neighbors(n, t, dir)`.
+    ///
+    /// On a frozen store this is two array reads into the CSR index; on an
+    /// unfrozen store it falls back to the builder's hash maps. Either way
+    /// the result is a borrowed slice — never a copy.
+    #[inline]
     pub fn neighbors(&self, node: NodeId, label: LabelId, dir: Direction) -> &[NodeId] {
+        if let Some(csr) = &self.csr {
+            return csr
+                .layer(label, dir == Direction::Outgoing)
+                .map_or(&[][..], |layer| layer.neighbours(node));
+        }
         self.adjacency
             .get(label.index())
             .and_then(|adj| match dir {
@@ -244,41 +303,32 @@ impl GraphStore {
 
     /// Neighbours of `node` over *any* label (including `type`), in the given
     /// direction, with the connecting label — used by wildcard transitions.
-    pub fn neighbors_any(
-        &self,
-        node: NodeId,
-        dir: Direction,
-    ) -> impl Iterator<Item = (LabelId, NodeId)> + '_ {
+    ///
+    /// Returns a borrowed slice in both the frozen and builder states.
+    #[inline]
+    pub fn neighbors_any(&self, node: NodeId, dir: Direction) -> &[(LabelId, NodeId)] {
+        if let Some(csr) = &self.csr {
+            return match dir {
+                Direction::Outgoing => csr.out_all.entries(node),
+                Direction::Incoming => csr.in_all.entries(node),
+            };
+        }
         let map = match dir {
             Direction::Outgoing => &self.out_all,
             Direction::Incoming => &self.in_all,
         };
-        map.get(&node).into_iter().flatten().copied()
-    }
-
-    /// Distinct neighbours of `node` reachable over any of `labels` in
-    /// direction `dir` — used when RELAX matching expands a property to the
-    /// set of its sub-properties.
-    pub fn neighbors_multi(
-        &self,
-        node: NodeId,
-        labels: &[LabelId],
-        dir: Direction,
-    ) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        for &label in labels {
-            for &n in self.neighbors(node, label, dir) {
-                if !out.contains(&n) {
-                    out.push(n);
-                }
-            }
-        }
-        out
+        map.get(&node).map_or(&[][..], Vec::as_slice)
     }
 
     /// All nodes that are the *target* of an edge labelled `label`
     /// (the paper's `Heads`).
     pub fn heads(&self, label: LabelId) -> NodeBitmap {
+        if let Some(csr) = &self.csr {
+            return csr
+                .layer(label, false)
+                .map(|layer| layer.occupied_nodes().collect())
+                .unwrap_or_default();
+        }
         self.adjacency
             .get(label.index())
             .map(|adj| adj.inc.keys().copied().collect())
@@ -288,6 +338,12 @@ impl GraphStore {
     /// All nodes that are the *source* of an edge labelled `label`
     /// (the paper's `Tails`).
     pub fn tails(&self, label: LabelId) -> NodeBitmap {
+        if let Some(csr) = &self.csr {
+            return csr
+                .layer(label, true)
+                .map(|layer| layer.occupied_nodes().collect())
+                .unwrap_or_default();
+        }
         self.adjacency
             .get(label.index())
             .map(|adj| adj.out.keys().copied().collect())
@@ -314,7 +370,7 @@ impl GraphStore {
     pub fn out_degree(&self, node: NodeId, label: Option<LabelId>) -> usize {
         match label {
             Some(l) => self.neighbors(node, l, Direction::Outgoing).len(),
-            None => self.out_all.get(&node).map_or(0, Vec::len),
+            None => self.neighbors_any(node, Direction::Outgoing).len(),
         }
     }
 
@@ -323,7 +379,7 @@ impl GraphStore {
     pub fn in_degree(&self, node: NodeId, label: Option<LabelId>) -> usize {
         match label {
             Some(l) => self.neighbors(node, l, Direction::Incoming).len(),
-            None => self.in_all.get(&node).map_or(0, Vec::len),
+            None => self.neighbors_any(node, Direction::Incoming).len(),
         }
     }
 
@@ -345,6 +401,15 @@ mod tests {
         g.add_triple("a", "type", "Person");
         g.add_triple("b", "type", "Person");
         g
+    }
+
+    /// Runs `check` against both the builder and the frozen representation.
+    fn both_states(mut g: GraphStore, check: impl Fn(&GraphStore)) {
+        assert!(!g.is_frozen());
+        check(&g);
+        g.freeze();
+        assert!(g.is_frozen());
+        check(&g);
     }
 
     #[test]
@@ -375,83 +440,118 @@ mod tests {
 
     #[test]
     fn neighbors_by_direction() {
-        let g = sample();
-        let a = g.node_by_label("a").unwrap();
-        let b = g.node_by_label("b").unwrap();
-        let c = g.node_by_label("c").unwrap();
-        let knows = g.label_id("knows").unwrap();
-        assert_eq!(g.neighbors(a, knows, Direction::Outgoing), &[b]);
-        assert_eq!(g.neighbors(b, knows, Direction::Incoming), &[a]);
-        assert_eq!(g.neighbors(c, knows, Direction::Incoming), &[b]);
-        assert!(g.neighbors(c, knows, Direction::Outgoing).is_empty());
+        both_states(sample(), |g| {
+            let a = g.node_by_label("a").unwrap();
+            let b = g.node_by_label("b").unwrap();
+            let c = g.node_by_label("c").unwrap();
+            let knows = g.label_id("knows").unwrap();
+            assert_eq!(g.neighbors(a, knows, Direction::Outgoing), &[b]);
+            assert_eq!(g.neighbors(b, knows, Direction::Incoming), &[a]);
+            assert_eq!(g.neighbors(c, knows, Direction::Incoming), &[b]);
+            assert!(g.neighbors(c, knows, Direction::Outgoing).is_empty());
+        });
     }
 
     #[test]
     fn neighbors_any_covers_all_labels_and_type() {
-        let g = sample();
-        let a = g.node_by_label("a").unwrap();
-        let out: Vec<_> = g.neighbors_any(a, Direction::Outgoing).collect();
-        assert_eq!(out.len(), 3); // knows->b, likes->c, type->Person
-        let incoming: Vec<_> = g
-            .neighbors_any(g.node_by_label("Person").unwrap(), Direction::Incoming)
-            .collect();
-        assert_eq!(incoming.len(), 2);
-    }
-
-    #[test]
-    fn neighbors_multi_deduplicates() {
-        let mut g = GraphStore::new();
-        g.add_triple("a", "p", "b");
-        g.add_triple("a", "q", "b");
-        g.add_triple("a", "q", "c");
-        let a = g.node_by_label("a").unwrap();
-        let p = g.label_id("p").unwrap();
-        let q = g.label_id("q").unwrap();
-        let ns = g.neighbors_multi(a, &[p, q], Direction::Outgoing);
-        assert_eq!(ns.len(), 2);
+        both_states(sample(), |g| {
+            let a = g.node_by_label("a").unwrap();
+            let out = g.neighbors_any(a, Direction::Outgoing);
+            assert_eq!(out.len(), 3); // knows->b, likes->c, type->Person
+            let person = g.node_by_label("Person").unwrap();
+            let incoming = g.neighbors_any(person, Direction::Incoming);
+            assert_eq!(incoming.len(), 2);
+        });
     }
 
     #[test]
     fn heads_tails_and_union() {
-        let g = sample();
-        let knows = g.label_id("knows").unwrap();
-        let heads = g.heads(knows);
-        let tails = g.tails(knows);
-        assert_eq!(heads.len(), 2); // b, c
-        assert_eq!(tails.len(), 2); // a, b
-        assert_eq!(g.tails_and_heads(knows).len(), 3); // a, b, c
+        both_states(sample(), |g| {
+            let knows = g.label_id("knows").unwrap();
+            let heads = g.heads(knows);
+            let tails = g.tails(knows);
+            assert_eq!(heads.len(), 2); // b, c
+            assert_eq!(tails.len(), 2); // a, b
+            assert_eq!(g.tails_and_heads(knows).len(), 3); // a, b, c
+        });
     }
 
     #[test]
     fn degrees() {
-        let g = sample();
-        let a = g.node_by_label("a").unwrap();
-        let knows = g.label_id("knows").unwrap();
-        assert_eq!(g.out_degree(a, None), 3);
-        assert_eq!(g.out_degree(a, Some(knows)), 1);
-        assert_eq!(g.in_degree(a, None), 0);
-        assert_eq!(g.degree(a), 3);
+        both_states(sample(), |g| {
+            let a = g.node_by_label("a").unwrap();
+            let knows = g.label_id("knows").unwrap();
+            assert_eq!(g.out_degree(a, None), 3);
+            assert_eq!(g.out_degree(a, Some(knows)), 1);
+            assert_eq!(g.in_degree(a, None), 0);
+            assert_eq!(g.degree(a), 3);
+        });
     }
 
     #[test]
     fn edge_iteration_and_counts() {
-        let g = sample();
-        assert_eq!(g.edges().count(), g.edge_count());
-        let type_l = g.type_label();
-        assert_eq!(g.edge_count_for_label(type_l), 2);
-        assert!(g.has_edge(
-            g.node_by_label("a").unwrap(),
-            g.label_id("likes").unwrap(),
-            g.node_by_label("c").unwrap()
-        ));
+        both_states(sample(), |g| {
+            assert_eq!(g.edges().count(), g.edge_count());
+            let type_l = g.type_label();
+            assert_eq!(g.edge_count_for_label(type_l), 2);
+            assert!(g.has_edge(
+                g.node_by_label("a").unwrap(),
+                g.label_id("likes").unwrap(),
+                g.node_by_label("c").unwrap()
+            ));
+        });
     }
 
     #[test]
     fn nodes_with_any_edge_excludes_isolated() {
         let mut g = sample();
         g.add_node("isolated");
-        let incident = g.nodes_with_any_edge();
-        assert!(!incident.contains(g.node_by_label("isolated").unwrap()));
-        assert_eq!(incident.len(), g.node_count() - 1);
+        both_states(g, |g| {
+            let incident = g.nodes_with_any_edge();
+            assert!(!incident.contains(g.node_by_label("isolated").unwrap()));
+            assert_eq!(incident.len(), g.node_count() - 1);
+        });
+    }
+
+    #[test]
+    fn freeze_is_idempotent_and_preserves_order() {
+        let mut g = sample();
+        let a = g.node_by_label("a").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        let before = g.neighbors(a, knows, Direction::Outgoing).to_vec();
+        g.freeze();
+        g.freeze();
+        assert_eq!(g.neighbors(a, knows, Direction::Outgoing), &before[..]);
+    }
+
+    #[test]
+    fn mutation_after_freeze_drops_and_rebuilds_the_index() {
+        let mut g = sample();
+        g.freeze();
+        assert!(g.is_frozen());
+        g.add_triple("c", "knows", "d");
+        assert!(
+            !g.is_frozen(),
+            "adding an edge must invalidate the CSR index"
+        );
+        let c = g.node_by_label("c").unwrap();
+        let d = g.node_by_label("d").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        assert_eq!(g.neighbors(c, knows, Direction::Outgoing), &[d]);
+        g.freeze();
+        assert_eq!(g.neighbors(c, knows, Direction::Outgoing), &[d]);
+    }
+
+    #[test]
+    fn nodes_and_labels_added_after_freeze_read_as_empty() {
+        let mut g = sample();
+        g.freeze();
+        let lonely = g.add_node("lonely");
+        let fresh = g.intern_label("fresh");
+        assert!(g.is_frozen(), "adding a node or label does not invalidate");
+        assert!(g.neighbors(lonely, fresh, Direction::Outgoing).is_empty());
+        assert!(g.neighbors_any(lonely, Direction::Outgoing).is_empty());
+        let a = g.node_by_label("a").unwrap();
+        assert!(g.neighbors(a, fresh, Direction::Outgoing).is_empty());
     }
 }

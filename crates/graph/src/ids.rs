@@ -7,7 +7,6 @@ use std::fmt;
 /// Node ids are dense: the store allocates them consecutively starting at 0,
 /// which lets [`crate::NodeBitmap`] represent node sets compactly.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -32,7 +31,6 @@ impl fmt::Display for NodeId {
 
 /// Identifier of an interned edge label (the paper's edge *type*).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LabelId(pub u32);
 
 impl LabelId {
@@ -54,7 +52,6 @@ impl fmt::Debug for LabelId {
 /// RPQ regular expressions may traverse an edge forwards (`a`) or backwards
 /// (`a-`); the store indexes adjacency in both directions.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Direction {
     /// Follow an edge from its source to its target.
     Outgoing,

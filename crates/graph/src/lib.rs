@@ -20,6 +20,21 @@
 //! The distinguished edge label `type` (class membership) is always present
 //! and can be obtained through [`GraphStore::type_label`].
 //!
+//! ## Two representations: builder and frozen CSR
+//!
+//! The store is built through a mutable, hash-map-backed API
+//! ([`GraphStore::add_node`] / [`GraphStore::add_edge`] /
+//! [`GraphStore::add_triple`]) and then — once loading is complete —
+//! compiled by [`GraphStore::freeze`] into compressed-sparse-row (CSR)
+//! indexes: per `(label, direction)` offset/neighbour arrays, plus CSR
+//! layouts of the mixed-label `out_all` / `in_all` views that serve the
+//! wildcard `*` transitions. A frozen [`GraphStore::neighbors`] lookup is
+//! two array reads returning a borrowed `&[NodeId]` slice: no hashing, no
+//! allocation, and neighbour lists packed contiguously for cache locality.
+//! All reads also work on an unfrozen store (served from the builder maps),
+//! and adding an edge to a frozen store transparently drops the index.
+//! The [`crate::csr`] module documents the layout.
+//!
 //! ```
 //! use omega_graph::{GraphStore, Direction};
 //!
@@ -34,8 +49,10 @@
 //! ```
 
 pub mod bitmap;
+pub mod csr;
 pub mod error;
 pub mod graph;
+pub mod hash;
 pub mod ids;
 pub mod interner;
 pub mod io;
@@ -44,6 +61,7 @@ pub mod stats;
 pub use bitmap::NodeBitmap;
 pub use error::GraphError;
 pub use graph::{EdgeRef, GraphStore};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Direction, LabelId, NodeId};
 pub use interner::LabelInterner;
 pub use stats::GraphStats;

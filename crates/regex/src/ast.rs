@@ -82,9 +82,7 @@ impl RpqRegex {
             Some(p) => p,
             None => return RpqRegex::Epsilon,
         };
-        iter.fold(first, |acc, p| {
-            RpqRegex::Concat(Box::new(acc), Box::new(p))
-        })
+        iter.fold(first, |acc, p| RpqRegex::Concat(Box::new(acc), Box::new(p)))
     }
 
     /// Alternation of the given expressions.
@@ -244,13 +242,20 @@ mod tests {
         let r = RpqRegex::concat_all([RpqRegex::label("a"), RpqRegex::label("b")]);
         assert_eq!(r.to_string(), "a.b");
         assert_eq!(RpqRegex::concat_all([]), RpqRegex::Epsilon);
-        let r = RpqRegex::alt_all([RpqRegex::label("a"), RpqRegex::label("b"), RpqRegex::label("c")]);
+        let r = RpqRegex::alt_all([
+            RpqRegex::label("a"),
+            RpqRegex::label("b"),
+            RpqRegex::label("c"),
+        ]);
         assert_eq!(r.to_string(), "a|b|c");
     }
 
     #[test]
     fn reverse_of_concat_swaps_and_flips() {
-        let r = RpqRegex::concat_all([RpqRegex::inverse_label("isLocatedIn"), RpqRegex::label("gradFrom")]);
+        let r = RpqRegex::concat_all([
+            RpqRegex::inverse_label("isLocatedIn"),
+            RpqRegex::label("gradFrom"),
+        ]);
         assert_eq!(r.reverse().to_string(), "gradFrom-.isLocatedIn");
         // reversal is an involution
         assert_eq!(r.reverse().reverse(), r);
@@ -280,7 +285,11 @@ mod tests {
 
     #[test]
     fn top_level_branches_flatten() {
-        let r = RpqRegex::alt_all([RpqRegex::label("a"), RpqRegex::label("b"), RpqRegex::label("c")]);
+        let r = RpqRegex::alt_all([
+            RpqRegex::label("a"),
+            RpqRegex::label("b"),
+            RpqRegex::label("c"),
+        ]);
         assert_eq!(r.top_level_branches().len(), 3);
         assert_eq!(RpqRegex::label("a").top_level_branches().len(), 1);
     }

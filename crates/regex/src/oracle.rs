@@ -136,10 +136,7 @@ mod tests {
     fn paper_query_shape() {
         // prereq*.next+.prereq
         let r = parse("prereq*.next+.prereq").unwrap();
-        assert!(matches(
-            &r,
-            &word(&[("next", false), ("prereq", false)])
-        ));
+        assert!(matches(&r, &word(&[("next", false), ("prereq", false)])));
         assert!(matches(
             &r,
             &word(&[

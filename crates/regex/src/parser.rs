@@ -53,9 +53,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.chars
-            .get(self.pos)
-            .map_or(self.input_len, |&(o, _)| o)
+        self.chars.get(self.pos).map_or(self.input_len, |&(o, _)| o)
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -244,10 +242,7 @@ mod tests {
 
     #[test]
     fn labels_with_underscores_and_colons() {
-        assert_eq!(
-            parse("rdf:type").unwrap(),
-            R::label("rdf:type")
-        );
+        assert_eq!(parse("rdf:type").unwrap(), R::label("rdf:type"));
         assert_eq!(
             parse("wordnet_city-").unwrap(),
             R::inverse_label("wordnet_city")

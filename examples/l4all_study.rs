@@ -49,7 +49,11 @@ fn main() {
             println!(
                 "{:<5} {:<8} {:>8} {:>10.2}  {}",
                 spec.id,
-                if operator.is_empty() { "exact" } else { operator },
+                if operator.is_empty() {
+                    "exact"
+                } else {
+                    operator
+                },
                 answers.len(),
                 elapsed.as_secs_f64() * 1e3,
                 breakdown.join(" ")

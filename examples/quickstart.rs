@@ -69,7 +69,10 @@ fn main() {
         .unwrap();
     println!("  exact answers: {}", exact.len());
     for a in omega
-        .execute("(?X) <- APPROX (UK, locatedIn-.locatedIn-.gradFrom, ?X)", Some(5))
+        .execute(
+            "(?X) <- APPROX (UK, locatedIn-.locatedIn-.gradFrom, ?X)",
+            Some(5),
+        )
         .unwrap()
     {
         println!("  {a}");

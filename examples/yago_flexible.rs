@@ -69,10 +69,26 @@ fn main() {
             println!(
                 "{:<5} {:<8} {:>9} {:>12} {:>12}",
                 spec.id,
-                if operator.is_empty() { "exact" } else { operator },
-                if plain_oom { "?".into() } else { count.to_string() },
-                if plain_oom { "?".into() } else { format!("{plain_ms:.2}") },
-                if opt_oom { "?".into() } else { format!("{opt_ms:.2}") },
+                if operator.is_empty() {
+                    "exact"
+                } else {
+                    operator
+                },
+                if plain_oom {
+                    "?".into()
+                } else {
+                    count.to_string()
+                },
+                if plain_oom {
+                    "?".into()
+                } else {
+                    format!("{plain_ms:.2}")
+                },
+                if opt_oom {
+                    "?".into()
+                } else {
+                    format!("{opt_ms:.2}")
+                },
             );
         }
     }

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this path crate
+//! implements the subset of criterion 0.5 that the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! There is no statistics engine: each benchmark is warmed up once and then
+//! timed for `measurement_time` (or `sample_size` iterations, whichever is
+//! reached first), and the mean and minimum wall-clock times are printed.
+//! That is enough to compare implementations locally and in CI smoke runs.
+//!
+//! Setting the environment variable `CRITERION_SMOKE=1` caps every benchmark
+//! at 3 iterations so the whole suite can run as a CI smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("run", &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_owned(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is always a single iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: fmt::Display,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let smoke = std::env::var_os("CRITERION_SMOKE").is_some();
+        let samples = if smoke { 3 } else { self.sample_size };
+        let budget = if smoke {
+            Duration::from_millis(200)
+        } else {
+            self.measurement_time
+        };
+        let mut bencher = Bencher {
+            samples,
+            budget,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.iters == 0 {
+            println!("  {}/{id}: no iterations run", self.name);
+            return;
+        }
+        let mean = bencher.total / bencher.iters as u32;
+        println!(
+            "  {}/{id}: mean {:>12?}  min {:>12?}  ({} iters)",
+            self.name, mean, bencher.min, bencher.iters
+        );
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    total: Duration,
+    min: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording wall-clock time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

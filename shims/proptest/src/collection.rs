@@ -1,0 +1,63 @@
+//! Collection strategies (`prop::collection::vec` / `hash_set`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `Vec` of `size.start..size.end` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let len = self.size.start + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet`s; duplicates drawn from `element` collapse, so the
+/// set may be smaller than the drawn length (the real proptest retries — for
+/// testing set semantics the collapsed behaviour is equivalent).
+#[derive(Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `HashSet` of roughly `size.start..size.end` elements from `element`.
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let len = self.size.start + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

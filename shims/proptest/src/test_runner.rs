@@ -1,0 +1,56 @@
+//! Deterministic RNG and run configuration.
+
+/// Configuration consumed by the [`crate::proptest!`] macro.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Deterministic generator (SplitMix64) seeded from the test's name, so every
+/// run explores the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from an arbitrary string (the test function's name).
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}

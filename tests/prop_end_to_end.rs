@@ -96,6 +96,70 @@ proptest! {
         prop_assert_eq!(zero, exact.len().min(200));
     }
 
+    /// The frozen CSR backend is indistinguishable from the hash-map builder
+    /// adjacency: identical neighbour slices at the storage layer, and
+    /// identical answer sets *and distances* from the evaluator, for every
+    /// query mode.
+    #[test]
+    fn csr_backend_matches_builder_adjacency(triples in graph_strategy(), qi in 0usize..QUERIES.len()) {
+        use omega::core::ConjunctEvaluator;
+        use omega::graph::Direction;
+
+        let (builder_graph, o) = build(&triples);
+        let mut frozen_graph = builder_graph.clone();
+        frozen_graph.freeze();
+        prop_assert!(frozen_graph.is_frozen());
+        prop_assert!(!builder_graph.is_frozen());
+
+        // Storage layer: every (node, label, direction) neighbour slice and
+        // both mixed-label views must agree between the representations.
+        for node in builder_graph.node_ids() {
+            for (label, _) in builder_graph.labels() {
+                for dir in [Direction::Outgoing, Direction::Incoming] {
+                    prop_assert_eq!(
+                        builder_graph.neighbors(node, label, dir),
+                        frozen_graph.neighbors(node, label, dir)
+                    );
+                }
+            }
+            for dir in [Direction::Outgoing, Direction::Incoming] {
+                prop_assert_eq!(
+                    builder_graph.neighbors_any(node, dir),
+                    frozen_graph.neighbors_any(node, dir)
+                );
+            }
+        }
+        for (label, _) in builder_graph.labels() {
+            prop_assert_eq!(builder_graph.heads(label), frozen_graph.heads(label));
+            prop_assert_eq!(builder_graph.tails(label), frozen_graph.tails(label));
+        }
+
+        // Evaluator layer: answer sets and distances agree in every mode.
+        for operator in ["", "APPROX ", "RELAX "] {
+            let text = QUERIES[qi].replacen("<- (", &format!("<- {operator}("), 1);
+            let query = parse_query(&text).unwrap();
+            let options = EvalOptions::default();
+            let answers_on = |g: &omega::graph::GraphStore| {
+                let plan = omega::core::eval::compile_conjunct(&query.conjuncts[0], g, &o, &options)
+                    .unwrap();
+                let mut eval = ConjunctEvaluator::new(plan, g, &o, options.clone(), None);
+                let mut v: Vec<_> = eval
+                    .collect(Some(500))
+                    .unwrap()
+                    .into_iter()
+                    .map(|a| (a.x, a.y, a.distance))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(
+                answers_on(&builder_graph),
+                answers_on(&frozen_graph),
+                "CSR answers diverge for {}", text
+            );
+        }
+    }
+
     /// The distance-aware and disjunction drivers return the same answer
     /// multiset as plain evaluation.
     #[test]
