@@ -12,7 +12,7 @@ use crate::resolver::LabelResolver;
 ///
 /// The returned automaton has a single initial state, a single final state of
 /// weight 0, and may contain ε-transitions; callers typically follow up with
-/// [`crate::approximate`]/[`crate::relax`] and then
+/// [`crate::approximate`]/[`crate::relax()`] and then
 /// [`crate::remove_epsilons`].
 pub fn build_nfa<R: LabelResolver>(regex: &RpqRegex, resolver: &R) -> WeightedNfa {
     let mut nfa = WeightedNfa::new();

@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use omega_bench::{engine_for, l4all_dataset, run_query, yago_dataset};
 use omega_core::eval::dr::DrQueue;
 use omega_core::eval::tuple::Tuple;
-use omega_core::EvalOptions;
+use omega_core::{EvalOptions, ExecOptions};
 use omega_datagen::{l4all_queries, yago_queries, L4AllScale};
 use omega_graph::{Direction, GraphStore};
 
@@ -112,12 +112,9 @@ fn bench_batch_size(c: &mut Criterion) {
     let spec = l4all_queries()[4].clone(); // Q5: (?X, next+, ?Y)
     for batch in [1usize, 100, 100_000] {
         let engine = engine_for(&l4all, EvalOptions::default().with_batch_size(batch));
+        let request = ExecOptions::new().with_limit(100);
         group.bench_with_input(BenchmarkId::new("batch", batch), &spec, |b, spec| {
-            b.iter(|| {
-                engine
-                    .execute(spec.text, Some(100))
-                    .expect("query succeeds")
-            })
+            b.iter(|| engine.execute(spec.text, &request).expect("query succeeds"))
         });
     }
     group.finish();

@@ -8,7 +8,7 @@
 //!             [--max-scale L1|L2|L3|L4] [--json PATH]
 //!
 //! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance
-//!         opt-disjunction baseline bench all
+//!         opt-disjunction prepared baseline bench all
 //! ```
 //!
 //! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
@@ -63,8 +63,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
-                     opt-distance opt-disjunction baseline bench all] [--quick|--full] \
-                     [--yago-scale F] [--max-scale L1..L4] [--json PATH]"
+                     opt-distance opt-disjunction prepared baseline bench all] \
+                     [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--json PATH]"
                 );
                 return;
             }
@@ -140,6 +140,9 @@ fn main() {
     }
     if wants("opt-disjunction") {
         println!("{}", optimisation_disjunction(&config));
+    }
+    if wants("prepared") {
+        println!("{}", prepared_amortization(&config));
     }
     if wants("baseline") {
         println!("{}", baseline_comparison(&config));

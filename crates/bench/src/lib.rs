@@ -20,7 +20,7 @@ pub mod report;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use omega_core::{EvalOptions, EvalStats, Omega, OmegaError};
+use omega_core::{Database, EvalOptions, EvalStats, ExecOptions, OmegaError, PreparedQuery};
 use omega_datagen::{
     generate_l4all, generate_yago, l4all_queries, yago_queries, Dataset, L4AllConfig, L4AllScale,
     QuerySpec, YagoConfig,
@@ -105,10 +105,12 @@ impl QueryRun {
     }
 }
 
-/// Builds an engine over a dataset with the evaluation options used in the
-/// performance study (unit costs, batch size 100) plus a memory budget.
-pub fn engine_for(dataset: &Dataset, options: EvalOptions) -> Omega {
-    Omega::with_options(
+/// Builds a shared database over a dataset with the evaluation options used
+/// in the performance study (unit costs, batch size 100) plus a memory
+/// budget. Queries run through the prepared-statement cache, so repeated
+/// runs of the same text pay compilation once.
+pub fn engine_for(dataset: &Dataset, options: EvalOptions) -> Database {
+    Database::with_options(
         dataset.graph.clone(),
         dataset.ontology.clone(),
         options.with_max_tuples(Some(MEMORY_BUDGET)),
@@ -129,41 +131,40 @@ pub fn yago_dataset(scale: f64) -> Dataset {
 /// Runs one query with the paper's methodology: exact queries run to
 /// completion; APPROX/RELAX queries fetch the top-[`TOP_K`] answers in
 /// batches of [`BATCH`].
-pub fn run_query(omega: &Omega, id: &str, operator: &str, text: &str) -> QueryRun {
+///
+/// Evaluation drives the service API — `prepare` (cached) plus a streaming
+/// [`omega_core::Answers`] handle — so the evaluator's counters are
+/// available afterwards and repeated runs skip recompilation.
+pub fn run_query(db: &Database, id: &str, operator: &str, text: &str) -> QueryRun {
     let start = Instant::now();
     let mut distances = BTreeMap::new();
     let mut exhausted = false;
     let mut answers = 0usize;
 
-    let limit = if operator.is_empty() {
-        None
-    } else {
-        Some(TOP_K)
-    };
-    let query = match omega_core::parse_query(text) {
-        Ok(q) => q,
+    let mut request = ExecOptions::new();
+    if !operator.is_empty() {
+        request = request.with_limit(TOP_K);
+    }
+    let prepared = match db.prepare(text) {
+        Ok(p) => p,
         Err(e) => panic!("query {id} failed: {e}"),
     };
-    // Evaluate through the streaming API so the evaluator's counters are
-    // available afterwards (execute() discards them).
-    let mut stats = EvalStats::default();
-    match omega.stream(&query) {
-        Ok(mut stream) => {
-            match stream.collect(limit) {
-                Ok(found) => {
-                    answers = found.len();
-                    for a in &found {
-                        *distances.entry(a.distance).or_insert(0) += 1;
-                    }
-                }
-                Err(OmegaError::ResourceExhausted { .. }) => exhausted = true,
-                Err(other) => panic!("query {id} failed: {other}"),
+    let mut stream = prepared.answers(&request);
+    loop {
+        match stream.next_answer() {
+            Ok(Some(a)) => {
+                answers += 1;
+                *distances.entry(a.distance).or_insert(0) += 1;
             }
-            stats = stream.stats();
+            Ok(None) => break,
+            Err(OmegaError::ResourceExhausted { .. }) => {
+                exhausted = true;
+                break;
+            }
+            Err(other) => panic!("query {id} failed: {other}"),
         }
-        Err(OmegaError::ResourceExhausted { .. }) => exhausted = true,
-        Err(other) => panic!("query {id} failed: {other}"),
     }
+    let stats = stream.stats();
     QueryRun {
         id: id.to_owned(),
         operator: if operator.is_empty() {
@@ -180,10 +181,10 @@ pub fn run_query(omega: &Omega, id: &str, operator: &str, text: &str) -> QueryRu
 }
 
 /// Runs the exact, APPROX and RELAX versions of a query.
-pub fn run_all_operators(omega: &Omega, spec: &QuerySpec) -> Vec<QueryRun> {
+pub fn run_all_operators(db: &Database, spec: &QuerySpec) -> Vec<QueryRun> {
     ["", "APPROX", "RELAX"]
         .iter()
-        .map(|op| run_query(omega, spec.id, op, &spec.with_operator(op)))
+        .map(|op| run_query(db, spec.id, op, &spec.with_operator(op)))
         .collect()
 }
 
@@ -459,6 +460,62 @@ pub fn optimisation_disjunction(config: &RunConfig) -> String {
         base.answers,
         opt.answers
     ));
+    out
+}
+
+/// Prepared-query amortization: repeated execution of the same flexible
+/// query with per-call compilation (the old `Omega::execute` behaviour)
+/// versus compile-once [`PreparedQuery`] reuse. The automata construction
+/// (Thompson + APPROX augmentation + ε-removal) dominates small-query
+/// latency, so the prepared path should win on every repeated query.
+pub fn prepared_amortization(config: &RunConfig) -> String {
+    const ITERS: usize = 20;
+    let scale = config.scales().last().copied().unwrap_or(L4AllScale::L1);
+    let dataset = l4all_dataset(scale);
+    let db = engine_for(&dataset, EvalOptions::default());
+    let request = ExecOptions::new().with_limit(TOP_K);
+    let drain = |prepared: &PreparedQuery| {
+        let mut stream = prepared.answers(&request);
+        loop {
+            match stream.next_answer() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(OmegaError::ResourceExhausted { .. }) => break,
+                Err(other) => panic!("amortization query failed: {other}"),
+            }
+        }
+    };
+    let mut out = format!(
+        "Prepared-query amortization ({}): APPROX top-{TOP_K}, {ITERS} executions (total ms)\n",
+        scale.name()
+    );
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>12} {:>9}\n",
+        "Query", "one-shot", "prepared", "speed-up"
+    ));
+    for spec in l4all_queries() {
+        if !figure5_query_ids().contains(&spec.id) {
+            continue;
+        }
+        let text = spec.with_operator("APPROX");
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            drain(&db.prepare_uncached(&text).expect("query compiles"));
+        }
+        let one_shot = start.elapsed();
+        let prepared = db.prepare_uncached(&text).expect("query compiles");
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            drain(&prepared);
+        }
+        let reused = start.elapsed();
+        out.push_str(&format!(
+            "{:<6} {:>12} {:>12} {:>8.2}x\n",
+            spec.id,
+            format_duration(one_shot),
+            format_duration(reused),
+            one_shot.as_secs_f64() / reused.as_secs_f64().max(1e-9)
+        ));
+    }
     out
 }
 

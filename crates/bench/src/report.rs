@@ -1,7 +1,7 @@
 //! Machine-readable benchmark reports (`BENCH_N.json`).
 //!
 //! Every experiment run can emit a JSON file recording per-query wall-clock
-//! latency and the evaluator's [`EvalStats`] counters, so the performance
+//! latency and the evaluator's [`omega_core::EvalStats`] counters, so the performance
 //! trajectory of the engine is tracked from PR to PR: compare two
 //! `BENCH_N.json` files to see exactly which queries got faster and whether
 //! tuple/lookup counts moved with them.

@@ -1,24 +1,31 @@
-//! The `Omega` engine: the public entry point tying the query language, the
-//! compiled automata and the ranked evaluator together.
+//! The legacy `Omega` facade, now a thin shim over the service API
+//! ([`crate::service::Database`] / [`crate::service::PreparedQuery`]).
+//!
+//! `Omega` predates the sessioned service surface: it owns its options
+//! mutably (`options_mut`) and recompiles every query per call, so it cannot
+//! be shared across threads or amortise compilation. New code should hold a
+//! [`Database`] and prepare queries instead; `Omega` remains for source
+//! compatibility and delegates all storage and evaluation to the same
+//! machinery.
 
-use std::collections::BTreeMap;
+#![allow(deprecated)]
+
+use std::sync::Arc;
 
 use omega_graph::GraphStore;
 use omega_ontology::Ontology;
 
 use crate::answer::Answer;
 use crate::error::Result;
-use crate::eval::conjunct::ConjunctEvaluator;
-use crate::eval::disjunction::DisjunctionEvaluator;
-use crate::eval::distance_aware::DistanceAwareEvaluator;
-use crate::eval::plan::compile_conjunct;
-use crate::eval::rank_join::{JoinInput, RankJoin};
-use crate::eval::{AnswerStream, EvalOptions, EvalStats};
-use crate::query::ast::{Conjunct, Query, QueryMode, Term};
+use crate::eval::{EvalOptions, EvalStats};
+use crate::query::ast::Query;
 use crate::query::parser::parse_query;
+use crate::service::{compile_prepared, Answers, Database};
 
-/// The Omega query engine: a data graph, its ontology, and evaluation
-/// options.
+pub use crate::service::conjunct_variables;
+
+/// The original single-owner query engine: a data graph, its ontology, and
+/// engine-global evaluation options.
 ///
 /// ```
 /// use omega_core::Omega;
@@ -34,9 +41,12 @@ use crate::query::parser::parse_query;
 /// assert_eq!(answers.len(), 2);
 /// assert_eq!(answers[0].distance, 0);
 /// ```
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Database` (shared, Send + Sync) with `PreparedQuery`/`ExecOptions` instead"
+)]
 pub struct Omega {
-    graph: GraphStore,
-    ontology: Ontology,
+    db: Database,
     options: EvalOptions,
 }
 
@@ -48,26 +58,23 @@ impl Omega {
 
     /// Creates an engine with explicit options.
     ///
-    /// The graph is frozen into its CSR representation here: the engine owns
-    /// it and never mutates it, so every query it evaluates runs against the
-    /// packed adjacency arrays.
-    pub fn with_options(mut graph: GraphStore, ontology: Ontology, options: EvalOptions) -> Omega {
-        graph.freeze();
+    /// The graph is frozen into its CSR representation here, exactly as
+    /// [`Database::with_options`] does.
+    pub fn with_options(graph: GraphStore, ontology: Ontology, options: EvalOptions) -> Omega {
         Omega {
-            graph,
-            ontology,
+            db: Database::with_options(graph, ontology, options.clone()),
             options,
         }
     }
 
     /// The data graph.
     pub fn graph(&self) -> &GraphStore {
-        &self.graph
+        self.db.graph()
     }
 
     /// The ontology.
     pub fn ontology(&self) -> &Ontology {
-        &self.ontology
+        self.db.ontology()
     }
 
     /// The evaluation options.
@@ -77,6 +84,10 @@ impl Omega {
 
     /// Mutable access to the evaluation options (e.g. to toggle the
     /// Section 4.3 optimisations between runs).
+    ///
+    /// This engine-global mutability is why `Omega` cannot be shared across
+    /// threads; the service API replaces it with per-request
+    /// [`crate::service::ExecOptions`].
     pub fn options_mut(&mut self) -> &mut EvalOptions {
         &mut self.options
     }
@@ -95,128 +106,51 @@ impl Omega {
     }
 
     /// Prepares an incremental answer stream for `query`.
+    ///
+    /// Unlike [`Database::prepare`], the query is recompiled on every call
+    /// against the engine's *current* options — the original semantics of
+    /// this type, preserved for callers that mutate `options_mut` between
+    /// runs.
     pub fn stream(&self, query: &Query) -> Result<QueryStream<'_>> {
-        query.validate()?;
-        let mut inputs = Vec::with_capacity(query.conjuncts.len());
-        for conjunct in &query.conjuncts {
-            inputs.push(self.conjunct_input(conjunct)?);
-        }
+        let prepared = compile_prepared(query, self.db.graph(), self.db.ontology(), &self.options)?;
+        let options = Arc::new(self.options.clone());
         Ok(QueryStream {
-            graph: &self.graph,
-            head: query.head.clone(),
-            join: RankJoin::new(inputs),
-            emitted: std::collections::HashSet::new(),
+            inner: prepared.answers(self.db.graph(), self.db.ontology(), options, None),
         })
-    }
-
-    /// Builds the best single-conjunct stream for `conjunct` according to the
-    /// enabled optimisations.
-    pub fn conjunct_stream<'a>(
-        &'a self,
-        conjunct: &Conjunct,
-    ) -> Result<Box<dyn AnswerStream + 'a>> {
-        if self.options.disjunction_decomposition && conjunct.mode == QueryMode::Approx {
-            if let Some(decomposed) = DisjunctionEvaluator::try_new(
-                conjunct,
-                &self.graph,
-                &self.ontology,
-                self.options.clone(),
-            )? {
-                return Ok(Box::new(decomposed));
-            }
-        }
-        let plan = compile_conjunct(conjunct, &self.graph, &self.ontology, &self.options)?;
-        if self.options.distance_aware && conjunct.mode != QueryMode::Exact {
-            return Ok(Box::new(DistanceAwareEvaluator::new(
-                plan,
-                &self.graph,
-                &self.ontology,
-                self.options.clone(),
-            )));
-        }
-        Ok(Box::new(ConjunctEvaluator::new(
-            plan,
-            &self.graph,
-            &self.ontology,
-            self.options.clone(),
-            None,
-        )))
-    }
-
-    fn conjunct_input<'a>(&'a self, conjunct: &Conjunct) -> Result<JoinInput<'a>> {
-        let stream = self.conjunct_stream(conjunct)?;
-        let subject_var = conjunct.subject.as_variable().map(str::to_owned);
-        let object_var = conjunct.object.as_variable().map(str::to_owned);
-        Ok(JoinInput::new(stream, subject_var, object_var))
     }
 }
 
-/// An incremental stream of [`Answer`]s for one query.
+/// An incremental stream of [`Answer`]s for one query — the pre-service
+/// streaming interface, now a wrapper over [`Answers`].
 pub struct QueryStream<'a> {
-    graph: &'a GraphStore,
-    head: Vec<String>,
-    join: RankJoin<'a>,
-    emitted: std::collections::HashSet<Vec<(String, omega_graph::NodeId)>>,
+    inner: Answers<'a>,
 }
 
 impl QueryStream<'_> {
     /// The next answer, or `Ok(None)` when the stream is exhausted.
     ///
-    /// Not an `Iterator` because production is fallible (`Result`).
+    /// Not an `Iterator` because production is fallible (`Result`); use
+    /// [`Answers`] for the iterator interface.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Answer>> {
-        loop {
-            let Some((bindings, distance)) = self.join.get_next()? else {
-                return Ok(None);
-            };
-            // Project onto the head variables and deduplicate projections.
-            let mut projected: Vec<(String, omega_graph::NodeId)> = Vec::new();
-            for var in &self.head {
-                if let Some((_, node)) = bindings.iter().find(|(name, _)| name == var) {
-                    projected.push((var.clone(), *node));
-                }
-            }
-            if !self.emitted.insert(projected.clone()) {
-                continue;
-            }
-            let bindings: BTreeMap<String, String> = projected
-                .into_iter()
-                .map(|(var, node)| (var, self.graph.node_label(node).to_owned()))
-                .collect();
-            return Ok(Some(Answer { bindings, distance }));
-        }
+        self.inner.next_answer()
     }
 
     /// Collects up to `limit` answers (all of them when `None`).
     pub fn collect(&mut self, limit: Option<usize>) -> Result<Vec<Answer>> {
-        let mut out = Vec::new();
-        while limit.is_none_or(|l| out.len() < l) {
-            match self.next()? {
-                Some(answer) => out.push(answer),
-                None => break,
-            }
-        }
-        Ok(out)
+        self.inner.collect_up_to(limit)
     }
 
     /// Evaluation statistics accumulated so far across all conjuncts.
     pub fn stats(&self) -> EvalStats {
-        self.join.stats()
+        self.inner.stats()
     }
-}
-
-/// Convenience: the variables a conjunct binds, used by callers that drive
-/// [`crate::eval::ConjunctEvaluator`] directly.
-pub fn conjunct_variables(conjunct: &Conjunct) -> Vec<&str> {
-    [&conjunct.subject, &conjunct.object]
-        .into_iter()
-        .filter_map(Term::as_variable)
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn engine() -> Omega {
         let mut g = GraphStore::new();
@@ -349,6 +283,17 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn options_mut_takes_effect_without_rebuilding() {
+        let mut omega = engine();
+        omega.options_mut().max_tuples = Some(3);
+        let result = omega.execute("(?X, ?Y) <- APPROX (?X, knows+, ?Y)", None);
+        assert!(matches!(
+            result,
+            Err(crate::error::OmegaError::ResourceExhausted { .. })
+        ));
     }
 
     #[test]

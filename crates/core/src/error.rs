@@ -28,6 +28,12 @@ pub enum OmegaError {
         /// Number of live tuples when the budget was hit.
         tuples: usize,
     },
+    /// The request's wall-clock deadline passed before evaluation finished.
+    ///
+    /// Raised by the evaluator loops when a deadline is set through
+    /// [`crate::service::ExecOptions`]; answers produced before the deadline
+    /// have already been yielded by the stream.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for OmegaError {
@@ -48,6 +54,9 @@ impl fmt::Display for OmegaError {
                 f,
                 "evaluation exceeded the configured memory budget ({tuples} live tuples)"
             ),
+            OmegaError::DeadlineExceeded => {
+                write!(f, "evaluation exceeded the request deadline")
+            }
         }
     }
 }

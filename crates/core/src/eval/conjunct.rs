@@ -1,6 +1,9 @@
 //! The single-conjunct ranked evaluator — the paper's `GetNext` procedure
 //! over the lazily constructed weighted product automaton `H_R`.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use omega_graph::GraphStore;
 use omega_ontology::Ontology;
 
@@ -26,10 +29,16 @@ use crate::query::ast::Term;
 pub struct ConjunctEvaluator<'a> {
     graph: &'a GraphStore,
     ontology: &'a Ontology,
-    plan: ConjunctPlan,
-    options: EvalOptions,
+    /// The compiled plan, shared with the prepared query (and, for the
+    /// escalating drivers, across restarts) instead of cloned per run.
+    plan: Arc<ConjunctPlan>,
+    /// Shared evaluation options: one `Arc` per request, not one clone per
+    /// evaluator.
+    options: Arc<EvalOptions>,
     /// Distance ceiling ψ for distance-aware evaluation (`None` = unbounded).
     psi: Option<u32>,
+    /// Loop counter used to pace the wall-clock deadline checks.
+    ticks: u64,
     dr: DrQueue,
     /// Packed-key / dense-bitmap membership over `(start, node, state)`.
     visited: VisitedSet,
@@ -48,13 +57,20 @@ pub struct ConjunctEvaluator<'a> {
 
 impl<'a> ConjunctEvaluator<'a> {
     /// Creates an evaluator for `plan` with an optional distance ceiling.
+    ///
+    /// The ceiling is the tighter of `psi` (the escalating drivers' bound)
+    /// and the request's `max_distance`.
     pub fn new(
-        plan: ConjunctPlan,
+        plan: Arc<ConjunctPlan>,
         graph: &'a GraphStore,
         ontology: &'a Ontology,
-        options: EvalOptions,
+        options: Arc<EvalOptions>,
         psi: Option<u32>,
     ) -> ConjunctEvaluator<'a> {
+        let psi = match (psi, options.max_distance) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let feed = InitialNodeFeed::new(&plan, graph, ontology, options.batch_size);
         let dr = DrQueue::new(options.prioritize_final);
         let visited = VisitedSet::new(graph.node_count(), plan.nfa.state_count(), &plan.seeds);
@@ -64,6 +80,7 @@ impl<'a> ConjunctEvaluator<'a> {
             plan,
             options,
             psi,
+            ticks: 0,
             dr,
             visited,
             answers_seen: PairSet::new(),
@@ -165,6 +182,14 @@ impl<'a> ConjunctEvaluator<'a> {
     /// order, or `Ok(None)` when evaluation is complete.
     pub fn get_next(&mut self) -> Result<Option<ConjunctAnswer>> {
         loop {
+            // Deadline check, paced to one clock read per 64 tuples; the
+            // first iteration always checks so a 0-ms deadline fails fast.
+            if let Some(deadline) = self.options.deadline {
+                if self.ticks & 63 == 0 && Instant::now() >= deadline {
+                    return Err(OmegaError::DeadlineExceeded);
+                }
+                self.ticks = self.ticks.wrapping_add(1);
+            }
             // Incrementally add the next batch of initial nodes when the
             // distance-0 frontier has been consumed (lines 15–17).
             if !self.dr.has_distance_zero() && self.feed.has_more() {
@@ -272,10 +297,10 @@ pub fn evaluate_conjunct<'a>(
 ) -> Result<ConjunctEvaluator<'a>> {
     let plan = crate::eval::plan::compile_conjunct(conjunct, graph, ontology, options)?;
     Ok(ConjunctEvaluator::new(
-        plan,
+        Arc::new(plan),
         graph,
         ontology,
-        options.clone(),
+        Arc::new(options.clone()),
         None,
     ))
 }
@@ -565,10 +590,55 @@ mod tests {
         let plan =
             crate::eval::plan::compile_conjunct(&q.conjuncts[0], &g, &o, &EvalOptions::default())
                 .unwrap();
-        let mut bounded = ConjunctEvaluator::new(plan, &g, &o, EvalOptions::default(), Some(0));
+        let mut bounded = ConjunctEvaluator::new(
+            Arc::new(plan),
+            &g,
+            &o,
+            Arc::new(EvalOptions::default()),
+            Some(0),
+        );
         let answers = bounded.collect(None).unwrap();
         assert!(answers.iter().all(|a| a.distance == 0));
         assert!(bounded.suppressed() > 0, "some tuples lie beyond ψ = 0");
+    }
+
+    #[test]
+    fn deadline_in_the_past_aborts_immediately() {
+        let (g, o) = setup();
+        let options = EvalOptions::default().with_deadline(Some(Instant::now()));
+        let q = parse_query("(?X, ?Y) <- APPROX (?X, knows+, ?Y)").unwrap();
+        let mut eval = evaluate_conjunct(&q.conjuncts[0], &g, &o, &options).unwrap();
+        assert!(matches!(eval.get_next(), Err(OmegaError::DeadlineExceeded)));
+    }
+
+    #[test]
+    fn far_deadline_does_not_disturb_evaluation() {
+        let (g, o) = setup();
+        let deadline = Instant::now() + std::time::Duration::from_secs(3600);
+        let with = run_with(
+            "(?X) <- APPROX (alice, knows.knows, ?X)",
+            &g,
+            &o,
+            &EvalOptions::default().with_deadline(Some(deadline)),
+        );
+        let without = run("(?X) <- APPROX (alice, knows.knows, ?X)", &g, &o);
+        assert_eq!(with.len(), without.len());
+    }
+
+    #[test]
+    fn max_distance_caps_answer_distances() {
+        let (g, o) = setup();
+        let unbounded = run("(?X) <- APPROX (alice, worksAt.worksAt, ?X)", &g, &o);
+        assert!(unbounded.iter().any(|a| a.distance > 1));
+        let bounded = run_with(
+            "(?X) <- APPROX (alice, worksAt.worksAt, ?X)",
+            &g,
+            &o,
+            &EvalOptions::default().with_max_distance(Some(1)),
+        );
+        assert!(bounded.iter().all(|a| a.distance <= 1));
+        let expected: Vec<_> = unbounded.iter().filter(|a| a.distance <= 1).collect();
+        assert_eq!(bounded.len(), expected.len());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! at the higher cost at all.
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use omega_graph::{GraphStore, NodeId};
 use omega_ontology::Ontology;
@@ -27,7 +28,7 @@ use omega_automata::decompose_alternation;
 
 /// One branch of the decomposed alternation.
 struct Branch {
-    plan: ConjunctPlan,
+    plan: Arc<ConjunctPlan>,
     /// Answers contributed during the previous ψ level (the paper's
     /// `n_{kφ,i}`), used to order branches at the next level.
     answers_last_level: usize,
@@ -46,7 +47,7 @@ struct Branch {
 pub struct DisjunctionEvaluator<'a> {
     graph: &'a GraphStore,
     ontology: &'a Ontology,
-    options: EvalOptions,
+    options: Arc<EvalOptions>,
     branches: Vec<Branch>,
     phi: u32,
     psi: u32,
@@ -70,27 +71,35 @@ impl<'a> DisjunctionEvaluator<'a> {
         conjunct: &Conjunct,
         graph: &'a GraphStore,
         ontology: &'a Ontology,
-        options: EvalOptions,
+        options: Arc<EvalOptions>,
     ) -> Result<Option<DisjunctionEvaluator<'a>>> {
-        let Some(parts) = decompose_alternation(&conjunct.regex) else {
+        let Some(plans) = compile_branches(conjunct, graph, ontology, &options)? else {
             return Ok(None);
         };
-        let mut branches = Vec::with_capacity(parts.len());
-        let mut phi = u32::MAX;
-        for part in parts {
-            let sub = Conjunct {
-                regex: part,
-                ..conjunct.clone()
-            };
-            let plan = compile_conjunct(&sub, graph, ontology, &options)?;
-            phi = phi.min(plan.phi);
-            branches.push(Branch {
+        Ok(Some(DisjunctionEvaluator::from_plans(
+            plans, graph, ontology, options,
+        )))
+    }
+
+    /// Builds the evaluator from already compiled branch plans (the prepared
+    /// query path: branches are compiled once at prepare time and reused).
+    pub fn from_plans(
+        plans: Vec<Arc<ConjunctPlan>>,
+        graph: &'a GraphStore,
+        ontology: &'a Ontology,
+        options: Arc<EvalOptions>,
+    ) -> DisjunctionEvaluator<'a> {
+        debug_assert!(!plans.is_empty());
+        let phi = plans.iter().map(|p| p.phi).min().unwrap_or(1);
+        let branches = plans
+            .into_iter()
+            .map(|plan| Branch {
                 plan,
                 answers_last_level: 0,
                 may_have_more: true,
-            });
-        }
-        Ok(Some(DisjunctionEvaluator {
+            })
+            .collect();
+        DisjunctionEvaluator {
             graph,
             ontology,
             options,
@@ -104,7 +113,7 @@ impl<'a> DisjunctionEvaluator<'a> {
             emitted: HashSet::new(),
             stats: EvalStats::default(),
             exhausted: false,
-        }))
+        }
     }
 
     /// Number of branches the alternation was split into.
@@ -124,6 +133,7 @@ impl<'a> DisjunctionEvaluator<'a> {
         if self.started {
             if self.steps >= self.options.max_psi_steps
                 || self.branches.iter().all(|b| !b.may_have_more)
+                || self.options.max_distance.is_some_and(|max| self.psi >= max)
             {
                 return false;
             }
@@ -176,10 +186,10 @@ impl<'a> DisjunctionEvaluator<'a> {
             if let Some(idx) = self.level_queue.pop_front() {
                 self.branches[idx].answers_last_level = 0;
                 let evaluator = ConjunctEvaluator::new(
-                    self.branches[idx].plan.clone(),
+                    Arc::clone(&self.branches[idx].plan),
                     self.graph,
                     self.ontology,
-                    self.options.clone(),
+                    Arc::clone(&self.options),
                     Some(self.psi),
                 );
                 self.current = Some((idx, evaluator));
@@ -214,6 +224,30 @@ impl AnswerStream for DisjunctionEvaluator<'_> {
     }
 }
 
+/// Compiles one plan per branch of a top-level alternation, or `Ok(None)`
+/// when the conjunct's regular expression is not an alternation. Used by
+/// [`DisjunctionEvaluator::try_new`] and by prepared queries, which compile
+/// the branches once and reuse them across executions.
+pub fn compile_branches(
+    conjunct: &Conjunct,
+    graph: &GraphStore,
+    ontology: &Ontology,
+    options: &EvalOptions,
+) -> Result<Option<Vec<Arc<ConjunctPlan>>>> {
+    let Some(parts) = decompose_alternation(&conjunct.regex) else {
+        return Ok(None);
+    };
+    let mut plans = Vec::with_capacity(parts.len());
+    for part in parts {
+        let sub = Conjunct {
+            regex: part,
+            ..conjunct.clone()
+        };
+        plans.push(Arc::new(compile_conjunct(&sub, graph, ontology, options)?));
+    }
+    Ok(Some(plans))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,17 +273,25 @@ mod tests {
     fn decomposes_only_top_level_alternations() {
         let (g, o) = setup();
         let q = parse_query(query()).unwrap();
-        let d = DisjunctionEvaluator::try_new(&q.conjuncts[0], &g, &o, EvalOptions::default())
-            .unwrap()
-            .unwrap();
+        let d = DisjunctionEvaluator::try_new(
+            &q.conjuncts[0],
+            &g,
+            &o,
+            Arc::new(EvalOptions::default()),
+        )
+        .unwrap()
+        .unwrap();
         assert_eq!(d.branch_count(), 2);
 
         let q = parse_query("(?X) <- APPROX (UK, locatedIn-.gradFrom-, ?X)").unwrap();
-        assert!(
-            DisjunctionEvaluator::try_new(&q.conjuncts[0], &g, &o, EvalOptions::default())
-                .unwrap()
-                .is_none()
-        );
+        assert!(DisjunctionEvaluator::try_new(
+            &q.conjuncts[0],
+            &g,
+            &o,
+            Arc::new(EvalOptions::default())
+        )
+        .unwrap()
+        .is_none());
     }
 
     #[test]
@@ -267,7 +309,7 @@ mod tests {
             .collect();
         expected.sort_unstable();
         let mut decomposed =
-            DisjunctionEvaluator::try_new(&q.conjuncts[0], &g, &o, options.clone())
+            DisjunctionEvaluator::try_new(&q.conjuncts[0], &g, &o, Arc::new(options.clone()))
                 .unwrap()
                 .unwrap();
         let mut got: Vec<_> = decomposed
@@ -284,10 +326,14 @@ mod tests {
     fn answers_are_sorted_and_deduplicated() {
         let (g, o) = setup();
         let q = parse_query(query()).unwrap();
-        let mut decomposed =
-            DisjunctionEvaluator::try_new(&q.conjuncts[0], &g, &o, EvalOptions::default())
-                .unwrap()
-                .unwrap();
+        let mut decomposed = DisjunctionEvaluator::try_new(
+            &q.conjuncts[0],
+            &g,
+            &o,
+            Arc::new(EvalOptions::default()),
+        )
+        .unwrap()
+        .unwrap();
         let answers = decomposed.collect(None).unwrap();
         let distances: Vec<u32> = answers.iter().map(|a| a.distance).collect();
         let mut sorted = distances.clone();
@@ -304,10 +350,14 @@ mod tests {
     fn limit_zero_answers_costs_one_level_only() {
         let (g, o) = setup();
         let q = parse_query(query()).unwrap();
-        let mut decomposed =
-            DisjunctionEvaluator::try_new(&q.conjuncts[0], &g, &o, EvalOptions::default())
-                .unwrap()
-                .unwrap();
+        let mut decomposed = DisjunctionEvaluator::try_new(
+            &q.conjuncts[0],
+            &g,
+            &o,
+            Arc::new(EvalOptions::default()),
+        )
+        .unwrap()
+        .unwrap();
         // The exact (distance-0) answers from branch 2 satisfy the limit, so
         // ψ never escalates.
         let answers = decomposed.collect(Some(2)).unwrap();

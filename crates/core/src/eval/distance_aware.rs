@@ -9,6 +9,8 @@
 //! accepts; it notes the scheme is not suitable when high-cost answers are
 //! wanted).
 
+use std::sync::Arc;
+
 use omega_graph::GraphStore;
 use omega_ontology::Ontology;
 
@@ -25,8 +27,8 @@ use crate::eval::AnswerStream;
 pub struct DistanceAwareEvaluator<'a> {
     graph: &'a GraphStore,
     ontology: &'a Ontology,
-    options: EvalOptions,
-    plan: ConjunctPlan,
+    options: Arc<EvalOptions>,
+    plan: Arc<ConjunctPlan>,
     current: ConjunctEvaluator<'a>,
     psi: u32,
     steps: u32,
@@ -36,15 +38,21 @@ pub struct DistanceAwareEvaluator<'a> {
 }
 
 impl<'a> DistanceAwareEvaluator<'a> {
-    /// Creates the driver with ψ = 0.
+    /// Creates the driver with ψ = 0. Plan and options are shared (`Arc`),
+    /// so restarts clone a pointer instead of the automaton.
     pub fn new(
-        plan: ConjunctPlan,
+        plan: Arc<ConjunctPlan>,
         graph: &'a GraphStore,
         ontology: &'a Ontology,
-        options: EvalOptions,
+        options: Arc<EvalOptions>,
     ) -> DistanceAwareEvaluator<'a> {
-        let current =
-            ConjunctEvaluator::new(plan.clone(), graph, ontology, options.clone(), Some(0));
+        let current = ConjunctEvaluator::new(
+            Arc::clone(&plan),
+            graph,
+            ontology,
+            Arc::clone(&options),
+            Some(0),
+        );
         DistanceAwareEvaluator {
             graph,
             ontology,
@@ -70,15 +78,20 @@ impl<'a> DistanceAwareEvaluator<'a> {
         if self.current.suppressed() == 0 || self.steps >= self.options.max_psi_steps {
             return false;
         }
+        // The request's distance ceiling is the hard limit: once ψ has
+        // reached it, everything beyond is out of scope by definition.
+        if self.options.max_distance.is_some_and(|max| self.psi >= max) {
+            return false;
+        }
         self.finished_stats += self.current.stats();
         self.finished_stats.restarts += 1;
         self.psi += self.plan.phi;
         self.steps += 1;
         self.current = ConjunctEvaluator::new(
-            self.plan.clone(),
+            Arc::clone(&self.plan),
             self.graph,
             self.ontology,
-            self.options.clone(),
+            Arc::clone(&self.options),
             Some(self.psi),
         );
         true
@@ -158,7 +171,7 @@ mod tests {
     ) -> DistanceAwareEvaluator<'a> {
         let q = parse_query(query).unwrap();
         let plan = compile_conjunct(&q.conjuncts[0], graph, ontology, options).unwrap();
-        DistanceAwareEvaluator::new(plan, graph, ontology, options.clone())
+        DistanceAwareEvaluator::new(Arc::new(plan), graph, ontology, Arc::new(options.clone()))
     }
 
     #[test]
@@ -236,6 +249,19 @@ mod tests {
         let _ = aware.collect(None).unwrap();
         assert!(aware.stats().restarts > 0);
         assert!(aware.psi() > 0);
+    }
+
+    #[test]
+    fn max_distance_stops_escalation() {
+        let (g, o) = setup();
+        // Without a ceiling this query escalates (see escalation_counts_restarts);
+        // with max_distance = 0 it must stay at ψ = 0 and only return exact answers.
+        let options = EvalOptions::default().with_max_distance(Some(0));
+        let mut aware = build("(?X) <- APPROX (a, p.r, ?X)", &g, &o, &options);
+        let answers = aware.collect(None).unwrap();
+        assert!(answers.iter().all(|a| a.distance == 0));
+        assert_eq!(aware.psi(), 0);
+        assert_eq!(aware.stats().restarts, 0);
     }
 
     #[test]

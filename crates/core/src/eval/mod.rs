@@ -17,8 +17,8 @@ pub mod tuple;
 pub mod visited;
 
 pub use baseline::BaselineEvaluator;
-pub use conjunct::ConjunctEvaluator;
-pub use disjunction::DisjunctionEvaluator;
+pub use conjunct::{evaluate_conjunct, ConjunctEvaluator};
+pub use disjunction::{compile_branches, DisjunctionEvaluator};
 pub use distance_aware::DistanceAwareEvaluator;
 pub use options::EvalOptions;
 pub use plan::{compile_conjunct, ConjunctPlan, SeedSpec};

@@ -1,6 +1,8 @@
 //! Evaluation options: edit/relaxation costs, optimisation toggles and
 //! resource limits.
 
+use std::time::Instant;
+
 use omega_automata::{ApproxConfig, RelaxConfig};
 
 /// Options controlling query evaluation.
@@ -40,6 +42,14 @@ pub struct EvalOptions {
     /// (distance-aware and disjunction evaluation); plain evaluation does not
     /// need it. Expressed in multiples of φ.
     pub max_psi_steps: u32,
+    /// Hard ceiling on answer distance: tuples beyond it are suppressed and
+    /// the escalating drivers stop at it. Normally set per request through
+    /// [`crate::service::ExecOptions::with_max_distance`].
+    pub max_distance: Option<u32>,
+    /// Wall-clock deadline enforced inside the evaluator loops; evaluation
+    /// past it fails with [`crate::OmegaError::DeadlineExceeded`]. Normally
+    /// set per request through [`crate::service::ExecOptions`].
+    pub deadline: Option<Instant>,
 }
 
 impl Default for EvalOptions {
@@ -54,6 +64,8 @@ impl Default for EvalOptions {
             disjunction_decomposition: false,
             max_tuples: None,
             max_psi_steps: 16,
+            max_distance: None,
+            deadline: None,
         }
     }
 }
@@ -86,6 +98,18 @@ impl EvalOptions {
     /// Disables the final-tuple prioritisation (for ablation benchmarks).
     pub fn without_final_prioritization(mut self) -> Self {
         self.prioritize_final = false;
+        self
+    }
+
+    /// Sets the hard answer-distance ceiling.
+    pub fn with_max_distance(mut self, max: Option<u32>) -> Self {
+        self.max_distance = max;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 }

@@ -28,8 +28,10 @@ use crate::eval::AnswerStream;
 /// Variable bindings of one emitted join result, name-keyed for consumers.
 pub type Bindings = Vec<(String, NodeId)>;
 
-/// Internal representation: one entry per join variable slot.
-type SlotBindings = Vec<Option<NodeId>>;
+/// Slot-indexed representation: one entry per join variable slot. Consumers
+/// that resolved their variables to slot indices up front (the answer
+/// stream's head projection) read this directly and never touch names.
+pub type SlotBindings = Vec<Option<NodeId>>;
 
 /// One input stream of the join.
 pub struct JoinInput<'a> {
@@ -233,8 +235,20 @@ impl<'a> RankJoin<'a> {
         }
     }
 
-    /// The next combined answer in non-decreasing total-distance order.
-    pub fn get_next(&mut self) -> Result<Option<(Bindings, u32)>> {
+    /// The slot index of variable `name`, if any conjunct binds it.
+    pub fn slot_index(&self, name: &str) -> Option<usize> {
+        self.slots.iter().position(|s| s == name)
+    }
+
+    /// Slot-index → variable name, in slot order.
+    pub fn slot_names(&self) -> &[String] {
+        &self.slots
+    }
+
+    /// The next combined answer as raw slot bindings, in non-decreasing
+    /// total-distance order. This is the allocation-light interface used by
+    /// the answer stream; [`RankJoin::get_next`] wraps it with names.
+    pub fn get_next_slots(&mut self) -> Result<Option<(SlotBindings, u32)>> {
         loop {
             let emit_now = match (self.candidates.peek(), self.future_lower_bound()) {
                 (Some(Reverse(best)), Some(bound)) => best.distance <= bound,
@@ -246,13 +260,7 @@ impl<'a> RankJoin<'a> {
                 let Reverse(candidate) = self.candidates.pop().expect("peeked above");
                 if self.emitted.insert(candidate.bindings.clone()) {
                     self.stats.answers += 1;
-                    let named: Bindings = self
-                        .slots
-                        .iter()
-                        .zip(candidate.bindings.iter())
-                        .filter_map(|(name, value)| value.map(|v| (name.clone(), v)))
-                        .collect();
-                    return Ok(Some((named, candidate.distance)));
+                    return Ok(Some((candidate.bindings, candidate.distance)));
                 }
                 continue;
             }
@@ -261,6 +269,21 @@ impl<'a> RankJoin<'a> {
                 continue;
             }
         }
+    }
+
+    /// The next combined answer in non-decreasing total-distance order, with
+    /// bindings resolved to variable names.
+    pub fn get_next(&mut self) -> Result<Option<(Bindings, u32)>> {
+        let Some((bindings, distance)) = self.get_next_slots()? else {
+            return Ok(None);
+        };
+        let named: Bindings = self
+            .slots
+            .iter()
+            .zip(bindings.iter())
+            .filter_map(|(name, value)| value.map(|v| (name.clone(), v)))
+            .collect();
+        Ok(Some((named, distance)))
     }
 }
 

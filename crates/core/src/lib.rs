@@ -16,8 +16,12 @@
 //!
 //! ## Quick start
 //!
+//! The service API is built around three pieces: a shared [`Database`]
+//! handle, [`PreparedQuery`] statements compiled once and executed many
+//! times, and per-request [`ExecOptions`]:
+//!
 //! ```
-//! use omega_core::Omega;
+//! use omega_core::{Database, ExecOptions};
 //! use omega_graph::GraphStore;
 //! use omega_ontology::Ontology;
 //!
@@ -26,20 +30,31 @@
 //! graph.add_triple("college", "locatedIn", "UK");
 //! graph.add_triple("alice", "gradFrom", "college");
 //!
-//! let omega = Omega::new(graph, Ontology::new());
+//! // `Database` is Send + Sync and clones are Arc bumps: share one handle
+//! // across however many threads serve queries.
+//! let db = Database::new(graph, Ontology::new());
 //!
 //! // The user got the direction of `gradFrom` wrong — no exact answers…
-//! let exact = omega
-//!     .execute("(?X) <- (UK, locatedIn-.gradFrom, ?X)", Some(10))
-//!     .unwrap();
+//! let prepared = db.prepare("(?X) <- (UK, locatedIn-.gradFrom, ?X)").unwrap();
+//! let exact = prepared.execute(&ExecOptions::new().with_limit(10)).unwrap();
 //! assert!(exact.is_empty());
 //!
 //! // …but APPROX repairs the query (substituting `gradFrom-`) at distance 1.
-//! let approx = omega
-//!     .execute("(?X) <- APPROX (UK, locatedIn-.gradFrom, ?X)", Some(10))
-//!     .unwrap();
-//! let alice = approx.iter().find(|a| a.get("X") == Some("alice")).unwrap();
+//! // Prepared statements are cached by text, and every request brings its
+//! // own limit / deadline / toggles.
+//! let approx = db.prepare("(?X) <- APPROX (UK, locatedIn-.gradFrom, ?X)").unwrap();
+//! let request = ExecOptions::new()
+//!     .with_limit(10)
+//!     .with_timeout(std::time::Duration::from_secs(5));
+//! let answers = approx.execute(&request).unwrap();
+//! let alice = answers.iter().find(|a| a.get("X") == Some("alice")).unwrap();
 //! assert_eq!(alice.distance, 1);
+//!
+//! // Streaming: `Answers` is an Iterator over Result<Answer> that carries
+//! // the evaluator's statistics.
+//! let mut stream = approx.answers(&ExecOptions::new().with_limit(1));
+//! assert!(stream.next().unwrap().is_ok());
+//! assert!(stream.stats().tuples_processed > 0);
 //! ```
 //!
 //! ## Architecture
@@ -55,15 +70,20 @@
 //! * [`eval::rank_join`] — the multi-conjunct ranked join,
 //! * [`eval::baseline`] — the plain product-automaton BFS baseline used for
 //!   comparison with other automaton-based approaches,
-//! * [`engine`] — the [`Omega`] facade.
+//! * [`service`] — the shared [`Database`] / [`PreparedQuery`] /
+//!   [`ExecOptions`] / [`Answers`] service surface,
+//! * [`engine`] — the deprecated [`Omega`] single-owner facade, kept as a
+//!   thin shim over [`service`].
 
 pub mod answer;
 pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod query;
+pub mod service;
 
 pub use answer::{Answer, ConjunctAnswer};
+#[allow(deprecated)]
 pub use engine::{Omega, QueryStream};
 pub use error::{OmegaError, Result};
 pub use eval::{
@@ -71,3 +91,4 @@ pub use eval::{
     DistanceAwareEvaluator, EvalOptions, EvalStats, RankJoin,
 };
 pub use query::{parse_query, Conjunct, Query, QueryMode, Term};
+pub use service::{conjunct_variables, Answers, Database, ExecOptions, PreparedQuery};

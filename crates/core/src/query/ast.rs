@@ -187,6 +187,23 @@ impl fmt::Display for Query {
     }
 }
 
+/// Queries parse from their textual form, so `text.parse::<Query>()` works
+/// wherever [`crate::parse_query`] does:
+///
+/// ```
+/// use omega_core::Query;
+///
+/// let query: Query = "(?X) <- APPROX (UK, locatedIn-, ?X)".parse().unwrap();
+/// assert_eq!(query.head, vec!["X"]);
+/// ```
+impl std::str::FromStr for Query {
+    type Err = OmegaError;
+
+    fn from_str(text: &str) -> Result<Query> {
+        crate::query::parser::parse_query(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,860 @@
+//! The service-oriented query API: [`Database`], [`PreparedQuery`],
+//! [`ExecOptions`] and [`Answers`].
+//!
+//! The paper frames Omega as an interactive service answering flexible
+//! queries incrementally; this module is the concurrency-ready surface for
+//! that framing:
+//!
+//! * [`Database`] — a cheaply clonable, `Send + Sync` handle over the frozen
+//!   graph and ontology. Clone it into as many threads as you like; every
+//!   clone shares the same CSR arrays and the same prepared-statement cache.
+//! * [`PreparedQuery`] — a query parsed, validated and compiled once
+//!   (Thompson NFA, APPROX/RELAX augmentation, ε-removal, conjunct plans,
+//!   decomposed alternation branches) and executable any number of times,
+//!   from any thread, without recompilation. [`Database::prepare`] keeps an
+//!   LRU cache of prepared queries keyed by query text.
+//! * [`ExecOptions`] — per-request execution control: answer limit,
+//!   wall-clock deadline, distance ceiling, tuple budget and optimisation
+//!   toggles. Requests never mutate engine state, so concurrent requests
+//!   with different options are safe by construction.
+//! * [`Answers`] — a streaming `Iterator<Item = Result<Answer>>` over the
+//!   ranked answer sequence, carrying [`EvalStats`] and enforcing the
+//!   request's limit, deadline and distance ceiling.
+//!
+//! ```
+//! use omega_core::{Database, ExecOptions};
+//! use omega_graph::GraphStore;
+//! use omega_ontology::Ontology;
+//!
+//! let mut graph = GraphStore::new();
+//! graph.add_triple("alice", "knows", "bob");
+//! graph.add_triple("bob", "knows", "carol");
+//! let db = Database::new(graph, Ontology::new());
+//!
+//! // One-shot execution…
+//! let answers = db
+//!     .execute("(?X) <- (alice, knows+, ?X)", &ExecOptions::new())
+//!     .unwrap();
+//! assert_eq!(answers.len(), 2);
+//!
+//! // …or prepare once and stream, with per-request control.
+//! let prepared = db.prepare("(?X) <- (alice, knows+, ?X)").unwrap();
+//! let request = ExecOptions::new().with_limit(1);
+//! let first: Vec<_> = prepared.answers(&request).collect();
+//! assert_eq!(first.len(), 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use omega_graph::{FxHashSet, GraphStore, NodeId};
+use omega_ontology::Ontology;
+
+use crate::answer::Answer;
+use crate::error::{OmegaError, Result};
+use crate::eval::conjunct::ConjunctEvaluator;
+use crate::eval::disjunction::{compile_branches, DisjunctionEvaluator};
+use crate::eval::distance_aware::DistanceAwareEvaluator;
+use crate::eval::plan::{compile_conjunct, ConjunctPlan};
+use crate::eval::rank_join::{JoinInput, RankJoin};
+use crate::eval::{AnswerStream, EvalOptions, EvalStats};
+use crate::query::ast::{Query, QueryMode, Term};
+use crate::query::parser::parse_query;
+
+/// Default capacity of the per-database prepared-statement LRU cache.
+const PREPARED_CACHE_CAPACITY: usize = 128;
+
+/// The immutable storage a database serves queries against: the frozen CSR
+/// graph plus its ontology. Shared by every handle, prepared query and
+/// reconfigured view through one `Arc`.
+pub(crate) struct GraphData {
+    pub(crate) graph: GraphStore,
+    pub(crate) ontology: Ontology,
+}
+
+struct DbInner {
+    data: Arc<GraphData>,
+    options: Arc<EvalOptions>,
+    cache: Mutex<PreparedCache>,
+}
+
+/// A shared, thread-safe handle over one graph + ontology.
+///
+/// Cloning is an `Arc` bump: hand clones to worker threads and serve queries
+/// from all of them concurrently. The graph is frozen into its CSR
+/// representation on construction and never mutated afterwards.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Creates a database with default [`EvalOptions`].
+    pub fn new(graph: GraphStore, ontology: Ontology) -> Database {
+        Database::with_options(graph, ontology, EvalOptions::default())
+    }
+
+    /// Creates a database with explicit base options.
+    ///
+    /// The base options fix the query *semantics* (edit/relaxation costs,
+    /// inference) that prepared plans are compiled against; per-request
+    /// execution knobs are supplied through [`ExecOptions`] instead.
+    pub fn with_options(
+        mut graph: GraphStore,
+        ontology: Ontology,
+        options: EvalOptions,
+    ) -> Database {
+        graph.freeze();
+        Database {
+            inner: Arc::new(DbInner {
+                data: Arc::new(GraphData { graph, ontology }),
+                options: Arc::new(options),
+                cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
+            }),
+        }
+    }
+
+    /// A new handle over the *same* graph and ontology with different base
+    /// options and a fresh prepared-statement cache. The storage is shared,
+    /// not copied.
+    pub fn reconfigured(&self, options: EvalOptions) -> Database {
+        Database {
+            inner: Arc::new(DbInner {
+                data: Arc::clone(&self.inner.data),
+                options: Arc::new(options),
+                cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
+            }),
+        }
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &GraphStore {
+        &self.inner.data.graph
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.inner.data.ontology
+    }
+
+    /// The base evaluation options prepared queries compile against.
+    pub fn options(&self) -> &EvalOptions {
+        &self.inner.options
+    }
+
+    /// Parses, validates and compiles `text` into a [`PreparedQuery`],
+    /// consulting the prepared-statement cache first.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery> {
+        if let Some(hit) = self.inner.cache.lock().unwrap().get(text) {
+            return Ok(hit);
+        }
+        let prepared = self.prepare_uncached(text)?;
+        self.inner
+            .cache
+            .lock()
+            .unwrap()
+            .insert(text.to_owned(), prepared.clone());
+        Ok(prepared)
+    }
+
+    /// Parses and compiles `text` without touching the cache.
+    pub fn prepare_uncached(&self, text: &str) -> Result<PreparedQuery> {
+        let query = parse_query(text)?;
+        self.prepare_query(&query)
+    }
+
+    /// Compiles an already parsed query (uncached).
+    pub fn prepare_query(&self, query: &Query) -> Result<PreparedQuery> {
+        let inner = compile_prepared(
+            query,
+            &self.inner.data.graph,
+            &self.inner.data.ontology,
+            &self.inner.options,
+        )?;
+        Ok(PreparedQuery {
+            data: Arc::clone(&self.inner.data),
+            base: Arc::clone(&self.inner.options),
+            inner: Arc::new(inner),
+        })
+    }
+
+    /// Prepares (with caching) and executes `text` under `request`,
+    /// collecting the answers.
+    pub fn execute(&self, text: &str, request: &ExecOptions) -> Result<Vec<Answer>> {
+        self.prepare(text)?.execute(request)
+    }
+
+    /// Number of entries currently in the prepared-statement cache.
+    pub fn prepared_cache_len(&self) -> usize {
+        self.inner.cache.lock().unwrap().entries.len()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("nodes", &self.graph().node_count())
+            .field("edges", &self.graph().edge_count())
+            .field("prepared", &self.prepared_cache_len())
+            .finish()
+    }
+}
+
+/// Least-recently-used map from query text to its prepared form. The entry
+/// vector keeps most-recently-used entries at the back; capacity is small,
+/// so the linear scan is cheaper than a hash + recency list would be.
+struct PreparedCache {
+    capacity: usize,
+    entries: Vec<(String, PreparedQuery)>,
+}
+
+impl PreparedCache {
+    fn new(capacity: usize) -> PreparedCache {
+        PreparedCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, text: &str) -> Option<PreparedQuery> {
+        let pos = self.entries.iter().position(|(t, _)| t == text)?;
+        self.entries[pos..].rotate_left(1);
+        Some(self.entries.last().unwrap().1.clone())
+    }
+
+    fn insert(&mut self, text: String, prepared: PreparedQuery) {
+        if let Some(pos) = self.entries.iter().position(|(t, _)| *t == text) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((text, prepared));
+        if self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+}
+
+/// One compiled conjunct of a prepared query.
+struct PreparedConjunct {
+    plan: Arc<ConjunctPlan>,
+    /// Branch plans for an APPROX top-level alternation, compiled lazily the
+    /// first time a request enables the disjunction optimisation (so
+    /// requests that never use it pay nothing) and then reused by every
+    /// later execution, from any thread.
+    branches: std::sync::OnceLock<Option<Vec<Arc<ConjunctPlan>>>>,
+    subject_var: Option<String>,
+    object_var: Option<String>,
+    mode: QueryMode,
+}
+
+/// The compile-once state shared by every execution of a prepared query.
+pub(crate) struct PreparedInner {
+    query: Query,
+    conjuncts: Vec<PreparedConjunct>,
+}
+
+/// Parses nothing, validates `query` and compiles every conjunct.
+pub(crate) fn compile_prepared(
+    query: &Query,
+    graph: &GraphStore,
+    ontology: &Ontology,
+    options: &EvalOptions,
+) -> Result<PreparedInner> {
+    query.validate()?;
+    let mut conjuncts = Vec::with_capacity(query.conjuncts.len());
+    for conjunct in &query.conjuncts {
+        let plan = Arc::new(compile_conjunct(conjunct, graph, ontology, options)?);
+        conjuncts.push(PreparedConjunct {
+            plan,
+            branches: std::sync::OnceLock::new(),
+            subject_var: conjunct.subject.as_variable().map(str::to_owned),
+            object_var: conjunct.object.as_variable().map(str::to_owned),
+            mode: conjunct.mode,
+        });
+    }
+    Ok(PreparedInner {
+        query: query.clone(),
+        conjuncts,
+    })
+}
+
+impl PreparedInner {
+    /// Builds the ranked answer stream for one execution.
+    pub(crate) fn answers<'a>(
+        &self,
+        graph: &'a GraphStore,
+        ontology: &'a Ontology,
+        options: Arc<EvalOptions>,
+        limit: Option<usize>,
+    ) -> Answers<'a> {
+        let inputs = self
+            .conjuncts
+            .iter()
+            .enumerate()
+            .map(|(i, pc)| {
+                JoinInput::new(
+                    build_stream(pc, &self.query.conjuncts[i], graph, ontology, &options),
+                    pc.subject_var.clone(),
+                    pc.object_var.clone(),
+                )
+            })
+            .collect();
+        let join = RankJoin::new(inputs);
+        // Head variables resolve to join slot indices exactly once per
+        // execution; projection and deduplication then work on dense
+        // node-id tuples, never on name-keyed bindings.
+        let head_slots = self
+            .query
+            .head
+            .iter()
+            .map(|v| {
+                join.slot_index(v)
+                    .expect("validated head variable occurs in some conjunct")
+            })
+            .collect();
+        Answers {
+            graph,
+            join,
+            head: self.query.head.clone(),
+            head_slots,
+            emitted: FxHashSet::default(),
+            limit,
+            yielded: 0,
+            max_distance: options.max_distance,
+            deadline: options.deadline,
+            finished: false,
+        }
+    }
+}
+
+/// Chooses the evaluator for one conjunct according to the request options.
+fn build_stream<'a>(
+    pc: &PreparedConjunct,
+    conjunct: &crate::query::ast::Conjunct,
+    graph: &'a GraphStore,
+    ontology: &'a Ontology,
+    options: &Arc<EvalOptions>,
+) -> Box<dyn AnswerStream + 'a> {
+    if options.disjunction_decomposition && pc.mode == QueryMode::Approx {
+        // Branch plans compile on first use and are cached for every later
+        // execution. A compile failure cannot happen once the main plan
+        // compiled (same constants, same costs); if it somehow did, falling
+        // back to plain evaluation is still correct — decomposition is an
+        // optimisation, not a semantics change.
+        let branches = pc.branches.get_or_init(|| {
+            match compile_branches(conjunct, graph, ontology, options) {
+                Ok(branches) => branches,
+                Err(e) => {
+                    debug_assert!(false, "branch compile failed after main plan compiled: {e}");
+                    None
+                }
+            }
+        });
+        if let Some(branches) = branches {
+            return Box::new(DisjunctionEvaluator::from_plans(
+                branches.clone(),
+                graph,
+                ontology,
+                Arc::clone(options),
+            ));
+        }
+    }
+    if options.distance_aware && pc.mode != QueryMode::Exact {
+        return Box::new(DistanceAwareEvaluator::new(
+            Arc::clone(&pc.plan),
+            graph,
+            ontology,
+            Arc::clone(options),
+        ));
+    }
+    Box::new(ConjunctEvaluator::new(
+        Arc::clone(&pc.plan),
+        graph,
+        ontology,
+        Arc::clone(options),
+        None,
+    ))
+}
+
+/// A query compiled once and executable many times, from many threads.
+///
+/// `PreparedQuery` is `Send + Sync` and cheap to clone: it shares the frozen
+/// graph, the base options and the compiled plans through `Arc`s. Each
+/// [`PreparedQuery::answers`] call builds fresh evaluator state, so
+/// concurrent executions never interfere.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    data: Arc<GraphData>,
+    base: Arc<EvalOptions>,
+    inner: Arc<PreparedInner>,
+}
+
+impl PreparedQuery {
+    /// The parsed query this statement was compiled from.
+    pub fn query(&self) -> &Query {
+        &self.inner.query
+    }
+
+    /// Streams the ranked answers for one execution under `request`.
+    pub fn answers(&self, request: &ExecOptions) -> Answers<'_> {
+        let options = request.resolve(&self.base);
+        self.inner.answers(
+            &self.data.graph,
+            &self.data.ontology,
+            options,
+            request.limit,
+        )
+    }
+
+    /// Executes under `request` and collects the answers.
+    pub fn execute(&self, request: &ExecOptions) -> Result<Vec<Answer>> {
+        self.answers(request).collect_up_to(None)
+    }
+
+    /// Whether `self` and `other` share the same compiled plans (i.e. one
+    /// came from the other through the prepared-statement cache or `clone`).
+    pub fn shares_plans_with(&self, other: &PreparedQuery) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("conjuncts", &self.inner.conjuncts.len())
+            .field("head", &self.inner.query.head)
+            .finish()
+    }
+}
+
+/// Per-request execution options: a builder carried alongside the query, so
+/// concurrent requests against one [`Database`] can each bring their own
+/// limit, deadline and toggles without touching shared state.
+///
+/// Every field is an *override*: unset fields inherit the database's base
+/// [`EvalOptions`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Maximum number of answers to return (`None` = all).
+    pub limit: Option<usize>,
+    /// Wall-clock budget measured from the start of execution.
+    pub timeout: Option<Duration>,
+    /// Absolute wall-clock deadline; the tighter of `timeout` and `deadline`
+    /// wins when both are set.
+    pub deadline: Option<Instant>,
+    /// Hard ceiling on answer distance.
+    pub max_distance: Option<u32>,
+    /// Live-tuple budget override (see [`EvalOptions::max_tuples`]).
+    pub max_tuples: Option<usize>,
+    /// Distance-aware retrieval toggle override.
+    pub distance_aware: Option<bool>,
+    /// Alternation→disjunction decomposition toggle override.
+    pub disjunction_decomposition: Option<bool>,
+    /// Initial-node batch size override.
+    pub batch_size: Option<usize>,
+    /// Final-tuple prioritisation override.
+    pub prioritize_final: Option<bool>,
+}
+
+impl ExecOptions {
+    /// Request with no overrides: the database's base options, no limit, no
+    /// deadline.
+    pub fn new() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Returns at most `limit` answers.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Aborts evaluation [`OmegaError::DeadlineExceeded`] once `timeout` has
+    /// elapsed from the start of execution.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Aborts evaluation at the absolute instant `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Ignores answers (and prunes exploration) beyond distance `max`.
+    pub fn with_max_distance(mut self, max: u32) -> Self {
+        self.max_distance = Some(max);
+        self
+    }
+
+    /// Overrides the live-tuple budget.
+    pub fn with_max_tuples(mut self, max: usize) -> Self {
+        self.max_tuples = Some(max);
+        self
+    }
+
+    /// Overrides the distance-aware retrieval toggle.
+    pub fn with_distance_aware(mut self, on: bool) -> Self {
+        self.distance_aware = Some(on);
+        self
+    }
+
+    /// Overrides the alternation→disjunction decomposition toggle.
+    pub fn with_disjunction_decomposition(mut self, on: bool) -> Self {
+        self.disjunction_decomposition = Some(on);
+        self
+    }
+
+    /// Overrides the initial-node batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = Some(batch);
+        self
+    }
+
+    /// Overrides final-tuple prioritisation.
+    pub fn with_prioritize_final(mut self, on: bool) -> Self {
+        self.prioritize_final = Some(on);
+        self
+    }
+
+    /// Folds the overrides into `base`, resolving the relative timeout into
+    /// an absolute deadline at call time (i.e. execution start).
+    pub(crate) fn resolve(&self, base: &EvalOptions) -> Arc<EvalOptions> {
+        let mut options = base.clone();
+        if let Some(max) = self.max_tuples {
+            options.max_tuples = Some(max);
+        }
+        if let Some(on) = self.distance_aware {
+            options.distance_aware = on;
+        }
+        if let Some(on) = self.disjunction_decomposition {
+            options.disjunction_decomposition = on;
+        }
+        if let Some(batch) = self.batch_size {
+            options.batch_size = batch.max(1);
+        }
+        if let Some(on) = self.prioritize_final {
+            options.prioritize_final = on;
+        }
+        if self.max_distance.is_some() {
+            options.max_distance = self.max_distance;
+        }
+        let from_timeout = self.timeout.map(|t| Instant::now() + t);
+        options.deadline = match (self.deadline, from_timeout) {
+            (Some(d), Some(t)) => Some(d.min(t)),
+            (Some(d), None) => Some(d),
+            (None, Some(t)) => Some(t),
+            (None, None) => base.deadline,
+        };
+        Arc::new(options)
+    }
+}
+
+/// A streaming handle over one execution's ranked answers.
+///
+/// Yields answers in non-decreasing total-distance order, enforcing the
+/// request's limit, distance ceiling and deadline. Implements
+/// `Iterator<Item = Result<Answer>>`; after an error or exhaustion the
+/// stream is fused.
+pub struct Answers<'a> {
+    graph: &'a GraphStore,
+    join: RankJoin<'a>,
+    /// Head variable names, in projection order.
+    head: Vec<String>,
+    /// Join slot of each head variable, resolved once at stream creation.
+    head_slots: Vec<usize>,
+    /// Projection-level deduplication over head-slot node-id tuples.
+    emitted: FxHashSet<Vec<NodeId>>,
+    limit: Option<usize>,
+    yielded: usize,
+    max_distance: Option<u32>,
+    deadline: Option<Instant>,
+    finished: bool,
+}
+
+impl Answers<'_> {
+    /// The next answer, `Ok(None)` when the stream is exhausted (or the
+    /// limit/distance ceiling has been reached).
+    pub fn next_answer(&mut self) -> Result<Option<Answer>> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.limit.is_some_and(|l| self.yielded >= l) {
+            self.finished = true;
+            return Ok(None);
+        }
+        // The per-tuple deadline checks live in the conjunct evaluators;
+        // this top-level check guarantees an already-expired deadline fails
+        // before any join work happens at all.
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.finished = true;
+                return Err(OmegaError::DeadlineExceeded);
+            }
+        }
+        loop {
+            let next = match self.join.get_next_slots() {
+                Ok(next) => next,
+                Err(e) => {
+                    self.finished = true;
+                    return Err(e);
+                }
+            };
+            let Some((bindings, distance)) = next else {
+                self.finished = true;
+                return Ok(None);
+            };
+            if self.max_distance.is_some_and(|max| distance > max) {
+                // Total distances are non-decreasing: nothing later can
+                // come back under the ceiling.
+                self.finished = true;
+                return Ok(None);
+            }
+            // Project onto the head slots and deduplicate projections.
+            let key: Vec<NodeId> = self
+                .head_slots
+                .iter()
+                .map(|&slot| bindings[slot].expect("every join candidate binds every slot"))
+                .collect();
+            if !self.emitted.insert(key.clone()) {
+                continue;
+            }
+            let named: BTreeMap<String, String> = self
+                .head
+                .iter()
+                .zip(key.iter())
+                .map(|(var, node)| (var.clone(), self.graph.node_label(*node).to_owned()))
+                .collect();
+            self.yielded += 1;
+            return Ok(Some(Answer {
+                bindings: named,
+                distance,
+            }));
+        }
+    }
+
+    /// Collects up to `limit` further answers (all remaining when `None`),
+    /// on top of any stream-level limit.
+    pub fn collect_up_to(&mut self, limit: Option<usize>) -> Result<Vec<Answer>> {
+        let mut out = Vec::new();
+        while limit.is_none_or(|l| out.len() < l) {
+            match self.next_answer()? {
+                Some(answer) => out.push(answer),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluation statistics accumulated so far across all conjuncts.
+    pub fn stats(&self) -> EvalStats {
+        self.join.stats()
+    }
+}
+
+impl Iterator for Answers<'_> {
+    type Item = Result<Answer>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_answer().transpose()
+    }
+}
+
+/// Convenience: the variables a conjunct binds, in `(subject, object)`
+/// order, for callers that drive [`ConjunctEvaluator`] directly.
+pub fn conjunct_variables(conjunct: &crate::query::ast::Conjunct) -> Vec<&str> {
+    [&conjunct.subject, &conjunct.object]
+        .into_iter()
+        .filter_map(Term::as_variable)
+        .collect()
+}
+
+// `Database`, `PreparedQuery` and the request/stream types are the shared
+// service surface: hold the compiler to it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<PreparedQuery>();
+    assert_send_sync::<ExecOptions>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut g = GraphStore::new();
+        g.add_triple("alice", "knows", "bob");
+        g.add_triple("bob", "knows", "carol");
+        g.add_triple("carol", "knows", "dave");
+        g.add_triple("alice", "worksAt", "acme");
+        g.add_triple("bob", "worksAt", "initech");
+        g.add_triple("acme", "locatedIn", "UK");
+        g.add_triple("initech", "locatedIn", "US");
+        g.add_triple("alice", "type", "Student");
+        g.add_triple("bob", "type", "Person");
+        let mut o = Ontology::new();
+        let student = g.node_by_label("Student").unwrap();
+        let person = g.node_by_label("Person").unwrap();
+        o.add_subclass(student, person).unwrap();
+        Database::new(g, o)
+    }
+
+    #[test]
+    fn database_executes_like_the_engine() {
+        let db = db();
+        let answers = db
+            .execute("(?X) <- (alice, knows+, ?X)", &ExecOptions::new())
+            .unwrap();
+        assert_eq!(answers.len(), 3);
+        assert!(answers.iter().all(|a| a.distance == 0));
+    }
+
+    #[test]
+    fn prepare_hits_the_cache() {
+        let db = db();
+        let first = db.prepare("(?X) <- (alice, knows, ?X)").unwrap();
+        let second = db.prepare("(?X) <- (alice, knows, ?X)").unwrap();
+        assert!(first.shares_plans_with(&second));
+        assert_eq!(db.prepared_cache_len(), 1);
+        let uncached = db.prepare_uncached("(?X) <- (alice, knows, ?X)").unwrap();
+        assert!(!first.shares_plans_with(&uncached));
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest() {
+        let mut cache = PreparedCache::new(2);
+        let db = db();
+        let p = db.prepare_uncached("(?X) <- (alice, knows, ?X)").unwrap();
+        cache.insert("a".into(), p.clone());
+        cache.insert("b".into(), p.clone());
+        assert!(cache.get("a").is_some()); // refresh "a": now "b" is oldest
+        cache.insert("c".into(), p.clone());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn prepared_query_executes_repeatedly() {
+        let db = db();
+        let prepared = db
+            .prepare("(?X) <- APPROX (alice, worksAt.worksAt, ?X)")
+            .unwrap();
+        let first = prepared.execute(&ExecOptions::new()).unwrap();
+        let second = prepared.execute(&ExecOptions::new()).unwrap();
+        assert!(!first.is_empty());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn limit_and_iterator_agree() {
+        let db = db();
+        let prepared = db.prepare("(?X) <- (alice, knows+, ?X)").unwrap();
+        let collected: Result<Vec<_>> = prepared
+            .answers(&ExecOptions::new().with_limit(2))
+            .collect();
+        assert_eq!(collected.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zero_timeout_deadline_fires() {
+        let db = db();
+        let prepared = db.prepare("(?X, ?Y) <- APPROX (?X, knows+, ?Y)").unwrap();
+        let request = ExecOptions::new().with_timeout(Duration::ZERO);
+        let mut answers = prepared.answers(&request);
+        assert!(matches!(
+            answers.next_answer(),
+            Err(OmegaError::DeadlineExceeded)
+        ));
+        // The stream is fused after the error.
+        assert!(answers.next().is_none());
+    }
+
+    #[test]
+    fn absolute_deadline_in_the_past_fires() {
+        let db = db();
+        let request = ExecOptions::new().with_deadline(Instant::now());
+        let err = db
+            .execute("(?X) <- APPROX (alice, knows.knows, ?X)", &request)
+            .unwrap_err();
+        assert!(matches!(err, OmegaError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn max_distance_truncates_the_stream() {
+        let db = db();
+        let prepared = db
+            .prepare("(?X) <- APPROX (alice, worksAt.worksAt, ?X)")
+            .unwrap();
+        let all = prepared.execute(&ExecOptions::new()).unwrap();
+        assert!(all.iter().any(|a| a.distance > 1));
+        let capped = prepared
+            .execute(&ExecOptions::new().with_max_distance(1))
+            .unwrap();
+        assert!(capped.iter().all(|a| a.distance <= 1));
+        let expected = all.iter().filter(|a| a.distance <= 1).count();
+        assert_eq!(capped.len(), expected);
+    }
+
+    #[test]
+    fn per_request_toggles_do_not_change_answers() {
+        let db = db();
+        let prepared = db
+            .prepare("(?X) <- APPROX (alice, (knows.knows)|(worksAt.locatedIn), ?X)")
+            .unwrap();
+        let sort = |mut v: Vec<Answer>| {
+            v.sort_by(|a, b| (&a.bindings, a.distance).cmp(&(&b.bindings, b.distance)));
+            v
+        };
+        let reference = sort(prepared.execute(&ExecOptions::new()).unwrap());
+        for request in [
+            ExecOptions::new().with_distance_aware(true),
+            ExecOptions::new().with_disjunction_decomposition(true),
+            ExecOptions::new().with_batch_size(1),
+            ExecOptions::new().with_prioritize_final(false),
+        ] {
+            assert_eq!(reference, sort(prepared.execute(&request).unwrap()));
+        }
+    }
+
+    #[test]
+    fn reconfigured_shares_storage() {
+        let db = db();
+        let relaxed = db.reconfigured(EvalOptions::default().with_max_tuples(Some(10)));
+        assert_eq!(relaxed.options().max_tuples, Some(10));
+        assert!(std::ptr::eq(db.graph(), relaxed.graph()));
+    }
+
+    #[test]
+    fn concurrent_clones_answer_identically() {
+        let db = db();
+        let prepared = db
+            .prepare("(?X) <- APPROX (alice, worksAt.worksAt, ?X)")
+            .unwrap();
+        let reference = prepared.execute(&ExecOptions::new()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let prepared = prepared.clone();
+                let reference = reference.clone();
+                scope.spawn(move || {
+                    let got = prepared.execute(&ExecOptions::new()).unwrap();
+                    assert_eq!(got, reference);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn max_tuples_override_aborts() {
+        let db = db();
+        let err = db
+            .execute(
+                "(?X, ?Y) <- APPROX (?X, knows+, ?Y)",
+                &ExecOptions::new().with_max_tuples(3),
+            )
+            .unwrap_err();
+        assert!(matches!(err, OmegaError::ResourceExhausted { .. }));
+    }
+}

@@ -1,24 +1,27 @@
 //! Multi-conjunct queries and the ranked join: combine an exact conjunct
-//! with an APPROX one and watch combined answers arrive in non-decreasing
-//! total distance.
+//! with a RELAX one and watch combined answers arrive in non-decreasing
+//! total distance through the streaming `Answers` handle.
 //!
 //! ```text
 //! cargo run --example multi_conjunct
 //! ```
 
-use omega::core::{EvalOptions, Omega};
+use omega::core::{Database, ExecOptions};
 use omega::datagen::{generate_l4all, L4AllConfig};
 
 fn main() {
     let data = generate_l4all(&L4AllConfig::tiny());
-    let omega = Omega::with_options(data.graph, data.ontology, EvalOptions::default());
+    let db = Database::new(data.graph, data.ontology);
 
     // Find learners (episodes) classified under Software Professionals whose
     // episode is followed by another episode — and relax the classification
     // conjunct so that siblings and superclasses also match, at a cost.
     let query = "(?E, ?N) <- RELAX (Software Professionals, type-.job-, ?E), (?E, next, ?N)";
     println!("query: {query}\n");
-    let answers = omega.execute(query, Some(20)).expect("query evaluates");
+    let prepared = db.prepare(query).expect("query compiles");
+    let answers = prepared
+        .execute(&ExecOptions::new().with_limit(20))
+        .expect("query evaluates");
     if answers.is_empty() {
         println!("no answers");
         return;
@@ -34,10 +37,10 @@ fn main() {
     );
 
     // The same query with every conjunct exact, for comparison.
-    let exact = omega
+    let exact = db
         .execute(
             "(?E, ?N) <- (Software Professionals, type-.job-, ?E), (?E, next, ?N)",
-            Some(20),
+            &ExecOptions::new().with_limit(20),
         )
         .expect("query evaluates");
     println!("exact version: {} answers", exact.len());

@@ -1,11 +1,14 @@
-//! Quickstart: build a small graph and ontology by hand, then run exact,
-//! APPROX and RELAX queries over it.
+//! Quickstart: build a small graph and ontology by hand, open a shared
+//! `Database` over them, and run exact, APPROX and RELAX queries through
+//! prepared statements with per-request options.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use omega::core::{EvalOptions, Omega};
+use std::time::Duration;
+
+use omega::core::{Database, ExecOptions};
 use omega::graph::GraphStore;
 use omega::ontology::Ontology;
 
@@ -46,32 +49,19 @@ fn main() {
         ontology.add_subproperty(p, affiliated).unwrap();
     }
 
-    let omega = Omega::with_options(graph, ontology, EvalOptions::default());
+    // A `Database` freezes the graph into its CSR form and is Send + Sync:
+    // clone the handle into as many threads as you need.
+    let db = Database::new(graph, ontology);
 
     // ------------------------------------------------------------------
-    // 3. Exact regular path queries.
+    // 3. Exact regular path queries. `execute` prepares (parse + compile)
+    //    through the statement cache and collects the answers.
     // ------------------------------------------------------------------
     println!("== exact: who graduated from something located in London? ==");
-    for a in omega
-        .execute("(?X) <- (London, locatedIn-.gradFrom-, ?X)", None)
-        .unwrap()
-    {
-        println!("  {a}");
-    }
-
-    // ------------------------------------------------------------------
-    // 4. APPROX: the user got an edge direction wrong; approximation
-    //    repairs the query and ranks answers by edit distance.
-    // ------------------------------------------------------------------
-    println!("\n== APPROX: (UK, locatedIn-.gradFrom, ?X) — wrong direction on gradFrom ==");
-    let exact = omega
-        .execute("(?X) <- (UK, locatedIn-.locatedIn-.gradFrom, ?X)", None)
-        .unwrap();
-    println!("  exact answers: {}", exact.len());
-    for a in omega
+    for a in db
         .execute(
-            "(?X) <- APPROX (UK, locatedIn-.locatedIn-.gradFrom, ?X)",
-            Some(5),
+            "(?X) <- (London, locatedIn-.gradFrom-, ?X)",
+            &ExecOptions::new(),
         )
         .unwrap()
     {
@@ -79,20 +69,48 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // 5. RELAX: relax `worksAt` to its superproperty `affiliatedWith` and
-    //    a class constant up the hierarchy; answers are ranked by
-    //    relaxation distance.
+    // 4. APPROX: the user got an edge direction wrong; approximation
+    //    repairs the query and ranks answers by edit distance. Preparing
+    //    once compiles the automata once, no matter how often it runs.
     // ------------------------------------------------------------------
-    println!("\n== RELAX: everyone affiliated with Birkbeck ==");
-    for a in omega
-        .execute("(?X) <- RELAX (Birkbeck, affiliatedWith-, ?X)", None)
-        .unwrap()
-    {
+    println!(
+        "\n== APPROX: (UK, locatedIn-.locatedIn-.gradFrom, ?X) — wrong direction on gradFrom =="
+    );
+    let exact = db
+        .execute(
+            "(?X) <- (UK, locatedIn-.locatedIn-.gradFrom, ?X)",
+            &ExecOptions::new(),
+        )
+        .unwrap();
+    println!("  exact answers: {}", exact.len());
+    let approx = db
+        .prepare("(?X) <- APPROX (UK, locatedIn-.locatedIn-.gradFrom, ?X)")
+        .unwrap();
+    // Each request brings its own limit and wall-clock budget.
+    let request = ExecOptions::new()
+        .with_limit(5)
+        .with_timeout(Duration::from_secs(2));
+    for a in approx.execute(&request).unwrap() {
         println!("  {a}");
     }
+
+    // ------------------------------------------------------------------
+    // 5. RELAX: relax `worksAt` to its superproperty `affiliatedWith` and
+    //    a class constant up the hierarchy; answers are ranked by
+    //    relaxation distance. `answers` streams them one by one.
+    // ------------------------------------------------------------------
+    println!("\n== RELAX: everyone affiliated with Birkbeck ==");
+    let relax = db
+        .prepare("(?X) <- RELAX (Birkbeck, affiliatedWith-, ?X)")
+        .unwrap();
+    let mut stream = relax.answers(&ExecOptions::new());
+    while let Some(a) = stream.next_answer().unwrap() {
+        println!("  {a}");
+    }
+    println!("  ({} tuples processed)", stream.stats().tuples_processed);
     println!("\n== RELAX: instances of Student, then of its superclass ==");
-    for a in omega
-        .execute("(?X) <- RELAX (Student, type-, ?X)", None)
+    for a in db
+        .execute("(?X) <- RELAX (Student, type-, ?X)", &ExecOptions::new())
         .unwrap()
     {
         println!("  {a}");

@@ -3,22 +3,23 @@
 //! retrieval, alternation→disjunction) change execution time for the
 //! flexible queries.
 //!
+//! One shared `Database` serves both configurations: the optimisations are
+//! toggled per request through `ExecOptions`, not by rebuilding an engine.
+//!
 //! ```text
 //! cargo run --release --example yago_flexible [scale]
 //! ```
 
 use std::time::Instant;
 
-use omega::core::{EvalOptions, Omega};
+use omega::core::{Database, ExecOptions, OmegaError};
 use omega::datagen::{generate_yago, yago_queries, YagoConfig};
 
-fn timed(omega: &Omega, text: &str, limit: Option<usize>) -> (usize, f64, bool) {
+fn timed(db: &Database, text: &str, request: &ExecOptions) -> (usize, f64, bool) {
     let start = Instant::now();
-    match omega.execute(text, limit) {
+    match db.execute(text, request) {
         Ok(answers) => (answers.len(), start.elapsed().as_secs_f64() * 1e3, false),
-        Err(omega::core::OmegaError::ResourceExhausted { .. }) => {
-            (0, start.elapsed().as_secs_f64() * 1e3, true)
-        }
+        Err(OmegaError::ResourceExhausted { .. }) => (0, start.elapsed().as_secs_f64() * 1e3, true),
         Err(other) => panic!("query failed: {other}"),
     }
 }
@@ -36,22 +37,17 @@ fn main() {
         data.graph.edge_count()
     );
 
+    let db = Database::new(data.graph, data.ontology);
+
     // A memory budget turns the paper's out-of-memory failures into clean
-    // errors (the '?' rows below).
-    let budget = Some(2_000_000);
-    let plain = Omega::with_options(
-        data.graph.clone(),
-        data.ontology.clone(),
-        EvalOptions::default().with_max_tuples(budget),
-    );
-    let optimised = Omega::with_options(
-        data.graph.clone(),
-        data.ontology.clone(),
-        EvalOptions::default()
-            .with_max_tuples(budget)
-            .with_distance_aware(true)
-            .with_disjunction_decomposition(true),
-    );
+    // errors (the '?' rows below). Like the optimisation toggles, it is a
+    // per-request override.
+    let budget = 2_000_000;
+    let plain = ExecOptions::new().with_max_tuples(budget);
+    let optimised = ExecOptions::new()
+        .with_max_tuples(budget)
+        .with_distance_aware(true)
+        .with_disjunction_decomposition(true);
 
     println!(
         "{:<5} {:<8} {:>9} {:>12} {:>12}",
@@ -63,9 +59,16 @@ fn main() {
                 continue;
             }
             let text = spec.with_operator(operator);
-            let limit = if operator.is_empty() { None } else { Some(100) };
-            let (count, plain_ms, plain_oom) = timed(&plain, &text, limit);
-            let (_, opt_ms, opt_oom) = timed(&optimised, &text, limit);
+            let (plain_req, opt_req) = if operator.is_empty() {
+                (plain.clone(), optimised.clone())
+            } else {
+                (
+                    plain.clone().with_limit(100),
+                    optimised.clone().with_limit(100),
+                )
+            };
+            let (count, plain_ms, plain_oom) = timed(&db, &text, &plain_req);
+            let (_, opt_ms, opt_oom) = timed(&db, &text, &opt_req);
             println!(
                 "{:<5} {:<8} {:>9} {:>12} {:>12}",
                 spec.id,

@@ -1,30 +1,41 @@
 //! End-to-end integration tests spanning all crates: data generation →
-//! engine construction → query parsing → ranked evaluation → answers.
+//! database construction → query preparation → ranked evaluation → answers.
+//!
+//! The suite drives the service API (`Database` / `PreparedQuery` /
+//! `ExecOptions`) and keeps a handful of tests on the deprecated `Omega`
+//! shim to pin its compatibility behaviour.
 
-use omega::core::{EvalOptions, Omega, OmegaError};
+#![allow(deprecated)]
+
+use std::time::{Duration, Instant};
+
+use omega::core::{Database, EvalOptions, ExecOptions, Omega, OmegaError};
 use omega::datagen::{
     generate_l4all, generate_yago, l4all_queries, yago_queries, L4AllConfig, YagoConfig,
 };
 
-fn l4all_engine() -> Omega {
+fn l4all_db() -> Database {
     let data = generate_l4all(&L4AllConfig::tiny());
-    Omega::new(data.graph, data.ontology)
+    Database::new(data.graph, data.ontology)
 }
 
-fn yago_engine(options: EvalOptions) -> Omega {
+fn yago_db(options: EvalOptions) -> Database {
     let data = generate_yago(&YagoConfig::tiny());
-    Omega::with_options(data.graph, data.ontology, options)
+    Database::with_options(data.graph, data.ontology, options)
 }
 
 #[test]
 fn every_l4all_query_parses_and_runs_in_all_modes() {
-    let omega = l4all_engine();
+    let db = l4all_db();
     for spec in l4all_queries() {
         for operator in ["", "APPROX", "RELAX"] {
             let text = spec.with_operator(operator);
-            let limit = if operator.is_empty() { None } else { Some(20) };
-            let answers = omega
-                .execute(&text, limit)
+            let mut request = ExecOptions::new();
+            if !operator.is_empty() {
+                request = request.with_limit(20);
+            }
+            let answers = db
+                .execute(&text, &request)
                 .unwrap_or_else(|e| panic!("{} {} failed: {e}", spec.id, operator));
             // Answers must be sorted by distance.
             let distances: Vec<u32> = answers.iter().map(|a| a.distance).collect();
@@ -37,12 +48,15 @@ fn every_l4all_query_parses_and_runs_in_all_modes() {
 
 #[test]
 fn every_yago_query_parses_and_runs_in_all_modes() {
-    let omega = yago_engine(EvalOptions::default().with_max_tuples(Some(500_000)));
+    let db = yago_db(EvalOptions::default().with_max_tuples(Some(500_000)));
     for spec in yago_queries() {
         for operator in ["", "APPROX", "RELAX"] {
             let text = spec.with_operator(operator);
-            let limit = if operator.is_empty() { None } else { Some(20) };
-            match omega.execute(&text, limit) {
+            let mut request = ExecOptions::new();
+            if !operator.is_empty() {
+                request = request.with_limit(20);
+            }
+            match db.execute(&text, &request) {
                 Ok(answers) => {
                     let distances: Vec<u32> = answers.iter().map(|a| a.distance).collect();
                     let mut sorted = distances.clone();
@@ -60,18 +74,15 @@ fn every_yago_query_parses_and_runs_in_all_modes() {
 
 #[test]
 fn approx_and_relax_only_add_answers() {
-    let omega = l4all_engine();
+    let db = l4all_db();
+    let top100 = ExecOptions::new().with_limit(100);
     for spec in l4all_queries() {
         if !spec.flexible_in_study {
             continue;
         }
-        let exact = omega.execute(spec.text, Some(100)).unwrap();
-        let approx = omega
-            .execute(&spec.with_operator("APPROX"), Some(100))
-            .unwrap();
-        let relax = omega
-            .execute(&spec.with_operator("RELAX"), Some(100))
-            .unwrap();
+        let exact = db.execute(spec.text, &top100).unwrap();
+        let approx = db.execute(&spec.with_operator("APPROX"), &top100).unwrap();
+        let relax = db.execute(&spec.with_operator("RELAX"), &top100).unwrap();
         assert!(
             approx.len() >= exact.len().min(100),
             "{}: APPROX returned fewer answers than exact",
@@ -91,15 +102,12 @@ fn approx_and_relax_only_add_answers() {
 
 #[test]
 fn optimisations_preserve_top_k_answer_multisets() {
-    let data = generate_l4all(&L4AllConfig::tiny());
-    let plain = Omega::new(data.graph.clone(), data.ontology.clone());
-    let optimised = Omega::with_options(
-        data.graph.clone(),
-        data.ontology.clone(),
-        EvalOptions::default()
-            .with_distance_aware(true)
-            .with_disjunction_decomposition(true),
-    );
+    // One database; the optimisations are toggled per request.
+    let db = l4all_db();
+    let plain = ExecOptions::new();
+    let optimised = ExecOptions::new()
+        .with_distance_aware(true)
+        .with_disjunction_decomposition(true);
     for spec in l4all_queries() {
         if !spec.flexible_in_study {
             continue;
@@ -107,14 +115,14 @@ fn optimisations_preserve_top_k_answer_multisets() {
         for operator in ["APPROX", "RELAX"] {
             let text = spec.with_operator(operator);
             // Collect *all* answers so the comparison is order-insensitive.
-            let mut a: Vec<_> = plain
-                .execute(&text, None)
+            let mut a: Vec<_> = db
+                .execute(&text, &plain)
                 .unwrap()
                 .into_iter()
                 .map(|ans| (ans.bindings, ans.distance))
                 .collect();
-            let mut b: Vec<_> = optimised
-                .execute(&text, None)
+            let mut b: Vec<_> = db
+                .execute(&text, &optimised)
                 .unwrap()
                 .into_iter()
                 .map(|ans| (ans.bindings, ans.distance))
@@ -130,15 +138,18 @@ fn optimisations_preserve_top_k_answer_multisets() {
 fn yago_figure10_shape_holds() {
     // The qualitative shape of Figure 10 on the synthetic YAGO graph:
     // Q3/Q9 have no exact answers but APPROX recovers plenty.
-    let omega = yago_engine(EvalOptions::default().with_max_tuples(Some(500_000)));
+    let db = yago_db(EvalOptions::default().with_max_tuples(Some(500_000)));
     let queries = yago_queries();
     let q3 = &queries[2];
     let q9 = &queries[8];
     for spec in [q3, q9] {
-        let exact = omega.execute(spec.text, None).unwrap();
+        let exact = db.execute(spec.text, &ExecOptions::new()).unwrap();
         assert!(exact.is_empty(), "{} should have no exact answers", spec.id);
-        let approx = omega
-            .execute(&spec.with_operator("APPROX"), Some(50))
+        let approx = db
+            .execute(
+                &spec.with_operator("APPROX"),
+                &ExecOptions::new().with_limit(50),
+            )
             .unwrap();
         assert!(
             !approx.is_empty(),
@@ -151,11 +162,11 @@ fn yago_figure10_shape_holds() {
 
 #[test]
 fn multi_conjunct_queries_join_across_conjuncts() {
-    let omega = l4all_engine();
-    let answers = omega
+    let db = l4all_db();
+    let answers = db
         .execute(
             "(?E, ?N) <- (Work Episode, type-, ?E), (?E, next, ?N)",
-            None,
+            &ExecOptions::new(),
         )
         .unwrap();
     // every answer's ?E must indeed be a work episode with a successor
@@ -165,23 +176,135 @@ fn multi_conjunct_queries_join_across_conjuncts() {
         assert_eq!(a.distance, 0);
     }
     // joining with an unsatisfiable conjunct yields nothing
-    let none = omega
+    let none = db
         .execute(
             "(?E) <- (Work Episode, type-, ?E), (?E, qualif.level.level, ?Z)",
-            None,
+            &ExecOptions::new(),
         )
         .unwrap();
     assert!(none.is_empty());
 }
 
+/// The acceptance scenario for the service API: one `Database` shared by
+/// four worker threads answers prepared APPROX/RELAX queries concurrently,
+/// with results identical to single-threaded `Omega::execute`.
+#[test]
+fn shared_database_matches_single_threaded_omega() {
+    let data = generate_l4all(&L4AllConfig::tiny());
+    let omega = Omega::new(data.graph.clone(), data.ontology.clone());
+    let db = Database::new(data.graph, data.ontology);
+
+    let mut cases = Vec::new();
+    for spec in l4all_queries() {
+        if !spec.flexible_in_study {
+            continue;
+        }
+        for operator in ["APPROX", "RELAX"] {
+            let text = spec.with_operator(operator);
+            let reference: Vec<_> = omega
+                .execute(&text, Some(50))
+                .unwrap()
+                .into_iter()
+                .map(|a| (a.bindings, a.distance))
+                .collect();
+            cases.push((text, reference));
+        }
+    }
+    assert!(cases.len() >= 8, "enough flexible queries to share around");
+
+    std::thread::scope(|scope| {
+        // Each worker executes every case through the shared cache, so the
+        // same PreparedQuery instances run on all four threads at once.
+        for worker in 0..4 {
+            let db = db.clone();
+            let cases = &cases;
+            scope.spawn(move || {
+                for (text, reference) in cases {
+                    let prepared = db.prepare(text).unwrap();
+                    let got: Vec<_> = prepared
+                        .execute(&ExecOptions::new().with_limit(50))
+                        .unwrap()
+                        .into_iter()
+                        .map(|a| (a.bindings, a.distance))
+                        .collect();
+                    assert_eq!(&got, reference, "worker {worker} diverged on {text}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn zero_deadline_aborts_instead_of_running_to_completion() {
+    let db = l4all_db();
+    let spec = &l4all_queries()[2];
+    let text = spec.with_operator("APPROX");
+    let started = Instant::now();
+    let err = db
+        .execute(&text, &ExecOptions::new().with_timeout(Duration::ZERO))
+        .unwrap_err();
+    assert!(matches!(err, OmegaError::DeadlineExceeded));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline must abort promptly"
+    );
+    // The same query without a deadline still works.
+    assert!(db
+        .execute(&text, &ExecOptions::new().with_limit(10))
+        .is_ok());
+}
+
+#[test]
+fn max_distance_matches_post_filtering() {
+    let db = l4all_db();
+    let spec = &l4all_queries()[2];
+    let text = spec.with_operator("APPROX");
+    let all = db.execute(&text, &ExecOptions::new()).unwrap();
+    let capped = db
+        .execute(&text, &ExecOptions::new().with_max_distance(1))
+        .unwrap();
+    let expected: Vec<_> = all.iter().filter(|a| a.distance <= 1).cloned().collect();
+    assert_eq!(capped, expected);
+}
+
+#[test]
+fn prepared_statement_cache_is_shared_between_clones() {
+    let db = l4all_db();
+    let clone = db.clone();
+    let text = l4all_queries()[0].text;
+    let first = db.prepare(text).unwrap();
+    let second = clone.prepare(text).unwrap();
+    assert!(first.shares_plans_with(&second));
+    assert_eq!(db.prepared_cache_len(), 1);
+}
+
+#[test]
+fn omega_shim_still_behaves_like_the_database() {
+    // The deprecated facade delegates to the same machinery: answers agree.
+    let data = generate_l4all(&L4AllConfig::tiny());
+    let omega = Omega::new(data.graph.clone(), data.ontology.clone());
+    let db = Database::new(data.graph, data.ontology);
+    let spec = &l4all_queries()[9];
+    for operator in ["", "APPROX", "RELAX"] {
+        let text = spec.with_operator(operator);
+        let via_shim = omega.execute(&text, Some(30)).unwrap();
+        let via_db = db
+            .execute(&text, &ExecOptions::new().with_limit(30))
+            .unwrap();
+        assert_eq!(via_shim, via_db, "{operator} diverged");
+    }
+}
+
 #[test]
 fn facade_reexports_are_usable() {
-    // The facade crate exposes the pieces needed to build an engine from
+    // The facade crate exposes the pieces needed to build a database from
     // scratch without referencing the member crates directly.
     let mut graph = omega::GraphStore::new();
     graph.add_triple("a", "p", "b");
-    let engine = omega::Omega::new(graph, omega::Ontology::new());
-    let answers = engine.execute("(?X) <- (a, p, ?X)", None).unwrap();
+    let db = omega::Database::new(graph, omega::Ontology::new());
+    let answers = db
+        .execute("(?X) <- (a, p, ?X)", &omega::ExecOptions::new())
+        .unwrap();
     assert_eq!(answers.len(), 1);
     assert_eq!(answers[0].get("X"), Some("b"));
 }

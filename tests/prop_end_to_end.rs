@@ -1,8 +1,15 @@
 //! Cross-crate property tests: on random small graphs, the ranked evaluator,
-//! the BFS baseline and the optimised drivers must agree, and the flexible
-//! operators must behave monotonically.
+//! the BFS baseline and the optimised drivers must agree, the flexible
+//! operators must behave monotonically, and the prepared/service API must be
+//! indistinguishable from one-shot execution — including under concurrency.
 
-use omega::core::{parse_query, BaselineEvaluator, EvalOptions, Omega};
+// `Omega` is kept as a deprecated shim; these tests deliberately compare the
+// service API against it.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use omega::core::{parse_query, BaselineEvaluator, Database, EvalOptions, ExecOptions, Omega};
 use omega::graph::GraphStore;
 use omega::ontology::Ontology;
 use proptest::prelude::*;
@@ -63,11 +70,11 @@ proptest! {
         expected.sort_unstable();
         expected.dedup();
 
-        let engine = Omega::with_options(g.clone(), o.clone(), options);
+        let db = Database::with_options(g.clone(), o.clone(), options);
+        let prepared = db.prepare(QUERIES[qi]).unwrap();
         let mut stream_answers = Vec::new();
-        let parsed = parse_query(QUERIES[qi]).unwrap();
-        let mut stream = engine.stream(&parsed).unwrap();
-        while let Some(a) = stream.next().unwrap() {
+        for answer in prepared.answers(&ExecOptions::new()) {
+            let a = answer.unwrap();
             if a.distance == 0 {
                 let x = g.node_by_label(a.get("X").unwrap()).unwrap();
                 let y = g.node_by_label(a.get("Y").unwrap()).unwrap();
@@ -84,16 +91,74 @@ proptest! {
     #[test]
     fn approx_is_a_sorted_superset(triples in graph_strategy(), qi in 0usize..QUERIES.len()) {
         let (g, o) = build(&triples);
-        let engine = Omega::new(g, o);
-        let exact = engine.execute(QUERIES[qi], None).unwrap();
+        let db = Database::new(g, o);
+        let exact = db.execute(QUERIES[qi], &ExecOptions::new()).unwrap();
         let approx_text = QUERIES[qi].replacen("<- (", "<- APPROX (", 1);
-        let approx = engine.execute(&approx_text, Some(200)).unwrap();
+        let approx = db
+            .execute(&approx_text, &ExecOptions::new().with_limit(200))
+            .unwrap();
         let distances: Vec<u32> = approx.iter().map(|a| a.distance).collect();
         let mut sorted = distances.clone();
         sorted.sort_unstable();
         prop_assert_eq!(&distances, &sorted);
         let zero = approx.iter().filter(|a| a.distance == 0).count();
         prop_assert_eq!(zero, exact.len().min(200));
+    }
+
+    /// A prepared query executed twice sequentially — and concurrently from
+    /// four threads sharing one `Database` — yields exactly the answers and
+    /// distances (including their order) of a one-shot `Omega::execute`.
+    #[test]
+    fn prepared_execution_matches_one_shot(triples in graph_strategy(), qi in 0usize..QUERIES.len(), flex in 0usize..2) {
+        let (g, o) = build(&triples);
+        let operator = ["APPROX ", "RELAX "][flex];
+        let text = QUERIES[qi].replacen("<- (", &format!("<- {operator}("), 1);
+
+        let omega = Omega::new(g.clone(), o.clone());
+        let reference: Vec<_> = omega
+            .execute(&text, None)
+            .unwrap()
+            .into_iter()
+            .map(|a| (a.bindings, a.distance))
+            .collect();
+
+        let db = Database::new(g, o);
+        let prepared = db.prepare(&text).unwrap();
+        for _ in 0..2 {
+            let got: Vec<_> = prepared
+                .execute(&ExecOptions::new())
+                .unwrap()
+                .into_iter()
+                .map(|a| (a.bindings, a.distance))
+                .collect();
+            prop_assert_eq!(&got, &reference);
+        }
+
+        let mut concurrent = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let db = db.clone();
+                    let text = text.clone();
+                    scope.spawn(move || {
+                        // Each worker goes through the shared cache: all four
+                        // end up executing the same compiled plans.
+                        let prepared = db.prepare(&text).unwrap();
+                        prepared.execute(&ExecOptions::new()).unwrap()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                concurrent.push(handle.join().unwrap());
+            }
+        });
+        for answers in concurrent {
+            let got: Vec<_> = answers
+                .into_iter()
+                .map(|a| (a.bindings, a.distance))
+                .collect();
+            prop_assert_eq!(&got, &reference);
+        }
     }
 
     /// The frozen CSR backend is indistinguishable from the hash-map builder
@@ -138,11 +203,17 @@ proptest! {
         for operator in ["", "APPROX ", "RELAX "] {
             let text = QUERIES[qi].replacen("<- (", &format!("<- {operator}("), 1);
             let query = parse_query(&text).unwrap();
-            let options = EvalOptions::default();
+            let options = Arc::new(EvalOptions::default());
             let answers_on = |g: &omega::graph::GraphStore| {
-                let plan = omega::core::eval::compile_conjunct(&query.conjuncts[0], g, &o, &options)
-                    .unwrap();
-                let mut eval = ConjunctEvaluator::new(plan, g, &o, options.clone(), None);
+                let plan = omega::core::eval::compile_conjunct(
+                    &query.conjuncts[0],
+                    g,
+                    &o,
+                    &options,
+                )
+                .unwrap();
+                let mut eval =
+                    ConjunctEvaluator::new(Arc::new(plan), g, &o, Arc::clone(&options), None);
                 let mut v: Vec<_> = eval
                     .collect(Some(500))
                     .unwrap()
@@ -160,23 +231,17 @@ proptest! {
         }
     }
 
-    /// The distance-aware and disjunction drivers return the same answer
-    /// multiset as plain evaluation.
+    /// The distance-aware and disjunction drivers — toggled per request
+    /// through `ExecOptions` — return the same answer multiset as plain
+    /// evaluation on one shared database.
     #[test]
     fn optimised_drivers_agree_with_plain(triples in graph_strategy(), qi in 0usize..QUERIES.len()) {
         let (g, o) = build(&triples);
-        let plain = Omega::new(g.clone(), o.clone());
-        let optimised = Omega::with_options(
-            g,
-            o,
-            EvalOptions::default()
-                .with_distance_aware(true)
-                .with_disjunction_decomposition(true),
-        );
+        let db = Database::new(g, o);
         let approx_text = QUERIES[qi].replacen("<- (", "<- APPROX (", 1);
-        let collect = |engine: &Omega| {
-            let mut v: Vec<_> = engine
-                .execute(&approx_text, None)
+        let collect = |request: &ExecOptions| {
+            let mut v: Vec<_> = db
+                .execute(&approx_text, request)
                 .unwrap()
                 .into_iter()
                 .map(|a| (a.bindings, a.distance))
@@ -184,6 +249,12 @@ proptest! {
             v.sort();
             v
         };
-        prop_assert_eq!(collect(&plain), collect(&optimised));
+        let plain = collect(&ExecOptions::new());
+        let optimised = collect(
+            &ExecOptions::new()
+                .with_distance_aware(true)
+                .with_disjunction_decomposition(true),
+        );
+        prop_assert_eq!(plain, optimised);
     }
 }
