@@ -8,7 +8,7 @@
 //!             [--max-scale L1|L2|L3|L4] [--json PATH]
 //!
 //! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance
-//!         opt-disjunction prepared baseline bench all
+//!         opt-disjunction prepared parallel baseline bench all
 //! ```
 //!
 //! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
@@ -63,7 +63,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
-                     opt-distance opt-disjunction prepared baseline bench all] \
+                     opt-distance opt-disjunction prepared parallel baseline bench all] \
                      [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--json PATH]"
                 );
                 return;
@@ -95,8 +95,10 @@ fn main() {
     let need_l4all =
         wants("fig5") || wants("fig6") || wants("fig7") || wants("fig8") || wants("bench");
     let need_yago = wants("fig10") || wants("fig11") || wants("bench");
+    let need_multi = wants("parallel") || wants("bench");
     let l4all_rows = need_l4all.then(|| l4all_study(&config, &options));
     let yago_rows = need_yago.then(|| yago_study(&config, &options));
+    let multi_rows = need_multi.then(|| parallel_study(&config, &options));
     if let Some(rows) = &l4all_rows {
         if wants("fig5") {
             println!("{}", figure5(rows));
@@ -119,6 +121,11 @@ fn main() {
             println!("{}", figure11(rows));
         }
     }
+    if let Some(rows) = &multi_rows {
+        if wants("parallel") {
+            println!("{}", parallel_comparison(rows));
+        }
+    }
     if wants("bench") {
         let name = json_path
             .file_stem()
@@ -131,6 +138,7 @@ fn main() {
             &config,
             l4all_rows.as_deref().unwrap_or(&[]),
             yago_rows.as_deref().unwrap_or(&[]),
+            multi_rows.as_deref().unwrap_or(&[]),
         )
         .unwrap_or_else(|e| panic!("failed to write {}: {e}", json_path.display()));
         println!("wrote {}\n", json_path.display());

@@ -22,8 +22,9 @@ use std::time::{Duration, Instant};
 
 use omega_core::{Database, EvalOptions, EvalStats, ExecOptions, OmegaError, PreparedQuery};
 use omega_datagen::{
-    generate_l4all, generate_yago, l4all_queries, yago_queries, Dataset, L4AllConfig, L4AllScale,
-    QuerySpec, YagoConfig,
+    generate_l4all, generate_yago, l4all_multi_conjunct_queries, l4all_queries,
+    yago_multi_conjunct_queries, yago_queries, Dataset, L4AllConfig, L4AllScale, QuerySpec,
+    YagoConfig,
 };
 use omega_graph::GraphStats;
 use omega_ontology::HierarchyStats;
@@ -136,20 +137,32 @@ pub fn yago_dataset(scale: f64) -> Dataset {
 /// [`omega_core::Answers`] handle — so the evaluator's counters are
 /// available afterwards and repeated runs skip recompilation.
 pub fn run_query(db: &Database, id: &str, operator: &str, text: &str) -> QueryRun {
+    let mut request = ExecOptions::new();
+    if !operator.is_empty() {
+        request = request.with_limit(TOP_K);
+    }
+    run_query_with(db, id, operator, text, &request)
+}
+
+/// [`run_query`] with an explicit request (limit, deadline, parallelism
+/// overrides, …).
+pub fn run_query_with(
+    db: &Database,
+    id: &str,
+    operator: &str,
+    text: &str,
+    request: &ExecOptions,
+) -> QueryRun {
     let start = Instant::now();
     let mut distances = BTreeMap::new();
     let mut exhausted = false;
     let mut answers = 0usize;
 
-    let mut request = ExecOptions::new();
-    if !operator.is_empty() {
-        request = request.with_limit(TOP_K);
-    }
     let prepared = match db.prepare(text) {
         Ok(p) => p,
         Err(e) => panic!("query {id} failed: {e}"),
     };
-    let mut stream = prepared.answers(&request);
+    let mut stream = prepared.answers(request);
     loop {
         match stream.next_answer() {
             Ok(Some(a)) => {
@@ -514,6 +527,96 @@ pub fn prepared_amortization(config: &RunConfig) -> String {
             format_duration(one_shot),
             format_duration(reused),
             one_shot.as_secs_f64() / reused.as_secs_f64().max(1e-9)
+        ));
+    }
+    out
+}
+
+/// Runs the multi-conjunct query sets sequentially (`seq`) and with
+/// parallel conjunct workers (`par`), on the largest configured L4All scale
+/// and the YAGO graph. Both the exact and the APPROX variants (the operator
+/// applied to *every* conjunct) fetch the top [`TOP_K`] answers — the
+/// interactive workload the paper's methodology models; full exact drains
+/// of the rank join are quadratic in the buffered streams and not
+/// representative. Each row is tagged with its mode so the JSON report
+/// keeps both sides.
+pub fn parallel_study(config: &RunConfig, options: &EvalOptions) -> Vec<(String, QueryRun)> {
+    let l4all = l4all_dataset(config.scales().last().copied().unwrap_or(L4AllScale::L1));
+    let yago = yago_dataset(config.yago_scale);
+    let cases: Vec<(&Dataset, QuerySpec)> = l4all_multi_conjunct_queries()
+        .into_iter()
+        .map(|spec| (&l4all, spec))
+        .chain(
+            yago_multi_conjunct_queries()
+                .into_iter()
+                .map(|spec| (&yago, spec)),
+        )
+        .collect();
+    let mut rows = Vec::new();
+    for (mode, parallel) in [("seq", false), ("par", true)] {
+        let l4all_db = engine_for(&l4all, options.clone().with_parallel_conjuncts(parallel));
+        let yago_db = engine_for(&yago, options.clone().with_parallel_conjuncts(parallel));
+        for (dataset, spec) in &cases {
+            let db = if std::ptr::eq(*dataset, &l4all) {
+                &l4all_db
+            } else {
+                &yago_db
+            };
+            for operator in ["", "APPROX"] {
+                let text = spec.with_operator_everywhere(operator);
+                // Top-K in *both* modes: full exact drains of the rank join
+                // are quadratic in the buffered streams and not what the
+                // interactive workload looks like.
+                let request = ExecOptions::new().with_limit(TOP_K);
+                rows.push((
+                    mode.to_owned(),
+                    run_query_with(db, spec.id, operator, &text, &request),
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Formats the [`parallel_study`] rows as a sequential-vs-parallel
+/// comparison table, checking that both modes returned the same number of
+/// answers (they must: parallel evaluation is answer-identical).
+pub fn parallel_comparison(rows: &[(String, QueryRun)]) -> String {
+    let mut out = String::from(
+        "Parallel conjunct evaluation: multi-conjunct queries, sequential vs parallel (ms)\n",
+    );
+    out.push_str(&format!(
+        "{:<6} {:<8} {:>10} {:>10} {:>9} {:>9}\n",
+        "Query", "Mode", "seq", "par", "speed-up", "answers"
+    ));
+    let find = |mode: &str, id: &str, operator: &str| {
+        rows.iter()
+            .find(|(m, r)| m == mode && r.id == id && r.operator == operator)
+            .map(|(_, r)| r)
+    };
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for (_, run) in rows {
+        let key = (run.id.as_str(), run.operator.as_str());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let (Some(seq), Some(par)) = (find("seq", key.0, key.1), find("par", key.0, key.1)) else {
+            continue;
+        };
+        let answers = if seq.answers == par.answers {
+            seq.answers.to_string()
+        } else {
+            format!("MISMATCH {}≠{}", seq.answers, par.answers)
+        };
+        out.push_str(&format!(
+            "{:<6} {:<8} {:>10} {:>10} {:>8.2}x {:>9}\n",
+            seq.id,
+            seq.operator,
+            format_duration(seq.elapsed),
+            format_duration(par.elapsed),
+            seq.elapsed.as_secs_f64() / par.elapsed.as_secs_f64().max(1e-9),
+            answers,
         ));
     }
     out

@@ -80,11 +80,16 @@ fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
 }
 
 /// Serialises an experiment run to the `BENCH_N.json` structure.
+///
+/// `multi_rows` holds the multi-conjunct parallel study: the `scale` slot of
+/// those entries carries the evaluation mode (`"seq"` / `"par"`) instead of
+/// a graph scale.
 pub fn bench_json(
     name: &str,
     config: &RunConfig,
     l4all_rows: &[(String, QueryRun)],
     yago_rows: &[QueryRun],
+    multi_rows: &[(String, QueryRun)],
 ) -> String {
     let mut queries: Vec<String> = Vec::new();
     for (scale, run) in l4all_rows {
@@ -92,6 +97,9 @@ pub fn bench_json(
     }
     for run in yago_rows {
         queries.push(query_json("yago", "-", run));
+    }
+    for (mode, run) in multi_rows {
+        queries.push(query_json("multi", mode, run));
     }
     format!(
         "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {} }},\n  \"queries\": [\n    {}\n  ]\n}}\n",
@@ -109,9 +117,10 @@ pub fn write_bench_json(
     config: &RunConfig,
     l4all_rows: &[(String, QueryRun)],
     yago_rows: &[QueryRun],
+    multi_rows: &[(String, QueryRun)],
 ) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
-    file.write_all(bench_json(name, config, l4all_rows, yago_rows).as_bytes())
+    file.write_all(bench_json(name, config, l4all_rows, yago_rows, multi_rows).as_bytes())
 }
 
 #[cfg(test)]
@@ -143,15 +152,24 @@ mod tests {
     #[test]
     fn report_shape_is_stable() {
         let config = RunConfig::quick();
-        let json = bench_json("BENCH_1", &config, &[("L1".into(), run())], &[run()]);
+        let json = bench_json(
+            "BENCH_1",
+            &config,
+            &[("L1".into(), run())],
+            &[run()],
+            &[("seq".into(), run()), ("par".into(), run())],
+        );
         assert!(json.contains("\"bench\": \"BENCH_1\""));
         assert!(json.contains("\"suite\": \"l4all\""));
         assert!(json.contains("\"suite\": \"yago\""));
+        assert!(json.contains("\"suite\": \"multi\""));
+        assert!(json.contains("\"scale\": \"seq\""));
+        assert!(json.contains("\"scale\": \"par\""));
         assert!(json.contains("\"elapsed_ms\": 5.0000"));
         assert!(json.contains("\"neighbour_lookups\": 7"));
         assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
-        // Two query entries.
-        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 2);
+        // Four query entries.
+        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 4);
     }
 
     #[test]

@@ -10,8 +10,6 @@
 
 #![allow(deprecated)]
 
-use std::sync::Arc;
-
 use omega_graph::GraphStore;
 use omega_ontology::Ontology;
 
@@ -113,9 +111,8 @@ impl Omega {
     /// runs.
     pub fn stream(&self, query: &Query) -> Result<QueryStream<'_>> {
         let prepared = compile_prepared(query, self.db.graph(), self.db.ontology(), &self.options)?;
-        let options = Arc::new(self.options.clone());
         Ok(QueryStream {
-            inner: prepared.answers(self.db.graph(), self.db.ontology(), options, None),
+            inner: prepared.answers(self.db.data(), self.db.pool(), self.options.clone(), None),
         })
     }
 }

@@ -34,6 +34,13 @@ pub enum OmegaError {
     /// [`crate::service::ExecOptions`]; answers produced before the deadline
     /// have already been yielded by the stream.
     DeadlineExceeded,
+    /// The execution's shared [`crate::eval::CancelToken`] was triggered —
+    /// normally because the answer stream finished, failed or was dropped
+    /// while parallel conjunct workers were still producing. Consumers never
+    /// observe this variant through [`crate::service::Answers`]; it exists so
+    /// a worker abandoning its stream mid-flight is distinguishable from a
+    /// genuine evaluation failure.
+    Cancelled,
 }
 
 impl fmt::Display for OmegaError {
@@ -56,6 +63,9 @@ impl fmt::Display for OmegaError {
             ),
             OmegaError::DeadlineExceeded => {
                 write!(f, "evaluation exceeded the request deadline")
+            }
+            OmegaError::Cancelled => {
+                write!(f, "evaluation was cancelled")
             }
         }
     }

@@ -1,0 +1,106 @@
+//! Cooperative cancellation for evaluator loops and conjunct workers.
+//!
+//! One [`CancelToken`] is created per query execution and shared — through
+//! [`crate::eval::EvalOptions`] — by every evaluator (sequential or on a
+//! worker thread) taking part in that execution. The evaluators poll it at
+//! the same cadence as the wall-clock deadline check; the answer stream
+//! cancels it when the execution finishes, fails or is dropped, which is
+//! what lets parallel conjunct workers blocked deep inside a traversal (or
+//! on a full channel) exit promptly instead of running to completion for a
+//! consumer that no longer exists.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag.
+///
+/// Cloning shares the flag (an `Arc` bump); equality is identity, so two
+/// tokens compare equal exactly when cancelling one cancels the other.
+///
+/// A token can be derived from a parent with [`CancelToken::child`]: the
+/// child observes the parent's cancellation but cancelling the child leaves
+/// the parent untouched. The service layer uses this to respect a
+/// caller-installed base token as an external kill switch while still
+/// cancelling each execution's own token when its stream finishes — a base
+/// token must never be poisoned by the first query that completes.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Creates a token that is also cancelled whenever `self` is, while its
+    /// own [`CancelToken::cancel`] does not propagate back to `self`.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
+    }
+
+    /// Requests cancellation (of this token and its children, not of any
+    /// parent). Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested on this token or an ancestor.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+            || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.cancelled, &other.cancelled)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_between_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let token = CancelToken::new();
+        assert_eq!(token, token.clone());
+        assert_ne!(token, CancelToken::new());
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        // Cancelling the child leaves the parent usable.
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+        // A fresh child is independent of the first…
+        let second = parent.child();
+        assert!(!second.is_cancelled());
+        // …but cancelling the parent reaches every child.
+        parent.cancel();
+        assert!(second.is_cancelled());
+    }
+}

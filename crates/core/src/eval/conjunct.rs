@@ -182,14 +182,24 @@ impl<'a> ConjunctEvaluator<'a> {
     /// order, or `Ok(None)` when evaluation is complete.
     pub fn get_next(&mut self) -> Result<Option<ConjunctAnswer>> {
         loop {
-            // Deadline check, paced to one clock read per 64 tuples; the
-            // first iteration always checks so a 0-ms deadline fails fast.
-            if let Some(deadline) = self.options.deadline {
-                if self.ticks & 63 == 0 && Instant::now() >= deadline {
-                    return Err(OmegaError::DeadlineExceeded);
+            // Deadline and cancellation checks, paced to one clock read /
+            // atomic load per 64 tuples; the first iteration always checks so
+            // a 0-ms deadline (or pre-cancelled token) fails fast. This
+            // cadence is the bound on how long a worker deep inside a
+            // traversal can outlive its execution.
+            if self.ticks & 63 == 0 {
+                if let Some(deadline) = self.options.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(OmegaError::DeadlineExceeded);
+                    }
                 }
-                self.ticks = self.ticks.wrapping_add(1);
+                if let Some(cancel) = &self.options.cancel {
+                    if cancel.is_cancelled() {
+                        return Err(OmegaError::Cancelled);
+                    }
+                }
             }
+            self.ticks = self.ticks.wrapping_add(1);
             // Incrementally add the next batch of initial nodes when the
             // distance-0 frontier has been consumed (lines 15–17).
             if !self.dr.has_distance_zero() && self.feed.has_more() {

@@ -3,12 +3,14 @@
 //! ranked join and the exact baseline evaluator.
 
 pub mod baseline;
+pub mod cancel;
 pub mod conjunct;
 pub mod disjunction;
 pub mod distance_aware;
 pub mod dr;
 pub mod initial;
 pub mod options;
+pub mod parallel;
 pub mod plan;
 pub mod rank_join;
 pub mod stats;
@@ -17,10 +19,12 @@ pub mod tuple;
 pub mod visited;
 
 pub use baseline::BaselineEvaluator;
+pub use cancel::CancelToken;
 pub use conjunct::{evaluate_conjunct, ConjunctEvaluator};
 pub use disjunction::{compile_branches, DisjunctionEvaluator};
 pub use distance_aware::DistanceAwareEvaluator;
 pub use options::EvalOptions;
+pub use parallel::{live_parallel_workers, ParallelStream, WorkerPool};
 pub use plan::{compile_conjunct, ConjunctPlan, SeedSpec};
 pub use rank_join::RankJoin;
 pub use stats::EvalStats;

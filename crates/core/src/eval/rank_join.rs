@@ -14,6 +14,16 @@
 //! — no string hashing, cloning or re-sorting per attempt (which is what the
 //! previous `Vec<(String, NodeId)>` representation paid on every buffered
 //! combination).
+//!
+//! The join is deliberately *deterministic in its inputs' contents*, never
+//! in their timing: `pull_once` picks the live stream with the smallest
+//! last-seen distance (first such stream on ties), and candidate emission
+//! breaks distance ties on the slot bindings. Parallel conjunct evaluation
+//! ([`crate::eval::parallel`]) exploits exactly this contract — it swaps
+//! each input for a channel-fed [`AnswerStream`] produced on a worker
+//! thread, and because each stream's *content and order* are unchanged, the
+//! join's output sequence is bit-identical to sequential evaluation no
+//! matter how the workers are scheduled.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -87,8 +87,9 @@ pub use answer::{Answer, ConjunctAnswer};
 pub use engine::{Omega, QueryStream};
 pub use error::{OmegaError, Result};
 pub use eval::{
-    AnswerStream, BaselineEvaluator, ConjunctEvaluator, DisjunctionEvaluator,
-    DistanceAwareEvaluator, EvalOptions, EvalStats, RankJoin,
+    live_parallel_workers, AnswerStream, BaselineEvaluator, CancelToken, ConjunctEvaluator,
+    DisjunctionEvaluator, DistanceAwareEvaluator, EvalOptions, EvalStats, ParallelStream, RankJoin,
+    WorkerPool,
 };
 pub use query::{parse_query, Conjunct, Query, QueryMode, Term};
 pub use service::{conjunct_variables, Answers, Database, ExecOptions, PreparedQuery};

@@ -21,6 +21,45 @@
 //!   ranked answer sequence, carrying [`EvalStats`] and enforcing the
 //!   request's limit, deadline and distance ceiling.
 //!
+//! ## Parallel conjunct evaluation
+//!
+//! Multi-conjunct queries rank-join independent per-conjunct streams, so
+//! those streams can be produced on worker threads while the join consumes
+//! them on the caller's thread. Enable it per request with
+//! [`ExecOptions::with_parallel_conjuncts`] (or database-wide via
+//! [`EvalOptions::with_parallel_conjuncts`]); workers come from a small
+//! pool shared by every clone of the [`Database`]. The guarantees:
+//!
+//! * **Answer-identical**: the same tuples, in the same rank order, with
+//!   the same deterministic tie-breaking — parallelism changes wall-clock
+//!   behaviour only. Errors (`ResourceExhausted`, `DeadlineExceeded`)
+//!   surface at the same stream positions.
+//! * **Prompt cancellation**: each execution carries a shared
+//!   [`crate::eval::CancelToken`]; deadlines, `max_tuples`, limits and
+//!   dropping the [`Answers`] stream all cancel outstanding workers within
+//!   the evaluators' check interval, and the stream joins its workers so no
+//!   thread outlives it.
+//! * **Merged statistics**: [`Answers::stats`] aggregates worker counters;
+//!   on fully drained executions it equals the sequential counts exactly.
+//!
+//! ```
+//! use omega_core::{Database, ExecOptions};
+//! use omega_graph::GraphStore;
+//! use omega_ontology::Ontology;
+//!
+//! let mut graph = GraphStore::new();
+//! graph.add_triple("alice", "knows", "bob");
+//! graph.add_triple("bob", "worksAt", "acme");
+//! let db = Database::new(graph, Ontology::new());
+//! let prepared = db.prepare("(?X, ?W) <- (?X, knows, ?Y), (?Y, worksAt, ?W)").unwrap();
+//!
+//! let sequential = prepared.execute(&ExecOptions::new()).unwrap();
+//! let parallel = prepared
+//!     .execute(&ExecOptions::new().with_parallel_conjuncts(true))
+//!     .unwrap();
+//! assert_eq!(sequential, parallel);
+//! ```
+//!
 //! ```
 //! use omega_core::{Database, ExecOptions};
 //! use omega_graph::GraphStore;
@@ -53,9 +92,9 @@ use omega_ontology::Ontology;
 
 use crate::answer::Answer;
 use crate::error::{OmegaError, Result};
-use crate::eval::conjunct::ConjunctEvaluator;
-use crate::eval::disjunction::{compile_branches, DisjunctionEvaluator};
-use crate::eval::distance_aware::DistanceAwareEvaluator;
+use crate::eval::cancel::CancelToken;
+use crate::eval::disjunction::compile_branches;
+use crate::eval::parallel::{ParallelStream, StreamPlan, WorkerPool};
 use crate::eval::plan::{compile_conjunct, ConjunctPlan};
 use crate::eval::rank_join::{JoinInput, RankJoin};
 use crate::eval::{AnswerStream, EvalOptions, EvalStats};
@@ -77,6 +116,9 @@ struct DbInner {
     data: Arc<GraphData>,
     options: Arc<EvalOptions>,
     cache: Mutex<PreparedCache>,
+    /// Shared conjunct worker pool: parallel executions reuse parked threads
+    /// instead of spawning per conjunct.
+    pool: Arc<WorkerPool>,
 }
 
 /// A shared, thread-safe handle over one graph + ontology.
@@ -111,6 +153,7 @@ impl Database {
                 data: Arc::new(GraphData { graph, ontology }),
                 options: Arc::new(options),
                 cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
+                pool: WorkerPool::with_default_size(),
             }),
         }
     }
@@ -124,6 +167,7 @@ impl Database {
                 data: Arc::clone(&self.inner.data),
                 options: Arc::new(options),
                 cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
+                pool: Arc::clone(&self.inner.pool),
             }),
         }
     }
@@ -141,6 +185,17 @@ impl Database {
     /// The base evaluation options prepared queries compile against.
     pub fn options(&self) -> &EvalOptions {
         &self.inner.options
+    }
+
+    /// The shared storage handle (graph + ontology), for execution paths
+    /// that hand clones to conjunct worker threads.
+    pub(crate) fn data(&self) -> &Arc<GraphData> {
+        &self.inner.data
+    }
+
+    /// The shared conjunct worker pool.
+    pub(crate) fn pool(&self) -> &Arc<WorkerPool> {
+        &self.inner.pool
     }
 
     /// Parses, validates and compiles `text` into a [`PreparedQuery`],
@@ -175,6 +230,7 @@ impl Database {
         Ok(PreparedQuery {
             data: Arc::clone(&self.inner.data),
             base: Arc::clone(&self.inner.options),
+            pool: Arc::clone(&self.inner.pool),
             inner: Arc::new(inner),
         })
     }
@@ -280,23 +336,60 @@ pub(crate) fn compile_prepared(
 
 impl PreparedInner {
     /// Builds the ranked answer stream for one execution.
+    ///
+    /// Every execution gets a fresh shared [`CancelToken`] (unless the
+    /// caller installed one in `options`): the conjunct evaluators —
+    /// sequential or on worker threads — poll it, and the returned
+    /// [`Answers`] triggers it when the stream finishes, fails or is
+    /// dropped, so no conjunct worker outlives its execution.
+    ///
+    /// With `parallel_conjuncts` on and more than one conjunct, up to
+    /// `parallel_workers` conjuncts (all of them when `0`) are evaluated on
+    /// worker threads feeding bounded channels; the ranked join consumes
+    /// those channels on the caller's thread in exactly the sequential
+    /// order, so the answer sequence is bit-identical either way.
     pub(crate) fn answers<'a>(
         &self,
-        graph: &'a GraphStore,
-        ontology: &'a Ontology,
-        options: Arc<EvalOptions>,
+        data: &'a Arc<GraphData>,
+        pool: &Arc<WorkerPool>,
+        mut options: EvalOptions,
         limit: Option<usize>,
     ) -> Answers<'a> {
+        // Every execution gets its own token; a caller-installed base token
+        // becomes the parent (an external kill switch), so finishing this
+        // execution never poisons the base options for later queries.
+        let cancel = match &options.cancel {
+            Some(external) => external.child(),
+            None => CancelToken::new(),
+        };
+        options.cancel = Some(cancel.clone());
+        let options = Arc::new(options);
+        let graph = &data.graph;
+        let ontology = &data.ontology;
+        let parallel = options.parallel_conjuncts && self.conjuncts.len() > 1;
+        let worker_budget = if options.parallel_workers == 0 {
+            self.conjuncts.len()
+        } else {
+            options.parallel_workers
+        };
         let inputs = self
             .conjuncts
             .iter()
             .enumerate()
             .map(|(i, pc)| {
-                JoinInput::new(
-                    build_stream(pc, &self.query.conjuncts[i], graph, ontology, &options),
-                    pc.subject_var.clone(),
-                    pc.object_var.clone(),
-                )
+                let plan = stream_plan(pc, &self.query.conjuncts[i], graph, ontology, &options);
+                let stream: Box<dyn AnswerStream + 'a> = if parallel && i < worker_budget {
+                    match ParallelStream::spawn(plan, Arc::clone(data), Arc::clone(&options), pool)
+                    {
+                        Ok(stream) => Box::new(stream),
+                        // Spawn failure (thread exhaustion): evaluate this
+                        // conjunct inline — same answers, no parallelism.
+                        Err(plan) => plan.materialize(graph, ontology, Arc::clone(&options)),
+                    }
+                } else {
+                    plan.materialize(graph, ontology, Arc::clone(&options))
+                };
+                JoinInput::new(stream, pc.subject_var.clone(), pc.object_var.clone())
             })
             .collect();
         let join = RankJoin::new(inputs);
@@ -322,19 +415,23 @@ impl PreparedInner {
             yielded: 0,
             max_distance: options.max_distance,
             deadline: options.deadline,
+            cancel,
             finished: false,
         }
     }
 }
 
-/// Chooses the evaluator for one conjunct according to the request options.
-fn build_stream<'a>(
+/// Chooses the evaluator recipe for one conjunct according to the request
+/// options. Selection (and branch-plan compilation/caching) always happens
+/// on the caller's thread; the returned [`StreamPlan`] is materialised
+/// either inline or inside a conjunct worker.
+fn stream_plan(
     pc: &PreparedConjunct,
     conjunct: &crate::query::ast::Conjunct,
-    graph: &'a GraphStore,
-    ontology: &'a Ontology,
+    graph: &GraphStore,
+    ontology: &Ontology,
     options: &Arc<EvalOptions>,
-) -> Box<dyn AnswerStream + 'a> {
+) -> StreamPlan {
     if options.disjunction_decomposition && pc.mode == QueryMode::Approx {
         // Branch plans compile on first use and are cached for every later
         // execution. A compile failure cannot happen once the main plan
@@ -351,29 +448,13 @@ fn build_stream<'a>(
             }
         });
         if let Some(branches) = branches {
-            return Box::new(DisjunctionEvaluator::from_plans(
-                branches.clone(),
-                graph,
-                ontology,
-                Arc::clone(options),
-            ));
+            return StreamPlan::Disjunction(branches.clone());
         }
     }
     if options.distance_aware && pc.mode != QueryMode::Exact {
-        return Box::new(DistanceAwareEvaluator::new(
-            Arc::clone(&pc.plan),
-            graph,
-            ontology,
-            Arc::clone(options),
-        ));
+        return StreamPlan::DistanceAware(Arc::clone(&pc.plan));
     }
-    Box::new(ConjunctEvaluator::new(
-        Arc::clone(&pc.plan),
-        graph,
-        ontology,
-        Arc::clone(options),
-        None,
-    ))
+    StreamPlan::Plain(Arc::clone(&pc.plan))
 }
 
 /// A query compiled once and executable many times, from many threads.
@@ -386,6 +467,7 @@ fn build_stream<'a>(
 pub struct PreparedQuery {
     data: Arc<GraphData>,
     base: Arc<EvalOptions>,
+    pool: Arc<WorkerPool>,
     inner: Arc<PreparedInner>,
 }
 
@@ -398,12 +480,8 @@ impl PreparedQuery {
     /// Streams the ranked answers for one execution under `request`.
     pub fn answers(&self, request: &ExecOptions) -> Answers<'_> {
         let options = request.resolve(&self.base);
-        self.inner.answers(
-            &self.data.graph,
-            &self.data.ontology,
-            options,
-            request.limit,
-        )
+        self.inner
+            .answers(&self.data, &self.pool, options, request.limit)
     }
 
     /// Executes under `request` and collects the answers.
@@ -454,6 +532,13 @@ pub struct ExecOptions {
     pub batch_size: Option<usize>,
     /// Final-tuple prioritisation override.
     pub prioritize_final: Option<bool>,
+    /// Parallel conjunct evaluation override (see
+    /// [`EvalOptions::parallel_conjuncts`]).
+    pub parallel_conjuncts: Option<bool>,
+    /// Conjunct worker budget override (`0` = one worker per conjunct).
+    pub parallel_workers: Option<usize>,
+    /// Per-worker answer channel capacity override.
+    pub parallel_channel_capacity: Option<usize>,
 }
 
 impl ExecOptions {
@@ -518,9 +603,29 @@ impl ExecOptions {
         self
     }
 
+    /// Evaluates the conjuncts of a multi-conjunct query on parallel worker
+    /// threads. The answer sequence is identical to sequential evaluation —
+    /// same tuples, same rank order — only wall-clock behaviour changes.
+    pub fn with_parallel_conjuncts(mut self, on: bool) -> Self {
+        self.parallel_conjuncts = Some(on);
+        self
+    }
+
+    /// Caps the number of conjunct worker threads (`0` = one per conjunct).
+    pub fn with_parallel_workers(mut self, workers: usize) -> Self {
+        self.parallel_workers = Some(workers);
+        self
+    }
+
+    /// Overrides the per-worker answer channel capacity.
+    pub fn with_parallel_channel_capacity(mut self, capacity: usize) -> Self {
+        self.parallel_channel_capacity = Some(capacity);
+        self
+    }
+
     /// Folds the overrides into `base`, resolving the relative timeout into
     /// an absolute deadline at call time (i.e. execution start).
-    pub(crate) fn resolve(&self, base: &EvalOptions) -> Arc<EvalOptions> {
+    pub(crate) fn resolve(&self, base: &EvalOptions) -> EvalOptions {
         let mut options = base.clone();
         if let Some(max) = self.max_tuples {
             options.max_tuples = Some(max);
@@ -537,6 +642,15 @@ impl ExecOptions {
         if let Some(on) = self.prioritize_final {
             options.prioritize_final = on;
         }
+        if let Some(on) = self.parallel_conjuncts {
+            options.parallel_conjuncts = on;
+        }
+        if let Some(workers) = self.parallel_workers {
+            options.parallel_workers = workers;
+        }
+        if let Some(capacity) = self.parallel_channel_capacity {
+            options.parallel_channel_capacity = capacity.max(1);
+        }
         if self.max_distance.is_some() {
             options.max_distance = self.max_distance;
         }
@@ -547,7 +661,7 @@ impl ExecOptions {
             (None, Some(t)) => Some(t),
             (None, None) => base.deadline,
         };
-        Arc::new(options)
+        options
     }
 }
 
@@ -557,6 +671,12 @@ impl ExecOptions {
 /// request's limit, distance ceiling and deadline. Implements
 /// `Iterator<Item = Result<Answer>>`; after an error or exhaustion the
 /// stream is fused.
+///
+/// The handle owns the execution's shared [`CancelToken`]: it is triggered
+/// as soon as the stream finishes (limit reached, exhausted, or failed) and
+/// on drop, which promptly stops any parallel conjunct workers still
+/// producing — their threads are then joined when the stream's join inputs
+/// drop.
 pub struct Answers<'a> {
     graph: &'a GraphStore,
     join: RankJoin<'a>,
@@ -570,10 +690,19 @@ pub struct Answers<'a> {
     yielded: usize,
     max_distance: Option<u32>,
     deadline: Option<Instant>,
+    /// The execution's shared cancellation token.
+    cancel: CancelToken,
     finished: bool,
 }
 
 impl Answers<'_> {
+    /// Marks the stream finished and cancels the execution's shared token so
+    /// any parallel conjunct workers stop producing promptly.
+    fn finish(&mut self) {
+        self.finished = true;
+        self.cancel.cancel();
+    }
+
     /// The next answer, `Ok(None)` when the stream is exhausted (or the
     /// limit/distance ceiling has been reached).
     pub fn next_answer(&mut self) -> Result<Option<Answer>> {
@@ -581,7 +710,7 @@ impl Answers<'_> {
             return Ok(None);
         }
         if self.limit.is_some_and(|l| self.yielded >= l) {
-            self.finished = true;
+            self.finish();
             return Ok(None);
         }
         // The per-tuple deadline checks live in the conjunct evaluators;
@@ -589,7 +718,7 @@ impl Answers<'_> {
         // before any join work happens at all.
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
-                self.finished = true;
+                self.finish();
                 return Err(OmegaError::DeadlineExceeded);
             }
         }
@@ -597,18 +726,18 @@ impl Answers<'_> {
             let next = match self.join.get_next_slots() {
                 Ok(next) => next,
                 Err(e) => {
-                    self.finished = true;
+                    self.finish();
                     return Err(e);
                 }
             };
             let Some((bindings, distance)) = next else {
-                self.finished = true;
+                self.finish();
                 return Ok(None);
             };
             if self.max_distance.is_some_and(|max| distance > max) {
                 // Total distances are non-decreasing: nothing later can
                 // come back under the ceiling.
-                self.finished = true;
+                self.finish();
                 return Ok(None);
             }
             // Project onto the head slots and deduplicate projections.
@@ -661,8 +790,17 @@ impl Iterator for Answers<'_> {
     }
 }
 
+impl Drop for Answers<'_> {
+    fn drop(&mut self) {
+        // Abandoning the stream mid-flight cancels the execution; the join's
+        // parallel inputs then join their workers as they drop.
+        self.cancel.cancel();
+    }
+}
+
 /// Convenience: the variables a conjunct binds, in `(subject, object)`
-/// order, for callers that drive [`ConjunctEvaluator`] directly.
+/// order, for callers that drive [`crate::eval::ConjunctEvaluator`]
+/// directly.
 pub fn conjunct_variables(conjunct: &crate::query::ast::Conjunct) -> Vec<&str> {
     [&conjunct.subject, &conjunct.object]
         .into_iter()
@@ -844,6 +982,32 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn base_cancel_token_is_a_kill_switch_not_poisoned_by_completion() {
+        let mut g = GraphStore::new();
+        g.add_triple("alice", "knows", "bob");
+        g.add_triple("bob", "worksAt", "acme");
+        let token = CancelToken::new();
+        let db = Database::with_options(
+            g,
+            Ontology::new(),
+            EvalOptions::default().with_cancel_token(token.clone()),
+        );
+        let text = "(?X, ?W) <- (?X, knows, ?Y), (?Y, worksAt, ?W)";
+        // Completed executions must not cancel the caller's base token…
+        let first = db.execute(text, &ExecOptions::new()).unwrap();
+        assert!(!token.is_cancelled());
+        // …so later queries still run (sequentially and in parallel).
+        let again = db
+            .execute(text, &ExecOptions::new().with_parallel_conjuncts(true))
+            .unwrap();
+        assert_eq!(first, again);
+        // Cancelling the base token kills subsequent executions.
+        token.cancel();
+        let err = db.execute(text, &ExecOptions::new()).unwrap_err();
+        assert!(matches!(err, OmegaError::Cancelled));
     }
 
     #[test]

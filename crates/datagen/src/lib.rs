@@ -45,5 +45,8 @@ impl Dataset {
 }
 
 pub use l4all::{generate_l4all, L4AllConfig, L4AllScale};
-pub use queries::{l4all_queries, yago_queries, QuerySpec};
+pub use queries::{
+    l4all_multi_conjunct_queries, l4all_queries, yago_multi_conjunct_queries, yago_queries,
+    QuerySpec,
+};
 pub use yago::{generate_yago, YagoConfig};

@@ -25,6 +25,26 @@ impl QuerySpec {
             self.text.replacen("<- (", &format!("<- {operator} ("), 1)
         }
     }
+
+    /// The query text with the operator applied to *every* conjunct (used by
+    /// the multi-conjunct query sets); an empty operator returns the exact
+    /// text.
+    pub fn with_operator_everywhere(&self, operator: &str) -> String {
+        if operator.is_empty() {
+            self.text.to_owned()
+        } else {
+            // Conjuncts are parenthesised and comma-separated, so the first
+            // starts after "<- " and every later one after "), ".
+            self.text
+                .replacen("<- (", &format!("<- {operator} ("), 1)
+                .replace("), (", &format!("), {operator} ("))
+        }
+    }
+
+    /// Number of conjuncts in the query body.
+    pub fn conjunct_count(&self) -> usize {
+        1 + self.text.matches("), (").count()
+    }
 }
 
 /// The 12 L4All queries of Figure 4.
@@ -144,6 +164,71 @@ pub fn yago_queries() -> Vec<QuerySpec> {
     ]
 }
 
+/// Multi-conjunct L4All queries used by the parallel-conjunct study: star
+/// and chain joins over episode timelines with two to four conjuncts per
+/// query. Not part of the paper's query set (Figure 4 is single-conjunct
+/// throughout); they exercise the ranked join on the same generated data.
+///
+/// The conjunct order matters to the HRJN join's cost model: every stream
+/// except the last is drained before combinations can complete, and
+/// arrivals are merged against earlier buffers in conjunct order — so the
+/// sets keep anchored/sparse conjuncts first, give every later conjunct a
+/// variable shared with the first, and put the one unbounded stream last.
+pub fn l4all_multi_conjunct_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "M1",
+            text: "(?E, ?N) <- (Work Episode, type-, ?E), (?E, next, ?N)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "M2",
+            text: "(?E, ?J, ?N) <- (Work Episode, type-, ?E), (?E, job, ?J), (?E, next+, ?N)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "M3",
+            text: "(?E, ?N, ?P) <- (Work Episode, type-, ?E), (?E, next, ?N), (?E, prereq, ?P)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "M4",
+            text: "(?E, ?Q, ?N, ?P) <- (Educational Episode, type-, ?E), (?E, qualif, ?Q), \
+                   (?E, next, ?N), (?E, prereq+, ?P)",
+            flexible_in_study: true,
+        },
+    ]
+}
+
+/// Multi-conjunct YAGO queries for the parallel-conjunct study: star and
+/// path joins over the person-centric portion of the graph, shaped by the
+/// same join-cost rules as [`l4all_multi_conjunct_queries`].
+pub fn yago_multi_conjunct_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "YM1",
+            text: "(?X, ?U) <- (?U, isLocatedIn, ?C), (?X, gradFrom, ?U)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "YM2",
+            text: "(?X, ?P, ?U) <- (?X, hasWonPrize, ?W), (?X, marriedTo, ?P), (?X, gradFrom, ?U)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "YM3",
+            text: "(?X, ?C, ?Y) <- (?X, wasBornIn, ?C), (?C, locatedIn, ?Y), (?X, livesIn, ?Z)",
+            flexible_in_study: true,
+        },
+        QuerySpec {
+            id: "YM4",
+            text: "(?X, ?F, ?P, ?U) <- (?X, directed, ?F), (?X, marriedTo, ?P), \
+                   (?X, gradFrom, ?U), (?X, livesIn, ?Z)",
+            flexible_in_study: true,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +237,25 @@ mod tests {
     fn query_sets_have_the_published_sizes() {
         assert_eq!(l4all_queries().len(), 12);
         assert_eq!(yago_queries().len(), 9);
+    }
+
+    #[test]
+    fn multi_conjunct_sets_have_two_to_four_conjuncts() {
+        for spec in l4all_multi_conjunct_queries()
+            .iter()
+            .chain(yago_multi_conjunct_queries().iter())
+        {
+            let n = spec.conjunct_count();
+            assert!((2..=4).contains(&n), "{} has {n} conjuncts", spec.id);
+        }
+    }
+
+    #[test]
+    fn operator_everywhere_rewrites_every_conjunct() {
+        let spec = &l4all_multi_conjunct_queries()[1];
+        let text = spec.with_operator_everywhere("APPROX");
+        assert_eq!(text.matches("APPROX (").count(), spec.conjunct_count());
+        assert_eq!(spec.with_operator_everywhere(""), spec.text);
     }
 
     #[test]

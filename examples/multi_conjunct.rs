@@ -44,4 +44,22 @@ fn main() {
         )
         .expect("query evaluates");
     println!("exact version: {} answers", exact.len());
+
+    // Multi-conjunct queries can evaluate their conjuncts on parallel worker
+    // threads: each conjunct's ranked stream is produced concurrently over
+    // the shared frozen graph and fed to the rank join through a bounded
+    // channel. The answers — tuples, distances and order — are guaranteed
+    // identical to sequential evaluation; only wall-clock time changes.
+    let parallel = prepared
+        .execute(
+            &ExecOptions::new()
+                .with_limit(20)
+                .with_parallel_conjuncts(true),
+        )
+        .expect("query evaluates");
+    assert_eq!(answers, parallel, "parallel evaluation is answer-identical");
+    println!(
+        "parallel evaluation returned the identical {} answers",
+        parallel.len()
+    );
 }
