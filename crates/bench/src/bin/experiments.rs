@@ -6,9 +6,12 @@
 //! ```text
 //! experiments [FIGURE ...] [--quick | --full] [--yago-scale F]
 //!             [--max-scale L1|L2|L3|L4] [--json PATH]
+//! experiments snapshot build --out PATH [--dataset l4all|yago]
+//!             [--max-scale ..] [--yago-scale F]
+//! experiments snapshot inspect PATH
 //!
 //! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance
-//!         opt-disjunction prepared parallel baseline bench all
+//!         opt-disjunction prepared parallel baseline startup bench all
 //! ```
 //!
 //! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
@@ -17,6 +20,11 @@
 //! report — by default to the first `BENCH_N.json` that does not exist yet,
 //! so committed baselines from earlier PRs are never overwritten; `--json`
 //! overrides the path explicitly.
+//!
+//! The `snapshot` subcommand drives the persistence subsystem: `build`
+//! generates a dataset, constructs the frozen `Database` and saves its
+//! image; `inspect` prints the image's section table (after verifying every
+//! checksum) and re-opens it as a `Database`.
 
 use std::path::PathBuf;
 
@@ -34,6 +42,10 @@ use omega_datagen::L4AllScale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("snapshot") {
+        snapshot_main(&args[1..]);
+        return;
+    }
     let mut figures: Vec<String> = Vec::new();
     let mut config = RunConfig::quick();
     let mut json_path = next_bench_path();
@@ -63,8 +75,11 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
-                     opt-distance opt-disjunction prepared parallel baseline bench all] \
-                     [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--json PATH]"
+                     opt-distance opt-disjunction prepared parallel baseline startup bench all] \
+                     [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--json PATH]\n\
+                     \x20      experiments snapshot build --out PATH [--dataset l4all|yago] \
+                     [--max-scale L1..L4] [--yago-scale F]\n\
+                     \x20      experiments snapshot inspect PATH"
                 );
                 return;
             }
@@ -96,9 +111,11 @@ fn main() {
         wants("fig5") || wants("fig6") || wants("fig7") || wants("fig8") || wants("bench");
     let need_yago = wants("fig10") || wants("fig11") || wants("bench");
     let need_multi = wants("parallel") || wants("bench");
+    let need_startup = wants("startup") || wants("bench");
     let l4all_rows = need_l4all.then(|| l4all_study(&config, &options));
     let yago_rows = need_yago.then(|| yago_study(&config, &options));
     let multi_rows = need_multi.then(|| parallel_study(&config, &options));
+    let startup_rows = need_startup.then(|| startup_study(&config));
     if let Some(rows) = &l4all_rows {
         if wants("fig5") {
             println!("{}", figure5(rows));
@@ -126,6 +143,11 @@ fn main() {
             println!("{}", parallel_comparison(rows));
         }
     }
+    if let Some(rows) = &startup_rows {
+        if wants("startup") {
+            println!("{}", startup_comparison(rows));
+        }
+    }
     if wants("bench") {
         let name = json_path
             .file_stem()
@@ -139,6 +161,7 @@ fn main() {
             l4all_rows.as_deref().unwrap_or(&[]),
             yago_rows.as_deref().unwrap_or(&[]),
             multi_rows.as_deref().unwrap_or(&[]),
+            startup_rows.as_deref().unwrap_or(&[]),
         )
         .unwrap_or_else(|e| panic!("failed to write {}: {e}", json_path.display()));
         println!("wrote {}\n", json_path.display());
@@ -154,5 +177,78 @@ fn main() {
     }
     if wants("baseline") {
         println!("{}", baseline_comparison(&config));
+    }
+}
+
+/// The `experiments snapshot build|inspect` subcommand.
+fn snapshot_main(args: &[String]) {
+    let usage = "usage: experiments snapshot build --out PATH [--dataset l4all|yago] \
+                 [--max-scale L1..L4] [--yago-scale F]\n\
+                 \x20      experiments snapshot inspect PATH";
+    let Some(verb) = args.first() else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    match verb.as_str() {
+        "build" => {
+            let mut out: Option<PathBuf> = None;
+            let mut dataset = "yago".to_owned();
+            let mut config = RunConfig::quick();
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--out" => out = Some(PathBuf::from(iter.next().expect("--out needs a path"))),
+                    "--dataset" => {
+                        dataset = iter.next().expect("--dataset needs a value").clone();
+                    }
+                    "--yago-scale" => {
+                        let value = iter.next().expect("--yago-scale needs a value");
+                        config.yago_scale = value.parse().expect("--yago-scale needs a number");
+                    }
+                    "--max-scale" => {
+                        let value = iter.next().expect("--max-scale needs a value");
+                        config.max_scale = match value.as_str() {
+                            "L1" => L4AllScale::L1,
+                            "L2" => L4AllScale::L2,
+                            "L3" => L4AllScale::L3,
+                            "L4" => L4AllScale::L4,
+                            other => panic!("unknown scale {other}"),
+                        };
+                    }
+                    other => {
+                        eprintln!("unknown argument {other}\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            let Some(out) = out else {
+                eprintln!("snapshot build requires --out PATH\n{usage}");
+                std::process::exit(2);
+            };
+            match snapshot_build(&dataset, &config, &out) {
+                Ok(summary) => println!("{summary}"),
+                Err(e) => {
+                    eprintln!("snapshot build failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "inspect" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("snapshot inspect requires a path\n{usage}");
+                std::process::exit(2);
+            };
+            match snapshot_inspect(std::path::Path::new(path)) {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("snapshot inspect failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown snapshot subcommand {other}\n{usage}");
+            std::process::exit(2);
+        }
     }
 }

@@ -622,6 +622,147 @@ pub fn parallel_comparison(rows: &[(String, QueryRun)]) -> String {
     out
 }
 
+/// Startup-cost study for the snapshot subsystem: how long it takes to have
+/// a query-ready [`Database`] by (a) **rebuilding** — regenerating the
+/// dataset and constructing the frozen engine, the per-process tax every
+/// cold start without a snapshot pays (the paper's YAGO import plays this
+/// role in the real system), (b) saving a snapshot image, (c) opening that
+/// image **cold** (first open after the write: pays validation, mapping
+/// and first-touch costs — the file's pages are still in the page cache,
+/// so a truly disk-cold open would additionally pay the sequential read)
+/// and (d) opening it again **warm** (everything cached, the steady state
+/// for map-many serving).
+///
+/// Rows reuse the [`QueryRun`] shape so they flow into `BENCH_N.json`
+/// unchanged: the first tuple slot carries the phase
+/// (`rebuild`/`save`/`open_cold`/`open_warm`), `id` names the dataset, and
+/// `answers` records the node count as a sanity anchor. After each open the
+/// same APPROX probe query runs on both databases and must agree — a
+/// snapshot that loads fast but answers differently would be worthless.
+pub fn startup_study(config: &RunConfig) -> Vec<(String, QueryRun)> {
+    let scale = config.scales().last().copied().unwrap_or(L4AllScale::L1);
+    let yago_scale = config.yago_scale;
+    #[allow(clippy::type_complexity)]
+    let cases: Vec<(String, Box<dyn Fn() -> Dataset>, String)> = vec![
+        (
+            format!("l4all-{}", scale.name()),
+            Box::new(move || l4all_dataset(scale)),
+            l4all_queries()[8].with_operator("APPROX"),
+        ),
+        (
+            "yago".to_owned(),
+            Box::new(move || yago_dataset(yago_scale)),
+            yago_queries()[1].with_operator("APPROX"),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let probe_request = ExecOptions::new().with_limit(TOP_K);
+    for (name, generate, probe) in &cases {
+        // Rebuild: everything a fresh process does without a snapshot —
+        // produce the graph + ontology and construct the frozen engine.
+        let start = Instant::now();
+        let dataset = generate();
+        let rebuilt = engine_for(&dataset, EvalOptions::default());
+        let rebuild_elapsed = start.elapsed();
+        drop(dataset);
+
+        let nodes = rebuilt.graph().node_count();
+        let row = |phase: &str, elapsed: Duration| {
+            (
+                phase.to_owned(),
+                QueryRun {
+                    id: name.clone(),
+                    operator: "startup".to_owned(),
+                    elapsed,
+                    answers: nodes,
+                    distances: BTreeMap::new(),
+                    exhausted: false,
+                    stats: EvalStats::default(),
+                },
+            )
+        };
+        rows.push(row("rebuild", rebuild_elapsed));
+
+        let path = std::env::temp_dir().join(format!(
+            "omega-startup-{}-{name}.snapshot",
+            std::process::id()
+        ));
+        let start = Instant::now();
+        rebuilt.save_snapshot(&path).expect("snapshot save");
+        rows.push(row("save", start.elapsed()));
+
+        let start = Instant::now();
+        let cold = Database::open_snapshot_with(
+            &path,
+            EvalOptions::default().with_max_tuples(Some(MEMORY_BUDGET)),
+        )
+        .expect("snapshot open (cold)");
+        rows.push(row("open_cold", start.elapsed()));
+
+        let start = Instant::now();
+        let warm = Database::open_snapshot_with(
+            &path,
+            EvalOptions::default().with_max_tuples(Some(MEMORY_BUDGET)),
+        )
+        .expect("snapshot open (warm)");
+        rows.push(row("open_warm", start.elapsed()));
+
+        // Answer-equality sanity probe: rebuilt vs snapshot-backed.
+        let reference = run_query_with(&rebuilt, name, "APPROX", probe, &probe_request);
+        for db in [&cold, &warm] {
+            let got = run_query_with(db, name, "APPROX", probe, &probe_request);
+            assert_eq!(
+                (got.answers, &got.distances),
+                (reference.answers, &reference.distances),
+                "snapshot-backed database diverged on {name}"
+            );
+        }
+        drop((cold, warm));
+        std::fs::remove_file(&path).ok();
+    }
+    rows
+}
+
+/// Formats the [`startup_study`] rows as a rebuild-vs-open table.
+pub fn startup_comparison(rows: &[(String, QueryRun)]) -> String {
+    let mut out = String::from("Startup: query-ready Database, rebuild vs snapshot open (ms)\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
+        "Dataset", "rebuild", "save", "open cold", "open warm", "cold x", "warm x"
+    ));
+    let find = |phase: &str, id: &str| {
+        rows.iter()
+            .find(|(p, r)| p == phase && r.id == id)
+            .map(|(_, r)| r.elapsed)
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for (_, run) in rows {
+        if seen.contains(&run.id.as_str()) {
+            continue;
+        }
+        seen.push(&run.id);
+        let (Some(rebuild), Some(save), Some(cold), Some(warm)) = (
+            find("rebuild", &run.id),
+            find("save", &run.id),
+            find("open_cold", &run.id),
+            find("open_warm", &run.id),
+        ) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>8.1}x {:>8.1}x\n",
+            run.id,
+            format_duration(rebuild),
+            format_duration(save),
+            format_duration(cold),
+            format_duration(warm),
+            rebuild.as_secs_f64() / cold.as_secs_f64().max(1e-9),
+            rebuild.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+        ));
+    }
+    out
+}
+
 /// The Section 4.1 claim that exact evaluation is competitive with plain
 /// NFA-based approaches: Omega's ranked evaluator vs the BFS baseline on the
 /// exact L4All queries.
@@ -665,9 +806,130 @@ pub fn baseline_comparison(config: &RunConfig) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Snapshot tooling (the `experiments -- snapshot` subcommand)
+// ----------------------------------------------------------------------
+
+/// Generates the named dataset (`l4all` or `yago`) at the configured scale,
+/// builds a [`Database`] and saves its snapshot image to `out`. Returns a
+/// human-readable summary.
+pub fn snapshot_build(
+    dataset: &str,
+    config: &RunConfig,
+    out: &std::path::Path,
+) -> Result<String, String> {
+    let data = match dataset {
+        "l4all" => l4all_dataset(config.scales().last().copied().unwrap_or(L4AllScale::L1)),
+        "yago" => yago_dataset(config.yago_scale),
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?} (expected l4all or yago)"
+            ))
+        }
+    };
+    let start = Instant::now();
+    let db = Database::new(data.graph, data.ontology);
+    let built = start.elapsed();
+    let start = Instant::now();
+    db.save_snapshot(out).map_err(|e| e.to_string())?;
+    let saved = start.elapsed();
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "snapshot {}: {} nodes, {} edges, {} labels -> {} bytes (build {}ms, save {}ms)",
+        out.display(),
+        db.graph().node_count(),
+        db.graph().edge_count(),
+        db.graph().label_count(),
+        bytes,
+        built.as_millis(),
+        saved.as_millis(),
+    ))
+}
+
+/// Opens `path`, prints the container header and section table, and
+/// verifies the image end-to-end by constructing a [`Database`] over it.
+pub fn snapshot_inspect(path: &std::path::Path) -> Result<String, String> {
+    use omega_graph::snapshot::{SnapshotReader, FORMAT_VERSION};
+
+    let reader = SnapshotReader::open(path).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{}: format v{FORMAT_VERSION}, {} bytes, {} sections (all checksums verified)\n",
+        path.display(),
+        reader.file_len(),
+        reader.sections().len(),
+    );
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>14} {:>18}\n",
+        "section", "offset", "bytes", "fnv1a-64"
+    ));
+    for entry in reader.sections() {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>14} {:>#18x}\n",
+            entry.id.to_string(),
+            entry.offset,
+            entry.len,
+            entry.checksum
+        ));
+    }
+    drop(reader);
+    let start = Instant::now();
+    let db = Database::open_snapshot(path).map_err(|e| e.to_string())?;
+    out.push_str(&format!(
+        "opened as Database in {:.2}ms: {} nodes, {} edges, {} labels, {} classes, {} properties\n",
+        start.elapsed().as_secs_f64() * 1e3,
+        db.graph().node_count(),
+        db.graph().edge_count(),
+        db.graph().label_count(),
+        db.ontology().class_count(),
+        db.ontology().property_count(),
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_build_and_inspect_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "omega-bench-snapshot-{}.snapshot",
+            std::process::id()
+        ));
+        let config = RunConfig {
+            max_scale: L4AllScale::L1,
+            yago_scale: 0.05,
+        };
+        let summary = snapshot_build("yago", &config, &path).unwrap();
+        assert!(summary.contains("nodes"));
+        let inspected = snapshot_inspect(&path).unwrap();
+        assert!(inspected.contains("format v1"));
+        assert!(inspected.contains("csr-offsets"));
+        assert!(inspected.contains("ontology"));
+        assert!(inspected.contains("opened as Database"));
+        assert!(snapshot_build("nope", &config, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn startup_study_produces_all_phases_and_agreeing_answers() {
+        // The study itself asserts rebuilt == snapshot-backed answers.
+        let config = RunConfig {
+            max_scale: L4AllScale::L1,
+            yago_scale: 0.05,
+        };
+        let rows = startup_study(&config);
+        for phase in ["rebuild", "save", "open_cold", "open_warm"] {
+            assert_eq!(
+                rows.iter().filter(|(p, _)| p == phase).count(),
+                2,
+                "one {phase} row per dataset"
+            );
+        }
+        let table = startup_comparison(&rows);
+        assert!(table.contains("yago"));
+        assert!(table.contains("l4all-L1"));
+    }
 
     #[test]
     fn run_config_scales() {

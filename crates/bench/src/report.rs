@@ -83,13 +83,16 @@ fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
 ///
 /// `multi_rows` holds the multi-conjunct parallel study: the `scale` slot of
 /// those entries carries the evaluation mode (`"seq"` / `"par"`) instead of
-/// a graph scale.
+/// a graph scale. `startup_rows` holds the snapshot startup study: there the
+/// `scale` slot carries the phase (`rebuild` / `save` / `open_cold` /
+/// `open_warm`), `id` the dataset, and `answers` the graph's node count.
 pub fn bench_json(
     name: &str,
     config: &RunConfig,
     l4all_rows: &[(String, QueryRun)],
     yago_rows: &[QueryRun],
     multi_rows: &[(String, QueryRun)],
+    startup_rows: &[(String, QueryRun)],
 ) -> String {
     let mut queries: Vec<String> = Vec::new();
     for (scale, run) in l4all_rows {
@@ -100,6 +103,9 @@ pub fn bench_json(
     }
     for (mode, run) in multi_rows {
         queries.push(query_json("multi", mode, run));
+    }
+    for (phase, run) in startup_rows {
+        queries.push(query_json("startup", phase, run));
     }
     format!(
         "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {} }},\n  \"queries\": [\n    {}\n  ]\n}}\n",
@@ -118,9 +124,20 @@ pub fn write_bench_json(
     l4all_rows: &[(String, QueryRun)],
     yago_rows: &[QueryRun],
     multi_rows: &[(String, QueryRun)],
+    startup_rows: &[(String, QueryRun)],
 ) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
-    file.write_all(bench_json(name, config, l4all_rows, yago_rows, multi_rows).as_bytes())
+    file.write_all(
+        bench_json(
+            name,
+            config,
+            l4all_rows,
+            yago_rows,
+            multi_rows,
+            startup_rows,
+        )
+        .as_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -158,18 +175,22 @@ mod tests {
             &[("L1".into(), run())],
             &[run()],
             &[("seq".into(), run()), ("par".into(), run())],
+            &[("rebuild".into(), run()), ("open_cold".into(), run())],
         );
         assert!(json.contains("\"bench\": \"BENCH_1\""));
         assert!(json.contains("\"suite\": \"l4all\""));
         assert!(json.contains("\"suite\": \"yago\""));
         assert!(json.contains("\"suite\": \"multi\""));
+        assert!(json.contains("\"suite\": \"startup\""));
         assert!(json.contains("\"scale\": \"seq\""));
         assert!(json.contains("\"scale\": \"par\""));
+        assert!(json.contains("\"scale\": \"rebuild\""));
+        assert!(json.contains("\"scale\": \"open_cold\""));
         assert!(json.contains("\"elapsed_ms\": 5.0000"));
         assert!(json.contains("\"neighbour_lookups\": 7"));
         assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
-        // Four query entries.
-        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 4);
+        // Six query entries.
+        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 6);
     }
 
     #[test]

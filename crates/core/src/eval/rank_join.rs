@@ -24,11 +24,25 @@
 //! thread, and because each stream's *content and order* are unchanged, the
 //! join's output sequence is bit-identical to sequential evaluation no
 //! matter how the workers are scheduled.
+//!
+//! ## Buffer indexing
+//!
+//! Each conjunct binds at most two variables, so a new arrival probing
+//! another input's buffer constrains at most that input's subject and/or
+//! object slot. The buffers are therefore hash-indexed on those values
+//! (subject, object, and the pair) and a probe touches only the buffered
+//! bindings that *will* merge, instead of scanning the whole buffer and
+//! rejecting mismatches one by one — dropping the quadratic per-arrival
+//! factor that previously forced "big stream last" orderings on
+//! multi-conjunct query sets. Probing order does not affect output order:
+//! candidates are emitted from a heap ordered by `(distance, bindings)`.
+//! Only genuinely unconstrained probes (no shared bound variable — a
+//! cartesian combination) still visit every buffered binding.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use omega_graph::{FxHashSet, NodeId};
+use omega_graph::{FxHashMap, FxHashSet, NodeId};
 
 use crate::answer::ConjunctAnswer;
 use crate::error::Result;
@@ -55,6 +69,13 @@ pub struct JoinInput<'a> {
     /// Slot index of the object variable.
     object_slot: Option<usize>,
     buffer: Vec<(SlotBindings, u32)>,
+    /// Buffer positions indexed by the subject-slot value.
+    by_subject: FxHashMap<NodeId, Vec<u32>>,
+    /// Buffer positions indexed by the object-slot value (only populated
+    /// when the object slot is distinct from the subject slot).
+    by_object: FxHashMap<NodeId, Vec<u32>>,
+    /// Buffer positions indexed by the (subject, object) value pair.
+    by_both: FxHashMap<(NodeId, NodeId), Vec<u32>>,
     min_distance: Option<u32>,
     last_distance: u32,
     done: bool,
@@ -74,6 +95,9 @@ impl<'a> JoinInput<'a> {
             subject_slot: None,
             object_slot: None,
             buffer: Vec::new(),
+            by_subject: FxHashMap::default(),
+            by_object: FxHashMap::default(),
+            by_both: FxHashMap::default(),
             min_distance: None,
             last_distance: 0,
             done: false,
@@ -93,6 +117,83 @@ impl<'a> JoinInput<'a> {
             }
         }
         out
+    }
+
+    /// Whether the object slot indexes separately from the subject slot.
+    fn has_distinct_object_slot(&self) -> bool {
+        match (self.subject_slot, self.object_slot) {
+            (Some(s), Some(o)) => s != o,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Buffers `bindings` and updates the value indexes.
+    fn buffer_bindings(&mut self, bindings: SlotBindings, distance: u32) {
+        let pos = self.buffer.len() as u32;
+        let subject = self.subject_slot.and_then(|s| bindings[s]);
+        let object = if self.has_distinct_object_slot() {
+            self.object_slot.and_then(|o| bindings[o])
+        } else {
+            None
+        };
+        if let Some(s) = subject {
+            self.by_subject.entry(s).or_default().push(pos);
+        }
+        if let Some(o) = object {
+            self.by_object.entry(o).or_default().push(pos);
+            if let Some(s) = subject {
+                self.by_both.entry((s, o)).or_default().push(pos);
+            }
+        }
+        self.buffer.push((bindings, distance));
+    }
+
+    /// The buffered positions that can merge with `partial`: the tightest
+    /// index the partial's bound slots allow, or the whole buffer when no
+    /// shared variable is bound (a cartesian combination).
+    ///
+    /// Indexed probes return exactly the set a full scan would keep, so the
+    /// candidate multiset — and with it the emission order — is unchanged.
+    fn probe<'p>(&'p self, partial: &SlotBindings) -> Probe<'p> {
+        let subject = self.subject_slot.and_then(|s| partial[s]);
+        let object = if self.has_distinct_object_slot() {
+            self.object_slot.and_then(|o| partial[o])
+        } else {
+            None
+        };
+        let positions = match (subject, object) {
+            (Some(s), Some(o)) => Some(self.by_both.get(&(s, o))),
+            (Some(s), None) => Some(self.by_subject.get(&s)),
+            (None, Some(o)) => Some(self.by_object.get(&o)),
+            (None, None) => None,
+        };
+        match positions {
+            // An indexed probe with no entry matches nothing.
+            Some(hits) => Probe::Indexed(hits.map(Vec::as_slice).unwrap_or(&[])),
+            None => Probe::Full(self.buffer.len()),
+        }
+    }
+}
+
+/// The buffer positions selected by [`JoinInput::probe`].
+enum Probe<'p> {
+    /// Positions from a value index.
+    Indexed(&'p [u32]),
+    /// Every buffered binding (cartesian probe): `0 .. len`.
+    Full(usize),
+}
+
+impl Probe<'_> {
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let (indexed, full) = match self {
+            Probe::Indexed(hits) => (Some(hits.iter().map(|&p| p as usize)), None),
+            Probe::Full(len) => (None, Some(0..*len)),
+        };
+        indexed
+            .into_iter()
+            .flatten()
+            .chain(full.into_iter().flatten())
     }
 }
 
@@ -214,10 +315,12 @@ impl<'a> RankJoin<'a> {
                     let input = &mut self.inputs[idx];
                     input.last_distance = distance;
                     input.min_distance.get_or_insert(distance);
-                    input.buffer.push((bindings.clone(), distance));
+                    input.buffer_bindings(bindings.clone(), distance);
                 }
                 // Join the new arrival with every compatible combination of
-                // the other inputs' buffers.
+                // the other inputs' buffers, probing each buffer through its
+                // shared-variable hash index (full scan only for cartesian
+                // combinations).
                 let mut partials: Vec<(SlotBindings, u32)> = vec![(bindings, distance)];
                 for (j, other) in self.inputs.iter().enumerate() {
                     if j == idx {
@@ -225,7 +328,8 @@ impl<'a> RankJoin<'a> {
                     }
                     let mut next: Vec<(SlotBindings, u32)> = Vec::new();
                     for (partial, pd) in &partials {
-                        for (buffered, bd) in &other.buffer {
+                        for pos in other.probe(partial).iter() {
+                            let (buffered, bd) = &other.buffer[pos];
                             if let Some(merged) = merge_bindings(partial, buffered) {
                                 next.push((merged, pd + bd));
                             }
@@ -448,6 +552,60 @@ mod tests {
         }
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].1, 0, "the cheaper duplicate wins");
+    }
+
+    #[test]
+    fn indexed_probing_matches_a_brute_force_join() {
+        // Exercises every index shape at once: (X, Y) probes by subject
+        // and/or object, (Y, Z) shares Y, (Z, Z) is a same-variable
+        // conjunct (subject slot == object slot), and the result must equal
+        // an independent nested-loop join.
+        let c1_rows = vec![(1, 10, 0), (2, 20, 1), (1, 11, 2), (3, 10, 2)];
+        let c2_rows = vec![(10, 5, 0), (11, 5, 1), (10, 6, 2), (20, 7, 3)];
+        let c3_rows = vec![(5, 5, 0), (7, 7, 1), (6, 6, 4)];
+        let c1 = input(c1_rows.clone(), Some("X"), Some("Y"));
+        let c2 = input(c2_rows.clone(), Some("Y"), Some("Z"));
+        let c3 = input(c3_rows.clone(), Some("Z"), Some("Z"));
+        let mut join = RankJoin::new(vec![c1, c2, c3]);
+        let mut got = Vec::new();
+        while let Some((bindings, d)) = join.get_next().unwrap() {
+            let mut bindings = bindings
+                .into_iter()
+                .map(|(k, v)| (k, v.0))
+                .collect::<Vec<_>>();
+            bindings.sort();
+            got.push((d, bindings));
+        }
+        // Distances must be non-decreasing.
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+
+        let mut expected = std::collections::BTreeSet::new();
+        for &(x, y1, d1) in &c1_rows {
+            for &(y2, z1, d2) in &c2_rows {
+                for &(z2, z3, d3) in &c3_rows {
+                    if y1 == y2 && z1 == z2 && z2 == z3 {
+                        expected.insert((
+                            d1 + d2 + d3,
+                            vec![
+                                ("X".to_owned(), x),
+                                ("Y".to_owned(), y1),
+                                ("Z".to_owned(), z1),
+                            ],
+                        ));
+                    }
+                }
+            }
+        }
+        // The rank join deduplicates identical bindings (cheapest first), so
+        // compare against the min-distance combination per binding set.
+        let mut best: std::collections::BTreeMap<Vec<(String, u32)>, u32> =
+            std::collections::BTreeMap::new();
+        for (d, b) in expected {
+            best.entry(b).or_insert(d);
+        }
+        let got_set: std::collections::BTreeMap<Vec<(String, u32)>, u32> =
+            got.into_iter().map(|(d, b)| (b, d)).collect();
+        assert_eq!(got_set, best);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! appends into a reusable output vector instead of returning a fresh one.
 
 use omega_automata::{StateId, TransitionLabel, WeightedNfa};
-use omega_graph::{Direction, GraphStore, NodeId};
+use omega_graph::{Direction, GraphStore, LabelId, NodeId};
 use omega_ontology::Ontology;
 
 use crate::eval::stats::EvalStats;
@@ -93,11 +93,23 @@ pub fn neighbours_by_edge<'a>(
             };
             if inference && *l == graph.type_label() {
                 // RDFS `sc` inference on type edges: an instance of a class
-                // is also an instance of every superclass.
+                // is also an instance of every superclass. On a frozen
+                // ontology the class closures are interned slices, so this
+                // path performs no allocation beyond the shared buffer.
                 buf.clear();
                 if *inverse {
                     // Instances of `node` (a class) and of all its subclasses.
-                    for class in ontology.subclasses_or_self(node) {
+                    let fallback;
+                    let classes: &[NodeId] = if ontology.is_frozen() {
+                        // Unknown class: no subclasses, just the node itself.
+                        ontology
+                            .interned_subclasses_or_self(node)
+                            .unwrap_or(std::slice::from_ref(&node))
+                    } else {
+                        fallback = ontology.subclasses_or_self(node);
+                        &fallback
+                    };
+                    for &class in classes {
                         for &m in graph.neighbors(class, *l, Direction::Incoming) {
                             if !buf.contains(&m) {
                                 buf.push(m);
@@ -108,25 +120,47 @@ pub fn neighbours_by_edge<'a>(
                     // The node's declared classes plus all their superclasses.
                     buf.extend_from_slice(graph.neighbors(node, *l, Direction::Outgoing));
                     let declared = buf.len();
+                    let frozen = ontology.is_frozen();
                     for i in 0..declared {
                         let class = buf[i];
-                        for (sup, _) in ontology.superclasses(class) {
-                            if !buf.contains(&sup) {
-                                buf.push(sup);
+                        if frozen {
+                            // Unknown class: no superclasses to add.
+                            for &(sup, _) in ontology.interned_superclasses(class).unwrap_or(&[]) {
+                                if !buf.contains(&sup) {
+                                    buf.push(sup);
+                                }
+                            }
+                        } else {
+                            for (sup, _) in ontology.superclasses(class) {
+                                if !buf.contains(&sup) {
+                                    buf.push(sup);
+                                }
                             }
                         }
                     }
                 }
                 buf
             } else if inference {
-                let labels = ontology.subproperties_or_self(*l);
-                if let [only] = labels.as_slice() {
-                    // The property has no sub-properties: serve the graph's
-                    // slice directly.
+                // RDFS `sp` inference: `l` also matches edges labelled by
+                // any of its sub-properties. On a frozen ontology the
+                // closure is an interned slice — no `Vec` per expansion
+                // (the ROADMAP's "zero-allocation RELAX inference" item);
+                // an unknown property's closure is just the property.
+                let fallback;
+                let labels: &[LabelId] = if ontology.is_frozen() {
+                    ontology
+                        .interned_subproperties_or_self(*l)
+                        .unwrap_or(std::slice::from_ref(l))
+                } else {
+                    fallback = ontology.subproperties_or_self(*l);
+                    &fallback
+                };
+                if let [only] = labels {
+                    // No sub-properties: serve the graph's slice directly.
                     return graph.neighbors(node, *only, dir);
                 }
                 buf.clear();
-                for l in labels {
+                for &l in labels {
                     for &m in graph.neighbors(node, l, dir) {
                         if !buf.contains(&m) {
                             buf.push(m);
@@ -401,6 +435,45 @@ mod tests {
             &mut stats,
         );
         assert_eq!(inferred, vec![g.node_by_label("b").unwrap()]);
+    }
+
+    #[test]
+    fn frozen_ontology_inference_matches_unfrozen() {
+        // The interned-closure fast paths must return exactly what the
+        // allocating BFS paths return, for every inference label shape.
+        let (g, o) = setup();
+        let mut frozen = o.clone();
+        frozen.freeze();
+        let related = g.label_id("related").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        let type_l = g.type_label();
+        let person = g.node_by_label("Person").unwrap();
+        let student = g.node_by_label("Student").unwrap();
+        let labels = [
+            TransitionLabel::symbol(Some(related), false, "related"),
+            TransitionLabel::symbol(Some(related), true, "related"),
+            TransitionLabel::symbol(Some(knows), false, "knows"),
+            TransitionLabel::symbol(Some(type_l), false, "type"),
+            TransitionLabel::symbol(Some(type_l), true, "type"),
+            TransitionLabel::TypeTo {
+                class: person,
+                name: "Person".into(),
+            },
+            TransitionLabel::TypeTo {
+                class: student,
+                name: "Student".into(),
+            },
+        ];
+        let mut stats = EvalStats::default();
+        for node in g.node_ids() {
+            for label in &labels {
+                assert_eq!(
+                    lookup(&g, &o, true, node, label, &mut stats),
+                    lookup(&g, &frozen, true, node, label, &mut stats),
+                    "divergence at node {node} label {label:?}"
+                );
+            }
+        }
     }
 
     #[test]

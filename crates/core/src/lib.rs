@@ -91,5 +91,6 @@ pub use eval::{
     DisjunctionEvaluator, DistanceAwareEvaluator, EvalOptions, EvalStats, ParallelStream, RankJoin,
     WorkerPool,
 };
+pub use omega_graph::SnapshotError;
 pub use query::{parse_query, Conjunct, Query, QueryMode, Term};
 pub use service::{conjunct_variables, Answers, Database, ExecOptions, PreparedQuery};

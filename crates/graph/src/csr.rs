@@ -14,18 +14,178 @@
 //! This mirrors what Sparksee's neighbour indexes give the paper's Omega
 //! implementation: the storage layer serves adjacency as packed vectors
 //! rather than pointer-chasing structures.
+//!
+//! ## Owned and mapped storage
+//!
+//! Each CSR array lives behind a small storage enum (`U32Store` /
+//! `NodeStore` / `PairStore`): either an owned `Vec` built by
+//! [`crate::GraphStore::freeze`], or a borrowed view over a memory-mapped
+//! snapshot file ([`crate::snapshot`]). Lookups read through the enum with
+//! one discriminant test and are otherwise identical, so the evaluator hot
+//! paths never know (or care) whether the graph was built in process or
+//! mapped from disk.
 
 use crate::hash::FxHashMap;
 use crate::ids::{LabelId, NodeId};
+use crate::snapshot::error::SnapshotError;
+use crate::snapshot::map::{pair_layout_is_label_first, MappedSlice};
+
+/// Array storage for one frozen CSR array: an owned `Vec<T>` or a
+/// zero-copy view of a snapshot mapping, with the element pointer and
+/// length cached at construction so [`ArrayStore::as_slice`] is exactly a
+/// `(ptr, len)` load — no discriminant test, no pointer chase — and the
+/// evaluator's adjacency lookups compile to the same code as before the
+/// storage became dual-backed.
+pub(crate) struct ArrayStore<T> {
+    /// What keeps the elements alive; never touched on the read path.
+    backing: ArrayBacking<T>,
+    /// Cached element pointer into `backing`.
+    ptr: *const T,
+    /// Cached element count.
+    len: usize,
+}
+
+enum ArrayBacking<T> {
+    /// Heap array built by [`crate::GraphStore::freeze`] (or copied from a
+    /// snapshot when zero-copy is unsound for `T`).
+    Owned(Vec<T>),
+    /// A snapshot mapping holding little-endian words. The `Arc` inside
+    /// keeps the mapping alive; the mapped memory itself never moves, so
+    /// the cached pointer stays valid for the life of the store.
+    Mapped(MappedSlice),
+}
+
+// Safety: the store is immutable after construction and owns (or holds
+// alive) the memory its cached pointer targets, so sharing/sending it is
+// exactly as safe as sharing the underlying Vec or mapping.
+unsafe impl<T: Send> Send for ArrayStore<T> {}
+unsafe impl<T: Sync> Sync for ArrayStore<T> {}
+
+impl<T> ArrayStore<T> {
+    /// Wraps an owned, final (never mutated again) vector.
+    pub(crate) fn owned(data: Vec<T>) -> ArrayStore<T> {
+        let (ptr, len) = (data.as_ptr(), data.len());
+        ArrayStore {
+            backing: ArrayBacking::Owned(data),
+            ptr,
+            len,
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn as_slice(&self) -> &[T] {
+        // Safety: `ptr`/`len` were derived from the backing at construction
+        // and the backing is immutable and owned by `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Clone> Clone for ArrayStore<T> {
+    fn clone(&self) -> Self {
+        match &self.backing {
+            // An owned clone gets a fresh allocation: re-derive the pointer.
+            ArrayBacking::Owned(v) => ArrayStore::owned(v.clone()),
+            // A mapped clone shares the same region: the pointer is stable.
+            ArrayBacking::Mapped(m) => ArrayStore {
+                backing: ArrayBacking::Mapped(m.clone()),
+                ptr: self.ptr,
+                len: self.len,
+            },
+        }
+    }
+}
+
+impl<T> Default for ArrayStore<T> {
+    fn default() -> Self {
+        ArrayStore::owned(Vec::new())
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backing = match &self.backing {
+            ArrayBacking::Owned(_) => "owned",
+            ArrayBacking::Mapped(_) => "mapped",
+        };
+        f.debug_struct("ArrayStore")
+            .field("len", &self.len)
+            .field("backing", &backing)
+            .finish()
+    }
+}
+
+/// `u32` array storage.
+pub(crate) type U32Store = ArrayStore<u32>;
+/// [`NodeId`] array storage (`repr(transparent)` over `u32`).
+pub(crate) type NodeStore = ArrayStore<NodeId>;
+/// `(LabelId, NodeId)` array storage for the mixed-label views.
+pub(crate) type PairStore = ArrayStore<(LabelId, NodeId)>;
+
+impl ArrayStore<u32> {
+    /// Wraps a mapped section, validating the cast once up front.
+    pub(crate) fn mapped(slice: MappedSlice) -> Result<U32Store, SnapshotError> {
+        let words = slice.as_u32s()?;
+        let (ptr, len) = (words.as_ptr(), words.len());
+        Ok(ArrayStore {
+            backing: ArrayBacking::Mapped(slice),
+            ptr,
+            len,
+        })
+    }
+}
+
+impl ArrayStore<NodeId> {
+    /// Wraps a mapped section, validating the cast once up front.
+    pub(crate) fn mapped(slice: MappedSlice) -> Result<NodeStore, SnapshotError> {
+        let nodes = slice.as_node_ids()?;
+        let (ptr, len) = (nodes.as_ptr(), nodes.len());
+        Ok(ArrayStore {
+            backing: ArrayBacking::Mapped(slice),
+            ptr,
+            len,
+        })
+    }
+}
+
+impl ArrayStore<(LabelId, NodeId)> {
+    /// Wraps a mapped section of interleaved `[label, node]` pairs, copying
+    /// if the in-memory tuple layout of this build cannot alias the file
+    /// layout (see [`pair_layout_is_label_first`]).
+    pub(crate) fn mapped(slice: MappedSlice) -> Result<PairStore, SnapshotError> {
+        let words = slice.as_u32s()?;
+        if !words.len().is_multiple_of(2) {
+            return Err(SnapshotError::malformed(
+                "mixed-entry section holds an odd number of words",
+            ));
+        }
+        if pair_layout_is_label_first() {
+            // Safety: size/align/field order probed, length validated even.
+            let ptr = words.as_ptr() as *const (LabelId, NodeId);
+            let len = words.len() / 2;
+            Ok(ArrayStore {
+                backing: ArrayBacking::Mapped(slice),
+                ptr,
+                len,
+            })
+        } else {
+            Ok(ArrayStore::owned(
+                words
+                    .chunks_exact(2)
+                    .map(|p| (LabelId(p[0]), NodeId(p[1])))
+                    .collect(),
+            ))
+        }
+    }
+}
 
 /// One `(label, direction)` adjacency in CSR form.
 #[derive(Debug, Clone, Default)]
 pub struct CsrLayer {
     /// `offsets[n] .. offsets[n + 1]` bounds node `n`'s neighbours;
     /// `node_count + 1` entries.
-    offsets: Vec<u32>,
+    offsets: U32Store,
     /// All neighbour lists, concatenated in node order.
-    targets: Vec<NodeId>,
+    targets: NodeStore,
 }
 
 impl CsrLayer {
@@ -42,23 +202,45 @@ impl CsrLayer {
             }
             offsets.push(targets.len() as u32);
         }
+        CsrLayer {
+            offsets: ArrayStore::owned(offsets),
+            targets: ArrayStore::owned(targets),
+        }
+    }
+
+    /// Assembles a layer from (owned or mapped) parts; the caller has
+    /// validated that the offsets are monotone and bounded by the target
+    /// count.
+    pub(crate) fn from_parts(offsets: U32Store, targets: NodeStore) -> CsrLayer {
         CsrLayer { offsets, targets }
+    }
+
+    /// The offsets array (for serialisation).
+    pub(crate) fn offset_words(&self) -> &[u32] {
+        self.offsets.as_slice()
+    }
+
+    /// The neighbour array (for serialisation).
+    pub(crate) fn target_nodes(&self) -> &[NodeId] {
+        self.targets.as_slice()
     }
 
     /// The neighbour slice of `node` (empty for out-of-range nodes, which
     /// can exist when nodes were added after freezing).
-    #[inline]
+    #[inline(always)]
     pub fn neighbours(&self, node: NodeId) -> &[NodeId] {
+        let offsets = self.offsets.as_slice();
         let i = node.index();
-        if i + 1 >= self.offsets.len() {
+        if i + 1 >= offsets.len() {
             return &[];
         }
-        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        &self.targets.as_slice()[offsets[i] as usize..offsets[i + 1] as usize]
     }
 
     /// Node ids with at least one neighbour in this layer.
     pub fn occupied_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.offsets
+            .as_slice()
             .windows(2)
             .enumerate()
             .filter(|(_, w)| w[0] != w[1])
@@ -67,20 +249,20 @@ impl CsrLayer {
 
     /// Total number of stored neighbour entries.
     pub fn len(&self) -> usize {
-        self.targets.len()
+        self.targets.as_slice().len()
     }
 
     /// Whether the layer stores no edges.
     pub fn is_empty(&self) -> bool {
-        self.targets.is_empty()
+        self.len() == 0
     }
 }
 
 /// The mixed-label adjacency (`out_all` / `in_all`) in CSR form.
 #[derive(Debug, Clone, Default)]
 pub struct CsrMixed {
-    offsets: Vec<u32>,
-    entries: Vec<(LabelId, NodeId)>,
+    offsets: U32Store,
+    entries: PairStore,
 }
 
 impl CsrMixed {
@@ -95,17 +277,56 @@ impl CsrMixed {
             }
             offsets.push(entries.len() as u32);
         }
+        CsrMixed {
+            offsets: ArrayStore::owned(offsets),
+            entries: ArrayStore::owned(entries),
+        }
+    }
+
+    /// Assembles a mixed view from (owned or mapped) parts.
+    pub(crate) fn from_parts(offsets: U32Store, entries: PairStore) -> CsrMixed {
         CsrMixed { offsets, entries }
     }
 
+    /// The offsets array (for serialisation).
+    pub(crate) fn offset_words(&self) -> &[u32] {
+        self.offsets.as_slice()
+    }
+
+    /// The entry array (for serialisation).
+    pub(crate) fn entry_pairs(&self) -> &[(LabelId, NodeId)] {
+        self.entries.as_slice()
+    }
+
     /// The `(label, neighbour)` slice of `node`.
-    #[inline]
+    #[inline(always)]
     pub fn entries(&self, node: NodeId) -> &[(LabelId, NodeId)] {
+        let offsets = self.offsets.as_slice();
         let i = node.index();
-        if i + 1 >= self.offsets.len() {
+        if i + 1 >= offsets.len() {
             return &[];
         }
-        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        &self.entries.as_slice()[offsets[i] as usize..offsets[i + 1] as usize]
+    }
+
+    /// Node ids with at least one entry in this view.
+    pub fn occupied_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.offsets
+            .as_slice()
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0] != w[1])
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Total number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.as_slice().len()
+    }
+
+    /// Whether the view stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -194,5 +415,6 @@ mod tests {
         );
         assert!(mixed.entries(NodeId(0)).is_empty());
         assert!(mixed.entries(NodeId(9)).is_empty());
+        assert_eq!(mixed.occupied_nodes().collect::<Vec<_>>(), vec![NodeId(1)]);
     }
 }

@@ -1,11 +1,14 @@
 //! The graph store itself.
 
+use std::sync::OnceLock;
+
 use crate::bitmap::NodeBitmap;
-use crate::csr::CsrIndex;
+use crate::csr::{CsrIndex, CsrLayer};
 use crate::error::GraphError;
 use crate::hash::FxHashMap;
 use crate::ids::{Direction, LabelId, NodeId};
 use crate::interner::LabelInterner;
+use crate::snapshot::map::MappedSlice;
 
 /// The distinguished edge label connecting an entity instance to its class.
 pub const TYPE_LABEL: &str = "type";
@@ -21,15 +24,100 @@ pub struct EdgeRef {
     pub target: NodeId,
 }
 
+/// The node string dictionary: owned strings, or zero-copy views into a
+/// memory-mapped snapshot.
+///
+/// The mapped form keeps the `u64` offsets array and the concatenated UTF-8
+/// bytes borrowed from the snapshot mapping; the loader validated UTF-8 and
+/// offset boundaries once, so lookups slice without copying or re-checking.
+/// The first mutation of a loaded store materialises the owned form.
+#[derive(Debug, Clone)]
+pub(crate) enum NodeLabels {
+    /// Heap strings built through [`GraphStore::add_node`].
+    Owned(Vec<String>),
+    /// Offsets + bytes borrowed from a snapshot mapping.
+    Mapped {
+        /// `u64[len + 1]` byte offsets, validated monotone and on UTF-8
+        /// character boundaries.
+        offsets: MappedSlice,
+        /// Concatenated label strings, validated as UTF-8.
+        bytes: MappedSlice,
+        /// Number of labels.
+        len: usize,
+    },
+}
+
+impl NodeLabels {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            NodeLabels::Owned(v) => v.len(),
+            NodeLabels::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// The label of node `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range (same contract as `Vec` indexing).
+    pub(crate) fn get(&self, i: usize) -> &str {
+        match self {
+            NodeLabels::Owned(v) => &v[i],
+            NodeLabels::Mapped {
+                offsets,
+                bytes,
+                len,
+            } => {
+                assert!(i < *len, "node index {i} out of range for {len} nodes");
+                let offsets = offsets.as_u64s().expect("validated at load");
+                let slice = &bytes.bytes()[offsets[i] as usize..offsets[i + 1] as usize];
+                // Safety: the loader validated the whole byte section as
+                // UTF-8 and every offset as a character boundary.
+                unsafe { std::str::from_utf8_unchecked(slice) }
+            }
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &str> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The owned vector, materialising from the mapping if needed (the
+    /// mutation path).
+    fn make_owned(&mut self) -> &mut Vec<String> {
+        if let NodeLabels::Mapped { .. } = self {
+            *self = NodeLabels::Owned(self.iter().map(str::to_owned).collect());
+        }
+        match self {
+            NodeLabels::Owned(v) => v,
+            NodeLabels::Mapped { .. } => unreachable!("just materialised"),
+        }
+    }
+}
+
+/// Builds the label → id hash index over a node dictionary.
+///
+/// Node labels are unique by construction for every store this crate
+/// writes; if a foreign snapshot nevertheless carries duplicates (its
+/// checksums intact but its writer buggy), the *lowest* node id wins, so
+/// lookups stay deterministic rather than depending on iteration order.
+fn build_node_index(labels: &NodeLabels) -> FxHashMap<String, NodeId> {
+    let mut index = FxHashMap::default();
+    index.reserve(labels.len());
+    for (i, label) in labels.iter().enumerate() {
+        index.entry(label.to_owned()).or_insert(NodeId(i as u32));
+    }
+    index
+}
+
 /// Per-label adjacency index (both directions), mirroring Sparksee's
 /// neighbour indexing for an edge type. This is the *builder* side: hash
 /// maps support cheap insertion and deduplication while the graph is loaded;
 /// [`GraphStore::freeze`] compiles them into CSR arrays for querying.
 #[derive(Debug, Default, Clone)]
-struct Adjacency {
-    out: FxHashMap<NodeId, Vec<NodeId>>,
-    inc: FxHashMap<NodeId, Vec<NodeId>>,
-    edge_count: usize,
+pub(crate) struct Adjacency {
+    pub(crate) out: FxHashMap<NodeId, Vec<NodeId>>,
+    pub(crate) inc: FxHashMap<NodeId, Vec<NodeId>>,
+    pub(crate) edge_count: usize,
 }
 
 /// An in-memory labelled directed multigraph with per-(label, direction)
@@ -47,19 +135,37 @@ struct Adjacency {
 /// Adding an edge to a frozen store transparently drops the index (the next
 /// [`GraphStore::freeze`] rebuilds it).
 ///
+/// A third way to obtain a store is [`crate::snapshot`]: a frozen graph can
+/// be serialised to a single image file and re-opened with its CSR arrays
+/// memory-mapped in place. Such a store starts with *empty* builder maps —
+/// every read is served by the CSR — and transparently rehydrates the
+/// builder from the CSR on the first mutation, so the whole mutable API
+/// keeps working (at the cost of materialising the adjacency in RAM again).
+///
 /// This is the substrate the Omega evaluator traverses; see the crate-level
 /// documentation for the correspondence with Sparksee.
 #[derive(Debug, Clone)]
 pub struct GraphStore {
-    node_labels: Vec<String>,
-    node_index: FxHashMap<String, NodeId>,
-    labels: LabelInterner,
-    type_label: LabelId,
-    adjacency: Vec<Adjacency>,
-    out_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
-    in_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
-    edge_count: usize,
-    csr: Option<CsrIndex>,
+    pub(crate) node_labels: NodeLabels,
+    pub(crate) node_index: FxHashMap<String, NodeId>,
+    /// Lazily built label → id index for snapshot-loaded stores (the eager
+    /// `node_index` is empty and `node_index_deferred` is set): paying the
+    /// hash-and-copy cost of a large dictionary only if a constant lookup
+    /// ever happens keeps `open_snapshot` O(sections) instead of O(nodes).
+    pub(crate) lazy_node_index: OnceLock<FxHashMap<String, NodeId>>,
+    /// Whether `node_by_label` consults `lazy_node_index`.
+    pub(crate) node_index_deferred: bool,
+    pub(crate) labels: LabelInterner,
+    pub(crate) type_label: LabelId,
+    pub(crate) adjacency: Vec<Adjacency>,
+    pub(crate) out_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    pub(crate) in_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    pub(crate) edge_count: usize,
+    pub(crate) csr: Option<CsrIndex>,
+    /// Whether the builder-side maps mirror the graph. `false` only for
+    /// snapshot-loaded stores, whose edges live solely in the CSR until a
+    /// mutation forces [`GraphStore::hydrate_builder`].
+    pub(crate) hydrated: bool,
 }
 
 impl Default for GraphStore {
@@ -74,8 +180,10 @@ impl GraphStore {
         let mut labels = LabelInterner::new();
         let type_label = labels.intern(TYPE_LABEL);
         GraphStore {
-            node_labels: Vec::new(),
+            node_labels: NodeLabels::Owned(Vec::new()),
             node_index: FxHashMap::default(),
+            lazy_node_index: OnceLock::new(),
+            node_index_deferred: false,
             labels,
             type_label,
             adjacency: vec![Adjacency::default()],
@@ -83,6 +191,7 @@ impl GraphStore {
             in_all: FxHashMap::default(),
             edge_count: 0,
             csr: None,
+            hydrated: true,
         }
     }
 
@@ -114,6 +223,42 @@ impl GraphStore {
     /// Whether the frozen CSR index is present and current.
     pub fn is_frozen(&self) -> bool {
         self.csr.is_some()
+    }
+
+    /// Rebuilds the builder-side hash maps from the frozen CSR index.
+    ///
+    /// Snapshot-loaded stores keep their adjacency only in (possibly
+    /// memory-mapped) CSR arrays; the first mutation calls this so the
+    /// mutable API sees the full graph. No-op for ordinary stores.
+    pub(crate) fn hydrate_builder(&mut self) {
+        if self.hydrated {
+            return;
+        }
+        let csr = self
+            .csr
+            .as_ref()
+            .expect("an unhydrated store always has a CSR index");
+        while self.adjacency.len() < csr.out.len() {
+            self.adjacency.push(Adjacency::default());
+        }
+        for (label, (out_layer, in_layer)) in csr.out.iter().zip(&csr.inc).enumerate() {
+            let adj = &mut self.adjacency[label];
+            for node in out_layer.occupied_nodes() {
+                adj.out.insert(node, out_layer.neighbours(node).to_vec());
+            }
+            for node in in_layer.occupied_nodes() {
+                adj.inc.insert(node, in_layer.neighbours(node).to_vec());
+            }
+            adj.edge_count = out_layer.len();
+        }
+        for node in csr.out_all.occupied_nodes() {
+            self.out_all
+                .insert(node, csr.out_all.entries(node).to_vec());
+        }
+        for node in csr.in_all.occupied_nodes() {
+            self.in_all.insert(node, csr.in_all.entries(node).to_vec());
+        }
+        self.hydrated = true;
     }
 
     // ------------------------------------------------------------------
@@ -158,20 +303,37 @@ impl GraphStore {
     // Nodes
     // ------------------------------------------------------------------
 
+    /// Materialises the eager node index (and owned label storage) before a
+    /// node mutation; no-op except on snapshot-loaded stores.
+    fn ensure_node_index(&mut self) {
+        if !self.node_index_deferred {
+            return;
+        }
+        // Reuse the lazily built index if a lookup already created it.
+        let index = match self.lazy_node_index.take() {
+            Some(index) => index,
+            None => build_node_index(&self.node_labels),
+        };
+        self.node_index = index;
+        self.node_index_deferred = false;
+    }
+
     /// Adds a node with the given (unique) string label, or returns the
     /// existing node if one with this label is already present.
     pub fn add_node(&mut self, label: &str) -> NodeId {
+        self.ensure_node_index();
         if let Some(&id) = self.node_index.get(label) {
             return id;
         }
         let id = NodeId(self.node_labels.len() as u32);
-        self.node_labels.push(label.to_owned());
+        self.node_labels.make_owned().push(label.to_owned());
         self.node_index.insert(label.to_owned(), id);
         id
     }
 
     /// Adds a node, failing if a node with the same label already exists.
     pub fn try_add_node(&mut self, label: &str) -> Result<NodeId, GraphError> {
+        self.ensure_node_index();
         if self.node_index.contains_key(label) {
             return Err(GraphError::DuplicateNodeLabel(label.to_owned()));
         }
@@ -180,7 +342,18 @@ impl GraphStore {
 
     /// Looks up a node by its string label (the paper's indexed node
     /// attribute).
+    ///
+    /// On a snapshot-loaded store the hash index is built on the first call
+    /// (thread-safe; later calls share it) — opening an image never pays for
+    /// an index the workload might not use.
     pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        if self.node_index_deferred {
+            return self
+                .lazy_node_index
+                .get_or_init(|| build_node_index(&self.node_labels))
+                .get(label)
+                .copied();
+        }
         self.node_index.get(label).copied()
     }
 
@@ -189,7 +362,7 @@ impl GraphStore {
     /// # Panics
     /// Panics if `node` does not belong to this graph.
     pub fn node_label(&self, node: NodeId) -> &str {
-        &self.node_labels[node.index()]
+        self.node_labels.get(node.index())
     }
 
     /// Whether `node` belongs to this graph.
@@ -218,6 +391,9 @@ impl GraphStore {
     /// new.
     pub fn add_edge(&mut self, source: NodeId, label: LabelId, target: NodeId) -> bool {
         debug_assert!(self.contains_node(source) && self.contains_node(target));
+        // A snapshot-loaded store materialises its builder maps before the
+        // first write, so dropping the CSR below cannot lose edges.
+        self.hydrate_builder();
         debug_assert!(label.index() < self.adjacency.len());
         let adj = &mut self.adjacency[label.index()];
         let out = adj.out.entry(source).or_default();
@@ -259,6 +435,11 @@ impl GraphStore {
 
     /// Number of edges with a given label.
     pub fn edge_count_for_label(&self, label: LabelId) -> usize {
+        if let Some(csr) = &self.csr {
+            // Every labelled edge appears exactly once in its outgoing layer;
+            // this also serves snapshot-loaded stores with empty builders.
+            return csr.layer(label, true).map_or(0, CsrLayer::len);
+        }
         self.adjacency
             .get(label.index())
             .map_or(0, |adj| adj.edge_count)
@@ -266,13 +447,35 @@ impl GraphStore {
 
     /// Iterates over every edge in the graph.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.out_all.iter().flat_map(|(&source, targets)| {
-            targets.iter().map(move |&(label, target)| EdgeRef {
-                source,
-                label,
-                target,
+        // A frozen store iterates its CSR (the only complete source on a
+        // snapshot-loaded store); otherwise the builder maps serve.
+        let csr_edges = self.csr.as_ref().into_iter().flat_map(|csr| {
+            csr.out_all.occupied_nodes().flat_map(move |source| {
+                csr.out_all
+                    .entries(source)
+                    .iter()
+                    .map(move |&(label, target)| EdgeRef {
+                        source,
+                        label,
+                        target,
+                    })
             })
-        })
+        });
+        // `take(0)` never polls the map iterator, so a frozen store does not
+        // walk its (possibly fully populated) builder map just to reject it.
+        let builder_cap = if self.csr.is_some() { 0 } else { usize::MAX };
+        let builder_edges = self
+            .out_all
+            .iter()
+            .take(builder_cap)
+            .flat_map(|(&source, targets)| {
+                targets.iter().map(move |&(label, target)| EdgeRef {
+                    source,
+                    label,
+                    target,
+                })
+            });
+        csr_edges.chain(builder_edges)
     }
 
     // ------------------------------------------------------------------
@@ -360,6 +563,11 @@ impl GraphStore {
 
     /// All nodes incident to at least one edge, in either direction.
     pub fn nodes_with_any_edge(&self) -> NodeBitmap {
+        if let Some(csr) = &self.csr {
+            let mut set: NodeBitmap = csr.out_all.occupied_nodes().collect();
+            set.extend(csr.in_all.occupied_nodes());
+            return set;
+        }
         let mut set: NodeBitmap = self.out_all.keys().copied().collect();
         set.extend(self.in_all.keys().copied());
         set

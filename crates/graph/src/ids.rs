@@ -6,7 +6,12 @@ use std::fmt;
 ///
 /// Node ids are dense: the store allocates them consecutively starting at 0,
 /// which lets [`crate::NodeBitmap`] represent node sets compactly.
+///
+/// The layout is `repr(transparent)` over `u32` so the snapshot loader can
+/// reinterpret memory-mapped little-endian `u32` arrays as `&[NodeId]`
+/// without copying.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -30,7 +35,11 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of an interned edge label (the paper's edge *type*).
+///
+/// `repr(transparent)` over `u32` for the same zero-copy snapshot reason as
+/// [`NodeId`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct LabelId(pub u32);
 
 impl LabelId {

@@ -35,6 +35,11 @@
 //! and adding an edge to a frozen store transparently drops the index.
 //! The [`crate::csr`] module documents the layout.
 //!
+//! A frozen store can additionally be persisted as a single binary image and
+//! re-opened with its CSR arrays memory-mapped in place — see
+//! [`crate::snapshot`]. Loaded stores serve every read from the mapping and
+//! transparently rehydrate their builder maps on the first mutation.
+//!
 //! ```
 //! use omega_graph::{GraphStore, Direction};
 //!
@@ -56,6 +61,7 @@ pub mod hash;
 pub mod ids;
 pub mod interner;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 
 pub use bitmap::NodeBitmap;
@@ -64,4 +70,5 @@ pub use graph::{EdgeRef, GraphStore};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Direction, LabelId, NodeId};
 pub use interner::LabelInterner;
+pub use snapshot::SnapshotError;
 pub use stats::GraphStats;

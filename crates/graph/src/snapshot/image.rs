@@ -1,0 +1,497 @@
+//! Serialising a frozen [`GraphStore`] into snapshot sections and
+//! reassembling one — with memory-mapped CSR arrays — from an open reader.
+//!
+//! The writer emits, per graph:
+//!
+//! * a `meta` section (node / label / edge counts, the `type` label id),
+//! * the node and edge-label string tables (offsets + concatenated bytes),
+//! * one `(offsets, targets)` section pair per `(label, direction)` CSR
+//!   layer, and one `(offsets, entries)` pair per mixed-label direction.
+//!
+//! The loader rebuilds the string dictionaries (owned: the store's API
+//! hands out `&str`), reconstructs the hash index over node labels, and
+//! wraps every CSR array in a borrowed storage enum over the mapping — the
+//! bulk of the image is never copied. Offsets are validated (monotone,
+//! bounded) before any slice can be built over them, so a malformed file
+//! fails with a typed error instead of a panic at query time.
+
+use crate::csr::{CsrIndex, CsrLayer, CsrMixed, NodeStore, PairStore, U32Store};
+use crate::graph::{Adjacency, GraphStore, NodeLabels, TYPE_LABEL};
+use crate::hash::FxHashMap;
+use crate::ids::LabelId;
+use crate::interner::LabelInterner;
+use crate::snapshot::error::SnapshotError;
+use crate::snapshot::format::{
+    push_u32, u32_payload, u64_payload, SectionId, SectionKind, SnapshotReader, SnapshotWriter,
+};
+use crate::snapshot::map::MappedSlice;
+
+/// Number of `u64` words in the meta section.
+const META_WORDS: usize = 4;
+
+/// Adds every graph section of `store` to `writer`.
+///
+/// The store must be frozen: the CSR arrays *are* the image.
+pub fn write_graph_sections(
+    store: &GraphStore,
+    writer: &mut SnapshotWriter,
+) -> Result<(), SnapshotError> {
+    let csr = store.csr.as_ref().ok_or_else(|| {
+        SnapshotError::malformed("graph must be frozen before it can be snapshotted")
+    })?;
+
+    writer.add(
+        SectionId::plain(SectionKind::Meta),
+        u64_payload([
+            store.node_labels.len() as u64,
+            store.labels.len() as u64,
+            store.edge_count as u64,
+            store.type_label.0 as u64,
+        ]),
+    );
+
+    let (node_offsets, node_bytes) = string_table(store.node_labels.iter());
+    writer.add(
+        SectionId::plain(SectionKind::NodeLabelOffsets),
+        u64_payload(node_offsets),
+    );
+    writer.add(SectionId::plain(SectionKind::NodeLabelBytes), node_bytes);
+
+    let (label_offsets, label_bytes) = string_table(store.labels.iter().map(|(_, name)| name));
+    writer.add(
+        SectionId::plain(SectionKind::EdgeLabelOffsets),
+        u64_payload(label_offsets),
+    );
+    writer.add(SectionId::plain(SectionKind::EdgeLabelBytes), label_bytes);
+
+    for (label, (out_layer, in_layer)) in csr.out.iter().zip(&csr.inc).enumerate() {
+        for (layer, incoming) in [(out_layer, false), (in_layer, true)] {
+            writer.add(
+                SectionId::csr(SectionKind::CsrOffsets, label as u32, incoming),
+                u32_payload(layer.offset_words().iter().copied()),
+            );
+            writer.add(
+                SectionId::csr(SectionKind::CsrTargets, label as u32, incoming),
+                u32_payload(layer.target_nodes().iter().map(|n| n.0)),
+            );
+        }
+    }
+    for (mixed, incoming) in [(&csr.out_all, false), (&csr.in_all, true)] {
+        writer.add(
+            SectionId {
+                kind: SectionKind::MixedOffsets,
+                param: incoming as u32,
+            },
+            u32_payload(mixed.offset_words().iter().copied()),
+        );
+        let mut entries = Vec::with_capacity(mixed.len() * 8);
+        for &(label, node) in mixed.entry_pairs() {
+            push_u32(&mut entries, label.0);
+            push_u32(&mut entries, node.0);
+        }
+        writer.add(
+            SectionId {
+                kind: SectionKind::MixedEntries,
+                param: incoming as u32,
+            },
+            entries,
+        );
+    }
+    Ok(())
+}
+
+/// Reassembles a frozen [`GraphStore`] over the open snapshot `reader`.
+///
+/// CSR offset/target/entry arrays stay borrowed from the mapping (the
+/// reader's `Arc` keeps it alive); string tables and the node hash index
+/// are rebuilt in owned memory.
+pub fn read_graph(reader: &SnapshotReader) -> Result<GraphStore, SnapshotError> {
+    let meta = reader.require(SectionId::plain(SectionKind::Meta))?;
+    let meta = meta.as_u64s()?;
+    if meta.len() != META_WORDS {
+        return Err(SnapshotError::malformed(format!(
+            "meta section has {} words, expected {META_WORDS}",
+            meta.len()
+        )));
+    }
+    let node_count = usize_word(meta[0], "node count")?;
+    let label_count = usize_word(meta[1], "label count")?;
+    let edge_count = usize_word(meta[2], "edge count")?;
+    let type_label = LabelId(u32::try_from(meta[3]).map_err(|_| {
+        SnapshotError::malformed(format!("type label id {} out of range", meta[3]))
+    })?);
+
+    // The node dictionary stays mapped: offsets and bytes are validated
+    // once here (monotone, character-boundary offsets, UTF-8) and then
+    // served zero-copy. The hash index over it is built lazily on the first
+    // `node_by_label` call, not at open time.
+    let node_labels = mapped_string_table(
+        reader,
+        SectionKind::NodeLabelOffsets,
+        SectionKind::NodeLabelBytes,
+        node_count,
+    )?;
+    let label_names = read_string_table(
+        reader,
+        SectionKind::EdgeLabelOffsets,
+        SectionKind::EdgeLabelBytes,
+        label_count,
+    )?;
+
+    let mut labels = LabelInterner::new();
+    for name in &label_names {
+        labels.intern(name);
+    }
+    if labels.len() != label_count {
+        return Err(SnapshotError::malformed(
+            "edge label table contains duplicate names",
+        ));
+    }
+    if labels.get(TYPE_LABEL) != Some(type_label) {
+        return Err(SnapshotError::malformed(
+            "meta type-label id disagrees with the label table",
+        ));
+    }
+
+    let mut out = Vec::with_capacity(label_count);
+    let mut inc = Vec::with_capacity(label_count);
+    for label in 0..label_count as u32 {
+        for incoming in [false, true] {
+            let offsets =
+                reader.require(SectionId::csr(SectionKind::CsrOffsets, label, incoming))?;
+            let offsets = U32Store::mapped(offsets)?;
+            let targets =
+                reader.require(SectionId::csr(SectionKind::CsrTargets, label, incoming))?;
+            let targets = NodeStore::mapped(targets)?;
+            validate_offsets(
+                offsets.as_slice(),
+                node_count,
+                targets.as_slice().len(),
+                "CSR layer",
+            )?;
+            for &t in targets.as_slice() {
+                if t.index() >= node_count {
+                    return Err(SnapshotError::malformed(format!(
+                        "CSR target {t} out of range for {node_count} nodes"
+                    )));
+                }
+            }
+            let layer = CsrLayer::from_parts(offsets, targets);
+            if incoming {
+                inc.push(layer);
+            } else {
+                out.push(layer);
+            }
+        }
+    }
+
+    let mut mixed = Vec::with_capacity(2);
+    for incoming in [false, true] {
+        let id = |kind| SectionId {
+            kind,
+            param: incoming as u32,
+        };
+        let offsets = U32Store::mapped(reader.require(id(SectionKind::MixedOffsets))?)?;
+        let entries = PairStore::mapped(reader.require(id(SectionKind::MixedEntries))?)?;
+        validate_offsets(
+            offsets.as_slice(),
+            node_count,
+            entries.as_slice().len(),
+            "mixed view",
+        )?;
+        for &(label, node) in entries.as_slice() {
+            if label.index() >= label_count || node.index() >= node_count {
+                return Err(SnapshotError::malformed(format!(
+                    "mixed entry ({label:?}, {node}) out of range"
+                )));
+            }
+        }
+        mixed.push(CsrMixed::from_parts(offsets, entries));
+    }
+    let in_all = mixed.pop().expect("two mixed views pushed");
+    let out_all = mixed.pop().expect("two mixed views pushed");
+
+    let total: usize = out.iter().map(CsrLayer::len).sum();
+    if total != edge_count {
+        return Err(SnapshotError::malformed(format!(
+            "meta edge count {edge_count} disagrees with CSR total {total}"
+        )));
+    }
+
+    Ok(GraphStore {
+        node_labels,
+        node_index: FxHashMap::default(),
+        lazy_node_index: std::sync::OnceLock::new(),
+        node_index_deferred: true,
+        labels,
+        type_label,
+        // Builder maps stay empty until the first mutation hydrates them
+        // from the CSR; every read is CSR-served meanwhile.
+        adjacency: vec![Adjacency::default(); label_count],
+        out_all: FxHashMap::default(),
+        in_all: FxHashMap::default(),
+        edge_count,
+        csr: Some(CsrIndex {
+            out,
+            inc,
+            out_all,
+            in_all,
+        }),
+        hydrated: false,
+    })
+}
+
+fn usize_word(value: u64, what: &str) -> Result<usize, SnapshotError> {
+    usize::try_from(value)
+        .ok()
+        .filter(|&v| v <= u32::MAX as usize)
+        .ok_or_else(|| SnapshotError::malformed(format!("{what} {value} out of range")))
+}
+
+/// Builds `(offsets, bytes)` for a string table: `offsets[i] .. offsets[i+1]`
+/// bounds string `i` in the concatenated UTF-8 bytes.
+fn string_table<'a>(strings: impl Iterator<Item = &'a str>) -> (Vec<u64>, Vec<u8>) {
+    let mut offsets = vec![0u64];
+    let mut bytes = Vec::new();
+    for s in strings {
+        bytes.extend_from_slice(s.as_bytes());
+        offsets.push(bytes.len() as u64);
+    }
+    (offsets, bytes)
+}
+
+/// Validates a string table's sections and wraps them as a zero-copy
+/// [`NodeLabels::Mapped`] dictionary: offsets must be monotone, span the
+/// byte section and land on UTF-8 character boundaries of valid UTF-8.
+fn mapped_string_table(
+    reader: &SnapshotReader,
+    offsets_kind: SectionKind,
+    bytes_kind: SectionKind,
+    count: usize,
+) -> Result<NodeLabels, SnapshotError> {
+    let offsets_slice = reader.require(SectionId::plain(offsets_kind))?;
+    let bytes_slice = reader.require(SectionId::plain(bytes_kind))?;
+    let (offsets, bytes) = validate_string_table(
+        &offsets_slice,
+        &bytes_slice,
+        offsets_kind,
+        bytes_kind,
+        count,
+    )?;
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| SnapshotError::malformed(format!("{bytes_kind} holds invalid UTF-8")))?;
+    if offsets
+        .iter()
+        .any(|&off| !text.is_char_boundary(off as usize))
+    {
+        return Err(SnapshotError::malformed(format!(
+            "{offsets_kind} splits a UTF-8 character"
+        )));
+    }
+    Ok(NodeLabels::Mapped {
+        offsets: offsets_slice,
+        bytes: bytes_slice,
+        len: count,
+    })
+}
+
+/// Shared structural checks for a string table's offsets/bytes pair.
+fn validate_string_table<'a>(
+    offsets_slice: &'a MappedSlice,
+    bytes_slice: &'a MappedSlice,
+    offsets_kind: SectionKind,
+    bytes_kind: SectionKind,
+    count: usize,
+) -> Result<(&'a [u64], &'a [u8]), SnapshotError> {
+    let offsets = offsets_slice.as_u64s()?;
+    let bytes = bytes_slice.bytes();
+    if offsets.len() != count + 1 {
+        return Err(SnapshotError::malformed(format!(
+            "{offsets_kind} has {} entries, expected {}",
+            offsets.len(),
+            count + 1
+        )));
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&(bytes.len() as u64)) {
+        return Err(SnapshotError::malformed(format!(
+            "{offsets_kind} does not span its byte section"
+        )));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::malformed(format!(
+            "{offsets_kind} is not monotone"
+        )));
+    }
+    let _ = bytes_kind;
+    Ok((offsets, bytes))
+}
+
+/// Reads a string table into owned strings (used for the small edge-label
+/// dictionary, which the interner re-hashes anyway).
+fn read_string_table(
+    reader: &SnapshotReader,
+    offsets_kind: SectionKind,
+    bytes_kind: SectionKind,
+    count: usize,
+) -> Result<Vec<String>, SnapshotError> {
+    let offsets_slice = reader.require(SectionId::plain(offsets_kind))?;
+    let bytes_slice = reader.require(SectionId::plain(bytes_kind))?;
+    let (offsets, bytes) = validate_string_table(
+        &offsets_slice,
+        &bytes_slice,
+        offsets_kind,
+        bytes_kind,
+        count,
+    )?;
+    let mut out = Vec::with_capacity(count);
+    for window in offsets.windows(2) {
+        let slice = &bytes[window[0] as usize..window[1] as usize];
+        let s = std::str::from_utf8(slice)
+            .map_err(|_| SnapshotError::malformed(format!("{bytes_kind} holds invalid UTF-8")))?;
+        out.push(s.to_owned());
+    }
+    Ok(out)
+}
+
+/// Checks a CSR offsets array: `node_count + 1` monotone entries spanning
+/// exactly `data_len` items, so slicing with any adjacent pair is in-bounds.
+fn validate_offsets(
+    offsets: &[u32],
+    node_count: usize,
+    data_len: usize,
+    what: &str,
+) -> Result<(), SnapshotError> {
+    if offsets.len() != node_count + 1 {
+        return Err(SnapshotError::malformed(format!(
+            "{what} offsets have {} entries, expected {}",
+            offsets.len(),
+            node_count + 1
+        )));
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&(data_len as u32)) {
+        return Err(SnapshotError::malformed(format!(
+            "{what} offsets do not span their data section"
+        )));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::malformed(format!(
+            "{what} offsets are not monotone"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Direction;
+
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        g.add_triple("alice", "knows", "bob");
+        g.add_triple("bob", "knows", "carol");
+        g.add_triple("alice", "likes", "carol");
+        g.add_triple("alice", "type", "Person");
+        g.freeze();
+        g
+    }
+
+    fn roundtrip(g: &GraphStore, tag: &str) -> GraphStore {
+        let path = std::env::temp_dir().join(format!(
+            "omega-graph-image-{}-{tag}.snapshot",
+            std::process::id()
+        ));
+        let mut w = SnapshotWriter::new();
+        write_graph_sections(g, &mut w).unwrap();
+        w.write_to(&path).unwrap();
+        let r = SnapshotReader::open(&path).unwrap();
+        let loaded = read_graph(&r).unwrap();
+        std::fs::remove_file(&path).ok();
+        loaded
+    }
+
+    #[test]
+    fn graph_roundtrips_through_an_image() {
+        let g = sample();
+        let loaded = roundtrip(&g, "basic");
+        assert!(loaded.is_frozen());
+        assert_eq!(loaded.node_count(), g.node_count());
+        assert_eq!(loaded.edge_count(), g.edge_count());
+        assert_eq!(loaded.label_count(), g.label_count());
+        assert_eq!(loaded.type_label(), g.type_label());
+        for node in g.node_ids() {
+            assert_eq!(loaded.node_label(node), g.node_label(node));
+            for (label, _) in g.labels() {
+                for dir in [Direction::Outgoing, Direction::Incoming] {
+                    assert_eq!(
+                        loaded.neighbors(node, label, dir),
+                        g.neighbors(node, label, dir)
+                    );
+                }
+            }
+            for dir in [Direction::Outgoing, Direction::Incoming] {
+                assert_eq!(loaded.neighbors_any(node, dir), g.neighbors_any(node, dir));
+            }
+        }
+        assert_eq!(
+            loaded.node_by_label("alice"),
+            g.node_by_label("alice"),
+            "hash index must be rebuilt"
+        );
+        // Derived reads served from the CSR with empty builder maps.
+        assert_eq!(loaded.edges().count(), g.edge_count());
+        assert_eq!(
+            loaded.nodes_with_any_edge().len(),
+            g.nodes_with_any_edge().len()
+        );
+        let knows = g.label_id("knows").unwrap();
+        assert_eq!(
+            loaded.edge_count_for_label(knows),
+            g.edge_count_for_label(knows)
+        );
+    }
+
+    #[test]
+    fn loaded_store_hydrates_on_mutation() {
+        let g = sample();
+        let mut loaded = roundtrip(&g, "hydrate");
+        // Adding an edge must keep all the old edges (hydration) and behave
+        // exactly like a never-snapshotted store.
+        assert!(loaded.add_triple("carol", "knows", "dave"));
+        assert!(!loaded.is_frozen());
+        assert_eq!(loaded.edge_count(), g.edge_count() + 1);
+        let knows = loaded.label_id("knows").unwrap();
+        let alice = loaded.node_by_label("alice").unwrap();
+        let bob = loaded.node_by_label("bob").unwrap();
+        assert_eq!(loaded.neighbors(alice, knows, Direction::Outgoing), &[bob]);
+        loaded.freeze();
+        assert_eq!(loaded.neighbors(alice, knows, Direction::Outgoing), &[bob]);
+        // Deduplication still works against hydrated edges.
+        assert!(!loaded.add_triple("alice", "knows", "bob"));
+    }
+
+    #[test]
+    fn unfrozen_store_cannot_be_written() {
+        let mut g = GraphStore::new();
+        g.add_triple("a", "knows", "b");
+        let mut w = SnapshotWriter::new();
+        assert!(matches!(
+            write_graph_sections(&g, &mut w),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let mut g = GraphStore::new();
+        g.freeze();
+        let loaded = roundtrip(&g, "empty");
+        assert_eq!(loaded.node_count(), 0);
+        assert_eq!(loaded.edge_count(), 0);
+        assert_eq!(
+            loaded.label_count(),
+            1,
+            "the `type` label is always interned"
+        );
+    }
+}

@@ -4,18 +4,69 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 
+use omega_graph::FxHashMap;
+
 use crate::error::OntologyError;
+
+/// Interned transitive closures of a frozen [`Hierarchy`]: one row per
+/// member (in sorted member order) holding its descendants-or-self set and
+/// its ancestors with distances, flattened into offset/data arrays so a
+/// lookup returns a borrowed slice without allocating.
+///
+/// This is what the RDFS-inference hot path reads instead of re-running a
+/// BFS (and heap-allocating its result) on every expansion.
+#[derive(Debug, Clone)]
+pub(crate) struct FrozenTables<T> {
+    /// Member → row index.
+    pub(crate) rows: FxHashMap<T, u32>,
+    /// Row `r`'s descendants-or-self set is
+    /// `closure_data[closure_offsets[r] .. closure_offsets[r + 1]]`
+    /// (the member itself first, then BFS order — exactly the order
+    /// [`Hierarchy::descendants_or_self`] produces).
+    pub(crate) closure_offsets: Vec<u32>,
+    pub(crate) closure_data: Vec<T>,
+    /// Row `r`'s proper ancestors with distances, nearest first (the order
+    /// [`Hierarchy::ancestors`] produces).
+    pub(crate) ancestor_offsets: Vec<u32>,
+    pub(crate) ancestor_data: Vec<(T, u32)>,
+}
+
+impl<T: Copy + Eq + Hash> FrozenTables<T> {
+    fn closure_row(&self, member: T) -> Option<&[T]> {
+        let r = *self.rows.get(&member)? as usize;
+        Some(
+            &self.closure_data
+                [self.closure_offsets[r] as usize..self.closure_offsets[r + 1] as usize],
+        )
+    }
+
+    fn ancestor_row(&self, member: T) -> Option<&[(T, u32)]> {
+        let r = *self.rows.get(&member)? as usize;
+        Some(
+            &self.ancestor_data
+                [self.ancestor_offsets[r] as usize..self.ancestor_offsets[r + 1] as usize],
+        )
+    }
+}
 
 /// A directed acyclic "child → parent" hierarchy over ids of type `T`.
 ///
 /// The hierarchy stores the *direct* relation; transitive closures are
 /// computed on demand by breadth-first search and returned together with the
 /// number of direct steps (the relaxation distance).
+///
+/// Like the graph store, a hierarchy can be *frozen* ([`Hierarchy::freeze`])
+/// once construction is complete: the closures the evaluator needs under
+/// RDFS inference are interned into flat arrays, and
+/// [`Hierarchy::interned_descendants_or_self`] /
+/// [`Hierarchy::interned_ancestors`] serve them as borrowed slices without
+/// any per-query allocation. Mutation transparently drops the tables.
 #[derive(Debug, Clone)]
 pub struct Hierarchy<T> {
     parents: HashMap<T, Vec<T>>,
     children: HashMap<T, Vec<T>>,
     members: HashSet<T>,
+    frozen: Option<FrozenTables<T>>,
 }
 
 impl<T> Default for Hierarchy<T> {
@@ -24,6 +75,7 @@ impl<T> Default for Hierarchy<T> {
             parents: HashMap::new(),
             children: HashMap::new(),
             members: HashSet::new(),
+            frozen: None,
         }
     }
 }
@@ -37,16 +89,20 @@ impl<T: Copy + Eq + Hash + Ord + std::fmt::Debug> Hierarchy<T> {
     /// Registers `member` without any parent/child edges (a root until an
     /// edge is added).
     pub fn add_member(&mut self, member: T) {
-        self.members.insert(member);
+        if self.members.insert(member) {
+            self.frozen = None;
+        }
     }
 
     /// Adds the direct relation `child ⊑ parent`.
     ///
-    /// Returns an error if this would introduce a cycle.
+    /// Returns an error if this would introduce a cycle. Drops the interned
+    /// closure tables, if any.
     pub fn add_edge(&mut self, child: T, parent: T) -> Result<(), OntologyError> {
         if child == parent || self.ancestors(parent).iter().any(|(a, _)| *a == child) {
             return Err(OntologyError::CycleDetected(format!("{child:?}")));
         }
+        self.frozen = None;
         self.members.insert(child);
         self.members.insert(parent);
         let parents = self.parents.entry(child).or_default();
@@ -55,6 +111,92 @@ impl<T: Copy + Eq + Hash + Ord + std::fmt::Debug> Hierarchy<T> {
             self.children.entry(parent).or_default().push(child);
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Freezing: interned closures for the inference hot path
+    // ------------------------------------------------------------------
+
+    /// Interns the descendants-or-self and ancestor closures of every member
+    /// into flat arrays. Idempotent; dropped again by any mutation.
+    pub fn freeze(&mut self) {
+        if self.frozen.is_some() {
+            return;
+        }
+        let mut sorted: Vec<T> = self.members.iter().copied().collect();
+        sorted.sort();
+        let mut rows = FxHashMap::default();
+        let mut closure_offsets = Vec::with_capacity(sorted.len() + 1);
+        let mut closure_data = Vec::new();
+        let mut ancestor_offsets = Vec::with_capacity(sorted.len() + 1);
+        let mut ancestor_data = Vec::new();
+        closure_offsets.push(0);
+        ancestor_offsets.push(0);
+        for (row, &member) in sorted.iter().enumerate() {
+            rows.insert(member, row as u32);
+            closure_data.extend(self.descendants_or_self(member));
+            closure_offsets.push(closure_data.len() as u32);
+            ancestor_data.extend(self.ancestors(member));
+            ancestor_offsets.push(ancestor_data.len() as u32);
+        }
+        self.frozen = Some(FrozenTables {
+            rows,
+            closure_offsets,
+            closure_data,
+            ancestor_offsets,
+            ancestor_data,
+        });
+    }
+
+    /// Whether the interned closure tables are present and current.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// The interned descendants-or-self closure of `member` (member first,
+    /// then BFS order): `None` when the hierarchy is not frozen or `member`
+    /// is unknown (an unknown member's closure is just itself).
+    #[inline]
+    pub fn interned_descendants_or_self(&self, member: T) -> Option<&[T]> {
+        self.frozen.as_ref()?.closure_row(member)
+    }
+
+    /// The interned proper-ancestor closure of `member` with distances,
+    /// nearest first: `None` when not frozen or `member` is unknown (an
+    /// unknown member has no ancestors).
+    #[inline]
+    pub fn interned_ancestors(&self, member: T) -> Option<&[(T, u32)]> {
+        self.frozen.as_ref()?.ancestor_row(member)
+    }
+
+    /// The interned tables (for snapshot serialisation).
+    pub(crate) fn frozen_tables(&self) -> Option<&FrozenTables<T>> {
+        self.frozen.as_ref()
+    }
+
+    /// Members in sorted order — the row order of the frozen tables.
+    pub(crate) fn sorted_members(&self) -> Vec<T> {
+        let mut sorted: Vec<T> = self.members.iter().copied().collect();
+        sorted.sort();
+        sorted
+    }
+
+    /// Rebuilds a hierarchy from its direct-relation maps and pre-computed
+    /// closure tables (the snapshot load path). The caller — the snapshot
+    /// decoder — has validated offsets and row counts; relation *content* is
+    /// trusted from the checksummed image, so no cycle check is re-run.
+    pub(crate) fn from_snapshot_parts(
+        members: Vec<T>,
+        parents: HashMap<T, Vec<T>>,
+        children: HashMap<T, Vec<T>>,
+        frozen: FrozenTables<T>,
+    ) -> Hierarchy<T> {
+        Hierarchy {
+            parents,
+            children,
+            members: members.into_iter().collect(),
+            frozen: Some(frozen),
+        }
     }
 
     /// Whether `member` is known to this hierarchy.
@@ -108,7 +250,15 @@ impl<T: Copy + Eq + Hash + Ord + std::fmt::Debug> Hierarchy<T> {
     }
 
     /// Whether `ancestor` is a proper ancestor of `member`.
+    ///
+    /// Allocation-free on a frozen hierarchy (served from the interned
+    /// ancestor table); falls back to an on-demand BFS otherwise.
     pub fn is_ancestor(&self, ancestor: T, member: T) -> bool {
+        if let Some(tables) = &self.frozen {
+            return tables
+                .ancestor_row(member)
+                .is_some_and(|row| row.iter().any(|(a, _)| *a == ancestor));
+        }
         self.ancestors(member).iter().any(|(a, _)| *a == ancestor)
     }
 
@@ -287,6 +437,47 @@ mod tests {
         let anc = h.ancestors(3);
         assert!(anc.contains(&(0, 1)));
         assert_eq!(anc.len(), 3);
+    }
+
+    #[test]
+    fn frozen_tables_match_on_demand_closures() {
+        let mut h = sample();
+        h.freeze();
+        assert!(h.is_frozen());
+        for m in 0..5u32 {
+            assert_eq!(
+                h.interned_descendants_or_self(m).unwrap(),
+                &h.descendants_or_self(m)[..],
+            );
+            assert_eq!(h.interned_ancestors(m).unwrap(), &h.ancestors(m)[..]);
+        }
+        // Unknown members have no interned rows.
+        assert!(h.interned_descendants_or_self(99).is_none());
+        assert!(h.interned_ancestors(99).is_none());
+        // is_ancestor agrees with the unfrozen answer.
+        assert!(h.is_ancestor(0, 3));
+        assert!(!h.is_ancestor(3, 0));
+        assert!(!h.is_ancestor(0, 99));
+    }
+
+    #[test]
+    fn mutation_drops_the_frozen_tables() {
+        let mut h = sample();
+        h.freeze();
+        h.add_edge(5, 2).unwrap(); // penguin -> bird
+        assert!(!h.is_frozen(), "adding an edge must invalidate");
+        h.freeze();
+        assert_eq!(
+            h.interned_descendants_or_self(2).unwrap(),
+            &h.descendants_or_self(2)[..]
+        );
+        // Adding a genuinely new member also invalidates…
+        h.add_member(9);
+        assert!(!h.is_frozen());
+        h.freeze();
+        // …but re-adding an existing one does not.
+        h.add_member(9);
+        assert!(h.is_frozen());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 pub mod error;
 pub mod hierarchy;
 pub mod ontology;
+pub mod snapshot;
 pub mod stats;
 
 pub use error::OntologyError;

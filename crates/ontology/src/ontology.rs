@@ -28,6 +28,48 @@ impl Ontology {
     }
 
     // ------------------------------------------------------------------
+    // Freezing: interned closures for the inference hot path
+    // ------------------------------------------------------------------
+
+    /// Interns the class and property closures ([`Hierarchy::freeze`]) so
+    /// the RDFS-inference paths read borrowed slices instead of running an
+    /// allocating BFS per expansion. Idempotent; any mutation drops the
+    /// tables again. Called automatically when a `Database` takes ownership
+    /// of the ontology.
+    pub fn freeze(&mut self) {
+        self.classes.freeze();
+        self.properties.freeze();
+    }
+
+    /// Whether both hierarchies carry current interned closure tables.
+    pub fn is_frozen(&self) -> bool {
+        self.classes.is_frozen() && self.properties.is_frozen()
+    }
+
+    /// The interned `property` + subproperties closure (the RDFS-inference
+    /// label set), or `None` when the ontology is not frozen or the property
+    /// is unknown — an unknown property's closure is just itself.
+    #[inline]
+    pub fn interned_subproperties_or_self(&self, property: LabelId) -> Option<&[LabelId]> {
+        self.properties.interned_descendants_or_self(property)
+    }
+
+    /// The interned `class` + subclasses closure, or `None` when not frozen
+    /// or the class is unknown.
+    #[inline]
+    pub fn interned_subclasses_or_self(&self, class: NodeId) -> Option<&[NodeId]> {
+        self.classes.interned_descendants_or_self(class)
+    }
+
+    /// The interned proper superclasses of `class` with distances, nearest
+    /// first, or `None` when not frozen or the class is unknown (an unknown
+    /// class has no superclasses).
+    #[inline]
+    pub fn interned_superclasses(&self, class: NodeId) -> Option<&[(NodeId, u32)]> {
+        self.classes.interned_ancestors(class)
+    }
+
+    // ------------------------------------------------------------------
     // Construction
     // ------------------------------------------------------------------
 
@@ -161,6 +203,17 @@ impl Ontology {
         self.range.get(&property).copied()
     }
 
+    /// Iterates over all `(property, domain class)` declarations
+    /// (unordered).
+    pub fn domains(&self) -> impl Iterator<Item = (LabelId, NodeId)> + '_ {
+        self.domain.iter().map(|(&p, &c)| (p, c))
+    }
+
+    /// Iterates over all `(property, range class)` declarations (unordered).
+    pub fn ranges(&self) -> impl Iterator<Item = (LabelId, NodeId)> + '_ {
+        self.range.iter().map(|(&p, &c)| (p, c))
+    }
+
     /// Number of declared classes.
     pub fn class_count(&self) -> usize {
         self.classes.len()
@@ -169,6 +222,22 @@ impl Ontology {
     /// Number of declared properties.
     pub fn property_count(&self) -> usize {
         self.properties.len()
+    }
+
+    /// Reassembles an ontology from snapshot parts (already-frozen
+    /// hierarchies plus the domain/range maps).
+    pub(crate) fn from_snapshot_parts(
+        classes: Hierarchy<NodeId>,
+        properties: Hierarchy<LabelId>,
+        domain: HashMap<LabelId, NodeId>,
+        range: HashMap<LabelId, NodeId>,
+    ) -> Ontology {
+        Ontology {
+            classes,
+            properties,
+            domain,
+            range,
+        }
     }
 }
 
@@ -236,6 +305,42 @@ mod tests {
         assert!(!o.is_property(lid(42)));
         assert_eq!(o.class_count(), 4);
         assert_eq!(o.property_count(), 3);
+    }
+
+    #[test]
+    fn frozen_closures_match_on_demand_answers() {
+        let mut o = sample();
+        assert!(!o.is_frozen());
+        o.freeze();
+        assert!(o.is_frozen());
+        assert_eq!(
+            o.interned_subproperties_or_self(lid(0)).unwrap(),
+            &o.subproperties_or_self(lid(0))[..]
+        );
+        assert_eq!(
+            o.interned_subclasses_or_self(ids(0)).unwrap(),
+            &o.subclasses_or_self(ids(0))[..]
+        );
+        assert_eq!(
+            o.interned_superclasses(ids(2)).unwrap(),
+            &o.superclasses(ids(2))[..]
+        );
+        assert!(o.interned_subproperties_or_self(lid(42)).is_none());
+        // Mutation invalidates; refreezing restores.
+        o.add_subproperty(lid(3), lid(0)).unwrap();
+        assert!(!o.is_frozen());
+        o.freeze();
+        assert!(o
+            .interned_subproperties_or_self(lid(0))
+            .unwrap()
+            .contains(&lid(3)));
+    }
+
+    #[test]
+    fn domain_range_iteration() {
+        let o = sample();
+        assert_eq!(o.domains().collect::<Vec<_>>(), vec![(lid(1), ids(1))]);
+        assert_eq!(o.ranges().collect::<Vec<_>>(), vec![(lid(1), ids(1))]);
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Snapshot persistence: round-trip fidelity, corruption handling, and
+//! mapping-lifetime behaviour.
+//!
+//! The contract under test: a [`Database`] opened from a snapshot image is
+//! *indistinguishable* from one rebuilt from the original graph and
+//! ontology — identical answer sequences (same tuples, same rank order,
+//! same distances) and identical [`EvalStats`] on the exact, APPROX and
+//! RELAX query sets — while corruption of the image in any form surfaces as
+//! a typed [`SnapshotError`] at open time, never a panic or a wrong answer.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use omega::core::{EvalStats, SnapshotError};
+use omega::datagen::{
+    generate_l4all, generate_yago, l4all_multi_conjunct_queries, l4all_queries,
+    yago_multi_conjunct_queries, yago_queries, Dataset, L4AllConfig, YagoConfig,
+};
+use omega::{Answer, Database, EvalOptions, ExecOptions, GraphStore, Ontology};
+use proptest::prelude::*;
+
+/// A unique temp path per call (tests and proptest cases run concurrently).
+fn temp_snapshot(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "omega-snapshot-test-{}-{tag}-{}.snapshot",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Keeps a temp file until the end of the test even on panic.
+struct TempFile(PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+fn save_and_open(db: &Database, tag: &str) -> (Database, TempFile) {
+    let path = temp_snapshot(tag);
+    db.save_snapshot(&path).expect("snapshot save");
+    let opened = Database::open_snapshot_with(&path, db.options().clone()).expect("snapshot open");
+    (opened, TempFile(path))
+}
+
+/// Drains up to `limit` answers with parallelism forced off (so the
+/// evaluator counters are deterministic) and returns them with the stats.
+/// Compile failures (e.g. a query constant absent at this dataset scale)
+/// are returned, not panicked: both databases must fail identically too.
+fn drain(
+    db: &Database,
+    text: &str,
+    limit: usize,
+) -> Result<(Vec<Answer>, EvalStats), omega::core::OmegaError> {
+    let prepared = db.prepare(text)?;
+    let request = ExecOptions::new()
+        .with_limit(limit)
+        .with_parallel_conjuncts(false);
+    let mut stream = prepared.answers(&request);
+    let answers = stream.collect_up_to(None)?;
+    Ok((answers, stream.stats()))
+}
+
+/// Asserts rebuilt and snapshot-backed databases agree on the full ordered
+/// answer sequence *and* the evaluator counters for `text` — or fail with
+/// the same error.
+fn assert_identical(rebuilt: &Database, snapshot: &Database, text: &str, limit: usize) {
+    match (drain(rebuilt, text, limit), drain(snapshot, text, limit)) {
+        (Ok((expected, expected_stats)), Ok((got, got_stats))) => {
+            assert_eq!(got, expected, "answer sequence diverged on {text}");
+            assert_eq!(got_stats, expected_stats, "EvalStats diverged on {text}");
+        }
+        (Err(expected), Err(got)) => {
+            assert_eq!(got, expected, "error diverged on {text}");
+        }
+        (expected, got) => {
+            panic!("one side failed on {text}: rebuilt {expected:?}, snapshot {got:?}")
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Round-trip fidelity on the paper's query sets
+// ----------------------------------------------------------------------
+
+fn dataset_db(dataset: &Dataset) -> Database {
+    Database::with_options(
+        dataset.graph.clone(),
+        dataset.ontology.clone(),
+        EvalOptions::default().with_max_tuples(Some(500_000)),
+    )
+}
+
+#[test]
+fn l4all_query_sets_are_bit_identical_after_reopen() {
+    let dataset = generate_l4all(&L4AllConfig::tiny());
+    let rebuilt = dataset_db(&dataset);
+    let (snapshot, _guard) = save_and_open(&rebuilt, "l4all");
+    for spec in l4all_queries() {
+        for operator in ["", "APPROX", "RELAX"] {
+            assert_identical(&rebuilt, &snapshot, &spec.with_operator(operator), 100);
+        }
+    }
+    for spec in l4all_multi_conjunct_queries() {
+        for operator in ["", "APPROX"] {
+            assert_identical(
+                &rebuilt,
+                &snapshot,
+                &spec.with_operator_everywhere(operator),
+                50,
+            );
+        }
+    }
+}
+
+#[test]
+fn yago_query_sets_are_bit_identical_after_reopen() {
+    let dataset = generate_yago(&YagoConfig::scaled(0.1));
+    let rebuilt = dataset_db(&dataset);
+    let (snapshot, _guard) = save_and_open(&rebuilt, "yago");
+    for spec in yago_queries() {
+        for operator in ["", "APPROX", "RELAX"] {
+            assert_identical(&rebuilt, &snapshot, &spec.with_operator(operator), 100);
+        }
+    }
+    for spec in yago_multi_conjunct_queries() {
+        for operator in ["", "APPROX"] {
+            assert_identical(
+                &rebuilt,
+                &snapshot,
+                &spec.with_operator_everywhere(operator),
+                50,
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_execution_agrees_on_a_snapshot_backed_database() {
+    let dataset = generate_l4all(&L4AllConfig::tiny());
+    let rebuilt = dataset_db(&dataset);
+    let (snapshot, _guard) = save_and_open(&rebuilt, "parallel");
+    let spec = &l4all_multi_conjunct_queries()[0];
+    let text = spec.with_operator_everywhere("APPROX");
+    let sequential = rebuilt
+        .execute(
+            &text,
+            &ExecOptions::new()
+                .with_limit(50)
+                .with_parallel_conjuncts(false),
+        )
+        .unwrap();
+    let parallel = snapshot
+        .execute(
+            &text,
+            &ExecOptions::new()
+                .with_limit(50)
+                .with_parallel_conjuncts(true),
+        )
+        .unwrap();
+    assert_eq!(sequential, parallel);
+}
+
+// ----------------------------------------------------------------------
+// Property test: random graphs round-trip losslessly
+// ----------------------------------------------------------------------
+
+const LABELS: [&str; 4] = ["p", "q", "r", "type"];
+
+fn graph_strategy() -> impl Strategy<Value = Vec<(u8, usize, u8)>> {
+    prop::collection::vec((0u8..12, 0usize..LABELS.len(), 0u8..12), 1..60)
+}
+
+fn build(triples: &[(u8, usize, u8)]) -> (GraphStore, Ontology) {
+    let mut g = GraphStore::new();
+    for (s, p, o) in triples {
+        if LABELS[*p] == "type" {
+            g.add_triple(&format!("n{s}"), "type", &format!("C{}", o % 3));
+        } else {
+            g.add_triple(&format!("n{s}"), LABELS[*p], &format!("n{o}"));
+        }
+    }
+    let mut o = Ontology::new();
+    let root = g.add_node("CRoot");
+    for c in 0..3 {
+        if let Some(class) = g.node_by_label(&format!("C{c}")) {
+            let _ = o.add_subclass(class, root);
+        }
+    }
+    if let (Some(p), Some(q)) = (g.label_id("p"), g.label_id("q")) {
+        let super_p = g.intern_label("super_p");
+        let _ = o.add_subproperty(p, super_p);
+        let _ = o.add_subproperty(q, super_p);
+    }
+    (g, o)
+}
+
+const QUERIES: [&str; 5] = [
+    "(?X, ?Y) <- (?X, p.q, ?Y)",
+    "(?X, ?Y) <- APPROX (?X, p+, ?Y)",
+    "(?X, ?Y) <- RELAX (?X, super_p, ?Y)",
+    "(?X, ?Y) <- RELAX (?X, type.type-, ?Y)",
+    "(?X, ?Z) <- (?X, p, ?Y), (?Y, q|r, ?Z)",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Saving and re-opening a random database changes nothing observable:
+    /// same ordered answers, same distances, same evaluator counters, for
+    /// every operator mode.
+    #[test]
+    fn random_databases_round_trip_losslessly(triples in graph_strategy(), qi in 0usize..QUERIES.len()) {
+        let (g, o) = build(&triples);
+        let rebuilt = Database::with_options(g, o, EvalOptions::default().with_max_tuples(Some(200_000)));
+        let (snapshot, _guard) = save_and_open(&rebuilt, "prop");
+        assert_identical(&rebuilt, &snapshot, QUERIES[qi], 200);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Corruption: every failure mode is a typed error, never a panic
+// ----------------------------------------------------------------------
+
+fn small_snapshot(tag: &str) -> (Vec<u8>, TempFile) {
+    let mut g = GraphStore::new();
+    g.add_triple("alice", "knows", "bob");
+    g.add_triple("bob", "worksAt", "acme");
+    g.add_triple("alice", "type", "Person");
+    let db = Database::new(g, Ontology::new());
+    let path = temp_snapshot(tag);
+    db.save_snapshot(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (bytes, TempFile(path))
+}
+
+#[test]
+fn truncated_snapshots_fail_typed() {
+    let (bytes, guard) = small_snapshot("truncate");
+    // Cut at several depths: inside the header, inside the section table,
+    // and inside the last payload.
+    for keep in [4, 20, bytes.len() / 2, bytes.len() - 3] {
+        std::fs::write(&guard.0, &bytes[..keep]).unwrap();
+        let err = Database::open_snapshot(&guard.0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "keep={keep} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn flipped_checksum_byte_fails_typed() {
+    let (mut bytes, guard) = small_snapshot("bitflip");
+    // Flip one byte in the last payload (well past the section table).
+    let target = bytes.len() - 9;
+    bytes[target] ^= 0x01;
+    std::fs::write(&guard.0, &bytes).unwrap();
+    assert!(matches!(
+        Database::open_snapshot(&guard.0),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_version_fails_typed() {
+    let (mut bytes, guard) = small_snapshot("version");
+    bytes[8] = 0x7F; // format version field
+    std::fs::write(&guard.0, &bytes).unwrap();
+    match Database::open_snapshot(&guard.0) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 0x7F);
+            assert_eq!(supported, 1);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_and_garbage_fail_typed() {
+    let (mut bytes, guard) = small_snapshot("magic");
+    bytes[0] = b'X';
+    std::fs::write(&guard.0, &bytes).unwrap();
+    assert!(matches!(
+        Database::open_snapshot(&guard.0),
+        Err(SnapshotError::BadMagic { .. })
+    ));
+    std::fs::write(&guard.0, b"this is not a snapshot at all").unwrap();
+    assert!(matches!(
+        Database::open_snapshot(&guard.0),
+        Err(SnapshotError::BadMagic { .. })
+    ));
+    let missing = temp_snapshot("missing");
+    assert!(matches!(
+        Database::open_snapshot(&missing),
+        Err(SnapshotError::Io(_))
+    ));
+}
+
+#[test]
+fn flipped_endianness_marker_fails_typed() {
+    let (mut bytes, guard) = small_snapshot("endian");
+    bytes[12..16].copy_from_slice(&[0x0A, 0x0B, 0x0C, 0x0D]); // big-endian order
+    std::fs::write(&guard.0, &bytes).unwrap();
+    assert!(matches!(
+        Database::open_snapshot(&guard.0),
+        Err(SnapshotError::ForeignEndianness)
+    ));
+}
+
+// ----------------------------------------------------------------------
+// Mapping lifetime
+// ----------------------------------------------------------------------
+
+#[test]
+fn mapping_outlives_reader_clones_and_deleted_files() {
+    let mut g = GraphStore::new();
+    g.add_triple("alice", "knows", "bob");
+    g.add_triple("bob", "knows", "carol");
+    let db = Database::new(g, Ontology::new());
+    let path = temp_snapshot("lifetime");
+    db.save_snapshot(&path).unwrap();
+
+    let first = Database::open_snapshot(&path).unwrap();
+    let second = Database::open_snapshot(&path).unwrap();
+    // On unix an unlinked file stays readable through a live mapping; the
+    // databases must not notice.
+    std::fs::remove_file(&path).unwrap();
+
+    let clone = first.clone();
+    drop(first);
+    let text = "(?X) <- (alice, knows+, ?X)";
+    let expected = db.execute(text, &ExecOptions::new()).unwrap();
+    assert_eq!(clone.execute(text, &ExecOptions::new()).unwrap(), expected);
+    assert_eq!(second.execute(text, &ExecOptions::new()).unwrap(), expected);
+
+    // Prepared queries keep the mapping alive past their database handle.
+    let prepared = second.prepare(text).unwrap();
+    drop(second);
+    drop(clone);
+    assert_eq!(prepared.execute(&ExecOptions::new()).unwrap(), expected);
+}
+
+// ----------------------------------------------------------------------
+// CI hook: exercise an externally built snapshot when one is provided
+// ----------------------------------------------------------------------
+
+/// When `OMEGA_SNAPSHOT_FILE` points at an image (CI builds one with
+/// `experiments snapshot build`), open it twice, cross-check the two
+/// openings and run a wildcard query on both — catching lifetime and
+/// alignment regressions on a file that was *not* produced by this process.
+#[test]
+fn externally_built_snapshot_opens_twice_and_agrees() {
+    let Ok(path) = std::env::var("OMEGA_SNAPSHOT_FILE") else {
+        return; // No external image supplied; the other tests built their own.
+    };
+    let first = Database::open_snapshot(&path).expect("external snapshot opens");
+    let second = Database::open_snapshot(&path).expect("external snapshot re-opens");
+    assert_eq!(first.graph().node_count(), second.graph().node_count());
+    assert_eq!(first.graph().edge_count(), second.graph().edge_count());
+    assert!(
+        first.graph().edge_count() > 0,
+        "CI snapshot must not be empty"
+    );
+    let request = ExecOptions::new()
+        .with_limit(25)
+        .with_parallel_conjuncts(false);
+    let a = first.execute("(?X, ?Y) <- (?X, _, ?Y)", &request);
+    let b = second.execute("(?X, ?Y) <- (?X, _, ?Y)", &request);
+    match (a, b) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b),
+        (a, b) => panic!("wildcard query failed: {a:?} vs {b:?}"),
+    }
+}
