@@ -27,6 +27,7 @@
 //! state ([`WeightedNfa::transitions_from`], the paper's `NextStates`).
 
 pub mod approx;
+pub mod bounds;
 pub mod decompose;
 pub mod epsilon;
 pub mod error;
@@ -39,6 +40,7 @@ pub mod simulate;
 pub mod thompson;
 
 pub use approx::{approximate, ApproxConfig};
+pub use bounds::MinCostToAccept;
 pub use decompose::decompose_alternation;
 pub use epsilon::remove_epsilons;
 pub use error::AutomatonError;

@@ -168,6 +168,7 @@ fn dr_workload() -> Vec<(bool, Tuple)> {
                 base + next() % 3
             },
             is_final: next() % 10 == 0,
+            deferred: false,
         };
         ops.push((true, tuple));
         if i % 3 == 2 {
@@ -187,7 +188,7 @@ fn bench_dr_queue(c: &mut Criterion) {
             let mut q = DrQueue::new(true);
             for (push, tuple) in &ops {
                 if *push {
-                    q.push(*tuple);
+                    q.push(*tuple, tuple.distance);
                 } else {
                     black_box(q.pop());
                 }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! experiments [FIGURE ...] [--quick | --full] [--yago-scale F]
-//!             [--max-scale L1|L2|L3|L4] [--json PATH]
+//!             [--max-scale L1|L2|L3|L4] [--samples N] [--json PATH]
 //! experiments snapshot build --out PATH [--dataset l4all|yago]
 //!             [--max-scale ..] [--yago-scale F]
 //! experiments snapshot inspect PATH
@@ -68,6 +68,13 @@ fn main() {
                     other => panic!("unknown scale {other}"),
                 };
             }
+            "--samples" => {
+                let value = iter.next().expect("--samples needs a count");
+                config.samples = value
+                    .parse::<usize>()
+                    .expect("--samples needs a number")
+                    .max(1);
+            }
             "--json" => {
                 let value = iter.next().expect("--json needs a path");
                 json_path = PathBuf::from(value);
@@ -76,7 +83,8 @@ fn main() {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
                      opt-distance opt-disjunction prepared parallel baseline startup bench all] \
-                     [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--json PATH]\n\
+                     [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--samples N] \
+                     [--json PATH]\n\
                      \x20      experiments snapshot build --out PATH [--dataset l4all|yago] \
                      [--max-scale L1..L4] [--yago-scale F]\n\
                      \x20      experiments snapshot inspect PATH"

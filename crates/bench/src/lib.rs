@@ -38,13 +38,18 @@ pub const BATCH: usize = 10;
 /// ("?" entries in Figure 10) deterministically.
 pub const MEMORY_BUDGET: usize = 2_000_000;
 
-/// Which L4All scales an experiment run covers.
+/// Which L4All scales an experiment run covers, and how often each query is
+/// sampled.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// Largest L4All scale to generate (inclusive).
     pub max_scale: L4AllScale,
     /// Scale factor of the YAGO-like graph.
     pub yago_scale: f64,
+    /// Timed runs per query; the reported latency is the median (sub-ms
+    /// rows spike 2–30x under single-shot timing). Counters and answers are
+    /// deterministic across runs and come from the median run.
+    pub samples: usize,
 }
 
 impl RunConfig {
@@ -54,6 +59,7 @@ impl RunConfig {
         RunConfig {
             max_scale: L4AllScale::L2,
             yago_scale: 0.25,
+            samples: 5,
         }
     }
 
@@ -62,6 +68,7 @@ impl RunConfig {
         RunConfig {
             max_scale: L4AllScale::L4,
             yago_scale: 1.0,
+            samples: 5,
         }
     }
 
@@ -81,8 +88,10 @@ pub struct QueryRun {
     pub id: String,
     /// Operator applied ("exact", "APPROX" or "RELAX").
     pub operator: String,
-    /// Wall-clock time.
+    /// Wall-clock time: the median over `samples` timed runs.
     pub elapsed: Duration,
+    /// Number of timed runs the reported latency is the median of.
+    pub samples: usize,
     /// Number of answers returned.
     pub answers: usize,
     /// Number of answers per non-zero distance.
@@ -144,8 +153,33 @@ pub fn run_query(db: &Database, id: &str, operator: &str, text: &str) -> QueryRu
     run_query_with(db, id, operator, text, &request)
 }
 
+/// [`run_query`] repeated `samples` times, reporting the median run (by
+/// latency). Evaluation is deterministic, so answers and counters agree
+/// across the runs; only the wall clock varies.
+pub fn run_query_sampled(
+    db: &Database,
+    id: &str,
+    operator: &str,
+    text: &str,
+    request: &ExecOptions,
+    samples: usize,
+) -> QueryRun {
+    let samples = samples.max(1);
+    let mut runs: Vec<QueryRun> = (0..samples)
+        .map(|_| run_query_with(db, id, operator, text, request))
+        .collect();
+    runs.sort_by_key(|r| r.elapsed);
+    debug_assert!(
+        runs.iter().all(|r| r.answers == runs[0].answers),
+        "sampled runs of {id} disagree on answer counts"
+    );
+    let mut median = runs.swap_remove(runs.len() / 2);
+    median.samples = samples;
+    median
+}
+
 /// [`run_query`] with an explicit request (limit, deadline, parallelism
-/// overrides, …).
+/// overrides, …). Single-shot: `samples` is 1.
 pub fn run_query_with(
     db: &Database,
     id: &str,
@@ -186,6 +220,7 @@ pub fn run_query_with(
             operator.to_owned()
         },
         elapsed: start.elapsed(),
+        samples: 1,
         answers,
         distances,
         exhausted,
@@ -193,11 +228,18 @@ pub fn run_query_with(
     }
 }
 
-/// Runs the exact, APPROX and RELAX versions of a query.
-pub fn run_all_operators(db: &Database, spec: &QuerySpec) -> Vec<QueryRun> {
+/// Runs the exact, APPROX and RELAX versions of a query, median-of-`samples`
+/// each (exact queries drain fully; flexible ones fetch the top [`TOP_K`]).
+pub fn run_all_operators(db: &Database, spec: &QuerySpec, samples: usize) -> Vec<QueryRun> {
     ["", "APPROX", "RELAX"]
         .iter()
-        .map(|op| run_query(db, spec.id, op, &spec.with_operator(op)))
+        .map(|op| {
+            let mut request = ExecOptions::new();
+            if !op.is_empty() {
+                request = request.with_limit(TOP_K);
+            }
+            run_query_sampled(db, spec.id, op, &spec.with_operator(op), &request, samples)
+        })
         .collect()
 }
 
@@ -269,7 +311,7 @@ pub fn l4all_study(config: &RunConfig, options: &EvalOptions) -> Vec<(String, Qu
             if !ids.contains(&spec.id) {
                 continue;
             }
-            for run in run_all_operators(&omega, &spec) {
+            for run in run_all_operators(&omega, &spec, config.samples) {
                 rows.push((scale.name().to_owned(), run));
             }
         }
@@ -350,7 +392,7 @@ pub fn yago_study(config: &RunConfig, options: &EvalOptions) -> Vec<QueryRun> {
         if !figure10_query_ids().contains(&spec.id) {
             continue;
         }
-        rows.extend(run_all_operators(&omega, &spec));
+        rows.extend(run_all_operators(&omega, &spec, config.samples));
     }
     rows
 }
@@ -570,7 +612,7 @@ pub fn parallel_study(config: &RunConfig, options: &EvalOptions) -> Vec<(String,
                 let request = ExecOptions::new().with_limit(TOP_K);
                 rows.push((
                     mode.to_owned(),
-                    run_query_with(db, spec.id, operator, &text, &request),
+                    run_query_sampled(db, spec.id, operator, &text, &request, config.samples),
                 ));
             }
         }
@@ -674,6 +716,9 @@ pub fn startup_study(config: &RunConfig) -> Vec<(String, QueryRun)> {
                     id: name.clone(),
                     operator: "startup".to_owned(),
                     elapsed,
+                    // Startup phases are one-shot by construction ("open
+                    // cold" means the *first* open after the write).
+                    samples: 1,
                     answers: nodes,
                     distances: BTreeMap::new(),
                     exhausted: false,
@@ -849,7 +894,7 @@ pub fn snapshot_build(
 /// Opens `path`, prints the container header and section table, and
 /// verifies the image end-to-end by constructing a [`Database`] over it.
 pub fn snapshot_inspect(path: &std::path::Path) -> Result<String, String> {
-    use omega_graph::snapshot::{SnapshotReader, FORMAT_VERSION};
+    use omega_graph::snapshot::{SectionId, SectionKind, SnapshotReader, FORMAT_VERSION};
 
     let reader = SnapshotReader::open(path).map_err(|e| e.to_string())?;
     let mut out = format!(
@@ -870,6 +915,32 @@ pub fn snapshot_inspect(path: &std::path::Path) -> Result<String, String> {
             entry.len,
             entry.checksum
         ));
+    }
+    // The label-stats section is optional: images written before it existed
+    // open fine and recompute the statistics lazily. A structurally wrong
+    // section is reported here, not panicked on — `Database::open_snapshot`
+    // below then rejects the image with its typed error.
+    match reader.section(SectionId::plain(SectionKind::LabelStats)) {
+        Some(section) => {
+            let words = section.as_u64s().map_err(|e| e.to_string())?;
+            let expected = words
+                .first()
+                .and_then(|&labels| labels.checked_mul(3))
+                .and_then(|triples| triples.checked_add(1));
+            if expected == Some(words.len() as u64) {
+                let edges: u64 = words[1..].chunks_exact(3).map(|w| w[0]).sum();
+                out.push_str(&format!(
+                    "label stats: {} labels, {edges} edges (planner-ready)\n",
+                    words[0]
+                ));
+            } else {
+                out.push_str(&format!(
+                    "label stats: malformed section ({} words)\n",
+                    words.len()
+                ));
+            }
+        }
+        None => out.push_str("label stats: absent (pre-stats image; recomputed lazily on open)\n"),
     }
     drop(reader);
     let start = Instant::now();
@@ -899,6 +970,7 @@ mod tests {
         let config = RunConfig {
             max_scale: L4AllScale::L1,
             yago_scale: 0.05,
+            samples: 1,
         };
         let summary = snapshot_build("yago", &config, &path).unwrap();
         assert!(summary.contains("nodes"));
@@ -912,11 +984,39 @@ mod tests {
     }
 
     #[test]
+    fn inspect_reports_a_malformed_stats_section_without_panicking() {
+        use omega_graph::snapshot::{
+            write_graph_sections_without_stats, SectionId, SectionKind, SnapshotWriter,
+        };
+
+        let dataset = yago_dataset(0.05);
+        let db = omega_core::Database::new(dataset.graph.clone(), dataset.ontology.clone());
+        let path = std::env::temp_dir().join(format!(
+            "omega-bench-badstats-{}.snapshot",
+            std::process::id()
+        ));
+        let mut writer = SnapshotWriter::new();
+        write_graph_sections_without_stats(db.graph(), &mut writer).unwrap();
+        omega_ontology::snapshot::write_ontology_section(db.ontology(), &mut writer).unwrap();
+        // An empty label-stats section: structurally valid container, bogus
+        // payload. Inspect must degrade to a typed error, never panic.
+        writer.add(SectionId::plain(SectionKind::LabelStats), Vec::new());
+        writer.write_to(&path).unwrap();
+        let err = snapshot_inspect(&path).unwrap_err();
+        assert!(
+            err.contains("label-stats"),
+            "expected the typed malformed-section error, got: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn startup_study_produces_all_phases_and_agreeing_answers() {
         // The study itself asserts rebuilt == snapshot-backed answers.
         let config = RunConfig {
             max_scale: L4AllScale::L1,
             yago_scale: 0.05,
+            samples: 1,
         };
         let rows = startup_study(&config);
         for phase in ["rebuild", "save", "open_cold", "open_warm"] {
@@ -957,6 +1057,7 @@ mod tests {
             id: "Q9".into(),
             operator: "APPROX".into(),
             elapsed: Duration::from_millis(5),
+            samples: 1,
             answers: 100,
             distances: [(0u32, 1usize), (1, 32), (2, 67)].into_iter().collect(),
             exhausted: false,
@@ -972,8 +1073,9 @@ mod tests {
         let dataset = generate_l4all(&L4AllConfig::tiny());
         let omega = engine_for(&dataset, EvalOptions::default());
         let spec = l4all_queries()[9].clone();
-        let runs = run_all_operators(&omega, &spec);
+        let runs = run_all_operators(&omega, &spec, 3);
         assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.samples == 3));
         let exact = &runs[0];
         let approx = &runs[1];
         let relax = &runs[2];

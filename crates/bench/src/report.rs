@@ -12,15 +12,20 @@
 //! ```json
 //! {
 //!   "bench": "BENCH_1",
-//!   "config": { "max_scale": "L2", "yago_scale": 0.25 },
+//!   "config": { "max_scale": "L2", "yago_scale": 0.25, "samples": 5 },
 //!   "queries": [
 //!     { "suite": "l4all", "scale": "L1", "id": "Q3", "operator": "APPROX",
-//!       "elapsed_ms": 1.234, "answers": 100, "exhausted": false,
-//!       "distances": { "0": 37, "1": 63 },
+//!       "elapsed_ms": 1.234, "samples": 5, "answers": 100,
+//!       "exhausted": false, "distances": { "0": 37, "1": 63 },
 //!       "stats": { "tuples_added": 123, ... } }
 //!   ]
 //! }
 //! ```
+//!
+//! `elapsed_ms` is the median over `samples` runs of the query (sub-ms rows
+//! spike 2–30x under single-shot timing; the median absorbs that). Rows
+//! whose phase is one-shot by construction (the `startup` suite: "open
+//! cold" means *first* open) carry `samples: 1`.
 
 use std::io::Write;
 use std::path::Path;
@@ -55,17 +60,20 @@ fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
     format!(
         concat!(
             "{{ \"suite\": \"{}\", \"scale\": \"{}\", \"id\": \"{}\", ",
-            "\"operator\": \"{}\", \"elapsed_ms\": {:.4}, \"answers\": {}, ",
+            "\"operator\": \"{}\", \"elapsed_ms\": {:.4}, \"samples\": {}, ",
+            "\"answers\": {}, ",
             "\"exhausted\": {}, \"distances\": {{ {} }}, ",
             "\"stats\": {{ \"tuples_added\": {}, \"tuples_processed\": {}, ",
             "\"succ_calls\": {}, \"neighbour_lookups\": {}, \"answers\": {}, ",
-            "\"suppressed\": {}, \"restarts\": {} }} }}"
+            "\"suppressed\": {}, \"restarts\": {}, \"pruned_dead\": {}, ",
+            "\"pruned_bound\": {}, \"deferred_expansions\": {} }} }}"
         ),
         escape(suite),
         escape(scale),
         escape(&run.id),
         escape(&run.operator),
         run.elapsed.as_secs_f64() * 1e3,
+        run.samples,
         run.answers,
         run.exhausted,
         distances,
@@ -76,6 +84,9 @@ fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
         stats.answers,
         stats.suppressed,
         stats.restarts,
+        stats.pruned_dead,
+        stats.pruned_bound,
+        stats.deferred_expansions,
     )
 }
 
@@ -108,10 +119,11 @@ pub fn bench_json(
         queries.push(query_json("startup", phase, run));
     }
     format!(
-        "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {} }},\n  \"queries\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {}, \"samples\": {} }},\n  \"queries\": [\n    {}\n  ]\n}}\n",
         escape(name),
         config.max_scale.name(),
         config.yago_scale,
+        config.samples,
         queries.join(",\n    ")
     )
 }
@@ -151,6 +163,7 @@ mod tests {
             id: "Q3".into(),
             operator: "APPROX".into(),
             elapsed: Duration::from_millis(5),
+            samples: 5,
             answers: 2,
             distances: [(0u32, 1usize), (1, 1)].into_iter().collect(),
             exhausted: false,
@@ -162,6 +175,9 @@ mod tests {
                 answers: 2,
                 suppressed: 0,
                 restarts: 0,
+                pruned_dead: 3,
+                pruned_bound: 2,
+                deferred_expansions: 1,
             },
         }
     }
@@ -187,7 +203,11 @@ mod tests {
         assert!(json.contains("\"scale\": \"rebuild\""));
         assert!(json.contains("\"scale\": \"open_cold\""));
         assert!(json.contains("\"elapsed_ms\": 5.0000"));
+        assert!(json.contains("\"samples\": 5"));
         assert!(json.contains("\"neighbour_lookups\": 7"));
+        assert!(json.contains("\"pruned_dead\": 3"));
+        assert!(json.contains("\"pruned_bound\": 2"));
+        assert!(json.contains("\"deferred_expansions\": 1"));
         assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
         // Six query entries.
         assert_eq!(json.matches("\"id\": \"Q3\"").count(), 6);

@@ -19,7 +19,7 @@ use crate::error::Result;
 use crate::eval::options::EvalOptions;
 use crate::eval::plan::{compile_conjunct, ConjunctPlan, SeedSpec};
 use crate::eval::stats::EvalStats;
-use crate::eval::succ::{succ, SuccScratch, SuccTransition};
+use crate::eval::succ::{succ, CostFilter, SuccScratch, SuccTransition};
 use crate::query::ast::Conjunct;
 
 /// Exhaustive BFS evaluation of one conjunct (exact semantics only: all
@@ -110,6 +110,9 @@ impl<'a> BaselineEvaluator<'a> {
                     self.stats.answers += 1;
                 }
             }
+            // Exact semantics: only zero-cost transitions participate, so
+            // the positive-cost runs (and their lookups) are filtered out
+            // at the source.
             succ(
                 self.graph,
                 self.ontology,
@@ -117,6 +120,8 @@ impl<'a> BaselineEvaluator<'a> {
                 &self.plan.nfa,
                 state,
                 node,
+                CostFilter::ZeroOnly,
+                None,
                 &mut transitions,
                 &mut scratch,
                 &mut self.stats,

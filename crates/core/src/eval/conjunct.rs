@@ -7,6 +7,8 @@ use std::time::Instant;
 use omega_graph::GraphStore;
 use omega_ontology::Ontology;
 
+use omega_automata::MinCostToAccept;
+
 use crate::answer::ConjunctAnswer;
 use crate::error::{OmegaError, Result};
 use crate::eval::dr::DrQueue;
@@ -14,7 +16,7 @@ use crate::eval::initial::InitialNodeFeed;
 use crate::eval::options::EvalOptions;
 use crate::eval::plan::ConjunctPlan;
 use crate::eval::stats::EvalStats;
-use crate::eval::succ::{succ, SuccScratch, SuccTransition};
+use crate::eval::succ::{succ, CostFilter, SuccScratch, SuccTransition};
 use crate::eval::tuple::Tuple;
 use crate::eval::visited::{PairSet, VisitedSet};
 use crate::eval::AnswerStream;
@@ -26,6 +28,24 @@ use crate::query::ast::Term;
 /// pull-based iterator: nothing beyond what is needed for the next answer is
 /// computed, and the initial-node feed is drained in batches only when the
 /// distance-0 frontier empties (Section 3.3 / 3.4 of the paper).
+///
+/// ## Cost-guided mode
+///
+/// With [`EvalOptions::cost_guided`] on (the default), the queue is keyed by
+/// `f = g + h[state]` where `h` is the plan's admissible per-state accept
+/// lower bound ([`ConjunctPlan::bounds`]); tuples whose state is dead or
+/// whose `f` provably exceeds the distance ceiling are pruned; and each
+/// tuple's positive-cost successors (wildcard edits, relaxations) are
+/// *deferred*: the fresh pop expands only the 0-cost skeleton, and a
+/// placeholder re-queued at `g + defer_delta[state]` materialises the rest
+/// only once the cursor reaches the first key at which any of them could
+/// matter. Since `h` is admissible and consistent, answers still arrive in
+/// non-decreasing final distance with exactly the same per-distance answer
+/// sets as plain `g`-ordered evaluation — a top-`k` run that stops early
+/// simply never pays for the flexible frontier beyond the `k`-th distance
+/// (see the module tests and `tests/prop_end_to_end.rs`). Only the relative
+/// order of answers *within* one distance (and the work counters) may
+/// differ between the two orderings.
 pub struct ConjunctEvaluator<'a> {
     graph: &'a GraphStore,
     ontology: &'a Ontology,
@@ -37,6 +57,14 @@ pub struct ConjunctEvaluator<'a> {
     options: Arc<EvalOptions>,
     /// Distance ceiling ψ for distance-aware evaluation (`None` = unbounded).
     psi: Option<u32>,
+    /// Whether cost-guided evaluation (f-ordering, pruning, deferral) is on.
+    cost_guided: bool,
+    /// The key fresh seeds enter the queue at (`h(initial)`; 0 when not
+    /// cost-guided). The next seed batch is due only once no work at or
+    /// below this key remains — with f-keys, gating on key 0 alone would
+    /// leave the gate permanently open whenever `h(initial) > 0` and flood
+    /// the whole feed in.
+    seed_key_floor: u32,
     /// Loop counter used to pace the wall-clock deadline checks.
     ticks: u64,
     dr: DrQueue,
@@ -74,12 +102,25 @@ impl<'a> ConjunctEvaluator<'a> {
         let feed = InitialNodeFeed::new(&plan, graph, ontology, options.batch_size);
         let dr = DrQueue::new(options.prioritize_final);
         let visited = VisitedSet::new(graph.node_count(), plan.nfa.state_count(), &plan.seeds);
+        let cost_guided = options.cost_guided;
+        let seed_key_floor = if cost_guided {
+            match plan.bounds.get(plan.nfa.initial()) {
+                // A dead initial state prunes every seed anyway; keep the
+                // gate at 0 so the feed still drains promptly.
+                MinCostToAccept::DEAD => 0,
+                h => h,
+            }
+        } else {
+            0
+        };
         ConjunctEvaluator {
             graph,
             ontology,
             plan,
             options,
             psi,
+            cost_guided,
+            seed_key_floor,
             ticks: 0,
             dr,
             visited,
@@ -104,14 +145,66 @@ impl<'a> ConjunctEvaluator<'a> {
     }
 
     fn add_tuple(&mut self, tuple: Tuple) -> Result<()> {
+        let mut key = tuple.distance;
+        if !tuple.is_final && self.cost_guided {
+            let h = self.plan.bounds.get(tuple.state);
+            // A dead state can never reach acceptance on this graph: the
+            // tuple is dropped outright (it is *not* `suppressed` — no
+            // ceiling escalation can ever recover an answer from it).
+            if h == MinCostToAccept::DEAD {
+                self.stats.pruned_dead += 1;
+                return Ok(());
+            }
+            key = tuple.distance.saturating_add(h);
+        }
         if let Some(psi) = self.psi {
             if tuple.distance > psi {
                 self.stats.suppressed += 1;
                 return Ok(());
             }
+            // Admissible bound pruning: every answer derived from this
+            // tuple has final distance ≥ g + h, so beyond ψ it cannot
+            // contribute under the current ceiling (but might after an
+            // escalation — hence also `suppressed`).
+            if key > psi {
+                self.stats.suppressed += 1;
+                self.stats.pruned_bound += 1;
+                return Ok(());
+            }
         }
-        self.dr.push(tuple);
+        self.dr.push(tuple, key);
         self.stats.tuples_added += 1;
+        self.check_budget()
+    }
+
+    /// Enqueues the deferred positive-cost expansion of a just-visited
+    /// tuple, keyed at the first point any of its successors could matter.
+    fn add_deferred(&mut self, tuple: &Tuple) -> Result<()> {
+        let delta = self.plan.defer_delta(tuple.state);
+        if delta == u32::MAX {
+            return Ok(()); // no live positive-cost transitions
+        }
+        let key = tuple.distance.saturating_add(delta);
+        if let Some(psi) = self.psi {
+            if key > psi {
+                // Every deferred successor has g + h ≥ key > ψ: prunable
+                // now, possibly relevant after an escalation.
+                self.stats.suppressed += 1;
+                self.stats.pruned_bound += 1;
+                return Ok(());
+            }
+        }
+        self.dr.push(
+            Tuple {
+                deferred: true,
+                ..*tuple
+            },
+            key,
+        );
+        self.check_budget()
+    }
+
+    fn check_budget(&self) -> Result<()> {
         if let Some(max) = self.options.max_tuples {
             let live = self.dr.len() + self.visited.len();
             if live > max {
@@ -201,8 +294,12 @@ impl<'a> ConjunctEvaluator<'a> {
             }
             self.ticks = self.ticks.wrapping_add(1);
             // Incrementally add the next batch of initial nodes when the
-            // distance-0 frontier has been consumed (lines 15–17).
-            if !self.dr.has_distance_zero() && self.feed.has_more() {
+            // frontier at the seeds' entry key has been consumed (lines
+            // 15–17; seeds enter at key `h(initial)`, which is 0 without
+            // cost guidance). Performing the refill before every pop keeps
+            // the queue's minimum key a true global minimum: unreleased
+            // seeds can only enter at keys the cursor has not passed.
+            if self.feed.has_more() && !self.dr.has_key_at_most(self.seed_key_floor) {
                 self.refill_initial()?;
             }
             let Some(tuple) = self.dr.pop() else {
@@ -223,41 +320,29 @@ impl<'a> ConjunctEvaluator<'a> {
                 continue;
             }
 
+            if tuple.deferred {
+                // The postponed positive-cost expansion of an already
+                // visited tuple: the cursor has reached the first key at
+                // which any of its wildcard/edit/relaxation successors can
+                // matter. No visited insert and no final enqueue — the
+                // fresh pop already did both.
+                self.stats.deferred_expansions += 1;
+                self.expand(&tuple, CostFilter::PositiveOnly)?;
+                continue;
+            }
+
             if !self.visited.insert(tuple.start, tuple.node, tuple.state.0) {
                 continue;
             }
-            // Expand through the product automaton (lines 10–11). The output
-            // buffer is moved out for the duration of the push loop so that
-            // `add_tuple` can borrow `self` mutably; its capacity is kept.
-            let mut transitions = std::mem::take(&mut self.succ_out);
-            succ(
-                self.graph,
-                self.ontology,
-                self.plan.inference,
-                &self.plan.nfa,
-                tuple.state,
-                tuple.node,
-                &mut transitions,
-                &mut self.scratch,
-                &mut self.stats,
-            );
-            let mut push_result = Ok(());
-            for t in &transitions {
-                if !self.visited.contains(tuple.start, t.node, t.state.0) {
-                    push_result = self.add_tuple(Tuple {
-                        start: tuple.start,
-                        node: t.node,
-                        state: t.state,
-                        distance: tuple.distance + t.cost,
-                        is_final: false,
-                    });
-                    if push_result.is_err() {
-                        break;
-                    }
-                }
+            if self.cost_guided {
+                // Fresh pop: only the 0-cost skeleton successors enter the
+                // queue now; everything with positive cost is represented by
+                // one deferred placeholder until the cursor needs it.
+                self.expand(&tuple, CostFilter::ZeroOnly)?;
+                self.add_deferred(&tuple)?;
+            } else {
+                self.expand(&tuple, CostFilter::All)?;
             }
-            self.succ_out = transitions;
-            push_result?;
             // Enqueue a pending answer when the state is final (lines 12–13).
             if let Some(weight) = self.plan.nfa.final_weight(tuple.state) {
                 if self.final_annotation_matches(&tuple)
@@ -271,6 +356,46 @@ impl<'a> ConjunctEvaluator<'a> {
                 }
             }
         }
+    }
+
+    /// Expands `tuple` through the product automaton (lines 10–11 of the
+    /// paper's `GetNext`), pushing the successors `filter` admits.
+    fn expand(&mut self, tuple: &Tuple, filter: CostFilter) -> Result<()> {
+        // The output buffer is moved out for the duration of the push loop
+        // so that `add_tuple` can borrow `self` mutably; its capacity is
+        // kept.
+        let mut transitions = std::mem::take(&mut self.succ_out);
+        succ(
+            self.graph,
+            self.ontology,
+            self.plan.inference,
+            &self.plan.nfa,
+            tuple.state,
+            tuple.node,
+            filter,
+            self.cost_guided.then_some(&self.plan.bounds),
+            &mut transitions,
+            &mut self.scratch,
+            &mut self.stats,
+        );
+        let mut push_result = Ok(());
+        for t in &transitions {
+            if !self.visited.contains(tuple.start, t.node, t.state.0) {
+                push_result = self.add_tuple(Tuple {
+                    start: tuple.start,
+                    node: t.node,
+                    state: t.state,
+                    distance: tuple.distance + t.cost,
+                    is_final: false,
+                    deferred: false,
+                });
+                if push_result.is_err() {
+                    break;
+                }
+            }
+        }
+        self.succ_out = transitions;
+        push_result
     }
 
     /// Runs the evaluator to completion (or until `limit` answers), returning
@@ -698,6 +823,126 @@ mod tests {
         assert!(stats.tuples_processed > 0);
         assert!(stats.succ_calls > 0);
         assert_eq!(stats.answers, 3);
+    }
+
+    #[test]
+    fn dead_states_kill_ghost_label_queries_outright() {
+        let (g, o) = setup();
+        // `ghost` labels no edge: the exact automaton's every state is dead
+        // against this graph, so cost-guided evaluation prunes the seeds
+        // before any expansion.
+        let q = parse_query("(?X) <- (alice, knows.ghost.knows, ?X)").unwrap();
+        let options = EvalOptions::default().with_cost_guided(true);
+        let mut eval = evaluate_conjunct(&q.conjuncts[0], &g, &o, &options).unwrap();
+        assert!(eval.collect(None).unwrap().is_empty());
+        let guided = eval.stats();
+        assert!(guided.pruned_dead > 0, "seeds must be pruned as dead");
+        assert_eq!(guided.succ_calls, 0, "no expansion may ever run");
+
+        let unguided_opts = EvalOptions::default().with_cost_guided(false);
+        let mut unguided = evaluate_conjunct(&q.conjuncts[0], &g, &o, &unguided_opts).unwrap();
+        assert!(
+            unguided.collect(None).unwrap().is_empty(),
+            "pruning must not change the (empty) answer set"
+        );
+        assert!(
+            unguided.stats().succ_calls > 0,
+            "the ablation pays the walk"
+        );
+    }
+
+    #[test]
+    fn bound_pruning_counts_against_the_distance_ceiling() {
+        let (g, o) = setup();
+        // APPROX of a ghost label: every accepting run needs ≥ 1 edit, so
+        // h[initial] ≥ 1 and a ceiling of 0 prunes the seeds by `g + h`
+        // before any of them is expanded.
+        let q = parse_query("(?X) <- APPROX (alice, ghost, ?X)").unwrap();
+        let options = EvalOptions::default()
+            .with_cost_guided(true)
+            .with_max_distance(Some(0));
+        let mut eval = evaluate_conjunct(&q.conjuncts[0], &g, &o, &options).unwrap();
+        assert!(eval.collect(None).unwrap().is_empty());
+        let stats = eval.stats();
+        assert!(stats.pruned_bound > 0, "g + h must exceed the ceiling");
+        assert!(
+            stats.suppressed >= stats.pruned_bound,
+            "bound-pruned tuples also count as suppressed (escalation signal)"
+        );
+        // Without the ceiling the same query has answers at distance 1.
+        let unbounded = run_with(
+            "(?X) <- APPROX (alice, ghost, ?X)",
+            &g,
+            &o,
+            &EvalOptions::default().with_cost_guided(true),
+        );
+        assert!(!unbounded.is_empty());
+        assert!(unbounded.iter().all(|a| a.distance >= 1));
+    }
+
+    #[test]
+    fn deferral_matches_eager_answers_and_reports_its_work() {
+        let (g, o) = setup();
+        let key = |answers: &[ConjunctAnswer]| {
+            let mut v: Vec<_> = answers.iter().map(|a| (a.x, a.y, a.distance)).collect();
+            v.sort_unstable();
+            v
+        };
+        // The RELAX query relaxes at the seed side only (`type` has no
+        // superproperty here), so its automaton carries no positive-cost
+        // transition and legitimately never defers.
+        for (query, defers) in [
+            ("(?X) <- APPROX (alice, knows.knows, ?X)", true),
+            ("(?X, ?Y) <- APPROX (?X, worksAt, ?Y)", true),
+            ("(?X) <- RELAX (Student, type-, ?X)", false),
+        ] {
+            let q = parse_query(query).unwrap();
+            let guided_opts = EvalOptions::default().with_cost_guided(true);
+            let mut guided = evaluate_conjunct(&q.conjuncts[0], &g, &o, &guided_opts).unwrap();
+            let guided_answers = guided.collect(None).unwrap();
+            let eager_opts = EvalOptions::default().with_cost_guided(false);
+            let mut eager = evaluate_conjunct(&q.conjuncts[0], &g, &o, &eager_opts).unwrap();
+            let eager_answers = eager.collect(None).unwrap();
+            assert_eq!(
+                key(&guided_answers),
+                key(&eager_answers),
+                "deferral changed answers for {query}"
+            );
+            assert_eq!(
+                guided.stats().deferred_expansions > 0,
+                defers,
+                "unexpected deferral profile for {query}"
+            );
+            assert_eq!(eager.stats().deferred_expansions, 0);
+        }
+    }
+
+    #[test]
+    fn seed_batching_stays_lazy_when_the_initial_bound_is_positive() {
+        // `ghost` labels no edge, so under APPROX every accepting run needs
+        // ≥ 1 edit and h(initial) = 1: seeds enter the queue at key 1, not
+        // 0. The refill gate must pace on the seeds' entry key — gating on
+        // key 0 alone would release a batch on *every* loop iteration and
+        // flood the whole feed in before the first answer.
+        let mut g = GraphStore::new();
+        for i in 0..500 {
+            g.add_triple(&format!("n{i}"), "p", &format!("m{i}"));
+        }
+        let o = Ontology::new();
+        let q = parse_query("(?X, ?Y) <- APPROX (?X, ghost, ?Y)").unwrap();
+        let options = EvalOptions::default().with_cost_guided(true);
+        let mut eval = evaluate_conjunct(&q.conjuncts[0], &g, &o, &options).unwrap();
+        let first = eval
+            .get_next()
+            .unwrap()
+            .expect("substitution answers exist");
+        assert_eq!(first.distance, 1);
+        let added = eval.stats().tuples_added;
+        assert!(
+            added <= 150,
+            "one batch (100 seeds) plus its expansions should suffice for \
+             the first answer, got {added} tuples added"
+        );
     }
 
     #[test]

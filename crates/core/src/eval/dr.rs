@@ -3,35 +3,41 @@
 //! The paper stores traversal tuples in a dictionary keyed by an
 //! integer-boolean pair — the distance and whether the bucket holds 'final'
 //! or 'non-final' tuples — whose values are linked lists manipulated only at
-//! their head. Removal always takes a tuple from the minimum-distance bucket,
-//! preferring the final bucket at that distance so that answers are returned
+//! their head. Removal always takes a tuple from the minimum-key bucket,
+//! preferring the final bucket at that key so that answers are returned
 //! as early as possible (a refinement the paper credits with both speed-ups
 //! and the completion of queries that previously exhausted memory).
 //!
-//! Distances are tiny bounded integers (sums of unit edit and relaxation
+//! Keys are tiny bounded integers (sums of unit edit and relaxation
 //! costs), which makes the classic *monotone bucket queue* the right
-//! structure: a dense `Vec` of buckets indexed directly by distance, with a
-//! cursor remembering the smallest possibly-occupied distance. `push` is an
+//! structure: a dense `Vec` of buckets indexed directly by key, with a
+//! cursor remembering the smallest possibly-occupied key. `push` is an
 //! array index plus a `Vec` push; `pop` takes from the cursor's bucket and
 //! only advances the cursor over (cheap, usually few) empty buckets — no
 //! tree rebalancing, no comparisons, no per-node allocation as in the
 //! previous `BTreeMap` implementation. Within a bucket, `Vec` push/pop at
 //! the tail is the O(1) "head" operation of the paper's linked lists.
 //!
-//! Pathologically large distances (possible with user-configured costs) fall
+//! The key is supplied by the caller: plain Dijkstra ordering passes the
+//! tuple's accumulated distance `g`, cost-guided (A*) ordering passes
+//! `f = g + h` where `h` is the compiled plan's admissible per-state accept
+//! lower bound — because `h` is consistent, `f` is non-decreasing along any
+//! derivation and the monotone bucket queue applies unchanged.
+//!
+//! Pathologically large keys (possible with user-configured costs) fall
 //! back to a sorted overflow map so memory stays bounded by the number of
-//! *distinct* distances, not their magnitude.
+//! *distinct* keys, not their magnitude.
 
 use std::collections::BTreeMap;
 
 use crate::eval::tuple::Tuple;
 
-/// Distances below this bound use the dense bucket array; anything larger
+/// Keys below this bound use the dense bucket array; anything larger
 /// (only reachable with exotic cost configurations) goes to the overflow
 /// map.
 const DENSE_LIMIT: u32 = 4096;
 
-/// One distance's tuples, split by finality.
+/// One key's tuples, split by finality.
 #[derive(Debug, Default)]
 struct Bucket {
     /// Final tuples (pending answers), popped first when prioritised.
@@ -49,12 +55,12 @@ impl Bucket {
 /// Indexed bucket priority queue over evaluation tuples.
 #[derive(Debug, Default)]
 pub struct DrQueue {
-    /// `buckets[d]` holds the tuples at distance `d`.
+    /// `buckets[k]` holds the tuples pushed with key `k`.
     buckets: Vec<Bucket>,
-    /// Lower bound on the smallest occupied distance in `buckets`.
+    /// Lower bound on the smallest occupied key in `buckets`.
     cursor: usize,
-    /// Tuples at distances `>= DENSE_LIMIT`, keyed `(distance, rank)` like
-    /// the original BTreeMap implementation.
+    /// Tuples at keys `>= DENSE_LIMIT`, keyed `(key, rank)` like the
+    /// original BTreeMap implementation.
     overflow: BTreeMap<(u32, u8), Vec<Tuple>>,
     len: usize,
     /// When false, final and non-final tuples share a bucket (ablation of the
@@ -74,12 +80,12 @@ impl DrQueue {
         }
     }
 
-    /// Adds a tuple.
-    pub fn push(&mut self, tuple: Tuple) {
+    /// Adds a tuple under `key` (its distance `g`, or `f = g + h` in
+    /// cost-guided mode).
+    pub fn push(&mut self, tuple: Tuple, key: u32) {
         self.len += 1;
-        let d = tuple.distance;
-        if d < DENSE_LIMIT {
-            let idx = d as usize;
+        if key < DENSE_LIMIT {
+            let idx = key as usize;
             if idx >= self.buckets.len() {
                 self.buckets.resize_with(idx + 1, Bucket::default);
             }
@@ -97,11 +103,11 @@ impl DrQueue {
             } else {
                 1
             };
-            self.overflow.entry((d, rank)).or_default().push(tuple);
+            self.overflow.entry((key, rank)).or_default().push(tuple);
         }
     }
 
-    /// Removes a tuple from the minimum-distance bucket, final tuples first.
+    /// Removes a tuple from the minimum-key bucket, final tuples first.
     pub fn pop(&mut self) -> Option<Tuple> {
         while self.cursor < self.buckets.len() {
             let bucket = &mut self.buckets[self.cursor];
@@ -132,8 +138,8 @@ impl DrQueue {
         self.len == 0
     }
 
-    /// The smallest distance currently queued.
-    pub fn min_distance(&self) -> Option<u32> {
+    /// The smallest key currently queued.
+    pub fn min_key(&self) -> Option<u32> {
         if self.len == 0 {
             return None;
         }
@@ -144,10 +150,21 @@ impl DrQueue {
         dense.or_else(|| self.overflow.keys().next().map(|&(d, _)| d))
     }
 
-    /// Whether any tuple at distance 0 is queued — the condition the paper
-    /// uses to decide when the next batch of initial nodes must be released.
-    pub fn has_distance_zero(&self) -> bool {
-        self.buckets.first().is_some_and(|b| !b.is_empty())
+    /// Whether any tuple with key `≤ key` is queued. The evaluator paces
+    /// its seed releases with this: seeds enter at key `h(initial)` (0
+    /// without cost guidance — the paper's "a distance-0 tuple is queued"
+    /// condition is exactly the `key = 0` case), so the next batch is due
+    /// only once no work at or below that key remains.
+    pub fn has_key_at_most(&self, key: u32) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        // Buckets below the cursor are empty by the cursor invariant.
+        let cap = ((key as usize).saturating_add(1)).min(self.buckets.len());
+        if self.cursor < cap && self.buckets[self.cursor..cap].iter().any(|b| !b.is_empty()) {
+            return true;
+        }
+        key >= DENSE_LIMIT && self.overflow.keys().next().is_some_and(|&(d, _)| d <= key)
     }
 }
 
@@ -164,26 +181,43 @@ mod tests {
             state: StateId(0),
             distance,
             is_final,
+            deferred: false,
         }
     }
 
+    /// Pushes under the tuple's own distance (plain Dijkstra keying).
+    fn push_g(q: &mut DrQueue, t: Tuple) {
+        q.push(t, t.distance);
+    }
+
     #[test]
-    fn pops_in_distance_order() {
+    fn pops_in_key_order() {
         let mut q = DrQueue::new(true);
-        q.push(tuple(3, false, 1));
-        q.push(tuple(1, false, 2));
-        q.push(tuple(2, false, 3));
+        push_g(&mut q, tuple(3, false, 1));
+        push_g(&mut q, tuple(1, false, 2));
+        push_g(&mut q, tuple(2, false, 3));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|t| t.distance).collect();
         assert_eq!(order, vec![1, 2, 3]);
         assert!(q.is_empty());
     }
 
     #[test]
-    fn final_tuples_first_at_equal_distance() {
+    fn key_can_differ_from_distance() {
+        // A* keying: a tuple with a small g but a large h pops after a tuple
+        // whose f is smaller.
         let mut q = DrQueue::new(true);
-        q.push(tuple(1, false, 1));
-        q.push(tuple(1, true, 2));
-        q.push(tuple(0, false, 3));
+        q.push(tuple(0, false, 1), 5); // g = 0, h = 5
+        q.push(tuple(3, false, 2), 3); // g = 3, h = 0
+        assert_eq!(q.pop().unwrap().node, NodeId(2));
+        assert_eq!(q.pop().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn final_tuples_first_at_equal_key() {
+        let mut q = DrQueue::new(true);
+        push_g(&mut q, tuple(1, false, 1));
+        push_g(&mut q, tuple(1, true, 2));
+        push_g(&mut q, tuple(0, false, 3));
         assert_eq!(q.pop().unwrap().node, NodeId(3));
         let next = q.pop().unwrap();
         assert!(next.is_final, "final tuple must be popped first");
@@ -193,8 +227,8 @@ mod tests {
     #[test]
     fn prioritisation_can_be_disabled() {
         let mut q = DrQueue::new(false);
-        q.push(tuple(1, false, 1));
-        q.push(tuple(1, true, 2));
+        push_g(&mut q, tuple(1, false, 1));
+        push_g(&mut q, tuple(1, true, 2));
         // LIFO within the single bucket: the last pushed (final) comes first,
         // but only because of insertion order, not because of its rank.
         assert_eq!(q.pop().unwrap().node, NodeId(2));
@@ -204,57 +238,73 @@ mod tests {
     #[test]
     fn lifo_within_a_bucket() {
         let mut q = DrQueue::new(true);
-        q.push(tuple(0, false, 1));
-        q.push(tuple(0, false, 2));
-        q.push(tuple(0, false, 3));
+        push_g(&mut q, tuple(0, false, 1));
+        push_g(&mut q, tuple(0, false, 2));
+        push_g(&mut q, tuple(0, false, 3));
         assert_eq!(q.pop().unwrap().node, NodeId(3));
         assert_eq!(q.pop().unwrap().node, NodeId(2));
         assert_eq!(q.pop().unwrap().node, NodeId(1));
     }
 
     #[test]
-    fn distance_zero_probe_and_len() {
+    fn key_threshold_probe_tracks_queued_keys() {
         let mut q = DrQueue::new(true);
-        assert!(!q.has_distance_zero());
-        q.push(tuple(2, false, 1));
-        assert!(!q.has_distance_zero());
-        assert_eq!(q.min_distance(), Some(2));
-        q.push(tuple(0, false, 2));
-        assert!(q.has_distance_zero());
+        assert!(!q.has_key_at_most(5));
+        push_g(&mut q, tuple(3, false, 1));
+        assert!(!q.has_key_at_most(2));
+        assert!(q.has_key_at_most(3));
+        assert!(q.has_key_at_most(9));
+        q.pop();
+        assert!(!q.has_key_at_most(u32::MAX));
+        // Overflow keys participate when the threshold reaches them.
+        push_g(&mut q, tuple(DENSE_LIMIT + 3, false, 2));
+        assert!(!q.has_key_at_most(DENSE_LIMIT));
+        assert!(q.has_key_at_most(DENSE_LIMIT + 3));
+    }
+
+    #[test]
+    fn key_zero_probe_and_len() {
+        let mut q = DrQueue::new(true);
+        assert!(!q.has_key_at_most(0));
+        push_g(&mut q, tuple(2, false, 1));
+        assert!(!q.has_key_at_most(0));
+        assert_eq!(q.min_key(), Some(2));
+        push_g(&mut q, tuple(0, false, 2));
+        assert!(q.has_key_at_most(0));
         assert_eq!(q.len(), 2);
         q.pop();
-        assert!(!q.has_distance_zero());
+        assert!(!q.has_key_at_most(0));
         assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn cursor_rewinds_when_cheaper_tuples_arrive_late() {
-        // The refill of initial nodes can add distance-0 tuples after the
-        // queue has already popped larger distances.
+        // The refill of initial nodes can add key-0 tuples after the
+        // queue has already popped larger keys.
         let mut q = DrQueue::new(true);
-        q.push(tuple(5, false, 1));
+        push_g(&mut q, tuple(5, false, 1));
         assert_eq!(q.pop().unwrap().distance, 5);
-        q.push(tuple(0, false, 2));
-        q.push(tuple(3, false, 3));
+        push_g(&mut q, tuple(0, false, 2));
+        push_g(&mut q, tuple(3, false, 3));
         assert_eq!(q.pop().unwrap().distance, 0);
         assert_eq!(q.pop().unwrap().distance, 3);
         assert!(q.pop().is_none());
     }
 
     #[test]
-    fn overflow_distances_are_ordered_with_dense_ones() {
+    fn overflow_keys_are_ordered_with_dense_ones() {
         let mut q = DrQueue::new(true);
-        q.push(tuple(1_000_000, false, 1));
-        q.push(tuple(2, false, 2));
-        q.push(tuple(DENSE_LIMIT + 7, true, 3));
-        assert_eq!(q.min_distance(), Some(2));
+        push_g(&mut q, tuple(1_000_000, false, 1));
+        push_g(&mut q, tuple(2, false, 2));
+        push_g(&mut q, tuple(DENSE_LIMIT + 7, true, 3));
+        assert_eq!(q.min_key(), Some(2));
         assert_eq!(q.pop().unwrap().distance, 2);
-        assert_eq!(q.min_distance(), Some(DENSE_LIMIT + 7));
+        assert_eq!(q.min_key(), Some(DENSE_LIMIT + 7));
         let t = q.pop().unwrap();
         assert_eq!(t.distance, DENSE_LIMIT + 7);
         assert!(t.is_final);
         assert_eq!(q.pop().unwrap().distance, 1_000_000);
         assert!(q.is_empty());
-        assert_eq!(q.min_distance(), None);
+        assert_eq!(q.min_key(), None);
     }
 }

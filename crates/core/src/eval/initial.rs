@@ -81,6 +81,7 @@ impl InitialNodeFeed {
                     state: initial_state,
                     distance,
                     is_final: false,
+                    deferred: false,
                 }),
                 None => break,
             }

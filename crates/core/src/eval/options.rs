@@ -24,6 +24,18 @@ fn parallel_conjuncts_default() -> bool {
     })
 }
 
+/// Whether `cost_guided` defaults to on. `OMEGA_COST_GUIDED=0` (or `false` /
+/// `off`) disables it suite-wide — the CI matrix runs the workspace tests in
+/// both configurations, and perf comparisons use it to measure the ablation.
+fn cost_guided_default() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("OMEGA_COST_GUIDED")
+            .map(|v| !matches!(v.as_str(), "0" | "false" | "off"))
+            .unwrap_or(true)
+    })
+}
+
 /// Options controlling query evaluation.
 ///
 /// The defaults correspond to the configuration used throughout the paper's
@@ -90,6 +102,17 @@ pub struct EvalOptions {
     /// deadline-check cadence and bail out with
     /// [`crate::OmegaError::Cancelled`] once triggered.
     pub cancel: Option<CancelToken>,
+    /// Cost-guided evaluation: order the tuple queue by `f = g + h` (the
+    /// accumulated distance plus the compiled plan's admissible per-state
+    /// accept lower bound), prune tuples that provably cannot beat the
+    /// distance ceiling, skip expansions into dead automaton states, defer
+    /// positive-cost expansions until the distance cursor needs them, and
+    /// let compilation / the rank join use the frozen label statistics for
+    /// seed-side planning. Answers keep their non-decreasing distance
+    /// order and their per-distance sets exactly; only work (and tie order
+    /// within one distance) changes. Defaults to on; `OMEGA_COST_GUIDED=0`
+    /// turns it off suite-wide.
+    pub cost_guided: bool,
 }
 
 impl Default for EvalOptions {
@@ -110,6 +133,7 @@ impl Default for EvalOptions {
             parallel_workers: 0,
             parallel_channel_capacity: DEFAULT_PARALLEL_CHANNEL_CAPACITY,
             cancel: None,
+            cost_guided: cost_guided_default(),
         }
     }
 }
@@ -178,6 +202,13 @@ impl EvalOptions {
     /// Installs the execution's shared cancellation token.
     pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Enables or disables cost-guided evaluation (A* ordering, bound and
+    /// dead-state pruning, deferred expansion, stats-driven planning).
+    pub fn with_cost_guided(mut self, on: bool) -> Self {
+        self.cost_guided = on;
         self
     }
 }

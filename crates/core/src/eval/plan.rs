@@ -18,9 +18,10 @@
 //! compilation cost again.
 
 use omega_automata::{
-    approximate, build_nfa, relax, remove_epsilons, TransitionLabel, WeightedNfa,
+    approximate, build_nfa, relax, remove_epsilons, MinCostToAccept, StateId, TransitionLabel,
+    WeightedNfa,
 };
-use omega_graph::{GraphStore, NodeId};
+use omega_graph::{Direction, GraphStore, NodeId};
 use omega_ontology::Ontology;
 use omega_regex::RpqRegex;
 
@@ -80,6 +81,22 @@ pub struct ConjunctPlan {
     /// The escalation step φ: the smallest positive cost in the automaton
     /// (1 when no flexible operator applies, so escalation terminates).
     pub phi: u32,
+    /// Admissible per-state accept lower bounds `h`, computed against what
+    /// the data graph can actually fire (labels with zero edges are treated
+    /// as absent). Cost-guided evaluation orders the tuple queue by
+    /// `f = g + h[state]`, prunes tuples with `g + h` beyond the distance
+    /// ceiling, and never expands into dead states.
+    pub bounds: MinCostToAccept,
+    /// Per-state deferral offsets: the minimum of `cost + h[target]` over
+    /// the state's live positive-cost transitions (`u32::MAX` when it has
+    /// none). A tuple's positive-cost expansion is postponed to key
+    /// `g + defer_delta[state]` — the earliest key at which any of those
+    /// successors could matter.
+    defer_delta: Vec<u32>,
+    /// Estimated number of seed nodes this conjunct's evaluation starts
+    /// from, read off the frozen label statistics. The rank join orders its
+    /// input streams by this estimate (most selective first).
+    pub estimated_seed_count: u64,
 }
 
 impl ConjunctPlan {
@@ -89,6 +106,14 @@ impl ConjunctPlan {
             .into_iter()
             .filter_map(Term::as_variable)
             .collect()
+    }
+
+    /// The deferral offset of `state`: the smallest `cost + h[target]` over
+    /// its live positive-cost transitions, or `u32::MAX` when deferred
+    /// expansion can never produce anything from this state.
+    #[inline]
+    pub fn defer_delta(&self, state: StateId) -> u32 {
+        self.defer_delta[state.index()]
     }
 }
 
@@ -103,12 +128,6 @@ pub fn compile_conjunct(
     let subject_const = conjunct.subject.as_constant();
     let object_const = conjunct.object.as_constant();
 
-    let (regex, reversed) = match (subject_const, object_const) {
-        // (?X, R, C): evaluate (C, R-, ?X).
-        (None, Some(_)) => (conjunct.regex.reverse(), true),
-        _ => (conjunct.regex.clone(), false),
-    };
-
     let resolve = |name: &str| -> Result<NodeId> {
         graph
             .node_by_label(name)
@@ -116,6 +135,27 @@ pub fn compile_conjunct(
     };
     let subject_node = subject_const.map(&resolve).transpose()?;
     let object_node = object_const.map(&resolve).transpose()?;
+
+    let (regex, reversed) = match (subject_const, object_const) {
+        // (?X, R, C): evaluate (C, R-, ?X).
+        (None, Some(_)) => (conjunct.regex.reverse(), true),
+        // (C1, R, C2): both directions are available — pick the one whose
+        // start constant has the smaller first-hop fan-out (ties keep the
+        // forward direction, the historical behaviour). RELAX is excluded
+        // because its seed-side class relaxation is tied to the start
+        // constant.
+        (Some(_), Some(_)) if options.cost_guided && conjunct.mode != QueryMode::Relax => {
+            let forward = first_hop_fanout(&conjunct.regex, subject_node.unwrap(), graph);
+            let reversed_regex = conjunct.regex.reverse();
+            let backward = first_hop_fanout(&reversed_regex, object_node.unwrap(), graph);
+            if backward < forward {
+                (reversed_regex, true)
+            } else {
+                (conjunct.regex.clone(), false)
+            }
+        }
+        _ => (conjunct.regex.clone(), false),
+    };
 
     // Build, augment and ε-free the automaton.
     let base = build_nfa(&regex, graph);
@@ -168,6 +208,88 @@ pub fn compile_conjunct(
         QueryMode::Relax => options.relax.min_cost().max(1),
     };
 
+    // Graph-aware accept lower bounds: a transition whose label can never
+    // match an edge of *this* graph is treated as absent, so states whose
+    // remaining path depends on such labels become dead (or acquire a
+    // positive bound through the edit/relaxation detours around them). The
+    // predicate under-approximates impossibility — an existing label still
+    // counts as live even if no edge of it is reachable — which is exactly
+    // what admissibility requires.
+    let inference = conjunct.mode == QueryMode::Relax && options.inference;
+    let type_label = graph.type_label();
+    let label_stats = graph.label_stats();
+    let live = |label: &TransitionLabel| -> bool {
+        match label {
+            TransitionLabel::Epsilon => false,
+            TransitionLabel::Symbol { label: None, .. } => false,
+            TransitionLabel::Symbol { label: Some(l), .. } => {
+                label_stats.has_edges(*l)
+                    || (inference
+                        && ontology
+                            .subproperties_or_self(*l)
+                            .iter()
+                            .any(|p| label_stats.has_edges(*p)))
+            }
+            TransitionLabel::AnyForward | TransitionLabel::Any => graph.edge_count() > 0,
+            TransitionLabel::TypeTo { class, .. } => {
+                let has_instances = |c: NodeId| {
+                    !graph
+                        .neighbors(c, type_label, Direction::Incoming)
+                        .is_empty()
+                };
+                has_instances(*class)
+                    || (inference
+                        && ontology
+                            .subclasses_or_self(*class)
+                            .into_iter()
+                            .any(has_instances))
+            }
+        }
+    };
+    let bounds = MinCostToAccept::compute_with(&nfa, &live);
+    let defer_delta: Vec<u32> = nfa
+        .states()
+        .map(|s| {
+            nfa.transitions_from(s)
+                .filter(|t| t.cost > 0 && live(&t.label))
+                .filter_map(|t| {
+                    let h = bounds.get(t.to);
+                    (h != MinCostToAccept::DEAD).then(|| t.cost.saturating_add(h))
+                })
+                .min()
+                .unwrap_or(u32::MAX)
+        })
+        .collect();
+
+    // Seed-cardinality estimate for the rank join's stream ordering.
+    let estimated_seed_count = match &seeds {
+        SeedSpec::Fixed(fixed) => fixed.len() as u64,
+        SeedSpec::AllNodes { .. } => graph.node_count() as u64,
+        SeedSpec::MatchingInitial => nfa
+            .initial_labels()
+            .iter()
+            .map(|label| match label {
+                TransitionLabel::Epsilon | TransitionLabel::Symbol { label: None, .. } => 0,
+                TransitionLabel::Symbol {
+                    label: Some(l),
+                    inverse,
+                    ..
+                } => {
+                    let entry = label_stats.entry(*l);
+                    if *inverse {
+                        entry.distinct_heads
+                    } else {
+                        entry.distinct_tails
+                    }
+                }
+                TransitionLabel::AnyForward | TransitionLabel::Any => graph.node_count() as u64,
+                TransitionLabel::TypeTo { class, .. } => graph
+                    .neighbors(*class, type_label, Direction::Incoming)
+                    .len() as u64,
+            })
+            .sum(),
+    };
+
     Ok(ConjunctPlan {
         mode: conjunct.mode,
         subject: conjunct.subject.clone(),
@@ -180,9 +302,44 @@ pub fn compile_conjunct(
         require_equal_endpoints,
         subject_node,
         object_node,
-        inference: conjunct.mode == QueryMode::Relax && options.inference,
+        inference,
         phi,
+        bounds,
+        defer_delta,
+        estimated_seed_count,
     })
+}
+
+/// Number of edges leaving `node` that the first transitions of `regex`
+/// could match — the cost of the first expansion step when evaluation seeds
+/// at `node`. Used to pick the cheaper direction for doubly-constant
+/// conjuncts; the estimate deliberately uses the unaugmented skeleton (the
+/// exact matches are where answers concentrate).
+fn first_hop_fanout(regex: &RpqRegex, node: NodeId, graph: &GraphStore) -> u64 {
+    let nfa = remove_epsilons(&build_nfa(regex, graph));
+    nfa.initial_labels()
+        .iter()
+        .map(|label| match label {
+            TransitionLabel::Epsilon | TransitionLabel::Symbol { label: None, .. } => 0,
+            TransitionLabel::Symbol {
+                label: Some(l),
+                inverse,
+                ..
+            } => {
+                let dir = if *inverse {
+                    Direction::Incoming
+                } else {
+                    Direction::Outgoing
+                };
+                graph.neighbors(node, *l, dir).len() as u64
+            }
+            TransitionLabel::AnyForward => graph.out_degree(node, None) as u64,
+            TransitionLabel::Any => graph.degree(node) as u64,
+            TransitionLabel::TypeTo { .. } => graph
+                .neighbors(node, graph.type_label(), Direction::Outgoing)
+                .len() as u64,
+        })
+        .sum()
 }
 
 /// The node sets selected by an initial transition label, used both for

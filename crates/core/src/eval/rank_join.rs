@@ -238,6 +238,20 @@ pub struct RankJoin<'a> {
     slots: Vec<String>,
     candidates: BinaryHeap<Reverse<Candidate>>,
     emitted: FxHashSet<SlotBindings>,
+    /// LIMIT-`k` of the enclosing request, when the join's answers map 1:1
+    /// onto the request's answers (every slot projected). Enables the
+    /// top-k threshold below.
+    limit: Option<usize>,
+    /// Max-heap over the `k` smallest candidate distances seen so far; its
+    /// root — once `k` candidates exist — is an upper bound τ on the
+    /// distance of the `k`-th join answer. A stream whose cheapest possible
+    /// future combination already exceeds τ cannot contribute to the first
+    /// `k` answers and stops being pulled (which, with lazy sequential
+    /// streams, stops its evaluator's expansion work outright).
+    topk: BinaryHeap<u32>,
+    /// Escape hatch: set when emission needs answers beyond τ after all
+    /// (ties at τ excepted, capping uses strict `>`); clears every cap.
+    capping_disabled: bool,
     stats: EvalStats,
 }
 
@@ -264,39 +278,86 @@ impl<'a> RankJoin<'a> {
             slots,
             candidates: BinaryHeap::new(),
             emitted: FxHashSet::default(),
+            limit: None,
+            topk: BinaryHeap::new(),
+            capping_disabled: false,
             stats: EvalStats::default(),
         }
     }
 
-    /// Lower bound on the total distance of any combination not yet buffered.
-    /// `None` when every stream is exhausted (nothing new can appear).
-    fn future_lower_bound(&self) -> Option<u32> {
+    /// Installs the enclosing request's answer limit for top-k threshold
+    /// pruning. Only sound when every join answer becomes a request answer
+    /// (i.e. the head projects every slot, so no join answer is consumed by
+    /// projection-level deduplication) — the caller checks that. Limits of
+    /// zero are ignored (such requests never pull the join at all).
+    pub fn set_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit.filter(|&k| k > 0);
+    }
+
+    /// Upper bound τ on the `k`-th join answer's distance, once known.
+    fn threshold(&self) -> Option<u32> {
+        if self.capping_disabled {
+            return None;
+        }
+        let k = self.limit?;
+        (self.topk.len() >= k).then(|| *self.topk.peek().expect("k > 0"))
+    }
+
+    /// Records a candidate's distance in the top-k tracker.
+    fn record_candidate(&mut self, distance: u32) {
+        let Some(k) = self.limit else { return };
+        if self.topk.len() < k {
+            self.topk.push(distance);
+        } else if distance < *self.topk.peek().expect("k > 0") {
+            self.topk.pop();
+            self.topk.push(distance);
+        }
+    }
+
+    /// The cheapest total distance a *future* combination involving input
+    /// `i`'s next answers could have.
+    fn stream_bound(&self, i: usize) -> u32 {
+        let mut bound = self.inputs[i].last_distance;
+        for (j, other) in self.inputs.iter().enumerate() {
+            if i != j {
+                bound += other.min_distance.unwrap_or(0);
+            }
+        }
+        bound
+    }
+
+    /// Whether input `i` is capped by the top-k threshold: pulling it
+    /// further cannot contribute to the first `k` answers.
+    fn is_capped(&self, i: usize, tau: Option<u32>) -> bool {
+        tau.is_some_and(|t| self.stream_bound(i) > t)
+    }
+
+    /// Lower bound on the total distance of any combination not yet
+    /// buffered from an uncapped stream. `None` when every stream is
+    /// exhausted or capped (nothing at or below τ can still appear).
+    fn future_lower_bound(&self, tau: Option<u32>) -> Option<u32> {
         let mut best: Option<u32> = None;
         for (i, input) in self.inputs.iter().enumerate() {
-            if input.done {
+            if input.done || self.is_capped(i, tau) {
                 continue;
             }
-            let mut bound = input.last_distance;
-            for (j, other) in self.inputs.iter().enumerate() {
-                if i != j {
-                    bound += other.min_distance.unwrap_or(0);
-                }
-            }
+            let bound = self.stream_bound(i);
             best = Some(best.map_or(bound, |b: u32| b.min(bound)));
         }
         best
     }
 
     /// Pulls one answer from the most promising live stream and joins it
-    /// against the other buffers. Returns `false` when every stream is done.
-    fn pull_once(&mut self) -> Result<bool> {
-        // Pull from the live stream whose last distance is smallest: it is
-        // the one holding the lower bound down.
+    /// against the other buffers. Returns `false` when every stream is done
+    /// (or capped by the top-k threshold).
+    fn pull_once(&mut self, tau: Option<u32>) -> Result<bool> {
+        // Pull from the live, uncapped stream whose last distance is
+        // smallest: it is the one holding the lower bound down.
         let Some(idx) = self
             .inputs
             .iter()
             .enumerate()
-            .filter(|(_, input)| !input.done)
+            .filter(|&(i, input)| !input.done && !self.is_capped(i, tau))
             .min_by_key(|(_, input)| input.last_distance)
             .map(|(i, _)| i)
         else {
@@ -341,6 +402,7 @@ impl<'a> RankJoin<'a> {
                     }
                 }
                 for (bindings, distance) in partials {
+                    self.record_candidate(distance);
                     self.candidates
                         .push(Reverse(Candidate { distance, bindings }));
                 }
@@ -364,10 +426,36 @@ impl<'a> RankJoin<'a> {
     /// the answer stream; [`RankJoin::get_next`] wraps it with names.
     pub fn get_next_slots(&mut self) -> Result<Option<(SlotBindings, u32)>> {
         loop {
-            let emit_now = match (self.candidates.peek(), self.future_lower_bound()) {
-                (Some(Reverse(best)), Some(bound)) => best.distance <= bound,
-                (Some(_), None) => true,
-                (None, None) => return Ok(None),
+            let tau = self.threshold();
+            let bound = self.future_lower_bound(tau);
+            let any_live = self.inputs.iter().any(|input| !input.done);
+            let emit_now = match (self.candidates.peek(), bound) {
+                // Safe against capped streams by construction: an uncapped
+                // live stream has `stream_bound ≤ τ` by the definition of
+                // capping, so `b ≤ τ` here and emission (`best ≤ b ≤ τ`)
+                // can never release a candidate a capped stream — whose
+                // future combinations all cost `> τ` — could still beat.
+                (Some(Reverse(best)), Some(b)) => best.distance <= b,
+                (Some(Reverse(best)), None) => {
+                    if any_live && tau.is_some_and(|t| best.distance > t) {
+                        // Every remaining live stream is capped, but the
+                        // caller wants answers past the threshold (more
+                        // join-level duplicates than expected): resume
+                        // pulling everywhere rather than emit out of order.
+                        self.capping_disabled = true;
+                        continue;
+                    }
+                    true
+                }
+                (None, None) => {
+                    if any_live {
+                        // All live streams capped and no candidate buffered:
+                        // the request outlived the top-k window.
+                        self.capping_disabled = true;
+                        continue;
+                    }
+                    return Ok(None);
+                }
                 (None, Some(_)) => false,
             };
             if emit_now {
@@ -378,8 +466,8 @@ impl<'a> RankJoin<'a> {
                 }
                 continue;
             }
-            if !self.pull_once()? {
-                // Everything exhausted; drain remaining candidates.
+            if !self.pull_once(tau)? {
+                // Everything exhausted (or capped); drain candidates.
                 continue;
             }
         }
@@ -606,6 +694,44 @@ mod tests {
         let got_set: std::collections::BTreeMap<Vec<(String, u32)>, u32> =
             got.into_iter().map(|(d, b)| (b, d)).collect();
         assert_eq!(got_set, best);
+    }
+
+    #[test]
+    fn top_k_capping_survives_duplicate_candidate_deflation() {
+        // Duplicate candidates (same bindings, different distances — e.g. a
+        // stream re-deriving one pair at a relaxed cost) consume top-k
+        // tracker slots, so τ can undershoot the k-th *distinct* answer's
+        // distance and every live stream can end up capped. The join must
+        // then uncap and keep producing — bit-identically to an unlimited
+        // join — rather than stall or emit out of order.
+        let rows_a = vec![(1, 10, 0), (1, 10, 2), (2, 10, 3)];
+        let rows_b = vec![(10, 100, 0), (10, 200, 40)];
+        let run = |limit: Option<usize>, take: usize| {
+            let a = input(rows_a.clone(), Some("X"), Some("Y"));
+            let b = input(rows_b.clone(), Some("Y"), Some("Z"));
+            let mut join = RankJoin::new(vec![a, b]);
+            join.set_limit(limit);
+            let mut out = Vec::new();
+            while out.len() < take {
+                match join.get_next().unwrap() {
+                    Some((bindings, d)) => out.push((bindings, d)),
+                    None => break,
+                }
+            }
+            out
+        };
+        let reference = run(None, 4);
+        assert_eq!(reference.len(), 4, "the uncapped join finds all answers");
+        for k in 1..=4 {
+            assert_eq!(
+                run(Some(k), k),
+                reference[..k],
+                "limit {k} must emit the same top-{k} prefix"
+            );
+        }
+        // And a caller that asks *past* its declared limit still gets the
+        // full, ordered sequence (the uncap escape hatch).
+        assert_eq!(run(Some(2), 4), reference);
     }
 
     #[test]

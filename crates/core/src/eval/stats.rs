@@ -20,6 +20,18 @@ pub struct EvalStats {
     pub suppressed: u64,
     /// Number of evaluation restarts performed by the escalating drivers.
     pub restarts: u64,
+    /// Tuples (or transitions) dropped because their automaton state can
+    /// never reach acceptance against this graph (cost-guided evaluation).
+    pub pruned_dead: u64,
+    /// Tuples dropped because `g + h` — the accumulated distance plus the
+    /// admissible per-state accept lower bound — provably exceeded the
+    /// distance ceiling (cost-guided evaluation; also counted in
+    /// `suppressed`, since a higher ceiling could admit them).
+    pub pruned_bound: u64,
+    /// Deferred positive-cost expansions performed: tuples whose wildcard /
+    /// edit / relaxation successors were materialised only once the distance
+    /// cursor reached them (cost-guided evaluation).
+    pub deferred_expansions: u64,
 }
 
 impl AddAssign for EvalStats {
@@ -31,6 +43,9 @@ impl AddAssign for EvalStats {
         self.answers += rhs.answers;
         self.suppressed += rhs.suppressed;
         self.restarts += rhs.restarts;
+        self.pruned_dead += rhs.pruned_dead;
+        self.pruned_bound += rhs.pruned_bound;
+        self.deferred_expansions += rhs.deferred_expansions;
     }
 }
 
@@ -38,14 +53,18 @@ impl std::fmt::Display for EvalStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "added={} processed={} succ={} lookups={} answers={} suppressed={} restarts={}",
+            "added={} processed={} succ={} lookups={} answers={} suppressed={} restarts={} \
+             pruned_dead={} pruned_bound={} deferred={}",
             self.tuples_added,
             self.tuples_processed,
             self.succ_calls,
             self.neighbour_lookups,
             self.answers,
             self.suppressed,
-            self.restarts
+            self.restarts,
+            self.pruned_dead,
+            self.pruned_bound,
+            self.deferred_expansions
         )
     }
 }
@@ -64,10 +83,17 @@ mod tests {
             answers: 5,
             suppressed: 6,
             restarts: 7,
+            pruned_dead: 8,
+            pruned_bound: 9,
+            deferred_expansions: 10,
         };
         a += a;
         assert_eq!(a.tuples_added, 2);
         assert_eq!(a.restarts, 14);
+        assert_eq!(a.pruned_dead, 16);
+        assert_eq!(a.pruned_bound, 18);
+        assert_eq!(a.deferred_expansions, 20);
         assert!(a.to_string().contains("answers=10"));
+        assert!(a.to_string().contains("pruned_dead=16"));
     }
 }

@@ -16,11 +16,40 @@
 //! caller-provided buffer that is reused across calls. [`succ`] likewise
 //! appends into a reusable output vector instead of returning a fresh one.
 
-use omega_automata::{StateId, TransitionLabel, WeightedNfa};
+use omega_automata::{MinCostToAccept, StateId, TransitionLabel, WeightedNfa};
 use omega_graph::{Direction, GraphStore, LabelId, NodeId};
 use omega_ontology::Ontology;
 
 use crate::eval::stats::EvalStats;
+
+/// Which transition costs an expansion materialises.
+///
+/// Cost-guided evaluation splits each tuple's expansion in two: the 0-cost
+/// skeleton successors are produced when the tuple pops, and the
+/// positive-cost successors (wildcard edits, relaxations) only when a
+/// deferred placeholder re-pops at the key where they can first matter —
+/// so a label whose transitions are all filtered out never even pays its
+/// neighbour lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostFilter {
+    /// Every transition (plain, non-guided evaluation).
+    All,
+    /// Only cost-0 transitions (the fresh pop of a cost-guided tuple).
+    ZeroOnly,
+    /// Only positive-cost transitions (the deferred re-expansion).
+    PositiveOnly,
+}
+
+impl CostFilter {
+    #[inline]
+    fn admits(self, cost: u32) -> bool {
+        match self {
+            CostFilter::All => true,
+            CostFilter::ZeroOnly => cost == 0,
+            CostFilter::PositiveOnly => cost > 0,
+        }
+    }
+}
 
 /// The empty neighbour set, returned without touching the heap for
 /// transitions that can never match an edge (ε and unresolved symbols).
@@ -218,13 +247,17 @@ pub fn neighbours_by_edge<'a>(
     }
 }
 
-/// The paper's `Succ(s, n)`: all product-automaton transitions leaving
-/// `(s, n)`, appended to `out` (which is cleared first).
+/// The paper's `Succ(s, n)`: the product-automaton transitions leaving
+/// `(s, n)` that `filter` admits, appended to `out` (cleared first).
 ///
 /// Consecutive automaton transitions with the same label (the automaton keeps
 /// its transitions label-sorted) share one `neighbours_by_edge` call, and the
 /// caller's `out` / `scratch` buffers are reused so the steady state performs
-/// no allocation.
+/// no allocation. When `bounds` is supplied (cost-guided evaluation),
+/// transitions into dead automaton states — states that can never reach
+/// acceptance against this graph — are dropped before any adjacency is
+/// touched, and a label whose entire run is filtered out skips its
+/// neighbour lookup altogether.
 #[allow(clippy::too_many_arguments)]
 pub fn succ(
     graph: &GraphStore,
@@ -233,6 +266,8 @@ pub fn succ(
     nfa: &WeightedNfa,
     state: StateId,
     node: NodeId,
+    filter: CostFilter,
+    bounds: Option<&MinCostToAccept>,
     out: &mut Vec<SuccTransition>,
     scratch: &mut SuccScratch,
     stats: &mut EvalStats,
@@ -242,15 +277,22 @@ pub fn succ(
     let SuccScratch { neighbours, run } = scratch;
     let mut transitions = nfa.transitions_from(state).peekable();
     while let Some(first) = transitions.next() {
-        // Gather the run of transitions sharing `first.label`.
+        // Gather the admitted run of transitions sharing `first.label`.
         run.clear();
-        run.push((first.cost, first.to));
-        while let Some(next) = transitions.peek() {
-            if next.label != first.label {
-                break;
+        for t in std::iter::once(first).chain(std::iter::from_fn(|| {
+            transitions.next_if(|next| next.label == first.label)
+        })) {
+            if !filter.admits(t.cost) {
+                continue;
             }
-            run.push((next.cost, next.to));
-            transitions.next();
+            if bounds.is_some_and(|b| b.is_dead(t.to)) {
+                stats.pruned_dead += 1;
+                continue;
+            }
+            run.push((t.cost, t.to));
+        }
+        if run.is_empty() {
+            continue;
         }
         let reached = neighbours_by_edge(
             graph,
@@ -324,6 +366,8 @@ mod tests {
             nfa,
             state,
             node,
+            CostFilter::All,
+            None,
             &mut out,
             &mut scratch,
             stats,
@@ -573,6 +617,8 @@ mod tests {
             &nfa,
             nfa.initial(),
             a,
+            CostFilter::All,
+            None,
             &mut out,
             &mut scratch,
             &mut stats,
@@ -585,10 +631,94 @@ mod tests {
             &nfa,
             nfa.initial(),
             a,
+            CostFilter::All,
+            None,
             &mut out,
             &mut scratch,
             &mut stats,
         );
         assert_eq!(out, first, "stale entries must not accumulate");
+    }
+
+    #[test]
+    fn cost_filter_splits_expansions_without_losing_any() {
+        use omega_automata::{approximate, ApproxConfig};
+        let (g, o) = setup();
+        let nfa = omega_automata::remove_epsilons(&approximate(
+            &build_nfa(&parse("knows").unwrap(), &g),
+            &ApproxConfig::default(),
+        ));
+        let a = g.node_by_label("a").unwrap();
+        let mut scratch = SuccScratch::new();
+        let mut run = |filter: CostFilter, stats: &mut EvalStats| {
+            let mut out = Vec::new();
+            succ(
+                &g,
+                &o,
+                false,
+                &nfa,
+                nfa.initial(),
+                a,
+                filter,
+                None,
+                &mut out,
+                &mut scratch,
+                stats,
+            );
+            out
+        };
+        let mut stats = EvalStats::default();
+        let mut all = run(CostFilter::All, &mut stats);
+        let all_lookups = stats.neighbour_lookups;
+        let mut stats = EvalStats::default();
+        let zero = run(CostFilter::ZeroOnly, &mut stats);
+        assert!(
+            stats.neighbour_lookups < all_lookups,
+            "a zero-only expansion must skip the wildcard lookups entirely"
+        );
+        let mut stats = EvalStats::default();
+        let positive = run(CostFilter::PositiveOnly, &mut stats);
+        assert!(zero.iter().all(|t| t.cost == 0));
+        assert!(positive.iter().all(|t| t.cost > 0));
+        let mut split: Vec<_> = zero.into_iter().chain(positive).collect();
+        let key = |t: &SuccTransition| (t.cost, t.state, t.node);
+        split.sort_by_key(key);
+        all.sort_by_key(key);
+        assert_eq!(split, all, "the two phases must partition the expansion");
+    }
+
+    #[test]
+    fn dead_states_are_pruned_before_the_lookup() {
+        use omega_automata::MinCostToAccept;
+        let (g, o) = setup();
+        let nfa = omega_automata::remove_epsilons(&build_nfa(&parse("knows.ghost").unwrap(), &g));
+        let a = g.node_by_label("a").unwrap();
+        // `ghost` resolves to no graph label, so the post-`knows` state is
+        // dead under a graph-aware liveness predicate.
+        let bounds = MinCostToAccept::compute_with(&nfa, |l| {
+            !matches!(l, TransitionLabel::Symbol { label: None, .. })
+        });
+        let mut out = Vec::new();
+        let mut scratch = SuccScratch::new();
+        let mut stats = EvalStats::default();
+        succ(
+            &g,
+            &o,
+            false,
+            &nfa,
+            nfa.initial(),
+            a,
+            CostFilter::All,
+            Some(&bounds),
+            &mut out,
+            &mut scratch,
+            &mut stats,
+        );
+        assert!(out.is_empty(), "the only successor lands in a dead state");
+        assert!(stats.pruned_dead > 0);
+        assert_eq!(
+            stats.neighbour_lookups, 0,
+            "the adjacency must never be touched for a fully dead run"
+        );
     }
 }

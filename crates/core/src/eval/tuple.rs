@@ -20,6 +20,12 @@ pub struct Tuple {
     /// Whether this is a 'final' tuple (a pending answer) rather than a
     /// traversal frontier entry.
     pub is_final: bool,
+    /// Cost-guided evaluation: a placeholder re-queued at the key of the
+    /// tuple's cheapest positive-cost successor. When it pops, the
+    /// positive-cost transitions (wildcards, edits, relaxations) of the
+    /// original `(v, n, s)` tuple — whose `distance` this tuple still
+    /// carries — are expanded; until then none of them occupy `D_R`.
+    pub deferred: bool,
 }
 
 impl Tuple {
@@ -31,6 +37,7 @@ impl Tuple {
             state,
             distance,
             is_final: false,
+            deferred: false,
         }
     }
 }

@@ -447,13 +447,23 @@ impl PreparedInner {
         } else {
             options.parallel_workers
         };
-        let inputs = self
-            .conjuncts
+        // Stats-driven stream ordering (cost-guided): most selective
+        // conjunct first, by the compile-time seed-cardinality estimate.
+        // The join drains earlier inputs first on distance ties, so sparse
+        // streams buffering fully before the big ones keeps probe work
+        // small; answer *sets* are order-independent. Stable sort: equal
+        // estimates keep the query's syntactic order.
+        let mut order: Vec<usize> = (0..self.conjuncts.len()).collect();
+        if options.cost_guided && self.conjuncts.len() > 1 {
+            order.sort_by_key(|&i| self.conjuncts[i].plan.estimated_seed_count);
+        }
+        let inputs = order
             .iter()
             .enumerate()
-            .map(|(i, pc)| {
+            .map(|(pos, &i)| {
+                let pc = &self.conjuncts[i];
                 let plan = stream_plan(pc, &self.query.conjuncts[i], graph, ontology, &options);
-                let stream: Box<dyn AnswerStream + 'a> = if parallel && i < worker_budget {
+                let stream: Box<dyn AnswerStream + 'a> = if parallel && pos < worker_budget {
                     match ParallelStream::spawn(plan, Arc::clone(data), Arc::clone(&options), pool)
                     {
                         Ok(stream) => Box::new(stream),
@@ -467,11 +477,11 @@ impl PreparedInner {
                 JoinInput::new(stream, pc.subject_var.clone(), pc.object_var.clone())
             })
             .collect();
-        let join = RankJoin::new(inputs);
+        let mut join = RankJoin::new(inputs);
         // Head variables resolve to join slot indices exactly once per
         // execution; projection and deduplication then work on dense
         // node-id tuples, never on name-keyed bindings.
-        let head_slots = self
+        let head_slots: Vec<usize> = self
             .query
             .head
             .iter()
@@ -480,6 +490,18 @@ impl PreparedInner {
                     .expect("validated head variable occurs in some conjunct")
             })
             .collect();
+        // Top-k threshold pushdown: when every join slot is projected, the
+        // projection-level deduplication can never consume a join answer,
+        // so the request's limit bounds the join answers needed and streams
+        // provably past the k-th distance stop being pulled.
+        if options.cost_guided {
+            let mut distinct = head_slots.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() == join.slot_names().len() {
+                join.set_limit(limit);
+            }
+        }
         Answers {
             graph,
             join,
@@ -614,6 +636,8 @@ pub struct ExecOptions {
     pub parallel_workers: Option<usize>,
     /// Per-worker answer channel capacity override.
     pub parallel_channel_capacity: Option<usize>,
+    /// Cost-guided evaluation override (see [`EvalOptions::cost_guided`]).
+    pub cost_guided: Option<bool>,
 }
 
 impl ExecOptions {
@@ -698,6 +722,15 @@ impl ExecOptions {
         self
     }
 
+    /// Enables or disables cost-guided evaluation (A* queue ordering,
+    /// bound/dead-state pruning, deferred expansion, stats-driven planning)
+    /// for this request. Answer sets, distances and the non-decreasing
+    /// distance order are identical either way; only work changes.
+    pub fn with_cost_guided(mut self, on: bool) -> Self {
+        self.cost_guided = Some(on);
+        self
+    }
+
     /// Folds the overrides into `base`, resolving the relative timeout into
     /// an absolute deadline at call time (i.e. execution start).
     pub(crate) fn resolve(&self, base: &EvalOptions) -> EvalOptions {
@@ -725,6 +758,9 @@ impl ExecOptions {
         }
         if let Some(capacity) = self.parallel_channel_capacity {
             options.parallel_channel_capacity = capacity.max(1);
+        }
+        if let Some(on) = self.cost_guided {
+            options.cost_guided = on;
         }
         if self.max_distance.is_some() {
             options.max_distance = self.max_distance;

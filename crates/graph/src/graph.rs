@@ -9,6 +9,7 @@ use crate::hash::FxHashMap;
 use crate::ids::{Direction, LabelId, NodeId};
 use crate::interner::LabelInterner;
 use crate::snapshot::map::MappedSlice;
+use crate::stats::LabelStats;
 
 /// The distinguished edge label connecting an entity instance to its class.
 pub const TYPE_LABEL: &str = "type";
@@ -166,6 +167,9 @@ pub struct GraphStore {
     /// snapshot-loaded stores, whose edges live solely in the CSR until a
     /// mutation forces [`GraphStore::hydrate_builder`].
     pub(crate) hydrated: bool,
+    /// Cached per-label cardinalities, built on first use (or pre-populated
+    /// from a snapshot's stats section) and invalidated by edge mutations.
+    pub(crate) label_stats: OnceLock<LabelStats>,
 }
 
 impl Default for GraphStore {
@@ -192,6 +196,7 @@ impl GraphStore {
             edge_count: 0,
             csr: None,
             hydrated: true,
+            label_stats: OnceLock::new(),
         }
     }
 
@@ -401,6 +406,7 @@ impl GraphStore {
             return false;
         }
         self.csr = None;
+        self.label_stats = OnceLock::new();
         out.push(target);
         adj.inc.entry(target).or_default().push(source);
         adj.edge_count += 1;
@@ -594,6 +600,42 @@ impl GraphStore {
     /// Total degree (in + out) of `node` over all labels.
     pub fn degree(&self, node: NodeId) -> usize {
         self.out_degree(node, None) + self.in_degree(node, None)
+    }
+
+    // ------------------------------------------------------------------
+    // Cardinality statistics
+    // ------------------------------------------------------------------
+
+    /// Per-label edge and distinct-endpoint counts, computed on first use
+    /// and cached (edge mutations invalidate the cache). Snapshot-loaded
+    /// stores whose image carried a stats section start pre-populated;
+    /// pre-stats images recompute here lazily.
+    pub fn label_stats(&self) -> &LabelStats {
+        self.label_stats.get_or_init(|| LabelStats::compute(self))
+    }
+
+    /// Number of distinct source nodes of edges labelled `label`.
+    pub(crate) fn distinct_tails(&self, label: LabelId) -> usize {
+        if let Some(csr) = &self.csr {
+            return csr
+                .layer(label, true)
+                .map_or(0, |layer| layer.occupied_nodes().count());
+        }
+        self.adjacency
+            .get(label.index())
+            .map_or(0, |adj| adj.out.len())
+    }
+
+    /// Number of distinct target nodes of edges labelled `label`.
+    pub(crate) fn distinct_heads(&self, label: LabelId) -> usize {
+        if let Some(csr) = &self.csr {
+            return csr
+                .layer(label, false)
+                .map_or(0, |layer| layer.occupied_nodes().count());
+        }
+        self.adjacency
+            .get(label.index())
+            .map_or(0, |adj| adj.inc.len())
     }
 }
 

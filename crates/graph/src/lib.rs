@@ -71,4 +71,4 @@ pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Direction, LabelId, NodeId};
 pub use interner::LabelInterner;
 pub use snapshot::SnapshotError;
-pub use stats::GraphStats;
+pub use stats::{GraphStats, LabelEntry, LabelStats};

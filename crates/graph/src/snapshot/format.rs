@@ -70,6 +70,11 @@ pub enum SectionKind {
     MixedEntries,
     /// The ontology image: hierarchies, domain/range, interned closures.
     Ontology,
+    /// Per-label cardinalities (`u64` words: label count, then
+    /// `(edges, distinct_tails, distinct_heads)` per label). Optional —
+    /// images written before this section existed open fine and recompute
+    /// the statistics lazily.
+    LabelStats,
 }
 
 impl SectionKind {
@@ -86,6 +91,7 @@ impl SectionKind {
             SectionKind::MixedOffsets => 7,
             SectionKind::MixedEntries => 8,
             SectionKind::Ontology => 9,
+            SectionKind::LabelStats => 10,
         }
     }
 
@@ -102,6 +108,7 @@ impl SectionKind {
             7 => SectionKind::MixedOffsets,
             8 => SectionKind::MixedEntries,
             9 => SectionKind::Ontology,
+            10 => SectionKind::LabelStats,
             _ => return None,
         })
     }
@@ -120,6 +127,7 @@ impl fmt::Display for SectionKind {
             SectionKind::MixedOffsets => "mixed-offsets",
             SectionKind::MixedEntries => "mixed-entries",
             SectionKind::Ontology => "ontology",
+            SectionKind::LabelStats => "label-stats",
         };
         f.write_str(name)
     }

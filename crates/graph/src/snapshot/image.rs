@@ -36,6 +36,24 @@ pub fn write_graph_sections(
     store: &GraphStore,
     writer: &mut SnapshotWriter,
 ) -> Result<(), SnapshotError> {
+    write_graph_sections_with(store, writer, true)
+}
+
+/// [`write_graph_sections`] without the (optional) label-stats section —
+/// the exact section set images carried before the statistics existed.
+/// Exposed so compatibility tests can produce pre-stats fixtures.
+pub fn write_graph_sections_without_stats(
+    store: &GraphStore,
+    writer: &mut SnapshotWriter,
+) -> Result<(), SnapshotError> {
+    write_graph_sections_with(store, writer, false)
+}
+
+fn write_graph_sections_with(
+    store: &GraphStore,
+    writer: &mut SnapshotWriter,
+    include_label_stats: bool,
+) -> Result<(), SnapshotError> {
     let csr = store.csr.as_ref().ok_or_else(|| {
         SnapshotError::malformed("graph must be frozen before it can be snapshotted")
     })?;
@@ -95,6 +113,20 @@ pub fn write_graph_sections(
                 param: incoming as u32,
             },
             entries,
+        );
+    }
+    if include_label_stats {
+        let stats = store.label_stats();
+        let mut words: Vec<u64> = Vec::with_capacity(1 + stats.label_count() * 3);
+        words.push(stats.label_count() as u64);
+        for entry in stats.entries() {
+            words.push(entry.edges);
+            words.push(entry.distinct_tails);
+            words.push(entry.distinct_heads);
+        }
+        writer.add(
+            SectionId::plain(SectionKind::LabelStats),
+            u64_payload(words),
         );
     }
     Ok(())
@@ -218,6 +250,13 @@ pub fn read_graph(reader: &SnapshotReader) -> Result<GraphStore, SnapshotError> 
         )));
     }
 
+    // The label-stats section is optional: pre-stats images simply leave
+    // the cache empty and the statistics are recomputed lazily on first use.
+    let label_stats = std::sync::OnceLock::new();
+    if let Some(section) = reader.section(SectionId::plain(SectionKind::LabelStats)) {
+        let _ = label_stats.set(read_label_stats(&section, label_count)?);
+    }
+
     Ok(GraphStore {
         node_labels,
         node_index: FxHashMap::default(),
@@ -238,7 +277,33 @@ pub fn read_graph(reader: &SnapshotReader) -> Result<GraphStore, SnapshotError> 
             in_all,
         }),
         hydrated: false,
+        label_stats,
     })
+}
+
+/// Decodes a label-stats section: a label count followed by
+/// `(edges, distinct_tails, distinct_heads)` word triples.
+fn read_label_stats(
+    section: &MappedSlice,
+    label_count: usize,
+) -> Result<crate::stats::LabelStats, SnapshotError> {
+    let words = section.as_u64s()?;
+    if words.len() != 1 + label_count * 3 || words[0] != label_count as u64 {
+        return Err(SnapshotError::malformed(format!(
+            "label-stats section has {} words for {} labels",
+            words.len(),
+            label_count
+        )));
+    }
+    let entries = words[1..]
+        .chunks_exact(3)
+        .map(|w| crate::stats::LabelEntry {
+            edges: w[0],
+            distinct_tails: w[1],
+            distinct_heads: w[2],
+        })
+        .collect();
+    Ok(crate::stats::LabelStats::from_entries(entries))
 }
 
 fn usize_word(value: u64, what: &str) -> Result<usize, SnapshotError> {

@@ -1,9 +1,96 @@
-//! Graph statistics, used for the Figure 3 reproduction and by the
-//! experiment harness to sanity-check generated data.
+//! Graph statistics: the frozen per-label cardinalities the planner reads
+//! ([`LabelStats`]) and the human-facing summary used for the Figure 3
+//! reproduction ([`GraphStats`]).
 
 use std::collections::BTreeMap;
 
 use crate::graph::GraphStore;
+use crate::ids::LabelId;
+
+/// Cardinalities of one `(label)` slice of the graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelEntry {
+    /// Number of edges carrying the label.
+    pub edges: u64,
+    /// Number of distinct source nodes (nodes with at least one outgoing
+    /// edge of this label) — the cardinality of the paper's `Tails`.
+    pub distinct_tails: u64,
+    /// Number of distinct target nodes — the cardinality of `Heads`.
+    pub distinct_heads: u64,
+}
+
+/// Per-label edge and distinct-endpoint counts, read straight off the
+/// frozen CSR offset arrays in `O(labels · nodes)` array scans — no hashing,
+/// no adjacency materialisation.
+///
+/// The planner uses these to decide which end of a doubly-constant conjunct
+/// to evaluate from and how to order conjunct streams for the rank join;
+/// they are also serialised into snapshot images (an optional section, so
+/// pre-stats images still open and recompute lazily).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelStats {
+    entries: Vec<LabelEntry>,
+    total_edges: u64,
+}
+
+impl LabelStats {
+    /// Computes the statistics for `graph`.
+    ///
+    /// On a frozen store each label costs one pass over its two offset
+    /// arrays; on an unfrozen store the builder hash maps provide the same
+    /// counts directly.
+    pub fn compute(graph: &GraphStore) -> LabelStats {
+        let mut entries = Vec::with_capacity(graph.label_count());
+        for (label, _) in graph.labels() {
+            entries.push(LabelEntry {
+                edges: graph.edge_count_for_label(label) as u64,
+                distinct_tails: graph.distinct_tails(label) as u64,
+                distinct_heads: graph.distinct_heads(label) as u64,
+            });
+        }
+        let total_edges = entries.iter().map(|e| e.edges).sum();
+        LabelStats {
+            entries,
+            total_edges,
+        }
+    }
+
+    /// Reassembles the statistics from raw entries (the snapshot loader).
+    pub(crate) fn from_entries(entries: Vec<LabelEntry>) -> LabelStats {
+        let total_edges = entries.iter().map(|e| e.edges).sum();
+        LabelStats {
+            entries,
+            total_edges,
+        }
+    }
+
+    /// The entry for `label` (all-zero for labels unknown at compute time).
+    #[inline]
+    pub fn entry(&self, label: LabelId) -> LabelEntry {
+        self.entries.get(label.index()).copied().unwrap_or_default()
+    }
+
+    /// Whether at least one edge carries `label`.
+    #[inline]
+    pub fn has_edges(&self, label: LabelId) -> bool {
+        self.entry(label).edges > 0
+    }
+
+    /// Number of labels covered.
+    pub fn label_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total edge count across all labels.
+    pub fn total_edges(&self) -> u64 {
+        self.total_edges
+    }
+
+    /// The raw per-label entries, in label-id order (serialisation).
+    pub fn entries(&self) -> &[LabelEntry] {
+        &self.entries
+    }
+}
 
 /// Summary statistics of a [`GraphStore`].
 #[derive(Debug, Clone, PartialEq)]
@@ -24,31 +111,34 @@ pub struct GraphStats {
 
 impl GraphStats {
     /// Computes statistics for `graph`.
+    ///
+    /// Per-label counts come from the shared [`LabelStats`] (frozen CSR
+    /// offsets when available) and the average degree is `2·edges / nodes`
+    /// exactly (every edge contributes one outgoing and one incoming
+    /// endpoint) — no per-node loop for either. Only the maximum degree
+    /// still visits each node, reading the two mixed-view offset deltas
+    /// on a frozen store.
     pub fn compute(graph: &GraphStore) -> GraphStats {
+        let label_stats = graph.label_stats();
         let mut edges_per_label = BTreeMap::new();
         for (id, name) in graph.labels() {
-            let count = graph.edge_count_for_label(id);
+            let count = label_stats.entry(id).edges as usize;
             if count > 0 {
                 edges_per_label.insert(name.to_owned(), count);
             }
         }
-        let mut max_degree = 0;
-        let mut total_degree = 0usize;
-        for node in graph.node_ids() {
-            let d = graph.degree(node);
-            max_degree = max_degree.max(d);
-            total_degree += d;
-        }
         let nodes = graph.node_count();
+        let edges = graph.edge_count();
+        let max_degree = graph.node_ids().map(|n| graph.degree(n)).max().unwrap_or(0);
         GraphStats {
             nodes,
-            edges: graph.edge_count(),
+            edges,
             labels: graph.label_count(),
             edges_per_label,
             avg_degree: if nodes == 0 {
                 0.0
             } else {
-                total_degree as f64 / nodes as f64
+                2.0 * edges as f64 / nodes as f64
             },
             max_degree,
         }
@@ -73,12 +163,17 @@ impl std::fmt::Display for GraphStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn stats_on_small_graph() {
+    fn sample() -> GraphStore {
         let mut g = GraphStore::new();
         g.add_triple("a", "p", "b");
         g.add_triple("a", "p", "c");
         g.add_triple("b", "q", "c");
+        g
+    }
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = sample();
         let stats = GraphStats::compute(&g);
         assert_eq!(stats.nodes, 3);
         assert_eq!(stats.edges, 3);
@@ -97,5 +192,41 @@ mod tests {
         assert_eq!(stats.nodes, 0);
         assert_eq!(stats.edges, 0);
         assert_eq!(stats.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn label_stats_count_edges_and_endpoints() {
+        let g = sample();
+        let stats = LabelStats::compute(&g);
+        let p = g.label_id("p").unwrap();
+        let q = g.label_id("q").unwrap();
+        assert_eq!(stats.entry(p).edges, 2);
+        assert_eq!(stats.entry(p).distinct_tails, 1); // only `a`
+        assert_eq!(stats.entry(p).distinct_heads, 2); // b and c
+        assert_eq!(stats.entry(q).edges, 1);
+        assert!(stats.has_edges(p));
+        assert!(!stats.has_edges(g.type_label()));
+        assert_eq!(stats.total_edges(), 3);
+        assert_eq!(stats.label_count(), g.label_count());
+        // Out-of-range labels report zeroes, not a panic.
+        assert_eq!(stats.entry(LabelId(99)).edges, 0);
+    }
+
+    #[test]
+    fn frozen_and_builder_label_stats_agree() {
+        let g = sample();
+        let mut frozen = g.clone();
+        frozen.freeze();
+        assert_eq!(LabelStats::compute(&g), LabelStats::compute(&frozen));
+    }
+
+    #[test]
+    fn cached_label_stats_invalidate_on_mutation() {
+        let mut g = sample();
+        g.freeze();
+        let p = g.label_id("p").unwrap();
+        assert_eq!(g.label_stats().entry(p).edges, 2);
+        g.add_triple("c", "p", "a");
+        assert_eq!(g.label_stats().entry(p).edges, 3);
     }
 }

@@ -231,6 +231,99 @@ proptest! {
         }
     }
 
+    /// Bound admissibility, end to end: cost-guided evaluation (A* `f = g+h`
+    /// ordering, dead-state and `g+h` pruning, deferred expansion,
+    /// stats-driven planning) and plain `g`-ordered evaluation produce the
+    /// same answers at the same distances, in the same non-decreasing
+    /// distance sequence rank by rank, with equal `EvalStats.answers` — on
+    /// random graphs, in every operator mode. Order *within* one distance
+    /// class is the only thing allowed to differ (both orderings emit each
+    /// distance class completely before the next).
+    #[test]
+    fn cost_guided_matches_unguided(triples in graph_strategy(), qi in 0usize..QUERIES.len(), flex in 0usize..3) {
+        let (g, o) = build(&triples);
+        let db = Database::new(g, o);
+        let operator = ["", "APPROX ", "RELAX "][flex];
+        let text = QUERIES[qi].replacen("<- (", &format!("<- {operator}("), 1);
+        let prepared = db.prepare(&text).unwrap();
+        // Flexible full drains are huge on some random graphs; a generous
+        // limit keeps the test fast while still crossing several distance
+        // classes.
+        let cap = 300usize;
+        let collect = |guided: bool| {
+            let request = ExecOptions::new().with_limit(cap).with_cost_guided(guided);
+            let mut stream = prepared.answers(&request);
+            let mut rows = Vec::new();
+            for answer in stream.by_ref() {
+                let a = answer.unwrap();
+                rows.push((a.bindings, a.distance));
+            }
+            (rows, stream.stats())
+        };
+        let (on, on_stats) = collect(true);
+        let (off, off_stats) = collect(false);
+
+        // Identical distance sequence, rank by rank.
+        let dist = |rows: &[(std::collections::BTreeMap<String, String>, u32)]| {
+            rows.iter().map(|(_, d)| *d).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(dist(&on), dist(&off), "distance ranks diverge for {}", text);
+        // Identical answers per distance class (hence identical sorted
+        // sequences); with a limit the last class may be truncated
+        // differently, so compare the complete classes and containment of
+        // the truncated one.
+        let last_complete = if on.len() < cap { u32::MAX } else {
+            on.last().map_or(u32::MAX, |(_, d)| d.saturating_sub(1))
+        };
+        let class_set = |rows: &[(std::collections::BTreeMap<String, String>, u32)], upto: u32| {
+            let mut v: Vec<_> = rows.iter().filter(|(_, d)| *d <= upto).cloned().collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(
+            class_set(&on, last_complete),
+            class_set(&off, last_complete),
+            "per-distance answer sets diverge for {}", text
+        );
+        if on.len() < cap {
+            // Fully drained: everything must agree, including the counters'
+            // `answers` (the per-conjunct emission counts).
+            prop_assert_eq!(on_stats.answers, off_stats.answers);
+            prop_assert_eq!(class_set(&on, u32::MAX), class_set(&off, u32::MAX));
+        }
+    }
+
+    /// A `LIMIT k` cost-guided run returns exactly a prefix-compatible
+    /// selection of the unguided full drain: same length, same distance at
+    /// every rank, every answer present in the full set at that distance.
+    #[test]
+    fn cost_guided_limited_prefixes_are_consistent(triples in graph_strategy(), qi in 0usize..QUERIES.len(), k in 1usize..8) {
+        let (g, o) = build(&triples);
+        let db = Database::new(g, o);
+        let text = QUERIES[qi].replacen("<- (", "<- APPROX (", 1);
+        let prepared = db.prepare(&text).unwrap();
+        let full: Vec<_> = prepared
+            .execute(&ExecOptions::new().with_limit(500).with_cost_guided(false))
+            .unwrap()
+            .into_iter()
+            .map(|a| (a.bindings, a.distance))
+            .collect();
+        let limited: Vec<_> = prepared
+            .execute(&ExecOptions::new().with_limit(k).with_cost_guided(true))
+            .unwrap()
+            .into_iter()
+            .map(|a| (a.bindings, a.distance))
+            .collect();
+        prop_assert_eq!(limited.len(), full.len().min(k));
+        for (i, (bindings, d)) in limited.iter().enumerate() {
+            prop_assert_eq!(*d, full[i].1, "rank-{} distance diverges for {}", i, text);
+            prop_assert!(
+                full.iter().any(|(b, fd)| b == bindings && fd == d),
+                "limited answer missing from the full drain for {}", text
+            );
+        }
+    }
+
     /// The distance-aware and disjunction drivers — toggled per request
     /// through `ExecOptions` — return the same answer multiset as plain
     /// evaluation on one shared database.

@@ -377,3 +377,66 @@ fn externally_built_snapshot_opens_twice_and_agrees() {
         (a, b) => panic!("wildcard query failed: {a:?} vs {b:?}"),
     }
 }
+
+// ----------------------------------------------------------------------
+// Label-statistics section: round-trip and pre-stats compatibility
+// ----------------------------------------------------------------------
+
+/// Current images carry the (optional) label-stats section and the loaded
+/// store serves it pre-populated, byte-identical to a recomputation.
+#[test]
+fn label_stats_round_trip_through_the_image() {
+    let dataset = generate_yago(&YagoConfig::scaled(0.05));
+    let db = dataset_db(&dataset);
+    let (opened, _file) = save_and_open(&db, "label-stats");
+    assert_eq!(
+        opened.graph().label_stats(),
+        db.graph().label_stats(),
+        "loaded statistics must equal the freeze-time statistics"
+    );
+    // And they must equal a from-scratch recomputation on the mapped CSR.
+    assert_eq!(
+        opened.graph().label_stats(),
+        &omega::graph::LabelStats::compute(db.graph())
+    );
+}
+
+/// Images written before the stats section existed (the PR-4 section set,
+/// produced here via `write_graph_sections_without_stats`) still open; the
+/// statistics are recomputed lazily and answers are bit-identical.
+#[test]
+fn pre_stats_images_open_and_recompute_lazily() {
+    use omega::graph::snapshot::{write_graph_sections_without_stats, SnapshotWriter};
+
+    let dataset = generate_yago(&YagoConfig::scaled(0.05));
+    let db = dataset_db(&dataset);
+
+    let path = temp_snapshot("pre-stats");
+    let mut writer = SnapshotWriter::new();
+    write_graph_sections_without_stats(db.graph(), &mut writer).expect("graph sections");
+    omega::ontology::snapshot::write_ontology_section(db.ontology(), &mut writer)
+        .expect("ontology section");
+    writer.write_to(&path).expect("fixture write");
+    let _file = TempFile(path.clone());
+
+    // The fixture really lacks the section…
+    {
+        use omega::graph::snapshot::{SectionId, SectionKind, SnapshotReader};
+        let reader = SnapshotReader::open(&path).expect("fixture opens");
+        assert!(
+            reader
+                .section(SectionId::plain(SectionKind::LabelStats))
+                .is_none(),
+            "fixture must emulate a pre-stats image"
+        );
+    }
+
+    let opened =
+        Database::open_snapshot_with(&path, db.options().clone()).expect("pre-stats image opens");
+    // …and the lazily recomputed statistics match the original store's.
+    assert_eq!(opened.graph().label_stats(), db.graph().label_stats());
+    for spec in yago_queries() {
+        let text = spec.with_operator("APPROX");
+        assert_identical(&db, &opened, &text, 50);
+    }
+}
