@@ -15,6 +15,11 @@
 //! (which queries return zero exact answers, which explode under APPROX,
 //! which optimisations help) without going through the binary.
 
+// Harness, not engine: specs are compiled into the binary, so a panic here
+// is a broken experiment definition surfacing at the first run — the
+// engine-side lints (unwrap/expect denied) do not apply.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod report;
 
 use std::collections::BTreeMap;
@@ -803,6 +808,229 @@ pub fn startup_comparison(rows: &[(String, QueryRun)]) -> String {
             format_duration(warm),
             rebuild.as_secs_f64() / cold.as_secs_f64().max(1e-9),
             rebuild.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+        ));
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Overload study (the resource governor under concurrent clients)
+// ----------------------------------------------------------------------
+
+/// One closed-loop overload run: a fixed number of concurrent clients
+/// hammering a governed [`Database`] with the same flexible query, at one
+/// overload policy and one saturation multiple of the shared tuple pool.
+#[derive(Debug, Clone)]
+pub struct OverloadRun {
+    /// Overload policy the clients requested (`degrade` or `shed`).
+    pub policy: String,
+    /// Offered load relative to the pool (`1x`, `4x`, `16x`).
+    pub saturation: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests that completed with answers (including degraded ones).
+    pub completed: usize,
+    /// Completed requests that finished degraded (budget tripped mid-query).
+    pub degraded: usize,
+    /// Shed events: governor rejections absorbed by backoff-and-retry,
+    /// both the engine's own `Shed` retries and the clients' loop.
+    pub sheds: u64,
+    /// Requests abandoned after exhausting their retry budget.
+    pub rejected: u64,
+    /// Requests that failed with `ResourceExhausted` (pool pressure under
+    /// the shrunken post-shed budgets).
+    pub exhausted: usize,
+    /// Median latency of completed requests (client view, retries included).
+    pub p50: Duration,
+    /// 99th-percentile latency of completed requests.
+    pub p99: Duration,
+}
+
+/// Nearest-rank percentile over an (unsorted) latency sample.
+fn percentile(latencies: &mut [Duration], p: usize) -> Duration {
+    if latencies.is_empty() {
+        return Duration::ZERO;
+    }
+    latencies.sort_unstable();
+    latencies[(latencies.len() - 1) * p / 100]
+}
+
+/// Drains one governed request, returning its stats or the typed failure.
+fn governed_request(
+    prepared: &PreparedQuery,
+    request: &ExecOptions,
+) -> Result<EvalStats, OmegaError> {
+    let mut stream = prepared.answers(request);
+    loop {
+        match stream.next_answer() {
+            Ok(Some(_)) => {}
+            Ok(None) => return Ok(stream.stats()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The overload study: closed-loop concurrent clients against a governed
+/// database whose shared tuple pool is sized to fit roughly four copies of
+/// the study query, at offered loads of 1x/4x/16x that capacity, under both
+/// graceful-degradation and load-shedding policies.
+///
+/// Clients are closed-loop (next request only after the previous one
+/// finishes), the paper-methodology top-[`TOP_K`] APPROX fetch is the unit
+/// of work, and a client that is rejected with `Overloaded` honours the
+/// governor's `retry_after` hint up to three retries before counting the
+/// request as rejected. Latencies are the client's view: retry backoff is
+/// part of the measured request.
+pub fn overload_study(config: &RunConfig) -> Vec<OverloadRun> {
+    use omega_core::{GovernorConfig, OverloadPolicy};
+
+    let scale = config.scales().first().copied().unwrap_or(L4AllScale::L1);
+    let dataset = l4all_dataset(scale);
+    let spec = l4all_queries()[8].clone(); // Q9, the flexible workhorse
+    let text = spec.with_operator("APPROX");
+    let request = ExecOptions::new().with_limit(TOP_K);
+
+    // Probe the query's tuple appetite on an ungoverned engine, then size
+    // the shared pool to about four concurrent copies of it.
+    let probe_db = Database::new(dataset.graph.clone(), dataset.ontology.clone());
+    let probe = run_query_with(&probe_db, spec.id, "APPROX", &text, &request);
+    let appetite = (probe.stats.tuples_added as usize).max(1024);
+    let pool = appetite * 4;
+    let concurrency = 8usize;
+
+    let mut rows = Vec::new();
+    for (policy_name, policy) in [
+        ("degrade", OverloadPolicy::Degrade),
+        ("shed", OverloadPolicy::Shed),
+    ] {
+        for (saturation, clients) in [("1x", 4usize), ("4x", 16), ("16x", 64)] {
+            let db = Database::with_governor(
+                dataset.graph.clone(),
+                dataset.ontology.clone(),
+                EvalOptions::default(),
+                GovernorConfig::default()
+                    .with_max_live_tuples(pool)
+                    .with_max_concurrent(concurrency)
+                    .with_retry_after(Duration::from_millis(2)),
+            );
+            let client_request = request.clone().with_on_overload(policy);
+            const ITERS: usize = 6;
+            const ATTEMPTS: usize = 4;
+
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    let db = db.clone();
+                    let tx = tx.clone();
+                    let client_request = &client_request;
+                    let text = &text;
+                    scope.spawn(move || {
+                        let prepared = db.prepare(text).expect("study query compiles");
+                        let mut latencies = Vec::with_capacity(ITERS);
+                        let (mut completed, mut degraded, mut exhausted) = (0usize, 0usize, 0usize);
+                        let (mut sheds, mut rejected) = (0u64, 0u64);
+                        for _ in 0..ITERS {
+                            let start = Instant::now();
+                            for attempt in 1..=ATTEMPTS {
+                                match governed_request(&prepared, client_request) {
+                                    Ok(stats) => {
+                                        completed += 1;
+                                        degraded += usize::from(stats.degraded);
+                                        sheds += stats.sheds;
+                                        latencies.push(start.elapsed());
+                                        break;
+                                    }
+                                    Err(OmegaError::Overloaded { retry_after }) => {
+                                        if attempt == ATTEMPTS {
+                                            rejected += 1;
+                                        } else {
+                                            sheds += 1;
+                                            std::thread::sleep(retry_after);
+                                        }
+                                    }
+                                    Err(OmegaError::ResourceExhausted { .. }) => {
+                                        exhausted += 1;
+                                        break;
+                                    }
+                                    Err(other) => panic!("overload study request failed: {other}"),
+                                }
+                            }
+                        }
+                        tx.send((latencies, completed, degraded, exhausted, sheds, rejected))
+                            .expect("study channel open");
+                    });
+                }
+            });
+            drop(tx);
+
+            let mut latencies = Vec::new();
+            let (mut completed, mut degraded, mut exhausted) = (0usize, 0usize, 0usize);
+            let (mut sheds, mut rejected) = (0u64, 0u64);
+            for (lat, c, d, e, s, r) in rx {
+                latencies.extend(lat);
+                completed += c;
+                degraded += d;
+                exhausted += e;
+                sheds += s;
+                rejected += r;
+            }
+            let gauges = db.governor().gauges();
+            assert_eq!(
+                (
+                    gauges.live_tuples,
+                    gauges.executions,
+                    gauges.join_buffer_entries
+                ),
+                (0, 0, 0),
+                "governor gauges must return to zero after the {policy_name}/{saturation} run"
+            );
+            rows.push(OverloadRun {
+                policy: policy_name.to_owned(),
+                saturation: saturation.to_owned(),
+                clients,
+                completed,
+                degraded,
+                sheds,
+                rejected,
+                exhausted,
+                p50: percentile(&mut latencies, 50),
+                p99: percentile(&mut latencies, 99),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the [`overload_study`] rows as a policy/saturation table.
+pub fn overload_comparison(rows: &[OverloadRun]) -> String {
+    let mut out =
+        String::from("Overload: closed-loop clients vs the resource governor (latency in ms)\n");
+    out.push_str(&format!(
+        "{:<9} {:<5} {:>8} {:>10} {:>9} {:>7} {:>9} {:>10} {:>9} {:>9}\n",
+        "Policy",
+        "Load",
+        "Clients",
+        "Completed",
+        "Degraded",
+        "Sheds",
+        "Rejected",
+        "Exhausted",
+        "p50",
+        "p99"
+    ));
+    for run in rows {
+        out.push_str(&format!(
+            "{:<9} {:<5} {:>8} {:>10} {:>9} {:>7} {:>9} {:>10} {:>9} {:>9}\n",
+            run.policy,
+            run.saturation,
+            run.clients,
+            run.completed,
+            run.degraded,
+            run.sheds,
+            run.rejected,
+            run.exhausted,
+            format_duration(run.p50),
+            format_duration(run.p99),
         ));
     }
     out

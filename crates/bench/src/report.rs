@@ -30,7 +30,7 @@
 use std::io::Write;
 use std::path::Path;
 
-use crate::{QueryRun, RunConfig};
+use crate::{OverloadRun, QueryRun, RunConfig};
 
 /// Escapes a string for a JSON string literal.
 fn escape(s: &str) -> String {
@@ -66,7 +66,9 @@ fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
             "\"stats\": {{ \"tuples_added\": {}, \"tuples_processed\": {}, ",
             "\"succ_calls\": {}, \"neighbour_lookups\": {}, \"answers\": {}, ",
             "\"suppressed\": {}, \"restarts\": {}, \"pruned_dead\": {}, ",
-            "\"pruned_bound\": {}, \"deferred_expansions\": {} }} }}"
+            "\"pruned_bound\": {}, \"deferred_expansions\": {}, ",
+            "\"worker_panics\": {}, \"sheds\": {}, \"degraded\": {}, ",
+            "\"truncation\": {} }} }}"
         ),
         escape(suite),
         escape(scale),
@@ -87,6 +89,33 @@ fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
         stats.pruned_dead,
         stats.pruned_bound,
         stats.deferred_expansions,
+        stats.worker_panics,
+        stats.sheds,
+        stats.degraded,
+        stats
+            .truncation
+            .map_or("null".to_owned(), |r| format!("\"{}\"", r.name())),
+    )
+}
+
+fn overload_json(run: &OverloadRun) -> String {
+    format!(
+        concat!(
+            "{{ \"policy\": \"{}\", \"saturation\": \"{}\", \"clients\": {}, ",
+            "\"completed\": {}, \"degraded\": {}, \"sheds\": {}, ",
+            "\"rejected\": {}, \"exhausted\": {}, ",
+            "\"p50_ms\": {:.4}, \"p99_ms\": {:.4} }}"
+        ),
+        escape(&run.policy),
+        escape(&run.saturation),
+        run.clients,
+        run.completed,
+        run.degraded,
+        run.sheds,
+        run.rejected,
+        run.exhausted,
+        run.p50.as_secs_f64() * 1e3,
+        run.p99.as_secs_f64() * 1e3,
     )
 }
 
@@ -97,6 +126,8 @@ fn query_json(suite: &str, scale: &str, run: &QueryRun) -> String {
 /// a graph scale. `startup_rows` holds the snapshot startup study: there the
 /// `scale` slot carries the phase (`rebuild` / `save` / `open_cold` /
 /// `open_warm`), `id` the dataset, and `answers` the graph's node count.
+/// `overload_rows` is the closed-loop governor study and has its own shape,
+/// so it lands in a separate top-level `"overload"` array.
 pub fn bench_json(
     name: &str,
     config: &RunConfig,
@@ -104,6 +135,7 @@ pub fn bench_json(
     yago_rows: &[QueryRun],
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
+    overload_rows: &[OverloadRun],
 ) -> String {
     let mut queries: Vec<String> = Vec::new();
     for (scale, run) in l4all_rows {
@@ -118,17 +150,20 @@ pub fn bench_json(
     for (phase, run) in startup_rows {
         queries.push(query_json("startup", phase, run));
     }
+    let overload: Vec<String> = overload_rows.iter().map(overload_json).collect();
     format!(
-        "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {}, \"samples\": {} }},\n  \"queries\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {}, \"samples\": {} }},\n  \"queries\": [\n    {}\n  ],\n  \"overload\": [\n    {}\n  ]\n}}\n",
         escape(name),
         config.max_scale.name(),
         config.yago_scale,
         config.samples,
-        queries.join(",\n    ")
+        queries.join(",\n    "),
+        overload.join(",\n    ")
     )
 }
 
 /// Writes the report to `path`.
+#[allow(clippy::too_many_arguments)]
 pub fn write_bench_json(
     path: &Path,
     name: &str,
@@ -137,6 +172,7 @@ pub fn write_bench_json(
     yago_rows: &[QueryRun],
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
+    overload_rows: &[OverloadRun],
 ) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(
@@ -147,6 +183,7 @@ pub fn write_bench_json(
             yago_rows,
             multi_rows,
             startup_rows,
+            overload_rows,
         )
         .as_bytes(),
     )
@@ -178,7 +215,26 @@ mod tests {
                 pruned_dead: 3,
                 pruned_bound: 2,
                 deferred_expansions: 1,
+                worker_panics: 0,
+                sheds: 1,
+                degraded: true,
+                truncation: Some(omega_core::TruncationReason::TupleBudget),
             },
+        }
+    }
+
+    fn overload_run() -> OverloadRun {
+        OverloadRun {
+            policy: "degrade".into(),
+            saturation: "4x".into(),
+            clients: 16,
+            completed: 90,
+            degraded: 12,
+            sheds: 7,
+            rejected: 3,
+            exhausted: 1,
+            p50: Duration::from_millis(4),
+            p99: Duration::from_millis(21),
         }
     }
 
@@ -192,6 +248,7 @@ mod tests {
             &[run()],
             &[("seq".into(), run()), ("par".into(), run())],
             &[("rebuild".into(), run()), ("open_cold".into(), run())],
+            &[overload_run()],
         );
         assert!(json.contains("\"bench\": \"BENCH_1\""));
         assert!(json.contains("\"suite\": \"l4all\""));
@@ -208,9 +265,19 @@ mod tests {
         assert!(json.contains("\"pruned_dead\": 3"));
         assert!(json.contains("\"pruned_bound\": 2"));
         assert!(json.contains("\"deferred_expansions\": 1"));
+        assert!(json.contains("\"worker_panics\": 0"));
+        assert!(json.contains("\"sheds\": 1"));
+        assert!(json.contains("\"degraded\": true"));
+        assert!(json.contains("\"truncation\": \"tuple_budget\""));
         assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
         // Six query entries.
         assert_eq!(json.matches("\"id\": \"Q3\"").count(), 6);
+        assert!(json.contains("\"overload\": ["));
+        assert!(json.contains("\"policy\": \"degrade\""));
+        assert!(json.contains("\"saturation\": \"4x\""));
+        assert!(json.contains("\"p50_ms\": 4.0000"));
+        assert!(json.contains("\"p99_ms\": 21.0000"));
+        assert!(json.contains("\"rejected\": 3"));
     }
 
     #[test]

@@ -112,7 +112,13 @@ impl Omega {
     pub fn stream(&self, query: &Query) -> Result<QueryStream<'_>> {
         let prepared = compile_prepared(query, self.db.graph(), self.db.ontology(), &self.options)?;
         Ok(QueryStream {
-            inner: prepared.answers(self.db.data(), self.db.pool(), self.options.clone(), None),
+            inner: prepared.answers(
+                self.db.data(),
+                self.db.pool(),
+                self.db.governor(),
+                self.options.clone(),
+                None,
+            ),
         })
     }
 }

@@ -1,6 +1,7 @@
 //! Error type of the Omega query processor.
 
 use std::fmt;
+use std::time::Duration;
 
 use omega_regex::RegexParseError;
 
@@ -41,6 +42,24 @@ pub enum OmegaError {
     /// a worker abandoning its stream mid-flight is distinguishable from a
     /// genuine evaluation failure.
     Cancelled,
+    /// The engine refused to admit the execution: the database-wide
+    /// resource governor found the shared pools saturated (too many
+    /// concurrent executions, no admission tokens, or no free tuple
+    /// capacity). The caller should back off for at least `retry_after`
+    /// before retrying; [`crate::service::ExecOptions::with_on_overload`]
+    /// selects how the service reacts instead of surfacing this error.
+    Overloaded {
+        /// Suggested client backoff before the next attempt.
+        retry_after: Duration,
+    },
+    /// An engine invariant was violated at runtime — e.g. a conjunct worker
+    /// thread panicked. Always a bug, never a user error; surfaced as a
+    /// typed value so a server in front of the engine degrades to a failed
+    /// request instead of a crashed process.
+    Internal {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for OmegaError {
@@ -66,6 +85,12 @@ impl fmt::Display for OmegaError {
             }
             OmegaError::Cancelled => {
                 write!(f, "evaluation was cancelled")
+            }
+            OmegaError::Overloaded { retry_after } => {
+                write!(f, "engine overloaded; retry after {:?}", retry_after)
+            }
+            OmegaError::Internal { message } => {
+                write!(f, "internal engine error: {message}")
             }
         }
     }

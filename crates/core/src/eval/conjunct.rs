@@ -12,14 +12,16 @@ use omega_automata::MinCostToAccept;
 use crate::answer::ConjunctAnswer;
 use crate::error::{OmegaError, Result};
 use crate::eval::dr::DrQueue;
+use crate::eval::fault::{fire as fault_fire, FaultPoint};
 use crate::eval::initial::InitialNodeFeed;
-use crate::eval::options::EvalOptions;
+use crate::eval::options::{EvalOptions, OverloadPolicy};
 use crate::eval::plan::ConjunctPlan;
-use crate::eval::stats::EvalStats;
+use crate::eval::stats::{EvalStats, TruncationReason};
 use crate::eval::succ::{succ, CostFilter, SuccScratch, SuccTransition};
 use crate::eval::tuple::Tuple;
 use crate::eval::visited::{PairSet, VisitedSet};
 use crate::eval::AnswerStream;
+use crate::govern::TupleReservation;
 use crate::query::ast::Term;
 
 /// Ranked, incremental evaluation of one compiled conjunct.
@@ -80,6 +82,15 @@ pub struct ConjunctEvaluator<'a> {
     succ_out: Vec<SuccTransition>,
     /// Reusable scratch for neighbour-set computation.
     scratch: SuccScratch,
+    /// This evaluator's chunked claim on the database-wide tuple pool (when
+    /// a governor handle is installed); releases on drop.
+    reservation: Option<TupleReservation>,
+    /// Why the most recent budget trip happened, captured at the trip site
+    /// so the degrade wrapper can record it.
+    trip_reason: Option<TruncationReason>,
+    /// Set once graceful degradation has ended this stream: every further
+    /// `get_next` returns `Ok(None)` instead of resuming the traversal.
+    degraded: bool,
     stats: EvalStats,
 }
 
@@ -113,6 +124,7 @@ impl<'a> ConjunctEvaluator<'a> {
         } else {
             0
         };
+        let reservation = options.govern.as_ref().map(|h| h.reservation());
         ConjunctEvaluator {
             graph,
             ontology,
@@ -129,6 +141,9 @@ impl<'a> ConjunctEvaluator<'a> {
             feed,
             succ_out: Vec::new(),
             scratch: SuccScratch::new(),
+            reservation,
+            trip_reason: None,
+            degraded: false,
             stats: EvalStats::default(),
         }
     }
@@ -204,10 +219,24 @@ impl<'a> ConjunctEvaluator<'a> {
         self.check_budget()
     }
 
-    fn check_budget(&self) -> Result<()> {
+    fn check_budget(&mut self) -> Result<()> {
+        let live = self.dr.len() + self.visited.len();
+        if fault_fire(FaultPoint::BudgetAcquire) {
+            self.trip_reason = Some(TruncationReason::PoolExhausted);
+            return Err(OmegaError::ResourceExhausted { tuples: live });
+        }
         if let Some(max) = self.options.max_tuples {
-            let live = self.dr.len() + self.visited.len();
             if live > max {
+                self.trip_reason = Some(TruncationReason::TupleBudget);
+                return Err(OmegaError::ResourceExhausted { tuples: live });
+            }
+        }
+        if let Some(reservation) = &mut self.reservation {
+            // Grow this evaluator's claim on the shared pool to cover its
+            // live occupancy; a refusal (pool saturated beyond the bounded
+            // backoff) trips exactly like an exceeded per-query budget.
+            if !reservation.covers(live) {
+                self.trip_reason = Some(TruncationReason::PoolExhausted);
                 return Err(OmegaError::ResourceExhausted { tuples: live });
             }
         }
@@ -273,7 +302,36 @@ impl<'a> ConjunctEvaluator<'a> {
 
     /// The paper's `GetNext`: the next answer in non-decreasing distance
     /// order, or `Ok(None)` when evaluation is complete.
+    ///
+    /// Under [`OverloadPolicy::Degrade`] / [`OverloadPolicy::Shed`], a
+    /// tripped resource budget (per-query `max_tuples` or the governor's
+    /// shared pool) ends the stream cleanly instead of erroring: every
+    /// answer already emitted has rank strictly below the evaluation
+    /// frontier, so the yielded set is bit-identical to a prefix of the
+    /// uncapped run. The truncation is recorded in the stats (`degraded`,
+    /// `truncation`).
     pub fn get_next(&mut self) -> Result<Option<ConjunctAnswer>> {
+        if self.degraded {
+            return Ok(None);
+        }
+        match self.get_next_inner() {
+            Err(OmegaError::ResourceExhausted { .. })
+                if self.options.on_overload != OverloadPolicy::Fail =>
+            {
+                self.degraded = true;
+                self.stats.degraded = true;
+                self.stats.truncation = Some(
+                    self.trip_reason
+                        .take()
+                        .unwrap_or(TruncationReason::TupleBudget),
+                );
+                Ok(None)
+            }
+            other => other,
+        }
+    }
+
+    fn get_next_inner(&mut self) -> Result<Option<ConjunctAnswer>> {
         loop {
             // Deadline and cancellation checks, paced to one clock read /
             // atomic load per 64 tuples; the first iteration always checks so
@@ -282,7 +340,10 @@ impl<'a> ConjunctEvaluator<'a> {
             // traversal can outlive its execution.
             if self.ticks & 63 == 0 {
                 if let Some(deadline) = self.options.deadline {
-                    if Instant::now() >= deadline {
+                    // The fault hook models a clock jumping past the
+                    // deadline (NTP step, VM pause): the evaluator must
+                    // treat it exactly like a genuinely expired deadline.
+                    if Instant::now() >= deadline || fault_fire(FaultPoint::DeadlineClock) {
                         return Err(OmegaError::DeadlineExceeded);
                     }
                 }

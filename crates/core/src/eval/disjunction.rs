@@ -175,6 +175,15 @@ impl<'a> DisjunctionEvaluator<'a> {
                     None => {
                         self.branches[idx].may_have_more = evaluator.suppressed() > 0;
                         self.stats += evaluator.stats();
+                        // A branch that ended by graceful degradation makes
+                        // the whole disjunction degraded: later branches (or
+                        // levels) could emit ranks beyond this branch's
+                        // truncated frontier, so the stream stops here to
+                        // keep every emitted answer inside the proven prefix.
+                        if self.stats.degraded {
+                            self.exhausted = true;
+                            return Ok(None);
+                        }
                         continue;
                     }
                 }

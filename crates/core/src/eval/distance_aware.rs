@@ -78,6 +78,13 @@ impl<'a> DistanceAwareEvaluator<'a> {
         if self.current.suppressed() == 0 || self.steps >= self.options.max_psi_steps {
             return false;
         }
+        // The bounded run ended by graceful degradation, not completion: a
+        // restart at a higher ceiling would re-walk the same saturated
+        // frontier (and could emit answers beyond the proven prefix), so
+        // the degraded stream is final.
+        if self.current.stats().degraded {
+            return false;
+        }
         // The request's distance ceiling is the hard limit: once ψ has
         // reached it, everything beyond is out of scope by definition.
         if self.options.max_distance.is_some_and(|max| self.psi >= max) {

@@ -8,6 +8,7 @@ pub mod conjunct;
 pub mod disjunction;
 pub mod distance_aware;
 pub mod dr;
+pub mod fault;
 pub mod initial;
 pub mod options;
 pub mod parallel;
@@ -23,11 +24,11 @@ pub use cancel::CancelToken;
 pub use conjunct::{evaluate_conjunct, ConjunctEvaluator};
 pub use disjunction::{compile_branches, DisjunctionEvaluator};
 pub use distance_aware::DistanceAwareEvaluator;
-pub use options::EvalOptions;
+pub use options::{EvalOptions, OverloadPolicy};
 pub use parallel::{live_parallel_workers, ParallelStream, WorkerPool};
 pub use plan::{compile_conjunct, ConjunctPlan, SeedSpec};
 pub use rank_join::RankJoin;
-pub use stats::EvalStats;
+pub use stats::{EvalStats, TruncationReason};
 
 use crate::answer::ConjunctAnswer;
 use crate::error::Result;

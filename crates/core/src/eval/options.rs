@@ -7,6 +7,34 @@ use std::time::Instant;
 use omega_automata::{ApproxConfig, RelaxConfig};
 
 use crate::eval::cancel::CancelToken;
+use crate::govern::GovernorHandle;
+
+/// What the engine does when a resource budget trips — at admission
+/// (governor rejects the execution) or mid-query (per-query `max_tuples`
+/// tripped, or the shared tuple pool could not satisfy a reservation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Surface the typed error ([`crate::OmegaError::Overloaded`] at
+    /// admission, [`crate::OmegaError::ResourceExhausted`] mid-query) and
+    /// discard in-flight work. The default, and the only pre-governor
+    /// behaviour.
+    #[default]
+    Fail,
+    /// Graceful degradation: a mid-query trip finishes the stream cleanly
+    /// with the answers already proven complete — every emitted rank is
+    /// strictly below the evaluation frontier, so the yielded set is
+    /// bit-identical to a prefix of the uncapped run — and records
+    /// `degraded: true` plus a [`crate::eval::TruncationReason`] in the
+    /// stats. Admission rejections still fail (there is nothing to
+    /// degrade before any work has run).
+    Degrade,
+    /// Load shedding: an admission rejection backs off for the governor's
+    /// `retry_after` hint, shrinks the request's budgets (live tuples, ψ
+    /// steps), and retries admission once; mid-query trips degrade as under
+    /// [`OverloadPolicy::Degrade`]. Each shed retry is counted in
+    /// [`crate::EvalStats::sheds`].
+    Shed,
+}
 
 /// Default bound of the per-conjunct answer channels in parallel evaluation.
 pub const DEFAULT_PARALLEL_CHANNEL_CAPACITY: usize = 256;
@@ -113,6 +141,13 @@ pub struct EvalOptions {
     /// within one distance) changes. Defaults to on; `OMEGA_COST_GUIDED=0`
     /// turns it off suite-wide.
     pub cost_guided: bool,
+    /// Reaction to tripped resource budgets (see [`OverloadPolicy`]).
+    pub on_overload: OverloadPolicy,
+    /// Handle to the database-wide [`crate::ResourceGovernor`], installed by
+    /// the service layer. Evaluators draw their live-tuple occupancy from
+    /// the governor's shared pool through it; `None` (the default for
+    /// hand-built evaluators) accounts nothing globally.
+    pub govern: Option<GovernorHandle>,
 }
 
 impl Default for EvalOptions {
@@ -134,6 +169,8 @@ impl Default for EvalOptions {
             parallel_channel_capacity: DEFAULT_PARALLEL_CHANNEL_CAPACITY,
             cancel: None,
             cost_guided: cost_guided_default(),
+            on_overload: OverloadPolicy::default(),
+            govern: None,
         }
     }
 }
@@ -211,6 +248,18 @@ impl EvalOptions {
         self.cost_guided = on;
         self
     }
+
+    /// Selects the overload reaction policy.
+    pub fn with_on_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.on_overload = policy;
+        self
+    }
+
+    /// Installs the database-wide governor handle.
+    pub fn with_governor(mut self, handle: GovernorHandle) -> Self {
+        self.govern = Some(handle);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +283,8 @@ mod tests {
             DEFAULT_PARALLEL_CHANNEL_CAPACITY
         );
         assert!(o.cancel.is_none());
+        assert_eq!(o.on_overload, OverloadPolicy::Fail);
+        assert!(o.govern.is_none());
     }
 
     #[test]

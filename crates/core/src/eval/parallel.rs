@@ -41,6 +41,7 @@ use crate::eval::cancel::CancelToken;
 use crate::eval::conjunct::ConjunctEvaluator;
 use crate::eval::disjunction::DisjunctionEvaluator;
 use crate::eval::distance_aware::DistanceAwareEvaluator;
+use crate::eval::fault::{fire as fault_fire, FaultPoint};
 use crate::eval::options::EvalOptions;
 use crate::eval::plan::ConjunctPlan;
 use crate::eval::stats::EvalStats;
@@ -241,6 +242,12 @@ impl ParallelStream {
         options: Arc<EvalOptions>,
         pool: &Arc<WorkerPool>,
     ) -> std::result::Result<ParallelStream, StreamPlan> {
+        // Injected spawn failure: the dispatch reports the same outcome a
+        // genuine thread-spawn error would, and the caller falls back to
+        // inline evaluation — the query still completes.
+        if fault_fire(FaultPoint::WorkerSpawn) {
+            return Err(plan);
+        }
         let capacity = options.parallel_channel_capacity.max(1);
         let (tx, rx) = std::sync::mpsc::sync_channel::<Item>(capacity);
         let (completion_tx, completion) = std::sync::mpsc::channel();
@@ -276,16 +283,43 @@ impl ParallelStream {
         }
     }
 
-    /// Awaits the worker job's completion, propagating a worker panic to
-    /// the consumer's thread.
-    fn join_worker(&mut self) {
+    /// Awaits the worker job's completion. A worker panic is converted into
+    /// a typed [`OmegaError::Internal`] (and counted in
+    /// [`EvalStats::worker_panics`]) instead of being re-raised: the
+    /// consumer's thread may be a server request handler, and a violated
+    /// evaluator invariant should fail one request, not the process.
+    fn join_worker(&mut self) -> Option<OmegaError> {
         if self.joined {
-            return;
+            return None;
         }
         self.joined = true;
-        if let Ok(Err(payload)) = self.completion.recv() {
-            std::panic::resume_unwind(payload);
+        match self.completion.recv() {
+            Ok(Err(payload)) => {
+                self.stats
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .worker_panics += 1;
+                Some(OmegaError::Internal {
+                    message: format!(
+                        "conjunct worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                })
+            }
+            _ => None,
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the standard library
+/// panics with `&str` or `String` payloads).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -294,26 +328,33 @@ impl AnswerStream for ParallelStream {
         if self.done {
             return Ok(None);
         }
-        let rx = self.rx.as_ref().expect("receiver lives until drop");
+        // The receiver lives until drop; `done` guards the post-drop state.
+        let Some(rx) = self.rx.as_ref() else {
+            return Ok(None);
+        };
         match rx.recv() {
             Ok(Ok(Some(answer))) => Ok(Some(answer)),
             Ok(Ok(None)) => {
                 self.done = true;
-                self.join_worker();
-                Ok(None)
+                match self.join_worker() {
+                    Some(e) => Err(e),
+                    None => Ok(None),
+                }
             }
             Ok(Err(e)) => {
                 self.done = true;
                 self.join_worker();
                 Err(e)
             }
-            // The worker exited without a terminal message: it bailed out of
-            // a blocked send on cancellation/deadline (or panicked, which
-            // join_worker re-raises). Report the cause the consumer can act
-            // on rather than a bare hang-up.
+            // The worker exited without a terminal message: it panicked
+            // (surfaced as a typed `Internal` error by join_worker) or it
+            // bailed out of a blocked send on cancellation/deadline. Report
+            // the cause the consumer can act on rather than a bare hang-up.
             Err(_) => {
                 self.done = true;
-                self.join_worker();
+                if let Some(e) = self.join_worker() {
+                    return Err(e);
+                }
                 if self.deadline.is_some_and(|d| Instant::now() >= d) {
                     Err(OmegaError::DeadlineExceeded)
                 } else {
@@ -341,12 +382,11 @@ impl Drop for ParallelStream {
         // token that is not the shared one (defence in depth — the service
         // layer always installs the shared token).
         self.rx = None;
-        if !self.joined {
-            self.joined = true;
-            // A worker panic is swallowed rather than re-raised: panicking
-            // inside drop would abort the process.
-            let _ = self.completion.recv();
-        }
+        // A panic here cannot be raised (panicking inside drop would abort
+        // the process), but join_worker still records it in the shared
+        // stats, so an execution abandoned mid-stream does not silently
+        // lose the fact that a worker died.
+        let _ = self.join_worker();
     }
 }
 
@@ -377,6 +417,12 @@ fn worker_body(
 fn blocking_send(tx: &SyncSender<Item>, item: Item, options: &EvalOptions) -> bool {
     let mut item = item;
     loop {
+        // Injected channel failure: the worker abandons the send exactly as
+        // if the receiver had disconnected; the consumer observes a typed
+        // cancellation/deadline error, never a hang.
+        if fault_fire(FaultPoint::ChannelSend) {
+            return false;
+        }
         match tx.try_send(item) {
             Ok(()) => return true,
             Err(TrySendError::Disconnected(_)) => return false,
@@ -532,6 +578,47 @@ mod tests {
             assert!(Instant::now() < deadline, "worker thread never parked");
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_internal_error() {
+        // Reproduce the exact wiring of a panicked worker job: the payload
+        // reaches the completion channel, the answer channel disconnects
+        // with no terminal message.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Item>(1);
+        let (completion_tx, completion) = std::sync::mpsc::channel();
+        let stats = Arc::new(Mutex::new(EvalStats::default()));
+        let handle = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(|| {
+                drop(tx); // unwinding drops the sender in the real job too
+                panic!("visited-set invariant violated");
+            });
+            let _ = completion_tx.send(result);
+        });
+        let mut stream = ParallelStream {
+            rx: Some(rx),
+            stats: Arc::clone(&stats),
+            cancel: CancelToken::new(),
+            deadline: None,
+            completion,
+            joined: false,
+            done: false,
+        };
+        match stream.next_answer() {
+            Err(OmegaError::Internal { message }) => {
+                assert!(
+                    message.contains("visited-set invariant violated"),
+                    "panic payload must reach the error: {message}"
+                );
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert_eq!(stream.stats().worker_panics, 1, "panic is counted");
+        assert!(
+            stream.next_answer().unwrap().is_none(),
+            "errored stream is fused, not poisoned"
+        );
+        handle.join().unwrap();
     }
 
     #[test]

@@ -136,7 +136,7 @@ pub fn compile_conjunct(
     let subject_node = subject_const.map(&resolve).transpose()?;
     let object_node = object_const.map(&resolve).transpose()?;
 
-    let (regex, reversed) = match (subject_const, object_const) {
+    let (regex, reversed) = match (subject_node, object_node) {
         // (?X, R, C): evaluate (C, R-, ?X).
         (None, Some(_)) => (conjunct.regex.reverse(), true),
         // (C1, R, C2): both directions are available — pick the one whose
@@ -144,10 +144,12 @@ pub fn compile_conjunct(
         // forward direction, the historical behaviour). RELAX is excluded
         // because its seed-side class relaxation is tied to the start
         // constant.
-        (Some(_), Some(_)) if options.cost_guided && conjunct.mode != QueryMode::Relax => {
-            let forward = first_hop_fanout(&conjunct.regex, subject_node.unwrap(), graph);
+        (Some(subject), Some(object))
+            if options.cost_guided && conjunct.mode != QueryMode::Relax =>
+        {
+            let forward = first_hop_fanout(&conjunct.regex, subject, graph);
             let reversed_regex = conjunct.regex.reverse();
-            let backward = first_hop_fanout(&reversed_regex, object_node.unwrap(), graph);
+            let backward = first_hop_fanout(&reversed_regex, object, graph);
             if backward < forward {
                 (reversed_regex, true)
             } else {

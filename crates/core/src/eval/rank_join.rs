@@ -300,7 +300,11 @@ impl<'a> RankJoin<'a> {
             return None;
         }
         let k = self.limit?;
-        (self.topk.len() >= k).then(|| *self.topk.peek().expect("k > 0"))
+        if self.topk.len() >= k {
+            self.topk.peek().copied()
+        } else {
+            None
+        }
     }
 
     /// Records a candidate's distance in the top-k tracker.
@@ -308,7 +312,7 @@ impl<'a> RankJoin<'a> {
         let Some(k) = self.limit else { return };
         if self.topk.len() < k {
             self.topk.push(distance);
-        } else if distance < *self.topk.peek().expect("k > 0") {
+        } else if self.topk.peek().is_some_and(|&top| distance < top) {
             self.topk.pop();
             self.topk.push(distance);
         }
@@ -459,7 +463,10 @@ impl<'a> RankJoin<'a> {
                 (None, Some(_)) => false,
             };
             if emit_now {
-                let Reverse(candidate) = self.candidates.pop().expect("peeked above");
+                // `emit_now` is only reachable with a peeked candidate.
+                let Some(Reverse(candidate)) = self.candidates.pop() else {
+                    continue;
+                };
                 if self.emitted.insert(candidate.bindings.clone()) {
                     self.stats.answers += 1;
                     return Ok(Some((candidate.bindings, candidate.distance)));
@@ -497,6 +504,13 @@ impl RankJoin<'_> {
             stats += input.stream.stats();
         }
         stats
+    }
+
+    /// Total bindings currently buffered across all inputs — the join's
+    /// memory footprint, mirrored into the resource governor's
+    /// `join_buffer_entries` gauge by the service layer.
+    pub fn buffered_entries(&self) -> usize {
+        self.inputs.iter().map(|input| input.buffer.len()).sum()
     }
 }
 #[cfg(test)]

@@ -2,6 +2,29 @@
 
 use std::ops::AddAssign;
 
+/// Why a degraded stream stopped early. Recorded in
+/// [`EvalStats::truncation`] when graceful degradation cuts an evaluation
+/// short, so consumers can tell a complete answer set from a truncated one
+/// — and why it was truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The per-query live-tuple budget (`max_tuples`) tripped.
+    TupleBudget,
+    /// The shared governor tuple pool could not satisfy a reservation
+    /// within its bounded backoff.
+    PoolExhausted,
+}
+
+impl TruncationReason {
+    /// Stable lower-case name, used by the benchmark report.
+    pub fn name(self) -> &'static str {
+        match self {
+            TruncationReason::TupleBudget => "tuple_budget",
+            TruncationReason::PoolExhausted => "pool_exhausted",
+        }
+    }
+}
+
 /// Counters accumulated during evaluation of a conjunct or query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
@@ -32,6 +55,23 @@ pub struct EvalStats {
     /// edit / relaxation successors were materialised only once the distance
     /// cursor reached them (cost-guided evaluation).
     pub deferred_expansions: u64,
+    /// Conjunct worker threads that panicked during this execution. Always
+    /// zero on a healthy engine; the panic also surfaces as
+    /// [`crate::OmegaError::Internal`] on the consuming stream.
+    pub worker_panics: u64,
+    /// Shed retries performed: executions that were re-admitted with shrunk
+    /// budgets after an initial overload rejection
+    /// (`OverloadPolicy::Shed`).
+    pub sheds: u64,
+    /// Whether the answer stream was truncated by graceful degradation:
+    /// a resource budget tripped mid-query and, under
+    /// `OverloadPolicy::Degrade`, the stream finished cleanly with the
+    /// answers proven complete instead of failing. The answers yielded are
+    /// exactly the uncapped run's prefix (per conjunct); ranks at or beyond
+    /// the recorded frontier may be missing.
+    pub degraded: bool,
+    /// Why the stream was truncated, when `degraded` is set.
+    pub truncation: Option<TruncationReason>,
 }
 
 impl AddAssign for EvalStats {
@@ -46,6 +86,10 @@ impl AddAssign for EvalStats {
         self.pruned_dead += rhs.pruned_dead;
         self.pruned_bound += rhs.pruned_bound;
         self.deferred_expansions += rhs.deferred_expansions;
+        self.worker_panics += rhs.worker_panics;
+        self.sheds += rhs.sheds;
+        self.degraded |= rhs.degraded;
+        self.truncation = self.truncation.or(rhs.truncation);
     }
 }
 
@@ -54,7 +98,7 @@ impl std::fmt::Display for EvalStats {
         write!(
             f,
             "added={} processed={} succ={} lookups={} answers={} suppressed={} restarts={} \
-             pruned_dead={} pruned_bound={} deferred={}",
+             pruned_dead={} pruned_bound={} deferred={} worker_panics={} sheds={} degraded={}",
             self.tuples_added,
             self.tuples_processed,
             self.succ_calls,
@@ -64,7 +108,10 @@ impl std::fmt::Display for EvalStats {
             self.restarts,
             self.pruned_dead,
             self.pruned_bound,
-            self.deferred_expansions
+            self.deferred_expansions,
+            self.worker_panics,
+            self.sheds,
+            self.degraded
         )
     }
 }
@@ -86,6 +133,10 @@ mod tests {
             pruned_dead: 8,
             pruned_bound: 9,
             deferred_expansions: 10,
+            worker_panics: 11,
+            sheds: 12,
+            degraded: false,
+            truncation: None,
         };
         a += a;
         assert_eq!(a.tuples_added, 2);
@@ -93,7 +144,31 @@ mod tests {
         assert_eq!(a.pruned_dead, 16);
         assert_eq!(a.pruned_bound, 18);
         assert_eq!(a.deferred_expansions, 20);
+        assert_eq!(a.worker_panics, 22);
+        assert_eq!(a.sheds, 24);
+        assert!(!a.degraded);
         assert!(a.to_string().contains("answers=10"));
         assert!(a.to_string().contains("pruned_dead=16"));
+    }
+
+    #[test]
+    fn degradation_markers_merge_sticky() {
+        let mut clean = EvalStats::default();
+        let degraded = EvalStats {
+            degraded: true,
+            truncation: Some(TruncationReason::TupleBudget),
+            ..EvalStats::default()
+        };
+        clean += degraded;
+        assert!(clean.degraded, "degradation is sticky under merge");
+        assert_eq!(clean.truncation, Some(TruncationReason::TupleBudget));
+        // Merging a clean run into a degraded one keeps the first reason.
+        let mut merged = degraded;
+        merged += EvalStats {
+            truncation: Some(TruncationReason::PoolExhausted),
+            ..EvalStats::default()
+        };
+        assert_eq!(merged.truncation, Some(TruncationReason::TupleBudget));
+        assert!(merged.to_string().contains("degraded=true"));
     }
 }

@@ -79,6 +79,7 @@ pub mod answer;
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod govern;
 pub mod query;
 pub mod service;
 
@@ -89,8 +90,13 @@ pub use error::{OmegaError, Result};
 pub use eval::{
     live_parallel_workers, AnswerStream, BaselineEvaluator, CancelToken, ConjunctEvaluator,
     DisjunctionEvaluator, DistanceAwareEvaluator, EvalOptions, EvalStats, ParallelStream, RankJoin,
-    WorkerPool,
+    TruncationReason, WorkerPool,
+};
+pub use govern::{
+    ExecutionPermit, GovernorConfig, GovernorGauges, GovernorHandle, ResourceGovernor,
 };
 pub use omega_graph::SnapshotError;
 pub use query::{parse_query, Conjunct, Query, QueryMode, Term};
-pub use service::{conjunct_variables, Answers, Database, ExecOptions, PreparedQuery};
+pub use service::{
+    conjunct_variables, Answers, Database, ExecOptions, OverloadPolicy, PreparedQuery,
+};

@@ -106,12 +106,16 @@ use crate::answer::Answer;
 use crate::error::{OmegaError, Result};
 use crate::eval::cancel::CancelToken;
 use crate::eval::disjunction::compile_branches;
+use crate::eval::fault::{fire as fault_fire, FaultPoint};
 use crate::eval::parallel::{ParallelStream, StreamPlan, WorkerPool};
 use crate::eval::plan::{compile_conjunct, ConjunctPlan};
 use crate::eval::rank_join::{JoinInput, RankJoin};
 use crate::eval::{AnswerStream, EvalOptions, EvalStats};
+use crate::govern::{ExecutionPermit, GovernorConfig, GovernorHandle, ResourceGovernor};
 use crate::query::ast::{Query, QueryMode, Term};
 use crate::query::parser::parse_query;
+
+pub use crate::eval::options::OverloadPolicy;
 
 /// Default capacity of the per-database prepared-statement LRU cache.
 const PREPARED_CACHE_CAPACITY: usize = 128;
@@ -131,6 +135,10 @@ struct DbInner {
     /// Shared conjunct worker pool: parallel executions reuse parked threads
     /// instead of spawning per conjunct.
     pool: Arc<WorkerPool>,
+    /// The database-wide resource governor: every execution against this
+    /// storage — from any clone or reconfigured view — is admitted by it and
+    /// draws its live tuples from its shared pool.
+    govern: Arc<ResourceGovernor>,
 }
 
 /// A shared, thread-safe handle over one graph + ontology.
@@ -154,10 +162,21 @@ impl Database {
     /// The base options fix the query *semantics* (edit/relaxation costs,
     /// inference) that prepared plans are compiled against; per-request
     /// execution knobs are supplied through [`ExecOptions`] instead.
-    pub fn with_options(
+    pub fn with_options(graph: GraphStore, ontology: Ontology, options: EvalOptions) -> Database {
+        Database::with_governor(graph, ontology, options, GovernorConfig::default())
+    }
+
+    /// Creates a database whose executions are admitted and budgeted by a
+    /// [`ResourceGovernor`] built from `config`.
+    ///
+    /// The governor is database-wide: concurrent executions from any clone
+    /// of this handle (or any [`Database::reconfigured`] view) share one
+    /// live-tuple pool, one admission gate and one concurrency ceiling.
+    pub fn with_governor(
         mut graph: GraphStore,
         mut ontology: Ontology,
         options: EvalOptions,
+        config: GovernorConfig,
     ) -> Database {
         graph.freeze();
         // Interning the ontology closures makes the RDFS-inference paths
@@ -170,6 +189,7 @@ impl Database {
                 options: Arc::new(options),
                 cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
                 pool: WorkerPool::with_default_size(),
+                govern: ResourceGovernor::new(config),
             }),
         }
     }
@@ -184,8 +204,15 @@ impl Database {
                 options: Arc::new(options),
                 cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
                 pool: Arc::clone(&self.inner.pool),
+                govern: Arc::clone(&self.inner.govern),
             }),
         }
+    }
+
+    /// The database-wide resource governor: inspect its gauges, or hold the
+    /// `Arc` to watch saturation from a monitoring thread.
+    pub fn governor(&self) -> &Arc<ResourceGovernor> {
+        &self.inner.govern
     }
 
     /// The data graph.
@@ -217,14 +244,22 @@ impl Database {
     /// Parses, validates and compiles `text` into a [`PreparedQuery`],
     /// consulting the prepared-statement cache first.
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery> {
-        if let Some(hit) = self.inner.cache.lock().unwrap().get(text) {
+        // The cache critical sections never panic, but a poisoned lock must
+        // not take the whole database down with it: recover the guard.
+        if let Some(hit) = self
+            .inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(text)
+        {
             return Ok(hit);
         }
         let prepared = self.prepare_uncached(text)?;
         self.inner
             .cache
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .insert(text.to_owned(), prepared.clone());
         Ok(prepared)
     }
@@ -247,6 +282,7 @@ impl Database {
             data: Arc::clone(&self.inner.data),
             base: Arc::clone(&self.inner.options),
             pool: Arc::clone(&self.inner.pool),
+            govern: Arc::clone(&self.inner.govern),
             inner: Arc::new(inner),
         })
     }
@@ -259,7 +295,12 @@ impl Database {
 
     /// Number of entries currently in the prepared-statement cache.
     pub fn prepared_cache_len(&self) -> usize {
-        self.inner.cache.lock().unwrap().entries.len()
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
     }
 
     // ------------------------------------------------------------------
@@ -312,6 +353,9 @@ impl Database {
         path: P,
         options: EvalOptions,
     ) -> std::result::Result<Database, SnapshotError> {
+        if fault_fire(FaultPoint::SnapshotRead) {
+            return Err(SnapshotError::Io("injected snapshot read fault".into()));
+        }
         let reader = SnapshotReader::open(path.as_ref())?;
         let graph = omega_graph::snapshot::read_graph(&reader)?;
         let ontology = omega_ontology::snapshot::read_ontology_section(&reader)?;
@@ -351,7 +395,7 @@ impl PreparedCache {
     fn get(&mut self, text: &str) -> Option<PreparedQuery> {
         let pos = self.entries.iter().position(|(t, _)| t == text)?;
         self.entries[pos..].rotate_left(1);
-        Some(self.entries.last().unwrap().1.clone())
+        self.entries.last().map(|(_, prepared)| prepared.clone())
     }
 
     fn insert(&mut self, text: String, prepared: PreparedQuery) {
@@ -427,9 +471,38 @@ impl PreparedInner {
         &self,
         data: &'a Arc<GraphData>,
         pool: &Arc<WorkerPool>,
+        govern: &Arc<ResourceGovernor>,
         mut options: EvalOptions,
         limit: Option<usize>,
     ) -> Answers<'a> {
+        // Admission: the governor gates every execution before any evaluator
+        // state is built. Under `Shed` a rejected request backs off once,
+        // shrinks its budgets and retries; otherwise the typed
+        // `Overloaded` error is deferred to the stream's first pull
+        // (`answers` is infallible by signature).
+        let mut sheds = 0u64;
+        let permit = loop {
+            match govern.admit() {
+                Ok(permit) => break permit,
+                Err(err) => {
+                    if options.on_overload == OverloadPolicy::Shed && sheds == 0 {
+                        sheds = 1;
+                        if let OmegaError::Overloaded { retry_after } = err {
+                            std::thread::sleep(retry_after);
+                        }
+                        if let Some(max) = options.max_tuples {
+                            options.max_tuples = Some((max / 2).max(1));
+                        }
+                        options.max_psi_steps = (options.max_psi_steps / 2).max(1);
+                        continue;
+                    }
+                    return Answers::rejected(&data.graph, err, sheds);
+                }
+            }
+        };
+        // Evaluators draw their live-tuple reservations from the shared pool
+        // through this handle.
+        options.govern = Some(GovernorHandle(Arc::clone(govern)));
         // Every execution gets its own token; a caller-installed base token
         // becomes the parent (an external kill switch), so finishing this
         // execution never poisons the base options for later queries.
@@ -481,6 +554,10 @@ impl PreparedInner {
         // Head variables resolve to join slot indices exactly once per
         // execution; projection and deduplication then work on dense
         // node-id tuples, never on name-keyed bindings.
+        // Validation guarantees every head variable occurs in some conjunct;
+        // the expect documents that invariant rather than a runtime failure
+        // mode.
+        #[allow(clippy::expect_used)]
         let head_slots: Vec<usize> = self
             .query
             .head
@@ -514,6 +591,11 @@ impl PreparedInner {
             deadline: options.deadline,
             cancel,
             finished: false,
+            pending: None,
+            permit: Some(permit),
+            govern: Some(Arc::clone(govern)),
+            buffered: 0,
+            sheds,
         }
     }
 }
@@ -565,6 +647,7 @@ pub struct PreparedQuery {
     data: Arc<GraphData>,
     base: Arc<EvalOptions>,
     pool: Arc<WorkerPool>,
+    govern: Arc<ResourceGovernor>,
     inner: Arc<PreparedInner>,
 }
 
@@ -578,7 +661,7 @@ impl PreparedQuery {
     pub fn answers(&self, request: &ExecOptions) -> Answers<'_> {
         let options = request.resolve(&self.base);
         self.inner
-            .answers(&self.data, &self.pool, options, request.limit)
+            .answers(&self.data, &self.pool, &self.govern, options, request.limit)
     }
 
     /// Executes under `request` and collects the answers.
@@ -638,6 +721,10 @@ pub struct ExecOptions {
     pub parallel_channel_capacity: Option<usize>,
     /// Cost-guided evaluation override (see [`EvalOptions::cost_guided`]).
     pub cost_guided: Option<bool>,
+    /// Overload policy override: what happens when a resource budget trips
+    /// mid-query or the governor rejects the execution at admission (see
+    /// [`OverloadPolicy`]).
+    pub on_overload: Option<OverloadPolicy>,
 }
 
 impl ExecOptions {
@@ -731,6 +818,14 @@ impl ExecOptions {
         self
     }
 
+    /// Selects what happens under resource pressure: fail with a typed
+    /// error (default), degrade to the already-proven answer prefix, or
+    /// shed load (shrink budgets, back off, retry admission once).
+    pub fn with_on_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.on_overload = Some(policy);
+        self
+    }
+
     /// Folds the overrides into `base`, resolving the relative timeout into
     /// an absolute deadline at call time (i.e. execution start).
     pub(crate) fn resolve(&self, base: &EvalOptions) -> EvalOptions {
@@ -761,6 +856,9 @@ impl ExecOptions {
         }
         if let Some(on) = self.cost_guided {
             options.cost_guided = on;
+        }
+        if let Some(policy) = self.on_overload {
+            options.on_overload = policy;
         }
         if self.max_distance.is_some() {
             options.max_distance = self.max_distance;
@@ -804,14 +902,69 @@ pub struct Answers<'a> {
     /// The execution's shared cancellation token.
     cancel: CancelToken,
     finished: bool,
+    /// Admission failure deferred to the first pull (the constructor is
+    /// infallible by signature).
+    pending: Option<OmegaError>,
+    /// Concurrency-slot permit; released when the stream finishes or drops.
+    permit: Option<ExecutionPermit>,
+    /// Governor whose join-buffer gauge mirrors this stream's buffered
+    /// entries (`None` for rejected streams that never ran).
+    govern: Option<Arc<ResourceGovernor>>,
+    /// Last buffered-entry count pushed into the governor's gauge.
+    buffered: usize,
+    /// Shed retries performed at admission, surfaced through
+    /// [`Answers::stats`].
+    sheds: u64,
 }
 
-impl Answers<'_> {
-    /// Marks the stream finished and cancels the execution's shared token so
-    /// any parallel conjunct workers stop producing promptly.
+impl<'a> Answers<'a> {
+    /// An inert stream standing in for an execution the governor rejected:
+    /// its first pull returns the admission error, then it is fused.
+    fn rejected(graph: &'a GraphStore, err: OmegaError, sheds: u64) -> Answers<'a> {
+        Answers {
+            graph,
+            join: RankJoin::new(Vec::new()),
+            head: Vec::new(),
+            head_slots: Vec::new(),
+            emitted: FxHashSet::default(),
+            limit: None,
+            yielded: 0,
+            max_distance: None,
+            deadline: None,
+            cancel: CancelToken::new(),
+            finished: false,
+            pending: Some(err),
+            permit: None,
+            govern: None,
+            buffered: 0,
+            sheds,
+        }
+    }
+
+    /// Marks the stream finished, cancels the execution's shared token so
+    /// any parallel conjunct workers stop producing promptly, and returns
+    /// the execution's governor resources (permit, gauge contribution).
     fn finish(&mut self) {
         self.finished = true;
         self.cancel.cancel();
+        self.sync_buffer_gauge(true);
+        self.permit = None;
+    }
+
+    /// Mirrors the rank join's buffered-entry count into the governor's
+    /// gauge as a delta; `drain` pushes this stream's contribution back to
+    /// zero when it ends.
+    fn sync_buffer_gauge(&mut self, drain: bool) {
+        let Some(govern) = &self.govern else { return };
+        let now = if drain {
+            0
+        } else {
+            self.join.buffered_entries()
+        };
+        if now != self.buffered {
+            govern.adjust_join_buffer(now as isize - self.buffered as isize);
+            self.buffered = now;
+        }
     }
 
     /// The next answer, `Ok(None)` when the stream is exhausted (or the
@@ -819,6 +972,10 @@ impl Answers<'_> {
     pub fn next_answer(&mut self) -> Result<Option<Answer>> {
         if self.finished {
             return Ok(None);
+        }
+        if let Some(err) = self.pending.take() {
+            self.finish();
+            return Err(err);
         }
         if self.limit.is_some_and(|l| self.yielded >= l) {
             self.finish();
@@ -841,6 +998,7 @@ impl Answers<'_> {
                     return Err(e);
                 }
             };
+            self.sync_buffer_gauge(false);
             let Some((bindings, distance)) = next else {
                 self.finish();
                 return Ok(None);
@@ -851,7 +1009,10 @@ impl Answers<'_> {
                 self.finish();
                 return Ok(None);
             }
-            // Project onto the head slots and deduplicate projections.
+            // Project onto the head slots and deduplicate projections. The
+            // join only emits candidates with every slot bound, so the
+            // expect documents that invariant, not a runtime failure mode.
+            #[allow(clippy::expect_used)]
             let key: Vec<NodeId> = self
                 .head_slots
                 .iter()
@@ -887,9 +1048,12 @@ impl Answers<'_> {
         Ok(out)
     }
 
-    /// Evaluation statistics accumulated so far across all conjuncts.
+    /// Evaluation statistics accumulated so far across all conjuncts,
+    /// including shed retries performed at admission.
     pub fn stats(&self) -> EvalStats {
-        self.join.stats()
+        let mut stats = self.join.stats();
+        stats.sheds += self.sheds;
+        stats
     }
 }
 
@@ -904,8 +1068,11 @@ impl Iterator for Answers<'_> {
 impl Drop for Answers<'_> {
     fn drop(&mut self) {
         // Abandoning the stream mid-flight cancels the execution; the join's
-        // parallel inputs then join their workers as they drop.
+        // parallel inputs then join their workers as they drop. The gauge
+        // contribution is returned here too (the permit's own `Drop` frees
+        // the concurrency slot).
         self.cancel.cancel();
+        self.sync_buffer_gauge(true);
     }
 }
 
@@ -1131,5 +1298,146 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, OmegaError::ResourceExhausted { .. }));
+    }
+
+    fn governed_db(config: GovernorConfig) -> Database {
+        let mut g = GraphStore::new();
+        g.add_triple("alice", "knows", "bob");
+        g.add_triple("bob", "knows", "carol");
+        g.add_triple("carol", "knows", "dave");
+        g.add_triple("alice", "worksAt", "acme");
+        g.add_triple("bob", "worksAt", "initech");
+        g.add_triple("acme", "locatedIn", "UK");
+        g.add_triple("initech", "locatedIn", "US");
+        Database::with_governor(g, Ontology::new(), EvalOptions::default(), config)
+    }
+
+    #[test]
+    fn governed_admission_rejects_with_typed_overloaded() {
+        let db = governed_db(
+            GovernorConfig::default()
+                .with_max_concurrent(1)
+                .with_retry_after(Duration::from_millis(7)),
+        );
+        let held = db.governor().admit().unwrap();
+        let err = db
+            .execute("(?X) <- (alice, knows+, ?X)", &ExecOptions::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, OmegaError::Overloaded { retry_after } if retry_after >= Duration::from_millis(7))
+        );
+        assert_eq!(db.governor().gauges().rejected, 1);
+        drop(held);
+        // The slot freed: the same query now runs.
+        let answers = db
+            .execute("(?X) <- (alice, knows+, ?X)", &ExecOptions::new())
+            .unwrap();
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn degrade_returns_bit_identical_prefix() {
+        let db = db();
+        let text = "(?X, ?Y) <- APPROX (?X, knows+, ?Y)";
+        let full = db.execute(text, &ExecOptions::new()).unwrap();
+        assert!(!full.is_empty());
+        // Fail (the default) aborts under the same budget…
+        let capped = ExecOptions::new().with_max_tuples(3);
+        assert!(db.execute(text, &capped).is_err());
+        // …Degrade instead ends the stream cleanly with the proven prefix.
+        let prepared = db.prepare(text).unwrap();
+        let mut stream =
+            prepared.answers(&capped.clone().with_on_overload(OverloadPolicy::Degrade));
+        let partial = stream.collect_up_to(None).unwrap();
+        let stats = stream.stats();
+        assert!(stats.degraded, "degraded flag must be set");
+        assert!(stats.truncation.is_some(), "truncation reason must be set");
+        assert!(partial.len() < full.len());
+        assert_eq!(
+            partial[..],
+            full[..partial.len()],
+            "prefix must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn shed_retries_once_then_surfaces_overload() {
+        let db = governed_db(
+            GovernorConfig::default()
+                .with_max_concurrent(1)
+                .with_retry_after(Duration::from_millis(1)),
+        );
+        let held = db.governor().admit().unwrap();
+        // The slot stays taken: the shed retry also fails, so the typed
+        // error surfaces — but exactly one shed attempt was made.
+        let prepared = db.prepare("(?X) <- (alice, knows, ?X)").unwrap();
+        let request = ExecOptions::new()
+            .with_max_tuples(64)
+            .with_on_overload(OverloadPolicy::Shed);
+        let mut stream = prepared.answers(&request);
+        assert!(matches!(
+            stream.next_answer(),
+            Err(OmegaError::Overloaded { .. })
+        ));
+        assert_eq!(stream.stats().sheds, 1);
+        assert_eq!(db.governor().gauges().rejected, 2);
+        drop(held);
+        // With the slot free the shed path is never taken.
+        let mut stream = prepared.answers(&request);
+        let answers = stream.collect_up_to(None).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(stream.stats().sheds, 0);
+    }
+
+    #[test]
+    fn shed_succeeds_when_the_slot_frees_during_backoff() {
+        let db = governed_db(
+            GovernorConfig::default()
+                .with_max_concurrent(1)
+                .with_retry_after(Duration::from_millis(250)),
+        );
+        let held = db.governor().admit().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                drop(held);
+            });
+            let prepared = db.prepare("(?X) <- (alice, knows+, ?X)").unwrap();
+            let mut stream =
+                prepared.answers(&ExecOptions::new().with_on_overload(OverloadPolicy::Shed));
+            let answers = stream.collect_up_to(None).unwrap();
+            assert_eq!(answers.len(), 3, "shed retry must run the query");
+            assert_eq!(stream.stats().sheds, 1);
+        });
+    }
+
+    #[test]
+    fn gauges_return_to_zero_after_execution() {
+        let db = governed_db(
+            GovernorConfig::default()
+                .with_max_live_tuples(1 << 16)
+                .with_max_concurrent(4),
+        );
+        let text = "(?X, ?W) <- (?X, knows, ?Y), (?Y, worksAt, ?W)";
+        let prepared = db.prepare(text).unwrap();
+        {
+            let mut stream = prepared.answers(&ExecOptions::new());
+            assert!(stream.next_answer().unwrap().is_some());
+            let during = db.governor().gauges();
+            assert_eq!(during.executions, 1);
+            assert!(during.live_tuples > 0, "reservations drawn mid-query");
+            // Abandon the stream mid-flight: Drop must return everything.
+        }
+        let after = db.governor().gauges();
+        assert_eq!(after.executions, 0);
+        assert_eq!(after.live_tuples, 0);
+        assert_eq!(after.join_buffer_entries, 0);
+    }
+
+    #[test]
+    fn reconfigured_shares_the_governor() {
+        let db = governed_db(GovernorConfig::default().with_max_concurrent(2));
+        let view = db.reconfigured(EvalOptions::default().with_max_tuples(Some(10)));
+        assert!(Arc::ptr_eq(db.governor(), view.governor()));
     }
 }

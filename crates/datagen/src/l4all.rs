@@ -24,6 +24,12 @@
 //! (transitive closure), as the paper's discussion of class-node degrees
 //! implies.
 
+// The generators below build fixed label sets and hand-written tree
+// hierarchies: every lookup and hierarchy insert is infallible by
+// construction, so a panic would flag a bug in this source file, never
+// a runtime input.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use omega_graph::{GraphStore, NodeId};
 use omega_ontology::Ontology;
 use rand::rngs::StdRng;

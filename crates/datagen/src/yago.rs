@@ -22,6 +22,12 @@
 //! The default scale is laptop-sized; `YagoConfig::scale` grows every entity
 //! population linearly for larger experiments.
 
+// The generators below build fixed label sets and hand-written tree
+// hierarchies: every lookup and hierarchy insert is infallible by
+// construction, so a panic would flag a bug in this source file, never
+// a runtime input.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use omega_graph::{GraphStore, NodeId};
 use omega_ontology::Ontology;
 use rand::rngs::StdRng;

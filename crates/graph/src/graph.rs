@@ -69,6 +69,10 @@ impl NodeLabels {
                 len,
             } => {
                 assert!(i < *len, "node index {i} out of range for {len} nodes");
+                // The loader rejects images whose offset section is not a
+                // whole number of u64s, so this cannot fail after open; the
+                // expect documents that invariant.
+                #[allow(clippy::expect_used)]
                 let offsets = offsets.as_u64s().expect("validated at load");
                 let slice = &bytes.bytes()[offsets[i] as usize..offsets[i + 1] as usize];
                 // Safety: the loader validated the whole byte section as
@@ -239,10 +243,12 @@ impl GraphStore {
         if self.hydrated {
             return;
         }
-        let csr = self
-            .csr
-            .as_ref()
-            .expect("an unhydrated store always has a CSR index");
+        // An unhydrated store always carries a CSR index; a store without
+        // one simply has nothing to hydrate from.
+        let Some(csr) = self.csr.as_ref() else {
+            self.hydrated = true;
+            return;
+        };
         while self.adjacency.len() < csr.out.len() {
             self.adjacency.push(Adjacency::default());
         }

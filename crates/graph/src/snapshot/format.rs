@@ -175,7 +175,9 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
-        hash ^= u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        let mut word = [0u8; 8];
+        word.copy_from_slice(chunk);
+        hash ^= u64::from_le_bytes(word);
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     let tail = chunks.remainder();
@@ -452,19 +454,15 @@ impl SnapshotReader {
 }
 
 fn read_u32(bytes: &[u8], offset: usize) -> u32 {
-    u32::from_le_bytes(
-        bytes[offset..offset + 4]
-            .try_into()
-            .expect("bounds checked"),
-    )
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[offset..offset + 4]);
+    u32::from_le_bytes(buf)
 }
 
 fn read_u64(bytes: &[u8], offset: usize) -> u64 {
-    u64::from_le_bytes(
-        bytes[offset..offset + 8]
-            .try_into()
-            .expect("bounds checked"),
-    )
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[offset..offset + 8]);
+    u64::from_le_bytes(buf)
 }
 
 #[cfg(test)]

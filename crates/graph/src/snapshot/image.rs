@@ -240,8 +240,9 @@ pub fn read_graph(reader: &SnapshotReader) -> Result<GraphStore, SnapshotError> 
         }
         mixed.push(CsrMixed::from_parts(offsets, entries));
     }
-    let in_all = mixed.pop().expect("two mixed views pushed");
-    let out_all = mixed.pop().expect("two mixed views pushed");
+    let (Some(in_all), Some(out_all)) = (mixed.pop(), mixed.pop()) else {
+        return Err(SnapshotError::malformed("missing mixed CSR views"));
+    };
 
     let total: usize = out.iter().map(CsrLayer::len).sum();
     if total != edge_count {

@@ -91,6 +91,9 @@ impl RpqRegex {
     /// Panics if `parts` is empty.
     pub fn alt_all(parts: impl IntoIterator<Item = RpqRegex>) -> RpqRegex {
         let mut iter = parts.into_iter();
+        // The panic is this constructor's documented contract (an empty
+        // alternation has no regex representation), not a runtime failure.
+        #[allow(clippy::expect_used)]
         let first = iter.next().expect("alt_all requires at least one branch");
         iter.fold(first, |acc, p| RpqRegex::Alt(Box::new(acc), Box::new(p)))
     }

@@ -138,8 +138,12 @@ impl Parser {
             Some(c) if is_label_char(c) => {
                 let start = self.offset();
                 let mut label = String::new();
-                while matches!(self.peek(), Some(c) if is_label_char(c)) {
-                    label.push(self.bump().unwrap());
+                while let Some(c) = self.peek() {
+                    if !is_label_char(c) {
+                        break;
+                    }
+                    self.bump();
+                    label.push(c);
                 }
                 if label == "_" {
                     return Ok(RpqRegex::Wildcard);
