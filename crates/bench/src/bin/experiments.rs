@@ -11,7 +11,8 @@
 //! experiments snapshot inspect PATH
 //!
 //! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance
-//!         opt-disjunction prepared parallel baseline startup overload bench all
+//!         opt-disjunction prepared parallel baseline startup overload serve
+//!         bench all
 //! ```
 //!
 //! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
@@ -82,7 +83,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
-                     opt-distance opt-disjunction prepared parallel baseline startup overload bench all] \
+                     opt-distance opt-disjunction prepared parallel baseline startup overload serve bench all] \
                      [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--samples N] \
                      [--json PATH]\n\
                      \x20      experiments snapshot build --out PATH [--dataset l4all|yago] \
@@ -121,11 +122,13 @@ fn main() {
     let need_multi = wants("parallel") || wants("bench");
     let need_startup = wants("startup") || wants("bench");
     let need_overload = wants("overload") || wants("bench");
+    let need_serve = wants("serve") || wants("bench");
     let l4all_rows = need_l4all.then(|| l4all_study(&config, &options));
     let yago_rows = need_yago.then(|| yago_study(&config, &options));
     let multi_rows = need_multi.then(|| parallel_study(&config, &options));
     let startup_rows = need_startup.then(|| startup_study(&config));
     let overload_rows = need_overload.then(|| overload_study(&config));
+    let serve_rows = need_serve.then(|| serve_study(&config));
     if let Some(rows) = &l4all_rows {
         if wants("fig5") {
             println!("{}", figure5(rows));
@@ -163,6 +166,11 @@ fn main() {
             println!("{}", overload_comparison(rows));
         }
     }
+    if let Some(rows) = &serve_rows {
+        if wants("serve") {
+            println!("{}", serve_comparison(rows));
+        }
+    }
     if wants("bench") {
         let name = json_path
             .file_stem()
@@ -178,6 +186,7 @@ fn main() {
             multi_rows.as_deref().unwrap_or(&[]),
             startup_rows.as_deref().unwrap_or(&[]),
             overload_rows.as_deref().unwrap_or(&[]),
+            serve_rows.as_deref().unwrap_or(&[]),
         )
         .unwrap_or_else(|e| panic!("failed to write {}: {e}", json_path.display()));
         println!("wrote {}\n", json_path.display());

@@ -21,6 +21,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod report;
+pub mod serve;
+
+pub use serve::{serve_comparison, serve_study, ServeRun};
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};

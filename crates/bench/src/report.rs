@@ -30,7 +30,7 @@
 use std::io::Write;
 use std::path::Path;
 
-use crate::{OverloadRun, QueryRun, RunConfig};
+use crate::{OverloadRun, QueryRun, RunConfig, ServeRun};
 
 /// Escapes a string for a JSON string literal.
 fn escape(s: &str) -> String {
@@ -119,6 +119,35 @@ fn overload_json(run: &OverloadRun) -> String {
     )
 }
 
+fn serve_json(run: &ServeRun) -> String {
+    format!(
+        concat!(
+            "{{ \"scenario\": \"{}\", \"mode\": \"{}\", \"id\": \"{}\", ",
+            "\"connections\": {}, \"issued\": {}, \"completed\": {}, ",
+            "\"overloaded\": {}, \"failed\": {}, \"degraded\": {}, ",
+            "\"sheds\": {}, \"rejected\": {}, \"answers\": {}, ",
+            "\"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, ",
+            "\"throughput_rps\": {:.2} }}"
+        ),
+        escape(&run.scenario),
+        escape(&run.mode),
+        escape(&run.id),
+        run.connections,
+        run.issued,
+        run.completed,
+        run.overloaded,
+        run.failed,
+        run.degraded,
+        run.sheds,
+        run.rejected,
+        run.answers,
+        run.p50.as_secs_f64() * 1e3,
+        run.p99.as_secs_f64() * 1e3,
+        run.p999.as_secs_f64() * 1e3,
+        run.throughput,
+    )
+}
+
 /// Serialises an experiment run to the `BENCH_N.json` structure.
 ///
 /// `multi_rows` holds the multi-conjunct parallel study: the `scale` slot of
@@ -127,7 +156,9 @@ fn overload_json(run: &OverloadRun) -> String {
 /// `scale` slot carries the phase (`rebuild` / `save` / `open_cold` /
 /// `open_warm`), `id` the dataset, and `answers` the graph's node count.
 /// `overload_rows` is the closed-loop governor study and has its own shape,
-/// so it lands in a separate top-level `"overload"` array.
+/// so it lands in a separate top-level `"overload"` array; `serve_rows` is
+/// the network-serving study and lands in a top-level `"serve"` array.
+#[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     name: &str,
     config: &RunConfig,
@@ -136,6 +167,7 @@ pub fn bench_json(
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
+    serve_rows: &[ServeRun],
 ) -> String {
     let mut queries: Vec<String> = Vec::new();
     for (scale, run) in l4all_rows {
@@ -151,14 +183,16 @@ pub fn bench_json(
         queries.push(query_json("startup", phase, run));
     }
     let overload: Vec<String> = overload_rows.iter().map(overload_json).collect();
+    let serve: Vec<String> = serve_rows.iter().map(serve_json).collect();
     format!(
-        "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {}, \"samples\": {} }},\n  \"queries\": [\n    {}\n  ],\n  \"overload\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"config\": {{ \"max_scale\": \"{}\", \"yago_scale\": {}, \"samples\": {} }},\n  \"queries\": [\n    {}\n  ],\n  \"overload\": [\n    {}\n  ],\n  \"serve\": [\n    {}\n  ]\n}}\n",
         escape(name),
         config.max_scale.name(),
         config.yago_scale,
         config.samples,
         queries.join(",\n    "),
-        overload.join(",\n    ")
+        overload.join(",\n    "),
+        serve.join(",\n    ")
     )
 }
 
@@ -173,6 +207,7 @@ pub fn write_bench_json(
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
+    serve_rows: &[ServeRun],
 ) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(
@@ -184,6 +219,7 @@ pub fn write_bench_json(
             multi_rows,
             startup_rows,
             overload_rows,
+            serve_rows,
         )
         .as_bytes(),
     )
@@ -223,6 +259,27 @@ mod tests {
         }
     }
 
+    fn serve_run() -> ServeRun {
+        ServeRun {
+            mode: "closed".into(),
+            scenario: "plain".into(),
+            id: "Q9/APPROX".into(),
+            connections: 8,
+            issued: 64,
+            completed: 60,
+            overloaded: 3,
+            failed: 1,
+            degraded: 2,
+            sheds: 5,
+            rejected: 4,
+            answers: 6000,
+            p50: Duration::from_micros(1500),
+            p99: Duration::from_micros(9000),
+            p999: Duration::from_micros(12000),
+            throughput: 123.456,
+        }
+    }
+
     fn overload_run() -> OverloadRun {
         OverloadRun {
             policy: "degrade".into(),
@@ -249,6 +306,7 @@ mod tests {
             &[("seq".into(), run()), ("par".into(), run())],
             &[("rebuild".into(), run()), ("open_cold".into(), run())],
             &[overload_run()],
+            &[serve_run()],
         );
         assert!(json.contains("\"bench\": \"BENCH_1\""));
         assert!(json.contains("\"suite\": \"l4all\""));
@@ -278,6 +336,12 @@ mod tests {
         assert!(json.contains("\"p50_ms\": 4.0000"));
         assert!(json.contains("\"p99_ms\": 21.0000"));
         assert!(json.contains("\"rejected\": 3"));
+        assert!(json.contains("\"serve\": ["));
+        assert!(json.contains("\"scenario\": \"plain\""));
+        assert!(json.contains("\"mode\": \"closed\""));
+        assert!(json.contains("\"connections\": 8"));
+        assert!(json.contains("\"p999_ms\": 12.0000"));
+        assert!(json.contains("\"throughput_rps\": 123.46"));
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The serving-layer study: an in-process `omega-server` on a unix socket,
+//! driven by the `omega-client` load generator, measuring end-to-end
+//! request latency (p50/p99/p999) under closed- and open-loop load, plus a
+//! governed scenario that exercises shedding and degradation at the edge.
+//!
+//! The rows land in the `serve` array of `BENCH_N.json`, so the cost of the
+//! network hop (framing, syscalls, credit flow control) is tracked from PR
+//! to PR alongside the in-process suites.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use omega_client::bench::{run_load, Endpoint, LoadMode, LoadSpec};
+use omega_core::{Database, EvalOptions, ExecOptions, GovernorConfig, OverloadPolicy};
+use omega_datagen::{l4all_queries, L4AllScale};
+use omega_server::{Server, ServerConfig, ServerHandle};
+
+use crate::{l4all_dataset, RunConfig, TOP_K};
+
+/// One serving-layer load run.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Arrival discipline: `closed`, or `open@R` (R in req/s).
+    pub mode: String,
+    /// Scenario label (`plain` or the governed policy name).
+    pub scenario: String,
+    /// Query id plus operator (`Q1`, `Q9/APPROX`, …).
+    pub id: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued.
+    pub issued: u64,
+    /// Requests that streamed to completion.
+    pub completed: u64,
+    /// Requests rejected with `Overloaded` at the admission edge.
+    pub overloaded: u64,
+    /// Requests that failed with any other typed error.
+    pub failed: u64,
+    /// Completed requests whose evaluation degraded under pressure.
+    pub degraded: u64,
+    /// Shed-and-retry events absorbed inside the engine (server counter).
+    pub sheds: u64,
+    /// Requests the server answered with a typed wire error (server counter).
+    pub rejected: u64,
+    /// Total answers streamed back.
+    pub answers: u64,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// 99.9th-percentile latency.
+    pub p999: Duration,
+    /// Completed requests per second over the run's wall-clock.
+    pub throughput: f64,
+}
+
+/// A collision-free unix socket path for one study server.
+fn socket_path() -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("omega-bench-serve-{}-{n}.sock", std::process::id()))
+}
+
+/// Spawns a serving daemon over `db`; returns its handle, endpoint and the
+/// joiner for the run loop.
+fn spawn(db: Database) -> (ServerHandle, Endpoint, std::thread::JoinHandle<()>) {
+    let mut server = Server::with_config(
+        db,
+        ServerConfig {
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let path = socket_path();
+    server.listen_unix(&path).expect("bind serve-study socket");
+    let handle = server.handle();
+    let joiner = std::thread::spawn(move || server.run());
+    (handle, Endpoint::Unix(path), joiner)
+}
+
+/// Runs one load spec and folds the outcome (plus the server-counter
+/// deltas) into a [`ServeRun`] row.
+fn measure(
+    handle: &ServerHandle,
+    endpoint: &Endpoint,
+    scenario: &str,
+    id: &str,
+    spec: &LoadSpec,
+) -> ServeRun {
+    let before = handle.stats();
+    let report = run_load(endpoint, spec).expect("serve-study load run");
+    let after = handle.stats();
+    ServeRun {
+        mode: match spec.mode {
+            LoadMode::Closed => "closed".to_owned(),
+            LoadMode::Open(rate) => format!("open@{rate:.0}"),
+        },
+        scenario: scenario.to_owned(),
+        id: id.to_owned(),
+        connections: spec.connections,
+        issued: report.issued,
+        completed: report.completed,
+        overloaded: report.overloaded,
+        failed: report.failed,
+        degraded: report.degraded,
+        sheds: after.sheds - before.sheds,
+        rejected: after.rejected - before.rejected,
+        answers: report.answers,
+        p50: report.p50,
+        p99: report.p99,
+        p999: report.p999,
+        throughput: report.throughput(),
+    }
+}
+
+/// The serving study.
+///
+/// Scenario `plain` serves an ungoverned database: one exact query and the
+/// flexible workhorse (Q9 APPROX) under closed-loop load at increasing
+/// concurrency, plus an open-loop run paced at ~75% of the measured
+/// closed-loop throughput (so queueing delay is visible but bounded).
+/// Scenario `degrade`/`shed` serve a tightly governed database at 2x the
+/// concurrency ceiling, populating the shed/degraded/rejected counters.
+pub fn serve_study(config: &RunConfig) -> Vec<ServeRun> {
+    let scale = config.scales().first().copied().unwrap_or(L4AllScale::L1);
+    let dataset = l4all_dataset(scale);
+    let queries = l4all_queries();
+    let exact = &queries[0]; // Q1
+    let flexible = queries[8].with_operator("APPROX"); // Q9, the flexible workhorse
+    let request = ExecOptions::new().with_limit(TOP_K);
+    let mut rows = Vec::new();
+
+    // --- plain scenario: ungoverned database --------------------------
+    let db = Database::new(dataset.graph.clone(), dataset.ontology.clone());
+    let (handle, endpoint, joiner) = spawn(db);
+    for (id, text) in [
+        ("Q1", exact.text.to_owned()),
+        ("Q9/APPROX", flexible.clone()),
+    ] {
+        for connections in [1usize, 4] {
+            let spec = LoadSpec {
+                query: text.clone(),
+                options: request.clone(),
+                connections,
+                requests: 32 * connections,
+                mode: LoadMode::Closed,
+            };
+            rows.push(measure(&handle, &endpoint, "plain", id, &spec));
+        }
+    }
+    // Open loop, paced off the last closed-loop row's throughput.
+    let closed_rps = rows
+        .last()
+        .map(|r| r.throughput)
+        .filter(|t| t.is_finite() && *t > 1.0)
+        .unwrap_or(50.0);
+    let spec = LoadSpec {
+        query: flexible.clone(),
+        options: request.clone(),
+        connections: 4,
+        requests: 96,
+        mode: LoadMode::Open(closed_rps * 0.75),
+    };
+    rows.push(measure(&handle, &endpoint, "plain", "Q9/APPROX", &spec));
+    handle.shutdown();
+    joiner.join().expect("serve-study server drained");
+
+    // --- governed scenarios: shedding and degradation at the edge ------
+    // Probe the workhorse query's tuple appetite ungoverned, then squeeze
+    // the shared pool to roughly two concurrent copies so four closed-loop
+    // clients genuinely contend (same sizing idea as `overload_study`).
+    let probe_db = Database::new(dataset.graph.clone(), dataset.ontology.clone());
+    let probe = crate::run_query_with(&probe_db, "Q9", "APPROX", &flexible, &request);
+    let pool = (probe.stats.tuples_added as usize).max(1024) * 2;
+    for (scenario, policy) in [
+        ("degrade", OverloadPolicy::Degrade),
+        ("shed", OverloadPolicy::Shed),
+    ] {
+        let mut governor = GovernorConfig::default()
+            .with_max_live_tuples(pool)
+            .with_retry_after(Duration::from_millis(2));
+        if policy == OverloadPolicy::Shed {
+            // Sheds happen at the admission gate; a concurrency ceiling
+            // below the client count makes the retry loop do real work.
+            governor = governor.with_max_concurrent(2);
+        }
+        let db = Database::with_governor(
+            dataset.graph.clone(),
+            dataset.ontology.clone(),
+            EvalOptions::default(),
+            governor,
+        );
+        let (handle, endpoint, joiner) = spawn(db);
+        let spec = LoadSpec {
+            query: flexible.clone(),
+            options: request.clone().with_on_overload(policy),
+            connections: 4,
+            requests: 64,
+            mode: LoadMode::Closed,
+        };
+        rows.push(measure(&handle, &endpoint, scenario, "Q9/APPROX", &spec));
+        handle.shutdown();
+        joiner.join().expect("governed serve-study server drained");
+    }
+    rows
+}
+
+/// Formats the [`serve_study`] rows as a table.
+pub fn serve_comparison(rows: &[ServeRun]) -> String {
+    let mut out = String::from(
+        "## Serving layer: end-to-end latency over the wire (unix socket)\n\n\
+         scenario  mode       query      conns  compl/issued  p50 ms  p99 ms  p999 ms  req/s  shed  degr  rej\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:<10} {:<10} {:>5}  {:>6}/{:<6} {:>7.3} {:>7.3} {:>8.3} {:>6.0} {:>5} {:>5} {:>4}\n",
+            r.scenario,
+            r.mode,
+            r.id,
+            r.connections,
+            r.completed,
+            r.issued,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.p999.as_secs_f64() * 1e3,
+            r.throughput,
+            r.sheds,
+            r.degraded,
+            r.rejected,
+        ));
+    }
+    out
+}

@@ -1,0 +1,256 @@
+//! The serving-layer load generator: closed- and open-loop driving of an
+//! `omega-server` daemon over concurrent connections, with per-query latency
+//! percentiles (p50/p99/p999). Backs both the `omega-client bench`
+//! subcommand and the benchmark harness's `serve` suite.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omega_core::{ExecOptions, OmegaError};
+use omega_protocol::WireError;
+
+use crate::{ClientError, Connection, Result};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Opens a fresh connection to the endpoint.
+    pub fn connect(&self) -> Result<Connection> {
+        match self {
+            Endpoint::Unix(path) => Connection::connect_unix(path),
+            Endpoint::Tcp(addr) => Connection::connect_tcp(addr.as_str()),
+        }
+    }
+}
+
+/// Arrival discipline of the generated load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Closed loop: each connection fires its next request the moment the
+    /// previous one completes (latency = service time under self-induced
+    /// load).
+    Closed,
+    /// Open loop at the given aggregate arrival rate (requests/second):
+    /// arrivals are scheduled on a fixed grid regardless of completions, and
+    /// latency is measured from the *scheduled* arrival, so queueing delay —
+    /// the coordinated-omission blind spot of closed loops — is charged to
+    /// the server.
+    Open(f64),
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Query text every request executes.
+    pub query: String,
+    /// Per-request execution options (deadline/limit/policy travel on the
+    /// wire like any client's would).
+    pub options: ExecOptions,
+    /// Concurrent connections (one OS thread each).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Arrival discipline.
+    pub mode: LoadMode,
+}
+
+/// Aggregate result of a load run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub issued: u64,
+    /// Requests that streamed to a `Finished { Complete }`.
+    pub completed: u64,
+    /// Requests ended early by server drain (`Finished { Drained }`).
+    pub drained: u64,
+    /// Requests rejected with `Overloaded { retry_after }`.
+    pub overloaded: u64,
+    /// Requests failed with any other typed error.
+    pub failed: u64,
+    /// Completed requests whose evaluation degraded under pressure.
+    pub degraded: u64,
+    /// Total answers received.
+    pub answers: u64,
+    /// Latency percentiles over completed requests.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+    /// Slowest completed request.
+    pub max: Duration,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Completed requests per second over the run's wall-clock.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+struct WorkerOutcome {
+    latencies: Vec<Duration>,
+    report: LoadReport,
+}
+
+/// Runs the load described by `spec` against `endpoint`.
+///
+/// Every worker thread opens its own connection; a connection-level failure
+/// reconnects once per request before counting the request as failed.
+pub fn run_load(endpoint: &Endpoint, spec: &LoadSpec) -> Result<LoadReport> {
+    let connections = spec.connections.max(1);
+    let total = spec.requests as u64;
+    let next = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for _ in 0..connections {
+            let next = Arc::clone(&next);
+            handles.push(scope.spawn(move || worker(endpoint, spec, total, next, start)));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                Err(_) => WorkerOutcome {
+                    latencies: Vec::new(),
+                    report: LoadReport::default(),
+                },
+            })
+            .collect()
+    });
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(spec.requests);
+    let mut report = LoadReport::default();
+    for outcome in outcomes {
+        latencies.extend(outcome.latencies);
+        report.issued += outcome.report.issued;
+        report.completed += outcome.report.completed;
+        report.drained += outcome.report.drained;
+        report.overloaded += outcome.report.overloaded;
+        report.failed += outcome.report.failed;
+        report.degraded += outcome.report.degraded;
+        report.answers += outcome.report.answers;
+    }
+    latencies.sort_unstable();
+    report.p50 = percentile(&latencies, 0.50);
+    report.p99 = percentile(&latencies, 0.99);
+    report.p999 = percentile(&latencies, 0.999);
+    report.max = latencies.last().copied().unwrap_or_default();
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+fn worker(
+    endpoint: &Endpoint,
+    spec: &LoadSpec,
+    total: u64,
+    next: Arc<AtomicU64>,
+    start: Instant,
+) -> WorkerOutcome {
+    let mut conn = endpoint.connect().ok();
+    let mut out = WorkerOutcome {
+        latencies: Vec::new(),
+        report: LoadReport::default(),
+    };
+    loop {
+        let seq = next.fetch_add(1, Ordering::SeqCst);
+        if seq >= total {
+            break;
+        }
+        // Under the open-loop discipline request `seq` arrives at a fixed
+        // point on the schedule; the latency clock starts there even if the
+        // worker (or server) is running behind.
+        let arrival = match spec.mode {
+            LoadMode::Closed => Instant::now(),
+            LoadMode::Open(rate) => {
+                let at = start + Duration::from_secs_f64(seq as f64 / rate.max(1e-9));
+                if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                at
+            }
+        };
+        out.report.issued += 1;
+        if conn.is_none() {
+            conn = endpoint.connect().ok();
+        }
+        let Some(active) = conn.as_mut() else {
+            out.report.failed += 1;
+            continue;
+        };
+        match active.run(&spec.query, &spec.options) {
+            Ok((answers, stats)) => {
+                out.report.completed += 1;
+                out.report.answers += answers.len() as u64;
+                if stats.degraded {
+                    out.report.degraded += 1;
+                }
+                out.latencies.push(arrival.elapsed());
+            }
+            Err(ClientError::Remote(err)) => {
+                match err {
+                    WireError::Engine(OmegaError::Overloaded { .. }) => out.report.overloaded += 1,
+                    _ => out.report.failed += 1,
+                }
+                // Typed failures leave the connection usable.
+            }
+            Err(_) => {
+                // Transport failure: drop the connection, reconnect for the
+                // next request.
+                out.report.failed += 1;
+                conn = None;
+            }
+        }
+    }
+    out
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    // Nearest-rank: the smallest value with at least a q-fraction of the
+    // sample at or below it.
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let v: Vec<Duration> = (1..=1000).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&v, 0.50), Duration::from_micros(500));
+        assert_eq!(percentile(&v, 0.99), Duration::from_micros(990));
+        assert_eq!(percentile(&v, 0.999), Duration::from_micros(999));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn throughput_is_completed_over_elapsed() {
+        let report = LoadReport {
+            completed: 100,
+            elapsed: Duration::from_secs(2),
+            ..LoadReport::default()
+        };
+        assert!((report.throughput() - 50.0).abs() < 1e-9);
+    }
+}

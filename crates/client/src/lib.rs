@@ -1,0 +1,370 @@
+//! # omega-client
+//!
+//! Blocking client library for the Omega serving layer: connect over a unix
+//! or TCP socket, prepare statements, execute queries with full
+//! [`omega_core::ExecOptions`], and stream ranked answers with client-driven
+//! backpressure (credit top-ups). Also hosts the load generator used by the
+//! `serve` benchmark suite ([`mod@bench`]).
+//!
+//! ```no_run
+//! use omega_client::Connection;
+//! use omega_core::ExecOptions;
+//!
+//! let mut conn = Connection::connect_unix("/tmp/omega.sock").unwrap();
+//! let mut stream = conn
+//!     .execute_text("(?X) <- (Work Episode, type-, ?X)", &ExecOptions::new().with_limit(10))
+//!     .unwrap();
+//! while let Some(answer) = stream.next_answer().unwrap() {
+//!     println!("{} {:?}", answer.distance, answer.bindings);
+//! }
+//! ```
+
+pub mod bench;
+
+use std::collections::VecDeque;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use omega_core::{Answer, EvalStats, ExecOptions};
+use omega_protocol::{
+    write_frame, FinishReason, Frame, FrameReader, ProtocolError, StatementRef, Transport,
+    WireError, DEFAULT_CREDITS, PROTOCOL_VERSION,
+};
+
+pub use omega_protocol::ServerStats;
+
+/// Everything that can go wrong on the client side of a connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport or framing failure (connection unusable afterwards).
+    Protocol(ProtocolError),
+    /// A typed failure reported by the server (connection stays usable).
+    Remote(WireError),
+    /// The server sent a frame that makes no sense in the current state.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+impl ClientError {
+    /// The engine error carried by a `Remote` failure, if any.
+    pub fn engine_error(&self) -> Option<&omega_core::OmegaError> {
+        match self {
+            ClientError::Remote(WireError::Engine(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A server-side prepared statement, scoped to the connection that made it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Connection-scoped statement id.
+    pub id: u64,
+    /// Number of conjuncts in the compiled query body.
+    pub conjuncts: u32,
+    /// Head (distinguished) variables, in projection order.
+    pub head: Vec<String>,
+}
+
+/// A blocking protocol connection.
+pub struct Connection {
+    writer: Transport,
+    reader: FrameReader<Transport>,
+    server: String,
+    version: u32,
+    /// Credit window for executions started on this connection.
+    window: u32,
+}
+
+impl Connection {
+    /// Connects over a unix-domain socket and performs the handshake.
+    pub fn connect_unix<P: AsRef<Path>>(path: P) -> Result<Connection> {
+        let stream = UnixStream::connect(path).map_err(ProtocolError::from)?;
+        Connection::establish(Transport::Unix(stream))
+    }
+
+    /// Connects over TCP (with `TCP_NODELAY`) and performs the handshake.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> Result<Connection> {
+        let stream = TcpStream::connect(addr).map_err(ProtocolError::from)?;
+        let _ = stream.set_nodelay(true);
+        Connection::establish(Transport::Tcp(stream))
+    }
+
+    fn establish(transport: Transport) -> Result<Connection> {
+        let reader_half = transport.try_clone().map_err(ProtocolError::from)?;
+        let mut conn = Connection {
+            writer: transport,
+            reader: FrameReader::new(reader_half),
+            server: String::new(),
+            version: PROTOCOL_VERSION,
+            window: DEFAULT_CREDITS,
+        };
+        conn.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match conn.recv()? {
+            Frame::HelloOk { version, server } => {
+                conn.version = version;
+                conn.server = server;
+                Ok(conn)
+            }
+            Frame::Fail { error } => Err(ClientError::Remote(error)),
+            _ => Err(ClientError::Unexpected("handshake reply")),
+        }
+    }
+
+    /// The server's software identifier from the handshake.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Sets the credit window granted to subsequent executions (how many
+    /// answers the server may send ahead of consumption).
+    pub fn set_window(&mut self, window: u32) {
+        self.window = window.max(1);
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        write_frame(&mut self.writer, frame)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame> {
+        match self.reader.read_frame()? {
+            Some(frame) => Ok(frame),
+            // EOF while awaiting a reply: the server went away.
+            None => Err(ClientError::Protocol(ProtocolError::Io(
+                "connection closed by server".into(),
+            ))),
+        }
+    }
+
+    /// Prepares `text` server-side, returning the statement handle.
+    pub fn prepare(&mut self, text: &str) -> Result<Statement> {
+        self.send(&Frame::Prepare { text: text.into() })?;
+        match self.recv()? {
+            Frame::Prepared {
+                id,
+                conjuncts,
+                head,
+            } => Ok(Statement {
+                id,
+                conjuncts,
+                head,
+            }),
+            Frame::Fail { error } => Err(ClientError::Remote(error)),
+            _ => Err(ClientError::Unexpected("prepare reply")),
+        }
+    }
+
+    /// Closes a prepared statement.
+    pub fn close(&mut self, id: u64) -> Result<()> {
+        self.send(&Frame::Close { id })?;
+        match self.recv()? {
+            Frame::Closed => Ok(()),
+            Frame::Fail { error } => Err(ClientError::Remote(error)),
+            _ => Err(ClientError::Unexpected("close reply")),
+        }
+    }
+
+    /// Fetches the daemon's statistics (governor gauges + server counters).
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        self.send(&Frame::Stats)?;
+        match self.recv()? {
+            Frame::StatsReply { stats } => Ok(stats),
+            Frame::Fail { error } => Err(ClientError::Remote(error)),
+            _ => Err(ClientError::Unexpected("stats reply")),
+        }
+    }
+
+    /// Asks the daemon to drain and shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.send(&Frame::Shutdown)?;
+        match self.recv()? {
+            Frame::ShutdownOk => Ok(()),
+            Frame::Fail { error } => Err(ClientError::Remote(error)),
+            _ => Err(ClientError::Unexpected("shutdown reply")),
+        }
+    }
+
+    /// Starts an execution of query `text` (prepared server-side through the
+    /// shared plan cache).
+    pub fn execute_text(&mut self, text: &str, options: &ExecOptions) -> Result<AnswerStream<'_>> {
+        self.execute(StatementRef::Text(text.into()), options)
+    }
+
+    /// Starts an execution of a prepared statement.
+    pub fn execute_prepared(
+        &mut self,
+        statement: &Statement,
+        options: &ExecOptions,
+    ) -> Result<AnswerStream<'_>> {
+        self.execute(StatementRef::Id(statement.id), options)
+    }
+
+    /// Starts an execution; answers stream back under the connection's
+    /// credit window.
+    pub fn execute(
+        &mut self,
+        statement: StatementRef,
+        options: &ExecOptions,
+    ) -> Result<AnswerStream<'_>> {
+        let window = self.window;
+        self.send(&Frame::Execute {
+            statement,
+            options: options.clone(),
+            credits: window,
+        })?;
+        Ok(AnswerStream {
+            conn: self,
+            window,
+            outstanding: window,
+            buffer: VecDeque::new(),
+            finished: None,
+            failed: false,
+        })
+    }
+
+    /// Convenience: executes `text` and collects every answer plus the final
+    /// statistics — the remote analogue of [`omega_core::Database::execute`].
+    pub fn run(&mut self, text: &str, options: &ExecOptions) -> Result<(Vec<Answer>, EvalStats)> {
+        let mut stream = self.execute_text(text, options)?;
+        let mut answers = Vec::new();
+        while let Some(answer) = stream.next_answer()? {
+            answers.push(answer);
+        }
+        let stats = stream.stats().unwrap_or_default();
+        Ok((answers, stats))
+    }
+}
+
+/// A streaming result set: pulls `Answers` batches off the wire, granting
+/// credit top-ups as the local buffer drains, until the terminal `Finished`
+/// or `Fail` frame.
+///
+/// Dropping the stream before exhaustion sends `Cancel` and drains to the
+/// terminal frame, so the connection is immediately reusable and the
+/// server-side execution stops.
+pub struct AnswerStream<'a> {
+    conn: &'a mut Connection,
+    window: u32,
+    /// Credits the server may still spend (granted minus received).
+    outstanding: u32,
+    buffer: VecDeque<Answer>,
+    finished: Option<(EvalStats, FinishReason)>,
+    failed: bool,
+}
+
+impl AnswerStream<'_> {
+    /// The next ranked answer, or `None` after the stream finished.
+    pub fn next_answer(&mut self) -> Result<Option<Answer>> {
+        loop {
+            if let Some(answer) = self.buffer.pop_front() {
+                return Ok(Some(answer));
+            }
+            if self.finished.is_some() {
+                return Ok(None);
+            }
+            if self.failed {
+                // A failed stream yields nothing further.
+                return Ok(None);
+            }
+            // Top up the window before blocking so the server never stalls
+            // waiting for credits the client is about to grant anyway.
+            if self.outstanding < self.window.div_ceil(2) {
+                let grant = self.window - self.outstanding;
+                self.conn.send(&Frame::Fetch { credits: grant })?;
+                self.outstanding += grant;
+            }
+            match self.conn.recv()? {
+                Frame::Answers { answers } => {
+                    self.outstanding = self
+                        .outstanding
+                        .saturating_sub(u32::try_from(answers.len()).unwrap_or(u32::MAX));
+                    self.buffer.extend(answers);
+                }
+                Frame::Finished { stats, reason } => {
+                    self.finished = Some((stats, reason));
+                }
+                Frame::Fail { error } => {
+                    self.failed = true;
+                    return Err(ClientError::Remote(error));
+                }
+                _ => {
+                    self.failed = true;
+                    return Err(ClientError::Unexpected("answer stream frame"));
+                }
+            }
+        }
+    }
+
+    /// Final evaluator statistics (present once the stream finished).
+    pub fn stats(&self) -> Option<EvalStats> {
+        self.finished.map(|(stats, _)| stats)
+    }
+
+    /// How the stream ended (`Complete`, or `Drained` by server shutdown).
+    pub fn finish_reason(&self) -> Option<FinishReason> {
+        self.finished.map(|(_, reason)| reason)
+    }
+
+    /// Cancels the execution and waits for the server's acknowledgement
+    /// (the terminal frame). The connection is reusable afterwards.
+    pub fn cancel(mut self) -> Result<()> {
+        self.abort()
+    }
+
+    /// Sends `Cancel` (if the stream is still live) and drains to the
+    /// terminal frame.
+    fn abort(&mut self) -> Result<()> {
+        if self.finished.is_some() || self.failed {
+            return Ok(());
+        }
+        self.failed = true;
+        self.conn.send(&Frame::Cancel)?;
+        loop {
+            match self.conn.recv()? {
+                Frame::Answers { .. } => {}
+                Frame::Finished { stats, reason } => {
+                    self.finished = Some((stats, reason));
+                    return Ok(());
+                }
+                Frame::Fail { .. } => return Ok(()),
+                _ => return Err(ClientError::Unexpected("cancel reply")),
+            }
+        }
+    }
+}
+
+impl Drop for AnswerStream<'_> {
+    fn drop(&mut self) {
+        // Best effort: an abandoned stream must not leave answer frames in
+        // flight on a connection that will be reused.
+        let _ = self.abort();
+    }
+}

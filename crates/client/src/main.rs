@@ -1,0 +1,374 @@
+//! The `omega-client` CLI: interactive REPL, one-shot execution, daemon
+//! statistics/shutdown, and a load-generator bench mode.
+//!
+//! ```text
+//! omega-client --unix /tmp/omega.sock repl
+//! omega-client --unix /tmp/omega.sock exec "(?X) <- (Work Episode, type-, ?X)" --limit 5
+//! omega-client --tcp 127.0.0.1:7474 bench --connections 8 --requests 400 \
+//!     --query "(?X) <- APPROX (Work Episode, type-, ?X)" --limit 100
+//! omega-client --unix /tmp/omega.sock shutdown
+//! ```
+
+use std::io::{BufRead, Write};
+use std::process::exit;
+use std::time::Duration;
+
+use omega_client::bench::{run_load, Endpoint, LoadMode, LoadSpec};
+use omega_client::{AnswerStream, ClientError, Connection, Statement};
+use omega_core::{Answer, ExecOptions, OverloadPolicy};
+use omega_protocol::FinishReason;
+
+const USAGE: &str = "\
+omega-client: CLI for the Omega serving daemon
+
+USAGE:
+    omega-client (--unix PATH | --tcp ADDR) COMMAND [OPTIONS]
+
+COMMANDS:
+    repl                  interactive session (the default)
+    exec QUERY            run one query and print its answers
+    stats                 print daemon statistics
+    shutdown              drain the daemon gracefully
+    bench                 generate load and report latency percentiles
+
+EXEC OPTIONS (exec, bench, and the repl's defaults):
+    --limit N             stop after N answers
+    --timeout-ms N        per-request deadline
+    --max-distance N      flexible-match distance ceiling
+    --max-tuples N        per-request tuple budget
+    --policy P            overload policy: fail | degrade | shed
+    --window N            streaming credit window (default 256)
+
+BENCH OPTIONS:
+    --query TEXT          query to drive (required)
+    --connections N       concurrent connections (default 4)
+    --requests N          total requests (default 200)
+    --rate R              open-loop arrival rate in req/s (default: closed loop)
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = run(&args) {
+        eprintln!("omega-client: {message}");
+        exit(2);
+    }
+}
+
+struct Cli {
+    endpoint: Endpoint,
+    command: String,
+    query: Option<String>,
+    options: ExecOptions,
+    window: u32,
+    connections: usize,
+    requests: usize,
+    rate: Option<f64>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut command: Option<String> = None;
+    let mut query: Option<String> = None;
+    let mut options = ExecOptions::new();
+    let mut window: u32 = omega_protocol::DEFAULT_CREDITS;
+    let mut connections = 4usize;
+    let mut requests = 200usize;
+    let mut rate: Option<f64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--unix" => endpoint = Some(Endpoint::Unix(value("--unix")?.into())),
+            "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp")?.clone())),
+            "--limit" => options = options.with_limit(parse(value("--limit")?)?),
+            "--timeout-ms" => {
+                options =
+                    options.with_timeout(Duration::from_millis(parse(value("--timeout-ms")?)?));
+            }
+            "--max-distance" => {
+                options = options.with_max_distance(parse(value("--max-distance")?)?);
+            }
+            "--max-tuples" => options = options.with_max_tuples(parse(value("--max-tuples")?)?),
+            "--policy" => options = options.with_on_overload(parse_policy(value("--policy")?)?),
+            "--window" => window = parse(value("--window")?)?,
+            "--query" => query = Some(value("--query")?.clone()),
+            "--connections" => connections = parse(value("--connections")?)?,
+            "--requests" => requests = parse(value("--requests")?)?,
+            "--rate" => rate = Some(parse(value("--rate")?)?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}' (see --help)"));
+            }
+            other => match command {
+                None => command = Some(other.to_owned()),
+                // `exec QUERY`: the first free argument after the command is
+                // the query text.
+                Some(_) if query.is_none() => query = Some(other.to_owned()),
+                Some(_) => return Err(format!("unexpected argument '{other}'")),
+            },
+        }
+    }
+    let endpoint = endpoint.ok_or("one of --unix / --tcp is required (see --help)")?;
+    Ok(Some(Cli {
+        endpoint,
+        command: command.unwrap_or_else(|| "repl".to_owned()),
+        query,
+        options,
+        window,
+        connections,
+        requests,
+        rate,
+    }))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cli) = parse_cli(args)? else {
+        return Ok(());
+    };
+    match cli.command.as_str() {
+        "repl" => repl(&cli),
+        "exec" => exec_once(&cli),
+        "stats" => {
+            let stats = connect(&cli)?.stats().map_err(display)?;
+            println!("{stats}");
+            Ok(())
+        }
+        "shutdown" => {
+            connect(&cli)?.shutdown_server().map_err(display)?;
+            println!("server draining");
+            Ok(())
+        }
+        "bench" => bench(&cli),
+        other => Err(format!("unknown command '{other}' (see --help)")),
+    }
+}
+
+fn connect(cli: &Cli) -> Result<Connection, String> {
+    let mut conn = cli.endpoint.connect().map_err(display)?;
+    conn.set_window(cli.window);
+    Ok(conn)
+}
+
+fn exec_once(cli: &Cli) -> Result<(), String> {
+    let query = cli.query.as_deref().ok_or("exec requires a query")?;
+    let mut conn = connect(cli)?;
+    let stream = conn.execute_text(query, &cli.options).map_err(display)?;
+    print_stream(stream).map_err(display)
+}
+
+fn print_stream(mut stream: AnswerStream<'_>) -> omega_client::Result<()> {
+    let mut count = 0usize;
+    loop {
+        match stream.next_answer() {
+            Ok(Some(answer)) => {
+                count += 1;
+                println!("{}", render_answer(&answer));
+            }
+            Ok(None) => break,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return Ok(());
+            }
+        }
+    }
+    if let Some(stats) = stream.stats() {
+        let drained = stream.finish_reason() == Some(FinishReason::Drained);
+        println!(
+            "-- {count} answer(s){}{}; {} tuples, {} lookups",
+            if drained { " (drained)" } else { "" },
+            if stats.degraded { " (degraded)" } else { "" },
+            stats.tuples_processed,
+            stats.neighbour_lookups,
+        );
+    }
+    Ok(())
+}
+
+fn render_answer(answer: &Answer) -> String {
+    let bindings = answer
+        .bindings
+        .iter()
+        .map(|(var, value)| format!("{var}={value}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{}] {}", answer.distance, bindings)
+}
+
+fn repl(cli: &Cli) -> Result<(), String> {
+    let mut conn = connect(cli)?;
+    let mut options = cli.options.clone();
+    println!(
+        "connected to {} (protocol v{})",
+        conn.server(),
+        conn.version()
+    );
+    println!("type 'help' for commands");
+    let stdin = std::io::stdin();
+    loop {
+        print!("omega> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((cmd, rest)) => (cmd, rest.trim()),
+            None => (line, ""),
+        };
+        let outcome = match cmd {
+            "" => Ok(()),
+            "quit" | "exit" => return Ok(()),
+            "help" => {
+                println!(
+                    "  prepare QUERY     compile a statement, print its id\n  \
+                     exec QUERY|#ID    run a query or a prepared statement\n  \
+                     close ID          drop a prepared statement\n  \
+                     limit N|off       default answer limit\n  \
+                     timeout MS|off    default deadline\n  \
+                     policy P          overload policy: fail|degrade|shed\n  \
+                     stats             daemon statistics\n  \
+                     shutdown          drain the daemon\n  \
+                     quit              leave"
+                );
+                Ok(())
+            }
+            "prepare" => conn.prepare(rest).map(|statement: Statement| {
+                println!(
+                    "#{} ({} conjunct(s), head: {})",
+                    statement.id,
+                    statement.conjuncts,
+                    statement.head.join(", ")
+                );
+            }),
+            "exec" => {
+                let started = match rest.strip_prefix('#') {
+                    Some(id) => match id.trim().parse::<u64>() {
+                        Ok(id) => conn.execute(omega_protocol::StatementRef::Id(id), &options),
+                        Err(_) => {
+                            println!("usage: exec QUERY or exec #ID");
+                            continue;
+                        }
+                    },
+                    None => conn.execute_text(rest, &options),
+                };
+                started.and_then(print_stream)
+            }
+            "close" => match rest.parse::<u64>() {
+                Ok(id) => conn.close(id).map(|()| println!("closed #{id}")),
+                Err(_) => {
+                    println!("usage: close ID");
+                    continue;
+                }
+            },
+            "limit" => {
+                options.limit = rest.parse().ok();
+                println!("limit: {:?}", options.limit);
+                Ok(())
+            }
+            "timeout" => {
+                options.timeout = rest.parse().ok().map(Duration::from_millis);
+                println!("timeout: {:?}", options.timeout);
+                Ok(())
+            }
+            "policy" => match parse_policy(rest) {
+                Ok(policy) => {
+                    options.on_overload = Some(policy);
+                    println!("policy: {policy:?}");
+                    Ok(())
+                }
+                Err(e) => {
+                    println!("{e}");
+                    continue;
+                }
+            },
+            "stats" => conn.stats().map(|stats| println!("{stats}")),
+            "shutdown" => conn.shutdown_server().map(|()| println!("server draining")),
+            other => {
+                println!("unknown command '{other}' (try 'help')");
+                Ok(())
+            }
+        };
+        if let Err(err) = outcome {
+            println!("error: {err}");
+            if matches!(err, ClientError::Protocol(_)) {
+                return Err("connection lost".into());
+            }
+        }
+    }
+}
+
+fn bench(cli: &Cli) -> Result<(), String> {
+    let query = cli.query.clone().ok_or("bench requires --query TEXT")?;
+    let spec = LoadSpec {
+        query,
+        options: cli.options.clone(),
+        connections: cli.connections,
+        requests: cli.requests,
+        mode: match cli.rate {
+            Some(rate) => LoadMode::Open(rate),
+            None => LoadMode::Closed,
+        },
+    };
+    let mode = match spec.mode {
+        LoadMode::Closed => "closed".to_owned(),
+        LoadMode::Open(rate) => format!("open @ {rate} req/s"),
+    };
+    eprintln!(
+        "bench: {} connection(s), {} request(s), {mode} loop",
+        spec.connections, spec.requests
+    );
+    let report = run_load(&cli.endpoint, &spec).map_err(display)?;
+    println!(
+        "issued {}  completed {}  drained {}  overloaded {}  failed {}  degraded {}",
+        report.issued,
+        report.completed,
+        report.drained,
+        report.overloaded,
+        report.failed,
+        report.degraded
+    );
+    println!(
+        "answers {}  throughput {:.1} req/s  elapsed {:.2}s",
+        report.answers,
+        report.throughput(),
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:.3}ms  p99 {:.3}ms  p999 {:.3}ms  max {:.3}ms",
+        report.p50.as_secs_f64() * 1e3,
+        report.p99.as_secs_f64() * 1e3,
+        report.p999.as_secs_f64() * 1e3,
+        report.max.as_secs_f64() * 1e3,
+    );
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("invalid value '{raw}': {e}"))
+}
+
+fn parse_policy(raw: &str) -> Result<OverloadPolicy, String> {
+    match raw {
+        "fail" => Ok(OverloadPolicy::Fail),
+        "degrade" => Ok(OverloadPolicy::Degrade),
+        "shed" => Ok(OverloadPolicy::Shed),
+        other => Err(format!("unknown policy '{other}' (fail|degrade|shed)")),
+    }
+}
+
+fn display<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}

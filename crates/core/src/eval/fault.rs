@@ -1,6 +1,7 @@
 //! Deterministic fault injection for the chaos test suite.
 //!
-//! A [`FaultPlan`] is a seeded, rate-controlled oracle deciding — purely as
+//! A `FaultPlan` (present under `cfg(any(test, feature = "fault-injection"))`,
+//! like everything that can actually fire) is a seeded, rate-controlled oracle deciding — purely as
 //! a function of `(seed, injection point, per-point hit counter)` — whether
 //! each pass through an instrumented code path fails. The same seed over the
 //! same workload therefore replays the *same* schedule of failures, which is

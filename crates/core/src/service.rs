@@ -353,16 +353,26 @@ impl Database {
         path: P,
         options: EvalOptions,
     ) -> std::result::Result<Database, SnapshotError> {
+        Database::open_snapshot_with_governor(path, options, GovernorConfig::default())
+    }
+
+    /// [`Database::open_snapshot_with`] plus an explicit [`GovernorConfig`],
+    /// for serving deployments that open an image *and* bound admission.
+    pub fn open_snapshot_with_governor<P: AsRef<std::path::Path>>(
+        path: P,
+        options: EvalOptions,
+        config: GovernorConfig,
+    ) -> std::result::Result<Database, SnapshotError> {
         if fault_fire(FaultPoint::SnapshotRead) {
             return Err(SnapshotError::Io("injected snapshot read fault".into()));
         }
         let reader = SnapshotReader::open(path.as_ref())?;
         let graph = omega_graph::snapshot::read_graph(&reader)?;
         let ontology = omega_ontology::snapshot::read_ontology_section(&reader)?;
-        // `with_options` re-freezes both, which is a no-op here: the graph
+        // `with_governor` re-freezes both, which is a no-op here: the graph
         // arrives with its (mapped) CSR and the ontology with its interned
         // closures.
-        Ok(Database::with_options(graph, ontology, options))
+        Ok(Database::with_governor(graph, ontology, options, config))
     }
 }
 

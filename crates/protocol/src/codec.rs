@@ -1,0 +1,480 @@
+//! Value codecs: engine types ⇄ wire bytes.
+//!
+//! Everything the serving layer carries — answers, statistics, execution
+//! options, errors, gauges — encodes here. Each codec is a pure function
+//! pair over [`Writer`] / [`Reader`]; the framing layer
+//! ([`crate::frame`]) composes them.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use omega_core::{
+    Answer, EvalStats, ExecOptions, GovernorGauges, OmegaError, OverloadPolicy, TruncationReason,
+};
+use omega_regex::RegexParseError;
+
+use crate::error::{ProtocolError, WireError};
+use crate::wire::{Reader, Writer};
+
+// ---------------------------------------------------------------------------
+// Answer
+// ---------------------------------------------------------------------------
+
+/// Encodes one ranked answer: distance, then the head bindings in
+/// `BTreeMap` (i.e. deterministic) order.
+pub fn put_answer(w: &mut Writer, answer: &Answer) {
+    w.put_u32(answer.distance);
+    w.put_u32(answer.bindings.len() as u32);
+    for (var, value) in &answer.bindings {
+        w.put_str(var);
+        w.put_str(value);
+    }
+}
+
+/// Decodes one ranked answer.
+pub fn take_answer(r: &mut Reader<'_>) -> Result<Answer, ProtocolError> {
+    let distance = r.take_u32()?;
+    let count = r.take_u32()?;
+    let mut bindings = BTreeMap::new();
+    for _ in 0..count {
+        let var = r.take_str()?;
+        let value = r.take_str()?;
+        bindings.insert(var, value);
+    }
+    Ok(Answer { bindings, distance })
+}
+
+// ---------------------------------------------------------------------------
+// EvalStats
+// ---------------------------------------------------------------------------
+
+/// Encodes the full evaluator counter block, including the degradation
+/// markers, so remote stats compare bit-identically to in-process runs.
+pub fn put_stats(w: &mut Writer, stats: &EvalStats) {
+    w.put_u64(stats.tuples_added);
+    w.put_u64(stats.tuples_processed);
+    w.put_u64(stats.succ_calls);
+    w.put_u64(stats.neighbour_lookups);
+    w.put_u64(stats.answers);
+    w.put_u64(stats.suppressed);
+    w.put_u64(stats.restarts);
+    w.put_u64(stats.pruned_dead);
+    w.put_u64(stats.pruned_bound);
+    w.put_u64(stats.deferred_expansions);
+    w.put_u64(stats.worker_panics);
+    w.put_u64(stats.sheds);
+    w.put_bool(stats.degraded);
+    w.put_opt(stats.truncation, |w, reason| {
+        w.put_u8(match reason {
+            TruncationReason::TupleBudget => 0,
+            TruncationReason::PoolExhausted => 1,
+        })
+    });
+}
+
+/// Decodes an [`EvalStats`] block.
+pub fn take_stats(r: &mut Reader<'_>) -> Result<EvalStats, ProtocolError> {
+    Ok(EvalStats {
+        tuples_added: r.take_u64()?,
+        tuples_processed: r.take_u64()?,
+        succ_calls: r.take_u64()?,
+        neighbour_lookups: r.take_u64()?,
+        answers: r.take_u64()?,
+        suppressed: r.take_u64()?,
+        restarts: r.take_u64()?,
+        pruned_dead: r.take_u64()?,
+        pruned_bound: r.take_u64()?,
+        deferred_expansions: r.take_u64()?,
+        worker_panics: r.take_u64()?,
+        sheds: r.take_u64()?,
+        degraded: r.take_bool()?,
+        truncation: r.take_opt(|r| match r.take_u8()? {
+            0 => Ok(TruncationReason::TupleBudget),
+            1 => Ok(TruncationReason::PoolExhausted),
+            _ => Err(ProtocolError::Malformed("unknown truncation reason")),
+        })?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ExecOptions
+// ---------------------------------------------------------------------------
+
+fn put_policy(w: &mut Writer, policy: OverloadPolicy) {
+    w.put_u8(match policy {
+        OverloadPolicy::Fail => 0,
+        OverloadPolicy::Degrade => 1,
+        OverloadPolicy::Shed => 2,
+    });
+}
+
+fn take_policy(r: &mut Reader<'_>) -> Result<OverloadPolicy, ProtocolError> {
+    match r.take_u8()? {
+        0 => Ok(OverloadPolicy::Fail),
+        1 => Ok(OverloadPolicy::Degrade),
+        2 => Ok(OverloadPolicy::Shed),
+        _ => Err(ProtocolError::Malformed("unknown overload policy")),
+    }
+}
+
+/// Encodes a request's execution options.
+///
+/// `Instant` deadlines cannot cross a process boundary, so the absolute
+/// `deadline` and the relative `timeout` fold into one *remaining budget*
+/// at encode time (the tighter of the two, measured against `Instant::now()`
+/// on the client); the server re-anchors it as a `timeout` when execution
+/// starts. An already-expired deadline encodes as a zero budget, which the
+/// evaluator rejects with [`OmegaError::DeadlineExceeded`] on first pull —
+/// the same behaviour an in-process caller sees.
+pub fn put_exec_options(w: &mut Writer, options: &ExecOptions) {
+    let from_deadline = options
+        .deadline
+        .map(|d| d.saturating_duration_since(Instant::now()));
+    let budget = match (options.timeout, from_deadline) {
+        (Some(t), Some(d)) => Some(t.min(d)),
+        (Some(t), None) => Some(t),
+        (None, Some(d)) => Some(d),
+        (None, None) => None,
+    };
+    w.put_opt(options.limit, Writer::put_usize);
+    w.put_opt(budget, |w, v| w.put_duration(v));
+    w.put_opt(options.max_distance, Writer::put_u32);
+    w.put_opt(options.max_tuples, Writer::put_usize);
+    w.put_opt(options.distance_aware, Writer::put_bool);
+    w.put_opt(options.disjunction_decomposition, Writer::put_bool);
+    w.put_opt(options.batch_size, Writer::put_usize);
+    w.put_opt(options.prioritize_final, Writer::put_bool);
+    w.put_opt(options.parallel_conjuncts, Writer::put_bool);
+    w.put_opt(options.parallel_workers, Writer::put_usize);
+    w.put_opt(options.parallel_channel_capacity, Writer::put_usize);
+    w.put_opt(options.cost_guided, Writer::put_bool);
+    w.put_opt(options.on_overload, put_policy);
+}
+
+/// Decodes execution options; the wire budget lands in `timeout`, never in
+/// `deadline` (see [`put_exec_options`]).
+pub fn take_exec_options(r: &mut Reader<'_>) -> Result<ExecOptions, ProtocolError> {
+    Ok(ExecOptions {
+        limit: r.take_opt(Reader::take_usize)?,
+        timeout: r.take_opt(Reader::take_duration)?,
+        deadline: None,
+        max_distance: r.take_opt(Reader::take_u32)?,
+        max_tuples: r.take_opt(Reader::take_usize)?,
+        distance_aware: r.take_opt(Reader::take_bool)?,
+        disjunction_decomposition: r.take_opt(Reader::take_bool)?,
+        batch_size: r.take_opt(Reader::take_usize)?,
+        prioritize_final: r.take_opt(Reader::take_bool)?,
+        parallel_conjuncts: r.take_opt(Reader::take_bool)?,
+        parallel_workers: r.take_opt(Reader::take_usize)?,
+        parallel_channel_capacity: r.take_opt(Reader::take_usize)?,
+        cost_guided: r.take_opt(Reader::take_bool)?,
+        on_overload: r.take_opt(take_policy)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// OmegaError / WireError
+// ---------------------------------------------------------------------------
+
+/// Encodes an engine error losslessly — positions, messages, budgets and
+/// `retry_after` all survive the round trip.
+pub fn put_engine_error(w: &mut Writer, err: &OmegaError) {
+    match err {
+        OmegaError::Parse { position, message } => {
+            w.put_u8(0);
+            w.put_usize(*position);
+            w.put_str(message);
+        }
+        OmegaError::Regex(err) => {
+            w.put_u8(1);
+            w.put_usize(err.position);
+            w.put_str(&err.message);
+        }
+        OmegaError::UnknownConstant(name) => {
+            w.put_u8(2);
+            w.put_str(name);
+        }
+        OmegaError::UnboundHeadVariable(name) => {
+            w.put_u8(3);
+            w.put_str(name);
+        }
+        OmegaError::EmptyQuery => w.put_u8(4),
+        OmegaError::ResourceExhausted { tuples } => {
+            w.put_u8(5);
+            w.put_usize(*tuples);
+        }
+        OmegaError::DeadlineExceeded => w.put_u8(6),
+        OmegaError::Cancelled => w.put_u8(7),
+        OmegaError::Overloaded { retry_after } => {
+            w.put_u8(8);
+            w.put_duration(*retry_after);
+        }
+        OmegaError::Internal { message } => {
+            w.put_u8(9);
+            w.put_str(message);
+        }
+    }
+}
+
+/// Decodes an engine error.
+pub fn take_engine_error(r: &mut Reader<'_>) -> Result<OmegaError, ProtocolError> {
+    Ok(match r.take_u8()? {
+        0 => OmegaError::Parse {
+            position: r.take_usize()?,
+            message: r.take_str()?,
+        },
+        1 => OmegaError::Regex(RegexParseError {
+            position: r.take_usize()?,
+            message: r.take_str()?,
+        }),
+        2 => OmegaError::UnknownConstant(r.take_str()?),
+        3 => OmegaError::UnboundHeadVariable(r.take_str()?),
+        4 => OmegaError::EmptyQuery,
+        5 => OmegaError::ResourceExhausted {
+            tuples: r.take_usize()?,
+        },
+        6 => OmegaError::DeadlineExceeded,
+        7 => OmegaError::Cancelled,
+        8 => OmegaError::Overloaded {
+            retry_after: r.take_duration()?,
+        },
+        9 => OmegaError::Internal {
+            message: r.take_str()?,
+        },
+        _ => return Err(ProtocolError::Malformed("unknown engine error tag")),
+    })
+}
+
+/// Encodes a wire error (the payload of a `Fail` frame).
+pub fn put_wire_error(w: &mut Writer, err: &WireError) {
+    match err {
+        WireError::Engine(err) => {
+            w.put_u8(0);
+            put_engine_error(w, err);
+        }
+        WireError::UnknownStatement(id) => {
+            w.put_u8(1);
+            w.put_u64(*id);
+        }
+        WireError::VersionSkew { client, server } => {
+            w.put_u8(2);
+            w.put_u32(*client);
+            w.put_u32(*server);
+        }
+        WireError::Malformed(message) => {
+            w.put_u8(3);
+            w.put_str(message);
+        }
+        WireError::Shutdown => w.put_u8(4),
+    }
+}
+
+/// Decodes a wire error.
+pub fn take_wire_error(r: &mut Reader<'_>) -> Result<WireError, ProtocolError> {
+    Ok(match r.take_u8()? {
+        0 => WireError::Engine(take_engine_error(r)?),
+        1 => WireError::UnknownStatement(r.take_u64()?),
+        2 => WireError::VersionSkew {
+            client: r.take_u32()?,
+            server: r.take_u32()?,
+        },
+        3 => WireError::Malformed(r.take_str()?),
+        4 => WireError::Shutdown,
+        _ => return Err(ProtocolError::Malformed("unknown wire error tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Server statistics
+// ---------------------------------------------------------------------------
+
+/// Point-in-time server observability snapshot: the engine governor's
+/// gauges plus the daemon's own counters, exposed through the `Stats`
+/// request so overload behaviour is observable from outside the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// The database-wide governor gauges at snapshot time.
+    pub gauges: GovernorGauges,
+    /// Connections accepted since startup.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Executions currently streaming answers to a client.
+    pub streams_in_flight: u64,
+    /// Prepared statements currently held by per-connection tables.
+    pub statements_open: u64,
+    /// Answers streamed to clients since startup.
+    pub answers_streamed: u64,
+    /// Executions that performed a shed retry at admission.
+    pub sheds: u64,
+    /// Streams that ended degraded (budget trip under `Degrade`, or cut
+    /// short by server drain).
+    pub degraded: u64,
+    /// Requests that failed with a typed wire error (overload, shutdown,
+    /// unknown statement, evaluation failure, …) since startup.
+    pub rejected: u64,
+    /// Conjunct worker threads currently live in the engine's pool.
+    pub live_workers: u64,
+}
+
+/// Encodes a [`ServerStats`] snapshot.
+pub fn put_server_stats(w: &mut Writer, stats: &ServerStats) {
+    w.put_usize(stats.gauges.live_tuples);
+    w.put_usize(stats.gauges.join_buffer_entries);
+    w.put_usize(stats.gauges.executions);
+    w.put_u64(stats.gauges.rejected);
+    w.put_u64(stats.connections_total);
+    w.put_u64(stats.connections_open);
+    w.put_u64(stats.streams_in_flight);
+    w.put_u64(stats.statements_open);
+    w.put_u64(stats.answers_streamed);
+    w.put_u64(stats.sheds);
+    w.put_u64(stats.degraded);
+    w.put_u64(stats.rejected);
+    w.put_u64(stats.live_workers);
+}
+
+/// Decodes a [`ServerStats`] snapshot.
+pub fn take_server_stats(r: &mut Reader<'_>) -> Result<ServerStats, ProtocolError> {
+    Ok(ServerStats {
+        gauges: GovernorGauges {
+            live_tuples: r.take_usize()?,
+            join_buffer_entries: r.take_usize()?,
+            executions: r.take_usize()?,
+            rejected: r.take_u64()?,
+        },
+        connections_total: r.take_u64()?,
+        connections_open: r.take_u64()?,
+        streams_in_flight: r.take_u64()?,
+        statements_open: r.take_u64()?,
+        answers_streamed: r.take_u64()?,
+        sheds: r.take_u64()?,
+        degraded: r.take_u64()?,
+        rejected: r.take_u64()?,
+        live_workers: r.take_u64()?,
+    })
+}
+
+/// A human-oriented multi-line rendering shared by the REPL and logs.
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "connections: {} open / {} total; streams in flight: {}; statements open: {}",
+            self.connections_open,
+            self.connections_total,
+            self.streams_in_flight,
+            self.statements_open
+        )?;
+        writeln!(
+            f,
+            "answers streamed: {}; sheds: {}; degraded: {}; rejected: {}",
+            self.answers_streamed, self.sheds, self.degraded, self.rejected
+        )?;
+        write!(
+            f,
+            "governor: live_tuples={} join_buffer={} executions={} rejected={}; live workers: {}",
+            self.gauges.live_tuples,
+            self.gauges.join_buffer_entries,
+            self.gauges.executions,
+            self.gauges.rejected,
+            self.live_workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn round_trip<T: PartialEq + std::fmt::Debug>(
+        value: &T,
+        put: impl Fn(&mut Writer, &T),
+        take: impl Fn(&mut Reader<'_>) -> Result<T, ProtocolError>,
+    ) {
+        let mut w = Writer::new();
+        put(&mut w, value);
+        let bytes = w.into_inner();
+        let mut r = Reader::new(&bytes);
+        let back = take(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn every_engine_error_round_trips() {
+        let errors = [
+            OmegaError::Parse {
+                position: 17,
+                message: "unexpected token".into(),
+            },
+            OmegaError::Regex(RegexParseError {
+                position: 3,
+                message: "unbalanced paren".into(),
+            }),
+            OmegaError::UnknownConstant("atlantis".into()),
+            OmegaError::UnboundHeadVariable("Z".into()),
+            OmegaError::EmptyQuery,
+            OmegaError::ResourceExhausted { tuples: 123_456 },
+            OmegaError::DeadlineExceeded,
+            OmegaError::Cancelled,
+            OmegaError::Overloaded {
+                retry_after: Duration::from_micros(12_345),
+            },
+            OmegaError::Internal {
+                message: "worker panicked".into(),
+            },
+        ];
+        for err in errors {
+            round_trip(&err, put_engine_error, take_engine_error);
+        }
+    }
+
+    #[test]
+    fn exec_options_fold_deadline_into_remaining_budget() {
+        let options = ExecOptions::new()
+            .with_timeout(Duration::from_secs(60))
+            .with_deadline(Instant::now() + Duration::from_secs(5));
+        let mut w = Writer::new();
+        put_exec_options(&mut w, &options);
+        let bytes = w.into_inner();
+        let mut r = Reader::new(&bytes);
+        let back = take_exec_options(&mut r).unwrap();
+        let budget = back.timeout.unwrap();
+        assert!(back.deadline.is_none());
+        assert!(budget <= Duration::from_secs(5), "tighter bound wins");
+        assert!(budget > Duration::from_secs(4), "budget is the remainder");
+    }
+
+    #[test]
+    fn expired_deadline_encodes_as_zero_budget() {
+        let options = ExecOptions::new().with_deadline(Instant::now() - Duration::from_secs(1));
+        let mut w = Writer::new();
+        put_exec_options(&mut w, &options);
+        let bytes = w.into_inner();
+        let back = take_exec_options(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.timeout, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn stats_round_trip_with_truncation_marker() {
+        let stats = EvalStats {
+            tuples_added: 1,
+            answers: 9,
+            sheds: 2,
+            degraded: true,
+            truncation: Some(TruncationReason::PoolExhausted),
+            ..EvalStats::default()
+        };
+        round_trip(&stats, put_stats, take_stats);
+    }
+
+    #[test]
+    fn server_stats_display_names_every_counter() {
+        let rendered = ServerStats::default().to_string();
+        for needle in ["connections", "streams", "governor", "rejected"] {
+            assert!(rendered.contains(needle), "missing {needle}: {rendered}");
+        }
+    }
+}

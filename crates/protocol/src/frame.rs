@@ -1,0 +1,583 @@
+//! The frame layer: every message either side can send, its binary
+//! encoding, and the buffered reader that re-assembles frames from a byte
+//! stream without ever blocking away partial data.
+//!
+//! ## Wire layout
+//!
+//! ```text
+//! ┌───────────────┬───────────┬──────────────────────┐
+//! │ length  (u32) │ tag  (u8) │ body (length-1 bytes)│
+//! └───────────────┴───────────┴──────────────────────┘
+//! ```
+//!
+//! The length prefix counts the tag byte plus the body and is bounded by
+//! [`crate::MAX_FRAME_LEN`]; a larger prefix is treated as corruption
+//! ([`ProtocolError::Oversized`]) rather than allocated on faith. The
+//! handshake frame additionally opens with the 8-byte [`crate::MAGIC`], the
+//! same pattern as the `OMEGSNAP` snapshot header, so a peer that is not
+//! speaking this protocol at all fails with [`ProtocolError::BadMagic`]
+//! instead of a confusing tag error.
+
+use std::io::{ErrorKind, Read, Write};
+
+use omega_core::{Answer, EvalStats, ExecOptions};
+
+use crate::codec::{
+    put_answer, put_exec_options, put_server_stats, put_stats, put_wire_error, take_answer,
+    take_exec_options, take_server_stats, take_stats, take_wire_error, ServerStats,
+};
+use crate::error::{ProtocolError, WireError};
+use crate::wire::{Reader, Writer};
+use crate::{MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+/// How the client names the statement an `Execute` frame runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatementRef {
+    /// A statement id returned by a `Prepared` frame on this connection.
+    Id(u64),
+    /// Ad-hoc query text: the server prepares (through its LRU cache) and
+    /// executes in one round trip, without entering the connection's
+    /// statement table.
+    Text(String),
+}
+
+/// Why a `Finished` frame ended the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The stream ran to completion: limit reached or answers exhausted
+    /// (including graceful degradation inside the engine, which is recorded
+    /// in the accompanying [`EvalStats`]).
+    Complete,
+    /// The server drained the stream early because it is shutting down; the
+    /// answers already delivered are a correct rank-order prefix.
+    Drained,
+}
+
+/// One protocol message. Client→server frames come first, server→client
+/// frames second; the tag byte namespaces them together.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    // ---- client → server -------------------------------------------------
+    /// Connection opener: magic + the highest protocol version the client
+    /// speaks. Must be the first frame on every connection.
+    Hello {
+        /// Client's protocol version.
+        version: u32,
+    },
+    /// Compile `text` into the connection's statement table.
+    Prepare {
+        /// Query text.
+        text: String,
+    },
+    /// Execute a statement with per-request options and an initial answer
+    /// credit window (the server never buffers more un-acknowledged answers
+    /// than the client has granted).
+    Execute {
+        /// The statement to run.
+        statement: StatementRef,
+        /// Per-request execution options.
+        options: ExecOptions,
+        /// Initial flow-control window, in answers.
+        credits: u32,
+    },
+    /// Grant more answer credits to the in-flight stream.
+    Fetch {
+        /// Additional credits, in answers.
+        credits: u32,
+    },
+    /// Abandon the in-flight stream; the server cancels the execution and
+    /// replies with a terminal `Finished`/`Fail` frame.
+    Cancel,
+    /// Drop a prepared statement from the connection's table.
+    Close {
+        /// Statement id to drop.
+        id: u64,
+    },
+    /// Request a [`ServerStats`] snapshot.
+    Stats,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+
+    // ---- server → client -------------------------------------------------
+    /// Handshake accepted.
+    HelloOk {
+        /// Protocol version the connection will speak.
+        version: u32,
+        /// Server software identifier (informational).
+        server: String,
+    },
+    /// A statement was prepared.
+    Prepared {
+        /// Connection-scoped statement id.
+        id: u64,
+        /// Number of conjuncts in the compiled query.
+        conjuncts: u32,
+        /// Head variables, in projection order.
+        head: Vec<String>,
+    },
+    /// A batch of ranked answers, in stream order.
+    Answers {
+        /// The batch; never empty on the wire.
+        answers: Vec<Answer>,
+    },
+    /// Terminal frame of a successful stream.
+    Finished {
+        /// Evaluator statistics for the execution.
+        stats: EvalStats,
+        /// Whether the stream completed or was drained by shutdown.
+        reason: FinishReason,
+    },
+    /// Terminal frame of a failed request.
+    Fail {
+        /// The typed failure.
+        error: WireError,
+    },
+    /// Reply to `Stats`.
+    StatsReply {
+        /// The snapshot.
+        stats: ServerStats,
+    },
+    /// Reply to `Close`.
+    Closed,
+    /// Reply to `Shutdown`: the server has stopped accepting work and will
+    /// exit once in-flight streams finish draining.
+    ShutdownOk,
+}
+
+// Frame tags. Client requests are 0x01.., server replies 0x81.. so a
+// misdirected frame fails loudly as an unknown tag.
+const TAG_HELLO: u8 = 0x01;
+const TAG_PREPARE: u8 = 0x02;
+const TAG_EXECUTE: u8 = 0x03;
+const TAG_FETCH: u8 = 0x04;
+const TAG_CANCEL: u8 = 0x05;
+const TAG_CLOSE: u8 = 0x06;
+const TAG_STATS: u8 = 0x07;
+const TAG_SHUTDOWN: u8 = 0x08;
+const TAG_HELLO_OK: u8 = 0x81;
+const TAG_PREPARED: u8 = 0x82;
+const TAG_ANSWERS: u8 = 0x83;
+const TAG_FINISHED: u8 = 0x84;
+const TAG_FAIL: u8 = 0x85;
+const TAG_STATS_REPLY: u8 = 0x86;
+const TAG_CLOSED: u8 = 0x87;
+const TAG_SHUTDOWN_OK: u8 = 0x88;
+
+impl Frame {
+    /// Encodes the frame payload: tag byte plus body (the length prefix is
+    /// added by [`write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Frame::Hello { version } => {
+                w.put_u8(TAG_HELLO);
+                w.put_bytes(&MAGIC);
+                w.put_u32(*version);
+            }
+            Frame::Prepare { text } => {
+                w.put_u8(TAG_PREPARE);
+                w.put_str(text);
+            }
+            Frame::Execute {
+                statement,
+                options,
+                credits,
+            } => {
+                w.put_u8(TAG_EXECUTE);
+                match statement {
+                    StatementRef::Id(id) => {
+                        w.put_u8(0);
+                        w.put_u64(*id);
+                    }
+                    StatementRef::Text(text) => {
+                        w.put_u8(1);
+                        w.put_str(text);
+                    }
+                }
+                put_exec_options(&mut w, options);
+                w.put_u32(*credits);
+            }
+            Frame::Fetch { credits } => {
+                w.put_u8(TAG_FETCH);
+                w.put_u32(*credits);
+            }
+            Frame::Cancel => w.put_u8(TAG_CANCEL),
+            Frame::Close { id } => {
+                w.put_u8(TAG_CLOSE);
+                w.put_u64(*id);
+            }
+            Frame::Stats => w.put_u8(TAG_STATS),
+            Frame::Shutdown => w.put_u8(TAG_SHUTDOWN),
+            Frame::HelloOk { version, server } => {
+                w.put_u8(TAG_HELLO_OK);
+                w.put_u32(*version);
+                w.put_str(server);
+            }
+            Frame::Prepared {
+                id,
+                conjuncts,
+                head,
+            } => {
+                w.put_u8(TAG_PREPARED);
+                w.put_u64(*id);
+                w.put_u32(*conjuncts);
+                w.put_u32(head.len() as u32);
+                for var in head {
+                    w.put_str(var);
+                }
+            }
+            Frame::Answers { answers } => {
+                w.put_u8(TAG_ANSWERS);
+                w.put_u32(answers.len() as u32);
+                for answer in answers {
+                    put_answer(&mut w, answer);
+                }
+            }
+            Frame::Finished { stats, reason } => {
+                w.put_u8(TAG_FINISHED);
+                put_stats(&mut w, stats);
+                w.put_u8(match reason {
+                    FinishReason::Complete => 0,
+                    FinishReason::Drained => 1,
+                });
+            }
+            Frame::Fail { error } => {
+                w.put_u8(TAG_FAIL);
+                put_wire_error(&mut w, error);
+            }
+            Frame::StatsReply { stats } => {
+                w.put_u8(TAG_STATS_REPLY);
+                put_server_stats(&mut w, stats);
+            }
+            Frame::Closed => w.put_u8(TAG_CLOSED),
+            Frame::ShutdownOk => w.put_u8(TAG_SHUTDOWN_OK),
+        }
+        w.into_inner()
+    }
+
+    /// Decodes a frame payload (tag byte plus body). Corruption surfaces as
+    /// a typed [`ProtocolError`]; decoding never panics.
+    pub fn decode(payload: &[u8]) -> Result<Frame, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let tag = r.take_u8()?;
+        let frame = match tag {
+            TAG_HELLO => {
+                let mut found = [0u8; 8];
+                found.copy_from_slice(r.take_bytes(8)?);
+                if found != MAGIC {
+                    return Err(ProtocolError::BadMagic { found });
+                }
+                let version = r.take_u32()?;
+                if version == 0 || version > PROTOCOL_VERSION {
+                    return Err(ProtocolError::UnsupportedVersion {
+                        requested: version,
+                        supported: PROTOCOL_VERSION,
+                    });
+                }
+                Frame::Hello { version }
+            }
+            TAG_PREPARE => Frame::Prepare {
+                text: r.take_str()?,
+            },
+            TAG_EXECUTE => {
+                let statement = match r.take_u8()? {
+                    0 => StatementRef::Id(r.take_u64()?),
+                    1 => StatementRef::Text(r.take_str()?),
+                    _ => return Err(ProtocolError::Malformed("unknown statement reference")),
+                };
+                let options = take_exec_options(&mut r)?;
+                let credits = r.take_u32()?;
+                Frame::Execute {
+                    statement,
+                    options,
+                    credits,
+                }
+            }
+            TAG_FETCH => Frame::Fetch {
+                credits: r.take_u32()?,
+            },
+            TAG_CANCEL => Frame::Cancel,
+            TAG_CLOSE => Frame::Close { id: r.take_u64()? },
+            TAG_STATS => Frame::Stats,
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_HELLO_OK => Frame::HelloOk {
+                version: r.take_u32()?,
+                server: r.take_str()?,
+            },
+            TAG_PREPARED => {
+                let id = r.take_u64()?;
+                let conjuncts = r.take_u32()?;
+                let count = r.take_u32()?;
+                let mut head = Vec::new();
+                for _ in 0..count {
+                    head.push(r.take_str()?);
+                }
+                Frame::Prepared {
+                    id,
+                    conjuncts,
+                    head,
+                }
+            }
+            TAG_ANSWERS => {
+                let count = r.take_u32()?;
+                let mut answers = Vec::new();
+                for _ in 0..count {
+                    answers.push(take_answer(&mut r)?);
+                }
+                Frame::Answers { answers }
+            }
+            TAG_FINISHED => {
+                let stats = take_stats(&mut r)?;
+                let reason = match r.take_u8()? {
+                    0 => FinishReason::Complete,
+                    1 => FinishReason::Drained,
+                    _ => return Err(ProtocolError::Malformed("unknown finish reason")),
+                };
+                Frame::Finished { stats, reason }
+            }
+            TAG_FAIL => Frame::Fail {
+                error: take_wire_error(&mut r)?,
+            },
+            TAG_STATS_REPLY => Frame::StatsReply {
+                stats: take_server_stats(&mut r)?,
+            },
+            TAG_CLOSED => Frame::Closed,
+            TAG_SHUTDOWN_OK => Frame::ShutdownOk,
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        r.expect_end()?;
+        Ok(frame)
+    }
+}
+
+/// Writes one length-prefixed frame to `w` (and flushes it, so a frame is
+/// either fully on the wire or an error).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtocolError> {
+    let payload = frame.encode();
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(ProtocolError::Oversized {
+            len: payload.len() as u32,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// What one [`FrameReader::poll`] call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Poll {
+    /// A complete frame.
+    Frame(Frame),
+    /// The peer closed the stream cleanly, at a frame boundary.
+    Eof,
+    /// The read timed out (or would block) before a full frame arrived; the
+    /// partial bytes are retained and the next call resumes exactly where
+    /// this one stopped.
+    Pending,
+}
+
+/// Incremental frame re-assembler over any [`Read`].
+///
+/// The transport may be in blocking mode (a client waiting for its answer)
+/// or carry a read timeout (a server polling its drain flag between
+/// frames): partial reads are accumulated internally, so a timeout mid-frame
+/// never corrupts the stream — the next [`FrameReader::poll`] resumes with
+/// the bytes already received.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    /// Bytes of the current (incomplete) length prefix or payload.
+    buf: Vec<u8>,
+    /// Payload length once the prefix is complete.
+    payload_len: Option<usize>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a transport.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            payload_len: None,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Reads until a full frame, EOF or a transport timeout.
+    pub fn poll(&mut self) -> Result<Poll, ProtocolError> {
+        loop {
+            let goal = self.payload_len.unwrap_or(4);
+            while self.buf.len() < goal {
+                let mut chunk = [0u8; 4096];
+                let want = (goal - self.buf.len()).min(chunk.len());
+                match self.inner.read(&mut chunk[..want]) {
+                    Ok(0) => {
+                        // Clean close only at a frame boundary; anything mid
+                        // prefix or mid payload is a truncated frame.
+                        if self.buf.is_empty() && self.payload_len.is_none() {
+                            return Ok(Poll::Eof);
+                        }
+                        return Err(ProtocolError::Truncated);
+                    }
+                    Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        return Ok(Poll::Pending);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if self.payload_len.is_none() {
+                // The buffer holds exactly the 4 prefix bytes here.
+                let mut prefix = [0u8; 4];
+                prefix.copy_from_slice(&self.buf);
+                let len = u32::from_le_bytes(prefix);
+                if len > MAX_FRAME_LEN {
+                    return Err(ProtocolError::Oversized {
+                        len,
+                        max: MAX_FRAME_LEN,
+                    });
+                }
+                if len == 0 {
+                    return Err(ProtocolError::Malformed("empty frame (no tag byte)"));
+                }
+                self.buf.clear();
+                self.payload_len = Some(len as usize);
+                continue;
+            }
+            let frame = Frame::decode(&self.buf)?;
+            self.buf.clear();
+            self.payload_len = None;
+            return Ok(Poll::Frame(frame));
+        }
+    }
+
+    /// Blocking convenience: polls until a frame or EOF (treats `Pending`
+    /// as "keep waiting", so only meaningful on transports without a read
+    /// timeout — clients, mainly).
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        loop {
+            match self.poll()? {
+                Poll::Frame(frame) => return Ok(Some(frame)),
+                Poll::Eof => return Ok(None),
+                Poll::Pending => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut reader = FrameReader::new(&wire[..]);
+        let back = reader.read_frame().unwrap().expect("one frame");
+        assert_eq!(back, frame);
+        assert_eq!(reader.read_frame().unwrap(), None, "clean EOF after");
+    }
+
+    #[test]
+    fn hello_and_control_frames_round_trip() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        round_trip(Frame::Cancel);
+        round_trip(Frame::Stats);
+        round_trip(Frame::Shutdown);
+        round_trip(Frame::Closed);
+        round_trip(Frame::ShutdownOk);
+        round_trip(Frame::Fetch { credits: 512 });
+        round_trip(Frame::Close { id: 3 });
+    }
+
+    #[test]
+    fn execute_frame_round_trips_options() {
+        round_trip(Frame::Execute {
+            statement: StatementRef::Text("(?X) <- (a, p, ?X)".into()),
+            options: ExecOptions::new().with_limit(10).with_max_distance(2),
+            credits: 64,
+        });
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut payload = Frame::Hello { version: 1 }.encode();
+        payload[1..9].copy_from_slice(b"OMEGSNAP"); // right family, wrong magic
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(ProtocolError::BadMagic { found }) if &found == b"OMEGSNAP"
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut w = Writer::new();
+        w.put_u8(0x01);
+        w.put_bytes(&MAGIC);
+        w.put_u32(PROTOCOL_VERSION + 1);
+        assert_eq!(
+            Frame::decode(&w.into_inner()),
+            Err(ProtocolError::UnsupportedVersion {
+                requested: PROTOCOL_VERSION + 1,
+                supported: PROTOCOL_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_typed_not_a_panic() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Stats).unwrap();
+        for cut in 1..wire.len() {
+            let mut reader = FrameReader::new(&wire[..cut]);
+            assert_eq!(
+                reader.read_frame().unwrap_err(),
+                ProtocolError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let mut reader = FrameReader::new(&wire[..]);
+        assert!(matches!(
+            reader.read_frame().unwrap_err(),
+            ProtocolError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_frame_is_malformed() {
+        let wire = 0u32.to_le_bytes();
+        let mut reader = FrameReader::new(&wire[..]);
+        assert!(matches!(
+            reader.read_frame().unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_reassemble() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Stats).unwrap();
+        write_frame(&mut wire, &Frame::Cancel).unwrap();
+        let mut reader = FrameReader::new(&wire[..]);
+        assert_eq!(reader.read_frame().unwrap(), Some(Frame::Stats));
+        assert_eq!(reader.read_frame().unwrap(), Some(Frame::Cancel));
+        assert_eq!(reader.read_frame().unwrap(), None);
+    }
+}

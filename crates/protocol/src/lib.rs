@@ -1,0 +1,61 @@
+//! # omega-protocol
+//!
+//! The wire protocol of the Omega serving layer: a versioned,
+//! length-prefixed binary frame format connecting `omega-client` to
+//! `omega-server`, carrying the full [`omega_core`] service surface —
+//! prepared statements, per-request [`omega_core::ExecOptions`], streamed
+//! ranked [`omega_core::Answer`]s with their [`omega_core::EvalStats`], and
+//! every [`omega_core::OmegaError`] variant mapped losslessly to a typed
+//! wire error.
+//!
+//! ## Design
+//!
+//! * **Versioned handshake** — the first frame on every connection is
+//!   [`Frame::Hello`], opening with the 8-byte [`MAGIC`] and the client's
+//!   protocol version, exactly like the `OMEGSNAP` snapshot header guards
+//!   image files. A non-protocol peer fails with
+//!   [`ProtocolError::BadMagic`]; a future version fails with
+//!   [`ProtocolError::UnsupportedVersion`]. Never a panic.
+//! * **Length-prefixed frames** — `u32` length, tag byte, body; lengths
+//!   above [`MAX_FRAME_LEN`] are corruption, not allocations.
+//! * **Streaming with credits** — answers flow in [`Frame::Answers`]
+//!   batches only while the client has granted credits
+//!   ([`Frame::Execute`]'s initial window plus [`Frame::Fetch`] top-ups),
+//!   so a slow client never forces the server to buffer unboundedly.
+//! * **Deadline propagation** — [`omega_core::ExecOptions`] serialises with
+//!   its `timeout`/`deadline` folded into one remaining wall-clock budget,
+//!   re-anchored server-side at execution start; budgets, distance
+//!   ceilings and overload policies ride along unchanged.
+//!
+//! The codec has no dependency on sockets: [`Frame::encode`] /
+//! [`Frame::decode`] work on byte slices, [`write_frame`] /
+//! [`FrameReader`] adapt any `Write` / `Read` transport.
+
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod transport;
+pub mod wire;
+
+pub use codec::ServerStats;
+pub use error::{ProtocolError, WireError};
+pub use frame::{write_frame, FinishReason, Frame, FrameReader, Poll, StatementRef};
+pub use transport::Transport;
+
+/// Protocol magic, the first bytes of every handshake — the serving-layer
+/// sibling of the snapshot format's `OMEGSNAP`.
+pub const MAGIC: [u8; 8] = *b"OMEGWIRE";
+
+/// Highest protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Ceiling on a frame's declared payload length (16 MiB). A prefix above
+/// this is treated as stream corruption ([`ProtocolError::Oversized`])
+/// instead of being allocated.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Default answer-batch size for [`Frame::Answers`] frames.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Default initial credit window granted by [`Frame::Execute`].
+pub const DEFAULT_CREDITS: u32 = 256;

@@ -1,0 +1,90 @@
+//! The byte transports the protocol runs over: unix-domain and TCP stream
+//! sockets, unified behind one enum so the server's connection loop and the
+//! client library are transport-agnostic.
+//!
+//! Cloning ([`Transport::try_clone`]) duplicates the socket handle, so one
+//! half can sit inside a [`crate::FrameReader`] while the other writes
+//! frames; timeouts and blocking mode apply to the shared underlying socket
+//! either way.
+
+use std::io::{Read, Result as IoResult, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected stream socket.
+#[derive(Debug)]
+pub enum Transport {
+    /// A unix-domain stream socket.
+    Unix(UnixStream),
+    /// A TCP socket (`TCP_NODELAY` is the creator's responsibility).
+    Tcp(TcpStream),
+}
+
+impl Transport {
+    /// A second handle to the same socket (shared file description: mode
+    /// and timeout changes through either handle affect both).
+    pub fn try_clone(&self) -> IoResult<Transport> {
+        Ok(match self {
+            Transport::Unix(s) => Transport::Unix(s.try_clone()?),
+            Transport::Tcp(s) => Transport::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Read timeout (`None` blocks forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> IoResult<()> {
+        match self {
+            Transport::Unix(s) => s.set_read_timeout(timeout),
+            Transport::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Write timeout (`None` blocks forever).
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> IoResult<()> {
+        match self {
+            Transport::Unix(s) => s.set_write_timeout(timeout),
+            Transport::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+
+    /// Non-blocking mode for opportunistic control-frame polls.
+    pub fn set_nonblocking(&self, on: bool) -> IoResult<()> {
+        match self {
+            Transport::Unix(s) => s.set_nonblocking(on),
+            Transport::Tcp(s) => s.set_nonblocking(on),
+        }
+    }
+
+    /// Shuts down both directions, waking any thread blocked on the socket.
+    pub fn shutdown(&self) -> IoResult<()> {
+        match self {
+            Transport::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Transport::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> IoResult<usize> {
+        match self {
+            Transport::Unix(s) => s.read(buf),
+            Transport::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> IoResult<usize> {
+        match self {
+            Transport::Unix(s) => s.write(buf),
+            Transport::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> IoResult<()> {
+        match self {
+            Transport::Unix(s) => s.flush(),
+            Transport::Tcp(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The per-connection protocol state machine: handshake, request dispatch,
+//! credit-driven answer streaming, cancellation and drain.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use omega_core::{ExecOptions, OmegaError, PreparedQuery};
+use omega_protocol::{
+    write_frame, FinishReason, Frame, FrameReader, Poll, ProtocolError, StatementRef, Transport,
+    WireError, PROTOCOL_VERSION,
+};
+
+use crate::{CounterGuard, Shared};
+
+/// Why the connection thread is ending. Either way the socket just closes;
+/// the split only exists so call sites read correctly.
+enum Hangup {
+    /// The peer disconnected or the transport failed.
+    Gone,
+    /// The server is draining and this connection is (now) idle.
+    Drained,
+}
+
+type ConnResult<T> = Result<T, Hangup>;
+
+/// A control frame observed while a stream is in flight.
+enum Control {
+    /// Nothing pending.
+    None,
+    /// The client granted more answer credits.
+    Fetch(u32),
+    /// The client abandoned the stream.
+    Cancel,
+    /// A frame that has no business arriving mid-stream.
+    Unexpected,
+}
+
+/// How a stream ended (the terminal frame is chosen from this).
+enum Outcome {
+    /// Ran to completion: limit reached or answers exhausted.
+    Complete,
+    /// Cut short at a batch boundary by server drain.
+    Drained,
+    /// The client sent `Cancel`.
+    Cancelled,
+    /// The evaluator failed with a typed error.
+    Failed(OmegaError),
+    /// The client broke protocol mid-stream.
+    Abuse,
+}
+
+/// Entry point of a connection thread.
+pub(crate) fn connection(shared: Arc<Shared>, transport: Transport) {
+    let _open = CounterGuard::enter(&shared.counters.connections_open);
+    // The only reasons `serve` ends are peer disconnect and server drain;
+    // both are handled by closing the socket, which happens on drop.
+    let _ = serve(&shared, transport);
+}
+
+fn serve(shared: &Shared, transport: Transport) -> ConnResult<()> {
+    // Reads poll at the drain interval; writes are bounded so a client that
+    // stops reading cannot pin this thread (or the drain) forever.
+    let _ = transport.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = transport.set_write_timeout(shared.config.write_timeout);
+    let reader_half = transport.try_clone().map_err(|_| Hangup::Gone)?;
+    let mut conn = Conn {
+        shared,
+        reader: FrameReader::new(reader_half),
+        writer: transport,
+        statements: HashMap::new(),
+        next_id: 1,
+    };
+    conn.handshake()?;
+    loop {
+        match conn.next_request()? {
+            Some(frame) => conn.dispatch(frame)?,
+            None => return Ok(()),
+        }
+    }
+}
+
+struct Conn<'a> {
+    shared: &'a Shared,
+    reader: FrameReader<Transport>,
+    writer: Transport,
+    /// Connection-scoped statement table. The values are clones out of the
+    /// database's shared LRU cache, so identical text prepared on two
+    /// connections shares one compiled plan.
+    statements: HashMap<u64, PreparedQuery>,
+    next_id: u64,
+}
+
+impl Drop for Conn<'_> {
+    fn drop(&mut self) {
+        // Return this connection's statement-table contribution.
+        self.shared
+            .counters
+            .statements_open
+            .fetch_sub(self.statements.len() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Conn<'_> {
+    fn send(&mut self, frame: &Frame) -> ConnResult<()> {
+        write_frame(&mut self.writer, frame).map_err(|_| Hangup::Gone)
+    }
+
+    /// Sends a typed failure and counts it.
+    fn send_fail(&mut self, error: WireError) -> ConnResult<()> {
+        self.shared.counters.rejected.fetch_add(1, Ordering::SeqCst);
+        self.send(&Frame::Fail { error })
+    }
+
+    /// First frame must be a well-formed `Hello`; version skew and foreign
+    /// magic are reported as typed failures before the socket closes.
+    fn handshake(&mut self) -> ConnResult<()> {
+        loop {
+            match self.reader.poll() {
+                Ok(Poll::Frame(Frame::Hello { .. })) => {
+                    let server = self.shared.config.server_name.clone();
+                    return self.send(&Frame::HelloOk {
+                        version: PROTOCOL_VERSION,
+                        server,
+                    });
+                }
+                Ok(Poll::Frame(_)) => {
+                    let _ = self.send_fail(WireError::Malformed(
+                        "connection must open with a Hello handshake".into(),
+                    ));
+                    return Err(Hangup::Gone);
+                }
+                Ok(Poll::Pending) => {
+                    if self.shared.draining() {
+                        return Err(Hangup::Drained);
+                    }
+                }
+                Ok(Poll::Eof) => return Err(Hangup::Gone),
+                Err(ProtocolError::UnsupportedVersion {
+                    requested,
+                    supported,
+                }) => {
+                    let _ = self.send_fail(WireError::VersionSkew {
+                        client: requested,
+                        server: supported,
+                    });
+                    return Err(Hangup::Gone);
+                }
+                Err(err) => {
+                    // Includes BadMagic: the peer is not speaking this
+                    // protocol; report best-effort and hang up.
+                    let _ = self.send_fail(WireError::Malformed(err.to_string()));
+                    return Err(Hangup::Gone);
+                }
+            }
+        }
+    }
+
+    /// Waits for the next request frame; `None` is a clean client
+    /// disconnect. During drain an idle connection closes instead of
+    /// waiting.
+    fn next_request(&mut self) -> ConnResult<Option<Frame>> {
+        loop {
+            match self.reader.poll() {
+                Ok(Poll::Frame(frame)) => return Ok(Some(frame)),
+                Ok(Poll::Eof) => return Ok(None),
+                Ok(Poll::Pending) => {
+                    if self.shared.draining() {
+                        return Err(Hangup::Drained);
+                    }
+                }
+                Err(err) => {
+                    let _ = self.send_fail(WireError::Malformed(err.to_string()));
+                    return Err(Hangup::Gone);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, frame: Frame) -> ConnResult<()> {
+        match frame {
+            Frame::Prepare { text } => self.prepare(text),
+            Frame::Execute {
+                statement,
+                options,
+                credits,
+            } => self.execute(statement, options, credits),
+            Frame::Close { id } => {
+                if self.statements.remove(&id).is_some() {
+                    self.shared
+                        .counters
+                        .statements_open
+                        .fetch_sub(1, Ordering::SeqCst);
+                    self.send(&Frame::Closed)
+                } else {
+                    self.send_fail(WireError::UnknownStatement(id))
+                }
+            }
+            Frame::Stats => {
+                let stats = self.shared.stats();
+                self.send(&Frame::StatsReply { stats })
+            }
+            Frame::Shutdown => {
+                self.shared.drain.store(true, Ordering::SeqCst);
+                self.send(&Frame::ShutdownOk)
+            }
+            // A Fetch or Cancel can legitimately arrive after the stream it
+            // belongs to ended: the client grants credits (or aborts) while
+            // the terminal frame is still in flight towards it. Stale flow
+            // control is dropped silently — replying would desynchronise
+            // the next request/reply exchange.
+            Frame::Fetch { .. } | Frame::Cancel => Ok(()),
+            Frame::Hello { .. } => {
+                self.send_fail(WireError::Malformed("duplicate handshake".into()))
+            }
+            // A server→client frame arriving at the server is protocol
+            // abuse; hang up after reporting.
+            _ => {
+                let _ = self.send_fail(WireError::Malformed(
+                    "server-to-client frame sent by client".into(),
+                ));
+                Err(Hangup::Gone)
+            }
+        }
+    }
+
+    fn prepare(&mut self, text: String) -> ConnResult<()> {
+        if self.shared.draining() {
+            return self.send_fail(WireError::Shutdown);
+        }
+        match self.shared.db.prepare(&text) {
+            Ok(prepared) => {
+                let id = self.next_id;
+                self.next_id += 1;
+                let conjuncts = prepared.query().conjuncts.len() as u32;
+                let head = prepared.query().head.clone();
+                self.statements.insert(id, prepared);
+                self.shared
+                    .counters
+                    .statements_open
+                    .fetch_add(1, Ordering::SeqCst);
+                self.send(&Frame::Prepared {
+                    id,
+                    conjuncts,
+                    head,
+                })
+            }
+            Err(err) => self.send_fail(WireError::Engine(err)),
+        }
+    }
+
+    fn execute(
+        &mut self,
+        statement: StatementRef,
+        options: ExecOptions,
+        credits: u32,
+    ) -> ConnResult<()> {
+        if self.shared.draining() {
+            return self.send_fail(WireError::Shutdown);
+        }
+        let prepared = match statement {
+            StatementRef::Id(id) => match self.statements.get(&id) {
+                Some(prepared) => prepared.clone(),
+                None => return self.send_fail(WireError::UnknownStatement(id)),
+            },
+            StatementRef::Text(text) => match self.shared.db.prepare(&text) {
+                Ok(prepared) => prepared,
+                Err(err) => return self.send_fail(WireError::Engine(err)),
+            },
+        };
+        self.stream(prepared, options, credits)
+    }
+
+    /// Runs one execution, streaming ranked answers in credit-bounded
+    /// batches. Returns when the terminal frame (`Finished` or `Fail`) is
+    /// on the wire — or with a hangup, which drops the [`omega_core::Answers`]
+    /// stream and thereby cancels the execution (cancellation on
+    /// disconnect).
+    fn stream(
+        &mut self,
+        prepared: PreparedQuery,
+        request: ExecOptions,
+        credits: u32,
+    ) -> ConnResult<()> {
+        let _in_flight = CounterGuard::enter(&self.shared.counters.streams_in_flight);
+        let mut stream = prepared.answers(&request);
+        let mut credits = u64::from(credits);
+        let batch_cap = self.shared.config.batch.max(1) as u64;
+        let mut batch = Vec::new();
+        let outcome = loop {
+            if self.shared.draining() {
+                break Outcome::Drained;
+            }
+            // Opportunistic, non-blocking control poll: `Cancel` and
+            // `Fetch` top-ups can arrive while answers still flow.
+            match self.try_control()? {
+                Control::None => {}
+                Control::Fetch(extra) => {
+                    credits = credits.saturating_add(u64::from(extra));
+                    continue;
+                }
+                Control::Cancel => break Outcome::Cancelled,
+                Control::Unexpected => break Outcome::Abuse,
+            }
+            if credits == 0 {
+                // Out of credits: block (at the poll interval) until the
+                // client grants more, cancels, or disconnects.
+                match self.wait_control()? {
+                    Control::None => continue,
+                    Control::Fetch(extra) => {
+                        credits = credits.saturating_add(u64::from(extra));
+                    }
+                    Control::Cancel => break Outcome::Cancelled,
+                    Control::Unexpected => break Outcome::Abuse,
+                }
+                continue;
+            }
+            batch.clear();
+            let mut finished = false;
+            let mut failure = None;
+            while (batch.len() as u64) < credits.min(batch_cap) {
+                match stream.next_answer() {
+                    Ok(Some(answer)) => batch.push(answer),
+                    Ok(None) => {
+                        finished = true;
+                        break;
+                    }
+                    Err(err) => {
+                        failure = Some(err);
+                        break;
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                credits -= batch.len() as u64;
+                self.shared
+                    .counters
+                    .answers_streamed
+                    .fetch_add(batch.len() as u64, Ordering::SeqCst);
+                let answers = std::mem::take(&mut batch);
+                self.send(&Frame::Answers { answers })?;
+            }
+            if let Some(err) = failure {
+                break Outcome::Failed(err);
+            }
+            if finished {
+                break Outcome::Complete;
+            }
+        };
+        let stats = stream.stats();
+        // Drop before the terminal frame: cancels any conjunct workers and
+        // returns every governor resource, so a client observing `Finished`
+        // observes the gauges already settled.
+        drop(stream);
+        self.shared
+            .counters
+            .sheds
+            .fetch_add(stats.sheds, Ordering::SeqCst);
+        let drained = matches!(outcome, Outcome::Drained);
+        if drained || stats.degraded {
+            self.shared.counters.degraded.fetch_add(1, Ordering::SeqCst);
+        }
+        match outcome {
+            Outcome::Complete => self.send(&Frame::Finished {
+                stats,
+                reason: FinishReason::Complete,
+            }),
+            Outcome::Drained => {
+                // The answers already sent are a correct rank-order prefix;
+                // tell the client so, then let the request loop close the
+                // (now idle, draining) connection.
+                self.send(&Frame::Finished {
+                    stats,
+                    reason: FinishReason::Drained,
+                })
+            }
+            Outcome::Cancelled => self.send_fail(WireError::Engine(OmegaError::Cancelled)),
+            Outcome::Failed(err) => self.send_fail(WireError::Engine(err)),
+            Outcome::Abuse => {
+                let _ = self.send_fail(WireError::Malformed(
+                    "unexpected frame while a stream was in flight".into(),
+                ));
+                Err(Hangup::Gone)
+            }
+        }
+    }
+
+    /// Non-blocking control poll (flips the socket to non-blocking for one
+    /// read burst; partial frames are retained by the reader).
+    fn try_control(&mut self) -> ConnResult<Control> {
+        let _ = self.writer.set_nonblocking(true);
+        let polled = self.reader.poll();
+        let _ = self.writer.set_nonblocking(false);
+        self.control_from(polled)
+    }
+
+    /// Blocking control wait at the read-timeout (poll) interval, so the
+    /// drain flag is re-checked by the caller between ticks.
+    fn wait_control(&mut self) -> ConnResult<Control> {
+        let polled = self.reader.poll();
+        self.control_from(polled)
+    }
+
+    fn control_from(&mut self, polled: Result<Poll, ProtocolError>) -> ConnResult<Control> {
+        match polled {
+            Ok(Poll::Frame(Frame::Fetch { credits })) => Ok(Control::Fetch(credits)),
+            Ok(Poll::Frame(Frame::Cancel)) => Ok(Control::Cancel),
+            Ok(Poll::Frame(Frame::Stats)) => {
+                // Stats are safe (and useful) mid-stream: a monitoring
+                // client can watch the gauges move.
+                let stats = self.shared.stats();
+                self.send(&Frame::StatsReply { stats })?;
+                Ok(Control::None)
+            }
+            Ok(Poll::Frame(_)) => Ok(Control::Unexpected),
+            Ok(Poll::Pending) => Ok(Control::None),
+            // Disconnect mid-stream: the caller drops the answer stream,
+            // which cancels the execution.
+            Ok(Poll::Eof) => Err(Hangup::Gone),
+            Err(_) => Err(Hangup::Gone),
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! # omega-server
+//!
+//! The Omega serving daemon: a thread-per-connection accept loop over unix
+//! and TCP sockets, speaking [`omega_protocol`] frames against one shared
+//! [`Database`].
+//!
+//! ## Architecture
+//!
+//! * **Accept loops** — one thread per listener, polling a non-blocking
+//!   socket so the drain flag is observed within one poll interval. Each
+//!   accepted connection gets its own thread over the `Send + Sync`
+//!   [`Database`] handle.
+//! * **Admission at the edge** — every execution passes through the
+//!   database-wide [`omega_core::ResourceGovernor`] (token bucket,
+//!   concurrency ceiling, shared tuple pool); a rejection surfaces to the
+//!   client as the typed `Overloaded { retry_after }` wire error.
+//! * **Prepared statements** — each connection keeps an id → statement
+//!   table; the entries are [`omega_core::PreparedQuery`] clones obtained
+//!   through the database's LRU cache, so two connections preparing the
+//!   same text share one compiled plan.
+//! * **Credit-driven streaming** — answers flow in batches only while the
+//!   client has granted credits; a stalled client stalls only its own
+//!   execution (which keeps holding exactly the governor resources the
+//!   gauges show), never the daemon.
+//! * **Cancellation on disconnect** — dropping the server-side
+//!   [`omega_core::Answers`] stream triggers the execution's
+//!   [`omega_core::CancelToken`]; a vanished client cancels its in-flight
+//!   work within one evaluator check interval.
+//! * **Graceful drain** — [`ServerHandle::shutdown`] (or a client `Shutdown`
+//!   frame) stops the accept loops, ends in-flight streams at their next
+//!   batch boundary with `Finished { reason: Drained }` (the answers already
+//!   sent are a correct rank-order prefix), closes idle connections, and
+//!   [`Server::run`] returns once every connection thread has exited — with
+//!   all governor gauges back at zero.
+
+mod conn;
+
+use std::io::Result as IoResult;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use omega_core::{live_parallel_workers, Database};
+use omega_protocol::{ServerStats, Transport};
+
+/// Tunables of the serving loop. The defaults suit both tests and the
+/// daemon binary.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Informational software identifier sent in the handshake reply.
+    pub server_name: String,
+    /// How often blocked waits (accept, idle read, credit wait) re-check
+    /// the drain flag. Bounds shutdown latency from below.
+    pub poll_interval: Duration,
+    /// Write timeout per frame; a client that stops reading for longer is
+    /// treated as gone and its execution cancelled.
+    pub write_timeout: Option<Duration>,
+    /// Maximum answers per `Answers` frame.
+    pub batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            server_name: format!("omega-server/{}", env!("CARGO_PKG_VERSION")),
+            poll_interval: Duration::from_millis(25),
+            write_timeout: Some(Duration::from_secs(10)),
+            batch: omega_protocol::DEFAULT_BATCH,
+        }
+    }
+}
+
+/// Monotonic daemon counters, exposed through the protocol's `Stats`
+/// request (alongside the governor's gauges).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) connections_total: AtomicU64,
+    pub(crate) connections_open: AtomicU64,
+    pub(crate) streams_in_flight: AtomicU64,
+    pub(crate) statements_open: AtomicU64,
+    pub(crate) answers_streamed: AtomicU64,
+    pub(crate) sheds: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+}
+
+/// State shared by the accept loops, every connection thread and every
+/// [`ServerHandle`].
+pub(crate) struct Shared {
+    pub(crate) db: Database,
+    pub(crate) config: ServerConfig,
+    pub(crate) drain: AtomicBool,
+    pub(crate) counters: Counters,
+}
+
+impl Shared {
+    pub(crate) fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            gauges: self.db.governor().gauges(),
+            connections_total: c.connections_total.load(Ordering::SeqCst),
+            connections_open: c.connections_open.load(Ordering::SeqCst),
+            streams_in_flight: c.streams_in_flight.load(Ordering::SeqCst),
+            statements_open: c.statements_open.load(Ordering::SeqCst),
+            answers_streamed: c.answers_streamed.load(Ordering::SeqCst),
+            sheds: c.sheds.load(Ordering::SeqCst),
+            degraded: c.degraded.load(Ordering::SeqCst),
+            rejected: c.rejected.load(Ordering::SeqCst),
+            live_workers: live_parallel_workers() as u64,
+        }
+    }
+}
+
+/// A cloneable control handle: trigger the drain and observe the counters
+/// from outside the serving threads (tests, signal handlers, monitoring).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Flips the drain flag: accept loops stop, in-flight streams end at
+    /// their next batch boundary with `Finished { reason: Drained }`, idle
+    /// connections close. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the drain flag is set.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Point-in-time daemon statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// One accept attempt; `None` when no connection is pending.
+    fn try_accept(&self) -> Option<Transport> {
+        match self {
+            Listener::Unix(l) => match l.accept() {
+                Ok((stream, _)) => Some(Transport::Unix(stream)),
+                Err(_) => None,
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    // Frames are small and latency-sensitive; never Nagle.
+                    let _ = stream.set_nodelay(true);
+                    Some(Transport::Tcp(stream))
+                }
+                Err(_) => None,
+            },
+        }
+    }
+}
+
+/// The daemon: listeners, accept threads and connection threads over one
+/// shared [`Database`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accepts: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    unix_paths: Vec<PathBuf>,
+}
+
+impl Server {
+    /// A server over `db` with default [`ServerConfig`].
+    pub fn new(db: Database) -> Server {
+        Server::with_config(db, ServerConfig::default())
+    }
+
+    /// A server over `db` with explicit tunables.
+    pub fn with_config(db: Database, config: ServerConfig) -> Server {
+        Server {
+            shared: Arc::new(Shared {
+                db,
+                config,
+                drain: AtomicBool::new(false),
+                counters: Counters::default(),
+            }),
+            accepts: Vec::new(),
+            conns: Arc::new(Mutex::new(Vec::new())),
+            unix_paths: Vec::new(),
+        }
+    }
+
+    /// A control handle, cloneable into other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Point-in-time daemon statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Binds a unix-domain listener at `path` (removing a stale socket file
+    /// from a previous run) and starts its accept loop.
+    pub fn listen_unix<P: AsRef<Path>>(&mut self, path: P) -> IoResult<()> {
+        let path = path.as_ref();
+        // A bind over a stale socket file fails with AddrInUse even when no
+        // process listens; a fresh daemon owns its configured path.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        self.unix_paths.push(path.to_path_buf());
+        self.spawn_accept(Listener::Unix(listener));
+        Ok(())
+    }
+
+    /// Binds a TCP listener and starts its accept loop; returns the bound
+    /// address (useful with port `0`).
+    pub fn listen_tcp<A: ToSocketAddrs>(&mut self, addr: A) -> IoResult<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        self.spawn_accept(Listener::Tcp(listener));
+        Ok(local)
+    }
+
+    fn spawn_accept(&mut self, listener: Listener) {
+        let shared = Arc::clone(&self.shared);
+        let conns = Arc::clone(&self.conns);
+        self.accepts.push(std::thread::spawn(move || {
+            accept_loop(listener, shared, conns);
+        }));
+    }
+
+    /// Serves until drained: blocks while the accept loops run, then joins
+    /// every connection thread. Returns only after the last in-flight
+    /// stream has finished or been drained — at which point all governor
+    /// gauges are back at zero. Unix socket files are removed on the way
+    /// out.
+    pub fn run(self) {
+        for accept in self.accepts {
+            let _ = accept.join();
+        }
+        loop {
+            let handle = self.conns.lock().unwrap_or_else(|e| e.into_inner()).pop();
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
+        }
+        for path in &self.unix_paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    while !shared.draining() {
+        match listener.try_accept() {
+            Some(transport) => {
+                shared
+                    .counters
+                    .connections_total
+                    .fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || {
+                    conn::connection(conn_shared, transport);
+                });
+                let mut guard = conns.lock().unwrap_or_else(|e| e.into_inner());
+                // Reap finished threads so a long-running daemon's handle
+                // list tracks open connections, not historical ones.
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            None => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+}
+
+/// Increments a counter for the guard's lifetime (connection and stream
+/// gauges stay exact even on panicking paths).
+pub(crate) struct CounterGuard<'a>(&'a AtomicU64);
+
+impl<'a> CounterGuard<'a> {
+    pub(crate) fn enter(counter: &'a AtomicU64) -> CounterGuard<'a> {
+        counter.fetch_add(1, Ordering::SeqCst);
+        CounterGuard(counter)
+    }
+}
+
+impl Drop for CounterGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,212 @@
+//! The `omega-server` daemon: serves a snapshot image or a generated
+//! dataset over unix-domain and/or TCP sockets.
+//!
+//! ```text
+//! omega-server --unix /tmp/omega.sock --snapshot graph.omega
+//! omega-server --tcp 127.0.0.1:7474 --dataset l4all:l2 --max-concurrent 8
+//! ```
+//!
+//! Shutdown is protocol-driven: any client may send the `Shutdown` frame
+//! (e.g. `omega-client shutdown`), which drains the daemon gracefully.
+
+use std::process::exit;
+use std::time::Duration;
+
+use omega_core::{Database, EvalOptions, GovernorConfig};
+use omega_datagen::{generate_l4all, generate_yago, Dataset, L4AllConfig, L4AllScale, YagoConfig};
+use omega_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+omega-server: the Omega flexible-RPQ serving daemon
+
+USAGE:
+    omega-server [--unix PATH] [--tcp ADDR] [DATA] [GOVERNOR] [TUNING]
+
+At least one of --unix / --tcp is required.
+
+DATA (default: $OMEGA_SNAPSHOT_FILE if set, else --dataset l4all):
+    --snapshot PATH       open an on-disk snapshot image (mmap, zero-copy)
+    --dataset SPEC        build a generated dataset: l4all, l4all:l1..l4,
+                          yago, yago:FACTOR (e.g. yago:0.5)
+
+GOVERNOR (admission control at the edge; unset = unbounded):
+    --max-live-tuples N   shared live-tuple pool across all executions
+    --max-concurrent N    concurrent-execution ceiling
+    --admission-rate R    token-bucket refill rate (executions/second)
+    --admission-burst N   token-bucket capacity (default 1 with --admission-rate)
+    --retry-after-ms N    retry hint attached to Overloaded rejections
+    --acquire-timeout-ms N  how long admission waits before rejecting
+
+TUNING:
+    --batch N             max answers per Answers frame (default 64)
+    --poll-interval-ms N  drain/cancel poll interval (default 25)
+    --write-timeout-ms N  per-frame write timeout (default 10000, 0 = none)
+    --help                print this text
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = run(&args) {
+        eprintln!("omega-server: {message}");
+        exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut unix_path: Option<String> = None;
+    let mut tcp_addr: Option<String> = None;
+    let mut snapshot: Option<String> = None;
+    let mut dataset: Option<String> = None;
+    let mut governor = GovernorConfig::default();
+    let mut admission_rate: Option<f64> = None;
+    let mut admission_burst: Option<usize> = None;
+    let mut config = ServerConfig::default();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--unix" => unix_path = Some(value("--unix")?.clone()),
+            "--tcp" => tcp_addr = Some(value("--tcp")?.clone()),
+            "--snapshot" => snapshot = Some(value("--snapshot")?.clone()),
+            "--dataset" => dataset = Some(value("--dataset")?.clone()),
+            "--max-live-tuples" => {
+                governor = governor.with_max_live_tuples(parse(value("--max-live-tuples")?)?);
+            }
+            "--max-concurrent" => {
+                governor = governor.with_max_concurrent(parse(value("--max-concurrent")?)?);
+            }
+            "--admission-rate" => admission_rate = Some(parse(value("--admission-rate")?)?),
+            "--admission-burst" => admission_burst = Some(parse(value("--admission-burst")?)?),
+            "--retry-after-ms" => {
+                governor = governor
+                    .with_retry_after(Duration::from_millis(parse(value("--retry-after-ms")?)?));
+            }
+            "--acquire-timeout-ms" => {
+                governor = governor.with_acquire_timeout(Duration::from_millis(parse(value(
+                    "--acquire-timeout-ms",
+                )?)?));
+            }
+            "--batch" => config.batch = parse(value("--batch")?)?,
+            "--poll-interval-ms" => {
+                config.poll_interval = Duration::from_millis(parse(value("--poll-interval-ms")?)?);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = parse(value("--write-timeout-ms")?)?;
+                config.write_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown flag '{other}' (see --help)")),
+        }
+    }
+
+    if let Some(rate) = admission_rate {
+        governor = governor.with_admission_rate(rate, admission_burst.unwrap_or(1));
+    } else if admission_burst.is_some() {
+        return Err("--admission-burst requires --admission-rate".into());
+    }
+    if unix_path.is_none() && tcp_addr.is_none() {
+        return Err("at least one of --unix / --tcp is required (see --help)".into());
+    }
+    if snapshot.is_some() && dataset.is_some() {
+        return Err("--snapshot and --dataset are mutually exclusive".into());
+    }
+    // The daemon honours the same snapshot environment variable as the
+    // test and bench harnesses.
+    if snapshot.is_none() && dataset.is_none() {
+        snapshot = std::env::var("OMEGA_SNAPSHOT_FILE")
+            .ok()
+            .filter(|v| !v.is_empty());
+    }
+
+    let db = match (&snapshot, &dataset) {
+        (Some(path), _) => {
+            let db = Database::open_snapshot_with_governor(path, EvalOptions::default(), governor)
+                .map_err(|e| format!("cannot open snapshot '{path}': {e}"))?;
+            eprintln!(
+                "omega-server: snapshot '{path}' mapped ({} nodes, {} edges)",
+                db.graph().node_count(),
+                db.graph().edge_count()
+            );
+            db
+        }
+        (None, spec) => {
+            let spec = spec.as_deref().unwrap_or("l4all");
+            let data = build_dataset(spec)?;
+            let db = Database::with_governor(
+                data.graph,
+                data.ontology,
+                EvalOptions::default(),
+                governor,
+            );
+            eprintln!(
+                "omega-server: dataset '{spec}' built ({} nodes, {} edges)",
+                db.graph().node_count(),
+                db.graph().edge_count()
+            );
+            db
+        }
+    };
+
+    let mut server = Server::with_config(db, config);
+    if let Some(path) = &unix_path {
+        server
+            .listen_unix(path)
+            .map_err(|e| format!("cannot bind unix socket '{path}': {e}"))?;
+        eprintln!("omega-server: listening on unix:{path}");
+    }
+    if let Some(addr) = &tcp_addr {
+        let local = server
+            .listen_tcp(addr)
+            .map_err(|e| format!("cannot bind tcp address '{addr}': {e}"))?;
+        eprintln!("omega-server: listening on tcp:{local}");
+    }
+    server.run();
+    eprintln!("omega-server: drained, bye");
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("invalid value '{raw}': {e}"))
+}
+
+fn build_dataset(spec: &str) -> Result<Dataset, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (spec, None),
+    };
+    match name {
+        "l4all" => {
+            let config = match param {
+                None => L4AllConfig::tiny(),
+                Some("l1") => L4AllConfig::at_scale(L4AllScale::L1),
+                Some("l2") => L4AllConfig::at_scale(L4AllScale::L2),
+                Some("l3") => L4AllConfig::at_scale(L4AllScale::L3),
+                Some("l4") => L4AllConfig::at_scale(L4AllScale::L4),
+                Some(other) => {
+                    return Err(format!("unknown l4all scale '{other}' (expected l1..l4)"))
+                }
+            };
+            Ok(generate_l4all(&config))
+        }
+        "yago" => {
+            let config = match param {
+                None => YagoConfig::tiny(),
+                Some(factor) => YagoConfig::scaled(parse(factor)?),
+            };
+            Ok(generate_yago(&config))
+        }
+        other => Err(format!(
+            "unknown dataset '{other}' (expected l4all[:l1..l4] or yago[:FACTOR])"
+        )),
+    }
+}

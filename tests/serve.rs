@@ -1,0 +1,568 @@
+//! End-to-end tests of the serving layer: an in-process `omega-server` on a
+//! unix socket (TCP where noted), driven by `omega-client`.
+//!
+//! What the suite pins:
+//!
+//! * **bit-identical serving** — every committed L4All and YAGO query
+//!   (exact, APPROX and RELAX, single- and multi-conjunct) answers over the
+//!   wire exactly as in-process execution does: same answers, same order,
+//!   same [`EvalStats`].
+//! * **typed errors end-to-end** — parse errors (with position), deadline
+//!   exceeded, governor overload (with its `retry_after` hint), unknown
+//!   statements, version skew and foreign magic all surface as typed
+//!   errors, never a panic or a hang.
+//! * **lifecycle** — prepare/execute/stream/cancel work mid-stream and the
+//!   connection remains usable; graceful drain under load finishes or
+//!   drains every stream and returns every gauge to exactly zero.
+//!
+//! The suite serialises on a file-local mutex: the conjunct-worker gauge
+//! and the fault-injection slot are process-global.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use omega::core::eval::fault::{install, FaultPlan, FaultPoint};
+use omega::core::{live_parallel_workers, Database, GovernorConfig, OmegaError};
+use omega::datagen::{
+    generate_l4all, generate_yago, l4all_multi_conjunct_queries, l4all_queries,
+    yago_multi_conjunct_queries, yago_queries, L4AllConfig, QuerySpec, YagoConfig,
+};
+use omega::ExecOptions;
+use omega_client::{ClientError, Connection};
+use omega_protocol::{Frame, FrameReader, StatementRef, WireError, MAGIC};
+use omega_server::{Server, ServerConfig, ServerHandle};
+
+/// Serialises the suite (worker gauge and fault slot are process-global).
+fn serve_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh, collision-free unix socket path under the system temp dir.
+fn socket_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("omega-serve-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+/// Spawns a server over `db` on a fresh unix socket; returns the handle,
+/// the socket path and the joiner for `Server::run`.
+fn spawn_unix(db: Database, tag: &str) -> (ServerHandle, PathBuf, std::thread::JoinHandle<()>) {
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::with_config(db, config);
+    let path = socket_path(tag);
+    server.listen_unix(&path).expect("bind unix socket");
+    let handle = server.handle();
+    let joiner = std::thread::spawn(move || server.run());
+    (handle, path, joiner)
+}
+
+fn l4all_db() -> Database {
+    let data = generate_l4all(&L4AllConfig::tiny());
+    Database::new(data.graph, data.ontology)
+}
+
+fn yago_db() -> Database {
+    let data = generate_yago(&YagoConfig::tiny());
+    Database::new(data.graph, data.ontology)
+}
+
+/// In-process reference execution: answers plus final stats off one stream.
+fn local_run(
+    db: &Database,
+    text: &str,
+    options: &ExecOptions,
+) -> (Vec<omega::Answer>, omega::core::EvalStats) {
+    let prepared = db.prepare(text).expect("prepare locally");
+    let mut stream = prepared.answers(options);
+    let mut answers = Vec::new();
+    while let Some(answer) = stream.next_answer().expect("local evaluation") {
+        answers.push(answer);
+    }
+    let stats = stream.stats();
+    (answers, stats)
+}
+
+/// Asserts that `text` answers bit-identically over the wire and in
+/// process — same answers, same order, same [`omega::core::EvalStats`].
+fn assert_wire_matches_local(
+    db: &Database,
+    conn: &mut Connection,
+    text: &str,
+    options: &ExecOptions,
+) {
+    let (local, local_stats) = local_run(db, text, options);
+    let (remote, remote_stats) = conn.run(text, options).expect(text);
+    assert_eq!(local, remote, "answer sequences differ for {text}");
+    assert_eq!(local_stats, remote_stats, "EvalStats differ for {text}");
+}
+
+/// Every operator variant the committed study runs for `spec`.
+fn variants(spec: &QuerySpec, everywhere: bool) -> Vec<String> {
+    let mut texts = vec![spec.text.to_owned()];
+    if spec.flexible_in_study {
+        for op in ["APPROX", "RELAX"] {
+            texts.push(if everywhere {
+                spec.with_operator_everywhere(op)
+            } else {
+                spec.with_operator(op)
+            });
+        }
+    }
+    texts
+}
+
+/// Polls until the conjunct-worker gauge settles back to zero.
+fn assert_workers_settle() {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while live_parallel_workers() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "leaked conjunct workers: {} live",
+            live_parallel_workers()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Shuts a server down via its handle and joins `Server::run`.
+fn drain(handle: &ServerHandle, joiner: std::thread::JoinHandle<()>) {
+    handle.shutdown();
+    joiner.join().expect("server run thread");
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical serving across every committed query set
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l4all_query_set_is_bit_identical_over_the_wire() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "l4all");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+    let options = ExecOptions::new().with_limit(200);
+    for spec in l4all_queries() {
+        for text in variants(&spec, false) {
+            assert_wire_matches_local(&db, &mut conn, &text, &options);
+        }
+    }
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn yago_query_set_is_bit_identical_over_the_wire() {
+    let _guard = serve_lock();
+    let db = yago_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "yago");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+    let options = ExecOptions::new().with_limit(200);
+    for spec in yago_queries() {
+        for text in variants(&spec, false) {
+            assert_wire_matches_local(&db, &mut conn, &text, &options);
+        }
+    }
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn multi_conjunct_query_sets_are_bit_identical_over_the_wire() {
+    let _guard = serve_lock();
+    let options = ExecOptions::new().with_limit(100);
+    for (db, specs, tag) in [
+        (l4all_db(), l4all_multi_conjunct_queries(), "mc-l4all"),
+        (yago_db(), yago_multi_conjunct_queries(), "mc-yago"),
+    ] {
+        let (handle, path, joiner) = spawn_unix(db.clone(), tag);
+        let mut conn = Connection::connect_unix(&path).expect("connect");
+        for spec in specs {
+            for text in variants(&spec, true) {
+                assert_wire_matches_local(&db, &mut conn, &text, &options);
+            }
+        }
+        drop(conn);
+        drain(&handle, joiner);
+    }
+}
+
+#[test]
+fn tcp_transport_serves_bit_identically_too() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let mut server = Server::new(db.clone());
+    let addr = server.listen_tcp("127.0.0.1:0").expect("bind tcp");
+    let handle = server.handle();
+    let joiner = std::thread::spawn(move || server.run());
+    let mut conn = Connection::connect_tcp(addr).expect("connect tcp");
+    let options = ExecOptions::new().with_limit(100);
+    for spec in l4all_queries().into_iter().take(4) {
+        assert_wire_matches_local(&db, &mut conn, spec.text, &options);
+    }
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements and streaming lifecycle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prepare_execute_close_lifecycle() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "lifecycle");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+
+    let spec = &l4all_queries()[0];
+    let statement = conn.prepare(spec.text).expect("prepare");
+    assert_eq!(statement.conjuncts, 1);
+    assert_eq!(statement.head, vec!["X".to_owned()]);
+    assert_eq!(handle.stats().statements_open, 1);
+
+    let options = ExecOptions::new().with_limit(50);
+    let (local, local_stats) = local_run(&db, spec.text, &options);
+    let mut stream = conn
+        .execute_prepared(&statement, &options)
+        .expect("execute prepared");
+    let mut remote = Vec::new();
+    while let Some(answer) = stream.next_answer().expect("stream") {
+        remote.push(answer);
+    }
+    let remote_stats = stream.stats().expect("finished stream has stats");
+    drop(stream);
+    assert_eq!(local, remote);
+    assert_eq!(local_stats, remote_stats);
+
+    conn.close(statement.id).expect("close statement");
+    assert_eq!(handle.stats().statements_open, 0);
+    // Closing twice is a typed error, and the connection stays usable.
+    match conn.close(statement.id) {
+        Err(ClientError::Remote(WireError::UnknownStatement(id))) => {
+            assert_eq!(id, statement.id)
+        }
+        other => panic!("expected UnknownStatement, got {other:?}"),
+    }
+    conn.run(spec.text, &options).expect("connection reusable");
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn cancel_mid_stream_keeps_the_connection_usable() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "cancel");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+    // A window of one forces the server to pause for credits after the
+    // first answer, so the cancel provably lands mid-stream.
+    conn.set_window(1);
+
+    let spec = &l4all_queries()[4]; // (?X, ?Y) <- (?X, next+, ?Y): many answers
+    let mut stream = conn
+        .execute_text(spec.text, &ExecOptions::new())
+        .expect("execute");
+    let first = stream.next_answer().expect("first answer");
+    assert!(first.is_some(), "query should produce answers");
+    stream.cancel().expect("cancel acknowledged");
+
+    // The stream's execution is gone server-side: gauges return to zero.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().streams_in_flight > 0 {
+        assert!(Instant::now() < deadline, "stream leaked after cancel");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(handle.stats().gauges.executions, 0);
+
+    // Same connection serves the next request.
+    conn.set_window(64);
+    let (answers, _) = conn
+        .run(spec.text, &ExecOptions::new().with_limit(10))
+        .expect("connection reusable after cancel");
+    assert_eq!(answers.len(), 10);
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn dropping_the_connection_cancels_in_flight_work() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "disconnect");
+    {
+        let mut conn = Connection::connect_unix(&path).expect("connect");
+        conn.set_window(1);
+        let spec = &l4all_queries()[4];
+        let mut stream = conn
+            .execute_text(spec.text, &ExecOptions::new())
+            .expect("execute");
+        assert!(stream.next_answer().expect("first answer").is_some());
+        // Vanish without cancel: drop the stream (which tries a best-effort
+        // abort) and the connection together by shutting the socket first.
+        std::mem::forget(stream);
+    }
+    // The server notices the EOF and cancels the execution.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().streams_in_flight > 0 || handle.stats().connections_open > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "in-flight stream or connection leaked after disconnect: {:?}",
+            handle.stats()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(handle.stats().gauges.executions, 0);
+    assert_workers_settle();
+    drain(&handle, joiner);
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors end-to-end
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_errors_cross_the_wire_typed() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "errors");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+
+    // Parse error, with its position preserved.
+    let local = db.prepare("(?X <- nonsense").unwrap_err();
+    match conn.run("(?X <- nonsense", &ExecOptions::new()) {
+        Err(ClientError::Remote(WireError::Engine(remote))) => {
+            assert_eq!(format!("{remote:?}"), format!("{local:?}"));
+        }
+        other => panic!("expected remote parse error, got {other:?}"),
+    }
+
+    // Deadline exceeded: a zero timeout expires before evaluation starts.
+    let options = ExecOptions::new().with_timeout(Duration::ZERO);
+    match conn.run(l4all_queries()[0].text, &options) {
+        Err(ClientError::Remote(WireError::Engine(OmegaError::DeadlineExceeded))) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // Unknown statement id.
+    match conn.execute(StatementRef::Id(777), &ExecOptions::new()) {
+        Ok(mut stream) => match stream.next_answer() {
+            Err(ClientError::Remote(WireError::UnknownStatement(777))) => {}
+            other => panic!("expected UnknownStatement, got {other:?}"),
+        },
+        Err(e) => panic!("execute itself should not fail: {e}"),
+    }
+
+    // The connection survived three typed failures.
+    conn.run(l4all_queries()[0].text, &ExecOptions::new().with_limit(1))
+        .expect("connection usable after typed errors");
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn governor_overload_rejection_carries_retry_after() {
+    let _guard = serve_lock();
+    let data = generate_l4all(&L4AllConfig::tiny());
+    // A one-token bucket that essentially never refills: the first request
+    // is admitted, the second rejected at the edge.
+    let db = Database::with_governor(
+        data.graph,
+        data.ontology,
+        omega::EvalOptions::default(),
+        GovernorConfig::default()
+            .with_admission_rate(1e-6, 1)
+            .with_retry_after(Duration::from_millis(123)),
+    );
+    let (handle, path, joiner) = spawn_unix(db, "overload");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+
+    let text = l4all_queries()[0].text;
+    conn.run(text, &ExecOptions::new().with_limit(5))
+        .expect("first request admitted");
+    match conn.run(text, &ExecOptions::new().with_limit(5)) {
+        Err(ClientError::Remote(err)) => {
+            let retry = err.retry_after().expect("overload carries retry_after");
+            assert!(
+                retry >= Duration::from_millis(123),
+                "retry_after hint lost: {retry:?}"
+            );
+            assert!(matches!(
+                err,
+                WireError::Engine(OmegaError::Overloaded { .. })
+            ));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(handle.stats().rejected >= 1);
+    assert_eq!(handle.stats().gauges.rejected, 1);
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn version_skew_and_bad_magic_fail_typed_not_panic() {
+    let _guard = serve_lock();
+    let (handle, path, joiner) = spawn_unix(l4all_db(), "skew");
+
+    // Version skew: a future client version is answered with a typed
+    // VersionSkew naming both sides.
+    {
+        let stream = std::os::unix::net::UnixStream::connect(&path).expect("connect raw");
+        let mut writer = stream.try_clone().expect("clone");
+        omega_protocol::write_frame(&mut writer, &Frame::Hello { version: 99 }).expect("send");
+        let mut reader = FrameReader::new(stream);
+        match reader.read_frame().expect("reply") {
+            Some(Frame::Fail {
+                error: WireError::VersionSkew { client, server },
+            }) => {
+                assert_eq!(client, 99);
+                assert_eq!(server, omega_protocol::PROTOCOL_VERSION);
+            }
+            other => panic!("expected VersionSkew, got {other:?}"),
+        }
+    }
+
+    // Foreign magic: a peer speaking some other protocol gets a typed
+    // failure (and a closed socket), never a panic.
+    {
+        use std::io::Write;
+        let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect raw");
+        let mut payload = vec![0x01u8];
+        payload.extend_from_slice(b"NOTOMEGA");
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        stream.write_all(&wire).expect("send");
+        stream.flush().expect("flush");
+        let mut reader = FrameReader::new(stream.try_clone().expect("clone"));
+        match reader.read_frame().expect("reply") {
+            Some(Frame::Fail {
+                error: WireError::Malformed(message),
+            }) => assert!(message.contains("magic"), "unhelpful message: {message}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // The server hung up afterwards.
+        assert!(matches!(reader.read_frame(), Ok(None)));
+    }
+
+    assert_eq!(handle.stats().connections_open, 0);
+    drain(&handle, joiner);
+    assert_eq!(MAGIC, *b"OMEGWIRE");
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain under load
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_under_load_drains_streams_and_zeroes_gauges() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "drain");
+
+    // An in-flight stream parked on credits: window 1, nothing consumed
+    // beyond the first answer.
+    let mut parked = Connection::connect_unix(&path).expect("connect parked");
+    parked.set_window(1);
+    let spec = &l4all_queries()[4];
+    let mut stream = parked
+        .execute_text(spec.text, &ExecOptions::new())
+        .expect("execute");
+    let mut got = Vec::new();
+    let first = stream.next_answer().expect("first answer").expect("answer");
+    got.push(first);
+    assert_eq!(handle.stats().streams_in_flight, 1);
+
+    // A second client asks the daemon to shut down.
+    let mut admin = Connection::connect_unix(&path).expect("connect admin");
+    admin.shutdown_server().expect("shutdown accepted");
+    assert!(handle.is_draining());
+
+    // New work is refused: either the typed Shutdown error (the request
+    // won the race against the idle-connection close) or a clean hangup.
+    match admin.run(spec.text, &ExecOptions::new()) {
+        Err(ClientError::Remote(WireError::Shutdown)) => {}
+        Err(ClientError::Protocol(_)) => {}
+        other => panic!("expected Shutdown rejection or hangup, got {other:?}"),
+    }
+
+    // The parked stream ends at its batch boundary with a Drained finish;
+    // everything already received is a correct rank-order prefix.
+    while let Some(answer) = stream.next_answer().expect("drained stream") {
+        got.push(answer);
+    }
+    assert_eq!(
+        stream.finish_reason(),
+        Some(omega_protocol::FinishReason::Drained)
+    );
+    let (local, _) = local_run(&db, spec.text, &ExecOptions::new());
+    assert!(got.len() <= local.len());
+    assert_eq!(got[..], local[..got.len()], "drained prefix diverged");
+    drop(stream);
+
+    // Connections close, the server run loop exits, and every gauge is
+    // back at exactly zero.
+    drop(parked);
+    drop(admin);
+    joiner.join().expect("server drained");
+    let stats = handle.stats();
+    assert_eq!(stats.connections_open, 0, "open connections after drain");
+    assert_eq!(stats.streams_in_flight, 0, "streams after drain");
+    assert_eq!(stats.statements_open, 0, "statements after drain");
+    assert!(stats.degraded >= 1, "drained stream not counted");
+    assert_eq!(stats.gauges.executions, 0, "executions after drain");
+    assert_eq!(stats.gauges.live_tuples, 0, "live tuples after drain");
+    assert_eq!(
+        stats.gauges.join_buffer_entries, 0,
+        "join buffers after drain"
+    );
+    assert_eq!(stats.live_workers, 0, "leaked workers after drain");
+    assert_workers_settle();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: injected faults surface as typed wire errors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_channel_faults_surface_as_typed_wire_errors() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "chaos");
+    let spec = &l4all_multi_conjunct_queries()[0];
+    let options = ExecOptions::new()
+        .with_limit(50)
+        .with_parallel_conjuncts(true)
+        .with_parallel_workers(2);
+
+    for seed in [3u64, 42, 31337] {
+        let plan = std::sync::Arc::new(FaultPlan::new(seed, 1.0).only(FaultPoint::ChannelSend));
+        let guard = install(plan);
+        let mut conn = Connection::connect_unix(&path).expect("connect");
+        match conn.run(spec.text, &options) {
+            // Either the fault landed before any send (clean typed error)…
+            Err(ClientError::Remote(_)) => {}
+            // …or the engine absorbed/evaded it and the stream completed.
+            Ok(_) => {}
+            Err(other) => panic!("seed {seed}: transport-level failure {other}"),
+        }
+        drop(guard);
+        // The same connection (or a fresh one) serves clean traffic again.
+        conn.run(spec.text, &ExecOptions::new().with_limit(5))
+            .expect("connection usable after injected fault");
+        drop(conn);
+    }
+    assert_workers_settle();
+    assert_eq!(handle.stats().gauges.executions, 0);
+    drain(&handle, joiner);
+}
