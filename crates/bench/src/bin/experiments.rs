@@ -11,8 +11,8 @@
 //! experiments snapshot inspect PATH
 //!
 //! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance
-//!         opt-disjunction prepared parallel baseline startup overload serve
-//!         bench all
+//!         opt-disjunction prepared parallel baseline startup live overload
+//!         serve bench all
 //! ```
 //!
 //! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
@@ -83,7 +83,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
-                     opt-distance opt-disjunction prepared parallel baseline startup overload serve bench all] \
+                     opt-distance opt-disjunction prepared parallel baseline startup live overload serve bench all] \
                      [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--samples N] \
                      [--json PATH]\n\
                      \x20      experiments snapshot build --out PATH [--dataset l4all|yago] \
@@ -121,12 +121,14 @@ fn main() {
     let need_yago = wants("fig10") || wants("fig11") || wants("bench");
     let need_multi = wants("parallel") || wants("bench");
     let need_startup = wants("startup") || wants("bench");
+    let need_live = wants("live") || wants("bench");
     let need_overload = wants("overload") || wants("bench");
     let need_serve = wants("serve") || wants("bench");
     let l4all_rows = need_l4all.then(|| l4all_study(&config, &options));
     let yago_rows = need_yago.then(|| yago_study(&config, &options));
     let multi_rows = need_multi.then(|| parallel_study(&config, &options));
     let startup_rows = need_startup.then(|| startup_study(&config));
+    let live_rows = need_live.then(|| live_study(&config));
     let overload_rows = need_overload.then(|| overload_study(&config));
     let serve_rows = need_serve.then(|| serve_study(&config));
     if let Some(rows) = &l4all_rows {
@@ -161,6 +163,11 @@ fn main() {
             println!("{}", startup_comparison(rows));
         }
     }
+    if let Some(rows) = &live_rows {
+        if wants("live") {
+            println!("{}", live_comparison(rows));
+        }
+    }
     if let Some(rows) = &overload_rows {
         if wants("overload") {
             println!("{}", overload_comparison(rows));
@@ -185,6 +192,7 @@ fn main() {
             yago_rows.as_deref().unwrap_or(&[]),
             multi_rows.as_deref().unwrap_or(&[]),
             startup_rows.as_deref().unwrap_or(&[]),
+            live_rows.as_deref().unwrap_or(&[]),
             overload_rows.as_deref().unwrap_or(&[]),
             serve_rows.as_deref().unwrap_or(&[]),
         )

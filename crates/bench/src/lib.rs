@@ -817,6 +817,168 @@ pub fn startup_comparison(rows: &[(String, QueryRun)]) -> String {
 }
 
 // ----------------------------------------------------------------------
+// Live-mutation study (epoch-pinned delta overlay)
+// ----------------------------------------------------------------------
+
+/// The live-mutation study at the largest configured L4All scale: the
+/// Figure 5 queries timed against the same [`Database`] in three storage
+/// states, with the mutation machinery timed in between.
+///
+/// Phases (carried in the row's scale slot):
+///
+/// * `frozen` — the pristine frozen store. The overlay exists but is empty,
+///   so this measures the mutable read path's overhead over the plain CSR
+///   scans of earlier reports (the `l4all` suite).
+/// * `apply` — landing ~1% of the graph's edge count as fresh edges, then
+///   deleting half of them again (`answers` = edges added + removed).
+/// * `overlay` — the queries with that live delta overlay in place.
+/// * `compact` — folding the overlay into a fresh frozen CSR.
+/// * `compacted` — the queries once more on the compacted store.
+pub fn live_study(config: &RunConfig) -> Vec<(String, QueryRun)> {
+    let ids = figure5_query_ids();
+    let dataset = l4all_dataset(config.max_scale);
+    let db = engine_for(&dataset, EvalOptions::default());
+    let specs: Vec<QuerySpec> = l4all_queries()
+        .into_iter()
+        .filter(|spec| ids.contains(&spec.id))
+        .collect();
+
+    let mut rows = Vec::new();
+    let run_phase = |phase: &str, db: &Database, rows: &mut Vec<(String, QueryRun)>| {
+        for spec in &specs {
+            for op in ["", "APPROX"] {
+                if !op.is_empty() && !spec.flexible_in_study {
+                    continue;
+                }
+                let mut request = ExecOptions::new();
+                if !op.is_empty() {
+                    request = request.with_limit(TOP_K);
+                }
+                let text = spec.with_operator(op);
+                rows.push((
+                    phase.to_owned(),
+                    run_query_sampled(db, spec.id, op, &text, &request, config.samples),
+                ));
+            }
+        }
+    };
+
+    run_phase("frozen", &db, &mut rows);
+
+    // ~1% of the base edge count in fresh edges, chained through the
+    // existing labels so every committed query's label scan has to merge
+    // the overlay; half are deleted again so tombstones are exercised too.
+    let extra = (db.graph().edge_count() / 100).clamp(64, 4096);
+    let labels: Vec<String> = db
+        .graph()
+        .labels()
+        .map(|(_, name)| name.to_owned())
+        .collect();
+    let mutation_row = |id: &str, elapsed: Duration, edges: u64| QueryRun {
+        id: id.to_owned(),
+        operator: "exact".to_owned(),
+        elapsed,
+        samples: 1,
+        answers: edges as usize,
+        distances: BTreeMap::new(),
+        exhausted: false,
+        stats: EvalStats::default(),
+    };
+
+    let start = Instant::now();
+    let mut batch = db.begin_mutation();
+    for i in 0..extra {
+        let label = &labels[i % labels.len()];
+        batch.add(
+            &format!("live-extra-{i}"),
+            label,
+            &format!("live-extra-{}", i + 1),
+        );
+    }
+    let added = db.apply(&batch).expect("live study: apply adds");
+    let mut removals = db.begin_mutation();
+    for i in 0..extra / 2 {
+        let label = &labels[i % labels.len()];
+        removals.remove(
+            &format!("live-extra-{i}"),
+            label,
+            &format!("live-extra-{}", i + 1),
+        );
+    }
+    let removed = db.apply(&removals).expect("live study: apply removes");
+    let landed = added.added + added.removed + removed.added + removed.removed;
+    rows.push((
+        "apply".to_owned(),
+        mutation_row("mutations", start.elapsed(), landed),
+    ));
+
+    run_phase("overlay", &db, &mut rows);
+
+    let folded = db.graph().overlay_edges();
+    let start = Instant::now();
+    db.compact();
+    rows.push((
+        "compact".to_owned(),
+        mutation_row("compact", start.elapsed(), folded),
+    ));
+
+    run_phase("compacted", &db, &mut rows);
+    rows
+}
+
+/// Formats the [`live_study`] rows as a frozen/overlay/compacted table with
+/// the overhead ratios against the frozen (empty-overlay) baseline.
+pub fn live_comparison(rows: &[(String, QueryRun)]) -> String {
+    let mut out = String::from("Live graph: frozen vs delta-overlay vs compacted (ms)\n");
+    out.push_str(&format!(
+        "{:<6} {:<8} {:>9} {:>9} {:>10} {:>8} {:>8}\n",
+        "Query", "Mode", "frozen", "overlay", "compacted", "ovl x", "cmp x"
+    ));
+    let find = |phase: &str, id: &str, op: &str| {
+        rows.iter()
+            .find(|(p, r)| p == phase && r.id == id && r.operator == op)
+            .map(|(_, r)| r.elapsed)
+    };
+    for (phase, run) in rows {
+        if phase != "frozen" {
+            continue;
+        }
+        let (Some(overlay), Some(compacted)) = (
+            find("overlay", &run.id, &run.operator),
+            find("compacted", &run.id, &run.operator),
+        ) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "{:<6} {:<8} {:>9} {:>9} {:>10} {:>7.2}x {:>7.2}x\n",
+            run.id,
+            run.operator,
+            format_duration(run.elapsed),
+            format_duration(overlay),
+            format_duration(compacted),
+            overlay.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9),
+            compacted.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9),
+        ));
+    }
+    for (phase, run) in rows {
+        match phase.as_str() {
+            "apply" => out.push_str(&format!(
+                "applied {} edge mutations in {} ms\n",
+                run.answers,
+                format_duration(run.elapsed)
+            )),
+            "compact" => out.push_str(&format!(
+                "compacted {} overlay edges into a fresh CSR in {} ms\n",
+                run.answers,
+                format_duration(run.elapsed)
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
 // Overload study (the resource governor under concurrent clients)
 // ----------------------------------------------------------------------
 
@@ -1227,7 +1389,7 @@ mod tests {
             std::process::id()
         ));
         let mut writer = SnapshotWriter::new();
-        write_graph_sections_without_stats(db.graph(), &mut writer).unwrap();
+        write_graph_sections_without_stats(&db.graph(), &mut writer).unwrap();
         omega_ontology::snapshot::write_ontology_section(db.ontology(), &mut writer).unwrap();
         // An empty label-stats section: structurally valid container, bogus
         // payload. Inspect must degrade to a typed error, never panic.

@@ -155,6 +155,8 @@ fn serve_json(run: &ServeRun) -> String {
 /// a graph scale. `startup_rows` holds the snapshot startup study: there the
 /// `scale` slot carries the phase (`rebuild` / `save` / `open_cold` /
 /// `open_warm`), `id` the dataset, and `answers` the graph's node count.
+/// `live_rows` holds the mutation study: the `scale` slot carries the
+/// storage phase (`frozen` / `apply` / `overlay` / `compact` / `compacted`).
 /// `overload_rows` is the closed-loop governor study and has its own shape,
 /// so it lands in a separate top-level `"overload"` array; `serve_rows` is
 /// the network-serving study and lands in a top-level `"serve"` array.
@@ -166,6 +168,7 @@ pub fn bench_json(
     yago_rows: &[QueryRun],
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
+    live_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
     serve_rows: &[ServeRun],
 ) -> String {
@@ -181,6 +184,9 @@ pub fn bench_json(
     }
     for (phase, run) in startup_rows {
         queries.push(query_json("startup", phase, run));
+    }
+    for (phase, run) in live_rows {
+        queries.push(query_json("live", phase, run));
     }
     let overload: Vec<String> = overload_rows.iter().map(overload_json).collect();
     let serve: Vec<String> = serve_rows.iter().map(serve_json).collect();
@@ -206,6 +212,7 @@ pub fn write_bench_json(
     yago_rows: &[QueryRun],
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
+    live_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
     serve_rows: &[ServeRun],
 ) -> std::io::Result<()> {
@@ -218,6 +225,7 @@ pub fn write_bench_json(
             yago_rows,
             multi_rows,
             startup_rows,
+            live_rows,
             overload_rows,
             serve_rows,
         )
@@ -305,6 +313,7 @@ mod tests {
             &[run()],
             &[("seq".into(), run()), ("par".into(), run())],
             &[("rebuild".into(), run()), ("open_cold".into(), run())],
+            &[("frozen".into(), run()), ("overlay".into(), run())],
             &[overload_run()],
             &[serve_run()],
         );
@@ -313,10 +322,13 @@ mod tests {
         assert!(json.contains("\"suite\": \"yago\""));
         assert!(json.contains("\"suite\": \"multi\""));
         assert!(json.contains("\"suite\": \"startup\""));
+        assert!(json.contains("\"suite\": \"live\""));
         assert!(json.contains("\"scale\": \"seq\""));
         assert!(json.contains("\"scale\": \"par\""));
         assert!(json.contains("\"scale\": \"rebuild\""));
         assert!(json.contains("\"scale\": \"open_cold\""));
+        assert!(json.contains("\"scale\": \"frozen\""));
+        assert!(json.contains("\"scale\": \"overlay\""));
         assert!(json.contains("\"elapsed_ms\": 5.0000"));
         assert!(json.contains("\"samples\": 5"));
         assert!(json.contains("\"neighbour_lookups\": 7"));
@@ -328,8 +340,8 @@ mod tests {
         assert!(json.contains("\"degraded\": true"));
         assert!(json.contains("\"truncation\": \"tuple_budget\""));
         assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
-        // Six query entries.
-        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 6);
+        // Eight query entries.
+        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 8);
         assert!(json.contains("\"overload\": ["));
         assert!(json.contains("\"policy\": \"degrade\""));
         assert!(json.contains("\"saturation\": \"4x\""));

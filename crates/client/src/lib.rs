@@ -26,7 +26,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
-use omega_core::{Answer, EvalStats, ExecOptions};
+use omega_core::{Answer, EvalStats, ExecOptions, MutationReport};
 use omega_protocol::{
     write_frame, FinishReason, Frame, FrameReader, ProtocolError, StatementRef, Transport,
     WireError, DEFAULT_CREDITS, PROTOCOL_VERSION,
@@ -84,6 +84,47 @@ pub struct Statement {
     pub conjuncts: u32,
     /// Head (distinguished) variables, in projection order.
     pub head: Vec<String>,
+}
+
+/// A batch of edge mutations, applied atomically server-side by
+/// [`Connection::mutate`]: the server publishes all of it as one new
+/// storage epoch, or none of it. The client-side mirror of
+/// [`omega_core::MutationBatch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Mutation {
+    adds: Vec<(String, String, String)>,
+    removes: Vec<(String, String, String)>,
+}
+
+impl Mutation {
+    /// An empty batch.
+    pub fn new() -> Mutation {
+        Mutation::default()
+    }
+
+    /// Queues adding the edge `tail --label--> head` (unknown node or edge
+    /// labels are created).
+    pub fn add(&mut self, tail: &str, label: &str, head: &str) -> &mut Self {
+        self.adds.push((tail.into(), label.into(), head.into()));
+        self
+    }
+
+    /// Queues removing the edge `tail --label--> head` (removing an edge
+    /// the graph does not have is a no-op).
+    pub fn remove(&mut self, tail: &str, label: &str, head: &str) -> &mut Self {
+        self.removes.push((tail.into(), label.into(), head.into()));
+        self
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.adds.len() + self.removes.len()
+    }
 }
 
 /// A blocking protocol connection.
@@ -199,6 +240,30 @@ impl Connection {
             Frame::StatsReply { stats } => Ok(stats),
             Frame::Fail { error } => Err(ClientError::Remote(error)),
             _ => Err(ClientError::Unexpected("stats reply")),
+        }
+    }
+
+    /// Applies a mutation batch atomically server-side. On success every
+    /// operation landed as one new storage epoch; in-flight answer streams
+    /// (on any connection) keep the epoch they started on, and statements
+    /// prepared afterwards see the change.
+    pub fn mutate(&mut self, mutation: &Mutation) -> Result<MutationReport> {
+        self.send(&Frame::Mutate {
+            adds: mutation.adds.clone(),
+            removes: mutation.removes.clone(),
+        })?;
+        match self.recv()? {
+            Frame::MutateOk {
+                epoch,
+                added,
+                removed,
+            } => Ok(MutationReport {
+                epoch,
+                added,
+                removed,
+            }),
+            Frame::Fail { error } => Err(ClientError::Remote(error)),
+            _ => Err(ClientError::Unexpected("mutate reply")),
         }
     }
 

@@ -14,7 +14,7 @@ use std::process::exit;
 use std::time::Duration;
 
 use omega_client::bench::{run_load, Endpoint, LoadMode, LoadSpec};
-use omega_client::{AnswerStream, ClientError, Connection, Statement};
+use omega_client::{AnswerStream, ClientError, Connection, Mutation, Statement};
 use omega_core::{Answer, ExecOptions, OverloadPolicy};
 use omega_protocol::FinishReason;
 
@@ -235,6 +235,8 @@ fn repl(cli: &Cli) -> Result<(), String> {
                      limit N|off       default answer limit\n  \
                      timeout MS|off    default deadline\n  \
                      policy P          overload policy: fail|degrade|shed\n  \
+                     add T L H         add the edge T --L--> H (new epoch)\n  \
+                     remove T L H      remove the edge T --L--> H (new epoch)\n  \
                      stats             daemon statistics\n  \
                      shutdown          drain the daemon\n  \
                      quit              leave"
@@ -290,6 +292,29 @@ fn repl(cli: &Cli) -> Result<(), String> {
                     continue;
                 }
             },
+            "add" | "remove" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                match parts.as_slice() {
+                    [tail, label, head] => {
+                        let mut mutation = Mutation::new();
+                        if cmd == "add" {
+                            mutation.add(tail, label, head);
+                        } else {
+                            mutation.remove(tail, label, head);
+                        }
+                        conn.mutate(&mutation).map(|report| {
+                            println!(
+                                "epoch {} (+{} edge(s), -{} edge(s))",
+                                report.epoch, report.added, report.removed
+                            );
+                        })
+                    }
+                    _ => {
+                        println!("usage: {cmd} TAIL LABEL HEAD");
+                        continue;
+                    }
+                }
+            }
             "stats" => conn.stats().map(|stats| println!("{stats}")),
             "shutdown" => conn.shutdown_server().map(|()| println!("server draining")),
             other => {

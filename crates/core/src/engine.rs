@@ -18,7 +18,7 @@ use crate::error::Result;
 use crate::eval::{EvalOptions, EvalStats};
 use crate::query::ast::Query;
 use crate::query::parser::parse_query;
-use crate::service::{compile_prepared, Answers, Database};
+use crate::service::{compile_prepared, Answers, Database, GraphData};
 
 pub use crate::service::conjunct_variables;
 
@@ -45,6 +45,10 @@ pub use crate::service::conjunct_variables;
 )]
 pub struct Omega {
     db: Database,
+    /// The storage epoch pinned at construction. `Omega` predates live
+    /// mutation and hands out plain `&GraphStore` borrows, so it serves the
+    /// epoch it was built on for its whole lifetime.
+    data: std::sync::Arc<GraphData>,
     options: EvalOptions,
 }
 
@@ -59,15 +63,14 @@ impl Omega {
     /// The graph is frozen into its CSR representation here, exactly as
     /// [`Database::with_options`] does.
     pub fn with_options(graph: GraphStore, ontology: Ontology, options: EvalOptions) -> Omega {
-        Omega {
-            db: Database::with_options(graph, ontology, options.clone()),
-            options,
-        }
+        let db = Database::with_options(graph, ontology, options.clone());
+        let data = db.data();
+        Omega { db, data, options }
     }
 
     /// The data graph.
     pub fn graph(&self) -> &GraphStore {
-        self.db.graph()
+        &self.data.graph
     }
 
     /// The ontology.
@@ -110,10 +113,11 @@ impl Omega {
     /// this type, preserved for callers that mutate `options_mut` between
     /// runs.
     pub fn stream(&self, query: &Query) -> Result<QueryStream<'_>> {
-        let prepared = compile_prepared(query, self.db.graph(), self.db.ontology(), &self.options)?;
+        let prepared =
+            compile_prepared(query, &self.data.graph, &self.data.ontology, &self.options)?;
         Ok(QueryStream {
             inner: prepared.answers(
-                self.db.data(),
+                &self.data,
                 self.db.pool(),
                 self.db.governor(),
                 self.options.clone(),

@@ -52,6 +52,13 @@ pub enum OmegaError {
         /// Suggested client backoff before the next attempt.
         retry_after: Duration,
     },
+    /// A mutation batch could not be applied to the live graph. The graph
+    /// is unchanged — `apply` publishes all of a batch or none of it — so
+    /// the caller may safely retry the same batch.
+    MutationFailed {
+        /// Human-readable description of the failure.
+        message: String,
+    },
     /// An engine invariant was violated at runtime — e.g. a conjunct worker
     /// thread panicked. Always a bug, never a user error; surfaced as a
     /// typed value so a server in front of the engine degrades to a failed
@@ -88,6 +95,9 @@ impl fmt::Display for OmegaError {
             }
             OmegaError::Overloaded { retry_after } => {
                 write!(f, "engine overloaded; retry after {:?}", retry_after)
+            }
+            OmegaError::MutationFailed { message } => {
+                write!(f, "mutation batch failed to apply: {message}")
             }
             OmegaError::Internal { message } => {
                 write!(f, "internal engine error: {message}")

@@ -33,10 +33,13 @@ pub enum FaultPoint {
     BudgetAcquire = 3,
     /// The wall-clock deadline check (simulates clock jumps).
     DeadlineClock = 4,
+    /// Applying a mutation batch to the live graph (before the new epoch is
+    /// published, so an injected failure leaves the graph unchanged).
+    MutationApply = 5,
 }
 
 /// Number of distinct injection points.
-pub const FAULT_POINTS: usize = 5;
+pub const FAULT_POINTS: usize = 6;
 
 /// Every injection point, for tests that sweep them.
 pub const ALL_POINTS: [FaultPoint; FAULT_POINTS] = [
@@ -45,6 +48,7 @@ pub const ALL_POINTS: [FaultPoint; FAULT_POINTS] = [
     FaultPoint::ChannelSend,
     FaultPoint::BudgetAcquire,
     FaultPoint::DeadlineClock,
+    FaultPoint::MutationApply,
 ];
 
 #[cfg(any(test, feature = "fault-injection"))]

@@ -460,7 +460,8 @@ mod tests {
         g.freeze();
         Arc::new(GraphData {
             graph: g,
-            ontology: Ontology::new(),
+            ontology: Arc::new(Ontology::new()),
+            epoch: 0,
         })
     }
 

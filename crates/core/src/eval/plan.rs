@@ -235,9 +235,10 @@ pub fn compile_conjunct(
             TransitionLabel::AnyForward | TransitionLabel::Any => graph.edge_count() > 0,
             TransitionLabel::TypeTo { class, .. } => {
                 let has_instances = |c: NodeId| {
-                    !graph
-                        .neighbors(c, type_label, Direction::Incoming)
-                        .is_empty()
+                    graph
+                        .neighbors_iter(c, type_label, Direction::Incoming)
+                        .next()
+                        .is_some()
                 };
                 has_instances(*class)
                     || (inference
@@ -286,8 +287,8 @@ pub fn compile_conjunct(
                 }
                 TransitionLabel::AnyForward | TransitionLabel::Any => graph.node_count() as u64,
                 TransitionLabel::TypeTo { class, .. } => graph
-                    .neighbors(*class, type_label, Direction::Incoming)
-                    .len() as u64,
+                    .neighbors_iter(*class, type_label, Direction::Incoming)
+                    .count() as u64,
             })
             .sum(),
     };
@@ -333,13 +334,13 @@ fn first_hop_fanout(regex: &RpqRegex, node: NodeId, graph: &GraphStore) -> u64 {
                 } else {
                     Direction::Outgoing
                 };
-                graph.neighbors(node, *l, dir).len() as u64
+                graph.neighbors_iter(node, *l, dir).count() as u64
             }
             TransitionLabel::AnyForward => graph.out_degree(node, None) as u64,
             TransitionLabel::Any => graph.degree(node) as u64,
             TransitionLabel::TypeTo { .. } => graph
-                .neighbors(node, graph.type_label(), Direction::Outgoing)
-                .len() as u64,
+                .neighbors_iter(node, graph.type_label(), Direction::Outgoing)
+                .count() as u64,
         })
         .sum()
 }
@@ -403,12 +404,11 @@ pub(crate) fn seed_nodes_for_label(
             };
             let mut set = NodeBitmap::new();
             for c in classes {
-                set.extend(
-                    graph
-                        .neighbors(c, graph.type_label(), omega_graph::Direction::Incoming)
-                        .iter()
-                        .copied(),
-                );
+                set.extend(graph.neighbors_iter(
+                    c,
+                    graph.type_label(),
+                    omega_graph::Direction::Incoming,
+                ));
             }
             set
         }

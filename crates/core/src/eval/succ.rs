@@ -139,7 +139,7 @@ pub fn neighbours_by_edge<'a>(
                         &fallback
                     };
                     for &class in classes {
-                        for &m in graph.neighbors(class, *l, Direction::Incoming) {
+                        for m in graph.neighbors_iter(class, *l, Direction::Incoming) {
                             if !buf.contains(&m) {
                                 buf.push(m);
                             }
@@ -147,7 +147,7 @@ pub fn neighbours_by_edge<'a>(
                     }
                 } else {
                     // The node's declared classes plus all their superclasses.
-                    buf.extend_from_slice(graph.neighbors(node, *l, Direction::Outgoing));
+                    buf.extend(graph.neighbors_iter(node, *l, Direction::Outgoing));
                     let declared = buf.len();
                     let frozen = ontology.is_frozen();
                     for i in 0..declared {
@@ -185,12 +185,14 @@ pub fn neighbours_by_edge<'a>(
                     &fallback
                 };
                 if let [only] = labels {
-                    // No sub-properties: serve the graph's slice directly.
-                    return graph.neighbors(node, *only, dir);
+                    // No sub-properties: serve the graph's slice directly
+                    // (`neighbors_into` only copies when a delta overlay
+                    // actually touches this slice).
+                    return graph.neighbors_into(node, *only, dir, buf);
                 }
                 buf.clear();
                 for &l in labels {
-                    for &m in graph.neighbors(node, l, dir) {
+                    for m in graph.neighbors_iter(node, l, dir) {
                         if !buf.contains(&m) {
                             buf.push(m);
                         }
@@ -198,16 +200,15 @@ pub fn neighbours_by_edge<'a>(
                 }
                 buf
             } else {
-                graph.neighbors(node, *l, dir)
+                graph.neighbors_into(node, *l, dir, buf)
             }
         }
         TransitionLabel::AnyForward => {
             buf.clear();
             buf.extend(
                 graph
-                    .neighbors_any(node, Direction::Outgoing)
-                    .iter()
-                    .map(|&(_, n)| n),
+                    .neighbors_any_iter(node, Direction::Outgoing)
+                    .map(|(_, n)| n),
             );
             buf.sort_unstable();
             buf.dedup();
@@ -217,10 +218,9 @@ pub fn neighbours_by_edge<'a>(
             buf.clear();
             buf.extend(
                 graph
-                    .neighbors_any(node, Direction::Outgoing)
-                    .iter()
-                    .chain(graph.neighbors_any(node, Direction::Incoming))
-                    .map(|&(_, n)| n),
+                    .neighbors_any_iter(node, Direction::Outgoing)
+                    .chain(graph.neighbors_any_iter(node, Direction::Incoming))
+                    .map(|(_, n)| n),
             );
             buf.sort_unstable();
             buf.dedup();
@@ -228,13 +228,11 @@ pub fn neighbours_by_edge<'a>(
         }
         TransitionLabel::TypeTo { class, .. } => {
             let type_label = graph.type_label();
-            let targets = graph.neighbors(node, type_label, Direction::Outgoing);
+            let mut targets = graph.neighbors_iter(node, type_label, Direction::Outgoing);
             let hit = if inference {
-                targets
-                    .iter()
-                    .any(|&t| t == *class || ontology.is_superclass_of(*class, t))
+                targets.any(|t| t == *class || ontology.is_superclass_of(*class, t))
             } else {
-                targets.contains(class)
+                targets.any(|t| t == *class)
             };
             if hit {
                 buf.clear();

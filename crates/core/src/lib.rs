@@ -98,5 +98,6 @@ pub use govern::{
 pub use omega_graph::SnapshotError;
 pub use query::{parse_query, Conjunct, Query, QueryMode, Term};
 pub use service::{
-    conjunct_variables, Answers, Database, ExecOptions, OverloadPolicy, PreparedQuery,
+    conjunct_variables, Answers, Database, ExecOptions, GraphRef, MutationBatch, MutationReport,
+    OverloadPolicy, PreparedQuery,
 };

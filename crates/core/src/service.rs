@@ -21,16 +21,42 @@
 //!   ranked answer sequence, carrying [`EvalStats`] and enforcing the
 //!   request's limit, deadline and distance ceiling.
 //!
+//! ## Live mutation and epochs
+//!
+//! The graph is frozen on construction, but not sealed: the database serves
+//! a sequence of immutable storage *epochs*. [`Database::begin_mutation`]
+//! collects edge additions/removals into a [`MutationBatch`];
+//! [`Database::apply`] publishes the whole batch atomically as a new epoch
+//! that layers the changes as a delta overlay over the *shared* base CSR —
+//! the frozen arrays are never dropped or rebuilt on the write path.
+//! Consistency is by pinning, not locking:
+//!
+//! * [`Database::graph`] returns a [`GraphRef`] pinning the current epoch;
+//! * a [`PreparedQuery`] pins the epoch it was compiled against, so its
+//!   executions — including [`Answers`] streams already in flight when a
+//!   mutation lands — read one consistent graph and return bit-identical
+//!   answers and statistics regardless of concurrent writes;
+//! * the prepared-statement cache tags entries with their epoch: a stale
+//!   entry is recompiled (fresh label statistics, seed estimates and accept
+//!   bounds), never silently reused. Concurrent misses on the same text
+//!   compile once; the other callers wait for the result.
+//!
+//! [`Database::compact`] folds the accumulated overlay into a fresh frozen
+//! CSR off the read path and publishes it as the next epoch — readers are
+//! never blocked, and answer semantics are unchanged. Run it periodically
+//! under sustained writes to keep per-read overlay checks cheap.
+//!
 //! ## Snapshot persistence
 //!
-//! The graph is static once frozen, so build it once:
-//! [`Database::save_snapshot`] serialises the frozen CSR graph, the string
-//! dictionaries and the ontology (with its interned closures) into a single
-//! versioned, checksummed image, and [`Database::open_snapshot`] /
-//! [`Database::open_snapshot_with`] memory-map it back with zero-copy array
-//! views — answers, order and statistics are bit-identical to a rebuilt
-//! database, while open time is page-cache warm-up instead of a re-ingest.
-//! Corrupt images fail with a typed [`SnapshotError`].
+//! Within an epoch the graph is immutable, so build it once:
+//! [`Database::save_snapshot`] compacts any live overlay, then serialises
+//! the frozen CSR graph, the string dictionaries and the ontology (with its
+//! interned closures) into a single versioned, checksummed image, and
+//! [`Database::open_snapshot`] / [`Database::open_snapshot_with`]
+//! memory-map it back with zero-copy array views — answers, order and
+//! statistics are bit-identical to a rebuilt database, while open time is
+//! page-cache warm-up instead of a re-ingest. Corrupt images fail with a
+//! typed [`SnapshotError`].
 //!
 //! ## Parallel conjunct evaluation
 //!
@@ -95,11 +121,12 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use omega_graph::snapshot::{SnapshotReader, SnapshotWriter};
-use omega_graph::{FxHashSet, GraphStore, NodeId, SnapshotError};
+use omega_graph::{FxHashSet, GraphDelta, GraphStore, NodeId, SnapshotError};
 use omega_ontology::Ontology;
 
 use crate::answer::Answer;
@@ -120,18 +147,59 @@ pub use crate::eval::options::OverloadPolicy;
 /// Default capacity of the per-database prepared-statement LRU cache.
 const PREPARED_CACHE_CAPACITY: usize = 128;
 
-/// The immutable storage a database serves queries against: the frozen CSR
-/// graph plus its ontology. Shared by every handle, prepared query and
-/// reconfigured view through one `Arc`.
+/// One *epoch* of the storage a database serves queries against: an
+/// immutable graph view (frozen CSR, possibly layered with a delta overlay)
+/// plus the shared ontology, tagged with the epoch counter it belongs to.
+///
+/// A `GraphData` is never mutated after construction. Mutations
+/// ([`Database::apply`]) and compactions ([`Database::compact`]) build a
+/// *new* `GraphData` with a bumped epoch and swap it in as the current one;
+/// every in-flight execution, prepared statement and [`GraphRef`] keeps its
+/// own `Arc` to the epoch it started on, so concurrent readers observe one
+/// consistent graph for their whole lifetime.
 pub(crate) struct GraphData {
     pub(crate) graph: GraphStore,
-    pub(crate) ontology: Ontology,
+    pub(crate) ontology: Arc<Ontology>,
+    pub(crate) epoch: u64,
+}
+
+/// The mutable slot holding the current storage epoch, shared by every
+/// clone and reconfigured view of one [`Database`].
+struct StorageSlot {
+    /// The epoch currently served to new readers. Readers take the lock
+    /// only long enough to clone the `Arc`; the graph behind it is
+    /// immutable.
+    current: RwLock<Arc<GraphData>>,
+    /// Serialises writers ([`Database::apply`], [`Database::compact`],
+    /// [`Database::save_snapshot`]). Held across the whole
+    /// read-derive-publish cycle so concurrent writers cannot lose each
+    /// other's updates; readers are never blocked by it.
+    write_lock: Mutex<()>,
+}
+
+impl StorageSlot {
+    fn load(&self) -> Arc<GraphData> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn store(&self, next: Arc<GraphData>) {
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = next;
+    }
 }
 
 struct DbInner {
-    data: Arc<GraphData>,
+    storage: Arc<StorageSlot>,
+    /// The ontology, shared across every epoch (mutations touch edges, not
+    /// the class/property hierarchies).
+    ontology: Arc<Ontology>,
     options: Arc<EvalOptions>,
     cache: Mutex<PreparedCache>,
+    /// Signalled whenever a prepare finishes (or fails) compiling a cache
+    /// entry, waking threads parked on its in-flight marker.
+    cache_ready: Condvar,
+    /// Number of plan compilations performed by [`Database::prepare`] cache
+    /// misses (stampeded or stale entries each count once).
+    compilations: AtomicU64,
     /// Shared conjunct worker pool: parallel executions reuse parked threads
     /// instead of spawning per conjunct.
     pool: Arc<WorkerPool>,
@@ -183,11 +251,22 @@ impl Database {
         // allocation-free; idempotent (snapshot-loaded ontologies arrive
         // frozen).
         ontology.freeze();
+        let ontology = Arc::new(ontology);
         Database {
             inner: Arc::new(DbInner {
-                data: Arc::new(GraphData { graph, ontology }),
+                storage: Arc::new(StorageSlot {
+                    current: RwLock::new(Arc::new(GraphData {
+                        graph,
+                        ontology: Arc::clone(&ontology),
+                        epoch: 0,
+                    })),
+                    write_lock: Mutex::new(()),
+                }),
+                ontology,
                 options: Arc::new(options),
                 cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
+                cache_ready: Condvar::new(),
+                compilations: AtomicU64::new(0),
                 pool: WorkerPool::with_default_size(),
                 govern: ResourceGovernor::new(config),
             }),
@@ -200,9 +279,12 @@ impl Database {
     pub fn reconfigured(&self, options: EvalOptions) -> Database {
         Database {
             inner: Arc::new(DbInner {
-                data: Arc::clone(&self.inner.data),
+                storage: Arc::clone(&self.inner.storage),
+                ontology: Arc::clone(&self.inner.ontology),
                 options: Arc::new(options),
                 cache: Mutex::new(PreparedCache::new(PREPARED_CACHE_CAPACITY)),
+                cache_ready: Condvar::new(),
+                compilations: AtomicU64::new(0),
                 pool: Arc::clone(&self.inner.pool),
                 govern: Arc::clone(&self.inner.govern),
             }),
@@ -215,14 +297,24 @@ impl Database {
         &self.inner.govern
     }
 
-    /// The data graph.
-    pub fn graph(&self) -> &GraphStore {
-        &self.inner.data.graph
+    /// The data graph of the *current* epoch.
+    ///
+    /// The returned [`GraphRef`] pins that epoch: it stays valid — and keeps
+    /// answering identically — however many mutations or compactions land
+    /// after the call. Re-call `graph()` to observe them.
+    pub fn graph(&self) -> GraphRef {
+        GraphRef { data: self.data() }
     }
 
-    /// The ontology.
+    /// The ontology (shared across all epochs).
     pub fn ontology(&self) -> &Ontology {
-        &self.inner.data.ontology
+        &self.inner.ontology
+    }
+
+    /// The current storage epoch. Starts at 0; every applied mutation batch
+    /// and every effective compaction bumps it by one.
+    pub fn epoch(&self) -> u64 {
+        self.data().epoch
     }
 
     /// The base evaluation options prepared queries compile against.
@@ -230,10 +322,10 @@ impl Database {
         &self.inner.options
     }
 
-    /// The shared storage handle (graph + ontology), for execution paths
+    /// The current storage epoch (graph + ontology), for execution paths
     /// that hand clones to conjunct worker threads.
-    pub(crate) fn data(&self) -> &Arc<GraphData> {
-        &self.inner.data
+    pub(crate) fn data(&self) -> Arc<GraphData> {
+        self.inner.storage.load()
     }
 
     /// The shared conjunct worker pool.
@@ -243,25 +335,56 @@ impl Database {
 
     /// Parses, validates and compiles `text` into a [`PreparedQuery`],
     /// consulting the prepared-statement cache first.
+    ///
+    /// Cache entries are tagged with the storage epoch they were compiled
+    /// against: an entry from an older epoch is recompiled, never silently
+    /// reused, because compile-time artefacts (seed estimates, accept lower
+    /// bounds, label statistics) may no longer describe the mutated graph.
+    /// Concurrent misses on the same text are stampede-proof — exactly one
+    /// caller compiles while the others wait for its result.
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery> {
-        // The cache critical sections never panic, but a poisoned lock must
-        // not take the whole database down with it: recover the guard.
-        if let Some(hit) = self
-            .inner
-            .cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(text)
+        // Pin the epoch before touching the cache so the compiled plans and
+        // the tag always describe the same graph.
+        let data = self.data();
+        let epoch = data.epoch;
         {
-            return Ok(hit);
+            // The cache critical sections never panic, but a poisoned lock
+            // must not take the whole database down with it: recover the
+            // guard.
+            let mut cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match cache.probe(text, epoch) {
+                    CacheProbe::Hit(prepared) => return Ok(prepared),
+                    CacheProbe::Busy => {
+                        // Another thread is compiling this text (for this or
+                        // an older epoch): wait for it, then re-probe. A
+                        // stale or failed result turns into a miss below.
+                        cache = self
+                            .inner
+                            .cache_ready
+                            .wait(cache)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    CacheProbe::Miss => break,
+                }
+            }
+            cache.begin_build(text.to_owned());
         }
-        let prepared = self.prepare_uncached(text)?;
-        self.inner
-            .cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(text.to_owned(), prepared.clone());
-        Ok(prepared)
+        // Compile outside the lock; the in-flight marker keeps concurrent
+        // callers parked instead of duplicating this work.
+        self.inner.compilations.fetch_add(1, Ordering::Relaxed);
+        let result = parse_query(text).and_then(|query| self.prepare_against(&query, &data));
+        {
+            let mut cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            match &result {
+                Ok(prepared) => cache.finish_build(text, epoch, prepared.clone()),
+                // Errors are not `Clone`, so waiters retry the compilation
+                // themselves instead of sharing this failure.
+                Err(_) => cache.abort_build(text),
+            }
+        }
+        self.inner.cache_ready.notify_all();
+        result
     }
 
     /// Parses and compiles `text` without touching the cache.
@@ -270,21 +393,29 @@ impl Database {
         self.prepare_query(&query)
     }
 
-    /// Compiles an already parsed query (uncached).
+    /// Compiles an already parsed query (uncached) against the current
+    /// epoch.
     pub fn prepare_query(&self, query: &Query) -> Result<PreparedQuery> {
-        let inner = compile_prepared(
-            query,
-            &self.inner.data.graph,
-            &self.inner.data.ontology,
-            &self.inner.options,
-        )?;
+        let data = self.data();
+        self.prepare_against(query, &data)
+    }
+
+    /// Compiles `query` against a pinned storage epoch.
+    fn prepare_against(&self, query: &Query, data: &Arc<GraphData>) -> Result<PreparedQuery> {
+        let inner = compile_prepared(query, &data.graph, &data.ontology, &self.inner.options)?;
         Ok(PreparedQuery {
-            data: Arc::clone(&self.inner.data),
+            data: Arc::clone(data),
             base: Arc::clone(&self.inner.options),
             pool: Arc::clone(&self.inner.pool),
             govern: Arc::clone(&self.inner.govern),
             inner: Arc::new(inner),
         })
+    }
+
+    /// How many plan compilations [`Database::prepare`] has performed on
+    /// this handle (i.e. cache misses, including stale-epoch recompiles).
+    pub fn prepared_compilations(&self) -> u64 {
+        self.inner.compilations.load(Ordering::Relaxed)
     }
 
     /// Prepares (with caching) and executes `text` under `request`,
@@ -304,6 +435,103 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // Live mutation
+    // ------------------------------------------------------------------
+
+    /// Starts collecting a batch of edge mutations.
+    ///
+    /// The batch is a plain value — build it up with [`MutationBatch::add`]
+    /// / [`MutationBatch::remove`] and hand it to [`Database::apply`], which
+    /// publishes the whole batch atomically as one new epoch. Nothing is
+    /// visible to queries until `apply` returns.
+    pub fn begin_mutation(&self) -> MutationBatch {
+        MutationBatch::new()
+    }
+
+    /// Applies `batch` to the current graph, publishing a new storage epoch.
+    ///
+    /// The frozen CSR of the current epoch is **never dropped or rebuilt**:
+    /// the new epoch layers the batch as a delta overlay over the shared
+    /// base arrays, so applying is proportional to the batch, not the graph.
+    /// In-flight executions and [`PreparedQuery`] handles keep reading the
+    /// epoch they pinned; only queries prepared after `apply` returns see
+    /// the mutation. Writers are serialised; an empty batch is a no-op that
+    /// reports the current epoch without bumping it.
+    pub fn apply(&self, batch: &MutationBatch) -> Result<MutationReport> {
+        let _writer = self
+            .inner
+            .storage
+            .write_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let cur = self.data();
+        if batch.is_empty() {
+            return Ok(MutationReport {
+                epoch: cur.epoch,
+                added: 0,
+                removed: 0,
+            });
+        }
+        if fault_fire(FaultPoint::MutationApply) {
+            return Err(OmegaError::MutationFailed {
+                message: "injected mutation-apply fault".into(),
+            });
+        }
+        let (graph, report) =
+            cur.graph
+                .with_delta(&batch.delta)
+                .map_err(|e| OmegaError::MutationFailed {
+                    message: e.to_string(),
+                })?;
+        let epoch = cur.epoch + 1;
+        self.inner.storage.store(Arc::new(GraphData {
+            graph,
+            ontology: Arc::clone(&cur.ontology),
+            epoch,
+        }));
+        Ok(MutationReport {
+            epoch,
+            added: report.added,
+            removed: report.removed,
+        })
+    }
+
+    /// Merges the accumulated delta overlay back into a fresh frozen CSR,
+    /// publishing the result as a new epoch, and returns the epoch serving
+    /// afterwards.
+    ///
+    /// Readers are never blocked: the rebuild happens off the read path on a
+    /// private clone, and the swap is one pointer store. When the current
+    /// epoch carries no overlay this is a no-op (the epoch is not bumped).
+    /// Run it periodically — e.g. from a background thread once
+    /// [`omega_graph::GraphStore::overlay_edges`] crosses a threshold — to
+    /// keep read amplification bounded under sustained writes.
+    pub fn compact(&self) -> u64 {
+        let guard = self
+            .inner
+            .storage
+            .write_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        self.compact_locked(&guard).epoch
+    }
+
+    /// Compaction body; requires the writer lock to be held.
+    fn compact_locked(&self, _writer: &MutexGuard<'_, ()>) -> Arc<GraphData> {
+        let cur = self.data();
+        if !cur.graph.has_overlay() {
+            return cur;
+        }
+        let next = Arc::new(GraphData {
+            graph: cur.graph.compacted(),
+            ontology: Arc::clone(&cur.ontology),
+            epoch: cur.epoch + 1,
+        });
+        self.inner.storage.store(Arc::clone(&next));
+        next
+    }
+
+    // ------------------------------------------------------------------
     // Snapshot persistence
     // ------------------------------------------------------------------
 
@@ -316,13 +544,25 @@ impl Database {
     /// in [`omega_graph::snapshot`]. Build once, then have every later
     /// process [`Database::open_snapshot`] the file in milliseconds instead
     /// of re-ingesting and re-freezing the graph.
+    ///
+    /// A live delta overlay is compacted first (the image format carries
+    /// pure CSR arrays only); the writer lock is held across compaction and
+    /// serialisation, so the image is a consistent epoch with no mutations
+    /// interleaved.
     pub fn save_snapshot<P: AsRef<std::path::Path>>(
         &self,
         path: P,
     ) -> std::result::Result<(), SnapshotError> {
+        let guard = self
+            .inner
+            .storage
+            .write_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let data = self.compact_locked(&guard);
         let mut writer = SnapshotWriter::new();
-        omega_graph::snapshot::write_graph_sections(&self.inner.data.graph, &mut writer)?;
-        omega_ontology::snapshot::write_ontology_section(&self.inner.data.ontology, &mut writer)?;
+        omega_graph::snapshot::write_graph_sections(&data.graph, &mut writer)?;
+        omega_ontology::snapshot::write_ontology_section(&data.ontology, &mut writer)?;
         writer.write_to(path.as_ref())
     }
 
@@ -386,12 +626,125 @@ impl std::fmt::Debug for Database {
     }
 }
 
+/// An owned view of one storage epoch's data graph.
+///
+/// Returned by [`Database::graph`]; dereferences to the underlying
+/// [`GraphStore`]. Holding a `GraphRef` pins the epoch it was taken from:
+/// mutations and compactions applied afterwards publish *new* epochs and
+/// never touch this one, so every read through the same `GraphRef` is
+/// consistent — and the reference stays valid indefinitely.
+pub struct GraphRef {
+    data: Arc<GraphData>,
+}
+
+impl GraphRef {
+    /// The storage epoch this view pins.
+    pub fn epoch(&self) -> u64 {
+        self.data.epoch
+    }
+}
+
+impl std::ops::Deref for GraphRef {
+    type Target = GraphStore;
+
+    fn deref(&self) -> &GraphStore {
+        &self.data.graph
+    }
+}
+
+impl AsRef<GraphStore> for GraphRef {
+    fn as_ref(&self) -> &GraphStore {
+        &self.data.graph
+    }
+}
+
+impl std::fmt::Debug for GraphRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphRef")
+            .field("epoch", &self.data.epoch)
+            .field("nodes", &self.data.graph.node_count())
+            .field("edges", &self.data.graph.edge_count())
+            .finish()
+    }
+}
+
+/// A batch of edge additions and removals, applied atomically by
+/// [`Database::apply`].
+///
+/// Additions may reference nodes that do not exist yet (they are created
+/// with the given labels); removals of edges the graph does not contain are
+/// no-ops. Within one batch, additions apply before removals.
+#[derive(Debug, Clone, Default)]
+pub struct MutationBatch {
+    delta: GraphDelta,
+}
+
+impl MutationBatch {
+    /// An empty batch (see also [`Database::begin_mutation`]).
+    pub fn new() -> MutationBatch {
+        MutationBatch::default()
+    }
+
+    /// Queues the addition of edge `tail -[label]-> head`.
+    pub fn add(&mut self, tail: &str, label: &str, head: &str) -> &mut Self {
+        self.delta.add(tail, label, head);
+        self
+    }
+
+    /// Queues the removal of edge `tail -[label]-> head`.
+    pub fn remove(&mut self, tail: &str, label: &str, head: &str) -> &mut Self {
+        self.delta.remove(tail, label, head);
+        self
+    }
+
+    /// Whether the batch queues no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Number of queued mutations (additions plus removals).
+    pub fn len(&self) -> usize {
+        self.delta.len()
+    }
+}
+
+/// What [`Database::apply`] did: the epoch now serving and the number of
+/// edges actually added/removed (duplicates and unknown removals are
+/// excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReport {
+    /// The storage epoch serving after the batch (unchanged for an empty
+    /// batch).
+    pub epoch: u64,
+    /// Edges actually added.
+    pub added: u64,
+    /// Edges actually removed.
+    pub removed: u64,
+}
+
+/// One prepared-statement cache slot.
+enum CacheSlot {
+    /// A compiled statement, tagged with the epoch it was compiled against.
+    Ready { epoch: u64, prepared: PreparedQuery },
+    /// A compilation in flight on some thread; concurrent `prepare` calls
+    /// for the same text park on the database's condvar instead of
+    /// duplicating the work.
+    Building,
+}
+
+/// What a cache probe found (see [`Database::prepare`]).
+enum CacheProbe {
+    Hit(PreparedQuery),
+    Busy,
+    Miss,
+}
+
 /// Least-recently-used map from query text to its prepared form. The entry
 /// vector keeps most-recently-used entries at the back; capacity is small,
 /// so the linear scan is cheaper than a hash + recency list would be.
 struct PreparedCache {
     capacity: usize,
-    entries: Vec<(String, PreparedQuery)>,
+    entries: Vec<(String, CacheSlot)>,
 }
 
 impl PreparedCache {
@@ -402,19 +755,62 @@ impl PreparedCache {
         }
     }
 
-    fn get(&mut self, text: &str) -> Option<PreparedQuery> {
-        let pos = self.entries.iter().position(|(t, _)| t == text)?;
-        self.entries[pos..].rotate_left(1);
-        self.entries.last().map(|(_, prepared)| prepared.clone())
+    /// Looks `text` up for `epoch`. A ready entry from an older epoch is
+    /// dropped and reported as a miss — its plans were compiled against a
+    /// graph that no longer serves, so reusing them could return wrong
+    /// answers or mis-ordered streams.
+    fn probe(&mut self, text: &str, epoch: u64) -> CacheProbe {
+        let Some(pos) = self.entries.iter().position(|(t, _)| t == text) else {
+            return CacheProbe::Miss;
+        };
+        match &self.entries[pos].1 {
+            CacheSlot::Ready { epoch: e, prepared } if *e == epoch => {
+                let hit = prepared.clone();
+                self.entries[pos..].rotate_left(1);
+                CacheProbe::Hit(hit)
+            }
+            CacheSlot::Ready { .. } => {
+                self.entries.remove(pos);
+                CacheProbe::Miss
+            }
+            CacheSlot::Building => CacheProbe::Busy,
+        }
     }
 
-    fn insert(&mut self, text: String, prepared: PreparedQuery) {
-        if let Some(pos) = self.entries.iter().position(|(t, _)| *t == text) {
+    /// Marks `text` as being compiled by the calling thread.
+    fn begin_build(&mut self, text: String) {
+        self.entries.push((text, CacheSlot::Building));
+    }
+
+    /// Publishes the compiled statement for `text`, replacing its in-flight
+    /// marker (or inserting fresh if the marker was evicted meanwhile).
+    fn finish_build(&mut self, text: &str, epoch: u64, prepared: PreparedQuery) {
+        if let Some(pos) = self.entries.iter().position(|(t, _)| t == text) {
             self.entries.remove(pos);
         }
-        self.entries.push((text, prepared));
+        self.entries
+            .push((text.to_owned(), CacheSlot::Ready { epoch, prepared }));
         if self.entries.len() > self.capacity {
-            self.entries.remove(0);
+            // Evict the least-recently-used *ready* entry; in-flight markers
+            // are owned by their builder and must survive until it finishes.
+            if let Some(pos) = self
+                .entries
+                .iter()
+                .position(|(_, slot)| matches!(slot, CacheSlot::Ready { .. }))
+            {
+                self.entries.remove(pos);
+            }
+        }
+    }
+
+    /// Drops the in-flight marker for `text` after a failed compilation.
+    fn abort_build(&mut self, text: &str) {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(t, slot)| t == text && matches!(slot, CacheSlot::Building))
+        {
+            self.entries.remove(pos);
         }
     }
 }
@@ -683,6 +1079,13 @@ impl PreparedQuery {
     /// came from the other through the prepared-statement cache or `clone`).
     pub fn shares_plans_with(&self, other: &PreparedQuery) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The storage epoch this statement was compiled against and is pinned
+    /// to: every execution reads that epoch's graph, regardless of
+    /// mutations applied since.
+    pub fn epoch(&self) -> u64 {
+        self.data.epoch
     }
 }
 
@@ -1153,13 +1556,33 @@ mod tests {
         let mut cache = PreparedCache::new(2);
         let db = db();
         let p = db.prepare_uncached("(?X) <- (alice, knows, ?X)").unwrap();
-        cache.insert("a".into(), p.clone());
-        cache.insert("b".into(), p.clone());
-        assert!(cache.get("a").is_some()); // refresh "a": now "b" is oldest
-        cache.insert("c".into(), p.clone());
-        assert!(cache.get("b").is_none());
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("c").is_some());
+        cache.finish_build("a", 0, p.clone());
+        cache.finish_build("b", 0, p.clone());
+        // Refresh "a": now "b" is oldest.
+        assert!(matches!(cache.probe("a", 0), CacheProbe::Hit(_)));
+        cache.finish_build("c", 0, p.clone());
+        assert!(matches!(cache.probe("b", 0), CacheProbe::Miss));
+        assert!(matches!(cache.probe("a", 0), CacheProbe::Hit(_)));
+        assert!(matches!(cache.probe("c", 0), CacheProbe::Hit(_)));
+    }
+
+    #[test]
+    fn stale_epoch_entries_miss_and_building_slots_survive_eviction() {
+        let mut cache = PreparedCache::new(2);
+        let db = db();
+        let p = db.prepare_uncached("(?X) <- (alice, knows, ?X)").unwrap();
+        cache.finish_build("a", 0, p.clone());
+        // A later epoch sees the entry as a miss and drops it.
+        assert!(matches!(cache.probe("a", 1), CacheProbe::Miss));
+        assert!(matches!(cache.probe("a", 1), CacheProbe::Miss));
+        // In-flight markers report busy and are never evicted by capacity.
+        cache.begin_build("x".into());
+        cache.begin_build("y".into());
+        cache.finish_build("b", 1, p.clone());
+        assert!(matches!(cache.probe("x", 1), CacheProbe::Busy));
+        assert!(matches!(cache.probe("y", 1), CacheProbe::Busy));
+        cache.abort_build("x");
+        assert!(matches!(cache.probe("x", 1), CacheProbe::Miss));
     }
 
     #[test]
@@ -1250,7 +1673,13 @@ mod tests {
         let db = db();
         let relaxed = db.reconfigured(EvalOptions::default().with_max_tuples(Some(10)));
         assert_eq!(relaxed.options().max_tuples, Some(10));
-        assert!(std::ptr::eq(db.graph(), relaxed.graph()));
+        assert!(std::ptr::eq(&*db.graph(), &*relaxed.graph()));
+        // Mutations through one handle are visible through the other.
+        let mut batch = db.begin_mutation();
+        batch.add("alice", "knows", "eve");
+        db.apply(&batch).unwrap();
+        assert_eq!(relaxed.epoch(), db.epoch());
+        assert!(std::ptr::eq(&*db.graph(), &*relaxed.graph()));
     }
 
     #[test]
@@ -1442,6 +1871,160 @@ mod tests {
         assert_eq!(after.executions, 0);
         assert_eq!(after.live_tuples, 0);
         assert_eq!(after.join_buffer_entries, 0);
+    }
+
+    #[test]
+    fn mutations_publish_new_epochs_and_pin_readers() {
+        let db = db();
+        assert_eq!(db.epoch(), 0);
+        let text = "(?X) <- (alice, knows+, ?X)";
+        let pinned = db.prepare(text).unwrap();
+        assert_eq!(pinned.epoch(), 0);
+        let before = pinned.execute(&ExecOptions::new()).unwrap();
+        assert_eq!(before.len(), 3);
+
+        let mut batch = db.begin_mutation();
+        batch
+            .add("dave", "knows", "eve")
+            .remove("carol", "knows", "dave");
+        let report = db.apply(&batch).unwrap();
+        assert_eq!(
+            report,
+            MutationReport {
+                epoch: 1,
+                added: 1,
+                removed: 1
+            }
+        );
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.graph().epoch(), 1);
+
+        // The statement pinned to epoch 0 answers exactly as before…
+        assert_eq!(pinned.execute(&ExecOptions::new()).unwrap(), before);
+        // …while a fresh prepare sees the mutated graph: carol→dave is
+        // gone, so dave (and the new eve) are unreachable from alice.
+        let fresh = db.prepare(text).unwrap();
+        assert_eq!(fresh.epoch(), 1);
+        assert!(!pinned.shares_plans_with(&fresh));
+        let after = fresh.execute(&ExecOptions::new()).unwrap();
+        let bound: Vec<&str> = after.iter().filter_map(|a| a.get("X")).collect();
+        assert_eq!(bound, ["bob", "carol"]);
+
+        // An empty batch is a no-op that does not bump the epoch.
+        let noop = db.apply(&db.begin_mutation()).unwrap();
+        assert_eq!(noop.epoch, 1);
+        assert_eq!((noop.added, noop.removed), (0, 0));
+    }
+
+    #[test]
+    fn mid_stream_mutations_leave_answers_and_stats_bit_identical() {
+        let db = db();
+        let text = "(?X, ?Y) <- APPROX (?X, knows+, ?Y)";
+        let prepared = db.prepare(text).unwrap();
+        let mut reference_stream = prepared.answers(&ExecOptions::new());
+        let reference = reference_stream.collect_up_to(None).unwrap();
+        let reference_stats = reference_stream.stats();
+        assert!(reference.len() > 1);
+
+        let mut stream = prepared.answers(&ExecOptions::new());
+        let first = stream.next_answer().unwrap().unwrap();
+        // A mutation lands while the stream is mid-flight…
+        let mut batch = db.begin_mutation();
+        batch
+            .add("zed", "knows", "alice")
+            .remove("alice", "knows", "bob");
+        db.apply(&batch).unwrap();
+        // …and the pinned stream neither sees it nor changes its stats.
+        let mut got = vec![first];
+        got.extend(stream.collect_up_to(None).unwrap());
+        assert_eq!(got, reference);
+        assert_eq!(stream.stats(), reference_stats);
+    }
+
+    #[test]
+    fn concurrent_prepare_misses_compile_once() {
+        let db = db();
+        let text = "(?X) <- APPROX (alice, knows.knows, ?X)";
+        let barrier = std::sync::Barrier::new(8);
+        let prepared: Vec<PreparedQuery> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        db.prepare(text).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in &prepared[1..] {
+            assert!(
+                prepared[0].shares_plans_with(p),
+                "stampeded misses must share one compilation"
+            );
+        }
+        assert_eq!(db.prepared_compilations(), 1);
+        assert_eq!(db.prepared_cache_len(), 1);
+    }
+
+    #[test]
+    fn compact_folds_the_overlay_without_changing_answers() {
+        let db = db();
+        let text = "(?X) <- (alice, knows+, ?X)";
+        let mut batch = db.begin_mutation();
+        batch.add("dave", "knows", "eve");
+        db.apply(&batch).unwrap();
+        assert!(db.graph().has_overlay());
+        let overlaid = db
+            .prepare(text)
+            .unwrap()
+            .execute(&ExecOptions::new())
+            .unwrap();
+        assert_eq!(overlaid.len(), 4);
+
+        assert_eq!(db.compact(), 2);
+        assert!(!db.graph().has_overlay());
+        let compacted = db
+            .prepare(text)
+            .unwrap()
+            .execute(&ExecOptions::new())
+            .unwrap();
+        assert_eq!(compacted, overlaid);
+        // Compacting an overlay-free epoch is a no-op.
+        assert_eq!(db.compact(), 2);
+    }
+
+    #[test]
+    fn save_snapshot_compacts_a_live_overlay_first() {
+        let db = db();
+        let mut batch = db.begin_mutation();
+        batch
+            .add("dave", "knows", "eve")
+            .remove("alice", "worksAt", "acme");
+        db.apply(&batch).unwrap();
+        assert!(db.graph().has_overlay());
+
+        let path = std::env::temp_dir().join(format!(
+            "omega-service-snapshot-compact-{}.omega",
+            std::process::id()
+        ));
+        db.save_snapshot(&path).unwrap();
+        assert!(!db.graph().has_overlay(), "saving folds the overlay");
+
+        let reopened = Database::open_snapshot(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let text = "(?X) <- (alice, knows+, ?X)";
+        assert_eq!(
+            reopened
+                .prepare(text)
+                .unwrap()
+                .execute(&ExecOptions::new())
+                .unwrap(),
+            db.prepare(text)
+                .unwrap()
+                .execute(&ExecOptions::new())
+                .unwrap()
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub enum GraphError {
     UnknownNode(u32),
     /// A label id is out of range for this store.
     UnknownLabel(u32),
+    /// The operation requires a frozen (CSR-indexed) store.
+    NotFrozen,
     /// A serialised graph could not be parsed.
     Parse { line: usize, message: String },
     /// An IO error occurred while reading or writing a graph file.
@@ -26,6 +28,9 @@ impl fmt::Display for GraphError {
             GraphError::UnknownNodeLabel(l) => write!(f, "unknown node label: {l:?}"),
             GraphError::UnknownNode(id) => write!(f, "unknown node id: {id}"),
             GraphError::UnknownLabel(id) => write!(f, "unknown label id: {id}"),
+            GraphError::NotFrozen => {
+                write!(f, "operation requires a frozen store (call freeze first)")
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

@@ -1,6 +1,6 @@
 //! The graph store itself.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::bitmap::NodeBitmap;
 use crate::csr::{CsrIndex, CsrLayer};
@@ -8,6 +8,7 @@ use crate::error::GraphError;
 use crate::hash::FxHashMap;
 use crate::ids::{Direction, LabelId, NodeId};
 use crate::interner::LabelInterner;
+use crate::overlay::{DeltaOverlay, DeltaReport, GraphDelta};
 use crate::snapshot::map::MappedSlice;
 use crate::stats::LabelStats;
 
@@ -114,6 +115,24 @@ fn build_node_index(labels: &NodeLabels) -> FxHashMap<String, NodeId> {
     index
 }
 
+/// Removes the first occurrence of `value` from `map[key]`, dropping the
+/// entry if its list empties (so distinct-endpoint counts over the builder
+/// maps stay exact). Preserves the relative order of the remaining entries.
+fn remove_from_list<K, V>(map: &mut FxHashMap<K, Vec<V>>, key: K, value: &V)
+where
+    K: Eq + std::hash::Hash,
+    V: PartialEq,
+{
+    if let Some(list) = map.get_mut(&key) {
+        if let Some(pos) = list.iter().position(|v| v == value) {
+            list.remove(pos);
+        }
+        if list.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
 /// Per-label adjacency index (both directions), mirroring Sparksee's
 /// neighbour indexing for an edge type. This is the *builder* side: hash
 /// maps support cheap insertion and deduplication while the graph is loaded;
@@ -147,6 +166,20 @@ pub(crate) struct Adjacency {
 /// builder from the CSR on the first mutation, so the whole mutable API
 /// keeps working (at the cost of materialising the adjacency in RAM again).
 ///
+/// ## Live mutation without unfreezing
+///
+/// [`GraphStore::with_delta`] derives a *new* store from a frozen one
+/// without dropping the CSR: the derived store shares the base index
+/// (behind an `Arc`) and records the batch in a `DeltaOverlay` — added
+/// edges, deleted base edges, and any nodes or labels the batch introduced.
+/// The overlay-aware reads ([`GraphStore::neighbors_iter`] /
+/// [`GraphStore::neighbors_any_iter`] and all aggregate views) consult the
+/// overlay after the base CSR run; [`GraphStore::compacted`] merges the
+/// overlay back into a fresh frozen CSR. The plain [`GraphStore::neighbors`]
+/// / [`GraphStore::neighbors_any`] slices deliberately stay *base-only*
+/// views (they cannot borrow a merged list), which overlay-free stores —
+/// the common case — serve unchanged.
+///
 /// This is the substrate the Omega evaluator traverses; see the crate-level
 /// documentation for the correspondence with Sparksee.
 #[derive(Debug, Clone)]
@@ -166,11 +199,18 @@ pub struct GraphStore {
     pub(crate) out_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
     pub(crate) in_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
     pub(crate) edge_count: usize,
-    pub(crate) csr: Option<CsrIndex>,
+    /// The frozen CSR index, shared (not copied) between the epoch chain of
+    /// stores [`GraphStore::with_delta`] derives.
+    pub(crate) csr: Option<Arc<CsrIndex>>,
     /// Whether the builder-side maps mirror the graph. `false` only for
     /// snapshot-loaded stores, whose edges live solely in the CSR until a
     /// mutation forces [`GraphStore::hydrate_builder`].
     pub(crate) hydrated: bool,
+    /// Edge additions/deletions layered over the frozen base CSR by
+    /// [`GraphStore::with_delta`]. `None` on ordinary and freshly compacted
+    /// stores, so the overlay-free read path pays one discriminant test.
+    /// Invariant: `overlay.is_some()` implies `csr.is_some()`.
+    pub(crate) overlay: Option<DeltaOverlay>,
     /// Cached per-label cardinalities, built on first use (or pre-populated
     /// from a snapshot's stats section) and invalidated by edge mutations.
     pub(crate) label_stats: OnceLock<LabelStats>,
@@ -200,6 +240,7 @@ impl GraphStore {
             edge_count: 0,
             csr: None,
             hydrated: true,
+            overlay: None,
             label_stats: OnceLock::new(),
         }
     }
@@ -221,17 +262,33 @@ impl GraphStore {
             .iter()
             .map(|adj| (&adj.out, &adj.inc))
             .collect();
-        self.csr = Some(CsrIndex::build(
+        self.csr = Some(Arc::new(CsrIndex::build(
             self.node_labels.len(),
             &per_label,
             &self.out_all,
             &self.in_all,
-        ));
+        )));
     }
 
     /// Whether the frozen CSR index is present and current.
+    ///
+    /// A store carrying a `DeltaOverlay` still counts as frozen: its base
+    /// CSR keeps serving reads, with the overlay consulted afterwards.
     pub fn is_frozen(&self) -> bool {
         self.csr.is_some()
+    }
+
+    /// Whether the store carries a non-empty delta overlay over its base
+    /// CSR (i.e. it was derived by [`GraphStore::with_delta`] and not yet
+    /// compacted).
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.as_ref().is_some_and(|ov| !ov.is_empty())
+    }
+
+    /// Total overlay entries (added + deleted edges) — the compaction
+    /// pressure signal; `0` without an overlay.
+    pub fn overlay_edges(&self) -> u64 {
+        self.overlay.as_ref().map_or(0, DeltaOverlay::overlay_edges)
     }
 
     /// Rebuilds the builder-side hash maps from the frozen CSR index.
@@ -270,6 +327,155 @@ impl GraphStore {
             self.in_all.insert(node, csr.in_all.entries(node).to_vec());
         }
         self.hydrated = true;
+    }
+
+    /// Brings the builder-side representation fully up to date with every
+    /// read — hydrating from the CSR if needed and folding a delta overlay
+    /// back into the builder maps — so the legacy mutable API
+    /// ([`GraphStore::add_edge`] and friends) keeps its exact semantics on
+    /// overlay-carrying stores. Folding an overlay drops the (now stale)
+    /// base CSR; the epoch-pinned mutation path never calls this.
+    fn make_mutable(&mut self) {
+        self.hydrate_builder();
+        let Some(overlay) = self.overlay.take() else {
+            return;
+        };
+        if overlay.is_empty() {
+            return;
+        }
+        self.ensure_node_index();
+        for label in overlay.added_node_labels() {
+            let id = NodeId(self.node_labels.len() as u32);
+            self.node_labels.make_owned().push(label.clone());
+            self.node_index.insert(label.clone(), id);
+        }
+        for edge in overlay.added_edge_iter() {
+            let adj = &mut self.adjacency[edge.label.index()];
+            adj.out.entry(edge.source).or_default().push(edge.target);
+            adj.inc.entry(edge.target).or_default().push(edge.source);
+            adj.edge_count += 1;
+            self.out_all
+                .entry(edge.source)
+                .or_default()
+                .push((edge.label, edge.target));
+            self.in_all
+                .entry(edge.target)
+                .or_default()
+                .push((edge.label, edge.source));
+        }
+        for edge in overlay.deleted_edge_iter() {
+            let adj = &mut self.adjacency[edge.label.index()];
+            remove_from_list(&mut adj.out, edge.source, &edge.target);
+            remove_from_list(&mut adj.inc, edge.target, &edge.source);
+            adj.edge_count -= 1;
+            remove_from_list(&mut self.out_all, edge.source, &(edge.label, edge.target));
+            remove_from_list(&mut self.in_all, edge.target, &(edge.label, edge.source));
+        }
+        // `edge_count` already reflects the overlay (kept current by
+        // `with_delta`), so only the per-label and map state changed above.
+        self.csr = None;
+        self.label_stats = OnceLock::new();
+    }
+
+    // ------------------------------------------------------------------
+    // Delta overlay: mutation without unfreezing
+    // ------------------------------------------------------------------
+
+    /// Derives a new store with `delta` applied on top of this (frozen)
+    /// store, **without dropping the CSR index**: the derived store shares
+    /// the base CSR and records the changes in a `DeltaOverlay` (layered
+    /// on top of any overlay this store already carries).
+    ///
+    /// Additions create missing nodes and edge labels like
+    /// [`GraphStore::add_triple`]; removals of unknown edges are no-ops.
+    /// All adds apply before all removes. `self` is untouched — readers
+    /// holding it keep a bit-identical view, which is what the service
+    /// layer's epoch pinning builds on.
+    ///
+    /// Fails with [`GraphError::NotFrozen`] when called on an unfrozen
+    /// store (use the plain mutable API there).
+    pub fn with_delta(&self, delta: &GraphDelta) -> Result<(GraphStore, DeltaReport), GraphError> {
+        if self.csr.is_none() {
+            return Err(GraphError::NotFrozen);
+        }
+        let mut next = self.clone();
+        let mut overlay = next
+            .overlay
+            .take()
+            .unwrap_or_else(|| DeltaOverlay::new(next.node_labels.len()));
+        let mut report = DeltaReport::default();
+        for (source, label, target) in delta.adds() {
+            let l = next.intern_label(label);
+            let s = next.resolve_or_add_overlay_node(&mut overlay, source);
+            let t = next.resolve_or_add_overlay_node(&mut overlay, target);
+            let base_has = self.base_has_edge(s, l, t);
+            if overlay.add_edge(s, l, t, base_has) {
+                report.added += 1;
+                next.edge_count += 1;
+            }
+        }
+        for (source, label, target) in delta.removes() {
+            let Some(l) = next.label_id(label) else {
+                continue;
+            };
+            let Some(s) = next.resolve_node(&overlay, source) else {
+                continue;
+            };
+            let Some(t) = next.resolve_node(&overlay, target) else {
+                continue;
+            };
+            let base_has = self.base_has_edge(s, l, t);
+            if overlay.remove_edge(s, l, t, base_has) {
+                report.removed += 1;
+                next.edge_count -= 1;
+            }
+        }
+        report.overlay_edges = overlay.overlay_edges();
+        next.overlay = Some(overlay);
+        next.label_stats = OnceLock::new();
+        Ok((next, report))
+    }
+
+    /// Returns a store with any delta overlay merged into a fresh frozen
+    /// CSR (and no overlay). Overlay-free stores return a plain clone.
+    ///
+    /// This is the compaction step: it rebuilds the builder maps (hydrating
+    /// a snapshot-loaded base first), folds the overlay in, and re-freezes.
+    /// `self` is untouched, so in-flight readers of the old epoch are never
+    /// blocked or disturbed.
+    pub fn compacted(&self) -> GraphStore {
+        let mut merged = self.clone();
+        if merged.has_overlay() {
+            merged.make_mutable();
+            merged.freeze();
+        } else {
+            merged.overlay = None;
+        }
+        merged
+    }
+
+    /// Whether the *base* CSR stores `source --label--> target`, ignoring
+    /// any overlay (nodes or labels beyond the base read as absent).
+    fn base_has_edge(&self, source: NodeId, label: LabelId, target: NodeId) -> bool {
+        self.csr
+            .as_ref()
+            .and_then(|csr| csr.layer(label, true))
+            .is_some_and(|layer| layer.neighbours(source).contains(&target))
+    }
+
+    /// Resolves a node label against base + overlay, creating an overlay
+    /// node if absent.
+    fn resolve_or_add_overlay_node(&self, overlay: &mut DeltaOverlay, label: &str) -> NodeId {
+        if let Some(id) = self.node_by_label(label) {
+            return id;
+        }
+        overlay.add_node(label)
+    }
+
+    /// Resolves a node label against base + overlay without creating.
+    fn resolve_node(&self, overlay: &DeltaOverlay, label: &str) -> Option<NodeId> {
+        self.node_by_label(label)
+            .or_else(|| overlay.node_by_label(label))
     }
 
     // ------------------------------------------------------------------
@@ -331,7 +537,15 @@ impl GraphStore {
 
     /// Adds a node with the given (unique) string label, or returns the
     /// existing node if one with this label is already present.
+    ///
+    /// On an overlay-carrying store this first folds the overlay into the
+    /// builder (dropping the stale base CSR) so node ids stay consistent;
+    /// the epoch-pinned mutation path uses [`GraphStore::with_delta`]
+    /// instead and never pays that cost.
     pub fn add_node(&mut self, label: &str) -> NodeId {
+        if self.overlay.is_some() {
+            self.make_mutable();
+        }
         self.ensure_node_index();
         if let Some(&id) = self.node_index.get(label) {
             return id;
@@ -344,6 +558,9 @@ impl GraphStore {
 
     /// Adds a node, failing if a node with the same label already exists.
     pub fn try_add_node(&mut self, label: &str) -> Result<NodeId, GraphError> {
+        if self.overlay.is_some() {
+            self.make_mutable();
+        }
         self.ensure_node_index();
         if self.node_index.contains_key(label) {
             return Err(GraphError::DuplicateNodeLabel(label.to_owned()));
@@ -358,14 +575,15 @@ impl GraphStore {
     /// (thread-safe; later calls share it) — opening an image never pays for
     /// an index the workload might not use.
     pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
-        if self.node_index_deferred {
-            return self
-                .lazy_node_index
+        let base = if self.node_index_deferred {
+            self.lazy_node_index
                 .get_or_init(|| build_node_index(&self.node_labels))
                 .get(label)
-                .copied();
-        }
-        self.node_index.get(label).copied()
+                .copied()
+        } else {
+            self.node_index.get(label).copied()
+        };
+        base.or_else(|| self.overlay.as_ref().and_then(|ov| ov.node_by_label(label)))
     }
 
     /// The string label of `node`.
@@ -373,22 +591,38 @@ impl GraphStore {
     /// # Panics
     /// Panics if `node` does not belong to this graph.
     pub fn node_label(&self, node: NodeId) -> &str {
-        self.node_labels.get(node.index())
+        let base = self.node_labels.len();
+        if node.index() < base {
+            return self.node_labels.get(node.index());
+        }
+        match &self.overlay {
+            Some(ov) if node.index() - base < ov.added_node_count() => {
+                ov.added_node_label(node.index() - base)
+            }
+            _ => panic!(
+                "node index {node} out of range for {} nodes",
+                self.node_count()
+            ),
+        }
     }
 
     /// Whether `node` belongs to this graph.
     pub fn contains_node(&self, node: NodeId) -> bool {
-        node.index() < self.node_labels.len()
+        node.index() < self.node_count()
     }
 
-    /// Number of nodes.
+    /// Number of nodes (base dictionary plus overlay-added nodes).
     pub fn node_count(&self) -> usize {
         self.node_labels.len()
+            + self
+                .overlay
+                .as_ref()
+                .map_or(0, DeltaOverlay::added_node_count)
     }
 
     /// Iterates over all node ids in increasing order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.node_labels.len() as u32).map(NodeId)
+        (0..self.node_count() as u32).map(NodeId)
     }
 
     // ------------------------------------------------------------------
@@ -402,9 +636,10 @@ impl GraphStore {
     /// new.
     pub fn add_edge(&mut self, source: NodeId, label: LabelId, target: NodeId) -> bool {
         debug_assert!(self.contains_node(source) && self.contains_node(target));
-        // A snapshot-loaded store materialises its builder maps before the
-        // first write, so dropping the CSR below cannot lose edges.
-        self.hydrate_builder();
+        // A snapshot-loaded store materialises its builder maps (and an
+        // overlay-carrying store folds its overlay in) before the first
+        // write, so dropping the CSR below cannot lose edges.
+        self.make_mutable();
         debug_assert!(label.index() < self.adjacency.len());
         let adj = &mut self.adjacency[label.index()];
         let out = adj.out.entry(source).or_default();
@@ -434,45 +669,74 @@ impl GraphStore {
         self.add_edge(s, l, t)
     }
 
-    /// Whether the edge `source --label--> target` exists.
+    /// Whether the edge `source --label--> target` exists (overlay-aware).
     pub fn has_edge(&self, source: NodeId, label: LabelId, target: NodeId) -> bool {
+        if let Some(ov) = &self.overlay {
+            if ov.is_deleted(source, label, target) {
+                return false;
+            }
+            if ov
+                .adds_for(source, label, Direction::Outgoing)
+                .contains(&target)
+            {
+                return true;
+            }
+        }
         self.neighbors(source, label, Direction::Outgoing)
             .contains(&target)
     }
 
-    /// Total number of edges.
+    /// Total number of edges (overlay adds and deletes included).
     pub fn edge_count(&self) -> usize {
         self.edge_count
     }
 
     /// Number of edges with a given label.
+    ///
+    /// **Exact** on overlay stores too (base ± exact overlay counters) —
+    /// the planner's `has_edges` pruning predicate depends on this never
+    /// under-reporting a live label.
     pub fn edge_count_for_label(&self, label: LabelId) -> usize {
-        if let Some(csr) = &self.csr {
+        let base = if let Some(csr) = &self.csr {
             // Every labelled edge appears exactly once in its outgoing layer;
             // this also serves snapshot-loaded stores with empty builders.
-            return csr.layer(label, true).map_or(0, CsrLayer::len);
+            csr.layer(label, true).map_or(0, CsrLayer::len)
+        } else {
+            self.adjacency
+                .get(label.index())
+                .map_or(0, |adj| adj.edge_count)
+        };
+        match &self.overlay {
+            Some(ov) => {
+                base + ov.added_for_label(label) as usize - ov.deleted_for_label(label) as usize
+            }
+            None => base,
         }
-        self.adjacency
-            .get(label.index())
-            .map_or(0, |adj| adj.edge_count)
     }
 
-    /// Iterates over every edge in the graph.
+    /// Iterates over every edge in the graph (overlay-aware: deleted base
+    /// edges are skipped, overlay-added edges appended).
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        let overlay = self.overlay.as_ref();
         // A frozen store iterates its CSR (the only complete source on a
         // snapshot-loaded store); otherwise the builder maps serve.
-        let csr_edges = self.csr.as_ref().into_iter().flat_map(|csr| {
-            csr.out_all.occupied_nodes().flat_map(move |source| {
-                csr.out_all
-                    .entries(source)
-                    .iter()
-                    .map(move |&(label, target)| EdgeRef {
-                        source,
-                        label,
-                        target,
-                    })
+        let csr_edges = self
+            .csr
+            .as_ref()
+            .into_iter()
+            .flat_map(|csr| {
+                csr.out_all.occupied_nodes().flat_map(move |source| {
+                    csr.out_all
+                        .entries(source)
+                        .iter()
+                        .map(move |&(label, target)| EdgeRef {
+                            source,
+                            label,
+                            target,
+                        })
+                })
             })
-        });
+            .filter(move |e| overlay.is_none_or(|ov| !ov.is_deleted(e.source, e.label, e.target)));
         // `take(0)` never polls the map iterator, so a frozen store does not
         // walk its (possibly fully populated) builder map just to reject it.
         let builder_cap = if self.csr.is_some() { 0 } else { usize::MAX };
@@ -487,7 +751,8 @@ impl GraphStore {
                     target,
                 })
             });
-        csr_edges.chain(builder_edges)
+        let overlay_edges = overlay.into_iter().flat_map(DeltaOverlay::added_edge_iter);
+        csr_edges.chain(builder_edges).chain(overlay_edges)
     }
 
     // ------------------------------------------------------------------
@@ -500,6 +765,11 @@ impl GraphStore {
     /// On a frozen store this is two array reads into the CSR index; on an
     /// unfrozen store it falls back to the builder's hash maps. Either way
     /// the result is a borrowed slice — never a copy.
+    ///
+    /// On an overlay-carrying store this is the **base** view only:
+    /// overlay-added edges are absent and deleted edges still appear. Use
+    /// [`GraphStore::neighbors_iter`] (or [`GraphStore::neighbors_into`])
+    /// for the merged live view; on overlay-free stores the two agree.
     #[inline]
     pub fn neighbors(&self, node: NodeId, label: LabelId, dir: Direction) -> &[NodeId] {
         if let Some(csr) = &self.csr {
@@ -519,7 +789,9 @@ impl GraphStore {
     /// Neighbours of `node` over *any* label (including `type`), in the given
     /// direction, with the connecting label — used by wildcard transitions.
     ///
-    /// Returns a borrowed slice in both the frozen and builder states.
+    /// Returns a borrowed slice in both the frozen and builder states. Like
+    /// [`GraphStore::neighbors`], this is the base-only view on an
+    /// overlay-carrying store; [`GraphStore::neighbors_any_iter`] merges.
     #[inline]
     pub fn neighbors_any(&self, node: NodeId, dir: Direction) -> &[(LabelId, NodeId)] {
         if let Some(csr) = &self.csr {
@@ -535,34 +807,139 @@ impl GraphStore {
         map.get(&node).map_or(&[][..], Vec::as_slice)
     }
 
+    /// The live neighbour view: the base CSR slice run first, minus edges
+    /// the overlay deleted, plus edges the overlay added.
+    ///
+    /// Without an overlay (the common case) this costs one discriminant
+    /// test over [`GraphStore::neighbors`]; the deletion filter is skipped
+    /// entirely for `(label, node)` slices no deletion touches.
+    #[inline]
+    pub fn neighbors_iter(
+        &self,
+        node: NodeId,
+        label: LabelId,
+        dir: Direction,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        let base = self.neighbors(node, label, dir);
+        let (adds, filter_deleted) = match &self.overlay {
+            Some(ov) => (
+                ov.adds_for(node, label, dir),
+                ov.deletes_touch(node, label, dir),
+            ),
+            None => (&[][..], false),
+        };
+        let overlay = self.overlay.as_ref();
+        base.iter()
+            .copied()
+            .filter(move |&other| {
+                !filter_deleted
+                    || overlay.is_none_or(|ov| !ov.edge_deleted(node, label, other, dir))
+            })
+            .chain(adds.iter().copied())
+    }
+
+    /// [`GraphStore::neighbors_iter`] materialised into a caller-provided
+    /// buffer, for call sites that need a slice (binary search, rayon).
+    /// Returns the base slice directly — zero copies — whenever the overlay
+    /// does not touch this `(label, node)` slice.
+    #[inline]
+    pub fn neighbors_into<'g>(
+        &'g self,
+        node: NodeId,
+        label: LabelId,
+        dir: Direction,
+        buf: &'g mut Vec<NodeId>,
+    ) -> &'g [NodeId] {
+        let base = self.neighbors(node, label, dir);
+        let Some(ov) = &self.overlay else {
+            return base;
+        };
+        let adds = ov.adds_for(node, label, dir);
+        let filter_deleted = ov.deletes_touch(node, label, dir);
+        if adds.is_empty() && !filter_deleted {
+            return base;
+        }
+        buf.clear();
+        if filter_deleted {
+            buf.extend(
+                base.iter()
+                    .copied()
+                    .filter(|&other| !ov.edge_deleted(node, label, other, dir)),
+            );
+        } else {
+            buf.extend_from_slice(base);
+        }
+        buf.extend_from_slice(adds);
+        buf
+    }
+
+    /// The live mixed-label neighbour view: base entries minus overlay
+    /// deletions, plus overlay additions — the merged counterpart of
+    /// [`GraphStore::neighbors_any`].
+    #[inline]
+    pub fn neighbors_any_iter(
+        &self,
+        node: NodeId,
+        dir: Direction,
+    ) -> impl Iterator<Item = (LabelId, NodeId)> + '_ {
+        let base = self.neighbors_any(node, dir);
+        let (adds, filter_deleted) = match &self.overlay {
+            Some(ov) => (ov.adds_any(node, dir), ov.deletes_touch_any(node, dir)),
+            None => (&[][..], false),
+        };
+        let overlay = self.overlay.as_ref();
+        base.iter()
+            .copied()
+            .filter(move |&(label, other)| {
+                !filter_deleted
+                    || overlay.is_none_or(|ov| !ov.edge_deleted(node, label, other, dir))
+            })
+            .chain(adds.iter().copied())
+    }
+
     /// All nodes that are the *target* of an edge labelled `label`
     /// (the paper's `Heads`).
+    ///
+    /// On an overlay store this is a conservative over-approximation:
+    /// overlay-added heads are included, but nodes whose last `label` edge
+    /// was deleted are kept. Seeding from a superset only adds candidates
+    /// the automaton rejects — it cannot change answers or break the
+    /// admissibility of cost lower bounds.
     pub fn heads(&self, label: LabelId) -> NodeBitmap {
-        if let Some(csr) = &self.csr {
-            return csr
-                .layer(label, false)
+        let mut set: NodeBitmap = if let Some(csr) = &self.csr {
+            csr.layer(label, false)
                 .map(|layer| layer.occupied_nodes().collect())
-                .unwrap_or_default();
+                .unwrap_or_default()
+        } else {
+            self.adjacency
+                .get(label.index())
+                .map(|adj| adj.inc.keys().copied().collect())
+                .unwrap_or_default()
+        };
+        if let Some(ov) = &self.overlay {
+            set.extend(ov.added_heads(label));
         }
-        self.adjacency
-            .get(label.index())
-            .map(|adj| adj.inc.keys().copied().collect())
-            .unwrap_or_default()
+        set
     }
 
     /// All nodes that are the *source* of an edge labelled `label`
-    /// (the paper's `Tails`).
+    /// (the paper's `Tails`). Conservative on overlay stores like
+    /// [`GraphStore::heads`].
     pub fn tails(&self, label: LabelId) -> NodeBitmap {
-        if let Some(csr) = &self.csr {
-            return csr
-                .layer(label, true)
+        let mut set: NodeBitmap = if let Some(csr) = &self.csr {
+            csr.layer(label, true)
                 .map(|layer| layer.occupied_nodes().collect())
-                .unwrap_or_default();
+                .unwrap_or_default()
+        } else {
+            self.adjacency
+                .get(label.index())
+                .map(|adj| adj.out.keys().copied().collect())
+                .unwrap_or_default()
+        };
+        if let Some(ov) = &self.overlay {
+            set.extend(ov.added_tails(label));
         }
-        self.adjacency
-            .get(label.index())
-            .map(|adj| adj.out.keys().copied().collect())
-            .unwrap_or_default()
+        set
     }
 
     /// Union of [`GraphStore::heads`] and [`GraphStore::tails`]
@@ -574,32 +951,54 @@ impl GraphStore {
     }
 
     /// All nodes incident to at least one edge, in either direction.
+    /// Conservative on overlay stores like [`GraphStore::heads`].
     pub fn nodes_with_any_edge(&self) -> NodeBitmap {
-        if let Some(csr) = &self.csr {
+        let mut set: NodeBitmap = if let Some(csr) = &self.csr {
             let mut set: NodeBitmap = csr.out_all.occupied_nodes().collect();
             set.extend(csr.in_all.occupied_nodes());
-            return set;
+            set
+        } else {
+            let mut set: NodeBitmap = self.out_all.keys().copied().collect();
+            set.extend(self.in_all.keys().copied());
+            set
+        };
+        if let Some(ov) = &self.overlay {
+            set.extend(ov.added_incident_nodes());
         }
-        let mut set: NodeBitmap = self.out_all.keys().copied().collect();
-        set.extend(self.in_all.keys().copied());
         set
     }
 
     /// Out-degree of `node` restricted to `label`, or over all labels if
-    /// `label` is `None`.
+    /// `label` is `None` (exact, overlay-aware).
     pub fn out_degree(&self, node: NodeId, label: Option<LabelId>) -> usize {
-        match label {
-            Some(l) => self.neighbors(node, l, Direction::Outgoing).len(),
-            None => self.neighbors_any(node, Direction::Outgoing).len(),
+        let dir = Direction::Outgoing;
+        let base = match label {
+            Some(l) => self.neighbors(node, l, dir).len(),
+            None => self.neighbors_any(node, dir).len(),
+        };
+        match &self.overlay {
+            Some(ov) => match label {
+                Some(l) => base + ov.adds_for(node, l, dir).len() - ov.deletes_at(node, l, dir),
+                None => base + ov.adds_any(node, dir).len() - ov.deletes_at_any(node, dir),
+            },
+            None => base,
         }
     }
 
     /// In-degree of `node` restricted to `label`, or over all labels if
-    /// `label` is `None`.
+    /// `label` is `None` (exact, overlay-aware).
     pub fn in_degree(&self, node: NodeId, label: Option<LabelId>) -> usize {
-        match label {
-            Some(l) => self.neighbors(node, l, Direction::Incoming).len(),
-            None => self.neighbors_any(node, Direction::Incoming).len(),
+        let dir = Direction::Incoming;
+        let base = match label {
+            Some(l) => self.neighbors(node, l, dir).len(),
+            None => self.neighbors_any(node, dir).len(),
+        };
+        match &self.overlay {
+            Some(ov) => match label {
+                Some(l) => base + ov.adds_for(node, l, dir).len() - ov.deletes_at(node, l, dir),
+                None => base + ov.adds_any(node, dir).len() - ov.deletes_at_any(node, dir),
+            },
+            None => base,
         }
     }
 
@@ -621,27 +1020,41 @@ impl GraphStore {
     }
 
     /// Number of distinct source nodes of edges labelled `label`.
+    ///
+    /// Exact on overlay-free stores. On an overlay store this is an upper
+    /// *estimate* (base occupancy plus overlay-added sources, deletions
+    /// ignored) — the planner only uses it as an ordering heuristic, and
+    /// compaction restores exactness.
     pub(crate) fn distinct_tails(&self, label: LabelId) -> usize {
-        if let Some(csr) = &self.csr {
-            return csr
-                .layer(label, true)
-                .map_or(0, |layer| layer.occupied_nodes().count());
+        let base = if let Some(csr) = &self.csr {
+            csr.layer(label, true)
+                .map_or(0, |layer| layer.occupied_nodes().count())
+        } else {
+            self.adjacency
+                .get(label.index())
+                .map_or(0, |adj| adj.out.len())
+        };
+        match &self.overlay {
+            Some(ov) => base + ov.added_tails(label).count(),
+            None => base,
         }
-        self.adjacency
-            .get(label.index())
-            .map_or(0, |adj| adj.out.len())
     }
 
-    /// Number of distinct target nodes of edges labelled `label`.
+    /// Number of distinct target nodes of edges labelled `label` (an upper
+    /// estimate on overlay stores, like [`GraphStore::distinct_tails`]).
     pub(crate) fn distinct_heads(&self, label: LabelId) -> usize {
-        if let Some(csr) = &self.csr {
-            return csr
-                .layer(label, false)
-                .map_or(0, |layer| layer.occupied_nodes().count());
+        let base = if let Some(csr) = &self.csr {
+            csr.layer(label, false)
+                .map_or(0, |layer| layer.occupied_nodes().count())
+        } else {
+            self.adjacency
+                .get(label.index())
+                .map_or(0, |adj| adj.inc.len())
+        };
+        match &self.overlay {
+            Some(ov) => base + ov.added_heads(label).count(),
+            None => base,
         }
-        self.adjacency
-            .get(label.index())
-            .map_or(0, |adj| adj.inc.len())
     }
 }
 
@@ -796,6 +1209,214 @@ mod tests {
         assert_eq!(g.neighbors(c, knows, Direction::Outgoing), &[d]);
         g.freeze();
         assert_eq!(g.neighbors(c, knows, Direction::Outgoing), &[d]);
+    }
+
+    /// All-direction merged views of `g` collected into sorted vectors.
+    fn live_view(g: &GraphStore, node: &str, label: &str, dir: Direction) -> Vec<String> {
+        let n = g.node_by_label(node).unwrap();
+        let l = g.label_id(label).unwrap();
+        let mut v: Vec<String> = g
+            .neighbors_iter(n, l, dir)
+            .map(|m| g.node_label(m).to_owned())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn with_delta_keeps_the_csr_and_layers_changes() {
+        let mut g = sample();
+        g.freeze();
+        let mut delta = GraphDelta::new();
+        delta.add("c", "knows", "d").add("a", "knows", "c");
+        delta.remove("a", "knows", "b");
+        let (live, report) = g.with_delta(&delta).unwrap();
+        assert!(live.is_frozen(), "with_delta must never drop the CSR");
+        assert!(live.has_overlay());
+        assert_eq!(report.added, 2);
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.overlay_edges, 3);
+        // The source store is untouched (epoch pinning relies on this).
+        assert!(!g.has_overlay());
+        assert_eq!(live_view(&g, "a", "knows", Direction::Outgoing), ["b"]);
+        // Merged views reflect the delta.
+        assert_eq!(live_view(&live, "a", "knows", Direction::Outgoing), ["c"]);
+        assert_eq!(live_view(&live, "c", "knows", Direction::Outgoing), ["d"]);
+        assert_eq!(
+            live_view(&live, "c", "knows", Direction::Incoming),
+            ["a", "b"]
+        );
+        assert_eq!(live.edge_count(), g.edge_count() + 1);
+        let knows = live.label_id("knows").unwrap();
+        assert_eq!(live.edge_count_for_label(knows), 3);
+        assert!(live.has_edge(
+            live.node_by_label("c").unwrap(),
+            knows,
+            live.node_by_label("d").unwrap()
+        ));
+        assert!(!live.has_edge(
+            live.node_by_label("a").unwrap(),
+            knows,
+            live.node_by_label("b").unwrap()
+        ));
+        // New node "d" resolves, counts, and labels correctly.
+        let d = live.node_by_label("d").unwrap();
+        assert_eq!(live.node_label(d), "d");
+        assert!(live.contains_node(d));
+        assert_eq!(live.node_count(), g.node_count() + 1);
+        assert_eq!(live.node_ids().count(), live.node_count());
+        // edges() agrees with edge_count.
+        assert_eq!(live.edges().count(), live.edge_count());
+    }
+
+    #[test]
+    fn compacted_store_matches_incremental_views() {
+        let mut g = sample();
+        g.freeze();
+        let mut delta = GraphDelta::new();
+        delta
+            .add("c", "knows", "d")
+            .add("d", "likes", "a")
+            .remove("b", "knows", "c");
+        let (live, _) = g.with_delta(&delta).unwrap();
+        let compact = live.compacted();
+        assert!(compact.is_frozen());
+        assert!(!compact.has_overlay());
+        assert_eq!(compact.edge_count(), live.edge_count());
+        assert_eq!(compact.node_count(), live.node_count());
+        for node in ["a", "b", "c", "d"] {
+            for label in ["knows", "likes", "type"] {
+                for dir in [Direction::Outgoing, Direction::Incoming] {
+                    assert_eq!(
+                        live_view(&compact, node, label, dir),
+                        live_view(&live, node, label, dir),
+                        "{node} {label} {dir:?}"
+                    );
+                }
+            }
+        }
+        let knows = compact.label_id("knows").unwrap();
+        assert_eq!(
+            compact.edge_count_for_label(knows),
+            live.edge_count_for_label(knows)
+        );
+        // Compaction makes the statistics exact again; the live estimates
+        // may only over-approximate.
+        assert!(live.distinct_tails(knows) >= compact.distinct_tails(knows));
+    }
+
+    #[test]
+    fn overlay_chains_across_epochs_and_un_deletes() {
+        let mut g = sample();
+        g.freeze();
+        let (e1, r1) = g
+            .with_delta(GraphDelta::new().remove("a", "knows", "b"))
+            .unwrap();
+        assert_eq!(r1.removed, 1);
+        // Re-adding the deleted base edge in a later epoch un-deletes it.
+        let (e2, r2) = e1
+            .with_delta(GraphDelta::new().add("a", "knows", "b"))
+            .unwrap();
+        assert_eq!(r2.added, 1);
+        assert_eq!(r2.overlay_edges, 0, "delete + re-add cancels out");
+        assert_eq!(live_view(&e2, "a", "knows", Direction::Outgoing), ["b"]);
+        assert_eq!(e2.edge_count(), g.edge_count());
+        // Each epoch keeps its own view.
+        assert!(live_view(&e1, "a", "knows", Direction::Outgoing).is_empty());
+        assert_eq!(live_view(&g, "a", "knows", Direction::Outgoing), ["b"]);
+    }
+
+    #[test]
+    fn with_delta_duplicates_and_unknown_removals_are_no_ops() {
+        let mut g = sample();
+        g.freeze();
+        let (live, report) = g
+            .with_delta(
+                GraphDelta::new()
+                    .add("a", "knows", "b") // already in base
+                    .remove("nope", "knows", "b") // unknown node
+                    .remove("a", "missing", "b") // unknown label
+                    .remove("a", "knows", "c"), // no such edge
+            )
+            .unwrap();
+        assert_eq!(report.added, 0);
+        assert_eq!(report.removed, 0);
+        assert!(!live.has_overlay());
+        assert_eq!(live.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn with_delta_requires_a_frozen_store() {
+        let g = sample();
+        assert!(matches!(
+            g.with_delta(&GraphDelta::new()),
+            Err(GraphError::NotFrozen)
+        ));
+    }
+
+    #[test]
+    fn legacy_mutation_on_an_overlay_store_folds_first() {
+        let mut g = sample();
+        g.freeze();
+        let (mut live, _) = g
+            .with_delta(
+                GraphDelta::new()
+                    .add("c", "knows", "d")
+                    .remove("a", "likes", "c"),
+            )
+            .unwrap();
+        // The legacy API still works: the overlay folds into the builder.
+        assert!(live.add_triple("d", "knows", "e"));
+        assert!(!live.is_frozen(), "legacy add_edge drops the CSR");
+        assert!(!live.has_overlay());
+        assert_eq!(live_view(&live, "c", "knows", Direction::Outgoing), ["d"]);
+        assert_eq!(live_view(&live, "d", "knows", Direction::Outgoing), ["e"]);
+        let likes = live.label_id("likes").unwrap();
+        assert_eq!(live.edge_count_for_label(likes), 0);
+        live.freeze();
+        assert_eq!(live_view(&live, "d", "knows", Direction::Outgoing), ["e"]);
+        assert_eq!(live.edges().count(), live.edge_count());
+    }
+
+    #[test]
+    fn overlay_aware_aggregates() {
+        let mut g = sample();
+        g.freeze();
+        let (live, _) = g
+            .with_delta(
+                GraphDelta::new()
+                    .add("c", "knows", "d")
+                    .remove("a", "knows", "b"),
+            )
+            .unwrap();
+        let knows = live.label_id("knows").unwrap();
+        let d = live.node_by_label("d").unwrap();
+        let c = live.node_by_label("c").unwrap();
+        let a = live.node_by_label("a").unwrap();
+        // heads/tails include overlay additions (and conservatively keep
+        // deleted endpoints).
+        assert!(live.heads(knows).contains(d));
+        assert!(live.tails(knows).contains(c));
+        assert!(live.nodes_with_any_edge().contains(d));
+        // Degrees are exact.
+        assert_eq!(live.out_degree(a, Some(knows)), 0);
+        assert_eq!(live.out_degree(c, Some(knows)), 1);
+        assert_eq!(live.in_degree(d, None), 1);
+        // neighbors_into merges (and borrows straight from the CSR when the
+        // slice is untouched).
+        let mut buf = Vec::new();
+        assert_eq!(
+            live.neighbors_into(c, knows, Direction::Outgoing, &mut buf),
+            &[d]
+        );
+        let b = live.node_by_label("b").unwrap();
+        let mut buf2 = Vec::new();
+        assert_eq!(
+            live.neighbors_into(b, knows, Direction::Outgoing, &mut buf2),
+            live.neighbors(b, knows, Direction::Outgoing),
+        );
+        // label_stats over the live store keeps edge counts exact.
+        assert_eq!(live.label_stats().entry(knows).edges, 2);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod hash;
 pub mod ids;
 pub mod interner;
 pub mod io;
+pub mod overlay;
 pub mod snapshot;
 pub mod stats;
 
@@ -70,5 +71,6 @@ pub use graph::{EdgeRef, GraphStore};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Direction, LabelId, NodeId};
 pub use interner::LabelInterner;
+pub use overlay::{DeltaReport, GraphDelta};
 pub use snapshot::SnapshotError;
 pub use stats::{GraphStats, LabelEntry, LabelStats};

@@ -1,0 +1,511 @@
+//! The mutable delta overlay over a frozen CSR base.
+//!
+//! PR 8's live-graph substrate: a frozen [`crate::GraphStore`] never loses
+//! its CSR index again. Instead of silently dropping the index on mutation,
+//! [`crate::GraphStore::with_delta`] derives a *new* store that shares the
+//! base CSR (behind an `Arc`) and layers a `DeltaOverlay` on top:
+//! per-`(label, direction)` added-edge lists, a set of deleted base edges,
+//! and the node/label additions the delta introduced. Every overlay-aware
+//! read runs the base CSR first and consults the overlay afterwards, so the
+//! empty-overlay cost is a single `Option` discriminant test on the hot
+//! path.
+//!
+//! ## Conservative deletes and admissibility
+//!
+//! The cost-guided evaluator (PR 5) orders expansion by `MinCostToAccept`
+//! lower bounds derived from [`crate::LabelStats`]. Overlay stores keep the
+//! per-label **edge counts exact** (base ± overlay counters), so
+//! `LabelStats::has_edges` — the only statistic the live-predicate pruning
+//! relies on for correctness — never reports a label dead while overlay
+//! edges carry it. Deleted edges are handled *conservatively* everywhere
+//! else: seed bitmaps ([`crate::GraphStore::heads`] / `tails`) and the
+//! distinct-endpoint estimates keep nodes whose last edge was deleted.
+//! Over-approximating the candidate set can only add work the automaton
+//! then rejects; it can never raise a lower bound above the true cost, so
+//! the A* ordering stays admissible while the overlay is live. Compaction
+//! ([`crate::GraphStore::compacted`]) restores exact statistics.
+
+use crate::graph::EdgeRef;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::ids::{Direction, LabelId, NodeId};
+
+/// A batch of edge additions and removals expressed as string triples,
+/// applied atomically by [`crate::GraphStore::with_delta`].
+///
+/// Additions create missing nodes and edge labels on the fly (the
+/// [`crate::GraphStore::add_triple`] convention); removals of unknown
+/// nodes, labels or edges are no-ops. Within one batch, operations apply
+/// in order: all adds first, then all removes.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    pub(crate) adds: Vec<(String, String, String)>,
+    pub(crate) removes: Vec<(String, String, String)>,
+}
+
+impl GraphDelta {
+    /// An empty batch.
+    pub fn new() -> GraphDelta {
+        GraphDelta::default()
+    }
+
+    /// Queues the edge `source --label--> target` for addition.
+    pub fn add(&mut self, source: &str, label: &str, target: &str) -> &mut Self {
+        self.adds
+            .push((source.to_owned(), label.to_owned(), target.to_owned()));
+        self
+    }
+
+    /// Queues the edge `source --label--> target` for removal.
+    pub fn remove(&mut self, source: &str, label: &str, target: &str) -> &mut Self {
+        self.removes
+            .push((source.to_owned(), label.to_owned(), target.to_owned()));
+        self
+    }
+
+    /// Queued additions, in application order.
+    pub fn adds(&self) -> &[(String, String, String)] {
+        &self.adds
+    }
+
+    /// Queued removals, in application order.
+    pub fn removes(&self) -> &[(String, String, String)] {
+        &self.removes
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.adds.len() + self.removes.len()
+    }
+}
+
+/// What one [`crate::GraphStore::with_delta`] application did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Edges that were actually added (not already present).
+    pub added: u64,
+    /// Edges that were actually removed (present before).
+    pub removed: u64,
+    /// Total overlay entries (added + deleted edges) after application —
+    /// the compaction-pressure signal.
+    pub overlay_edges: u64,
+}
+
+/// Mutable delta state layered over a frozen base CSR.
+///
+/// Tracks added edges (per `(label, direction)` and per node for the
+/// mixed-label views), deleted base edges (canonical `(tail, label, head)`
+/// orientation), nodes and labels created after the freeze, and exact
+/// per-label added/deleted counters. All lookups the read path performs are
+/// O(1) hash probes returning borrowed slices, mirroring the builder maps.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaOverlay {
+    /// Node count of the base store when the overlay chain started; overlay
+    /// node ids continue from here.
+    base_nodes: usize,
+    /// Labels of overlay-added nodes, in id order (`base_nodes + i`).
+    added_node_labels: Vec<String>,
+    /// Label → id index over the overlay-added nodes.
+    added_node_index: FxHashMap<String, NodeId>,
+    /// Added edges: `(label, tail) → heads` and `(label, head) → tails`.
+    adds_out: FxHashMap<(LabelId, NodeId), Vec<NodeId>>,
+    adds_in: FxHashMap<(LabelId, NodeId), Vec<NodeId>>,
+    /// Added edges in the mixed-label views.
+    adds_out_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    adds_in_all: FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    /// Deleted base edges, canonical outgoing orientation.
+    deleted: FxHashSet<(NodeId, LabelId, NodeId)>,
+    /// How many deletions touch each `(label, node)` slice / node — lets
+    /// the read path skip the per-neighbour membership filter entirely for
+    /// untouched slices.
+    del_out: FxHashMap<(LabelId, NodeId), u32>,
+    del_in: FxHashMap<(LabelId, NodeId), u32>,
+    del_out_any: FxHashMap<NodeId, u32>,
+    del_in_any: FxHashMap<NodeId, u32>,
+    /// Exact per-label counters keeping `edge_count_for_label` (and with it
+    /// `LabelStats::has_edges`) exact on live stores.
+    label_added: Vec<u64>,
+    label_deleted: Vec<u64>,
+    added_total: u64,
+    deleted_total: u64,
+}
+
+impl DeltaOverlay {
+    pub(crate) fn new(base_nodes: usize) -> DeltaOverlay {
+        DeltaOverlay {
+            base_nodes,
+            ..DeltaOverlay::default()
+        }
+    }
+
+    /// Whether the overlay records no changes at all.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.added_total == 0 && self.deleted_total == 0 && self.added_node_labels.is_empty()
+    }
+
+    /// Added + deleted edge entries — the compaction-pressure signal.
+    pub(crate) fn overlay_edges(&self) -> u64 {
+        self.added_total + self.deleted_total
+    }
+
+    // ------------------------------------------------------------------
+    // Nodes
+    // ------------------------------------------------------------------
+
+    pub(crate) fn added_node_count(&self) -> usize {
+        self.added_node_labels.len()
+    }
+
+    /// The label of overlay node `base_nodes + offset`.
+    pub(crate) fn added_node_label(&self, offset: usize) -> &str {
+        &self.added_node_labels[offset]
+    }
+
+    pub(crate) fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.added_node_index.get(label).copied()
+    }
+
+    /// Interns an overlay node, allocating the next id after the base.
+    pub(crate) fn add_node(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.added_node_index.get(label) {
+            return id;
+        }
+        let id = NodeId((self.base_nodes + self.added_node_labels.len()) as u32);
+        self.added_node_labels.push(label.to_owned());
+        self.added_node_index.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Labels of overlay-added nodes in id order (for folding back into the
+    /// builder).
+    pub(crate) fn added_node_labels(&self) -> &[String] {
+        &self.added_node_labels
+    }
+
+    // ------------------------------------------------------------------
+    // Edge mutation
+    // ------------------------------------------------------------------
+
+    /// Records the addition of `tail --label--> head`; `base_has` says
+    /// whether the base CSR already stores the edge. Re-adding a deleted
+    /// base edge un-deletes it. Returns `true` if the edge is newly present.
+    pub(crate) fn add_edge(
+        &mut self,
+        tail: NodeId,
+        label: LabelId,
+        head: NodeId,
+        base_has: bool,
+    ) -> bool {
+        if self.deleted.remove(&(tail, label, head)) {
+            decrement(&mut self.del_out, (label, tail));
+            decrement(&mut self.del_in, (label, head));
+            decrement(&mut self.del_out_any, tail);
+            decrement(&mut self.del_in_any, head);
+            self.label_deleted[label.index()] -= 1;
+            self.deleted_total -= 1;
+            return true;
+        }
+        if base_has {
+            return false;
+        }
+        let out = self.adds_out.entry((label, tail)).or_default();
+        if out.contains(&head) {
+            return false;
+        }
+        out.push(head);
+        self.adds_in.entry((label, head)).or_default().push(tail);
+        self.adds_out_all
+            .entry(tail)
+            .or_default()
+            .push((label, head));
+        self.adds_in_all
+            .entry(head)
+            .or_default()
+            .push((label, tail));
+        if self.label_added.len() <= label.index() {
+            self.label_added.resize(label.index() + 1, 0);
+        }
+        self.label_added[label.index()] += 1;
+        self.added_total += 1;
+        true
+    }
+
+    /// Records the removal of `tail --label--> head`; `base_has` says
+    /// whether the base CSR stores the edge. Removing an overlay-added edge
+    /// drops it from the add lists; removing a base edge marks it deleted;
+    /// removing a non-existent edge is a no-op. Returns `true` if the edge
+    /// was present before.
+    pub(crate) fn remove_edge(
+        &mut self,
+        tail: NodeId,
+        label: LabelId,
+        head: NodeId,
+        base_has: bool,
+    ) -> bool {
+        if let Some(out) = self.adds_out.get_mut(&(label, tail)) {
+            if let Some(pos) = out.iter().position(|&h| h == head) {
+                out.swap_remove(pos);
+                if out.is_empty() {
+                    self.adds_out.remove(&(label, tail));
+                }
+                remove_pair(&mut self.adds_in, (label, head), tail);
+                remove_entry(&mut self.adds_out_all, tail, (label, head));
+                remove_entry(&mut self.adds_in_all, head, (label, tail));
+                self.label_added[label.index()] -= 1;
+                self.added_total -= 1;
+                return true;
+            }
+        }
+        if base_has && self.deleted.insert((tail, label, head)) {
+            *self.del_out.entry((label, tail)).or_default() += 1;
+            *self.del_in.entry((label, head)).or_default() += 1;
+            *self.del_out_any.entry(tail).or_default() += 1;
+            *self.del_in_any.entry(head).or_default() += 1;
+            if self.label_deleted.len() <= label.index() {
+                self.label_deleted.resize(label.index() + 1, 0);
+            }
+            self.label_deleted[label.index()] += 1;
+            self.deleted_total += 1;
+            return true;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Read surface
+    // ------------------------------------------------------------------
+
+    /// Overlay-added neighbours of `node` for `label` in `dir`.
+    #[inline]
+    pub(crate) fn adds_for(&self, node: NodeId, label: LabelId, dir: Direction) -> &[NodeId] {
+        let map = match dir {
+            Direction::Outgoing => &self.adds_out,
+            Direction::Incoming => &self.adds_in,
+        };
+        map.get(&(label, node)).map_or(&[][..], Vec::as_slice)
+    }
+
+    /// Overlay-added `(label, neighbour)` entries of `node` in `dir`.
+    #[inline]
+    pub(crate) fn adds_any(&self, node: NodeId, dir: Direction) -> &[(LabelId, NodeId)] {
+        let map = match dir {
+            Direction::Outgoing => &self.adds_out_all,
+            Direction::Incoming => &self.adds_in_all,
+        };
+        map.get(&node).map_or(&[][..], Vec::as_slice)
+    }
+
+    /// Whether any deletion touches the `(label, node, dir)` slice.
+    #[inline]
+    pub(crate) fn deletes_touch(&self, node: NodeId, label: LabelId, dir: Direction) -> bool {
+        let map = match dir {
+            Direction::Outgoing => &self.del_out,
+            Direction::Incoming => &self.del_in,
+        };
+        map.contains_key(&(label, node))
+    }
+
+    /// Whether any deletion touches `node`'s mixed-label slice in `dir`.
+    #[inline]
+    pub(crate) fn deletes_touch_any(&self, node: NodeId, dir: Direction) -> bool {
+        let map = match dir {
+            Direction::Outgoing => &self.del_out_any,
+            Direction::Incoming => &self.del_in_any,
+        };
+        map.contains_key(&node)
+    }
+
+    /// Whether the canonical edge `tail --label--> head` is deleted.
+    #[inline]
+    pub(crate) fn is_deleted(&self, tail: NodeId, label: LabelId, head: NodeId) -> bool {
+        self.deleted.contains(&(tail, label, head))
+    }
+
+    /// Whether the edge between `node` and its neighbour `other` (read in
+    /// `dir` at `node`) is deleted, orienting into canonical form.
+    #[inline]
+    pub(crate) fn edge_deleted(
+        &self,
+        node: NodeId,
+        label: LabelId,
+        other: NodeId,
+        dir: Direction,
+    ) -> bool {
+        match dir {
+            Direction::Outgoing => self.is_deleted(node, label, other),
+            Direction::Incoming => self.is_deleted(other, label, node),
+        }
+    }
+
+    /// Number of deletions touching the `(label, node, dir)` slice.
+    #[inline]
+    pub(crate) fn deletes_at(&self, node: NodeId, label: LabelId, dir: Direction) -> usize {
+        let map = match dir {
+            Direction::Outgoing => &self.del_out,
+            Direction::Incoming => &self.del_in,
+        };
+        map.get(&(label, node)).copied().unwrap_or(0) as usize
+    }
+
+    /// Number of deletions touching `node`'s mixed slice in `dir`.
+    #[inline]
+    pub(crate) fn deletes_at_any(&self, node: NodeId, dir: Direction) -> usize {
+        let map = match dir {
+            Direction::Outgoing => &self.del_out_any,
+            Direction::Incoming => &self.del_in_any,
+        };
+        map.get(&node).copied().unwrap_or(0) as usize
+    }
+
+    /// Exact count of overlay-added edges with `label`.
+    pub(crate) fn added_for_label(&self, label: LabelId) -> u64 {
+        self.label_added.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Exact count of deleted base edges with `label`.
+    pub(crate) fn deleted_for_label(&self, label: LabelId) -> u64 {
+        self.label_deleted.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Sources of overlay-added edges with `label`.
+    pub(crate) fn added_tails(&self, label: LabelId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adds_out
+            .keys()
+            .filter(move |(l, _)| *l == label)
+            .map(|&(_, n)| n)
+    }
+
+    /// Targets of overlay-added edges with `label`.
+    pub(crate) fn added_heads(&self, label: LabelId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adds_in
+            .keys()
+            .filter(move |(l, _)| *l == label)
+            .map(|&(_, n)| n)
+    }
+
+    /// Nodes with at least one overlay-added edge, in either direction.
+    pub(crate) fn added_incident_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adds_out_all
+            .keys()
+            .chain(self.adds_in_all.keys())
+            .copied()
+    }
+
+    /// Every overlay-added edge.
+    pub(crate) fn added_edge_iter(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.adds_out_all.iter().flat_map(|(&source, entries)| {
+            entries.iter().map(move |&(label, target)| EdgeRef {
+                source,
+                label,
+                target,
+            })
+        })
+    }
+
+    /// The deleted base edges (for folding into the builder).
+    pub(crate) fn deleted_edge_iter(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.deleted.iter().map(|&(source, label, target)| EdgeRef {
+            source,
+            label,
+            target,
+        })
+    }
+}
+
+fn decrement<K: std::hash::Hash + Eq>(map: &mut FxHashMap<K, u32>, key: K) {
+    if let Some(count) = map.get_mut(&key) {
+        *count -= 1;
+        if *count == 0 {
+            map.remove(&key);
+        }
+    }
+}
+
+fn remove_pair(
+    map: &mut FxHashMap<(LabelId, NodeId), Vec<NodeId>>,
+    key: (LabelId, NodeId),
+    value: NodeId,
+) {
+    if let Some(list) = map.get_mut(&key) {
+        if let Some(pos) = list.iter().position(|&n| n == value) {
+            list.swap_remove(pos);
+        }
+        if list.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
+fn remove_entry(
+    map: &mut FxHashMap<NodeId, Vec<(LabelId, NodeId)>>,
+    key: NodeId,
+    value: (LabelId, NodeId),
+) {
+    if let Some(list) = map.get_mut(&key) {
+        if let Some(pos) = list.iter().position(|&e| e == value) {
+            list.swap_remove(pos);
+        }
+        if list.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_then_remove_is_a_no_op() {
+        let mut ov = DeltaOverlay::new(4);
+        assert!(ov.add_edge(NodeId(0), LabelId(1), NodeId(2), false));
+        assert!(!ov.add_edge(NodeId(0), LabelId(1), NodeId(2), false));
+        assert_eq!(ov.added_for_label(LabelId(1)), 1);
+        assert!(ov.remove_edge(NodeId(0), LabelId(1), NodeId(2), false));
+        assert!(ov.is_empty());
+        assert_eq!(ov.added_for_label(LabelId(1)), 0);
+        assert!(ov
+            .adds_for(NodeId(0), LabelId(1), Direction::Outgoing)
+            .is_empty());
+        assert!(ov.adds_any(NodeId(2), Direction::Incoming).is_empty());
+    }
+
+    #[test]
+    fn delete_then_re_add_un_deletes() {
+        let mut ov = DeltaOverlay::new(4);
+        assert!(ov.remove_edge(NodeId(0), LabelId(1), NodeId(2), true));
+        assert!(ov.is_deleted(NodeId(0), LabelId(1), NodeId(2)));
+        assert!(ov.deletes_touch(NodeId(0), LabelId(1), Direction::Outgoing));
+        assert!(ov.deletes_touch(NodeId(2), LabelId(1), Direction::Incoming));
+        assert_eq!(ov.deleted_for_label(LabelId(1)), 1);
+        // Re-adding restores the base edge: no overlay add is recorded.
+        assert!(ov.add_edge(NodeId(0), LabelId(1), NodeId(2), true));
+        assert!(ov.is_empty());
+        assert!(!ov.deletes_touch(NodeId(0), LabelId(1), Direction::Outgoing));
+    }
+
+    #[test]
+    fn base_duplicates_and_unknown_removals_are_no_ops() {
+        let mut ov = DeltaOverlay::new(4);
+        assert!(!ov.add_edge(NodeId(0), LabelId(1), NodeId(2), true));
+        assert!(!ov.remove_edge(NodeId(0), LabelId(1), NodeId(3), false));
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn overlay_nodes_continue_base_ids() {
+        let mut ov = DeltaOverlay::new(10);
+        let a = ov.add_node("new-a");
+        let b = ov.add_node("new-b");
+        assert_eq!(a, NodeId(10));
+        assert_eq!(b, NodeId(11));
+        assert_eq!(ov.add_node("new-a"), a);
+        assert_eq!(ov.node_by_label("new-b"), Some(b));
+        assert_eq!(ov.added_node_label(1), "new-b");
+        assert_eq!(ov.added_node_count(), 2);
+    }
+}

@@ -57,6 +57,11 @@ fn write_graph_sections_with(
     let csr = store.csr.as_ref().ok_or_else(|| {
         SnapshotError::malformed("graph must be frozen before it can be snapshotted")
     })?;
+    if store.has_overlay() {
+        return Err(SnapshotError::malformed(
+            "graph carries an uncompacted delta overlay; compact before snapshotting",
+        ));
+    }
 
     writer.add(
         SectionId::plain(SectionKind::Meta),
@@ -271,13 +276,14 @@ pub fn read_graph(reader: &SnapshotReader) -> Result<GraphStore, SnapshotError> 
         out_all: FxHashMap::default(),
         in_all: FxHashMap::default(),
         edge_count,
-        csr: Some(CsrIndex {
+        csr: Some(std::sync::Arc::new(CsrIndex {
             out,
             inc,
             out_all,
             in_all,
-        }),
+        })),
         hydrated: false,
+        overlay: None,
         label_stats,
     })
 }

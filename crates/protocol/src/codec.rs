@@ -213,6 +213,10 @@ pub fn put_engine_error(w: &mut Writer, err: &OmegaError) {
             w.put_u8(9);
             w.put_str(message);
         }
+        OmegaError::MutationFailed { message } => {
+            w.put_u8(10);
+            w.put_str(message);
+        }
     }
 }
 
@@ -239,6 +243,9 @@ pub fn take_engine_error(r: &mut Reader<'_>) -> Result<OmegaError, ProtocolError
             retry_after: r.take_duration()?,
         },
         9 => OmegaError::Internal {
+            message: r.take_str()?,
+        },
+        10 => OmegaError::MutationFailed {
             message: r.take_str()?,
         },
         _ => return Err(ProtocolError::Malformed("unknown engine error tag")),

@@ -97,6 +97,16 @@ pub enum Frame {
     Stats,
     /// Ask the daemon to drain and exit.
     Shutdown,
+    /// Apply a batch of edge mutations atomically: the server publishes all
+    /// of the batch as one new storage epoch, or none of it. In-flight
+    /// answer streams (on any connection) keep reading the epoch they
+    /// started on.
+    Mutate {
+        /// Edges to add, as `(tail, label, head)` node/edge-label triples.
+        adds: Vec<(String, String, String)>,
+        /// Edges to remove, same shape.
+        removes: Vec<(String, String, String)>,
+    },
 
     // ---- server → client -------------------------------------------------
     /// Handshake accepted.
@@ -142,6 +152,15 @@ pub enum Frame {
     /// Reply to `Shutdown`: the server has stopped accepting work and will
     /// exit once in-flight streams finish draining.
     ShutdownOk,
+    /// Reply to `Mutate`: the batch was applied and published.
+    MutateOk {
+        /// Storage epoch serving after the batch.
+        epoch: u64,
+        /// Edges actually added (duplicates of existing edges excluded).
+        added: u64,
+        /// Edges actually removed (unknown edges excluded).
+        removed: u64,
+    },
 }
 
 // Frame tags. Client requests are 0x01.., server replies 0x81.. so a
@@ -154,6 +173,7 @@ const TAG_CANCEL: u8 = 0x05;
 const TAG_CLOSE: u8 = 0x06;
 const TAG_STATS: u8 = 0x07;
 const TAG_SHUTDOWN: u8 = 0x08;
+const TAG_MUTATE: u8 = 0x09;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_PREPARED: u8 = 0x82;
 const TAG_ANSWERS: u8 = 0x83;
@@ -162,6 +182,7 @@ const TAG_FAIL: u8 = 0x85;
 const TAG_STATS_REPLY: u8 = 0x86;
 const TAG_CLOSED: u8 = 0x87;
 const TAG_SHUTDOWN_OK: u8 = 0x88;
+const TAG_MUTATE_OK: u8 = 0x89;
 
 impl Frame {
     /// Encodes the frame payload: tag byte plus body (the length prefix is
@@ -208,6 +229,17 @@ impl Frame {
             }
             Frame::Stats => w.put_u8(TAG_STATS),
             Frame::Shutdown => w.put_u8(TAG_SHUTDOWN),
+            Frame::Mutate { adds, removes } => {
+                w.put_u8(TAG_MUTATE);
+                for batch in [adds, removes] {
+                    w.put_u32(batch.len() as u32);
+                    for (tail, label, head) in batch {
+                        w.put_str(tail);
+                        w.put_str(label);
+                        w.put_str(head);
+                    }
+                }
+            }
             Frame::HelloOk { version, server } => {
                 w.put_u8(TAG_HELLO_OK);
                 w.put_u32(*version);
@@ -251,6 +283,16 @@ impl Frame {
             }
             Frame::Closed => w.put_u8(TAG_CLOSED),
             Frame::ShutdownOk => w.put_u8(TAG_SHUTDOWN_OK),
+            Frame::MutateOk {
+                epoch,
+                added,
+                removed,
+            } => {
+                w.put_u8(TAG_MUTATE_OK);
+                w.put_u64(*epoch);
+                w.put_u64(*added);
+                w.put_u64(*removed);
+            }
         }
         w.into_inner()
     }
@@ -300,6 +342,17 @@ impl Frame {
             TAG_CLOSE => Frame::Close { id: r.take_u64()? },
             TAG_STATS => Frame::Stats,
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_MUTATE => {
+                let mut batches = [Vec::new(), Vec::new()];
+                for batch in &mut batches {
+                    let count = r.take_u32()?;
+                    for _ in 0..count {
+                        batch.push((r.take_str()?, r.take_str()?, r.take_str()?));
+                    }
+                }
+                let [adds, removes] = batches;
+                Frame::Mutate { adds, removes }
+            }
             TAG_HELLO_OK => Frame::HelloOk {
                 version: r.take_u32()?,
                 server: r.take_str()?,
@@ -343,6 +396,11 @@ impl Frame {
             },
             TAG_CLOSED => Frame::Closed,
             TAG_SHUTDOWN_OK => Frame::ShutdownOk,
+            TAG_MUTATE_OK => Frame::MutateOk {
+                epoch: r.take_u64()?,
+                added: r.take_u64()?,
+                removed: r.take_u64()?,
+            },
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         r.expect_end()?;
@@ -500,6 +558,26 @@ mod tests {
         round_trip(Frame::ShutdownOk);
         round_trip(Frame::Fetch { credits: 512 });
         round_trip(Frame::Close { id: 3 });
+    }
+
+    #[test]
+    fn mutate_frames_round_trip() {
+        round_trip(Frame::Mutate {
+            adds: vec![
+                ("alice".into(), "knows".into(), "eve".into()),
+                ("eve".into(), "worksAt".into(), "acme".into()),
+            ],
+            removes: vec![("alice".into(), "knows".into(), "bob".into())],
+        });
+        round_trip(Frame::Mutate {
+            adds: Vec::new(),
+            removes: Vec::new(),
+        });
+        round_trip(Frame::MutateOk {
+            epoch: 7,
+            added: 2,
+            removed: 1,
+        });
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub(crate) fn connection(shared: Arc<Shared>, transport: Transport) {
     let _ = serve(&shared, transport);
 }
 
-fn serve(shared: &Shared, transport: Transport) -> ConnResult<()> {
+fn serve(shared: &Arc<Shared>, transport: Transport) -> ConnResult<()> {
     // Reads poll at the drain interval; writes are bounded so a client that
     // stops reading cannot pin this thread (or the drain) forever.
     let _ = transport.set_read_timeout(Some(shared.config.poll_interval));
@@ -81,7 +81,7 @@ fn serve(shared: &Shared, transport: Transport) -> ConnResult<()> {
 }
 
 struct Conn<'a> {
-    shared: &'a Shared,
+    shared: &'a Arc<Shared>,
     reader: FrameReader<Transport>,
     writer: Transport,
     /// Connection-scoped statement table. The values are clones out of the
@@ -200,6 +200,7 @@ impl Conn<'_> {
                 let stats = self.shared.stats();
                 self.send(&Frame::StatsReply { stats })
             }
+            Frame::Mutate { adds, removes } => self.mutate(adds, removes),
             Frame::Shutdown => {
                 self.shared.drain.store(true, Ordering::SeqCst);
                 self.send(&Frame::ShutdownOk)
@@ -247,6 +248,55 @@ impl Conn<'_> {
             }
             Err(err) => self.send_fail(WireError::Engine(err)),
         }
+    }
+
+    /// Applies one mutation batch atomically against the shared database.
+    /// In-flight streams — on this connection and every other — keep their
+    /// pinned epoch; only statements prepared afterwards see the change.
+    fn mutate(
+        &mut self,
+        adds: Vec<(String, String, String)>,
+        removes: Vec<(String, String, String)>,
+    ) -> ConnResult<()> {
+        if self.shared.draining() {
+            return self.send_fail(WireError::Shutdown);
+        }
+        let mut batch = self.shared.db.begin_mutation();
+        for (tail, label, head) in &adds {
+            batch.add(tail, label, head);
+        }
+        for (tail, label, head) in &removes {
+            batch.remove(tail, label, head);
+        }
+        match self.shared.db.apply(&batch) {
+            Ok(report) => {
+                self.maybe_compact();
+                self.send(&Frame::MutateOk {
+                    epoch: report.epoch,
+                    added: report.added,
+                    removed: report.removed,
+                })
+            }
+            Err(err) => self.send_fail(WireError::Engine(err)),
+        }
+    }
+
+    /// Kicks off a background compaction when the delta overlay has grown
+    /// past the configured threshold. At most one compactor runs at a time;
+    /// it swaps in a fresh frozen CSR without blocking readers or writers.
+    fn maybe_compact(&self) {
+        let threshold = self.shared.config.compact_threshold;
+        if threshold == 0 || self.shared.db.graph().overlay_edges() < threshold as u64 {
+            return;
+        }
+        if self.shared.compacting.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(self.shared);
+        std::thread::spawn(move || {
+            shared.db.compact();
+            shared.compacting.store(false, Ordering::SeqCst);
+        });
     }
 
     fn execute(

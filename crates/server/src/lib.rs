@@ -61,6 +61,11 @@ pub struct ServerConfig {
     pub write_timeout: Option<Duration>,
     /// Maximum answers per `Answers` frame.
     pub batch: usize,
+    /// Overlay size (in live delta edges) above which a successful `Mutate`
+    /// triggers a background compaction of the graph into a fresh frozen
+    /// CSR. Compaction never blocks readers or writers of the serving
+    /// epoch; `0` disables the trigger.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +75,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(25),
             write_timeout: Some(Duration::from_secs(10)),
             batch: omega_protocol::DEFAULT_BATCH,
+            compact_threshold: 8192,
         }
     }
 }
@@ -95,6 +101,9 @@ pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
     pub(crate) drain: AtomicBool,
     pub(crate) counters: Counters,
+    /// Set while a background compaction thread is running, so overlapping
+    /// `Mutate` bursts trigger at most one compactor at a time.
+    pub(crate) compacting: AtomicBool,
 }
 
 impl Shared {
@@ -193,6 +202,7 @@ impl Server {
                 config,
                 drain: AtomicBool::new(false),
                 counters: Counters::default(),
+                compacting: AtomicBool::new(false),
             }),
             accepts: Vec::new(),
             conns: Arc::new(Mutex::new(Vec::new())),
@@ -214,11 +224,33 @@ impl Server {
 
     /// Binds a unix-domain listener at `path` (removing a stale socket file
     /// from a previous run) and starts its accept loop.
+    ///
+    /// A socket file with a live listener behind it — another daemon, or a
+    /// second listener of this one — is never removed: the bind fails with
+    /// `AddrInUse` instead. Only a stale file (nothing accepts on it) from
+    /// a crashed previous run is cleaned up.
     pub fn listen_unix<P: AsRef<Path>>(&mut self, path: P) -> IoResult<()> {
+        use std::os::unix::fs::FileTypeExt;
         let path = path.as_ref();
         // A bind over a stale socket file fails with AddrInUse even when no
-        // process listens; a fresh daemon owns its configured path.
-        let _ = std::fs::remove_file(path);
+        // process listens, so the file must be removed first — but blindly
+        // removing would silently hijack the address of a *live* daemon.
+        // Probe-connect to tell the two apart.
+        if let Ok(meta) = std::fs::symlink_metadata(path) {
+            if !meta.file_type().is_socket() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("{} exists and is not a socket", path.display()),
+                ));
+            }
+            if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("{} is in use by a live server", path.display()),
+                ));
+            }
+            std::fs::remove_file(path)?;
+        }
         let listener = UnixListener::bind(path)?;
         listener.set_nonblocking(true)?;
         self.unix_paths.push(path.to_path_buf());

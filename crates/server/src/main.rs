@@ -39,6 +39,8 @@ GOVERNOR (admission control at the edge; unset = unbounded):
 
 TUNING:
     --batch N             max answers per Answers frame (default 64)
+    --compact-threshold N overlay edges above which a Mutate triggers
+                          background compaction (default 8192, 0 = never)
     --poll-interval-ms N  drain/cancel poll interval (default 25)
     --write-timeout-ms N  per-frame write timeout (default 10000, 0 = none)
     --help                print this text
@@ -94,6 +96,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 )?)?));
             }
             "--batch" => config.batch = parse(value("--batch")?)?,
+            "--compact-threshold" => {
+                config.compact_threshold = parse(value("--compact-threshold")?)?;
+            }
             "--poll-interval-ms" => {
                 config.poll_interval = Duration::from_millis(parse(value("--poll-interval-ms")?)?);
             }

@@ -308,6 +308,47 @@ fn snapshot_read_faults_are_typed_and_transient() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Mutation-apply faults: the failure is the typed `MutationFailed`, the
+/// publish is all-or-nothing — no epoch spent, no edge landed, answers
+/// pristine — and the very same batch retries successfully once the
+/// schedule ends.
+#[test]
+fn mutation_faults_are_all_or_nothing_and_retryable() {
+    let _guard = chaos_lock();
+    let data = generate_l4all(&L4AllConfig::tiny());
+    let db = Database::new(data.graph, data.ontology);
+    let request = ExecOptions::new().with_limit(50);
+    let text = l4all_multi_conjunct_queries()[0].with_operator_everywhere("APPROX");
+    let reference = db.execute(&text, &request).unwrap();
+
+    let mut batch = db.begin_mutation();
+    batch.add("Chaos A", "chaosknows", "Chaos B");
+    for seed in seeds() {
+        let plan = Arc::new(FaultPlan::new(seed, 1.0).only(FaultPoint::MutationApply));
+        let _installed = install(Arc::clone(&plan));
+        let err = db.apply(&batch).unwrap_err();
+        assert!(
+            matches!(err, OmegaError::MutationFailed { .. }),
+            "got: {err}"
+        );
+        assert!(plan.fired(FaultPoint::MutationApply) > 0);
+        assert_eq!(db.epoch(), 0, "failed apply spent an epoch");
+        assert_eq!(
+            db.execute(&text, &request).unwrap(),
+            reference,
+            "failed apply perturbed the graph"
+        );
+    }
+    // The identical batch succeeds once no schedule is installed.
+    let report = db.apply(&batch).unwrap();
+    assert_eq!((report.epoch, report.added, report.removed), (1, 1, 0));
+    assert_eq!(
+        db.execute(&text, &request).unwrap(),
+        reference,
+        "an unrelated edge changed committed answers"
+    );
+}
+
 /// The full storm: every injection point armed at once under
 /// `OverloadPolicy::Degrade`. Any typed error (or clean prefix) is
 /// acceptable; panics, hangs, leaked workers and poisoned state are not.

@@ -20,17 +20,18 @@ fn graph_strategy() -> impl Strategy<Value = Vec<(u8, usize, u8)>> {
     prop::collection::vec((0u8..12, 0usize..LABELS.len(), 0u8..12), 1..60)
 }
 
-fn build(triples: &[(u8, usize, u8)]) -> (GraphStore, Ontology) {
-    let mut g = GraphStore::new();
-    for (s, p, o) in triples {
-        // `type` targets a small set of class nodes so RELAX has something
-        // to work with.
-        if LABELS[*p] == "type" {
-            g.add_triple(&format!("n{s}"), "type", &format!("C{}", o % 3));
-        } else {
-            g.add_triple(&format!("n{s}"), LABELS[*p], &format!("n{o}"));
-        }
+/// Maps one random op to the concrete triple `build` would insert: `type`
+/// targets a small set of class nodes so RELAX has something to work with.
+fn materialise(s: u8, p: usize, o: u8) -> (String, String, String) {
+    if LABELS[p] == "type" {
+        (format!("n{s}"), "type".to_owned(), format!("C{}", o % 3))
+    } else {
+        (format!("n{s}"), LABELS[p].to_owned(), format!("n{o}"))
     }
+}
+
+/// The shared ontology shape over whatever classes/properties `g` holds.
+fn attach_ontology(g: &mut GraphStore) -> Ontology {
     let mut o = Ontology::new();
     let root = g.add_node("CRoot");
     for c in 0..3 {
@@ -43,6 +44,16 @@ fn build(triples: &[(u8, usize, u8)]) -> (GraphStore, Ontology) {
         let _ = o.add_subproperty(p, super_p);
         let _ = o.add_subproperty(q, super_p);
     }
+    o
+}
+
+fn build(triples: &[(u8, usize, u8)]) -> (GraphStore, Ontology) {
+    let mut g = GraphStore::new();
+    for (s, p, o) in triples {
+        let (subject, label, object) = materialise(*s, *p, *o);
+        g.add_triple(&subject, &label, &object);
+    }
+    let o = attach_ontology(&mut g);
     (g, o)
 }
 
@@ -322,6 +333,149 @@ proptest! {
                 "limited answer missing from the full drain for {}", text
             );
         }
+    }
+
+    /// Interleaved freeze/mutate/query sequences: after every mutation
+    /// batch the live database (frozen CSR + delta overlay) must be
+    /// indistinguishable from a database rebuilt from scratch over the
+    /// effective edge set — same `edge_count`, same node-index lookups,
+    /// same answer sets — while statements prepared at earlier epochs keep
+    /// answering bit-identically (answers *and* stats) from their pinned
+    /// epoch. Compaction and the snapshot hydrate path (including mutating
+    /// a snapshot-loaded store) preserve all of it.
+    #[test]
+    fn interleaved_mutations_match_a_rebuilt_graph_and_pin_epochs(
+        triples in graph_strategy(),
+        script in prop::collection::vec(
+            prop::collection::vec(
+                (any::<bool>(), 0u8..12, 0usize..LABELS.len(), 0u8..12),
+                1..8,
+            ),
+            1..4,
+        ),
+        qi in 0usize..QUERIES.len(),
+    ) {
+        let (g, o) = build(&triples);
+        let db = Database::new(g, o);
+        let request = ExecOptions::new().with_limit(300);
+        let approx_text = QUERIES[qi].replacen("<- (", "<- APPROX (", 1);
+
+        // The model: the effective edge set, mutated in lockstep.
+        let mut effective: std::collections::BTreeSet<(String, String, String)> = triples
+            .iter()
+            .map(|(s, p, o)| materialise(*s, *p, *o))
+            .collect();
+
+        let sorted_rows = |db: &Database, text: &str| {
+            let mut v: Vec<_> = db
+                .execute(text, &request)
+                .unwrap()
+                .into_iter()
+                .map(|a| (a.bindings, a.distance))
+                .collect();
+            v.sort();
+            v
+        };
+        let rebuilt = |set: &std::collections::BTreeSet<(String, String, String)>| {
+            let mut g = GraphStore::new();
+            for (s, l, t) in set {
+                g.add_triple(s, l, t);
+            }
+            let o = attach_ontology(&mut g);
+            Database::new(g, o)
+        };
+        let check_epoch = |db: &Database,
+                           set: &std::collections::BTreeSet<(String, String, String)>| {
+            prop_assert_eq!(db.graph().edge_count(), set.len(), "edge_count diverged at epoch {}", db.epoch());
+            for (s, _, t) in set {
+                prop_assert!(db.graph().node_by_label(s).is_some(), "lost node {}", s);
+                prop_assert!(db.graph().node_by_label(t).is_some(), "lost node {}", t);
+            }
+            let reference = rebuilt(set);
+            for text in [QUERIES[qi], approx_text.as_str()] {
+                prop_assert_eq!(
+                    sorted_rows(db, text),
+                    sorted_rows(&reference, text),
+                    "live overlay diverged from a rebuilt graph at epoch {} for {}", db.epoch(), text
+                );
+            }
+        };
+        // Pins one statement at the current epoch with its full output.
+        let pin = |db: &Database| {
+            let prepared = db.prepare(&approx_text).unwrap();
+            let mut got = Vec::new();
+            let stats;
+            {
+                let mut stream = prepared.answers(&request);
+                for answer in stream.by_ref() {
+                    got.push(answer.unwrap());
+                }
+                stats = stream.stats();
+            }
+            (prepared, got, stats)
+        };
+
+        check_epoch(&db, &effective);
+        let mut pinned = vec![pin(&db)];
+        for ops in &script {
+            let mut batch = db.begin_mutation();
+            for (is_add, s, p, o) in ops {
+                let (subject, label, object) = materialise(*s, *p, *o);
+                if *is_add {
+                    batch.add(&subject, &label, &object);
+                    effective.insert((subject, label, object));
+                } else {
+                    batch.remove(&subject, &label, &object);
+                    effective.remove(&(subject, label, object));
+                }
+            }
+            db.apply(&batch).unwrap();
+            check_epoch(&db, &effective);
+            pinned.push(pin(&db));
+        }
+
+        // Compaction folds the overlay without changing what is served.
+        db.compact();
+        check_epoch(&db, &effective);
+
+        // Every pinned statement still answers bit-identically from its
+        // epoch — mutations and compaction never reached it.
+        for (prepared, expected, expected_stats) in &pinned {
+            let mut stream = prepared.answers(&request);
+            let mut again = Vec::new();
+            for answer in stream.by_ref() {
+                again.push(answer.unwrap());
+            }
+            prop_assert_eq!(&again, expected, "pinned statement drifted");
+            prop_assert_eq!(&stream.stats(), expected_stats, "pinned stats drifted");
+        }
+
+        // The hydrate path: a snapshot of the live database reopens into an
+        // equivalent store, which itself accepts further mutations.
+        static SNAP: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "omega-prop-live-{}-{}.snap",
+            std::process::id(),
+            SNAP.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        db.save_snapshot(&path).unwrap();
+        let hydrated = Database::open_snapshot(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        check_epoch(&hydrated, &effective);
+        let mut batch = hydrated.begin_mutation();
+        let mut after = effective.clone();
+        for (is_add, s, p, o) in &script[0] {
+            let (subject, label, object) = materialise(*s, *p, *o);
+            if *is_add {
+                batch.add(&subject, &label, &object);
+                after.insert((subject, label, object));
+            } else {
+                batch.remove(&subject, &label, &object);
+                after.remove(&(subject, label, object));
+            }
+        }
+        hydrated.apply(&batch).unwrap();
+        check_epoch(&hydrated, &after);
     }
 
     /// The distance-aware and disjunction drivers — toggled per request

@@ -30,7 +30,7 @@ use omega::datagen::{
     yago_multi_conjunct_queries, yago_queries, L4AllConfig, QuerySpec, YagoConfig,
 };
 use omega::ExecOptions;
-use omega_client::{ClientError, Connection};
+use omega_client::{ClientError, Connection, Mutation};
 use omega_protocol::{Frame, FrameReader, StatementRef, WireError, MAGIC};
 use omega_server::{Server, ServerConfig, ServerHandle};
 
@@ -527,6 +527,216 @@ fn shutdown_under_load_drains_streams_and_zeroes_gauges() {
         "join buffers after drain"
     );
     assert_eq!(stats.live_workers, 0, "leaked workers after drain");
+    assert_workers_settle();
+}
+
+// ---------------------------------------------------------------------------
+// Socket-path hygiene
+// ---------------------------------------------------------------------------
+
+#[test]
+fn listen_unix_refuses_live_sockets_and_reclaims_stale_ones() {
+    let _guard = serve_lock();
+    let path = socket_path("hygiene");
+
+    // A live server owns its path: a second daemon binding the same path
+    // must fail with AddrInUse instead of silently stealing the socket
+    // file (which would leave the first daemon accepting on an unlinked
+    // inode no client can reach).
+    let (handle, bound_path, joiner) = {
+        let mut server = Server::new(l4all_db());
+        server.listen_unix(&path).expect("first bind");
+        let handle = server.handle();
+        let joiner = std::thread::spawn(move || server.run());
+        (handle, path.clone(), joiner)
+    };
+    let mut rival = Server::new(l4all_db());
+    let err = rival
+        .listen_unix(&bound_path)
+        .expect_err("second bind over a live server must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    // The live server is untouched: a client still connects through the
+    // original socket file.
+    Connection::connect_unix(&bound_path).expect("live server still reachable");
+    drain(&handle, joiner);
+    rival.handle().shutdown();
+    rival.run();
+
+    // A stale socket file — left behind by a crashed daemon — is
+    // reclaimed: nothing accepts on it, so the bind cleans up and
+    // proceeds.
+    let stale = socket_path("stale");
+    drop(std::os::unix::net::UnixListener::bind(&stale).expect("make stale socket"));
+    assert!(stale.exists(), "dropping a listener should leave the file");
+    let mut server = Server::new(l4all_db());
+    server.listen_unix(&stale).expect("stale socket reclaimed");
+    let handle = server.handle();
+    let joiner = std::thread::spawn(move || server.run());
+    Connection::connect_unix(&stale).expect("connect over reclaimed path");
+    drain(&handle, joiner);
+
+    // A path occupied by a non-socket file is never deleted.
+    let decoy = socket_path("decoy");
+    std::fs::write(&decoy, b"not a socket").expect("write decoy");
+    let mut server = Server::new(l4all_db());
+    let err = server
+        .listen_unix(&decoy)
+        .expect_err("binding over a regular file must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    assert_eq!(
+        std::fs::read(&decoy).expect("decoy survives"),
+        b"not a socket"
+    );
+    std::fs::remove_file(&decoy).expect("cleanup");
+    server.handle().shutdown();
+    server.run();
+}
+
+// ---------------------------------------------------------------------------
+// Live mutation over the wire
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wire_mutations_pin_old_statements_and_refresh_new_ones() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "mutate");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+    let options = ExecOptions::new().with_limit(200);
+
+    // A statement prepared before any mutation pins epoch 0.
+    let spec = &l4all_queries()[0];
+    let statement = conn.prepare(spec.text).expect("prepare");
+    let (baseline, _) = local_run(&db, spec.text, &options);
+
+    // Mutate through the wire: brand-new nodes and a brand-new label, so
+    // the committed query set is untouched.
+    let mut first = Mutation::new();
+    first.add("Live Node A", "liveknows", "Live Node B").add(
+        "Live Node B",
+        "liveknows",
+        "Live Node C",
+    );
+    let report = conn.mutate(&first).expect("mutate");
+    assert_eq!((report.epoch, report.added, report.removed), (1, 2, 0));
+    // The server db and this test share one storage slot.
+    assert_eq!(db.epoch(), 1);
+
+    // The pre-mutation statement still answers from its pinned epoch…
+    let mut stream = conn
+        .execute_prepared(&statement, &options)
+        .expect("execute pinned statement");
+    let mut pinned = Vec::new();
+    while let Some(answer) = stream.next_answer().expect("pinned stream") {
+        pinned.push(answer);
+    }
+    drop(stream);
+    assert_eq!(pinned, baseline, "pinned statement saw the mutation");
+
+    // …while fresh text execution sees the new edges.
+    let live_query = "(?X) <- (Live Node A, liveknows+, ?X)";
+    let (answers, _) = conn.run(live_query, &options).expect("query new edges");
+    let bound: Vec<&str> = answers.iter().map(|a| a.bindings["X"].as_str()).collect();
+    assert_eq!(bound, ["Live Node B", "Live Node C"]);
+
+    // Removal is symmetric; unknown edges are not counted.
+    let mut second = Mutation::new();
+    second
+        .remove("Live Node B", "liveknows", "Live Node C")
+        .remove("Never", "liveknows", "Existed");
+    let report = conn.mutate(&second).expect("mutate remove");
+    assert_eq!((report.epoch, report.added, report.removed), (2, 0, 1));
+    let (answers, _) = conn.run(live_query, &options).expect("query after remove");
+    assert_eq!(answers.len(), 1, "removed edge still reachable");
+
+    // An empty batch is a no-op that does not spend an epoch.
+    let report = conn.mutate(&Mutation::new()).expect("empty mutate");
+    assert_eq!((report.epoch, report.added, report.removed), (2, 0, 0));
+    assert_eq!(db.epoch(), 2);
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn mutations_under_traffic_stay_clean_and_background_compaction_runs() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    // Threshold 1: every effective mutation arms the background compactor,
+    // so the soak exercises mutate/compact/query interleavings hard.
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(5),
+        compact_threshold: 1,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::with_config(db.clone(), config);
+    let path = socket_path("soak");
+    server.listen_unix(&path).expect("bind unix socket");
+    let handle = server.handle();
+    let joiner = std::thread::spawn(move || server.run());
+
+    let spec = &l4all_queries()[0];
+    let options = ExecOptions::new().with_limit(200);
+    let (baseline, _) = local_run(&db, spec.text, &options);
+
+    // Readers hammer a committed query; the writer's edges use fresh nodes
+    // and a fresh label, so every read must keep answering the baseline
+    // bit-identically no matter which epoch it lands on.
+    let mut threads = Vec::new();
+    for reader in 0..3 {
+        let path = path.clone();
+        let options = options.clone();
+        let baseline = baseline.clone();
+        let text = spec.text.to_owned();
+        threads.push(std::thread::spawn(move || {
+            let mut conn = Connection::connect_unix(&path).expect("reader connect");
+            for round in 0..15 {
+                let (answers, _) = conn.run(&text, &options).expect("reader query");
+                assert_eq!(answers, baseline, "reader {reader} round {round} diverged");
+            }
+        }));
+    }
+    let writer_path = path.clone();
+    threads.push(std::thread::spawn(move || {
+        let mut conn = Connection::connect_unix(&writer_path).expect("writer connect");
+        for i in 0..25 {
+            let mut mutation = Mutation::new();
+            mutation.add("Soak A", &format!("soak{i}"), "Soak B");
+            if i % 2 == 1 {
+                mutation.remove("Soak A", &format!("soak{}", i - 1), "Soak B");
+            }
+            let report = conn.mutate(&mutation).expect("writer mutate");
+            assert!(report.added >= 1);
+        }
+    }));
+    for thread in threads {
+        thread.join().expect("soak thread");
+    }
+
+    // Every mutation landed as its own epoch (compactions add more).
+    assert!(db.epoch() >= 25, "epochs not advancing: {}", db.epoch());
+
+    // The background compactor converges: keep nudging it (an empty batch
+    // re-arms the trigger without spending an epoch) until the overlay is
+    // folded into a fresh frozen CSR.
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while db.graph().overlay_edges() > 0 {
+        assert!(Instant::now() < deadline, "background compaction stalled");
+        conn.mutate(&Mutation::new()).expect("nudge compactor");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Post-soak the graph still serves the baseline, and the drain leaves
+    // every gauge at zero.
+    let (answers, _) = conn.run(spec.text, &options).expect("post-soak query");
+    assert_eq!(answers, baseline);
+    drop(conn);
+    drain(&handle, joiner);
+    let stats = handle.stats();
+    assert_eq!(stats.gauges.executions, 0, "executions after soak");
+    assert_eq!(stats.gauges.live_tuples, 0, "live tuples after soak");
+    assert_eq!(stats.streams_in_flight, 0, "streams after soak");
     assert_workers_settle();
 }
 

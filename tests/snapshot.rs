@@ -397,7 +397,7 @@ fn label_stats_round_trip_through_the_image() {
     // And they must equal a from-scratch recomputation on the mapped CSR.
     assert_eq!(
         opened.graph().label_stats(),
-        &omega::graph::LabelStats::compute(db.graph())
+        &omega::graph::LabelStats::compute(&db.graph())
     );
 }
 
@@ -413,7 +413,7 @@ fn pre_stats_images_open_and_recompute_lazily() {
 
     let path = temp_snapshot("pre-stats");
     let mut writer = SnapshotWriter::new();
-    write_graph_sections_without_stats(db.graph(), &mut writer).expect("graph sections");
+    write_graph_sections_without_stats(&db.graph(), &mut writer).expect("graph sections");
     omega::ontology::snapshot::write_ontology_section(db.ontology(), &mut writer)
         .expect("ontology section");
     writer.write_to(&path).expect("fixture write");
