@@ -1917,6 +1917,53 @@ mod tests {
     }
 
     #[test]
+    fn stale_plans_are_recompiled_not_reused_after_mutation() {
+        let db = db();
+        let text = "(?X) <- (alice, knows+, ?X)";
+
+        // Warm the cache at epoch 0 and confirm it actually serves hits.
+        let stale = db.prepare(text).unwrap();
+        assert!(stale.shares_plans_with(&db.prepare(text).unwrap()));
+        assert_eq!(db.prepared_cache_len(), 1);
+
+        // A mutation publishes epoch 1; the cached plan must NOT be reused,
+        // or queries would silently answer against the wrong graph.
+        let mut batch = db.begin_mutation();
+        batch.add("dave", "knows", "erin");
+        assert_eq!(db.apply(&batch).unwrap().epoch, 1);
+        let fresh = db.prepare(text).unwrap();
+        assert!(!stale.shares_plans_with(&fresh));
+        assert_eq!((stale.epoch(), fresh.epoch()), (0, 1));
+        // The recompiled plan replaces the stale entry rather than growing
+        // the cache, and subsequent prepares hit it again.
+        assert_eq!(db.prepared_cache_len(), 1);
+        assert!(fresh.shares_plans_with(&db.prepare(text).unwrap()));
+
+        // The answers prove which graph each plan reads: the stale handle
+        // stays pinned to epoch 0, the fresh one sees the new edge.
+        let bound = |p: &PreparedQuery| -> Vec<String> {
+            let mut xs: Vec<String> = p
+                .execute(&ExecOptions::new())
+                .unwrap()
+                .iter()
+                .filter_map(|a| a.get("X").map(str::to_owned))
+                .collect();
+            xs.sort();
+            xs
+        };
+        assert_eq!(bound(&stale), ["bob", "carol", "dave"]);
+        assert_eq!(bound(&fresh), ["bob", "carol", "dave", "erin"]);
+
+        // Compaction is also a new epoch: plans compiled against the
+        // overlay graph are invalidated, but the answers are unchanged.
+        assert_eq!(db.compact(), 2);
+        let compacted = db.prepare(text).unwrap();
+        assert!(!fresh.shares_plans_with(&compacted));
+        assert_eq!(compacted.epoch(), 2);
+        assert_eq!(bound(&compacted), bound(&fresh));
+    }
+
+    #[test]
     fn mid_stream_mutations_leave_answers_and_stats_bit_identical() {
         let db = db();
         let text = "(?X, ?Y) <- APPROX (?X, knows+, ?Y)";
