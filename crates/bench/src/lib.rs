@@ -35,6 +35,7 @@ use omega_datagen::{
     YagoConfig,
 };
 use omega_graph::GraphStats;
+use omega_obs::Histogram;
 use omega_ontology::HierarchyStats;
 
 /// Evaluation methodology constants from Section 4.1: flexible queries fetch
@@ -672,6 +673,102 @@ pub fn parallel_comparison(rows: &[(String, QueryRun)]) -> String {
     out
 }
 
+/// The per-phase profiling study: one exact query, the flexible workhorse
+/// (Q9 APPROX), and a multi-conjunct query, each executed once with
+/// [`ExecOptions::with_profile`] so the engine records where the time went.
+/// One row per (query, phase); the row's scale slot carries the phase name
+/// (`parse` / `compile` / `conjunct_<i>` / `rank_join` / `streaming` /
+/// `total`) and `elapsed` that phase's duration, so the rows flow into
+/// `BENCH_N.json` under a `profile` suite unchanged.
+pub fn profile_study(config: &RunConfig) -> Vec<(String, QueryRun)> {
+    let scale = config.scales().first().copied().unwrap_or(L4AllScale::L1);
+    let dataset = l4all_dataset(scale);
+    let db = engine_for(&dataset, EvalOptions::default());
+    let queries = l4all_queries();
+    let multi = l4all_multi_conjunct_queries();
+    let cases: Vec<(&str, &str, String)> = vec![
+        (queries[0].id, "", queries[0].text.to_owned()),
+        (queries[8].id, "APPROX", queries[8].with_operator("APPROX")),
+        (
+            multi[0].id,
+            "APPROX",
+            multi[0].with_operator_everywhere("APPROX"),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (id, operator, text) in cases {
+        let mut request = ExecOptions::new().with_profile(true);
+        if !operator.is_empty() {
+            request = request.with_limit(TOP_K);
+        }
+        let prepared = db.prepare(&text).expect("profile study query compiles");
+        let mut stream = prepared.answers(&request);
+        let mut answers = 0usize;
+        let mut distances = BTreeMap::new();
+        loop {
+            match stream.next_answer() {
+                Ok(Some(a)) => {
+                    answers += 1;
+                    *distances.entry(a.distance).or_insert(0) += 1;
+                }
+                Ok(None) | Err(OmegaError::ResourceExhausted { .. }) => break,
+                Err(other) => panic!("profile study query {id} failed: {other}"),
+            }
+        }
+        let stats = stream.stats();
+        let profile = stream
+            .profile()
+            .cloned()
+            .expect("profile requested and stream finished");
+        for phase in profile.phases() {
+            rows.push((
+                phase.name.clone(),
+                QueryRun {
+                    id: id.to_owned(),
+                    operator: if operator.is_empty() {
+                        "exact".to_owned()
+                    } else {
+                        operator.to_owned()
+                    },
+                    elapsed: Duration::from_nanos(phase.nanos),
+                    samples: 1,
+                    answers,
+                    distances: distances.clone(),
+                    exhausted: false,
+                    stats,
+                },
+            ));
+        }
+    }
+    rows
+}
+
+/// Formats the [`profile_study`] rows as a per-phase breakdown table.
+pub fn profile_comparison(rows: &[(String, QueryRun)]) -> String {
+    let mut out = String::from("Per-phase query profile (ExecOptions::with_profile; ms)\n");
+    out.push_str(&format!(
+        "{:<6} {:<8} {:<14} {:>12} {:>7}\n",
+        "Query", "Mode", "Phase", "ms", "share"
+    ));
+    for (phase, run) in rows {
+        let total = rows
+            .iter()
+            .find(|(p, r)| p == "total" && r.id == run.id && r.operator == run.operator)
+            .map(|(_, r)| r.elapsed)
+            .unwrap_or(run.elapsed)
+            .max(Duration::from_nanos(1));
+        out.push_str(&format!(
+            "{:<6} {:<8} {:<14} {:>12.3} {:>6.1}%\n",
+            run.id,
+            run.operator,
+            phase,
+            run.elapsed.as_secs_f64() * 1e3,
+            run.elapsed.as_secs_f64() * 100.0 / total.as_secs_f64(),
+        ));
+    }
+    out
+}
+
 /// Startup-cost study for the snapshot subsystem: how long it takes to have
 /// a query-ready [`Database`] by (a) **rebuilding** — regenerating the
 /// dataset and constructing the frozen engine, the per-process tax every
@@ -1011,15 +1108,6 @@ pub struct OverloadRun {
     pub p99: Duration,
 }
 
-/// Nearest-rank percentile over an (unsorted) latency sample.
-fn percentile(latencies: &mut [Duration], p: usize) -> Duration {
-    if latencies.is_empty() {
-        return Duration::ZERO;
-    }
-    latencies.sort_unstable();
-    latencies[(latencies.len() - 1) * p / 100]
-}
-
 /// Drains one governed request, returning its stats or the typed failure.
 fn governed_request(
     prepared: &PreparedQuery,
@@ -1128,17 +1216,23 @@ pub fn overload_study(config: &RunConfig) -> Vec<OverloadRun> {
             });
             drop(tx);
 
-            let mut latencies = Vec::new();
+            // Percentiles come from the shared log-scale histogram (the
+            // same one the serving layer and load generator report from),
+            // so every suite's p50/p99 is computed the same way.
+            let latencies = Histogram::new();
             let (mut completed, mut degraded, mut exhausted) = (0usize, 0usize, 0usize);
             let (mut sheds, mut rejected) = (0u64, 0u64);
             for (lat, c, d, e, s, r) in rx {
-                latencies.extend(lat);
+                for latency in lat {
+                    latencies.observe(latency);
+                }
                 completed += c;
                 degraded += d;
                 exhausted += e;
                 sheds += s;
                 rejected += r;
             }
+            let snap = latencies.snapshot();
             let gauges = db.governor().gauges();
             assert_eq!(
                 (
@@ -1158,8 +1252,8 @@ pub fn overload_study(config: &RunConfig) -> Vec<OverloadRun> {
                 sheds,
                 rejected,
                 exhausted,
-                p50: percentile(&mut latencies, 50),
-                p99: percentile(&mut latencies, 99),
+                p50: Duration::from_nanos(snap.p50()),
+                p99: Duration::from_nanos(snap.p99()),
             });
         }
     }
@@ -1457,6 +1551,29 @@ mod tests {
             stats: EvalStats::default(),
         };
         assert_eq!(run.distance_summary(), "1 (32) 2 (67)");
+    }
+
+    #[test]
+    fn profile_study_emits_phase_rows_for_all_three_cases() {
+        let config = RunConfig {
+            max_scale: L4AllScale::L1,
+            yago_scale: 0.05,
+            samples: 1,
+        };
+        let rows = profile_study(&config);
+        let totals = rows.iter().filter(|(p, _)| p == "total").count();
+        assert_eq!(totals, 3, "one total row per profiled query");
+        assert!(rows
+            .iter()
+            .any(|(p, r)| p == "parse" && r.operator == "exact"));
+        assert!(rows
+            .iter()
+            .any(|(p, r)| p == "streaming" && r.operator == "APPROX"));
+        assert!(rows.iter().any(|(p, _)| p.starts_with("conjunct_")));
+        assert!(rows.iter().any(|(p, _)| p == "rank_join"));
+        let table = profile_comparison(&rows);
+        assert!(table.contains("total"));
+        assert!(table.contains("APPROX"));
     }
 
     #[test]

@@ -125,6 +125,7 @@ fn serve_json(run: &ServeRun) -> String {
             "{{ \"scenario\": \"{}\", \"mode\": \"{}\", \"id\": \"{}\", ",
             "\"connections\": {}, \"issued\": {}, \"completed\": {}, ",
             "\"overloaded\": {}, \"failed\": {}, \"degraded\": {}, ",
+            "\"drained\": {}, \"truncated\": {}, \"worker_panics\": {}, ",
             "\"sheds\": {}, \"rejected\": {}, \"answers\": {}, ",
             "\"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, ",
             "\"throughput_rps\": {:.2} }}"
@@ -138,6 +139,9 @@ fn serve_json(run: &ServeRun) -> String {
         run.overloaded,
         run.failed,
         run.degraded,
+        run.drained,
+        run.truncated,
+        run.worker_panics,
         run.sheds,
         run.rejected,
         run.answers,
@@ -157,9 +161,13 @@ fn serve_json(run: &ServeRun) -> String {
 /// `open_warm`), `id` the dataset, and `answers` the graph's node count.
 /// `live_rows` holds the mutation study: the `scale` slot carries the
 /// storage phase (`frozen` / `apply` / `overlay` / `compact` / `compacted`).
-/// `overload_rows` is the closed-loop governor study and has its own shape,
-/// so it lands in a separate top-level `"overload"` array; `serve_rows` is
-/// the network-serving study and lands in a top-level `"serve"` array.
+/// `profile_rows` holds the per-phase profiling study: the `scale` slot
+/// carries the phase name (`parse` / `compile` / `conjunct_<i>` /
+/// `rank_join` / `streaming` / `total`) and `elapsed_ms` that phase's
+/// duration. `overload_rows` is the closed-loop governor study and has its
+/// own shape, so it lands in a separate top-level `"overload"` array;
+/// `serve_rows` is the network-serving study and lands in a top-level
+/// `"serve"` array.
 #[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     name: &str,
@@ -169,6 +177,7 @@ pub fn bench_json(
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
     live_rows: &[(String, QueryRun)],
+    profile_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
     serve_rows: &[ServeRun],
 ) -> String {
@@ -187,6 +196,9 @@ pub fn bench_json(
     }
     for (phase, run) in live_rows {
         queries.push(query_json("live", phase, run));
+    }
+    for (phase, run) in profile_rows {
+        queries.push(query_json("profile", phase, run));
     }
     let overload: Vec<String> = overload_rows.iter().map(overload_json).collect();
     let serve: Vec<String> = serve_rows.iter().map(serve_json).collect();
@@ -213,6 +225,7 @@ pub fn write_bench_json(
     multi_rows: &[(String, QueryRun)],
     startup_rows: &[(String, QueryRun)],
     live_rows: &[(String, QueryRun)],
+    profile_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
     serve_rows: &[ServeRun],
 ) -> std::io::Result<()> {
@@ -226,6 +239,7 @@ pub fn write_bench_json(
             multi_rows,
             startup_rows,
             live_rows,
+            profile_rows,
             overload_rows,
             serve_rows,
         )
@@ -278,6 +292,9 @@ mod tests {
             overloaded: 3,
             failed: 1,
             degraded: 2,
+            drained: 1,
+            truncated: 2,
+            worker_panics: 0,
             sheds: 5,
             rejected: 4,
             answers: 6000,
@@ -314,6 +331,7 @@ mod tests {
             &[("seq".into(), run()), ("par".into(), run())],
             &[("rebuild".into(), run()), ("open_cold".into(), run())],
             &[("frozen".into(), run()), ("overlay".into(), run())],
+            &[("parse".into(), run()), ("total".into(), run())],
             &[overload_run()],
             &[serve_run()],
         );
@@ -329,6 +347,9 @@ mod tests {
         assert!(json.contains("\"scale\": \"open_cold\""));
         assert!(json.contains("\"scale\": \"frozen\""));
         assert!(json.contains("\"scale\": \"overlay\""));
+        assert!(json.contains("\"suite\": \"profile\""));
+        assert!(json.contains("\"scale\": \"parse\""));
+        assert!(json.contains("\"scale\": \"total\""));
         assert!(json.contains("\"elapsed_ms\": 5.0000"));
         assert!(json.contains("\"samples\": 5"));
         assert!(json.contains("\"neighbour_lookups\": 7"));
@@ -340,8 +361,8 @@ mod tests {
         assert!(json.contains("\"degraded\": true"));
         assert!(json.contains("\"truncation\": \"tuple_budget\""));
         assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
-        // Eight query entries.
-        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 8);
+        // Ten query entries.
+        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 10);
         assert!(json.contains("\"overload\": ["));
         assert!(json.contains("\"policy\": \"degrade\""));
         assert!(json.contains("\"saturation\": \"4x\""));
@@ -352,6 +373,9 @@ mod tests {
         assert!(json.contains("\"scenario\": \"plain\""));
         assert!(json.contains("\"mode\": \"closed\""));
         assert!(json.contains("\"connections\": 8"));
+        assert!(json.contains("\"drained\": 1"));
+        assert!(json.contains("\"truncated\": 2"));
+        assert!(json.contains("\"worker_panics\": 0, \"sheds\": 5"));
         assert!(json.contains("\"p999_ms\": 12.0000"));
         assert!(json.contains("\"throughput_rps\": 123.46"));
     }

@@ -38,6 +38,12 @@ pub struct ServeRun {
     pub failed: u64,
     /// Completed requests whose evaluation degraded under pressure.
     pub degraded: u64,
+    /// Requests ended early by server drain (`Finished { Drained }`).
+    pub drained: u64,
+    /// Completed requests whose result set was truncated mid-query.
+    pub truncated: u64,
+    /// Conjunct worker panics absorbed server-side over completed requests.
+    pub worker_panics: u64,
     /// Shed-and-retry events absorbed inside the engine (server counter).
     pub sheds: u64,
     /// Requests the server answered with a typed wire error (server counter).
@@ -103,6 +109,9 @@ fn measure(
         overloaded: report.overloaded,
         failed: report.failed,
         degraded: report.degraded,
+        drained: report.drained,
+        truncated: report.truncated,
+        worker_panics: report.worker_panics,
         sheds: after.sheds - before.sheds,
         rejected: after.rejected - before.rejected,
         answers: report.answers,

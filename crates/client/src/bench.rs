@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use omega_core::{ExecOptions, OmegaError};
+use omega_obs::Histogram;
 use omega_protocol::WireError;
 
 use crate::{ClientError, Connection, Result};
@@ -78,6 +79,12 @@ pub struct LoadReport {
     pub failed: u64,
     /// Completed requests whose evaluation degraded under pressure.
     pub degraded: u64,
+    /// Completed requests whose result set was truncated (tuple budget or
+    /// pool exhaustion under the `Degrade` policy).
+    pub truncated: u64,
+    /// Conjunct worker panics absorbed server-side, summed over completed
+    /// requests.
+    pub worker_panics: u64,
     /// Total answers received.
     pub answers: u64,
     /// Latency percentiles over completed requests.
@@ -104,7 +111,9 @@ impl LoadReport {
 }
 
 struct WorkerOutcome {
-    latencies: Vec<Duration>,
+    /// Per-worker latency shard; merged additively into the run's histogram
+    /// (the shards-merge property of [`Histogram`]).
+    latencies: Histogram,
     report: LoadReport,
 }
 
@@ -128,30 +137,32 @@ pub fn run_load(endpoint: &Endpoint, spec: &LoadSpec) -> Result<LoadReport> {
             .map(|h| match h.join() {
                 Ok(outcome) => outcome,
                 Err(_) => WorkerOutcome {
-                    latencies: Vec::new(),
+                    latencies: Histogram::new(),
                     report: LoadReport::default(),
                 },
             })
             .collect()
     });
 
-    let mut latencies: Vec<Duration> = Vec::with_capacity(spec.requests);
+    let latencies = Histogram::new();
     let mut report = LoadReport::default();
     for outcome in outcomes {
-        latencies.extend(outcome.latencies);
+        latencies.merge_from(&outcome.latencies);
         report.issued += outcome.report.issued;
         report.completed += outcome.report.completed;
         report.drained += outcome.report.drained;
         report.overloaded += outcome.report.overloaded;
         report.failed += outcome.report.failed;
         report.degraded += outcome.report.degraded;
+        report.truncated += outcome.report.truncated;
+        report.worker_panics += outcome.report.worker_panics;
         report.answers += outcome.report.answers;
     }
-    latencies.sort_unstable();
-    report.p50 = percentile(&latencies, 0.50);
-    report.p99 = percentile(&latencies, 0.99);
-    report.p999 = percentile(&latencies, 0.999);
-    report.max = latencies.last().copied().unwrap_or_default();
+    let snapshot = latencies.snapshot();
+    report.p50 = Duration::from_nanos(snapshot.p50());
+    report.p99 = Duration::from_nanos(snapshot.p99());
+    report.p999 = Duration::from_nanos(snapshot.p999());
+    report.max = Duration::from_nanos(snapshot.max());
     report.elapsed = start.elapsed();
     Ok(report)
 }
@@ -165,7 +176,7 @@ fn worker(
 ) -> WorkerOutcome {
     let mut conn = endpoint.connect().ok();
     let mut out = WorkerOutcome {
-        latencies: Vec::new(),
+        latencies: Histogram::new(),
         report: LoadReport::default(),
     };
     loop {
@@ -201,7 +212,11 @@ fn worker(
                 if stats.degraded {
                     out.report.degraded += 1;
                 }
-                out.latencies.push(arrival.elapsed());
+                if stats.truncation.is_some() {
+                    out.report.truncated += 1;
+                }
+                out.report.worker_panics += stats.worker_panics;
+                out.latencies.observe(arrival.elapsed());
             }
             Err(ClientError::Remote(err)) => {
                 match err {
@@ -221,27 +236,32 @@ fn worker(
     out
 }
 
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    // Nearest-rank: the smallest value with at least a q-fraction of the
-    // sample at or below it.
-    let rank = (sorted.len() as f64 * q).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn percentile_picks_expected_ranks() {
-        let v: Vec<Duration> = (1..=1000).map(Duration::from_micros).collect();
-        assert_eq!(percentile(&v, 0.50), Duration::from_micros(500));
-        assert_eq!(percentile(&v, 0.99), Duration::from_micros(990));
-        assert_eq!(percentile(&v, 0.999), Duration::from_micros(999));
-        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    fn histogram_percentiles_track_exact_ranks_within_bucket_error() {
+        // The load generator's percentiles come from the shared log-scale
+        // histogram; against an exact sort-based rank they may only be off
+        // by one bucket width (≤ 1/8 relative).
+        let hist = Histogram::new();
+        for us in 1..=1000u64 {
+            hist.observe(Duration::from_micros(us));
+        }
+        let snapshot = hist.snapshot();
+        for (got, exact_us) in [
+            (snapshot.p50(), 500u64),
+            (snapshot.p99(), 990),
+            (snapshot.p999(), 999),
+        ] {
+            let exact = exact_us * 1_000;
+            assert!(
+                got >= exact && got <= exact + exact / 8 + 1,
+                "histogram gave {got}ns for exact {exact}ns"
+            );
+        }
+        assert_eq!(Histogram::new().snapshot().p50(), 0, "empty is zero");
     }
 
     #[test]

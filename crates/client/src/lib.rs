@@ -26,13 +26,26 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
-use omega_core::{Answer, EvalStats, ExecOptions, MutationReport};
+use omega_core::{Answer, EvalStats, ExecOptions, MutationReport, QueryProfile};
 use omega_protocol::{
     write_frame, FinishReason, Frame, FrameReader, ProtocolError, StatementRef, Transport,
     WireError, DEFAULT_CREDITS, PROTOCOL_VERSION,
 };
 
 pub use omega_protocol::ServerStats;
+
+/// A metrics exposition fetched from the server: versioned text, one
+/// `name{labels} value` line per series (the `omega_obs::Registry`
+/// exposition format; `omega_obs::find_value` parses individual series out
+/// of `text`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Exposition text format version
+    /// ([`omega_protocol::METRICS_EXPOSITION_VERSION`] at the server).
+    pub version: u32,
+    /// The rendered exposition.
+    pub text: String,
+}
 
 /// Everything that can go wrong on the client side of a connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,6 +256,18 @@ impl Connection {
         }
     }
 
+    /// Fetches the server's full metrics exposition (counters, gauges and
+    /// latency histograms from every layer that registered into the
+    /// database's registry).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        self.send(&Frame::Metrics)?;
+        match self.recv()? {
+            Frame::MetricsReply { version, text } => Ok(MetricsSnapshot { version, text }),
+            Frame::Fail { error } => Err(ClientError::Remote(error)),
+            _ => Err(ClientError::Unexpected("metrics reply")),
+        }
+    }
+
     /// Applies a mutation batch atomically server-side. On success every
     /// operation landed as one new storage epoch; in-flight answer streams
     /// (on any connection) keep the epoch they started on, and statements
@@ -341,8 +366,15 @@ pub struct AnswerStream<'a> {
     /// Credits the server may still spend (granted minus received).
     outstanding: u32,
     buffer: VecDeque<Answer>,
-    finished: Option<(EvalStats, FinishReason)>,
+    finished: Option<Finished>,
     failed: bool,
+}
+
+/// The contents of the terminal `Finished` frame.
+struct Finished {
+    stats: EvalStats,
+    reason: FinishReason,
+    profile: Option<QueryProfile>,
 }
 
 impl AnswerStream<'_> {
@@ -373,8 +405,16 @@ impl AnswerStream<'_> {
                         .saturating_sub(u32::try_from(answers.len()).unwrap_or(u32::MAX));
                     self.buffer.extend(answers);
                 }
-                Frame::Finished { stats, reason } => {
-                    self.finished = Some((stats, reason));
+                Frame::Finished {
+                    stats,
+                    reason,
+                    profile,
+                } => {
+                    self.finished = Some(Finished {
+                        stats,
+                        reason,
+                        profile,
+                    });
                 }
                 Frame::Fail { error } => {
                     self.failed = true;
@@ -390,12 +430,19 @@ impl AnswerStream<'_> {
 
     /// Final evaluator statistics (present once the stream finished).
     pub fn stats(&self) -> Option<EvalStats> {
-        self.finished.map(|(stats, _)| stats)
+        self.finished.as_ref().map(|f| f.stats)
     }
 
     /// How the stream ended (`Complete`, or `Drained` by server shutdown).
     pub fn finish_reason(&self) -> Option<FinishReason> {
-        self.finished.map(|(_, reason)| reason)
+        self.finished.as_ref().map(|f| f.reason)
+    }
+
+    /// The server-side per-phase timing breakdown. Present once the stream
+    /// finished *and* the request asked for one via
+    /// [`omega_core::ExecOptions::with_profile`].
+    pub fn profile(&self) -> Option<&QueryProfile> {
+        self.finished.as_ref().and_then(|f| f.profile.as_ref())
     }
 
     /// Cancels the execution and waits for the server's acknowledgement
@@ -415,8 +462,16 @@ impl AnswerStream<'_> {
         loop {
             match self.conn.recv()? {
                 Frame::Answers { .. } => {}
-                Frame::Finished { stats, reason } => {
-                    self.finished = Some((stats, reason));
+                Frame::Finished {
+                    stats,
+                    reason,
+                    profile,
+                } => {
+                    self.finished = Some(Finished {
+                        stats,
+                        reason,
+                        profile,
+                    });
                     return Ok(());
                 }
                 Frame::Fail { .. } => return Ok(()),

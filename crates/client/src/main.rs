@@ -28,6 +28,7 @@ COMMANDS:
     repl                  interactive session (the default)
     exec QUERY            run one query and print its answers
     stats                 print daemon statistics
+    metrics               print the daemon's metrics exposition
     shutdown              drain the daemon gracefully
     bench                 generate load and report latency percentiles
 
@@ -139,6 +140,11 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{stats}");
             Ok(())
         }
+        "metrics" => {
+            let snapshot = connect(&cli)?.metrics().map_err(display)?;
+            print!("{}", snapshot.text);
+            Ok(())
+        }
         "shutdown" => {
             connect(&cli)?.shutdown_server().map_err(display)?;
             println!("server draining");
@@ -162,7 +168,11 @@ fn exec_once(cli: &Cli) -> Result<(), String> {
     print_stream(stream).map_err(display)
 }
 
-fn print_stream(mut stream: AnswerStream<'_>) -> omega_client::Result<()> {
+fn print_stream(stream: AnswerStream<'_>) -> omega_client::Result<()> {
+    print_stream_opts(stream, false)
+}
+
+fn print_stream_opts(mut stream: AnswerStream<'_>, want_profile: bool) -> omega_client::Result<()> {
     let mut count = 0usize;
     loop {
         match stream.next_answer() {
@@ -186,6 +196,12 @@ fn print_stream(mut stream: AnswerStream<'_>) -> omega_client::Result<()> {
             stats.tuples_processed,
             stats.neighbour_lookups,
         );
+    }
+    if want_profile {
+        match stream.profile() {
+            Some(profile) => print!("{profile}"),
+            None => println!("-- no profile returned by the server"),
+        }
     }
     Ok(())
 }
@@ -231,6 +247,7 @@ fn repl(cli: &Cli) -> Result<(), String> {
                 println!(
                     "  prepare QUERY     compile a statement, print its id\n  \
                      exec QUERY|#ID    run a query or a prepared statement\n  \
+                     profile QUERY|#ID run with per-phase timing and print the profile\n  \
                      close ID          drop a prepared statement\n  \
                      limit N|off       default answer limit\n  \
                      timeout MS|off    default deadline\n  \
@@ -238,6 +255,7 @@ fn repl(cli: &Cli) -> Result<(), String> {
                      add T L H         add the edge T --L--> H (new epoch)\n  \
                      remove T L H      remove the edge T --L--> H (new epoch)\n  \
                      stats             daemon statistics\n  \
+                     metrics           daemon metrics exposition\n  \
                      shutdown          drain the daemon\n  \
                      quit              leave"
                 );
@@ -251,18 +269,24 @@ fn repl(cli: &Cli) -> Result<(), String> {
                     statement.head.join(", ")
                 );
             }),
-            "exec" => {
+            "exec" | "profile" => {
+                let want_profile = cmd == "profile";
+                let request = if want_profile {
+                    options.clone().with_profile(true)
+                } else {
+                    options.clone()
+                };
                 let started = match rest.strip_prefix('#') {
                     Some(id) => match id.trim().parse::<u64>() {
-                        Ok(id) => conn.execute(omega_protocol::StatementRef::Id(id), &options),
+                        Ok(id) => conn.execute(omega_protocol::StatementRef::Id(id), &request),
                         Err(_) => {
-                            println!("usage: exec QUERY or exec #ID");
+                            println!("usage: {cmd} QUERY or {cmd} #ID");
                             continue;
                         }
                     },
-                    None => conn.execute_text(rest, &options),
+                    None => conn.execute_text(rest, &request),
                 };
-                started.and_then(print_stream)
+                started.and_then(|stream| print_stream_opts(stream, want_profile))
             }
             "close" => match rest.parse::<u64>() {
                 Ok(id) => conn.close(id).map(|()| println!("closed #{id}")),
@@ -316,6 +340,7 @@ fn repl(cli: &Cli) -> Result<(), String> {
                 }
             }
             "stats" => conn.stats().map(|stats| println!("{stats}")),
+            "metrics" => conn.metrics().map(|snapshot| print!("{}", snapshot.text)),
             "shutdown" => conn.shutdown_server().map(|()| println!("server draining")),
             other => {
                 println!("unknown command '{other}' (try 'help')");
@@ -374,6 +399,21 @@ fn bench(cli: &Cli) -> Result<(), String> {
         report.p999.as_secs_f64() * 1e3,
         report.max.as_secs_f64() * 1e3,
     );
+    // Cross-check the client-observed latency against the server's own
+    // execute-frame histogram; a large gap points at queueing or transport
+    // cost rather than evaluation time.
+    if let Ok(snapshot) = connect(cli).and_then(|mut conn| conn.metrics().map_err(display)) {
+        if let Some(server_p50_ns) = omega_obs::find_value(
+            &snapshot.text,
+            "omega_server_frame_ns{frame=\"execute\",quantile=\"0.5\"}",
+        ) {
+            println!(
+                "server-side execute p50 {:.3}ms (client-observed {:.3}ms)",
+                server_p50_ns / 1e6,
+                report.p50.as_secs_f64() * 1e3,
+            );
+        }
+    }
     Ok(())
 }
 

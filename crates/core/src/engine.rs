@@ -120,8 +120,10 @@ impl Omega {
                 &self.data,
                 self.db.pool(),
                 self.db.governor(),
+                self.db.core_metrics(),
                 self.options.clone(),
                 None,
+                false,
             ),
         })
     }

@@ -28,8 +28,10 @@
 //! explicit governance behaves exactly as before.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use omega_obs::{Counter, Registry};
 
 use crate::error::{OmegaError, Result};
 
@@ -160,6 +162,17 @@ pub struct GovernorGauges {
     pub rejected: u64,
 }
 
+/// Registry handles for the governor's admission counters. Bound once via
+/// [`ResourceGovernor::bind_metrics`]; until then recording is skipped (an
+/// ungoverned embedded database pays one `OnceLock` load per admission).
+#[derive(Debug)]
+struct GovernorMetrics {
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    sheds: Arc<Counter>,
+    retries: Arc<Counter>,
+}
+
 /// The engine-wide accountant. One per [`crate::Database`] family: clones
 /// and [`crate::Database::reconfigured`] views share it, so *every* session
 /// against the same storage draws from the same pools.
@@ -171,6 +184,7 @@ pub struct ResourceGovernor {
     executions: AtomicUsize,
     rejected: std::sync::atomic::AtomicU64,
     bucket: Option<Mutex<TokenBucket>>,
+    metrics: OnceLock<GovernorMetrics>,
 }
 
 impl ResourceGovernor {
@@ -186,7 +200,32 @@ impl ResourceGovernor {
             executions: AtomicUsize::new(0),
             rejected: std::sync::atomic::AtomicU64::new(0),
             bucket,
+            metrics: OnceLock::new(),
         })
+    }
+
+    /// Registers this governor's admission counters
+    /// (`omega_govern_{admitted,rejected,sheds,retries}_total`) with a
+    /// metrics registry. Idempotent: the first binding wins, later calls are
+    /// no-ops, so a reconfigured database keeps feeding the same series.
+    pub fn bind_metrics(&self, registry: &Registry) {
+        let _ = self.metrics.set(GovernorMetrics {
+            admitted: registry.counter("omega_govern_admitted_total", &[]),
+            rejected: registry.counter("omega_govern_rejected_total", &[]),
+            sheds: registry.counter("omega_govern_sheds_total", &[]),
+            retries: registry.counter("omega_govern_retries_total", &[]),
+        });
+    }
+
+    /// Records one shed (load rejected after admission, query-level) and, if
+    /// the service retried it, the retry.
+    pub(crate) fn note_shed(&self, retried: bool) {
+        if let Some(m) = self.metrics.get() {
+            m.sheds.inc();
+            if retried {
+                m.retries.inc();
+            }
+        }
     }
 
     /// A fully open governor (the default for databases built without
@@ -251,6 +290,9 @@ impl ResourceGovernor {
         } else {
             self.executions.fetch_add(1, Ordering::SeqCst);
         }
+        if let Some(m) = self.metrics.get() {
+            m.admitted.inc();
+        }
         Ok(ExecutionPermit {
             governor: Arc::clone(self),
         })
@@ -258,6 +300,9 @@ impl ResourceGovernor {
 
     fn reject(&self, wait: Duration) -> OmegaError {
         self.rejected.fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = self.metrics.get() {
+            m.rejected.inc();
+        }
         OmegaError::Overloaded {
             retry_after: wait
                 .max(self.config.retry_after)
@@ -407,6 +452,7 @@ impl Default for ResourceGovernor {
             executions: AtomicUsize::new(0),
             rejected: std::sync::atomic::AtomicU64::new(0),
             bucket: None,
+            metrics: OnceLock::new(),
         }
     }
 }

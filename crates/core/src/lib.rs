@@ -96,6 +96,7 @@ pub use govern::{
     ExecutionPermit, GovernorConfig, GovernorGauges, GovernorHandle, ResourceGovernor,
 };
 pub use omega_graph::SnapshotError;
+pub use omega_obs::{ProfilePhase, QueryProfile, Registry as MetricsRegistry};
 pub use query::{parse_query, Conjunct, Query, QueryMode, Term};
 pub use service::{
     conjunct_variables, Answers, Database, ExecOptions, GraphRef, MutationBatch, MutationReport,

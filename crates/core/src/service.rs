@@ -127,6 +127,7 @@ use std::time::{Duration, Instant};
 
 use omega_graph::snapshot::{SnapshotReader, SnapshotWriter};
 use omega_graph::{FxHashSet, GraphDelta, GraphStore, NodeId, SnapshotError};
+use omega_obs::{Counter as MetricCounter, Histogram as MetricHistogram, QueryProfile, Registry};
 use omega_ontology::Ontology;
 
 use crate::answer::Answer;
@@ -146,6 +147,12 @@ pub use crate::eval::options::OverloadPolicy;
 
 /// Default capacity of the per-database prepared-statement LRU cache.
 const PREPARED_CACHE_CAPACITY: usize = 128;
+
+/// Nanoseconds elapsed since `started`, saturated into a `u64` (580 years —
+/// only profile arithmetic, never control flow, consumes these).
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// One *epoch* of the storage a database serves queries against: an
 /// immutable graph view (frozen CSR, possibly layered with a delta overlay)
@@ -187,6 +194,36 @@ impl StorageSlot {
     }
 }
 
+/// Registry handles for the engine's own counters and the execution-latency
+/// histogram. One per [`Database`] family (clones and reconfigured views
+/// share it), resolved once at construction so the hot path records through
+/// pre-fetched `Arc`s without ever touching the registry lock.
+pub(crate) struct CoreMetrics {
+    registry: Arc<Registry>,
+    prepares: Arc<MetricCounter>,
+    prepare_cache_hits: Arc<MetricCounter>,
+    executions: Arc<MetricCounter>,
+    degrades: Arc<MetricCounter>,
+    mutations: Arc<MetricCounter>,
+    compactions: Arc<MetricCounter>,
+    exec_ns: Arc<MetricHistogram>,
+}
+
+impl CoreMetrics {
+    fn new(registry: Arc<Registry>) -> Arc<CoreMetrics> {
+        Arc::new(CoreMetrics {
+            prepares: registry.counter("omega_core_prepares_total", &[]),
+            prepare_cache_hits: registry.counter("omega_core_prepare_cache_hits_total", &[]),
+            executions: registry.counter("omega_core_executions_total", &[]),
+            degrades: registry.counter("omega_core_degraded_total", &[]),
+            mutations: registry.counter("omega_core_mutations_total", &[]),
+            compactions: registry.counter("omega_core_compactions_total", &[]),
+            exec_ns: registry.histogram("omega_core_execution_ns", &[]),
+            registry,
+        })
+    }
+}
+
 struct DbInner {
     storage: Arc<StorageSlot>,
     /// The ontology, shared across every epoch (mutations touch edges, not
@@ -207,6 +244,8 @@ struct DbInner {
     /// storage — from any clone or reconfigured view — is admitted by it and
     /// draws its live tuples from its shared pool.
     govern: Arc<ResourceGovernor>,
+    /// The metrics registry and the engine's pre-registered handles into it.
+    metrics: Arc<CoreMetrics>,
 }
 
 /// A shared, thread-safe handle over one graph + ontology.
@@ -252,6 +291,9 @@ impl Database {
         // frozen).
         ontology.freeze();
         let ontology = Arc::new(ontology);
+        let registry = Arc::new(Registry::new());
+        let govern = ResourceGovernor::new(config);
+        govern.bind_metrics(&registry);
         Database {
             inner: Arc::new(DbInner {
                 storage: Arc::new(StorageSlot {
@@ -268,7 +310,8 @@ impl Database {
                 cache_ready: Condvar::new(),
                 compilations: AtomicU64::new(0),
                 pool: WorkerPool::with_default_size(),
-                govern: ResourceGovernor::new(config),
+                govern,
+                metrics: CoreMetrics::new(registry),
             }),
         }
     }
@@ -287,8 +330,23 @@ impl Database {
                 compilations: AtomicU64::new(0),
                 pool: Arc::clone(&self.inner.pool),
                 govern: Arc::clone(&self.inner.govern),
+                metrics: Arc::clone(&self.inner.metrics),
             }),
         }
+    }
+
+    /// The metrics registry every subsystem of this database family reports
+    /// into: engine counters, execution-latency histogram, governor
+    /// admission counters — and whatever a host layer (the `omega-server`
+    /// daemon) registers on top. Render it with
+    /// [`omega_obs::Registry::expose`].
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.inner.metrics.registry
+    }
+
+    /// The engine's pre-resolved metric handles, for execution paths.
+    pub(crate) fn core_metrics(&self) -> &Arc<CoreMetrics> {
+        &self.inner.metrics
     }
 
     /// The database-wide resource governor: inspect its gauges, or hold the
@@ -343,6 +401,7 @@ impl Database {
     /// Concurrent misses on the same text are stampede-proof — exactly one
     /// caller compiles while the others wait for its result.
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery> {
+        self.inner.metrics.prepares.inc();
         // Pin the epoch before touching the cache so the compiled plans and
         // the tag always describe the same graph.
         let data = self.data();
@@ -354,7 +413,10 @@ impl Database {
             let mut cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 match cache.probe(text, epoch) {
-                    CacheProbe::Hit(prepared) => return Ok(prepared),
+                    CacheProbe::Hit(prepared) => {
+                        self.inner.metrics.prepare_cache_hits.inc();
+                        return Ok(prepared);
+                    }
                     CacheProbe::Busy => {
                         // Another thread is compiling this text (for this or
                         // an older epoch): wait for it, then re-probe. A
@@ -373,7 +435,11 @@ impl Database {
         // Compile outside the lock; the in-flight marker keeps concurrent
         // callers parked instead of duplicating this work.
         self.inner.compilations.fetch_add(1, Ordering::Relaxed);
-        let result = parse_query(text).and_then(|query| self.prepare_against(&query, &data));
+        let parse_started = Instant::now();
+        let result = parse_query(text).and_then(|query| {
+            let parse_ns = elapsed_ns(parse_started);
+            self.prepare_against(&query, &data, parse_ns)
+        });
         {
             let mut cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
             match &result {
@@ -389,25 +455,39 @@ impl Database {
 
     /// Parses and compiles `text` without touching the cache.
     pub fn prepare_uncached(&self, text: &str) -> Result<PreparedQuery> {
+        self.inner.metrics.prepares.inc();
+        let parse_started = Instant::now();
         let query = parse_query(text)?;
-        self.prepare_query(&query)
+        let parse_ns = elapsed_ns(parse_started);
+        let data = self.data();
+        self.prepare_against(&query, &data, parse_ns)
     }
 
     /// Compiles an already parsed query (uncached) against the current
     /// epoch.
     pub fn prepare_query(&self, query: &Query) -> Result<PreparedQuery> {
         let data = self.data();
-        self.prepare_against(query, &data)
+        self.prepare_against(query, &data, 0)
     }
 
-    /// Compiles `query` against a pinned storage epoch.
-    fn prepare_against(&self, query: &Query, data: &Arc<GraphData>) -> Result<PreparedQuery> {
-        let inner = compile_prepared(query, &data.graph, &data.ontology, &self.inner.options)?;
+    /// Compiles `query` against a pinned storage epoch, recording the time
+    /// spent (plus the caller's measured parse time) for query profiles.
+    fn prepare_against(
+        &self,
+        query: &Query,
+        data: &Arc<GraphData>,
+        parse_ns: u64,
+    ) -> Result<PreparedQuery> {
+        let compile_started = Instant::now();
+        let mut inner = compile_prepared(query, &data.graph, &data.ontology, &self.inner.options)?;
+        inner.parse_ns = parse_ns;
+        inner.compile_ns = elapsed_ns(compile_started);
         Ok(PreparedQuery {
             data: Arc::clone(data),
             base: Arc::clone(&self.inner.options),
             pool: Arc::clone(&self.inner.pool),
             govern: Arc::clone(&self.inner.govern),
+            metrics: Arc::clone(&self.inner.metrics),
             inner: Arc::new(inner),
         })
     }
@@ -489,6 +569,7 @@ impl Database {
             ontology: Arc::clone(&cur.ontology),
             epoch,
         }));
+        self.inner.metrics.mutations.inc();
         Ok(MutationReport {
             epoch,
             added: report.added,
@@ -528,6 +609,7 @@ impl Database {
             epoch: cur.epoch + 1,
         });
         self.inner.storage.store(Arc::clone(&next));
+        self.inner.metrics.compactions.inc();
         next
     }
 
@@ -832,6 +914,13 @@ struct PreparedConjunct {
 pub(crate) struct PreparedInner {
     query: Query,
     conjuncts: Vec<PreparedConjunct>,
+    /// Time [`Database::prepare`] spent parsing the query text, reported in
+    /// the `parse` phase of every execution's [`QueryProfile`]. Zero when
+    /// the statement was compiled from an already-parsed [`Query`].
+    parse_ns: u64,
+    /// Time spent compiling the conjunct plans (the `compile` profile
+    /// phase). Zero for plans built outside [`Database`] prepare paths.
+    compile_ns: u64,
 }
 
 /// Parses nothing, validates `query` and compiles every conjunct.
@@ -856,7 +945,42 @@ pub(crate) fn compile_prepared(
     Ok(PreparedInner {
         query: query.clone(),
         conjuncts,
+        parse_ns: 0,
+        compile_ns: 0,
     })
+}
+
+/// [`AnswerStream`] adaptor accumulating the wall-clock time spent inside
+/// one conjunct's `next_answer` calls, for the per-conjunct profile phases.
+/// Only constructed when the request asked for a profile.
+struct TimedStream<'a> {
+    inner: Box<dyn AnswerStream + 'a>,
+    nanos: Arc<AtomicU64>,
+}
+
+impl AnswerStream for TimedStream<'_> {
+    fn next_answer(&mut self) -> Result<Option<crate::answer::ConjunctAnswer>> {
+        let started = Instant::now();
+        let out = self.inner.next_answer();
+        self.nanos.fetch_add(elapsed_ns(started), Ordering::Relaxed);
+        out
+    }
+
+    fn stats(&self) -> EvalStats {
+        self.inner.stats()
+    }
+}
+
+/// In-flight profile accumulators for one execution; folded into a
+/// [`QueryProfile`] when the stream finishes.
+struct ProfileState {
+    parse_ns: u64,
+    compile_ns: u64,
+    /// `(original conjunct index, time inside its next_answer calls)`.
+    conjuncts: Vec<(usize, Arc<AtomicU64>)>,
+    /// Time inside the rank join's `get_next_slots` (includes the conjunct
+    /// time above — the join drives the streams).
+    join_ns: u64,
 }
 
 impl PreparedInner {
@@ -873,14 +997,18 @@ impl PreparedInner {
     /// worker threads feeding bounded channels; the ranked join consumes
     /// those channels on the caller's thread in exactly the sequential
     /// order, so the answer sequence is bit-identical either way.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn answers<'a>(
         &self,
         data: &'a Arc<GraphData>,
         pool: &Arc<WorkerPool>,
         govern: &Arc<ResourceGovernor>,
+        metrics: &Arc<CoreMetrics>,
         mut options: EvalOptions,
         limit: Option<usize>,
+        profile: bool,
     ) -> Answers<'a> {
+        let started = Instant::now();
         // Admission: the governor gates every execution before any evaluator
         // state is built. Under `Shed` a rejected request backs off once,
         // shrinks its budgets and retries; otherwise the typed
@@ -893,6 +1021,7 @@ impl PreparedInner {
                 Err(err) => {
                     if options.on_overload == OverloadPolicy::Shed && sheds == 0 {
                         sheds = 1;
+                        govern.note_shed(true);
                         if let OmegaError::Overloaded { retry_after } = err {
                             std::thread::sleep(retry_after);
                         }
@@ -906,6 +1035,15 @@ impl PreparedInner {
                 }
             }
         };
+        metrics.executions.inc();
+        let mut profile_state = profile.then(|| {
+            Box::new(ProfileState {
+                parse_ns: self.parse_ns,
+                compile_ns: self.compile_ns,
+                conjuncts: Vec::with_capacity(self.conjuncts.len()),
+                join_ns: 0,
+            })
+        });
         // Evaluators draw their live-tuple reservations from the shared pool
         // through this handle.
         options.govern = Some(GovernorHandle(Arc::clone(govern)));
@@ -952,6 +1090,20 @@ impl PreparedInner {
                     }
                 } else {
                     plan.materialize(graph, ontology, Arc::clone(&options))
+                };
+                // Profiling wraps each conjunct stream in a timing adaptor,
+                // keyed by the query's syntactic conjunct index so phases
+                // read stably however cost-guided ordering shuffled them.
+                let stream: Box<dyn AnswerStream + 'a> = match profile_state.as_mut() {
+                    Some(state) => {
+                        let nanos = Arc::new(AtomicU64::new(0));
+                        state.conjuncts.push((i, Arc::clone(&nanos)));
+                        Box::new(TimedStream {
+                            inner: stream,
+                            nanos,
+                        })
+                    }
+                    None => stream,
                 };
                 JoinInput::new(stream, pc.subject_var.clone(), pc.object_var.clone())
             })
@@ -1002,6 +1154,10 @@ impl PreparedInner {
             govern: Some(Arc::clone(govern)),
             buffered: 0,
             sheds,
+            started,
+            metrics: Some(Arc::clone(metrics)),
+            profile: profile_state,
+            profile_out: None,
         }
     }
 }
@@ -1054,6 +1210,7 @@ pub struct PreparedQuery {
     base: Arc<EvalOptions>,
     pool: Arc<WorkerPool>,
     govern: Arc<ResourceGovernor>,
+    metrics: Arc<CoreMetrics>,
     inner: Arc<PreparedInner>,
 }
 
@@ -1066,8 +1223,15 @@ impl PreparedQuery {
     /// Streams the ranked answers for one execution under `request`.
     pub fn answers(&self, request: &ExecOptions) -> Answers<'_> {
         let options = request.resolve(&self.base);
-        self.inner
-            .answers(&self.data, &self.pool, &self.govern, options, request.limit)
+        self.inner.answers(
+            &self.data,
+            &self.pool,
+            &self.govern,
+            &self.metrics,
+            options,
+            request.limit,
+            request.profile,
+        )
     }
 
     /// Executes under `request` and collects the answers.
@@ -1138,6 +1302,10 @@ pub struct ExecOptions {
     /// mid-query or the governor rejects the execution at admission (see
     /// [`OverloadPolicy`]).
     pub on_overload: Option<OverloadPolicy>,
+    /// Record a per-phase [`QueryProfile`] for this execution (read it with
+    /// [`Answers::profile`] after the stream finishes). Off by default: the
+    /// unprofiled path pays a single branch per answer pull.
+    pub profile: bool,
 }
 
 impl ExecOptions {
@@ -1239,6 +1407,13 @@ impl ExecOptions {
         self
     }
 
+    /// Records a per-phase timing profile for this execution, retrievable
+    /// via [`Answers::profile`] once the stream has finished.
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Folds the overrides into `base`, resolving the relative timeout into
     /// an absolute deadline at call time (i.e. execution start).
     pub(crate) fn resolve(&self, base: &EvalOptions) -> EvalOptions {
@@ -1328,6 +1503,19 @@ pub struct Answers<'a> {
     /// Shed retries performed at admission, surfaced through
     /// [`Answers::stats`].
     sheds: u64,
+    /// When this execution started (admission included), for the
+    /// execution-latency histogram and the profile's `total` phase.
+    started: Instant,
+    /// Engine metric handles; `take()`n when the stream ends so the
+    /// execution histogram records each stream exactly once. `None` for
+    /// rejected streams (the governor already counted those).
+    metrics: Option<Arc<CoreMetrics>>,
+    /// Live profile accumulators (requests with
+    /// [`ExecOptions::with_profile`] only).
+    profile: Option<Box<ProfileState>>,
+    /// The folded per-phase breakdown, available via [`Answers::profile`]
+    /// once the stream has finished.
+    profile_out: Option<QueryProfile>,
 }
 
 impl<'a> Answers<'a> {
@@ -1351,6 +1539,10 @@ impl<'a> Answers<'a> {
             govern: None,
             buffered: 0,
             sheds,
+            started: Instant::now(),
+            metrics: None,
+            profile: None,
+            profile_out: None,
         }
     }
 
@@ -1362,6 +1554,55 @@ impl<'a> Answers<'a> {
         self.cancel.cancel();
         self.sync_buffer_gauge(true);
         self.permit = None;
+        self.observe_end();
+    }
+
+    /// Folds the execution into the metrics registry (latency histogram,
+    /// degrade counter) and the profile accumulators into the final
+    /// [`QueryProfile`]. Idempotent via `take()`; also runs from `Drop` so
+    /// abandoned streams are still counted.
+    fn observe_end(&mut self) {
+        let total_ns = elapsed_ns(self.started);
+        if let Some(metrics) = self.metrics.take() {
+            metrics.exec_ns.record(total_ns);
+            if self.join.stats().degraded {
+                metrics.degrades.inc();
+            }
+        }
+        if let Some(state) = self.profile.take() {
+            let mut profile = QueryProfile::new();
+            profile.push("parse", state.parse_ns);
+            profile.push("compile", state.compile_ns);
+            let mut conjunct_ns = 0u64;
+            for (index, nanos) in &state.conjuncts {
+                let ns = nanos.load(Ordering::Relaxed);
+                conjunct_ns = conjunct_ns.saturating_add(ns);
+                profile.push(format!("conjunct_{index}"), ns);
+            }
+            // The join loop drives the conjunct streams, so its own cost is
+            // what remains after their time is taken out; streaming is the
+            // projection/dedup/consumer share of the total.
+            profile.push("rank_join", state.join_ns.saturating_sub(conjunct_ns));
+            profile.push("streaming", total_ns.saturating_sub(state.join_ns));
+            profile.push("total", total_ns);
+            self.profile_out = Some(profile);
+        }
+    }
+
+    /// The per-phase timing breakdown of this execution. `Some` only after
+    /// the stream has finished (drained, limited, or failed) *and* the
+    /// request asked for one via [`ExecOptions::with_profile`].
+    pub fn profile(&self) -> Option<&QueryProfile> {
+        self.profile_out.as_ref()
+    }
+
+    /// Takes the per-phase profile, forcing end-of-execution accounting if
+    /// the stream is still open. For stream teardown (a server drained or
+    /// cancelled mid-flight still wants the phases that ran); a stream that
+    /// has had its profile taken no longer records anything on further use.
+    pub fn take_profile(&mut self) -> Option<QueryProfile> {
+        self.observe_end();
+        self.profile_out.take()
     }
 
     /// Mirrors the rank join's buffered-entry count into the governor's
@@ -1404,7 +1645,17 @@ impl<'a> Answers<'a> {
             }
         }
         loop {
-            let next = match self.join.get_next_slots() {
+            // Timing the join pull is the only profiling cost on the answer
+            // loop, and only paid when a profile was requested.
+            let pulled = if let Some(state) = self.profile.as_mut() {
+                let started = Instant::now();
+                let next = self.join.get_next_slots();
+                state.join_ns = state.join_ns.saturating_add(elapsed_ns(started));
+                next
+            } else {
+                self.join.get_next_slots()
+            };
+            let next = match pulled {
                 Ok(next) => next,
                 Err(e) => {
                     self.finish();
@@ -1483,9 +1734,11 @@ impl Drop for Answers<'_> {
         // Abandoning the stream mid-flight cancels the execution; the join's
         // parallel inputs then join their workers as they drop. The gauge
         // contribution is returned here too (the permit's own `Drop` frees
-        // the concurrency slot).
+        // the concurrency slot), and the execution still lands in the
+        // latency histogram.
         self.cancel.cancel();
         self.sync_buffer_gauge(true);
+        self.observe_end();
     }
 }
 
@@ -1538,6 +1791,75 @@ mod tests {
             .unwrap();
         assert_eq!(answers.len(), 3);
         assert!(answers.iter().all(|a| a.distance == 0));
+    }
+
+    #[test]
+    fn profile_records_every_phase_when_requested() {
+        let db = db();
+        let prepared = db
+            .prepare("(?X, ?W) <- (?X, knows, ?Y), (?Y, worksAt, ?W)")
+            .unwrap();
+        let mut answers = prepared.answers(&ExecOptions::new().with_profile(true));
+        assert!(answers.profile().is_none(), "not available mid-stream");
+        let collected = answers.collect_up_to(None).unwrap();
+        assert!(!collected.is_empty());
+        let profile = answers.profile().expect("requested profile");
+        for phase in [
+            "parse",
+            "compile",
+            "conjunct_0",
+            "conjunct_1",
+            "rank_join",
+            "streaming",
+            "total",
+        ] {
+            assert!(profile.get(phase).is_some(), "missing phase {phase}");
+        }
+        assert!(
+            profile.get("parse").unwrap() > 0,
+            "cache-missed prepare timed the parse"
+        );
+        assert!(profile.get("compile").unwrap() > 0);
+        assert!(profile.total_nanos() >= profile.get("rank_join").unwrap());
+    }
+
+    #[test]
+    fn profile_is_absent_by_default() {
+        let db = db();
+        let prepared = db.prepare("(?X) <- (alice, knows, ?X)").unwrap();
+        let mut answers = prepared.answers(&ExecOptions::new());
+        answers.collect_up_to(None).unwrap();
+        assert!(answers.profile().is_none());
+    }
+
+    #[test]
+    fn registry_counts_prepares_executions_and_cache_hits() {
+        let db = db();
+        db.prepare("(?X) <- (alice, knows, ?X)").unwrap();
+        db.prepare("(?X) <- (alice, knows, ?X)").unwrap();
+        db.execute("(?X) <- (alice, knows, ?X)", &ExecOptions::new())
+            .unwrap();
+        let text = db.metrics().expose();
+        let get = |series: &str| omega_obs::find_value(&text, series).unwrap_or(-1.0);
+        assert_eq!(get("omega_core_prepares_total"), 3.0);
+        assert_eq!(get("omega_core_prepare_cache_hits_total"), 2.0);
+        assert_eq!(get("omega_core_executions_total"), 1.0);
+        assert_eq!(get("omega_core_execution_ns_count"), 1.0);
+        assert_eq!(get("omega_govern_admitted_total"), 1.0);
+    }
+
+    #[test]
+    fn registry_counts_mutations_and_compactions() {
+        let db = db();
+        let mut batch = db.begin_mutation();
+        batch.add("dave", "knows", "erin");
+        db.apply(&batch).unwrap();
+        db.compact();
+        db.compact(); // no overlay: must not count
+        let text = db.metrics().expose();
+        let get = |series: &str| omega_obs::find_value(&text, series).unwrap_or(-1.0);
+        assert_eq!(get("omega_core_mutations_total"), 1.0);
+        assert_eq!(get("omega_core_compactions_total"), 1.0);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Fixed-bucket log-linear latency histograms.
+//!
+//! The bucketing scheme is the HDR-histogram one: values below 16 get one
+//! bucket each; above that, every power-of-two octave is split into
+//! `2^SUB_BITS = 8` equal sub-buckets. A bucket's width is therefore at
+//! most 1/8 of its lower bound, which bounds the relative error of any
+//! quantile extracted from bucket boundaries at **12.5%** — while the whole
+//! `u64` range fits in [`BUCKET_COUNT`] = 496 slots (~4 KiB of atomics).
+//!
+//! Recording is wait-free (one relaxed `fetch_add` on the bucket, one on
+//! the count/sum, one `fetch_max` for the maximum); per-thread shards merge
+//! by bucket-wise addition ([`Histogram::merge_from`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 3;
+
+/// Values below this threshold get an exact bucket each.
+const LINEAR_MAX: u64 = 1 << (SUB_BITS + 1);
+
+/// Total number of buckets needed to cover the full `u64` range.
+pub const BUCKET_COUNT: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + (1 << SUB_BITS);
+
+/// The bucket a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) & ((1 << SUB_BITS) - 1);
+    (((shift + 1) << SUB_BITS) + sub as u32) as usize
+}
+
+/// The largest value contained in bucket `i` (the quantile representative:
+/// using the inclusive upper bound keeps extracted quantiles ≥ the exact
+/// ones, and within the 12.5% bucket width above them).
+fn bucket_bound(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        return i as u64;
+    }
+    let shift = (i as u32 >> SUB_BITS) - 1;
+    let sub = (i as u64) & ((1 << SUB_BITS) - 1);
+    // The very top bucket's upper bound is u64::MAX: the shift wraps the
+    // value to zero and the wrapping decrement recovers the saturated bound.
+    (((1 << SUB_BITS) + sub + 1) << shift).wrapping_sub(1)
+}
+
+/// A lock-free fixed-bucket latency histogram.
+///
+/// Values are plain `u64`s — by convention nanoseconds when recorded via
+/// [`Histogram::observe`]. Use [`Histogram::snapshot`] for a consistent-ish
+/// point-in-time view with quantile extraction.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKET_COUNT]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        // `AtomicU64` is not `Copy`; build the boxed array through a Vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        let buckets = match buckets.into_boxed_slice().try_into() {
+            Ok(array) => array,
+            // `buckets` has exactly BUCKET_COUNT elements by construction.
+            Err(_) => unreachable!("bucket vector length is BUCKET_COUNT"),
+        };
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram pre-populated from a value sample (the bench harness's
+    /// entry point: collected latencies in, shared percentile math out).
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> Histogram {
+        let h = Histogram::new();
+        for v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn observe(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Adds every observation of `other` into `self` (shard merging).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile extraction. Concurrent recording
+    /// may skew individual buckets by in-flight observations; totals are
+    /// re-derived from the copied buckets so quantile ranks stay
+    /// internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// A frozen view of a [`Histogram`], with nearest-rank quantiles.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0 < q <= 1.0`), as the inclusive
+    /// upper bound of the bucket holding that rank — at most 12.5% above
+    /// the exact order statistic, never below it. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_continuous_and_monotone() {
+        // Every value maps into a bucket whose bound is >= the value, and
+        // bucket indices never decrease as values grow.
+        let mut last = 0usize;
+        for v in (0..4096u64).chain([1 << 20, 1 << 40, u64::MAX / 2, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(i >= last || v < 4096, "indices monotone");
+            assert!(i < BUCKET_COUNT, "index {i} in range for {v}");
+            assert!(bucket_bound(i) >= v, "bound covers value {v}");
+            // Relative bucket error is bounded by 12.5%.
+            assert!(
+                bucket_bound(i) <= v.saturating_add(v / 8).saturating_add(1),
+                "bound {} within 12.5% of {v}",
+                bucket_bound(i)
+            );
+            if v >= 4096 {
+                continue;
+            }
+            last = i;
+        }
+        // The small range is exact.
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_sample_within_bucket_error() {
+        // Deterministic pseudo-random sample (LCG), compared against the
+        // exact sort-based nearest-rank percentiles.
+        let mut x = 0x2545f491_4f6cdd1du64;
+        let mut values = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            values.push(x >> 40); // ~[0, 16M)
+        }
+        let h = Histogram::from_values(values.iter().copied());
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.90, 0.99, 0.999] {
+            let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = snap.quantile(q);
+            assert!(approx >= exact, "q{q}: {approx} >= exact {exact}");
+            assert!(
+                approx <= exact + exact / 8 + 1,
+                "q{q}: {approx} within 12.5% of exact {exact}"
+            );
+        }
+        assert_eq!(snap.count(), 10_000);
+        assert_eq!(snap.max(), *sorted.last().unwrap());
+        assert_eq!(snap.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn multithreaded_hammer_keeps_totals_exact() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Arc::new(Histogram::new());
+        let c = Arc::new(crate::Counter::new());
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = Arc::clone(&h);
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(c.get(), THREADS * PER_THREAD);
+        assert_eq!(snap.count(), THREADS * PER_THREAD);
+        let n = THREADS * PER_THREAD;
+        assert_eq!(snap.sum(), n * (n - 1) / 2);
+        assert_eq!(snap.max(), n - 1);
+        // The sample is 0..80000 uniformly; p50 must sit within bucket
+        // error of 40000.
+        let p50 = snap.p50();
+        assert!((40_000..=45_001).contains(&p50), "p50 {p50} near 40000");
+    }
+
+    #[test]
+    fn shards_merge_additively() {
+        let a = Histogram::from_values([1, 2, 3]);
+        let b = Histogram::from_values([100, 200]);
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.sum(), 306);
+        assert_eq!(snap.max(), 200);
+        assert_eq!(snap.p50(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.max(), 0);
+    }
+
+    #[test]
+    fn observe_records_nanoseconds() {
+        let h = Histogram::new();
+        h.observe(Duration::from_micros(5));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 5_000);
+    }
+}

@@ -1,0 +1,46 @@
+//! # omega-obs
+//!
+//! The unified observability substrate of Omega-RS: a lock-free metrics
+//! [`Registry`] handing out atomic [`Counter`]s, [`Gauge`]s and log-scale
+//! latency [`Histogram`]s, plus the span-style [`QueryProfile`] recording
+//! per-phase timings of one query execution.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost is one atomic op.** Handles are `Arc`s resolved once
+//!    at registration; recording is a single `fetch_add` (plus a
+//!    `fetch_max` for histogram maxima). The registry's lock is touched
+//!    only at registration and at exposition time.
+//! 2. **Histograms are fixed-size and mergeable.** Log-linear bucketing
+//!    (eight sub-buckets per power of two) bounds the relative quantile
+//!    error at 12.5% with a 496-slot array — shards recorded on different
+//!    threads merge by bucket-wise addition, and p50/p99/p999 extraction
+//!    never allocates proportionally to the sample.
+//! 3. **One exposition format.** [`Registry::expose`] renders every metric
+//!    as versioned Prometheus-style `name{label="v"} value` lines, the
+//!    same text the `omega-server` daemon returns for a wire `Metrics`
+//!    frame and the REPL's `metrics` verb prints.
+//!
+//! ```
+//! use omega_obs::Registry;
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("requests_total", &[("kind", "exec")]);
+//! let latency = registry.histogram("request_ns", &[]);
+//! requests.inc();
+//! latency.observe(Duration::from_micros(250));
+//! let text = registry.expose();
+//! assert!(text.starts_with("# omega-obs exposition v1\n"));
+//! assert!(text.contains("requests_total{kind=\"exec\"} 1"));
+//! ```
+
+mod histogram;
+mod metric;
+mod profile;
+mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use metric::{Counter, Gauge};
+pub use profile::{ProfilePhase, QueryProfile};
+pub use registry::{find_value, Registry, EXPOSITION_HEADER};

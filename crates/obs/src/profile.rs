@@ -1,0 +1,116 @@
+//! Span-style per-query profiling.
+//!
+//! A [`QueryProfile`] is an ordered list of `(phase, nanoseconds)` pairs
+//! recording where one query execution spent its time: parsing, planning,
+//! each conjunct's evaluation, the rank-join loop, and answer streaming.
+//! It is built by the engine only when [`ExecOptions::with_profile`] was
+//! requested (the disabled path is a single branch), travels over the wire
+//! inside the `Finished` frame's extension block, and prints through the
+//! REPL's `profile` verb.
+//!
+//! [`ExecOptions::with_profile`]: https://docs.rs/omega-core
+
+/// One timed phase of a query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilePhase {
+    /// Phase name: `parse`, `compile`, `conjunct_<i>`, `rank_join`,
+    /// `streaming`, or `total`.
+    pub name: String,
+    /// Wall-clock time attributed to the phase, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Per-phase wall-clock breakdown of one query execution.
+///
+/// Phases appear in execution order; `total` (when present) is the
+/// end-to-end wall time and is *not* the sum of the other phases — phases
+/// like per-conjunct evaluation overlap the rank-join loop that drives
+/// them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    phases: Vec<ProfilePhase>,
+}
+
+impl QueryProfile {
+    /// An empty profile.
+    pub fn new() -> QueryProfile {
+        QueryProfile::default()
+    }
+
+    /// Appends a phase measurement.
+    pub fn push(&mut self, name: impl Into<String>, nanos: u64) {
+        self.phases.push(ProfilePhase {
+            name: name.into(),
+            nanos,
+        });
+    }
+
+    /// The recorded phases, in insertion order.
+    pub fn phases(&self) -> &[ProfilePhase] {
+        &self.phases
+    }
+
+    /// The first phase with the given name, if recorded.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.nanos)
+    }
+
+    /// The `total` phase if recorded, else the sum of all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.get("total")
+            .unwrap_or_else(|| self.phases.iter().map(|p| p.nanos).sum())
+    }
+
+    /// True when no phases were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+impl std::fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total_nanos().max(1);
+        for p in &self.phases {
+            let ms = p.nanos as f64 / 1e6;
+            let pct = p.nanos as f64 * 100.0 / total as f64;
+            writeln!(f, "{:<14} {:>12.3} ms {:>6.1}%", p.name, ms, pct)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_keep_order_and_lookup_works() {
+        let mut p = QueryProfile::new();
+        p.push("parse", 10);
+        p.push("compile", 20);
+        p.push("conjunct_0", 70);
+        assert_eq!(p.phases().len(), 3);
+        assert_eq!(p.get("compile"), Some(20));
+        assert_eq!(p.get("missing"), None);
+        assert_eq!(p.total_nanos(), 100);
+    }
+
+    #[test]
+    fn explicit_total_wins_over_sum() {
+        let mut p = QueryProfile::new();
+        p.push("parse", 10);
+        p.push("total", 1000);
+        assert_eq!(p.total_nanos(), 1000);
+    }
+
+    #[test]
+    fn display_emits_one_line_per_phase() {
+        let mut p = QueryProfile::new();
+        p.push("parse", 1_000_000);
+        p.push("total", 4_000_000);
+        let text = p.to_string();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("parse"));
+        assert!(text.contains("25.0%"));
+    }
+}

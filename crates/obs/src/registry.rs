@@ -1,0 +1,295 @@
+//! The metrics registry and its text exposition.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::{Counter, Gauge, Histogram};
+
+/// First line of every exposition, carrying the format version.
+pub const EXPOSITION_HEADER: &str = "# omega-obs exposition v1";
+
+type Labels = Vec<(String, String)>;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A process-wide registry of named metrics.
+///
+/// Registration returns an `Arc` handle; recording through the handle never
+/// touches the registry lock, which is taken only when registering and when
+/// rendering the exposition. Registering the same `(name, labels)` pair
+/// twice returns the same underlying metric, so independent subsystems can
+/// share a series without coordination.
+pub struct Registry {
+    metrics: Mutex<BTreeMap<(String, Labels), Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(String, Labels), Metric>> {
+        // A poisoned registry lock only means another thread panicked while
+        // registering; the map itself is still structurally sound.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = key_of(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            // Same series name registered as a different kind: keep the
+            // caller working, but on a detached metric that won't clash in
+            // the exposition.
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = key_of(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = key_of(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Renders every metric as Prometheus-style text: one
+    /// `name{label="value"} value` line per series, sorted by series key,
+    /// preceded by [`EXPOSITION_HEADER`]. Histograms expand to `_count`,
+    /// `_sum` and three `quantile` series (p50/p99/p999, in nanoseconds).
+    pub fn expose(&self) -> String {
+        let map = self.lock();
+        let mut out = String::with_capacity(64 + map.len() * 48);
+        out.push_str(EXPOSITION_HEADER);
+        out.push('\n');
+        for ((name, labels), metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    line(&mut out, name, labels, &[], &c.get().to_string());
+                }
+                Metric::Gauge(g) => {
+                    line(&mut out, name, labels, &[], &g.get().to_string());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let count_name = format!("{name}_count");
+                    line(
+                        &mut out,
+                        &count_name,
+                        labels,
+                        &[],
+                        &snap.count().to_string(),
+                    );
+                    let sum_name = format!("{name}_sum");
+                    line(&mut out, &sum_name, labels, &[], &snap.sum().to_string());
+                    for (q, v) in [
+                        ("0.5", snap.p50()),
+                        ("0.99", snap.p99()),
+                        ("0.999", snap.p999()),
+                    ] {
+                        line(&mut out, name, labels, &[("quantile", q)], &v.to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("series", &self.lock().len())
+            .finish()
+    }
+}
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> (String, Labels) {
+    let mut labels: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+fn line(out: &mut String, name: &str, labels: &Labels, extra: &[(&str, &str)], value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            for ch in v.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Finds the value of the series whose rendered form starts with `series`
+/// (e.g. `requests_total{kind="exec"}` or a bare `connections_open`) in an
+/// exposition produced by [`Registry::expose`]. Used by clients to
+/// cross-check server-side metrics without a structured parser.
+pub fn find_value(exposition: &str, series: &str) -> Option<f64> {
+    for l in exposition.lines() {
+        if l.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = l.rsplit_once(' ') else {
+            continue;
+        };
+        if key == series {
+            return value.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn exposition_golden() {
+        let r = Registry::new();
+        r.counter("requests_total", &[("kind", "exec")]).add(3);
+        r.counter("requests_total", &[("kind", "prepare")]).inc();
+        r.gauge("connections_open", &[]).set(2);
+        let h = r.histogram("request_ns", &[]);
+        for us in [100u64, 200, 300] {
+            h.observe(Duration::from_micros(us));
+        }
+        let text = r.expose();
+        let expected = "\
+# omega-obs exposition v1
+connections_open 2
+request_ns_count 3
+request_ns_sum 600000
+request_ns{quantile=\"0.5\"} 212991
+request_ns{quantile=\"0.99\"} 300000
+request_ns{quantile=\"0.999\"} 300000
+requests_total{kind=\"exec\"} 3
+requests_total{kind=\"prepare\"} 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn reregistration_shares_the_series() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("a", "1"), ("b", "2")]);
+        // Label order must not matter.
+        let b = r.counter("hits", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let text = r.expose();
+        assert_eq!(text.matches("hits{").count(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_degrades_to_detached_metric() {
+        let r = Registry::new();
+        r.counter("x", &[]).inc();
+        let g = r.gauge("x", &[]);
+        g.set(7);
+        // The counter keeps the series; the gauge is detached but usable.
+        assert!(r.expose().contains("x 1"));
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("weird", &[("q", "a\"b\\c\nd")]).inc();
+        let text = r.expose();
+        assert!(text.contains("weird{q=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn find_value_parses_rendered_lines() {
+        let r = Registry::new();
+        r.counter("requests_total", &[("kind", "exec")]).add(5);
+        r.gauge("connections_open", &[]).set(3);
+        let text = r.expose();
+        assert_eq!(
+            find_value(&text, "requests_total{kind=\"exec\"}"),
+            Some(5.0)
+        );
+        assert_eq!(find_value(&text, "connections_open"), Some(3.0));
+        assert_eq!(find_value(&text, "missing"), None);
+    }
+
+    #[test]
+    fn concurrent_registration_converges() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter("spins", &[]).inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("spins", &[]).get(), 4000);
+    }
+}

@@ -9,7 +9,8 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use omega_core::{
-    Answer, EvalStats, ExecOptions, GovernorGauges, OmegaError, OverloadPolicy, TruncationReason,
+    Answer, EvalStats, ExecOptions, GovernorGauges, OmegaError, OverloadPolicy, QueryProfile,
+    TruncationReason,
 };
 use omega_regex::RegexParseError;
 
@@ -97,6 +98,32 @@ pub fn take_stats(r: &mut Reader<'_>) -> Result<EvalStats, ProtocolError> {
 }
 
 // ---------------------------------------------------------------------------
+// QueryProfile
+// ---------------------------------------------------------------------------
+
+/// Encodes a per-phase query profile: phase count, then `(name, nanos)`
+/// pairs in execution order.
+pub fn put_profile(w: &mut Writer, profile: &QueryProfile) {
+    w.put_u32(profile.phases().len() as u32);
+    for phase in profile.phases() {
+        w.put_str(&phase.name);
+        w.put_u64(phase.nanos);
+    }
+}
+
+/// Decodes a per-phase query profile.
+pub fn take_profile(r: &mut Reader<'_>) -> Result<QueryProfile, ProtocolError> {
+    let count = r.take_u32()?;
+    let mut profile = QueryProfile::new();
+    for _ in 0..count {
+        let name = r.take_str()?;
+        let nanos = r.take_u64()?;
+        profile.push(name, nanos);
+    }
+    Ok(profile)
+}
+
+// ---------------------------------------------------------------------------
 // ExecOptions
 // ---------------------------------------------------------------------------
 
@@ -149,6 +176,7 @@ pub fn put_exec_options(w: &mut Writer, options: &ExecOptions) {
     w.put_opt(options.parallel_channel_capacity, Writer::put_usize);
     w.put_opt(options.cost_guided, Writer::put_bool);
     w.put_opt(options.on_overload, put_policy);
+    w.put_bool(options.profile);
 }
 
 /// Decodes execution options; the wire budget lands in `timeout`, never in
@@ -169,6 +197,7 @@ pub fn take_exec_options(r: &mut Reader<'_>) -> Result<ExecOptions, ProtocolErro
         parallel_channel_capacity: r.take_opt(Reader::take_usize)?,
         cost_guided: r.take_opt(Reader::take_bool)?,
         on_overload: r.take_opt(take_policy)?,
+        profile: r.take_bool()?,
     })
 }
 
@@ -322,9 +351,21 @@ pub struct ServerStats {
     pub rejected: u64,
     /// Conjunct worker threads currently live in the engine's pool.
     pub live_workers: u64,
+    /// Storage epoch currently serving (mutations and compactions bump it).
+    pub epoch: u64,
+    /// Edges held in the current epoch's delta overlay (0 after compaction).
+    pub overlay_edges: u64,
+    /// Seconds since the daemon started serving.
+    pub uptime_secs: u64,
+    /// Entries in the database's shared prepared-statement LRU cache.
+    pub prepared_statements: u64,
 }
 
-/// Encodes a [`ServerStats`] snapshot.
+/// Encodes a [`ServerStats`] snapshot: the original fixed block, then a
+/// length-prefixed extension block (epoch, overlay edges, uptime, prepared
+/// cache size). Decoders that predate the extension stop at the fixed
+/// block; newer decoders ignore extension bytes beyond the fields they
+/// know, so the block can keep growing without another format break.
 pub fn put_server_stats(w: &mut Writer, stats: &ServerStats) {
     w.put_usize(stats.gauges.live_tuples);
     w.put_usize(stats.gauges.join_buffer_entries);
@@ -339,11 +380,21 @@ pub fn put_server_stats(w: &mut Writer, stats: &ServerStats) {
     w.put_u64(stats.degraded);
     w.put_u64(stats.rejected);
     w.put_u64(stats.live_workers);
+    let mut ext = Writer::new();
+    ext.put_u64(stats.epoch);
+    ext.put_u64(stats.overlay_edges);
+    ext.put_u64(stats.uptime_secs);
+    ext.put_u64(stats.prepared_statements);
+    let ext = ext.into_inner();
+    w.put_u32(ext.len() as u32);
+    w.put_bytes(&ext);
 }
 
-/// Decodes a [`ServerStats`] snapshot.
+/// Decodes a [`ServerStats`] snapshot, tolerating both a missing extension
+/// block (older encoder) and an extension longer than the known fields
+/// (newer encoder).
 pub fn take_server_stats(r: &mut Reader<'_>) -> Result<ServerStats, ProtocolError> {
-    Ok(ServerStats {
+    let mut stats = ServerStats {
         gauges: GovernorGauges {
             live_tuples: r.take_usize()?,
             join_buffer_entries: r.take_usize()?,
@@ -359,7 +410,26 @@ pub fn take_server_stats(r: &mut Reader<'_>) -> Result<ServerStats, ProtocolErro
         degraded: r.take_u64()?,
         rejected: r.take_u64()?,
         live_workers: r.take_u64()?,
-    })
+        ..ServerStats::default()
+    };
+    if r.remaining() > 0 {
+        let len = r.take_u32()? as usize;
+        let mut ext = Reader::new(r.take_bytes(len)?);
+        // Fields appear oldest-first; a shorter-than-known block (from a
+        // hypothetical intermediate encoder) just leaves the tail zeroed.
+        for field in [
+            &mut stats.epoch,
+            &mut stats.overlay_edges,
+            &mut stats.uptime_secs,
+            &mut stats.prepared_statements,
+        ] {
+            if ext.remaining() < 8 {
+                break;
+            }
+            *field = ext.take_u64()?;
+        }
+    }
+    Ok(stats)
 }
 
 /// A human-oriented multi-line rendering shared by the REPL and logs.
@@ -377,6 +447,11 @@ impl std::fmt::Display for ServerStats {
             f,
             "answers streamed: {}; sheds: {}; degraded: {}; rejected: {}",
             self.answers_streamed, self.sheds, self.degraded, self.rejected
+        )?;
+        writeln!(
+            f,
+            "epoch: {}; overlay edges: {}; prepared statements: {}; uptime: {}s",
+            self.epoch, self.overlay_edges, self.prepared_statements, self.uptime_secs
         )?;
         write!(
             f,
@@ -482,6 +557,80 @@ mod tests {
         let rendered = ServerStats::default().to_string();
         for needle in ["connections", "streams", "governor", "rejected"] {
             assert!(rendered.contains(needle), "missing {needle}: {rendered}");
+        }
+    }
+
+    fn sample_server_stats() -> ServerStats {
+        ServerStats {
+            connections_total: 12,
+            connections_open: 3,
+            answers_streamed: 4_096,
+            epoch: 7,
+            overlay_edges: 150,
+            uptime_secs: 86_400,
+            prepared_statements: 32,
+            ..ServerStats::default()
+        }
+    }
+
+    #[test]
+    fn server_stats_round_trip_including_extension_block() {
+        round_trip(&sample_server_stats(), put_server_stats, take_server_stats);
+    }
+
+    #[test]
+    fn server_stats_decode_pre_extension_encoding() {
+        // Simulate an encoder that predates the extension block: the fixed
+        // field block only, no trailing length prefix.
+        let stats = sample_server_stats();
+        let mut w = Writer::new();
+        put_server_stats(&mut w, &stats);
+        let mut bytes = w.into_inner();
+        bytes.truncate(bytes.len() - 4 - 4 * 8); // drop ext length + 4 u64s
+        let back = take_server_stats(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.connections_total, stats.connections_total);
+        assert_eq!(back.answers_streamed, stats.answers_streamed);
+        assert_eq!(back.epoch, 0, "missing extension defaults to zero");
+        assert_eq!(back.uptime_secs, 0);
+        assert_eq!(back.prepared_statements, 0);
+    }
+
+    #[test]
+    fn server_stats_decode_tolerates_longer_extension() {
+        // A future encoder appends more fields inside the ext block; this
+        // decoder must take what it knows and skip the rest cleanly.
+        let stats = sample_server_stats();
+        let mut w = Writer::new();
+        put_server_stats(&mut w, &stats);
+        let mut bytes = w.into_inner();
+        let ext_len_at = bytes.len() - 4 - 4 * 8;
+        bytes.extend_from_slice(&99u64.to_le_bytes()); // unknown future field
+        let new_len = 5u32 * 8;
+        bytes[ext_len_at..ext_len_at + 4].copy_from_slice(&new_len.to_le_bytes());
+        let mut r = Reader::new(&bytes);
+        let back = take_server_stats(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn query_profile_round_trips() {
+        let mut profile = QueryProfile::new();
+        profile.push("parse", 950);
+        profile.push("conjunct_1", 2_000_000);
+        profile.push("total", 2_500_000);
+        round_trip(&profile, put_profile, take_profile);
+        round_trip(&QueryProfile::new(), put_profile, take_profile);
+    }
+
+    #[test]
+    fn exec_options_carry_the_profile_flag() {
+        for on in [false, true] {
+            let options = ExecOptions::new().with_profile(on);
+            let mut w = Writer::new();
+            put_exec_options(&mut w, &options);
+            let back = take_exec_options(&mut Reader::new(&w.into_inner())).unwrap();
+            assert_eq!(back.profile, on);
         }
     }
 }

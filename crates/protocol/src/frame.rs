@@ -20,11 +20,12 @@
 
 use std::io::{ErrorKind, Read, Write};
 
-use omega_core::{Answer, EvalStats, ExecOptions};
+use omega_core::{Answer, EvalStats, ExecOptions, QueryProfile};
 
 use crate::codec::{
-    put_answer, put_exec_options, put_server_stats, put_stats, put_wire_error, take_answer,
-    take_exec_options, take_server_stats, take_stats, take_wire_error, ServerStats,
+    put_answer, put_exec_options, put_profile, put_server_stats, put_stats, put_wire_error,
+    take_answer, take_exec_options, take_profile, take_server_stats, take_stats, take_wire_error,
+    ServerStats,
 };
 use crate::error::{ProtocolError, WireError};
 use crate::wire::{Reader, Writer};
@@ -95,6 +96,9 @@ pub enum Frame {
     },
     /// Request a [`ServerStats`] snapshot.
     Stats,
+    /// Request the server's full metrics exposition (counters, gauges,
+    /// latency histograms) as versioned text.
+    Metrics,
     /// Ask the daemon to drain and exit.
     Shutdown,
     /// Apply a batch of edge mutations atomically: the server publishes all
@@ -136,6 +140,9 @@ pub enum Frame {
         stats: EvalStats,
         /// Whether the stream completed or was drained by shutdown.
         reason: FinishReason,
+        /// Per-phase timings, present iff the request set
+        /// [`ExecOptions::with_profile`].
+        profile: Option<QueryProfile>,
     },
     /// Terminal frame of a failed request.
     Fail {
@@ -146,6 +153,16 @@ pub enum Frame {
     StatsReply {
         /// The snapshot.
         stats: ServerStats,
+    },
+    /// Reply to `Metrics`.
+    MetricsReply {
+        /// Version of the exposition text format (independent of the
+        /// protocol version, so the format can evolve without a handshake
+        /// break).
+        version: u32,
+        /// The rendered exposition, one `name{labels} value` line per
+        /// series.
+        text: String,
     },
     /// Reply to `Close`.
     Closed,
@@ -174,6 +191,7 @@ const TAG_CLOSE: u8 = 0x06;
 const TAG_STATS: u8 = 0x07;
 const TAG_SHUTDOWN: u8 = 0x08;
 const TAG_MUTATE: u8 = 0x09;
+const TAG_METRICS: u8 = 0x0a;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_PREPARED: u8 = 0x82;
 const TAG_ANSWERS: u8 = 0x83;
@@ -183,6 +201,7 @@ const TAG_STATS_REPLY: u8 = 0x86;
 const TAG_CLOSED: u8 = 0x87;
 const TAG_SHUTDOWN_OK: u8 = 0x88;
 const TAG_MUTATE_OK: u8 = 0x89;
+const TAG_METRICS_REPLY: u8 = 0x8a;
 
 impl Frame {
     /// Encodes the frame payload: tag byte plus body (the length prefix is
@@ -228,6 +247,7 @@ impl Frame {
                 w.put_u64(*id);
             }
             Frame::Stats => w.put_u8(TAG_STATS),
+            Frame::Metrics => w.put_u8(TAG_METRICS),
             Frame::Shutdown => w.put_u8(TAG_SHUTDOWN),
             Frame::Mutate { adds, removes } => {
                 w.put_u8(TAG_MUTATE);
@@ -265,13 +285,18 @@ impl Frame {
                     put_answer(&mut w, answer);
                 }
             }
-            Frame::Finished { stats, reason } => {
+            Frame::Finished {
+                stats,
+                reason,
+                profile,
+            } => {
                 w.put_u8(TAG_FINISHED);
                 put_stats(&mut w, stats);
                 w.put_u8(match reason {
                     FinishReason::Complete => 0,
                     FinishReason::Drained => 1,
                 });
+                w.put_opt(profile.as_ref(), put_profile);
             }
             Frame::Fail { error } => {
                 w.put_u8(TAG_FAIL);
@@ -280,6 +305,11 @@ impl Frame {
             Frame::StatsReply { stats } => {
                 w.put_u8(TAG_STATS_REPLY);
                 put_server_stats(&mut w, stats);
+            }
+            Frame::MetricsReply { version, text } => {
+                w.put_u8(TAG_METRICS_REPLY);
+                w.put_u32(*version);
+                w.put_str(text);
             }
             Frame::Closed => w.put_u8(TAG_CLOSED),
             Frame::ShutdownOk => w.put_u8(TAG_SHUTDOWN_OK),
@@ -341,6 +371,7 @@ impl Frame {
             TAG_CANCEL => Frame::Cancel,
             TAG_CLOSE => Frame::Close { id: r.take_u64()? },
             TAG_STATS => Frame::Stats,
+            TAG_METRICS => Frame::Metrics,
             TAG_SHUTDOWN => Frame::Shutdown,
             TAG_MUTATE => {
                 let mut batches = [Vec::new(), Vec::new()];
@@ -386,13 +417,22 @@ impl Frame {
                     1 => FinishReason::Drained,
                     _ => return Err(ProtocolError::Malformed("unknown finish reason")),
                 };
-                Frame::Finished { stats, reason }
+                let profile = r.take_opt(take_profile)?;
+                Frame::Finished {
+                    stats,
+                    reason,
+                    profile,
+                }
             }
             TAG_FAIL => Frame::Fail {
                 error: take_wire_error(&mut r)?,
             },
             TAG_STATS_REPLY => Frame::StatsReply {
                 stats: take_server_stats(&mut r)?,
+            },
+            TAG_METRICS_REPLY => Frame::MetricsReply {
+                version: r.take_u32()?,
+                text: r.take_str()?,
             },
             TAG_CLOSED => Frame::Closed,
             TAG_SHUTDOWN_OK => Frame::ShutdownOk,
@@ -409,8 +449,9 @@ impl Frame {
 }
 
 /// Writes one length-prefixed frame to `w` (and flushes it, so a frame is
-/// either fully on the wire or an error).
-pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtocolError> {
+/// either fully on the wire or an error). Returns the total bytes written
+/// — prefix plus payload — for byte-level accounting.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize, ProtocolError> {
     let payload = frame.encode();
     if payload.len() as u64 > MAX_FRAME_LEN as u64 {
         return Err(ProtocolError::Oversized {
@@ -421,7 +462,7 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtocolErr
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&payload)?;
     w.flush()?;
-    Ok(())
+    Ok(4 + payload.len())
 }
 
 /// What one [`FrameReader::poll`] call produced.
@@ -451,6 +492,8 @@ pub struct FrameReader<R> {
     buf: Vec<u8>,
     /// Payload length once the prefix is complete.
     payload_len: Option<usize>,
+    /// Total bytes consumed from the transport, including length prefixes.
+    bytes_read: u64,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -460,12 +503,18 @@ impl<R: Read> FrameReader<R> {
             inner,
             buf: Vec::new(),
             payload_len: None,
+            bytes_read: 0,
         }
     }
 
     /// The wrapped transport.
     pub fn get_ref(&self) -> &R {
         &self.inner
+    }
+
+    /// Total bytes consumed from the transport so far (prefixes included).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
     }
 
     /// Reads until a full frame, EOF or a transport timeout.
@@ -484,7 +533,10 @@ impl<R: Read> FrameReader<R> {
                         }
                         return Err(ProtocolError::Truncated);
                     }
-                    Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                    Ok(n) => {
+                        self.bytes_read += n as u64;
+                        self.buf.extend_from_slice(&chunk[..n]);
+                    }
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(e)
                         if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
@@ -553,6 +605,7 @@ mod tests {
         });
         round_trip(Frame::Cancel);
         round_trip(Frame::Stats);
+        round_trip(Frame::Metrics);
         round_trip(Frame::Shutdown);
         round_trip(Frame::Closed);
         round_trip(Frame::ShutdownOk);
@@ -586,6 +639,38 @@ mod tests {
             statement: StatementRef::Text("(?X) <- (a, p, ?X)".into()),
             options: ExecOptions::new().with_limit(10).with_max_distance(2),
             credits: 64,
+        });
+    }
+
+    #[test]
+    fn metrics_reply_round_trips_exposition_text() {
+        round_trip(Frame::MetricsReply {
+            version: 1,
+            text: "# omega-obs exposition v1\nrequests_total{kind=\"exec\"} 42\n".into(),
+        });
+        round_trip(Frame::MetricsReply {
+            version: 1,
+            text: String::new(),
+        });
+    }
+
+    #[test]
+    fn finished_round_trips_with_and_without_profile() {
+        round_trip(Frame::Finished {
+            stats: EvalStats::default(),
+            reason: FinishReason::Complete,
+            profile: None,
+        });
+        let mut profile = QueryProfile::new();
+        profile.push("parse", 1_200);
+        profile.push("compile", 84_000);
+        profile.push("conjunct_0", 3_000_000);
+        profile.push("rank_join", 250_000);
+        profile.push("total", 3_500_000);
+        round_trip(Frame::Finished {
+            stats: EvalStats::default(),
+            reason: FinishReason::Drained,
+            profile: Some(profile),
         });
     }
 

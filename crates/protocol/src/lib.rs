@@ -59,3 +59,8 @@ pub const DEFAULT_BATCH: usize = 64;
 
 /// Default initial credit window granted by [`Frame::Execute`].
 pub const DEFAULT_CREDITS: u32 = 256;
+
+/// Version of the metrics exposition text format carried by
+/// [`Frame::MetricsReply`]. Independent of [`PROTOCOL_VERSION`], so the
+/// exposition can evolve without a handshake break.
+pub const METRICS_EXPOSITION_VERSION: u32 = 1;

@@ -10,7 +10,8 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use omega_core::{
-    Answer, EvalStats, ExecOptions, GovernorGauges, OmegaError, OverloadPolicy, TruncationReason,
+    Answer, EvalStats, ExecOptions, GovernorGauges, OmegaError, OverloadPolicy, QueryProfile,
+    TruncationReason,
 };
 use omega_protocol::{
     write_frame, FinishReason, Frame, FrameReader, ProtocolError, ServerStats, StatementRef,
@@ -103,8 +104,8 @@ fn exec_options() -> BoxedStrategy<ExecOptions> {
         opt((0usize..1 << 16).boxed()),
         opt(any::<bool>().boxed()),
     );
-    (knobs, toggles, parallel, opt(policy()))
-        .prop_map(|(knobs, toggles, parallel, on_overload)| {
+    (knobs, toggles, parallel, (opt(policy()), any::<bool>()))
+        .prop_map(|(knobs, toggles, parallel, (on_overload, profile))| {
             let (limit, timeout, max_distance, max_tuples) = knobs;
             let (distance_aware, disjunction_decomposition, batch_size, prioritize_final) = toggles;
             let (parallel_conjuncts, parallel_workers, parallel_channel_capacity, cost_guided) =
@@ -124,6 +125,7 @@ fn exec_options() -> BoxedStrategy<ExecOptions> {
                 parallel_channel_capacity,
                 cost_guided,
                 on_overload,
+                profile,
             }
         })
         .boxed()
@@ -170,7 +172,7 @@ fn eval_stats() -> BoxedStrategy<EvalStats> {
 fn server_stats() -> BoxedStrategy<ServerStats> {
     (
         (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
-        prop::collection::vec(any::<u64>(), 9..10),
+        prop::collection::vec(any::<u64>(), 13..14),
     )
         .prop_map(|(gauges, counters)| ServerStats {
             gauges: GovernorGauges {
@@ -188,6 +190,22 @@ fn server_stats() -> BoxedStrategy<ServerStats> {
             degraded: counters[6],
             rejected: counters[7],
             live_workers: counters[8],
+            epoch: counters[9],
+            overlay_edges: counters[10],
+            uptime_secs: counters[11],
+            prepared_statements: counters[12],
+        })
+        .boxed()
+}
+
+fn query_profile() -> BoxedStrategy<QueryProfile> {
+    prop::collection::vec((text(), any::<u64>()), 0..8)
+        .prop_map(|phases| {
+            let mut profile = QueryProfile::new();
+            for (name, nanos) in phases {
+                profile.push(name, nanos);
+            }
+            profile
         })
         .boxed()
 }
@@ -216,6 +234,7 @@ fn frame() -> BoxedStrategy<Frame> {
         Just(Frame::Cancel),
         any::<u64>().prop_map(|id| Frame::Close { id }),
         Just(Frame::Stats),
+        Just(Frame::Metrics),
         Just(Frame::Shutdown),
         text().prop_map(|server| Frame::HelloOk {
             version: PROTOCOL_VERSION,
@@ -234,11 +253,17 @@ fn frame() -> BoxedStrategy<Frame> {
         prop::collection::vec(answer(), 0..6).prop_map(|answers| Frame::Answers { answers }),
         (
             eval_stats(),
-            prop_oneof![Just(FinishReason::Complete), Just(FinishReason::Drained)].boxed()
+            prop_oneof![Just(FinishReason::Complete), Just(FinishReason::Drained)].boxed(),
+            opt(query_profile())
         )
-            .prop_map(|(stats, reason)| Frame::Finished { stats, reason }),
+            .prop_map(|(stats, reason, profile)| Frame::Finished {
+                stats,
+                reason,
+                profile
+            }),
         wire_error().prop_map(|error| Frame::Fail { error }),
         server_stats().prop_map(|stats| Frame::StatsReply { stats }),
+        (any::<u32>(), text()).prop_map(|(version, text)| Frame::MetricsReply { version, text }),
         Just(Frame::Closed),
         Just(Frame::ShutdownOk),
     ]

@@ -4,11 +4,12 @@
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
-use omega_core::{ExecOptions, OmegaError, PreparedQuery};
+use omega_core::{ExecOptions, OmegaError, PreparedQuery, QueryProfile};
 use omega_protocol::{
     write_frame, FinishReason, Frame, FrameReader, Poll, ProtocolError, StatementRef, Transport,
-    WireError, PROTOCOL_VERSION,
+    WireError, METRICS_EXPOSITION_VERSION, PROTOCOL_VERSION,
 };
 
 use crate::{CounterGuard, Shared};
@@ -70,14 +71,64 @@ fn serve(shared: &Arc<Shared>, transport: Transport) -> ConnResult<()> {
         writer: transport,
         statements: HashMap::new(),
         next_id: 1,
+        bytes_in_seen: 0,
     };
     conn.handshake()?;
     loop {
         match conn.next_request()? {
-            Some(frame) => conn.dispatch(frame)?,
+            Some(frame) => {
+                let kind = frame_kind(&frame);
+                let started = Instant::now();
+                conn.dispatch(frame)?;
+                shared.metrics.frame_ns(kind).observe(started.elapsed());
+            }
             None => return Ok(()),
         }
     }
+}
+
+/// The label under which a request lands in the per-frame latency
+/// histogram.
+fn frame_kind(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Prepare { .. } => "prepare",
+        Frame::Execute { .. } => "execute",
+        Frame::Stats => "stats",
+        Frame::Metrics => "metrics",
+        Frame::Mutate { .. } => "mutate",
+        Frame::Close { .. } => "close",
+        Frame::Shutdown => "shutdown",
+        _ => "other",
+    }
+}
+
+/// FNV-1a over the debug rendering of the request options: a stable,
+/// dependency-free digest that lets slow-query lines be grouped by
+/// execution configuration without reprinting the whole struct.
+fn options_digest(options: &ExecOptions) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in format!("{options:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Minimal JSON string escaping for the slow-query log line.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 struct Conn<'a> {
@@ -89,6 +140,8 @@ struct Conn<'a> {
     /// connections shares one compiled plan.
     statements: HashMap<u64, PreparedQuery>,
     next_id: u64,
+    /// Reader byte total already credited to the `bytes_in` counter.
+    bytes_in_seen: u64,
 }
 
 impl Drop for Conn<'_> {
@@ -103,7 +156,17 @@ impl Drop for Conn<'_> {
 
 impl Conn<'_> {
     fn send(&mut self, frame: &Frame) -> ConnResult<()> {
-        write_frame(&mut self.writer, frame).map_err(|_| Hangup::Gone)
+        let written = write_frame(&mut self.writer, frame).map_err(|_| Hangup::Gone)?;
+        self.shared.metrics.bytes_out.add(written as u64);
+        Ok(())
+    }
+
+    /// Credits reader bytes consumed since the last call to the `bytes_in`
+    /// counter (called after every poll, so partial frames count too).
+    fn note_read_bytes(&mut self) {
+        let total = self.reader.bytes_read();
+        self.shared.metrics.bytes_in.add(total - self.bytes_in_seen);
+        self.bytes_in_seen = total;
     }
 
     /// Sends a typed failure and counts it.
@@ -116,7 +179,9 @@ impl Conn<'_> {
     /// magic are reported as typed failures before the socket closes.
     fn handshake(&mut self) -> ConnResult<()> {
         loop {
-            match self.reader.poll() {
+            let polled = self.reader.poll();
+            self.note_read_bytes();
+            match polled {
                 Ok(Poll::Frame(Frame::Hello { .. })) => {
                     let server = self.shared.config.server_name.clone();
                     return self.send(&Frame::HelloOk {
@@ -161,7 +226,9 @@ impl Conn<'_> {
     /// waiting.
     fn next_request(&mut self) -> ConnResult<Option<Frame>> {
         loop {
-            match self.reader.poll() {
+            let polled = self.reader.poll();
+            self.note_read_bytes();
+            match polled {
                 Ok(Poll::Frame(frame)) => return Ok(Some(frame)),
                 Ok(Poll::Eof) => return Ok(None),
                 Ok(Poll::Pending) => {
@@ -199,6 +266,13 @@ impl Conn<'_> {
             Frame::Stats => {
                 let stats = self.shared.stats();
                 self.send(&Frame::StatsReply { stats })
+            }
+            Frame::Metrics => {
+                let text = self.shared.metrics_text();
+                self.send(&Frame::MetricsReply {
+                    version: METRICS_EXPOSITION_VERSION,
+                    text,
+                })
             }
             Frame::Mutate { adds, removes } => self.mutate(adds, removes),
             Frame::Shutdown => {
@@ -333,6 +407,7 @@ impl Conn<'_> {
         credits: u32,
     ) -> ConnResult<()> {
         let _in_flight = CounterGuard::enter(&self.shared.counters.streams_in_flight);
+        let started = Instant::now();
         let mut stream = prepared.answers(&request);
         let mut credits = u64::from(credits);
         let batch_cap = self.shared.config.batch.max(1) as u64;
@@ -398,6 +473,7 @@ impl Conn<'_> {
             }
         };
         let stats = stream.stats();
+        let profile = stream.take_profile();
         // Drop before the terminal frame: cancels any conjunct workers and
         // returns every governor resource, so a client observing `Finished`
         // observes the gauges already settled.
@@ -410,10 +486,12 @@ impl Conn<'_> {
         if drained || stats.degraded {
             self.shared.counters.degraded.fetch_add(1, Ordering::SeqCst);
         }
+        self.log_slow_query(&prepared, &request, &outcome, started, &stats, &profile);
         match outcome {
             Outcome::Complete => self.send(&Frame::Finished {
                 stats,
                 reason: FinishReason::Complete,
+                profile,
             }),
             Outcome::Drained => {
                 // The answers already sent are a correct rank-order prefix;
@@ -422,6 +500,7 @@ impl Conn<'_> {
                 self.send(&Frame::Finished {
                     stats,
                     reason: FinishReason::Drained,
+                    profile,
                 })
             }
             Outcome::Cancelled => self.send_fail(WireError::Engine(OmegaError::Cancelled)),
@@ -433,6 +512,57 @@ impl Conn<'_> {
                 Err(Hangup::Gone)
             }
         }
+    }
+
+    /// Emits the structured slow-query line when the execution crossed the
+    /// configured threshold. One stderr line, fixed prefix, hand-rolled
+    /// JSON — greppable and machine-parseable without a logging stack.
+    fn log_slow_query(
+        &self,
+        prepared: &PreparedQuery,
+        request: &ExecOptions,
+        outcome: &Outcome,
+        started: Instant,
+        stats: &omega_core::EvalStats,
+        profile: &Option<QueryProfile>,
+    ) {
+        let Some(threshold) = self.shared.config.slow_query_ms else {
+            return;
+        };
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+        if elapsed_ms < threshold {
+            return;
+        }
+        let reason = match outcome {
+            Outcome::Complete => "complete",
+            Outcome::Drained => "drained",
+            Outcome::Cancelled => "cancelled",
+            Outcome::Failed(_) => "failed",
+            Outcome::Abuse => "abuse",
+        };
+        let profile_json = match profile {
+            Some(profile) => {
+                let phases: Vec<String> = profile
+                    .phases()
+                    .iter()
+                    .map(|p| format!("\"{}\":{}", json_escape(&p.name), p.nanos))
+                    .collect();
+                format!(",\"profile\":{{{}}}", phases.join(","))
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "omega-server: slow-query {{\"elapsed_ms\":{},\"query\":\"{}\",\"epoch\":{},\
+             \"options_digest\":\"{:016x}\",\"answers\":{},\"degraded\":{},\"reason\":\"{}\"{}}}",
+            elapsed_ms,
+            json_escape(&prepared.query().to_string()),
+            prepared.epoch(),
+            options_digest(request),
+            stats.answers,
+            stats.degraded,
+            reason,
+            profile_json,
+        );
     }
 
     /// Non-blocking control poll (flips the socket to non-blocking for one
@@ -452,6 +582,7 @@ impl Conn<'_> {
     }
 
     fn control_from(&mut self, polled: Result<Poll, ProtocolError>) -> ConnResult<Control> {
+        self.note_read_bytes();
         match polled {
             Ok(Poll::Frame(Frame::Fetch { credits })) => Ok(Control::Fetch(credits)),
             Ok(Poll::Frame(Frame::Cancel)) => Ok(Control::Cancel),
@@ -460,6 +591,16 @@ impl Conn<'_> {
                 // client can watch the gauges move.
                 let stats = self.shared.stats();
                 self.send(&Frame::StatsReply { stats })?;
+                Ok(Control::None)
+            }
+            Ok(Poll::Frame(Frame::Metrics)) => {
+                // Metrics too: scrapers must not be blocked by a long
+                // stream on the same connection.
+                let text = self.shared.metrics_text();
+                self.send(&Frame::MetricsReply {
+                    version: METRICS_EXPOSITION_VERSION,
+                    text,
+                })?;
                 Ok(Control::None)
             }
             Ok(Poll::Frame(_)) => Ok(Control::Unexpected),

@@ -42,9 +42,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use omega_core::{live_parallel_workers, Database};
+use omega_obs::{Counter as MetricCounter, Gauge, Histogram, Registry};
 use omega_protocol::{ServerStats, Transport};
 
 /// Tunables of the serving loop. The defaults suit both tests and the
@@ -66,6 +67,11 @@ pub struct ServerConfig {
     /// CSR. Compaction never blocks readers or writers of the serving
     /// epoch; `0` disables the trigger.
     pub compact_threshold: usize,
+    /// When set, executions slower than this many milliseconds are logged
+    /// to stderr as one structured slow-query line (query text, epoch,
+    /// options digest, answer count and — when requested — the per-phase
+    /// profile). `Some(0)` logs every execution; `None` disables the log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +82,7 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(10)),
             batch: omega_protocol::DEFAULT_BATCH,
             compact_threshold: 8192,
+            slow_query_ms: None,
         }
     }
 }
@@ -94,6 +101,54 @@ pub(crate) struct Counters {
     pub(crate) rejected: AtomicU64,
 }
 
+/// The frame kinds the per-frame request-latency histogram distinguishes;
+/// anything else (stale flow control, abuse) lands in `"other"`.
+const FRAME_KINDS: [&str; 8] = [
+    "prepare", "execute", "stats", "metrics", "mutate", "close", "shutdown", "other",
+];
+
+/// The daemon's handles into the database's shared metrics [`Registry`]:
+/// request-latency histograms per frame kind, wire byte counters, and
+/// point-in-time gauges refreshed at scrape.
+pub(crate) struct ServerMetrics {
+    pub(crate) bytes_in: Arc<MetricCounter>,
+    pub(crate) bytes_out: Arc<MetricCounter>,
+    connections_open: Arc<Gauge>,
+    draining: Arc<Gauge>,
+    uptime_secs: Arc<Gauge>,
+    frames: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            bytes_in: registry.counter("omega_server_bytes_in_total", &[]),
+            bytes_out: registry.counter("omega_server_bytes_out_total", &[]),
+            connections_open: registry.gauge("omega_server_connections_open", &[]),
+            draining: registry.gauge("omega_server_draining", &[]),
+            uptime_secs: registry.gauge("omega_server_uptime_secs", &[]),
+            frames: FRAME_KINDS
+                .iter()
+                .map(|kind| {
+                    (
+                        *kind,
+                        registry.histogram("omega_server_frame_ns", &[("frame", kind)]),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The request-latency histogram for `kind` (falling back to `other`).
+    pub(crate) fn frame_ns(&self, kind: &str) -> &Arc<Histogram> {
+        self.frames
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, h)| h)
+            .unwrap_or(&self.frames[FRAME_KINDS.len() - 1].1)
+    }
+}
+
 /// State shared by the accept loops, every connection thread and every
 /// [`ServerHandle`].
 pub(crate) struct Shared {
@@ -101,6 +156,8 @@ pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
     pub(crate) drain: AtomicBool,
     pub(crate) counters: Counters,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) started: Instant,
     /// Set while a background compaction thread is running, so overlapping
     /// `Mutate` bursts trigger at most one compactor at a time.
     pub(crate) compacting: AtomicBool,
@@ -124,7 +181,22 @@ impl Shared {
             degraded: c.degraded.load(Ordering::SeqCst),
             rejected: c.rejected.load(Ordering::SeqCst),
             live_workers: live_parallel_workers() as u64,
+            epoch: self.db.epoch(),
+            overlay_edges: self.db.graph().overlay_edges(),
+            uptime_secs: self.started.elapsed().as_secs(),
+            prepared_statements: self.db.prepared_cache_len() as u64,
         }
+    }
+
+    /// Renders the full metrics exposition, refreshing the point-in-time
+    /// gauges first so a scrape always sees current values.
+    pub(crate) fn metrics_text(&self) -> String {
+        let m = &self.metrics;
+        m.connections_open
+            .set(self.counters.connections_open.load(Ordering::SeqCst) as i64);
+        m.draining.set(self.draining() as i64);
+        m.uptime_secs.set(self.started.elapsed().as_secs() as i64);
+        self.db.metrics().expose()
     }
 }
 
@@ -151,6 +223,11 @@ impl ServerHandle {
     /// Point-in-time daemon statistics.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// The full metrics exposition, as served to `Metrics` frames.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
     }
 }
 
@@ -196,12 +273,15 @@ impl Server {
 
     /// A server over `db` with explicit tunables.
     pub fn with_config(db: Database, config: ServerConfig) -> Server {
+        let metrics = ServerMetrics::new(db.metrics());
         Server {
             shared: Arc::new(Shared {
                 db,
                 config,
                 drain: AtomicBool::new(false),
                 counters: Counters::default(),
+                metrics,
+                started: Instant::now(),
                 compacting: AtomicBool::new(false),
             }),
             accepts: Vec::new(),

@@ -43,6 +43,9 @@ TUNING:
                           background compaction (default 8192, 0 = never)
     --poll-interval-ms N  drain/cancel poll interval (default 25)
     --write-timeout-ms N  per-frame write timeout (default 10000, 0 = none)
+    --slow-query-ms N     log executions slower than N ms to stderr as one
+                          structured slow-query line (0 = every execution;
+                          default: disabled)
     --help                print this text
 ";
 
@@ -105,6 +108,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "--write-timeout-ms" => {
                 let ms: u64 = parse(value("--write-timeout-ms")?)?;
                 config.write_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--slow-query-ms" => {
+                config.slow_query_ms = Some(parse(value("--slow-query-ms")?)?);
             }
             other => return Err(format!("unknown flag '{other}' (see --help)")),
         }

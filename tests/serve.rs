@@ -741,6 +741,146 @@ fn mutations_under_traffic_stay_clean_and_background_compaction_runs() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability over the wire
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metrics_frame_round_trips_and_server_histogram_matches_client_view() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "metrics");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+
+    let text = l4all_queries()[0].text;
+    let options = ExecOptions::new().with_limit(50);
+    let mut latencies: Vec<Duration> = Vec::new();
+    for _ in 0..16 {
+        let start = Instant::now();
+        conn.run(text, &options).expect("probe request");
+        latencies.push(start.elapsed());
+    }
+    latencies.sort_unstable();
+    let client_p50 = latencies[latencies.len() / 2];
+
+    let snapshot = conn.metrics().expect("metrics frame");
+    assert_eq!(snapshot.version, omega_protocol::METRICS_EXPOSITION_VERSION);
+    assert!(
+        snapshot.text.starts_with(omega_obs::EXPOSITION_HEADER),
+        "unexpected exposition:\n{}",
+        snapshot.text
+    );
+    // Engine counters made it into the server's registry.
+    let executions = omega_obs::find_value(&snapshot.text, "omega_core_executions_total")
+        .expect("executions counter exposed");
+    assert!(
+        executions >= 16.0,
+        "executions counter too low: {executions}"
+    );
+    // The per-frame histogram saw every execute frame, and its median
+    // agrees with the client's observed latency to within a histogram
+    // bucket plus scheduling noise.
+    let count = omega_obs::find_value(
+        &snapshot.text,
+        "omega_server_frame_ns_count{frame=\"execute\"}",
+    )
+    .expect("execute frame histogram exposed");
+    assert!(count >= 16.0, "execute frame count too low: {count}");
+    let server_p50_ns = omega_obs::find_value(
+        &snapshot.text,
+        "omega_server_frame_ns{frame=\"execute\",quantile=\"0.5\"}",
+    )
+    .expect("execute frame p50 exposed");
+    let server_p50 = Duration::from_nanos(server_p50_ns as u64);
+    let tolerance = client_p50.max(Duration::from_millis(10));
+    let gap = server_p50.abs_diff(client_p50);
+    assert!(
+        gap <= tolerance,
+        "server p50 {server_p50:?} vs client p50 {client_p50:?} (tolerance {tolerance:?})"
+    );
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn profile_travels_the_wire_only_when_requested() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "profile");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+    let spec = &l4all_multi_conjunct_queries()[0];
+    let options = ExecOptions::new().with_limit(50);
+
+    // Without the flag: no profile in the Finished frame.
+    let mut stream = conn.execute_text(spec.text, &options).expect("execute");
+    while stream.next_answer().expect("stream").is_some() {}
+    assert!(stream.profile().is_none(), "unrequested profile travelled");
+    drop(stream);
+
+    // With the flag: the per-phase breakdown arrives with the Finished
+    // frame, covering parse through streaming.
+    let mut stream = conn
+        .execute_text(spec.text, &options.clone().with_profile(true))
+        .expect("execute profiled");
+    while stream.next_answer().expect("profiled stream").is_some() {}
+    let profile = stream.profile().expect("profile requested").clone();
+    drop(stream);
+    for phase in [
+        "parse",
+        "compile",
+        "conjunct_0",
+        "rank_join",
+        "streaming",
+        "total",
+    ] {
+        assert!(
+            profile.get(phase).is_some(),
+            "phase {phase} missing from wire profile:\n{profile}"
+        );
+    }
+    assert!(
+        profile.get("total").expect("total phase") > 0,
+        "total phase must be non-zero"
+    );
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+#[test]
+fn stats_reply_carries_epoch_overlay_uptime_and_cache_occupancy() {
+    let _guard = serve_lock();
+    let db = l4all_db();
+    let (handle, path, joiner) = spawn_unix(db.clone(), "statsext");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+
+    let before = conn.stats().expect("stats");
+    assert_eq!(before.epoch, 0);
+    assert_eq!(before.overlay_edges, 0);
+
+    // Text execution populates the prepared cache; a mutation advances the
+    // epoch and lands one overlay edge.
+    conn.run(l4all_queries()[0].text, &ExecOptions::new().with_limit(1))
+        .expect("prime the prepared cache");
+    let mut mutation = Mutation::new();
+    mutation.add("Stats A", "statslink", "Stats B");
+    conn.mutate(&mutation).expect("mutate");
+
+    let after = conn.stats().expect("stats after");
+    assert_eq!(after.epoch, 1, "epoch not reported: {after:?}");
+    assert_eq!(after.overlay_edges, 1, "overlay edges not reported");
+    assert!(
+        after.prepared_statements >= 1,
+        "prepared cache occupancy missing: {after:?}"
+    );
+    // Uptime is seconds-granular; it must simply never run backwards.
+    assert!(after.uptime_secs >= before.uptime_secs);
+
+    drop(conn);
+    drain(&handle, joiner);
+}
+
+// ---------------------------------------------------------------------------
 // Chaos: injected faults surface as typed wire errors
 // ---------------------------------------------------------------------------
 
