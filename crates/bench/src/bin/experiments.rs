@@ -12,7 +12,7 @@
 //!
 //! FIGURE: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt-distance
 //!         opt-disjunction prepared parallel baseline startup live overload
-//!         serve profile bench all
+//!         serve profile durability bench all
 //! ```
 //!
 //! `--quick` (the default) runs L4All scales L1–L2 and a quarter-scale YAGO
@@ -83,7 +83,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 \
-                     opt-distance opt-disjunction prepared parallel baseline startup live overload serve profile bench all] \
+                     opt-distance opt-disjunction prepared parallel baseline startup live overload serve profile durability bench all] \
                      [--quick|--full] [--yago-scale F] [--max-scale L1..L4] [--samples N] \
                      [--json PATH]\n\
                      \x20      experiments snapshot build --out PATH [--dataset l4all|yago] \
@@ -125,6 +125,7 @@ fn main() {
     let need_overload = wants("overload") || wants("bench");
     let need_serve = wants("serve") || wants("bench");
     let need_profile = wants("profile") || wants("bench");
+    let need_durability = wants("durability") || wants("bench");
     let l4all_rows = need_l4all.then(|| l4all_study(&config, &options));
     let yago_rows = need_yago.then(|| yago_study(&config, &options));
     let multi_rows = need_multi.then(|| parallel_study(&config, &options));
@@ -133,6 +134,7 @@ fn main() {
     let overload_rows = need_overload.then(|| overload_study(&config));
     let serve_rows = need_serve.then(|| serve_study(&config));
     let profile_rows = need_profile.then(|| profile_study(&config));
+    let durability_rows = need_durability.then(|| durability_study(&config));
     if let Some(rows) = &l4all_rows {
         if wants("fig5") {
             println!("{}", figure5(rows));
@@ -185,6 +187,11 @@ fn main() {
             println!("{}", profile_comparison(rows));
         }
     }
+    if let Some(rows) = &durability_rows {
+        if wants("durability") {
+            println!("{}", durability_comparison(rows));
+        }
+    }
     if wants("bench") {
         let name = json_path
             .file_stem()
@@ -201,6 +208,7 @@ fn main() {
             startup_rows.as_deref().unwrap_or(&[]),
             live_rows.as_deref().unwrap_or(&[]),
             profile_rows.as_deref().unwrap_or(&[]),
+            durability_rows.as_deref().unwrap_or(&[]),
             overload_rows.as_deref().unwrap_or(&[]),
             serve_rows.as_deref().unwrap_or(&[]),
         )

@@ -28,7 +28,10 @@ pub use serve::{serve_comparison, serve_study, ServeRun};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use omega_core::{Database, EvalOptions, EvalStats, ExecOptions, OmegaError, PreparedQuery};
+use omega_core::{
+    Database, EvalOptions, EvalStats, ExecOptions, FsyncPolicy, GovernorConfig, OmegaError,
+    PreparedQuery, WalConfig,
+};
 use omega_datagen::{
     generate_l4all, generate_yago, l4all_multi_conjunct_queries, l4all_queries,
     yago_multi_conjunct_queries, yago_queries, Dataset, L4AllConfig, L4AllScale, QuerySpec,
@@ -1070,6 +1073,277 @@ pub fn live_comparison(rows: &[(String, QueryRun)]) -> String {
                 format_duration(run.elapsed)
             )),
             _ => {}
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Durability study (write-ahead log overhead and crash recovery)
+// ----------------------------------------------------------------------
+
+/// A scratch directory for one durability run, unique per process and
+/// call site so parallel test binaries never collide.
+fn durability_scratch(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "omega-bench-wal-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Opens the dataset as a WAL-backed [`Database`] under `dir`.
+fn durable_engine(dataset: &Dataset, dir: &std::path::Path, fsync: FsyncPolicy) -> Database {
+    let (db, _recovery) = Database::with_governor_durable(
+        dataset.graph.clone(),
+        dataset.ontology.clone(),
+        EvalOptions::default().with_max_tuples(Some(MEMORY_BUDGET)),
+        GovernorConfig::default(),
+        &WalConfig::new(dir).with_fsync(fsync),
+    )
+    .expect("durability study: durable open");
+    db
+}
+
+/// The durability study at the largest configured L4All scale: what the
+/// write-ahead log costs on the hot paths, and what recovery costs after a
+/// crash. Phases (carried in the row's scale slot):
+///
+/// * `base` / `read` — the Figure 5 queries on a plain database and on a
+///   WAL-backed one whose log is attached but idle, measured back to back
+///   so the pair shares machine state (the `l4all` rows of earlier suites
+///   run minutes earlier in a full bench, which on sub-ms rows is more
+///   noise than the effect being measured). The acceptance bar: `read`
+///   medians within 1.1x of `base` — the log must be free when nobody
+///   writes.
+/// * `apply` — one row per durability mode (`no-wal`, `fsync-never`,
+///   `fsync-always`): the same mutation batches landed through a plain
+///   database and WAL-backed ones, `answers` = edges applied, so the
+///   logging and fsync overhead of the write path is on record.
+/// * `recovery` — one row per log length (`log-0`, `log-64`, `log-256`):
+///   a durable reopen over a log with that many records, `answers` = the
+///   records actually replayed. `log-0` is the no-replay baseline (the
+///   timing includes base-graph construction, which replay rides on).
+pub fn durability_study(config: &RunConfig) -> Vec<(String, QueryRun)> {
+    let ids = figure5_query_ids();
+    let dataset = l4all_dataset(config.max_scale);
+    let specs: Vec<QuerySpec> = l4all_queries()
+        .into_iter()
+        .filter(|spec| ids.contains(&spec.id))
+        .collect();
+    let labels: Vec<String> = dataset
+        .graph
+        .labels()
+        .map(|(_, name)| name.to_owned())
+        .collect();
+    let study_row = |id: &str, elapsed: Duration, count: u64| QueryRun {
+        id: id.to_owned(),
+        operator: "exact".to_owned(),
+        elapsed,
+        samples: 1,
+        answers: count as usize,
+        distances: BTreeMap::new(),
+        exhausted: false,
+        stats: EvalStats::default(),
+    };
+    let mut rows = Vec::new();
+
+    // Phase 1: reads with the log attached but idle, against a WAL-less
+    // twin. The twin rows are interleaved per query — base then read,
+    // back to back — so slow drift in machine state (this study runs
+    // after the allocator-thrashing overload/serve studies in a full
+    // bench) cancels out of the ratio instead of accumulating across a
+    // whole phase.
+    let dir = durability_scratch("read");
+    {
+        let plain = engine_for(&dataset, EvalOptions::default());
+        let durable = durable_engine(&dataset, &dir, FsyncPolicy::Always);
+        for spec in &specs {
+            for op in ["", "APPROX"] {
+                if !op.is_empty() && !spec.flexible_in_study {
+                    continue;
+                }
+                let mut request = ExecOptions::new();
+                if !op.is_empty() {
+                    request = request.with_limit(TOP_K);
+                }
+                let text = spec.with_operator(op);
+                // The acceptance bar is a 10% *ratio* between these two
+                // rows, several of which are sub-millisecond — triple the
+                // sampling so the medians settle below that.
+                let samples = config.samples * 3;
+                for (phase, db) in [("base", &plain), ("read", &durable)] {
+                    rows.push((
+                        phase.to_owned(),
+                        run_query_sampled(db, spec.id, op, &text, &request, samples),
+                    ));
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 2: the write path under each durability mode. Small batches so
+    // per-batch costs (one log record, one fsync under `always`) dominate
+    // over overlay insertion, which the `live` suite already measures.
+    const BATCHES: usize = 16;
+    const EDGES_PER_BATCH: usize = 128;
+    let apply_batches = |db: &Database| -> (Duration, u64) {
+        let start = Instant::now();
+        let mut landed = 0u64;
+        for b in 0..BATCHES {
+            let mut batch = db.begin_mutation();
+            for i in 0..EDGES_PER_BATCH {
+                let label = &labels[(b + i) % labels.len()];
+                batch.add(
+                    &format!("wal-extra-{b}-{i}"),
+                    label,
+                    &format!("wal-extra-{b}-{}", i + 1),
+                );
+            }
+            let applied = db.apply(&batch).expect("durability study: apply");
+            landed += applied.added + applied.removed;
+        }
+        (start.elapsed(), landed)
+    };
+
+    // Warm-up round on a throwaway database: the first apply pass pays
+    // one-off allocator and page-cache costs that would otherwise be
+    // charged to whichever mode runs first.
+    {
+        let warmup = engine_for(&dataset, EvalOptions::default());
+        apply_batches(&warmup);
+    }
+
+    let plain = engine_for(&dataset, EvalOptions::default());
+    let (elapsed, landed) = apply_batches(&plain);
+    rows.push(("apply".to_owned(), study_row("no-wal", elapsed, landed)));
+    drop(plain);
+
+    for (id, fsync) in [
+        ("fsync-never", FsyncPolicy::Never),
+        ("fsync-always", FsyncPolicy::Always),
+    ] {
+        let dir = durability_scratch(id);
+        let db = durable_engine(&dataset, &dir, fsync);
+        let (elapsed, landed) = apply_batches(&db);
+        rows.push(("apply".to_owned(), study_row(id, elapsed, landed)));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Phase 3: crash recovery as a function of log length. Each reopen
+    // replays the whole log into a freshly built base graph, so `log-0`
+    // isolates the construction cost every run pays.
+    for records in [0usize, 64, 256] {
+        let dir = durability_scratch("recovery");
+        {
+            let db = durable_engine(&dataset, &dir, FsyncPolicy::Never);
+            for r in 0..records {
+                let mut batch = db.begin_mutation();
+                let label = &labels[r % labels.len()];
+                batch.add(&format!("crash-{r}"), label, &format!("crash-{}", r + 1));
+                db.apply(&batch).expect("durability study: build log");
+            }
+        }
+        let start = Instant::now();
+        let (db, recovery) = Database::with_governor_durable(
+            dataset.graph.clone(),
+            dataset.ontology.clone(),
+            EvalOptions::default().with_max_tuples(Some(MEMORY_BUDGET)),
+            GovernorConfig::default(),
+            &WalConfig::new(&dir).with_fsync(FsyncPolicy::Never),
+        )
+        .expect("durability study: recovery open");
+        let elapsed = start.elapsed();
+        assert_eq!(
+            recovery.records, records as u64,
+            "durability study: recovery must replay every logged record"
+        );
+        rows.push((
+            "recovery".to_owned(),
+            study_row(&format!("log-{records}"), elapsed, recovery.records),
+        ));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    rows
+}
+
+/// Formats the [`durability_study`] rows: the idle-WAL read medians against
+/// their WAL-less twins, the write-path cost per durability mode (with the
+/// overhead multiple against the WAL-less baseline), and recovery time by
+/// log length.
+pub fn durability_comparison(rows: &[(String, QueryRun)]) -> String {
+    let mut out = String::from("Durability: WAL overhead and crash recovery\n");
+    out.push_str("reads: WAL attached but idle vs a WAL-less twin:\n");
+    out.push_str(&format!(
+        "{:<6} {:<8} {:>9} {:>9} {:>8}\n",
+        "Query", "Mode", "base", "read", "x"
+    ));
+    let base = |id: &str, op: &str| {
+        rows.iter()
+            .find(|(p, r)| p == "base" && r.id == id && r.operator == op)
+            .map(|(_, r)| r.elapsed)
+    };
+    for (phase, run) in rows {
+        if phase != "read" {
+            continue;
+        }
+        let ratio = base(&run.id, &run.operator)
+            .map(|b| run.elapsed.as_secs_f64() / b.as_secs_f64().max(1e-9))
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{:<6} {:<8} {:>9} {:>9} {:>7.2}x\n",
+            run.id,
+            run.operator,
+            base(&run.id, &run.operator)
+                .map(format_duration)
+                .unwrap_or_default(),
+            format_duration(run.elapsed),
+            ratio
+        ));
+    }
+    let no_wal = rows
+        .iter()
+        .find(|(p, r)| p == "apply" && r.id == "no-wal")
+        .map(|(_, r)| r.elapsed);
+    out.push_str("write path (same mutation batches per mode):\n");
+    out.push_str(&format!(
+        "{:<14} {:>7} {:>9} {:>9}\n",
+        "Mode", "edges", "ms", "vs no-wal"
+    ));
+    for (phase, run) in rows {
+        if phase != "apply" {
+            continue;
+        }
+        let ratio = no_wal
+            .map(|base| run.elapsed.as_secs_f64() / base.as_secs_f64().max(1e-9))
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>9} {:>8.2}x\n",
+            run.id,
+            run.answers,
+            format_duration(run.elapsed),
+            ratio
+        ));
+    }
+    out.push_str("recovery (durable reopen incl. base-graph build):\n");
+    out.push_str(&format!("{:<10} {:>8} {:>9}\n", "Log", "records", "ms"));
+    for (phase, run) in rows {
+        if phase == "recovery" {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>9}\n",
+                run.id,
+                run.answers,
+                format_duration(run.elapsed)
+            ));
         }
     }
     out

@@ -164,10 +164,12 @@ fn serve_json(run: &ServeRun) -> String {
 /// `profile_rows` holds the per-phase profiling study: the `scale` slot
 /// carries the phase name (`parse` / `compile` / `conjunct_<i>` /
 /// `rank_join` / `streaming` / `total`) and `elapsed_ms` that phase's
-/// duration. `overload_rows` is the closed-loop governor study and has its
-/// own shape, so it lands in a separate top-level `"overload"` array;
-/// `serve_rows` is the network-serving study and lands in a top-level
-/// `"serve"` array.
+/// duration. `durability_rows` holds the WAL study: the `scale` slot
+/// carries the phase (`read` / `apply` / `recovery`) and `answers` the
+/// edges applied or records replayed. `overload_rows` is the closed-loop
+/// governor study and has its own shape, so it lands in a separate
+/// top-level `"overload"` array; `serve_rows` is the network-serving study
+/// and lands in a top-level `"serve"` array.
 #[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     name: &str,
@@ -178,6 +180,7 @@ pub fn bench_json(
     startup_rows: &[(String, QueryRun)],
     live_rows: &[(String, QueryRun)],
     profile_rows: &[(String, QueryRun)],
+    durability_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
     serve_rows: &[ServeRun],
 ) -> String {
@@ -199,6 +202,9 @@ pub fn bench_json(
     }
     for (phase, run) in profile_rows {
         queries.push(query_json("profile", phase, run));
+    }
+    for (phase, run) in durability_rows {
+        queries.push(query_json("durability", phase, run));
     }
     let overload: Vec<String> = overload_rows.iter().map(overload_json).collect();
     let serve: Vec<String> = serve_rows.iter().map(serve_json).collect();
@@ -226,6 +232,7 @@ pub fn write_bench_json(
     startup_rows: &[(String, QueryRun)],
     live_rows: &[(String, QueryRun)],
     profile_rows: &[(String, QueryRun)],
+    durability_rows: &[(String, QueryRun)],
     overload_rows: &[OverloadRun],
     serve_rows: &[ServeRun],
 ) -> std::io::Result<()> {
@@ -240,6 +247,7 @@ pub fn write_bench_json(
             startup_rows,
             live_rows,
             profile_rows,
+            durability_rows,
             overload_rows,
             serve_rows,
         )
@@ -332,6 +340,7 @@ mod tests {
             &[("rebuild".into(), run()), ("open_cold".into(), run())],
             &[("frozen".into(), run()), ("overlay".into(), run())],
             &[("parse".into(), run()), ("total".into(), run())],
+            &[("read".into(), run()), ("recovery".into(), run())],
             &[overload_run()],
             &[serve_run()],
         );
@@ -350,6 +359,9 @@ mod tests {
         assert!(json.contains("\"suite\": \"profile\""));
         assert!(json.contains("\"scale\": \"parse\""));
         assert!(json.contains("\"scale\": \"total\""));
+        assert!(json.contains("\"suite\": \"durability\""));
+        assert!(json.contains("\"scale\": \"read\""));
+        assert!(json.contains("\"scale\": \"recovery\""));
         assert!(json.contains("\"elapsed_ms\": 5.0000"));
         assert!(json.contains("\"samples\": 5"));
         assert!(json.contains("\"neighbour_lookups\": 7"));
@@ -361,8 +373,8 @@ mod tests {
         assert!(json.contains("\"degraded\": true"));
         assert!(json.contains("\"truncation\": \"tuple_budget\""));
         assert!(json.contains("\"distances\": { \"0\": 1, \"1\": 1 }"));
-        // Ten query entries.
-        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 10);
+        // Twelve query entries.
+        assert_eq!(json.matches("\"id\": \"Q3\"").count(), 12);
         assert!(json.contains("\"overload\": ["));
         assert!(json.contains("\"policy\": \"degrade\""));
         assert!(json.contains("\"saturation\": \"4x\""));

@@ -153,6 +153,7 @@ pub fn serve_study(config: &RunConfig) -> Vec<ServeRun> {
                 connections,
                 requests: 32 * connections,
                 mode: LoadMode::Closed,
+                retry: None,
             };
             rows.push(measure(&handle, &endpoint, "plain", id, &spec));
         }
@@ -169,6 +170,7 @@ pub fn serve_study(config: &RunConfig) -> Vec<ServeRun> {
         connections: 4,
         requests: 96,
         mode: LoadMode::Open(closed_rps * 0.75),
+        retry: None,
     };
     rows.push(measure(&handle, &endpoint, "plain", "Q9/APPROX", &spec));
     handle.shutdown();
@@ -206,6 +208,7 @@ pub fn serve_study(config: &RunConfig) -> Vec<ServeRun> {
             connections: 4,
             requests: 64,
             mode: LoadMode::Closed,
+            retry: None,
         };
         rows.push(measure(&handle, &endpoint, scenario, "Q9/APPROX", &spec));
         handle.shutdown();

@@ -10,9 +10,9 @@ use std::time::{Duration, Instant};
 
 use omega_core::{ExecOptions, OmegaError};
 use omega_obs::Histogram;
-use omega_protocol::WireError;
+use omega_protocol::{ProtocolError, WireError};
 
-use crate::{ClientError, Connection, Result};
+use crate::{ClientError, Connection, Result, RetryPolicy};
 
 /// Where the daemon listens.
 #[derive(Debug, Clone)]
@@ -62,6 +62,10 @@ pub struct LoadSpec {
     pub requests: usize,
     /// Arrival discipline.
     pub mode: LoadMode,
+    /// Retry transient failures (`Overloaded` rejections, broken pipes)
+    /// with capped jittered backoff instead of counting them immediately.
+    /// `None` preserves the fail-fast accounting.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// Aggregate result of a load run.
@@ -87,6 +91,8 @@ pub struct LoadReport {
     pub worker_panics: u64,
     /// Total answers received.
     pub answers: u64,
+    /// Backoff-and-retry cycles performed (0 without a [`RetryPolicy`]).
+    pub retries: u64,
     /// Latency percentiles over completed requests.
     pub p50: Duration,
     /// 99th percentile.
@@ -157,6 +163,7 @@ pub fn run_load(endpoint: &Endpoint, spec: &LoadSpec) -> Result<LoadReport> {
         report.truncated += outcome.report.truncated;
         report.worker_panics += outcome.report.worker_panics;
         report.answers += outcome.report.answers;
+        report.retries += outcome.report.retries;
     }
     let snapshot = latencies.snapshot();
     report.p50 = Duration::from_nanos(snapshot.p50());
@@ -198,39 +205,61 @@ fn worker(
             }
         };
         out.report.issued += 1;
-        if conn.is_none() {
-            conn = endpoint.connect().ok();
-        }
-        let Some(active) = conn.as_mut() else {
-            out.report.failed += 1;
-            continue;
+        // Per-request jitter stream: fold the request sequence number into
+        // the policy seed so concurrent workers decorrelate.
+        let retry = spec.retry.map(|p| p.with_seed(p.seed ^ seq));
+        let mut attempt = 0u32;
+        let success = loop {
+            if conn.is_none() {
+                conn = endpoint.connect().ok();
+            }
+            let err = match conn.as_mut() {
+                Some(active) => match active.run(&spec.query, &spec.options) {
+                    Ok(ok) => break Some(ok),
+                    Err(err) => {
+                        if !matches!(err, ClientError::Remote(_)) {
+                            // Transport/protocol failures poison the
+                            // connection; typed failures leave it usable.
+                            conn = None;
+                        }
+                        err
+                    }
+                },
+                None => ClientError::Protocol(ProtocolError::Io("connect failed".into())),
+            };
+            match retry.and_then(|p| p.backoff(&err, attempt)) {
+                Some(backoff) => {
+                    out.report.retries += 1;
+                    if backoff.reconnect {
+                        conn = None;
+                    }
+                    std::thread::sleep(backoff.delay);
+                    attempt += 1;
+                }
+                None => {
+                    match err {
+                        ClientError::Remote(WireError::Engine(OmegaError::Overloaded {
+                            ..
+                        })) => out.report.overloaded += 1,
+                        _ => out.report.failed += 1,
+                    }
+                    break None;
+                }
+            }
         };
-        match active.run(&spec.query, &spec.options) {
-            Ok((answers, stats)) => {
-                out.report.completed += 1;
-                out.report.answers += answers.len() as u64;
-                if stats.degraded {
-                    out.report.degraded += 1;
-                }
-                if stats.truncation.is_some() {
-                    out.report.truncated += 1;
-                }
-                out.report.worker_panics += stats.worker_panics;
-                out.latencies.observe(arrival.elapsed());
+        if let Some((answers, stats)) = success {
+            out.report.completed += 1;
+            out.report.answers += answers.len() as u64;
+            if stats.degraded {
+                out.report.degraded += 1;
             }
-            Err(ClientError::Remote(err)) => {
-                match err {
-                    WireError::Engine(OmegaError::Overloaded { .. }) => out.report.overloaded += 1,
-                    _ => out.report.failed += 1,
-                }
-                // Typed failures leave the connection usable.
+            if stats.truncation.is_some() {
+                out.report.truncated += 1;
             }
-            Err(_) => {
-                // Transport failure: drop the connection, reconnect for the
-                // next request.
-                out.report.failed += 1;
-                conn = None;
-            }
+            out.report.worker_panics += stats.worker_panics;
+            // Retried requests are charged from their scheduled arrival, so
+            // backoff time counts against latency — no coordinated omission.
+            out.latencies.observe(arrival.elapsed());
         }
     }
     out

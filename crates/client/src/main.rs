@@ -14,7 +14,7 @@ use std::process::exit;
 use std::time::Duration;
 
 use omega_client::bench::{run_load, Endpoint, LoadMode, LoadSpec};
-use omega_client::{AnswerStream, ClientError, Connection, Mutation, Statement};
+use omega_client::{AnswerStream, ClientError, Connection, Mutation, RetryPolicy, Statement};
 use omega_core::{Answer, ExecOptions, OverloadPolicy};
 use omega_protocol::FinishReason;
 
@@ -45,6 +45,11 @@ BENCH OPTIONS:
     --connections N       concurrent connections (default 4)
     --requests N          total requests (default 200)
     --rate R              open-loop arrival rate in req/s (default: closed loop)
+    --retries N           retry Overloaded rejections and broken connections
+                          up to N times with capped jittered backoff,
+                          honouring the server's retry-after hint
+                          (default: fail fast)
+    --retry-base-ms N     backoff floor for the first retry (default 10)
 ";
 
 fn main() {
@@ -64,6 +69,7 @@ struct Cli {
     connections: usize,
     requests: usize,
     rate: Option<f64>,
+    retry: Option<RetryPolicy>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
@@ -75,6 +81,8 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
     let mut connections = 4usize;
     let mut requests = 200usize;
     let mut rate: Option<f64> = None;
+    let mut retries: Option<u32> = None;
+    let mut retry_base_ms: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -103,6 +111,8 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
             "--connections" => connections = parse(value("--connections")?)?,
             "--requests" => requests = parse(value("--requests")?)?,
             "--rate" => rate = Some(parse(value("--rate")?)?),
+            "--retries" => retries = Some(parse(value("--retries")?)?),
+            "--retry-base-ms" => retry_base_ms = Some(parse(value("--retry-base-ms")?)?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}' (see --help)"));
             }
@@ -115,6 +125,16 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
             },
         }
     }
+    if retry_base_ms.is_some() && retries.is_none() {
+        return Err("--retry-base-ms requires --retries".into());
+    }
+    let retry = retries.map(|attempts| {
+        let policy = RetryPolicy::new(attempts);
+        match retry_base_ms {
+            Some(ms) => policy.with_base(Duration::from_millis(ms)),
+            None => policy,
+        }
+    });
     let endpoint = endpoint.ok_or("one of --unix / --tcp is required (see --help)")?;
     Ok(Some(Cli {
         endpoint,
@@ -125,6 +145,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
         connections,
         requests,
         rate,
+        retry,
     }))
 }
 
@@ -367,6 +388,7 @@ fn bench(cli: &Cli) -> Result<(), String> {
             Some(rate) => LoadMode::Open(rate),
             None => LoadMode::Closed,
         },
+        retry: cli.retry,
     };
     let mode = match spec.mode {
         LoadMode::Closed => "closed".to_owned(),
@@ -387,8 +409,9 @@ fn bench(cli: &Cli) -> Result<(), String> {
         report.degraded
     );
     println!(
-        "answers {}  throughput {:.1} req/s  elapsed {:.2}s",
+        "answers {}  retries {}  throughput {:.1} req/s  elapsed {:.2}s",
         report.answers,
+        report.retries,
         report.throughput(),
         report.elapsed.as_secs_f64()
     );

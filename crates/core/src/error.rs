@@ -59,6 +59,15 @@ pub enum OmegaError {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// The database has degraded to read-only mode: its write-ahead log can
+    /// no longer persist mutations (disk full, I/O error), so acknowledging
+    /// a write would lie about durability. Reads and queries continue to be
+    /// served; writes fail with this variant until an operator repairs the
+    /// log and restarts (recovery replays every acknowledged record).
+    ReadOnly {
+        /// Human-readable description of why durability degraded.
+        message: String,
+    },
     /// An engine invariant was violated at runtime — e.g. a conjunct worker
     /// thread panicked. Always a bug, never a user error; surfaced as a
     /// typed value so a server in front of the engine degrades to a failed
@@ -98,6 +107,9 @@ impl fmt::Display for OmegaError {
             }
             OmegaError::MutationFailed { message } => {
                 write!(f, "mutation batch failed to apply: {message}")
+            }
+            OmegaError::ReadOnly { message } => {
+                write!(f, "database is read-only (durability degraded): {message}")
             }
             OmegaError::Internal { message } => {
                 write!(f, "internal engine error: {message}")

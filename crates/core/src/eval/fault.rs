@@ -11,8 +11,8 @@
 //!
 //! The instrumented points ([`FaultPoint`]) cover the failure classes a
 //! serving deployment actually sees: snapshot IO reads, worker-thread
-//! spawning, bounded-channel sends, budget acquisition and the deadline
-//! clock. Each hook compiles to a branch on an `AtomicPtr`-free global under
+//! spawning, bounded-channel sends, budget acquisition, the deadline
+//! clock, and write-ahead-log I/O (torn appends, failed fsyncs). Each hook compiles to a branch on an `AtomicPtr`-free global under
 //! `cfg(any(test, feature = "fault-injection"))` and to a constant `false`
 //! otherwise, so release library builds carry no chaos machinery at all.
 //!
@@ -36,10 +36,17 @@ pub enum FaultPoint {
     /// Applying a mutation batch to the live graph (before the new epoch is
     /// published, so an injected failure leaves the graph unchanged).
     MutationApply = 5,
+    /// Appending a mutation record to the write-ahead log. Firing damages
+    /// the on-disk record (torn write) and fails the append, exercising the
+    /// degrade-to-read-only path and tail truncation on recovery.
+    WalAppend = 6,
+    /// Fsyncing the write-ahead log: the record lands intact but the
+    /// durability promise is broken (power loss before flush).
+    WalSync = 7,
 }
 
 /// Number of distinct injection points.
-pub const FAULT_POINTS: usize = 6;
+pub const FAULT_POINTS: usize = 8;
 
 /// Every injection point, for tests that sweep them.
 pub const ALL_POINTS: [FaultPoint; FAULT_POINTS] = [
@@ -49,6 +56,8 @@ pub const ALL_POINTS: [FaultPoint; FAULT_POINTS] = [
     FaultPoint::BudgetAcquire,
     FaultPoint::DeadlineClock,
     FaultPoint::MutationApply,
+    FaultPoint::WalAppend,
+    FaultPoint::WalSync,
 ];
 
 #[cfg(any(test, feature = "fault-injection"))]

@@ -95,10 +95,11 @@ pub use eval::{
 pub use govern::{
     ExecutionPermit, GovernorConfig, GovernorGauges, GovernorHandle, ResourceGovernor,
 };
+pub use omega_graph::wal::{FsyncPolicy, WalConfig, WalError};
 pub use omega_graph::SnapshotError;
 pub use omega_obs::{ProfilePhase, QueryProfile, Registry as MetricsRegistry};
 pub use query::{parse_query, Conjunct, Query, QueryMode, Term};
 pub use service::{
     conjunct_variables, Answers, Database, ExecOptions, GraphRef, MutationBatch, MutationReport,
-    OverloadPolicy, PreparedQuery,
+    OverloadPolicy, PreparedQuery, RecoveryReport,
 };

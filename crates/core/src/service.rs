@@ -121,13 +121,17 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use omega_graph::snapshot::{SnapshotReader, SnapshotWriter};
+use omega_graph::wal::{Wal, WalConfig, WalFailure, CHECKPOINT_FILE};
 use omega_graph::{FxHashSet, GraphDelta, GraphStore, NodeId, SnapshotError};
-use omega_obs::{Counter as MetricCounter, Histogram as MetricHistogram, QueryProfile, Registry};
+use omega_obs::{
+    Counter as MetricCounter, Gauge as MetricGauge, Histogram as MetricHistogram, QueryProfile,
+    Registry,
+};
 use omega_ontology::Ontology;
 
 use crate::answer::Answer;
@@ -182,6 +186,18 @@ struct StorageSlot {
     /// read-derive-publish cycle so concurrent writers cannot lose each
     /// other's updates; readers are never blocked by it.
     write_lock: Mutex<()>,
+    /// Write-ahead log attached by the durable constructors; `None` runs
+    /// the storage fully in-memory (the pre-durability behaviour). Lives in
+    /// the slot — not the handle — so every clone and reconfigured view of
+    /// one database logs through the same file.
+    wal: Mutex<Option<Wal>>,
+    /// Set when a WAL append fails: the storage stops accepting writes
+    /// instead of lying about durability. Reads continue unaffected.
+    read_only: AtomicBool,
+    /// Highest epoch known to be on stable storage (0 without a WAL).
+    durable_epoch: AtomicU64,
+    /// Sequence number of the last WAL record appended (0 when none).
+    wal_seq: AtomicU64,
 }
 
 impl StorageSlot {
@@ -207,6 +223,14 @@ pub(crate) struct CoreMetrics {
     mutations: Arc<MetricCounter>,
     compactions: Arc<MetricCounter>,
     exec_ns: Arc<MetricHistogram>,
+    wal_appends: Arc<MetricCounter>,
+    wal_bytes: Arc<MetricCounter>,
+    wal_append_failures: Arc<MetricCounter>,
+    wal_rotations: Arc<MetricCounter>,
+    wal_recovered_records: Arc<MetricCounter>,
+    wal_truncated_bytes: Arc<MetricCounter>,
+    wal_sync_ns: Arc<MetricHistogram>,
+    read_only: Arc<MetricGauge>,
 }
 
 impl CoreMetrics {
@@ -219,6 +243,14 @@ impl CoreMetrics {
             mutations: registry.counter("omega_core_mutations_total", &[]),
             compactions: registry.counter("omega_core_compactions_total", &[]),
             exec_ns: registry.histogram("omega_core_execution_ns", &[]),
+            wal_appends: registry.counter("omega_core_wal_appends_total", &[]),
+            wal_bytes: registry.counter("omega_core_wal_bytes_total", &[]),
+            wal_append_failures: registry.counter("omega_core_wal_append_failures_total", &[]),
+            wal_rotations: registry.counter("omega_core_wal_rotations_total", &[]),
+            wal_recovered_records: registry.counter("omega_core_wal_recovered_records_total", &[]),
+            wal_truncated_bytes: registry.counter("omega_core_wal_truncated_bytes_total", &[]),
+            wal_sync_ns: registry.histogram("omega_core_wal_sync_ns", &[]),
+            read_only: registry.gauge("omega_core_read_only", &[]),
             registry,
         })
     }
@@ -303,6 +335,10 @@ impl Database {
                         epoch: 0,
                     })),
                     write_lock: Mutex::new(()),
+                    wal: Mutex::new(None),
+                    read_only: AtomicBool::new(false),
+                    durable_epoch: AtomicU64::new(0),
+                    wal_seq: AtomicU64::new(0),
                 }),
                 ontology,
                 options: Arc::new(options),
@@ -537,6 +573,13 @@ impl Database {
     /// epoch they pinned; only queries prepared after `apply` returns see
     /// the mutation. Writers are serialised; an empty batch is a no-op that
     /// reports the current epoch without bumping it.
+    ///
+    /// When a write-ahead log is attached (the durable constructors), the
+    /// batch is appended to the log **before** the epoch pointer swap
+    /// publishes it — with `FsyncPolicy::Always` a successful return means
+    /// the record is on stable storage. If the append fails, the storage
+    /// degrades to read-only ([`OmegaError::ReadOnly`]): reads keep being
+    /// served, but no write is acknowledged that recovery could not replay.
     pub fn apply(&self, batch: &MutationBatch) -> Result<MutationReport> {
         let _writer = self
             .inner
@@ -552,6 +595,11 @@ impl Database {
                 removed: 0,
             });
         }
+        if self.inner.storage.read_only.load(Ordering::Acquire) {
+            return Err(OmegaError::ReadOnly {
+                message: "write-ahead log degraded; repair the log directory and restart".into(),
+            });
+        }
         if fault_fire(FaultPoint::MutationApply) {
             return Err(OmegaError::MutationFailed {
                 message: "injected mutation-apply fault".into(),
@@ -564,6 +612,7 @@ impl Database {
                     message: e.to_string(),
                 })?;
         let epoch = cur.epoch + 1;
+        self.log_batch(batch, epoch)?;
         self.inner.storage.store(Arc::new(GraphData {
             graph,
             ontology: Arc::clone(&cur.ontology),
@@ -577,6 +626,50 @@ impl Database {
         })
     }
 
+    /// Appends `batch` to the write-ahead log (when one is attached) as the
+    /// record for `epoch`. Must run before the epoch is published. On
+    /// failure the storage flips to read-only and the error names the cause;
+    /// the epoch is never published, so the caller observes all-or-nothing.
+    fn log_batch(&self, batch: &MutationBatch, epoch: u64) -> Result<()> {
+        let mut slot = self
+            .inner
+            .storage
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(wal) = slot.as_mut() else {
+            return Ok(());
+        };
+        if fault_fire(FaultPoint::WalAppend) {
+            wal.inject_failure(Some(WalFailure::TornRecord));
+        } else if fault_fire(FaultPoint::WalSync) {
+            wal.inject_failure(Some(WalFailure::SyncFailure));
+        }
+        match wal.append(epoch, batch.delta.adds(), batch.delta.removes()) {
+            Ok(out) => {
+                self.inner.storage.wal_seq.store(out.seq, Ordering::Release);
+                self.inner.metrics.wal_appends.inc();
+                self.inner.metrics.wal_bytes.add(out.bytes);
+                if out.synced {
+                    self.inner.metrics.wal_sync_ns.record(out.sync_ns);
+                    self.inner
+                        .storage
+                        .durable_epoch
+                        .store(epoch, Ordering::Release);
+                }
+                Ok(())
+            }
+            Err(err) => {
+                self.inner.storage.read_only.store(true, Ordering::Release);
+                self.inner.metrics.wal_append_failures.inc();
+                self.inner.metrics.read_only.set(1);
+                Err(OmegaError::ReadOnly {
+                    message: format!("write-ahead log append failed: {err}"),
+                })
+            }
+        }
+    }
+
     /// Merges the accumulated delta overlay back into a fresh frozen CSR,
     /// publishing the result as a new epoch, and returns the epoch serving
     /// afterwards.
@@ -587,6 +680,10 @@ impl Database {
     /// Run it periodically — e.g. from a background thread once
     /// [`omega_graph::GraphStore::overlay_edges`] crosses a threshold — to
     /// keep read amplification bounded under sustained writes.
+    /// With a write-ahead log attached, an effective compaction also
+    /// rotates the log: the compacted state is checkpointed into the WAL
+    /// directory and the log emptied, so recovery replays from a short log
+    /// instead of the full mutation history (incremental snapshots).
     pub fn compact(&self) -> u64 {
         let guard = self
             .inner
@@ -594,7 +691,9 @@ impl Database {
             .write_lock
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        self.compact_locked(&guard).epoch
+        let next = self.compact_locked(&guard);
+        self.rotate_wal_locked(&next, &guard);
+        next.epoch
     }
 
     /// Compaction body; requires the writer lock to be held.
@@ -645,7 +744,44 @@ impl Database {
         let mut writer = SnapshotWriter::new();
         omega_graph::snapshot::write_graph_sections(&data.graph, &mut writer)?;
         omega_ontology::snapshot::write_ontology_section(&data.ontology, &mut writer)?;
-        writer.write_to(path.as_ref())
+        writer.write_to(path.as_ref())?;
+        // The image now holds everything the log held; rotate so the
+        // snapshot+log pair stays minimal.
+        self.rotate_wal_locked(&data, &guard);
+        Ok(())
+    }
+
+    /// Checkpoints `data` into the WAL directory and empties the log.
+    /// Requires the writer lock (no mutation can interleave) and compacted
+    /// data (the image format carries pure CSR arrays only).
+    ///
+    /// Failures are deliberately *not* surfaced: a skipped rotation leaves
+    /// the full log in place, so recovery still replays every acknowledged
+    /// record — rotation is a log-length optimisation, never a durability
+    /// event. Even the checkpoint-written-but-truncate-failed window is
+    /// safe: replaying a log over the checkpoint built from its own records
+    /// is a no-op (adds of present edges and removes of absent edges are
+    /// both idempotent, and order is preserved).
+    fn rotate_wal_locked(&self, data: &GraphData, _writer: &MutexGuard<'_, ()>) {
+        let mut slot = self
+            .inner
+            .storage
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(wal) = slot.as_mut() else { return };
+        if wal.is_empty() {
+            return;
+        }
+        let mut writer = SnapshotWriter::new();
+        let written = omega_graph::snapshot::write_graph_sections(&data.graph, &mut writer)
+            .and_then(|()| {
+                omega_ontology::snapshot::write_ontology_section(&data.ontology, &mut writer)
+            })
+            .and_then(|()| writer.write_to(&wal.checkpoint_path()));
+        if written.is_ok() && wal.rotate().is_ok() {
+            self.inner.metrics.wal_rotations.inc();
+        }
     }
 
     /// Opens a snapshot image with default [`EvalOptions`].
@@ -695,6 +831,151 @@ impl Database {
         // arrives with its (mapped) CSR and the ontology with its interned
         // closures.
         Ok(Database::with_governor(graph, ontology, options, config))
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: write-ahead log + crash recovery
+    // ------------------------------------------------------------------
+
+    /// [`Database::with_governor`] plus an attached write-ahead log: every
+    /// applied batch is logged before it is published, and opening the same
+    /// WAL directory after a crash replays every acknowledged mutation.
+    ///
+    /// When the directory holds a rotation checkpoint (written by
+    /// [`Database::compact`] / [`Database::save_snapshot`]), the checkpoint
+    /// — not the passed `graph`/`ontology` — is the recovery base: the log
+    /// was truncated against it, so replaying over anything else would lose
+    /// the pre-checkpoint mutations. A fresh directory uses the passed data.
+    pub fn with_governor_durable(
+        graph: GraphStore,
+        ontology: Ontology,
+        options: EvalOptions,
+        config: GovernorConfig,
+        wal: &WalConfig,
+    ) -> Result<(Database, RecoveryReport)> {
+        let checkpoint = wal.dir.join(CHECKPOINT_FILE);
+        let (db, from_checkpoint) = if checkpoint.exists() {
+            let db = Database::open_snapshot_with_governor(&checkpoint, options, config).map_err(
+                |e| OmegaError::Internal {
+                    message: format!("wal checkpoint unreadable: {e}"),
+                },
+            )?;
+            (db, true)
+        } else {
+            (
+                Database::with_governor(graph, ontology, options, config),
+                false,
+            )
+        };
+        let mut report = db.attach_wal(wal)?;
+        report.from_checkpoint = from_checkpoint;
+        Ok((db, report))
+    }
+
+    /// [`Database::open_snapshot_with_governor`] plus an attached
+    /// write-ahead log; see [`Database::with_governor_durable`] for the
+    /// recovery-base rules (a rotation checkpoint in the WAL directory
+    /// supersedes the snapshot at `path`).
+    pub fn open_snapshot_durable<P: AsRef<std::path::Path>>(
+        path: P,
+        options: EvalOptions,
+        config: GovernorConfig,
+        wal: &WalConfig,
+    ) -> Result<(Database, RecoveryReport)> {
+        let checkpoint = wal.dir.join(CHECKPOINT_FILE);
+        let (base, from_checkpoint) = if checkpoint.exists() {
+            (checkpoint.as_path(), true)
+        } else {
+            (path.as_ref(), false)
+        };
+        let db = Database::open_snapshot_with_governor(base, options, config).map_err(|e| {
+            OmegaError::Internal {
+                message: format!("snapshot open failed: {e}"),
+            }
+        })?;
+        let mut report = db.attach_wal(wal)?;
+        report.from_checkpoint = from_checkpoint;
+        Ok((db, report))
+    }
+
+    /// Opens the log under `config`, replays the acknowledged prefix into
+    /// this database through the normal apply path (the WAL slot is still
+    /// empty, so replay does not re-log itself), then arms the slot so
+    /// subsequent applies append.
+    fn attach_wal(&self, config: &WalConfig) -> Result<RecoveryReport> {
+        let (wal, recovery) = Wal::open(config).map_err(|e| OmegaError::Internal {
+            message: format!("wal open failed: {e}"),
+        })?;
+        for record in &recovery.records {
+            let mut batch = MutationBatch::new();
+            for (tail, label, head) in &record.adds {
+                batch.add(tail, label, head);
+            }
+            for (tail, label, head) in &record.removes {
+                batch.remove(tail, label, head);
+            }
+            self.apply(&batch)?;
+        }
+        self.inner
+            .metrics
+            .wal_recovered_records
+            .add(recovery.records.len() as u64);
+        self.inner
+            .metrics
+            .wal_truncated_bytes
+            .add(recovery.truncated_bytes);
+        let report = RecoveryReport {
+            records: recovery.records.len() as u64,
+            truncated_bytes: recovery.truncated_bytes,
+            from_checkpoint: recovery.has_checkpoint,
+        };
+        self.inner
+            .storage
+            .wal_seq
+            .store(wal.next_seq().saturating_sub(1), Ordering::Release);
+        // Everything replayed came off stable storage.
+        self.inner
+            .storage
+            .durable_epoch
+            .store(self.epoch(), Ordering::Release);
+        *self
+            .inner
+            .storage
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(wal);
+        Ok(report)
+    }
+
+    /// Whether a write-ahead log is attached to this storage.
+    pub fn wal_attached(&self) -> bool {
+        self.inner
+            .storage
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Sequence number of the last write-ahead-log record appended (0 when
+    /// none, or when no WAL is attached).
+    pub fn wal_seq(&self) -> u64 {
+        self.inner.storage.wal_seq.load(Ordering::Acquire)
+    }
+
+    /// Highest epoch known to be on stable storage. 0 without a WAL; lags
+    /// [`Database::epoch`] under `every-N-ms` / `never` fsync policies,
+    /// tracks it exactly under `always`.
+    pub fn durable_epoch(&self) -> u64 {
+        self.inner.storage.durable_epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the storage has degraded to read-only mode (a WAL append
+    /// failed). Reads are unaffected; writes fail with
+    /// [`OmegaError::ReadOnly`] until the log is repaired and the process
+    /// restarted.
+    pub fn read_only(&self) -> bool {
+        self.inner.storage.read_only.load(Ordering::Acquire)
     }
 }
 
@@ -802,6 +1083,19 @@ pub struct MutationReport {
     pub added: u64,
     /// Edges actually removed.
     pub removed: u64,
+}
+
+/// What crash recovery found when a durable constructor opened a WAL
+/// directory (see [`Database::with_governor_durable`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Write-ahead-log records replayed into the graph.
+    pub records: u64,
+    /// Bytes of torn/corrupt log tail discarded (0 after a clean shutdown).
+    pub truncated_bytes: u64,
+    /// Whether the recovery base was a rotation checkpoint rather than the
+    /// caller-supplied graph or snapshot.
+    pub from_checkpoint: bool,
 }
 
 /// One prepared-statement cache slot.

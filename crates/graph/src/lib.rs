@@ -64,6 +64,7 @@ pub mod io;
 pub mod overlay;
 pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
 pub use bitmap::NodeBitmap;
 pub use error::GraphError;
@@ -74,3 +75,6 @@ pub use interner::LabelInterner;
 pub use overlay::{DeltaReport, GraphDelta};
 pub use snapshot::SnapshotError;
 pub use stats::{GraphStats, LabelEntry, LabelStats};
+pub use wal::{
+    FsyncPolicy, Wal, WalAppend, WalConfig, WalError, WalFailure, WalRecord, WalRecovery,
+};

@@ -27,10 +27,23 @@
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::snapshot::error::SnapshotError;
 use crate::snapshot::map::MappedSlice;
+
+/// Count of parent-directory fsyncs performed after snapshot renames. A
+/// test probe: regression coverage for the crash window where a rename is
+/// visible but not yet durable.
+static DIR_SYNCS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of parent-directory fsyncs performed by [`SnapshotWriter::write_to`]
+/// since process start.
+#[doc(hidden)]
+pub fn dir_syncs() -> u64 {
+    DIR_SYNCS.load(Ordering::Relaxed)
+}
 
 /// First eight bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"OMEGSNAP";
@@ -241,9 +254,11 @@ impl SnapshotWriter {
     /// uniquely named sibling temp file (so concurrent writers — even to
     /// different targets sharing a stem — never interleave), are fsynced,
     /// and only then renamed into place, so a crash never leaves a
-    /// half-written snapshot at the target path.
+    /// half-written snapshot at the target path. The parent directory is
+    /// fsynced after the rename: the rename itself is a directory mutation,
+    /// and without flushing it a crash can roll the directory back to an
+    /// entry-less state even though the file's blocks are durable.
     pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
-        use std::sync::atomic::{AtomicU64, Ordering};
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let file_name = path
             .file_name()
@@ -257,7 +272,16 @@ impl SnapshotWriter {
         let tmp = path.with_file_name(tmp_name);
         let result = self
             .write_file(&tmp)
-            .and_then(|()| std::fs::rename(&tmp, path).map_err(SnapshotError::from));
+            .and_then(|()| std::fs::rename(&tmp, path).map_err(SnapshotError::from))
+            .and_then(|()| {
+                let parent = match path.parent() {
+                    Some(dir) if !dir.as_os_str().is_empty() => dir,
+                    _ => Path::new("."),
+                };
+                crate::wal::sync_dir(parent).map_err(SnapshotError::from)?;
+                DIR_SYNCS.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            });
         if result.is_err() {
             std::fs::remove_file(&tmp).ok();
         }

@@ -246,6 +246,10 @@ pub fn put_engine_error(w: &mut Writer, err: &OmegaError) {
             w.put_u8(10);
             w.put_str(message);
         }
+        OmegaError::ReadOnly { message } => {
+            w.put_u8(11);
+            w.put_str(message);
+        }
     }
 }
 
@@ -275,6 +279,9 @@ pub fn take_engine_error(r: &mut Reader<'_>) -> Result<OmegaError, ProtocolError
             message: r.take_str()?,
         },
         10 => OmegaError::MutationFailed {
+            message: r.take_str()?,
+        },
+        11 => OmegaError::ReadOnly {
             message: r.take_str()?,
         },
         _ => return Err(ProtocolError::Malformed("unknown engine error tag")),
@@ -359,6 +366,12 @@ pub struct ServerStats {
     pub uptime_secs: u64,
     /// Entries in the database's shared prepared-statement LRU cache.
     pub prepared_statements: u64,
+    /// Sequence number of the last write-ahead-log record appended (0 when
+    /// the daemon runs without a WAL).
+    pub wal_seq: u64,
+    /// Highest storage epoch known durable on stable storage (0 without a
+    /// WAL; lags `epoch` under deferred fsync policies).
+    pub durable_epoch: u64,
 }
 
 /// Encodes a [`ServerStats`] snapshot: the original fixed block, then a
@@ -385,6 +398,8 @@ pub fn put_server_stats(w: &mut Writer, stats: &ServerStats) {
     ext.put_u64(stats.overlay_edges);
     ext.put_u64(stats.uptime_secs);
     ext.put_u64(stats.prepared_statements);
+    ext.put_u64(stats.wal_seq);
+    ext.put_u64(stats.durable_epoch);
     let ext = ext.into_inner();
     w.put_u32(ext.len() as u32);
     w.put_bytes(&ext);
@@ -422,6 +437,8 @@ pub fn take_server_stats(r: &mut Reader<'_>) -> Result<ServerStats, ProtocolErro
             &mut stats.overlay_edges,
             &mut stats.uptime_secs,
             &mut stats.prepared_statements,
+            &mut stats.wal_seq,
+            &mut stats.durable_epoch,
         ] {
             if ext.remaining() < 8 {
                 break;
@@ -452,6 +469,11 @@ impl std::fmt::Display for ServerStats {
             f,
             "epoch: {}; overlay edges: {}; prepared statements: {}; uptime: {}s",
             self.epoch, self.overlay_edges, self.prepared_statements, self.uptime_secs
+        )?;
+        writeln!(
+            f,
+            "durability: wal_seq={} durable_epoch={}",
+            self.wal_seq, self.durable_epoch
         )?;
         write!(
             f,
@@ -506,6 +528,12 @@ mod tests {
             },
             OmegaError::Internal {
                 message: "worker panicked".into(),
+            },
+            OmegaError::MutationFailed {
+                message: "delta rejected".into(),
+            },
+            OmegaError::ReadOnly {
+                message: "wal append failed: disk full".into(),
             },
         ];
         for err in errors {
@@ -569,6 +597,8 @@ mod tests {
             overlay_edges: 150,
             uptime_secs: 86_400,
             prepared_statements: 32,
+            wal_seq: 41,
+            durable_epoch: 6,
             ..ServerStats::default()
         }
     }
@@ -586,7 +616,7 @@ mod tests {
         let mut w = Writer::new();
         put_server_stats(&mut w, &stats);
         let mut bytes = w.into_inner();
-        bytes.truncate(bytes.len() - 4 - 4 * 8); // drop ext length + 4 u64s
+        bytes.truncate(bytes.len() - 4 - 6 * 8); // drop ext length + 6 u64s
         let back = take_server_stats(&mut Reader::new(&bytes)).unwrap();
         assert_eq!(back.connections_total, stats.connections_total);
         assert_eq!(back.answers_streamed, stats.answers_streamed);
@@ -603,9 +633,9 @@ mod tests {
         let mut w = Writer::new();
         put_server_stats(&mut w, &stats);
         let mut bytes = w.into_inner();
-        let ext_len_at = bytes.len() - 4 - 4 * 8;
+        let ext_len_at = bytes.len() - 4 - 6 * 8;
         bytes.extend_from_slice(&99u64.to_le_bytes()); // unknown future field
-        let new_len = 5u32 * 8;
+        let new_len = 7u32 * 8;
         bytes[ext_len_at..ext_len_at + 4].copy_from_slice(&new_len.to_le_bytes());
         let mut r = Reader::new(&bytes);
         let back = take_server_stats(&mut r).unwrap();

@@ -172,7 +172,7 @@ fn eval_stats() -> BoxedStrategy<EvalStats> {
 fn server_stats() -> BoxedStrategy<ServerStats> {
     (
         (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
-        prop::collection::vec(any::<u64>(), 13..14),
+        prop::collection::vec(any::<u64>(), 15..16),
     )
         .prop_map(|(gauges, counters)| ServerStats {
             gauges: GovernorGauges {
@@ -194,6 +194,8 @@ fn server_stats() -> BoxedStrategy<ServerStats> {
             overlay_edges: counters[10],
             uptime_secs: counters[11],
             prepared_statements: counters[12],
+            wal_seq: counters[13],
+            durable_epoch: counters[14],
         })
         .boxed()
 }

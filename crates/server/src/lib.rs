@@ -185,6 +185,8 @@ impl Shared {
             overlay_edges: self.db.graph().overlay_edges(),
             uptime_secs: self.started.elapsed().as_secs(),
             prepared_statements: self.db.prepared_cache_len() as u64,
+            wal_seq: self.db.wal_seq(),
+            durable_epoch: self.db.durable_epoch(),
         }
     }
 

@@ -12,7 +12,7 @@
 use std::process::exit;
 use std::time::Duration;
 
-use omega_core::{Database, EvalOptions, GovernorConfig};
+use omega_core::{Database, EvalOptions, FsyncPolicy, GovernorConfig, RecoveryReport, WalConfig};
 use omega_datagen::{generate_l4all, generate_yago, Dataset, L4AllConfig, L4AllScale, YagoConfig};
 use omega_server::{Server, ServerConfig};
 
@@ -28,6 +28,17 @@ DATA (default: $OMEGA_SNAPSHOT_FILE if set, else --dataset l4all):
     --snapshot PATH       open an on-disk snapshot image (mmap, zero-copy)
     --dataset SPEC        build a generated dataset: l4all, l4all:l1..l4,
                           yago, yago:FACTOR (e.g. yago:0.5)
+
+DURABILITY (unset = in-memory only; mutations evaporate on crash):
+    --wal-dir PATH        write-ahead log directory: every acknowledged
+                          mutation is logged before it is published, and a
+                          restart replays the log (plus any rotation
+                          checkpoint) before serving. Append failures
+                          degrade the daemon to read-only instead of
+                          dropping durability silently.
+    --fsync POLICY        always (default; MutateOk implies durable),
+                          every:<ms> (group commit, bounded loss), or
+                          never (page-cache durability only)
 
 GOVERNOR (admission control at the edge; unset = unbounded):
     --max-live-tuples N   shared live-tuple pool across all executions
@@ -62,6 +73,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut tcp_addr: Option<String> = None;
     let mut snapshot: Option<String> = None;
     let mut dataset: Option<String> = None;
+    let mut wal_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Always;
     let mut governor = GovernorConfig::default();
     let mut admission_rate: Option<f64> = None;
     let mut admission_burst: Option<usize> = None;
@@ -81,6 +94,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "--tcp" => tcp_addr = Some(value("--tcp")?.clone()),
             "--snapshot" => snapshot = Some(value("--snapshot")?.clone()),
             "--dataset" => dataset = Some(value("--dataset")?.clone()),
+            "--wal-dir" => wal_dir = Some(value("--wal-dir")?.clone()),
+            "--fsync" => fsync = FsyncPolicy::parse(value("--fsync")?)?,
             "--max-live-tuples" => {
                 governor = governor.with_max_live_tuples(parse(value("--max-live-tuples")?)?);
             }
@@ -135,10 +150,28 @@ fn run(args: &[String]) -> Result<(), String> {
             .filter(|v| !v.is_empty());
     }
 
+    let wal = wal_dir
+        .as_ref()
+        .map(|dir| WalConfig::new(dir).with_fsync(fsync));
     let db = match (&snapshot, &dataset) {
         (Some(path), _) => {
-            let db = Database::open_snapshot_with_governor(path, EvalOptions::default(), governor)
-                .map_err(|e| format!("cannot open snapshot '{path}': {e}"))?;
+            let db = match &wal {
+                Some(wal) => {
+                    let (db, recovery) = Database::open_snapshot_durable(
+                        path,
+                        EvalOptions::default(),
+                        governor,
+                        wal,
+                    )
+                    .map_err(|e| format!("cannot open snapshot '{path}': {e}"))?;
+                    report_recovery(&recovery, wal);
+                    db
+                }
+                None => {
+                    Database::open_snapshot_with_governor(path, EvalOptions::default(), governor)
+                        .map_err(|e| format!("cannot open snapshot '{path}': {e}"))?
+                }
+            };
             eprintln!(
                 "omega-server: snapshot '{path}' mapped ({} nodes, {} edges)",
                 db.graph().node_count(),
@@ -149,12 +182,26 @@ fn run(args: &[String]) -> Result<(), String> {
         (None, spec) => {
             let spec = spec.as_deref().unwrap_or("l4all");
             let data = build_dataset(spec)?;
-            let db = Database::with_governor(
-                data.graph,
-                data.ontology,
-                EvalOptions::default(),
-                governor,
-            );
+            let db = match &wal {
+                Some(wal) => {
+                    let (db, recovery) = Database::with_governor_durable(
+                        data.graph,
+                        data.ontology,
+                        EvalOptions::default(),
+                        governor,
+                        wal,
+                    )
+                    .map_err(|e| format!("cannot open wal '{}': {e}", wal.dir.display()))?;
+                    report_recovery(&recovery, wal);
+                    db
+                }
+                None => Database::with_governor(
+                    data.graph,
+                    data.ontology,
+                    EvalOptions::default(),
+                    governor,
+                ),
+            };
             eprintln!(
                 "omega-server: dataset '{spec}' built ({} nodes, {} edges)",
                 db.graph().node_count(),
@@ -180,6 +227,25 @@ fn run(args: &[String]) -> Result<(), String> {
     server.run();
     eprintln!("omega-server: drained, bye");
     Ok(())
+}
+
+fn report_recovery(recovery: &RecoveryReport, wal: &WalConfig) {
+    eprintln!(
+        "omega-server: wal '{}' fsync={}: recovered {} record(s){}{}",
+        wal.dir.display(),
+        wal.fsync,
+        recovery.records,
+        if recovery.from_checkpoint {
+            " over rotation checkpoint"
+        } else {
+            ""
+        },
+        if recovery.truncated_bytes > 0 {
+            format!(", truncated {} torn byte(s)", recovery.truncated_bytes)
+        } else {
+            String::new()
+        }
+    );
 }
 
 fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String>

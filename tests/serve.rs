@@ -880,6 +880,49 @@ fn stats_reply_carries_epoch_overlay_uptime_and_cache_occupancy() {
     drain(&handle, joiner);
 }
 
+#[test]
+fn stats_reply_reports_durability_state_for_a_wal_backed_database() {
+    let _guard = serve_lock();
+    let dir = std::env::temp_dir().join(format!("omega-serve-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = generate_l4all(&L4AllConfig::tiny());
+    let (db, _) = Database::with_governor_durable(
+        data.graph,
+        data.ontology,
+        omega::core::EvalOptions::default(),
+        GovernorConfig::default(),
+        &omega::core::WalConfig::new(&dir),
+    )
+    .expect("durable open");
+    let (handle, path, joiner) = spawn_unix(db, "walstats");
+    let mut conn = Connection::connect_unix(&path).expect("connect");
+
+    let before = conn.stats().expect("stats");
+    assert_eq!(before.wal_seq, 0, "no mutations logged yet: {before:?}");
+    assert_eq!(before.durable_epoch, 0);
+
+    let mut mutation = Mutation::new();
+    mutation.add("Crash A", "wallink", "Crash B");
+    conn.mutate(&mutation).expect("mutate");
+
+    let after = conn.stats().expect("stats after");
+    assert_eq!(after.wal_seq, 1, "WAL sequence not reported: {after:?}");
+    assert_eq!(
+        after.durable_epoch, after.epoch,
+        "fsync=always: the published epoch must be durable: {after:?}"
+    );
+    // The REPL's `stats` renders the same reply; pin the durability line.
+    let rendered = format!("{after}");
+    assert!(
+        rendered.contains("wal_seq=1"),
+        "durability state missing from the stats rendering:\n{rendered}"
+    );
+
+    drop(conn);
+    drain(&handle, joiner);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------------
 // Chaos: injected faults surface as typed wire errors
 // ---------------------------------------------------------------------------
